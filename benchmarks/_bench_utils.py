@@ -1,0 +1,45 @@
+"""Helpers shared by benchmark modules (kept out of conftest so bench
+files can import them by a unique module name)."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str, capsys=None) -> None:
+    """Print a paper table to the terminal and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if capsys is not None:
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+    else:
+        print(f"\n===== {name} =====")
+        print(text)
+
+
+def format_table(header: list[str], rows: list[list], widths=None) -> str:
+    """Minimal fixed-width table formatter for paper-style output."""
+    cells = [header] + [[_fmt(c) for c in row] for row in rows]
+    widths = widths or [
+        max(len(r[i]) for r in cells) for i in range(len(header))
+    ]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "-"
+        return f"{value:.2f}" if abs(value) < 10 else f"{value:.0f}"
+    return str(value)

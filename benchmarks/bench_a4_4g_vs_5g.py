@@ -1,0 +1,62 @@
+"""Appendix A.4: 4G vs 5G throughput predictability.
+
+Two phones walk the Loop side by side, one on LTE, one on 5G.  Existing
+location-based predictors (KNN, OK, RF) are trained on each trace; the
+paper finds ~10x higher MAE on the 5G traces (location alone works for
+4G, fails for mmWave 5G).
+"""
+
+import numpy as np
+
+from repro.datasets.cleaning import clean
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn import KNNRegressor
+from repro.ml.kriging import OrdinaryKriging
+from repro.ml.metrics import mae
+from repro.ml.preprocessing import train_test_split
+from repro.sim.collection import run_side_by_side_4g5g
+
+from _bench_utils import emit, format_table
+
+
+def _location_errors(table, seed=0):
+    cleaned, _ = clean(table)
+    X = np.column_stack([
+        np.asarray(cleaned["pixel_x"], dtype=float),
+        np.asarray(cleaned["pixel_y"], dtype=float),
+    ])
+    y = np.asarray(cleaned["throughput_mbps"], dtype=float)
+    X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3, rng=seed)
+    out = {}
+    out["KNN"] = mae(y_te, KNNRegressor(5).fit(X_tr, y_tr).predict(X_te))
+    out["OK"] = mae(y_te, OrdinaryKriging(random_state=seed)
+                    .fit(X_tr, y_tr).predict(X_te))
+    out["RF"] = mae(y_te, RandomForestRegressor(
+        n_estimators=40, random_state=seed).fit(X_tr, y_tr).predict(X_te))
+    return out
+
+
+def test_a4_4g_vs_5g_predictability(benchmark, capsys):
+    t5, t4 = benchmark.pedantic(
+        lambda: run_side_by_side_4g5g(passes=6, seed=11),
+        rounds=1, iterations=1,
+    )
+    err5 = _location_errors(t5)
+    err4 = _location_errors(t4)
+
+    rows = [
+        [model, err4[model], err5[model], err5[model] / err4[model]]
+        for model in ("KNN", "OK", "RF")
+    ]
+    table = format_table(
+        ["model (L only)", "4G MAE", "5G MAE", "5G/4G ratio"], rows
+    )
+    table += ("\n(paper: 4G MAE [29, 69, 26] vs 5G MAE [326, 626, 340] "
+              "Mbps -- about 10x)")
+    emit("a4_4g_vs_5g", table, capsys)
+
+    for model in ("KNN", "OK", "RF"):
+        # Location-only prediction is far harder on mmWave 5G.
+        assert err5[model] > 3.0 * err4[model], model
+    # And the absolute 4G errors are small (tens of Mbps).
+    assert max(err4.values()) < 100.0

@@ -1,0 +1,42 @@
+"""Ablation: LSTM vs GRU encoder-decoder cells.
+
+The paper's Seq2Seq uses LSTM cells; GRU is the standard lighter
+alternative.  Same data, same budget, per-cell test MAE and fit time.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.windows import build_windows
+from repro.ml.metrics import mae
+from repro.ml.nn.seq2seq import Seq2SeqRegressor
+from repro.ml.preprocessing import split_by_run
+
+from _bench_utils import emit, format_table
+
+
+def test_ablation_recurrent_cell(benchmark, capsys, framework):
+    X, y, run_ids, _ = framework.design("Airport", "L+M")
+    ws = build_windows(X, y, run_ids, input_len=20, output_len=1, stride=4)
+    train, test = split_by_run(ws.run_ids, test_size=0.3, rng=1)
+
+    def run(cell):
+        t0 = time.perf_counter()
+        model = Seq2SeqRegressor(hidden_dim=24, encoder_layers=1,
+                                 cell=cell, epochs=10, random_state=0)
+        model.fit(ws.X[train], ws.y[train])
+        elapsed = time.perf_counter() - t0
+        pred = np.clip(model.predict(ws.X[test]), 0, None)
+        return mae(ws.y[test][:, 0], pred), elapsed
+
+    lstm = benchmark.pedantic(lambda: run("lstm"), rounds=1, iterations=1)
+    gru = run("gru")
+
+    rows = [["LSTM (paper)", lstm[0], f"{lstm[1]:.1f}s"],
+            ["GRU", gru[0], f"{gru[1]:.1f}s"]]
+    table = format_table(["cell", "MAE (Mbps)", "fit time"], rows)
+    emit("ablation_cell_type", table, capsys)
+
+    # Both cells must be competitive (within 40% of each other).
+    assert max(lstm[0], gru[0]) < 1.4 * min(lstm[0], gru[0])

@@ -1,0 +1,45 @@
+"""Ablation: Seq2Seq input-sequence length (paper fixes it at 20).
+
+Longer histories help up to a point; this ablation sweeps the window
+length and reports test MAE.
+"""
+
+import numpy as np
+
+from repro.core.windows import build_windows
+from repro.ml.metrics import mae
+from repro.ml.nn.seq2seq import Seq2SeqRegressor
+from repro.ml.preprocessing import split_by_run
+
+from _bench_utils import emit, format_table
+
+LENGTHS = [5, 20]
+
+
+def test_ablation_sequence_length(benchmark, capsys, framework):
+    X, y, run_ids, _ = framework.design("Airport", "L+M")
+
+    def run(input_len):
+        ws = build_windows(X, y, run_ids, input_len=input_len,
+                           output_len=1, stride=4)
+        train, test = split_by_run(ws.run_ids, test_size=0.3, rng=1)
+        model = Seq2SeqRegressor(hidden_dim=24, encoder_layers=1,
+                                 epochs=8, random_state=0)
+        model.fit(ws.X[train], ws.y[train])
+        pred = model.predict(ws.X[test])
+        return mae(ws.y[test][:, 0], np.clip(pred, 0, None))
+
+    first = benchmark.pedantic(lambda: run(LENGTHS[-1]),
+                               rounds=1, iterations=1)
+    errors = {LENGTHS[-1]: first}
+    for ln in LENGTHS[:-1]:
+        errors[ln] = run(ln)
+
+    rows = [[ln, errors[ln]] for ln in LENGTHS]
+    table = format_table(["input length (s)", "MAE (Mbps)"], rows)
+    table += "\n(paper uses length 20)"
+    emit("ablation_seq_len", table, capsys)
+
+    # Sanity: both run and land in a plausible error band.
+    for ln in LENGTHS:
+        assert 20.0 < errors[ln] < 400.0

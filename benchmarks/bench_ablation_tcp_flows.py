@@ -1,0 +1,51 @@
+"""Ablation: parallel-connection count (the paper uses 8 iPerf streams).
+
+Runs the flow-level TCP simulation over a 1.5 Gbps mmWave-like path and
+reports steady-state utilization per connection count, alongside the
+closed-form aggregate model the main simulator uses.  The paper's
+rationale -- a single TCP connection cannot saturate the 5G downlink --
+must emerge from the AIMD + receive-window dynamics.
+"""
+
+from repro.net.flows import FlowLevelTcp
+from repro.net.tcp import BulkTransferModel
+
+from _bench_utils import emit, format_table
+
+LINK_BPS = 1.5e9
+FLOW_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_ablation_tcp_parallelism(benchmark, capsys):
+    flow_util = {}
+    flow_util[8] = benchmark.pedantic(
+        lambda: FlowLevelTcp(n_flows=8, rng_seed=0).utilization(
+            LINK_BPS, seconds=6
+        ),
+        rounds=1, iterations=1,
+    )
+    for n in FLOW_COUNTS:
+        if n not in flow_util:
+            flow_util[n] = FlowLevelTcp(n_flows=n, rng_seed=0).utilization(
+                LINK_BPS, seconds=6
+            )
+
+    rows = []
+    for n in FLOW_COUNTS:
+        closed_form = BulkTransferModel(
+            parallel_connections=n
+        ).aggregate_efficiency
+        rows.append([n, f"{flow_util[n] * 100:.0f}%",
+                     f"{closed_form * 100:.0f}%"])
+    table = format_table(
+        ["flows", "flow-level utilization", "closed-form model"], rows
+    )
+    table += "\n(1.5 Gbps bottleneck, 20 ms RTT, ~2 MB receive window)"
+    emit("ablation_tcp_flows", table, capsys)
+
+    # One connection cannot saturate the link; eight can (paper Sec. 3.1).
+    assert flow_util[1] < 0.75
+    assert flow_util[8] > 0.9
+    # Both models agree on the qualitative story.
+    assert BulkTransferModel(parallel_connections=1).aggregate_efficiency < 0.75
+    assert BulkTransferModel(parallel_connections=8).aggregate_efficiency > 0.95

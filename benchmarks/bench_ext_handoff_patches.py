@@ -1,0 +1,35 @@
+"""Extension: locating the Fig. 9 "handoff patches" from telemetry.
+
+The paper hand-annotates corridor regions where handoffs concentrate;
+this bench recovers them automatically from handoff flags and measures
+the throughput penalty of standing inside one.
+"""
+
+from repro.analysis.handoffs import find_handoff_patches
+
+from _bench_utils import emit, format_table
+
+
+def test_ext_handoff_patches(benchmark, capsys, datasets):
+    analysis = benchmark.pedantic(
+        lambda: find_handoff_patches(datasets["Airport"], cell_size=4.0,
+                                     min_samples=8, min_rate=0.03),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [f"({p.cell[0]}, {p.cell[1]})", f"{p.handoff_rate:.2f}",
+         p.samples, p.mean_throughput]
+        for p in analysis.patches[:8]
+    ]
+    table = format_table(
+        ["cell", "handoffs/s", "samples", "mean Mbps"], rows
+    )
+    table += (f"\n\nmean throughput inside patches: "
+              f"{analysis.mean_throughput_inside:.0f} Mbps vs "
+              f"{analysis.mean_throughput_outside:.0f} outside "
+              f"(penalty {analysis.penalty_fraction * 100:.0f}%)")
+    emit("ext_handoff_patches", table, capsys)
+
+    assert len(analysis.patches) >= 1
+    # Handoff patches show degraded service (the paper's annotation).
+    assert analysis.penalty_fraction > 0.2

@@ -1,0 +1,31 @@
+"""Extension (Sec. 5.2): short-term vs longer-term prediction.
+
+One Seq2Seq model predicts the next 10 seconds of throughput; per-step
+MAE quantifies how prediction difficulty grows with horizon.  Short-term
+(1 s) prediction is the easy case the paper evaluates throughout; the
+decoder's arbitrary-length output is exactly what it proposes for
+longer-horizon mapping.
+"""
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+
+HORIZON = 10
+
+
+def test_ext_multi_horizon(benchmark, capsys, framework):
+    errors = benchmark.pedantic(
+        lambda: framework.evaluate_multi_horizon("Airport", "L+M",
+                                                 output_len=HORIZON),
+        rounds=1, iterations=1,
+    )
+    rows = [[f"t + {k} s", err] for k, err in errors.items()]
+    table = format_table(["horizon", "Seq2Seq MAE (Mbps)"], rows)
+    emit("ext_horizon", table, capsys)
+
+    steps = sorted(errors)
+    # Predicting 10 s out is harder than predicting the next second...
+    assert errors[steps[-1]] > errors[steps[0]]
+    # ...but context keeps even the long horizon useful (bounded blow-up).
+    assert errors[steps[-1]] < 2.5 * errors[steps[0]]

@@ -1,0 +1,39 @@
+"""Extension: "is 5G throughput predictable, and to what extent?"
+
+Answers the paper's headline question with an explained-variance ladder:
+R^2 per nested feature-group combination, per area, plus the irreducible
+remainder.
+"""
+
+from repro.analysis.predictability import predictability_ladder
+
+from _bench_utils import emit, format_table
+
+AREAS = ("Airport", "Intersection")
+
+
+def test_ext_predictability_ladder(benchmark, capsys, datasets):
+    reports = {}
+    reports["Airport"] = benchmark.pedantic(
+        lambda: predictability_ladder(datasets["Airport"], "Airport"),
+        rounds=1, iterations=1,
+    )
+    reports["Intersection"] = predictability_ladder(
+        datasets["Intersection"], "Intersection"
+    )
+
+    rows = []
+    for area, report in reports.items():
+        for spec, r2 in report.r2_by_spec.items():
+            rows.append([area, spec, f"{r2:.2f}",
+                         f"+{report.increments[spec]:.2f}"])
+        rows.append([area, "(unexplained)",
+                     f"{report.unexplained:.2f}", ""])
+    table = format_table(["area", "features", "R^2", "increment"], rows)
+    emit("ext_predictability", table, capsys)
+
+    for report in reports.values():
+        # Feasible (the paper's conclusion) ...
+        assert report.ceiling > 0.55
+        # ... with meaningful gains from mobility/connection context.
+        assert report.r2_by_spec["L+M+C"] > report.r2_by_spec["L"] + 0.1

@@ -1,0 +1,45 @@
+"""Fig. 3: coverage map vs throughput map.
+
+The paper's argument: a coverage map (fraction of time with 5G
+connectivity) hides cells whose connectivity is fine but throughput poor;
+only a throughput map exposes them.
+"""
+
+import numpy as np
+
+from repro.core.maps import (
+    coverage_map,
+    coverage_throughput_mismatch,
+    throughput_map,
+)
+
+from _bench_utils import emit, format_table
+
+
+def test_fig3_coverage_vs_throughput_map(benchmark, capsys, datasets):
+    table = datasets["Airport"]
+    tmap = benchmark.pedantic(
+        lambda: throughput_map(table, cell_size=2.0), rounds=1, iterations=1
+    )
+    cmap = coverage_map(table, cell_size=2.0)
+    mismatch = coverage_throughput_mismatch(table)
+
+    tvals = np.asarray([c.value for c in tmap])
+    cvals = np.asarray([c.value for c in cmap])
+    rows = [
+        ["throughput map", len(tmap), f"{tvals.min():.0f}",
+         f"{np.median(tvals):.0f}", f"{tvals.max():.0f}"],
+        ["coverage map", len(cmap), f"{cvals.min():.2f}",
+         f"{np.median(cvals):.2f}", f"{cvals.max():.2f}"],
+    ]
+    text = (format_table(["map", "cells", "min", "median", "max"], rows)
+            + f"\n\nwell-covered cells (>=90% 5G) with low throughput "
+              f"(<300 Mbps): {mismatch * 100:.1f}%")
+    emit("fig03_maps", text, capsys)
+
+    # Coverage is high across most cells...
+    assert np.median(cvals) > 0.7
+    # ...yet throughput spans from dead to gigabit: coverage maps are
+    # insufficient (the Fig. 3 argument).
+    assert tvals.max() > 8 * max(np.median(tvals) * 0.1, tvals.min() + 1)
+    assert mismatch > 0.0

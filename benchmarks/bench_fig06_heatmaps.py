@@ -1,0 +1,44 @@
+"""Fig. 6: indoor vs outdoor throughput heatmaps.
+
+Per-cell mean throughput over 2 m cells for Airport (indoor) and
+Intersection (outdoor): consistently-high patches, consistently-poor
+patches (handoff/dead zones), and uncertain patches in between.
+"""
+
+import numpy as np
+
+from repro.core.maps import throughput_map
+from repro.geo.grid import throughput_color_level
+
+from _bench_utils import emit, format_table
+
+
+def _level_histogram(cells):
+    levels = np.asarray([throughput_color_level(c.value) for c in cells])
+    return [int((levels == k).sum()) for k in range(7)]
+
+
+def test_fig6_heatmaps(benchmark, capsys, datasets):
+    indoor = benchmark.pedantic(
+        lambda: throughput_map(datasets["Airport"], cell_size=2.0),
+        rounds=1, iterations=1,
+    )
+    outdoor = throughput_map(datasets["Intersection"], cell_size=2.0)
+
+    rows = [
+        ["Airport (indoor)"] + _level_histogram(indoor),
+        ["Intersection (outdoor)"] + _level_histogram(outdoor),
+    ]
+    table = format_table(
+        ["area", "<60M", "60-150", "150-300", "300-500",
+         "500-700", "700-1G", ">1G"],
+        rows,
+    )
+    emit("fig06_heatmaps", table, capsys)
+
+    for cells in (indoor, outdoor):
+        hist = _level_histogram(cells)
+        # Both extremes occupied: dark-red cells and lime-green cells.
+        assert hist[0] > 0, "expected dead/poor patches"
+        assert hist[6] > 0, "expected >1 Gbps patches"
+        assert len(cells) > 50

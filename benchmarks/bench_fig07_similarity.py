@@ -1,0 +1,52 @@
+"""Fig. 7: distribution of pairwise p-values; CV CDF per geolocation.
+
+Paper: ~53% of Airport geolocations have CV >= 50% -- throughput varies
+heavily even at a fixed location.
+"""
+
+import numpy as np
+
+from repro.analysis.stats import (
+    cv_percent,
+    fraction_high_cv,
+    group_by_cell,
+    pairwise_location_tests,
+)
+
+from _bench_utils import emit, format_table
+
+
+def test_fig7_similarity_and_variability(benchmark, capsys, datasets):
+    table = datasets["Airport"]
+    cells = group_by_cell(
+        np.asarray(table["pixel_x"], dtype=float),
+        np.asarray(table["pixel_y"], dtype=float),
+        np.asarray(table["throughput_mbps"], dtype=float),
+        cell_size=4.0, min_samples=12,
+    )
+    res = benchmark.pedantic(
+        lambda: pairwise_location_tests(cells, alpha=0.1, max_pairs=3000),
+        rounds=1, iterations=1,
+    )
+    cvs = np.asarray([cv_percent(s) for s in cells.samples])
+    frac_high = fraction_high_cv(cells, threshold=50.0)
+
+    pv_bins = np.histogram(res.t_pvalues, bins=[0, .01, .05, .1, .5, 1.0])[0]
+    rows = [["p-value bin", "<0.01", "<0.05", "<0.1", "<0.5", "<=1"],
+            ["pair count"] + pv_bins.tolist()]
+    cv_cdf = [
+        ["CV threshold %", "10", "25", "50", "75", "100"],
+        ["frac cells >= thr"] + [
+            f"{(cvs >= t).mean():.2f}" for t in (10, 25, 50, 75, 100)
+        ],
+    ]
+    text = (format_table(rows[0], [rows[1]])
+            + "\n\n" + format_table(cv_cdf[0], [cv_cdf[1]])
+            + f"\n\nfraction of cells with CV >= 50%: {frac_high:.2f}"
+            + " (paper: ~0.53)")
+    emit("fig07_similarity", text, capsys)
+
+    # Heavy same-location variability, as in the paper.
+    assert frac_high > 0.25
+    # And most location pairs are genuinely different.
+    assert (res.t_pvalues < 0.1).mean() > 0.5

@@ -1,0 +1,72 @@
+"""Figs. 8 & 18: impact of UE-panel mobility angle (theta_m).
+
+Throughput binned by theta_m per panel, restricted to a mid-distance
+band (30-130 m) so distance does not confound the angle effect: high
+when moving head-on toward the panel face (theta_m ~ 180), degraded (or
+impossible to even hold the link -- body blockage) when moving with the
+panel's facing direction (theta_m ~ 0).
+"""
+
+import numpy as np
+
+from repro.core.transfer import panel_slice
+
+from _bench_utils import emit, format_table
+
+ANGLE_BINS = [(0, 45), (45, 90), (90, 135), (135, 180),
+              (180, 225), (225, 270), (270, 315), (315, 360)]
+DIST_BAND = (30.0, 130.0)
+MIN_SAMPLES = 8
+
+
+def _angle_profile(table, panel_id):
+    sub = panel_slice(table, panel_id)
+    walking = sub.filter(np.asarray(
+        [m == "walking" for m in sub["mobility_mode"]]
+    ))
+    dist = np.asarray(walking["ue_panel_distance_m"], dtype=float)
+    in_band = (dist >= DIST_BAND[0]) & (dist < DIST_BAND[1])
+    theta = np.asarray(walking["mobility_angle_deg"], dtype=float)[in_band]
+    tput = np.asarray(walking["throughput_mbps"], dtype=float)[in_band]
+    medians, counts = [], []
+    for lo, hi in ANGLE_BINS:
+        sel = (theta >= lo) & (theta < hi)
+        counts.append(int(sel.sum()))
+        medians.append(float(np.median(tput[sel]))
+                       if sel.sum() >= MIN_SAMPLES else float("nan"))
+    return medians, counts
+
+
+def test_fig8_18_mobility_angle(benchmark, capsys, datasets):
+    table = datasets["Airport"]
+    south, south_n = benchmark.pedantic(
+        lambda: _angle_profile(table, 101), rounds=1, iterations=1
+    )
+    north, north_n = _angle_profile(table, 102)
+
+    rows = [
+        ["south median"] + south, ["south n"] + south_n,
+        ["north median"] + north, ["north n"] + north_n,
+    ]
+    out = format_table(
+        ["panel"] + [f"{lo}-{hi}" for lo, hi in ANGLE_BINS], rows
+    )
+    out += (f"\n(30-130 m band; theta_m ~ 180: head-on toward panel face; "
+            f"theta_m ~ 0: body blocks LoS)")
+    emit("fig08_mobility_angle", out, capsys)
+
+    # North panel: the clean Fig. 8 trend -- head-on movement (theta_m
+    # near 180) far outperforms moving away.
+    north_head = np.nanmean([north[3], north[4]])
+    north_away = np.nanmean([north[0], north[7]])
+    assert north_n[3] + north_n[4] >= MIN_SAMPLES
+    assert np.isfinite(north_head)
+    if np.isfinite(north_away):
+        assert north_head > 1.5 * north_away
+    # South panel: the paper's documented outlier (Sec. 4.4 / Fig. 18) --
+    # throughput can stay high even moving away thanks to environmental
+    # deflection; its head-on band crosses the booth NLoS dip.  Assert
+    # only that the panel holds links head-on and that away-samples are
+    # the scarce, selection-biased minority.
+    assert south_n[3] + south_n[4] >= MIN_SAMPLES
+    assert south_n[0] + south_n[7] < south_n[3] + south_n[4]

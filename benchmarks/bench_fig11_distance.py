@@ -1,0 +1,53 @@
+"""Fig. 11: varying impact of UE-panel distance.
+
+North panel (Fig. 11a): throughput decays with distance.  South panel
+(Fig. 11b): throughput first drops (NLoS band from booths at 50-100 m)
+then recovers once LoS returns.
+"""
+
+import numpy as np
+
+from repro.core.transfer import panel_slice
+
+from _bench_utils import emit, format_table
+
+BANDS = [(0, 25), (25, 50), (50, 100), (100, 150), (150, 250)]
+
+
+def _distance_profile(table, panel_id):
+    sub = panel_slice(table, panel_id)
+    dist = np.asarray(sub["ue_panel_distance_m"], dtype=float)
+    tput = np.asarray(sub["throughput_mbps"], dtype=float)
+    out = []
+    for lo, hi in BANDS:
+        sel = (dist >= lo) & (dist < hi)
+        out.append(float(np.median(tput[sel])) if sel.sum() >= 10
+                   else float("nan"))
+    return out
+
+
+def test_fig11_distance_curves(benchmark, capsys, datasets):
+    table = datasets["Airport"]
+    north = benchmark.pedantic(
+        lambda: _distance_profile(table, 102), rounds=1, iterations=1
+    )
+    south = _distance_profile(table, 101)
+
+    rows = [
+        ["north panel (11a)"] + north,
+        ["south panel (11b)"] + south,
+    ]
+    out = format_table(
+        ["panel"] + [f"{lo}-{hi}m" for lo, hi in BANDS], rows
+    )
+    emit("fig11_distance", out, capsys)
+
+    # North: statistically decaying with distance.
+    finite_n = [v for v in north if np.isfinite(v)]
+    assert finite_n[0] == max(finite_n)
+    assert finite_n[-1] < 0.5 * finite_n[0]
+    # South: dip in the 50-100 m band, recovery beyond (Fig. 11b).
+    assert np.isfinite(south[0]) and np.isfinite(south[2])
+    assert south[2] < 0.6 * south[0]  # the dip
+    assert np.isfinite(south[3])
+    assert south[3] > 1.5 * south[2]  # the recovery

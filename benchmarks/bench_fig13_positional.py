@@ -1,0 +1,58 @@
+"""Fig. 13: positional angle (F/L/R/B) x distance vs throughput.
+
+The front sector of a panel far outperforms the side/back sectors,
+especially at short UE-panel distance.
+"""
+
+import numpy as np
+
+from repro.core.transfer import panel_slice
+from repro.env.areas import build_airport
+from repro.geo.geometry import positional_sector
+
+from _bench_utils import emit, format_table
+
+DIST_BANDS = [(0, 50), (50, 100), (100, 200)]
+
+
+def _sector_profile(table, env, panel_id):
+    panel = env.panels.get(panel_id)
+    sub = panel_slice(table, panel_id)
+    x = np.asarray(sub["true_x_m"], dtype=float)
+    y = np.asarray(sub["true_y_m"], dtype=float)
+    dist = np.asarray(sub["ue_panel_distance_m"], dtype=float)
+    tput = np.asarray(sub["throughput_mbps"], dtype=float)
+    sectors = np.asarray([
+        positional_sector(panel.position, panel.bearing_deg, (xi, yi))
+        for xi, yi in zip(x, y)
+    ])
+    rows = []
+    for sector in "FRBL":
+        row = [sector]
+        for lo, hi in DIST_BANDS:
+            sel = (sectors == sector) & (dist >= lo) & (dist < hi)
+            row.append(float(np.median(tput[sel])) if sel.sum() >= 8
+                       else float("nan"))
+        rows.append(row)
+    return rows
+
+
+def test_fig13_positional_angle(benchmark, capsys, datasets):
+    env = build_airport()
+    rows = benchmark.pedantic(
+        lambda: _sector_profile(datasets["Airport"], env, 101),
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["sector"] + [f"{lo}-{hi}m" for lo, hi in DIST_BANDS], rows
+    )
+    emit("fig13_positional", table, capsys)
+
+    by_sector = {r[0]: r[1:] for r in rows}
+    front_near = by_sector["F"][0]
+    assert np.isfinite(front_near)
+    # F beats whatever other sectors have data at short distance.
+    others = [by_sector[s][0] for s in "RBL"
+              if np.isfinite(by_sector[s][0])]
+    for v in others:
+        assert front_near > v

@@ -1,0 +1,59 @@
+"""Fig. 14: impact of mobility speed, walking vs driving, at the Loop.
+
+Paper shape: driving beyond ~5 km/h collapses the median to 4G-like
+levels while peaks stay high; walking shows no significant degradation
+across its whole 0-7 km/h range and beats driving per speed bin.
+"""
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+
+
+def _by_speed(table, mode, bins):
+    sub = table.filter(np.asarray(
+        [m == mode for m in table["mobility_mode"]]
+    ))
+    speed = np.asarray(sub["moving_speed_mps"], dtype=float) * 3.6
+    tput = np.asarray(sub["throughput_mbps"], dtype=float)
+    out = []
+    for lo, hi in bins:
+        sel = (speed >= lo) & (speed < hi)
+        if sel.sum() >= 15:
+            out.append((float(np.median(tput[sel])),
+                        float(np.percentile(tput[sel], 95))))
+        else:
+            out.append((float("nan"), float("nan")))
+    return out
+
+
+def test_fig14_speed_impact(benchmark, capsys, datasets):
+    table = datasets["Loop"]
+    drive_bins = [(0, 5), (5, 15), (15, 30), (30, 46)]
+    walk_bins = [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    driving = benchmark.pedantic(
+        lambda: _by_speed(table, "driving", drive_bins),
+        rounds=1, iterations=1,
+    )
+    walking = _by_speed(table, "walking", walk_bins)
+
+    rows = []
+    for (lo, hi), (med, p95) in zip(drive_bins, driving):
+        rows.append([f"driving {lo}-{hi} km/h", med, p95])
+    for (lo, hi), (med, p95) in zip(walk_bins, walking):
+        rows.append([f"walking {lo}-{hi} km/h", med, p95])
+    out = format_table(["speed bin", "median Mbps", "p95 Mbps"], rows)
+    emit("fig14_speed", out, capsys)
+
+    drive_med = [m for m, _ in driving]
+    walk_med = [m for m, _ in walking if np.isfinite(m)]
+    # Driving collapses beyond ~5 km/h (paper: 557 -> 60-164 Mbps median).
+    assert drive_med[0] > 2.0 * drive_med[2]
+    assert drive_med[3] < 250.0
+    # Peaks while moving stay high (paper: >850 Mbps between 5-30 km/h).
+    assert driving[1][1] > 500.0 or driving[2][1] > 500.0
+    # Walking: no collapse across its speed range...
+    assert max(walk_med) < 4.0 * max(min(walk_med), 1.0)
+    # ...and walking beats driving at moving speeds.
+    assert np.nanmedian(walk_med) > drive_med[2]

@@ -1,0 +1,37 @@
+"""Fig. 16: predicted-vs-actual regression series with +-200 Mbps band.
+
+The paper plots Seq2Seq and GDBT predictions (L+M+C, Global) against the
+measured series with a +-200 Mbps error band; we report the fraction of
+test predictions inside that band.
+"""
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+
+
+def test_fig16_regression_band(benchmark, capsys, results):
+    gdbt = benchmark.pedantic(
+        lambda: results.regression("Global", "L+M+C", "gdbt"),
+        rounds=1, iterations=1,
+    )
+    s2s = results.regression("Global", "L+M+C", "seq2seq")
+
+    rows = []
+    for name, r in (("GDBT", gdbt), ("Seq2Seq", s2s)):
+        inside = float(np.mean(np.abs(r.y_pred - r.y_true) <= 200.0))
+        rows.append([name, r.mae, r.rmse, f"{inside * 100:.1f}%"])
+    table = format_table(
+        ["model", "MAE", "RMSE", "within +-200 Mbps"], rows
+    )
+    # A short aligned sample of the series, paper-plot style.
+    k = min(12, len(gdbt.y_true))
+    table += "\n\nsample (actual -> GDBT prediction):\n" + "\n".join(
+        f"  {a:7.0f} -> {p:7.0f}"
+        for a, p in zip(gdbt.y_true[:k], gdbt.y_pred[:k])
+    )
+    emit("fig16_regression_plot", table, capsys)
+
+    for r in (gdbt, s2s):
+        inside = float(np.mean(np.abs(r.y_pred - r.y_true) <= 200.0))
+        assert inside > 0.6, "most predictions should sit in the band"

@@ -1,0 +1,38 @@
+"""Fig. 21 (Appendix A.1.4): multi-UE congestion on a single panel.
+
+Four UEs side by side, iPerf sessions staggered by one minute: each
+added UE roughly halves the first UE's throughput (PF airtime sharing).
+"""
+
+import numpy as np
+
+from repro.sim.collection import run_congestion_experiment
+
+from _bench_utils import emit, format_table
+
+
+def test_fig21_congestion(benchmark, capsys):
+    stagger = 40
+    series = benchmark.pedantic(
+        lambda: run_congestion_experiment(
+            n_ues=4, stagger_s=stagger, tail_s=stagger, seed=3
+        ),
+        rounds=1, iterations=1,
+    )
+    u1 = np.asarray(series["UE1"])
+    phases = [float(np.nanmean(u1[k * stagger:(k + 1) * stagger]))
+              for k in range(4)]
+
+    rows = [[f"{k + 1} UE(s) active", phases[k],
+             phases[k] / phases[0]] for k in range(4)]
+    out = format_table(
+        ["phase", "UE1 mean Mbps", "fraction of solo"], rows
+    )
+    out += "\n(paper: ~1.5+ Gbps solo, roughly halving per added UE)"
+    emit("fig21_congestion", out, capsys)
+
+    assert phases[0] > 1000.0
+    assert phases[0] > phases[1] > phases[2] > phases[3]
+    # Near-proportional sharing: with k UEs, UE1 keeps ~1/k.
+    for k, frac in enumerate([p / phases[0] for p in phases], start=1):
+        assert abs(frac - 1.0 / k) < 0.25

@@ -1,0 +1,42 @@
+"""Fig. 23 / Appendix A.3: per-area baseline comparison (weighted F1).
+
+Lumos5G's GDBT/Seq2Seq vs KNN/RF/OK per area; the framework models must
+dominate (paper: 5-113% higher w-avgF1 than location-based baselines).
+"""
+
+from _bench_utils import emit, format_table
+
+AREAS = ["Intersection", "Airport", "Loop"]
+
+
+def test_fig23_per_area_comparison(benchmark, capsys, framework, results):
+    benchmark.pedantic(
+        lambda: results.classification("Intersection", "L", "knn"),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    scores = {}
+    for area in AREAS:
+        row = [area]
+        for model, spec in (("knn", "L"), ("rf", "L"), ("ok", "L"),
+                            ("gdbt", "L+M+C"), ("seq2seq", "L+M+C")):
+            r = results.classification(area, spec, model)
+            scores[(area, model)] = r.weighted_f1
+            row.append(f"{r.weighted_f1:.2f}")
+        rows.append(row)
+    table = format_table(
+        ["area", "KNN(L)", "RF(L)", "OK(L)", "GDBT(L+M+C)",
+         "Seq2Seq(L+M+C)"],
+        rows,
+    )
+    emit("fig23_per_area", table, capsys)
+
+    for area in AREAS:
+        best_framework = max(scores[(area, "gdbt")],
+                             scores[(area, "seq2seq")])
+        best_baseline = max(scores[(area, "knn")], scores[(area, "rf")],
+                            scores[(area, "ok")])
+        assert best_framework > best_baseline, area
+        # Paper: 5% to 113% improvement over location-only baselines.
+        assert best_framework / best_baseline > 1.04, area

@@ -1,0 +1,54 @@
+"""Table 4: factors affecting 5G throughput & predictability (Airport).
+
+Two rows: (1) geolocation only, (2) geolocation + mobility factors.
+Columns: CV mean+-std, % cells normal, Spearman, KNN and RF MAE/RMSE.
+Shape asserted: mobility conditioning reduces CV and prediction error and
+raises trace consistency -- the paper's key observation.
+"""
+
+from repro.analysis.factors import analyze_factors
+from repro.datasets.generate import generate_datasets
+from repro.sim.collection import CampaignConfig
+
+from _bench_utils import emit, format_table
+
+
+def _dedicated_dataset():
+    """Factor analysis needs more passes per cell than the shared bench
+    campaign provides (GPS noise spreads samples across pixels)."""
+    campaign = CampaignConfig(passes_per_trajectory=15, driving_passes=4,
+                              stationary_runs=2, stationary_duration_s=90,
+                              seed=2020)
+    return generate_datasets(areas=("Airport",), campaign=campaign,
+                             include_global=False, use_cache=False)["Airport"]
+
+
+def test_table4_airport_factor_analysis(benchmark, capsys):
+    table = _dedicated_dataset()
+    analysis = benchmark.pedantic(
+        lambda: analyze_factors(table, "Airport", seed=0),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for row in analysis.rows():
+        rows.append([
+            row.setting,
+            f"{row.cv_mean:.1f}+-{row.cv_std:.1f}",
+            f"{row.frac_normal * 100:.1f}%",
+            f"{row.spearman_mean:.2f}",
+            row.knn_mae, row.knn_rmse, row.rf_mae, row.rf_rmse,
+        ])
+    table = format_table(
+        ["setting", "CV %", "normal", "Spearman",
+         "KNN MAE", "KNN RMSE", "RF MAE", "RF RMSE"],
+        rows,
+    )
+    emit("tab04_factors_airport", table, capsys)
+
+    geo, mob = analysis.geolocation_only, analysis.with_mobility
+    # Paper shape (Table 4): conditioning on mobility helps everywhere.
+    assert mob.cv_mean < geo.cv_mean
+    assert mob.frac_normal > geo.frac_normal
+    assert mob.spearman_mean > geo.spearman_mean
+    assert mob.rf_mae < geo.rf_mae
+    assert mob.knn_rmse < geo.knn_rmse

@@ -1,0 +1,52 @@
+"""Table 7: classification results (weighted-F1 | low-class recall).
+
+Grid: {GDBT, Seq2Seq} x {L, L+M, T+M, L+M+C, T+M+C} x {Intersection,
+Loop, Airport, Global}.  T-group cells at the Loop stay blank (no panel
+survey), as in the paper.
+"""
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+
+AREAS = ["Intersection", "Loop", "Airport", "Global"]
+SPECS = ["L", "L+M", "T+M", "L+M+C", "T+M+C"]
+
+
+def test_table7_classification(benchmark, capsys, framework, results):
+    # Time one representative cell; everything else fills the cache.
+    benchmark.pedantic(
+        lambda: framework.evaluate_classification("Airport", "L+M", "gdbt"),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    cells = {}
+    for spec in SPECS:
+        for model in ("gdbt", "seq2seq"):
+            row = [f"{spec} / {model}"]
+            for area in AREAS:
+                if not framework.supports(area, spec):
+                    row.append("-")
+                    continue
+                r = results.classification(area, spec, model)
+                cells[(area, spec, model)] = r
+                row.append(f"{r.weighted_f1:.2f}|{r.recall_low:.2f}")
+            rows.append(row)
+    table = format_table(["feature/model"] + AREAS, rows)
+    table += "\n(cell = weighted-avg F1 | recall of low class [0,300))"
+    emit("tab07_classification", table, capsys)
+
+    # Paper shapes:
+    for model in ("gdbt", "seq2seq"):
+        for area in AREAS:
+            lone = cells[(area, "L", model)].weighted_f1
+            rich = cells[(area, "L+M+C", model)].weighted_f1
+            # Mobility/connection features beat location alone.
+            assert rich > lone, (area, model)
+    # Feature-rich models reach strong F1 somewhere (paper: up to 0.96).
+    best = max(r.weighted_f1 for r in cells.values())
+    assert best > 0.85
+    # L alone is mediocre (paper: 0.58-0.86 band).
+    l_scores = [cells[(a, "L", "gdbt")].weighted_f1 for a in AREAS]
+    assert min(l_scores) < 0.85

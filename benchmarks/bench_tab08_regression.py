@@ -1,0 +1,49 @@
+"""Table 8: regression results (MAE | RMSE), same grid as Table 7."""
+
+import numpy as np
+
+from _bench_utils import emit, format_table
+
+AREAS = ["Intersection", "Loop", "Airport", "Global"]
+SPECS = ["L", "L+M", "T+M", "L+M+C", "T+M+C"]
+
+
+def test_table8_regression(benchmark, capsys, framework, results):
+    benchmark.pedantic(
+        lambda: framework.evaluate_regression("Airport", "L+M", "gdbt"),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    cells = {}
+    for spec in SPECS:
+        for model in ("gdbt", "seq2seq"):
+            row = [f"{spec} / {model}"]
+            for area in AREAS:
+                if not framework.supports(area, spec):
+                    row.append("-")
+                    continue
+                r = results.regression(area, spec, model)
+                cells[(area, spec, model)] = r
+                row.append(f"{r.mae:.0f}|{r.rmse:.0f}")
+            rows.append(row)
+    table = format_table(["feature/model"] + AREAS, rows)
+    table += "\n(cell = MAE | RMSE, Mbps)"
+    emit("tab08_regression", table, capsys)
+
+    # Paper shapes:
+    for model in ("gdbt", "seq2seq"):
+        for area in AREAS:
+            assert (cells[(area, "L+M+C", model)].mae
+                    < cells[(area, "L", model)].mae), (area, model)
+    # Adding M to L is the big first win for GDBT (paper: ~2x).
+    for area in AREAS:
+        assert (cells[(area, "L+M", "gdbt")].mae
+                < 0.9 * cells[(area, "L", "gdbt")].mae)
+    # Seq2Seq history helps on the sparse feature groups (paper: lower
+    # MAE than GDBT for most cells).
+    wins = sum(
+        cells[(a, s, "seq2seq")].mae < cells[(a, s, "gdbt")].mae
+        for a in AREAS for s in ("L", "L+M")
+    )
+    assert wins >= 5, "Seq2Seq should win most sparse-feature cells"

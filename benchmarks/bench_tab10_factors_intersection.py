@@ -1,0 +1,46 @@
+"""Table 10: factor analysis for the outdoor Intersection area.
+
+The appendix analogue of Table 4; the same qualitative conclusions must
+hold outdoors.
+"""
+
+from repro.analysis.factors import analyze_factors
+from repro.datasets.generate import generate_datasets
+from repro.sim.collection import CampaignConfig
+
+from _bench_utils import emit, format_table
+
+
+def _dedicated_dataset():
+    """Factor analysis needs more passes per cell than the shared bench
+    campaign provides (GPS noise spreads samples across pixels)."""
+    campaign = CampaignConfig(passes_per_trajectory=8, driving_passes=4,
+                              stationary_runs=2, stationary_duration_s=90,
+                              seed=2020)
+    return generate_datasets(areas=("Intersection",), campaign=campaign,
+                             include_global=False, use_cache=False)["Intersection"]
+
+
+def test_table10_intersection_factor_analysis(benchmark, capsys):
+    table = _dedicated_dataset()
+    analysis = benchmark.pedantic(
+        lambda: analyze_factors(table, "Intersection", seed=0),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [row.setting, f"{row.cv_mean:.1f}+-{row.cv_std:.1f}",
+         f"{row.frac_normal * 100:.1f}%", f"{row.spearman_mean:.2f}",
+         row.knn_mae, row.knn_rmse, row.rf_mae, row.rf_rmse]
+        for row in analysis.rows()
+    ]
+    table = format_table(
+        ["setting", "CV %", "normal", "Spearman",
+         "KNN MAE", "KNN RMSE", "RF MAE", "RF RMSE"],
+        rows,
+    )
+    emit("tab10_factors_intersection", table, capsys)
+
+    geo, mob = analysis.geolocation_only, analysis.with_mobility
+    assert mob.cv_mean < geo.cv_mean
+    assert mob.rf_mae < geo.rf_mae
+    assert mob.knn_mae < geo.knn_mae

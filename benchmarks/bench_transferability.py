@@ -1,0 +1,44 @@
+"""Sec. 6.2 transferability: T+M model trained on the Airport north
+panel, tested on the south panel.
+
+Paper: weighted-F1 0.71 overall, rising to 0.91 within 25 m of the panel
+where the two environments are most alike.
+"""
+
+import numpy as np
+
+from repro.core.transfer import cross_panel_transfer
+
+from _bench_utils import emit, format_table
+
+
+def test_transferability_north_to_south(benchmark, capsys, datasets):
+    result = benchmark.pedantic(
+        lambda: cross_panel_transfer(
+            datasets["Airport"], train_panel=102, test_panel=101,
+            near_distance_m=25.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    reverse = cross_panel_transfer(
+        datasets["Airport"], train_panel=101, test_panel=102,
+        near_distance_m=25.0,
+    )
+
+    rows = [
+        ["north -> south", result.overall_f1, result.near_f1,
+         result.n_train, result.n_test],
+        ["south -> north", reverse.overall_f1, reverse.near_f1,
+         reverse.n_train, reverse.n_test],
+    ]
+    table = format_table(
+        ["direction", "overall F1", "F1 within 25 m", "n train", "n test"],
+        rows,
+    )
+    table += "\n(paper: 0.71 overall, 0.91 within 25 m)"
+    emit("transferability", table, capsys)
+
+    # Decent transfer overall, better in the near region.
+    assert result.overall_f1 > 0.45
+    if np.isfinite(result.near_f1):
+        assert result.near_f1 > result.overall_f1 - 0.1

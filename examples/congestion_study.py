@@ -1,0 +1,40 @@
+"""Multi-UE congestion on one mmWave panel (Appendix A.1.4, Fig. 21).
+
+Places four UEs 25 m in front of the Airport south panel with clear LoS
+and starts their iPerf sessions one minute apart; the proportional-fair
+scheduler divides airtime, so each added UE roughly halves the first
+UE's throughput.
+
+    python examples/congestion_study.py
+"""
+
+import numpy as np
+
+from repro.sim import run_congestion_experiment
+
+
+def main() -> None:
+    stagger = 60
+    print("running staggered 4-UE iPerf experiment (one panel, LoS) ...")
+    series = run_congestion_experiment(n_ues=4, stagger_s=stagger,
+                                       tail_s=stagger, seed=13)
+
+    u1 = np.asarray(series["UE1"])
+    print("\nUE1 mean throughput per phase:")
+    for k in range(4):
+        phase = u1[k * stagger:(k + 1) * stagger]
+        print(f"  {k + 1} UE(s) active: {np.nanmean(phase):7.0f} Mbps "
+              f"(~1/{k + 1} of solo: "
+              f"{np.nanmean(phase) / np.nanmean(u1[:stagger]):.2f})")
+
+    print("\nper-UE means over the final minute (all four active):")
+    for name, vals in series.items():
+        tail = np.asarray(vals)[-stagger:]
+        print(f"  {name}: {np.nanmean(tail):7.0f} Mbps")
+    print("\nThe unobservable number of co-scheduled users is exactly the"
+          "\n'time-of-day' factor the paper says carriers could add as a"
+          "\nfeature group to improve prediction further.")
+
+
+if __name__ == "__main__":
+    main()

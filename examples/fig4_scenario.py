@@ -1,0 +1,72 @@
+"""The paper's Fig. 4 scenario: Alice, Bob, Charlie and Daisy.
+
+Four users stream video concurrently at the downtown Intersection:
+
+* **Alice** rides a taxi along the north-south street (windshield UE);
+* **Bob** walks the same sidewalk in the same direction;
+* **Charlie** walks the opposite direction on the other sidewalk;
+* **Daisy** strolls slowly near a corner without line of sight.
+
+The multi-UE simulator shares panel airtime among them; the printout
+shows exactly the contrasts the paper narrates -- Alice degraded by
+vehicle penetration at speed, Bob healthy, Charlie seeing a *different*
+throughput profile than Bob despite the same street (direction matters),
+Daisy living off reflections.
+
+    python examples/fig4_scenario.py
+"""
+
+import numpy as np
+
+from repro.env import build_intersection
+from repro.mobility import DrivingModel, WalkingModel
+from repro.mobility.trajectory import Trajectory
+from repro.sim import MultiUeSimulator, UeSpec
+
+
+def main() -> None:
+    env = build_intersection()
+
+    daisy_path = Trajectory(name="park-stroll", waypoints=(
+        (-12.0, -125.0), (-12.0, -80.0), (-9.0, -40.0),
+    ))
+    specs = [
+        UeSpec("Alice (taxi NB)", env.trajectories["NS-west-NB"],
+               DrivingModel(cruise_speed_mps=9.0,
+                            stop_probability_per_s=0.01)),
+        UeSpec("Bob (walk NB)", env.trajectories["NS-west-NB"],
+               WalkingModel()),
+        UeSpec("Charlie (walk SB)", env.trajectories["NS-east-SB"],
+               WalkingModel()),
+        UeSpec("Daisy (stroll)", daisy_path,
+               WalkingModel(mean_speed_mps=0.8)),
+    ]
+
+    print("running the four-user scenario for 180 s ...")
+    traces = MultiUeSimulator(env, specs, seed=8).run(180)
+
+    print(f"\n{'user':20s} {'median Mbps':>12s} {'peak':>7s} "
+          f"{'% on 5G':>8s} {'panels used':>12s}")
+    for name, trace in traces.items():
+        tput = trace.as_array()
+        on_5g = np.mean([r == "5G" for r in trace.radio_type]) * 100
+        panels = sorted({p for p in trace.serving_panel if p is not None})
+        print(f"{name:20s} {np.nanmedian(tput):12.0f} "
+              f"{np.nanmax(tput):7.0f} {on_5g:7.0f}% {str(panels):>12s}")
+
+    alice = traces["Alice (taxi NB)"].as_array()
+    bob = traces["Bob (walk NB)"].as_array()
+    charlie = traces["Charlie (walk SB)"].as_array()
+    print(f"\nAlice (driving) vs Bob (walking), same street+direction: "
+          f"{np.nanmedian(alice):.0f} vs {np.nanmedian(bob):.0f} Mbps")
+    corr = np.corrcoef(bob[:len(charlie)], charlie[:len(bob)])[0, 1]
+    print(f"Bob vs Charlie per-second correlation (opposite directions): "
+          f"{corr:.2f} -- direction changes everything")
+    print("\nA Lumos5G throughput map + per-context ML model would let "
+          "each app anticipate\nits own conditions: Alice should buffer "
+          "ahead, Bob can stream 4K, Charlie\nshould expect the handoff "
+          "patch, Daisy lives on reflections.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: simulate a campaign, train Lumos5G, predict throughput.
+
+Runs in well under a minute:
+
+    python examples/quickstart.py
+"""
+
+from repro.core import Lumos5G, ModelConfig
+from repro.datasets import dataset_statistics, generate_datasets
+
+
+def main() -> None:
+    # 1. Collect data: 8 passes per trajectory at the Airport area
+    #    (the paper walks each trajectory 30+ times over 6 months).
+    print("simulating measurement campaign at the Airport area ...")
+    data = generate_datasets(areas=("Airport",), passes_per_trajectory=8,
+                             seed=7, include_global=False)
+    stats = dataset_statistics(data)["Airport"]
+    print(f"  {stats['rows']} per-second samples over {stats['runs']} runs, "
+          f"peak {stats['peak_throughput_mbps']:.0f} Mbps")
+
+    # 2. Train the framework on the paper's feature-group combinations.
+    framework = Lumos5G(data, config=ModelConfig(), seed=42)
+    print("\nregression (GDBT), Airport:")
+    for spec in ("L", "L+M", "T+M", "L+M+C"):
+        r = framework.evaluate_regression("Airport", spec, "gdbt")
+        print(f"  {spec:7s} MAE={r.mae:6.1f}  RMSE={r.rmse:6.1f} Mbps")
+
+    # 3. Throughput classes (low/medium/high), the "signal bars" view.
+    c = framework.evaluate_classification("Airport", "L+M+C", "gdbt")
+    print(f"\nclassification (GDBT, L+M+C): weighted-F1={c.weighted_f1:.2f} "
+          f"low-class recall={c.recall_low:.2f}")
+
+    # 4. Which features mattered?
+    importance = framework.feature_importance("Airport", "T+M")
+    print("\nGDBT feature importance (T+M):")
+    for name, value in sorted(importance.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:22s} {value:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Transferability of tower-based (T) features across panels (Sec. 6.2).
+
+Tower-based features are location-agnostic -- distance + two angles from
+the serving panel's perspective -- so a model trained against one panel
+can be applied to another panel in a similar environment.  This script
+trains a T+M classifier on the Airport *north* panel, evaluates it on
+the *south* panel, and shows the near-panel region transferring best,
+as the paper reports (F1 0.71 overall -> 0.91 within 25 m).
+
+    python examples/transferability_study.py
+"""
+
+import numpy as np
+
+from repro.core import cross_panel_transfer
+from repro.datasets import generate_datasets
+
+
+def main() -> None:
+    print("simulating Airport campaign ...")
+    data = generate_datasets(areas=("Airport",), passes_per_trajectory=10,
+                             seed=23, include_global=False)
+    table = data["Airport"]
+
+    print("training T+M on the north panel, testing on the south panel ...")
+    for near in (25.0, 50.0, 100.0):
+        result = cross_panel_transfer(
+            table, train_panel=102, test_panel=101, near_distance_m=near,
+        )
+        near_txt = (f"{result.near_f1:.2f}"
+                    if np.isfinite(result.near_f1) else "n/a")
+        print(f"  overall F1 = {result.overall_f1:.2f}   "
+              f"F1 within {near:>5.0f} m = {near_txt}")
+
+    print("\nreverse direction (south -> north):")
+    result = cross_panel_transfer(table, train_panel=101, test_panel=102)
+    print(f"  overall F1 = {result.overall_f1:.2f}   "
+          f"F1 within 25 m = {result.near_f1:.2f}")
+    print("\nT features transfer because they describe the UE from the"
+          "\npanel's perspective instead of by absolute coordinates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Lumos5G reproduction: mapping and predicting mmWave 5G throughput.
+
+A from-scratch Python implementation of the Lumos5G system (Narayanan et
+al., IMC 2020): a physically-motivated mmWave measurement simulator
+standing in for the paper's Minneapolis field campaign, the full data
+pipeline (telemetry, cleaning, pixelization), a from-scratch ML stack
+(GBDT, random forest, KNN, ordinary kriging, harmonic mean, numpy LSTM
+Seq2Seq) and the composable feature-group prediction framework itself.
+
+Quickstart::
+
+    from repro.datasets import generate_datasets
+    from repro.core import Lumos5G
+
+    data = generate_datasets(areas=("Airport",), passes_per_trajectory=10)
+    framework = Lumos5G(data)
+    result = framework.evaluate_regression("Airport", "T+M", "gdbt")
+    print(result.mae, result.rmse)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "datasets",
+    "env",
+    "geo",
+    "ml",
+    "mobility",
+    "net",
+    "radio",
+    "sim",
+    "ue",
+]

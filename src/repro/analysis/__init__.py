@@ -1,0 +1,51 @@
+"""Statistical analysis: per-cell stats, factor analysis, comparisons."""
+
+from repro.analysis.factors import FactorAnalysis, FactorRow, analyze_factors
+from repro.analysis.handoffs import (
+    HandoffAnalysis,
+    HandoffPatch,
+    find_handoff_patches,
+)
+from repro.analysis.predictability import (
+    PredictabilityReport,
+    predictability_ladder,
+    r_squared,
+)
+from repro.analysis.stats import (
+    CellSampleSet,
+    PairwiseTestResult,
+    cv_percent,
+    direction_spearman_analysis,
+    fraction_high_cv,
+    fraction_normal,
+    group_by_cell,
+    is_normal,
+    mean_offdiagonal,
+    pairwise_location_tests,
+    resample_trace,
+    trace_spearman_matrix,
+)
+
+__all__ = [
+    "CellSampleSet",
+    "FactorAnalysis",
+    "FactorRow",
+    "HandoffAnalysis",
+    "HandoffPatch",
+    "PairwiseTestResult",
+    "PredictabilityReport",
+    "analyze_factors",
+    "cv_percent",
+    "direction_spearman_analysis",
+    "fraction_high_cv",
+    "find_handoff_patches",
+    "fraction_normal",
+    "group_by_cell",
+    "is_normal",
+    "mean_offdiagonal",
+    "pairwise_location_tests",
+    "predictability_ladder",
+    "r_squared",
+    "resample_trace",
+    "trace_spearman_matrix",
+]

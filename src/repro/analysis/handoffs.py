@@ -1,0 +1,90 @@
+"""Handoff-patch detection (the cyan patches annotated in Fig. 9).
+
+The paper marks corridor regions "where handoffs usually occur"; those
+patches show consistently degraded throughput.  This module finds them
+from telemetry: grid cells whose per-visit handoff frequency exceeds a
+threshold, plus the throughput penalty measured inside vs outside the
+patches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.frame import Table
+from repro.geo.grid import GridAccumulator
+
+
+@dataclass(frozen=True)
+class HandoffPatch:
+    """One high-handoff grid cell."""
+
+    cell: tuple[int, int]
+    handoff_rate: float  # handoffs per second spent in the cell
+    samples: int
+    mean_throughput: float
+
+
+@dataclass(frozen=True)
+class HandoffAnalysis:
+    patches: list[HandoffPatch]
+    mean_throughput_inside: float
+    mean_throughput_outside: float
+
+    @property
+    def penalty_fraction(self) -> float:
+        """Relative throughput shortfall inside handoff patches."""
+        if not self.patches or self.mean_throughput_outside <= 0:
+            return 0.0
+        return 1.0 - self.mean_throughput_inside / self.mean_throughput_outside
+
+
+def find_handoff_patches(
+    table: Table,
+    cell_size: float = 4.0,
+    min_samples: int = 10,
+    min_rate: float = 0.05,
+) -> HandoffAnalysis:
+    """Locate cells where handoffs concentrate and measure their cost.
+
+    A cell is a patch when (horizontal + vertical handoffs) per sample
+    second is at least ``min_rate``.  Returns all patches plus the mean
+    throughput inside vs outside them.
+    """
+    px = np.asarray(table["pixel_x"], dtype=float)
+    py = np.asarray(table["pixel_y"], dtype=float)
+    tput = np.asarray(table["throughput_mbps"], dtype=float)
+    events = (np.asarray(table["horizontal_handoff"], dtype=float)
+              + np.asarray(table["vertical_handoff"], dtype=float))
+
+    rate_acc = GridAccumulator(cell_size=cell_size)
+    rate_acc.add_many(px, py, events)
+    tput_acc = GridAccumulator(cell_size=cell_size)
+    tput_acc.add_many(px, py, tput)
+
+    patches: list[HandoffPatch] = []
+    patch_cells: set[tuple[int, int]] = set()
+    tput_means = tput_acc.mean_map(min_samples=min_samples)
+    for stat in rate_acc.stats(min_samples=min_samples):
+        if stat.mean >= min_rate:
+            patches.append(HandoffPatch(
+                cell=stat.cell,
+                handoff_rate=stat.mean,
+                samples=stat.count,
+                mean_throughput=tput_means.get(stat.cell, float("nan")),
+            ))
+            patch_cells.add(stat.cell)
+
+    inside, outside = [], []
+    cx = np.floor(px / cell_size).astype(int)
+    cy = np.floor(py / cell_size).astype(int)
+    for i in range(len(tput)):
+        (inside if (int(cx[i]), int(cy[i])) in patch_cells
+         else outside).append(tput[i])
+    return HandoffAnalysis(
+        patches=sorted(patches, key=lambda p: -p.handoff_rate),
+        mean_throughput_inside=float(np.mean(inside)) if inside else 0.0,
+        mean_throughput_outside=float(np.mean(outside)) if outside else 0.0,
+    )

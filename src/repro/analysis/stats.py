@@ -1,0 +1,218 @@
+"""Statistical machinery of Sec. 4 and Appendix A.1.
+
+Per-geolocation statistics over grid-grouped throughput samples:
+
+* coefficient of variation (CV) and the fraction of cells with CV >= 50%;
+* normality testing with *either* D'Agostino-Pearson *or* Anderson-Darling
+  passing (the paper's false-positive reduction);
+* pairwise t-tests (Welch) and Levene tests between cells, reporting the
+  fraction of significantly-different pairs (Table 5);
+* Spearman rank correlation between repeated traces of a trajectory,
+  grouped by direction (Fig. 10).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.geo.grid import GridAccumulator
+
+
+@dataclass(frozen=True)
+class CellSampleSet:
+    """Throughput samples grouped by grid cell."""
+
+    cells: list[tuple[int, int]]
+    samples: list[np.ndarray]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def group_by_cell(
+    xs, ys, values, cell_size: float = 1.0, min_samples: int = 8
+) -> CellSampleSet:
+    """Group samples into grid cells keeping only well-populated cells."""
+    acc = GridAccumulator(cell_size=cell_size)
+    acc.add_many(np.asarray(xs, float), np.asarray(ys, float),
+                 np.asarray(values, float))
+    cells, samples = [], []
+    for cell in sorted(acc.cells()):
+        s = acc.samples(cell)
+        if len(s) >= min_samples:
+            cells.append(cell)
+            samples.append(s)
+    return CellSampleSet(cells=cells, samples=samples)
+
+
+def cv_percent(values: np.ndarray) -> float:
+    """Coefficient of variation in percent (0 for zero-mean cells)."""
+    values = np.asarray(values, dtype=float)
+    mean = values.mean()
+    if mean <= 0:
+        return 0.0
+    return 100.0 * values.std(ddof=1) / mean
+
+
+def fraction_high_cv(cell_set: CellSampleSet, threshold: float = 50.0) -> float:
+    """Fraction of cells whose throughput CV exceeds a threshold.
+
+    The paper finds ~53% of Airport geolocations have CV >= 50%.
+    """
+    if not len(cell_set):
+        raise ValueError("no populated cells")
+    cvs = np.asarray([cv_percent(s) for s in cell_set.samples])
+    return float(np.mean(cvs >= threshold))
+
+
+def is_normal(
+    values: np.ndarray, alpha: float = 0.001
+) -> bool:
+    """Paper's two-test normality check: pass if *either* test passes.
+
+    D'Agostino-Pearson requires n >= 20; Anderson-Darling uses the 1%
+    critical value (its most stringent tabulated level, closest to the
+    paper's alpha = 0.001).
+    """
+    values = np.asarray(values, dtype=float)
+    if len(values) < 8 or values.std() == 0:
+        return False
+    dagostino_ok = False
+    if len(values) >= 20:
+        try:
+            _, p = sps.normaltest(values)
+            dagostino_ok = p > alpha
+        except ValueError:
+            dagostino_ok = False
+    # The interpolated p-value (scipy >= 1.17) clamps at 0.01 and cannot
+    # resolve alpha = 0.001; stick with the tabulated critical values.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FutureWarning)
+        ad = sps.anderson(values, dist="norm")
+    # Largest significance-level index = most stringent critical value.
+    idx = int(np.argmin(ad.significance_level))
+    anderson_ok = ad.statistic < ad.critical_values[idx]
+    return dagostino_ok or anderson_ok
+
+
+def fraction_normal(cell_set: CellSampleSet, alpha: float = 0.001) -> float:
+    """Fraction of cells whose samples look normal (Table 4 "Norm. Test")."""
+    if not len(cell_set):
+        raise ValueError("no populated cells")
+    return float(np.mean([is_normal(s, alpha) for s in cell_set.samples]))
+
+
+@dataclass(frozen=True)
+class PairwiseTestResult:
+    """Outcome of all-pairs location tests (Table 5)."""
+
+    n_cells: int
+    n_pairs: int
+    frac_significant_ttest: float
+    frac_significant_levene: float
+    t_pvalues: np.ndarray
+    levene_pvalues: np.ndarray
+
+
+def pairwise_location_tests(
+    cell_set: CellSampleSet,
+    alpha: float = 0.1,
+    max_pairs: int = 20000,
+    rng: np.random.Generator | int | None = 0,
+) -> PairwiseTestResult:
+    """Welch t-test + Levene test for every pair of cells.
+
+    Pairs are subsampled beyond ``max_pairs`` to bound cost on dense
+    grids.  Significance level 0.1 follows the paper.
+    """
+    n = len(cell_set)
+    if n < 2:
+        raise ValueError("need at least two cells")
+    pairs = list(combinations(range(n), 2))
+    if len(pairs) > max_pairs:
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        keep = rng.choice(len(pairs), size=max_pairs, replace=False)
+        pairs = [pairs[i] for i in keep]
+    t_ps, l_ps = [], []
+    for i, j in pairs:
+        a, b = cell_set.samples[i], cell_set.samples[j]
+        t_ps.append(sps.ttest_ind(a, b, equal_var=False).pvalue)
+        l_ps.append(sps.levene(a, b).pvalue)
+    t_ps = np.asarray(t_ps)
+    l_ps = np.asarray(l_ps)
+    return PairwiseTestResult(
+        n_cells=n,
+        n_pairs=len(pairs),
+        frac_significant_ttest=float(np.mean(t_ps < alpha)),
+        frac_significant_levene=float(np.mean(l_ps < alpha)),
+        t_pvalues=t_ps,
+        levene_pvalues=l_ps,
+    )
+
+
+def trace_spearman_matrix(traces: list[np.ndarray]) -> np.ndarray:
+    """Pairwise Spearman correlations between equal-length traces."""
+    if len(traces) < 2:
+        raise ValueError("need at least two traces")
+    n = len(traces)
+    out = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho = sps.spearmanr(traces[i], traces[j]).statistic
+            out[i, j] = out[j, i] = rho if np.isfinite(rho) else 0.0
+    return out
+
+
+def resample_trace(values: np.ndarray, length: int) -> np.ndarray:
+    """Linear resampling of a trace to a fixed length for comparison."""
+    values = np.asarray(values, dtype=float)
+    if len(values) < 2:
+        raise ValueError("trace too short to resample")
+    src = np.linspace(0.0, 1.0, len(values))
+    dst = np.linspace(0.0, 1.0, length)
+    return np.interp(dst, src, values)
+
+
+def mean_offdiagonal(matrix: np.ndarray) -> float:
+    """Mean of off-diagonal entries (the paper's average Spearman coeff)."""
+    n = len(matrix)
+    if n < 2:
+        raise ValueError("matrix too small")
+    mask = ~np.eye(n, dtype=bool)
+    return float(matrix[mask].mean())
+
+
+def direction_spearman_analysis(
+    traces_by_direction: dict[str, list[np.ndarray]],
+    resample_to: int = 100,
+) -> dict[str, float]:
+    """Average same-direction vs cross-direction Spearman (Sec. 4.2).
+
+    Returns ``{direction: mean rho within direction, ..., "cross": mean
+    rho across directions}``.
+    """
+    resampled = {
+        d: [resample_trace(t, resample_to) for t in traces]
+        for d, traces in traces_by_direction.items()
+    }
+    out: dict[str, float] = {}
+    for d, traces in resampled.items():
+        if len(traces) >= 2:
+            out[d] = mean_offdiagonal(trace_spearman_matrix(traces))
+    directions = list(resampled)
+    cross_vals = []
+    for a, b in combinations(directions, 2):
+        for ta in resampled[a]:
+            for tb in resampled[b]:
+                rho = sps.spearmanr(ta, tb).statistic
+                if np.isfinite(rho):
+                    cross_vals.append(rho)
+    if cross_vals:
+        out["cross"] = float(np.mean(cross_vals))
+    return out

@@ -1,0 +1,136 @@
+"""Command-line interface: simulate, evaluate, map.
+
+Examples::
+
+    python -m repro generate --area Airport --passes 10 --out airport.csv
+    python -m repro evaluate --area Airport --features T+M --model gdbt
+    python -m repro map --area Airport --cell-size 2
+    python -m repro areas
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.maps import coverage_map, throughput_map
+from repro.core.pipeline import ALL_MODELS, Lumos5G, ModelConfig
+from repro.datasets.generate import generate_datasets
+from repro.datasets.schema import to_public_csv_table
+from repro.env.areas import AREA_BUILDERS, build_area
+
+
+def _add_common_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--area", default="Airport",
+                        choices=sorted(AREA_BUILDERS))
+    parser.add_argument("--passes", type=int, default=10,
+                        help="walking passes per trajectory")
+    parser.add_argument("--seed", type=int, default=2020)
+
+
+def _dataset(args):
+    data = generate_datasets(
+        areas=(args.area,), passes_per_trajectory=args.passes,
+        seed=args.seed, include_global=False, use_cache=False,
+    )
+    return data
+
+
+def cmd_areas(_args) -> int:
+    for name in sorted(AREA_BUILDERS):
+        print(build_area(name).describe())
+    return 0
+
+
+def cmd_generate(args) -> int:
+    data = _dataset(args)
+    table = data[args.area]
+    if args.public_schema:
+        table = to_public_csv_table(table)
+    table.to_csv(args.out)
+    print(f"wrote {len(table)} rows to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    data = _dataset(args)
+    framework = Lumos5G(data, config=ModelConfig(), seed=args.seed)
+    if not framework.supports(args.area, args.features):
+        print(f"{args.features} is unavailable for {args.area} "
+              "(no panel survey)", file=sys.stderr)
+        return 2
+    reg = framework.evaluate_regression(args.area, args.features, args.model)
+    clf = framework.evaluate_classification(args.area, args.features,
+                                            args.model)
+    print(f"{args.area} / {args.features} / {args.model}")
+    print(f"  regression:      MAE={reg.mae:.1f}  RMSE={reg.rmse:.1f} Mbps")
+    print(f"  classification:  weighted-F1={clf.weighted_f1:.3f}  "
+          f"recall(low)={clf.recall_low:.3f}")
+    return 0
+
+
+def cmd_map(args) -> int:
+    data = _dataset(args)
+    table = data[args.area]
+    tmap = throughput_map(table, cell_size=args.cell_size)
+    cmap = coverage_map(table, cell_size=args.cell_size)
+    values = np.asarray([c.value for c in tmap])
+    coverage = np.asarray([c.value for c in cmap])
+    print(f"{args.area}: {len(tmap)} cells at {args.cell_size:.0f}-px size")
+    print(f"  throughput Mbps: min={values.min():.0f} "
+          f"median={np.median(values):.0f} max={values.max():.0f}")
+    print(f"  5G coverage:     median={np.median(coverage):.2f}")
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["x", "y", "mean_throughput_mbps", "samples"])
+            for c in tmap:
+                writer.writerow([c.x, c.y, f"{c.value:.1f}", c.count])
+        print(f"  cell table written to {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lumos5G reproduction: simulate campaigns, train and "
+                    "evaluate 5G throughput predictors, build maps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_areas = sub.add_parser("areas", help="list the measurement areas")
+    p_areas.set_defaults(func=cmd_areas)
+
+    p_gen = sub.add_parser("generate", help="simulate a campaign to CSV")
+    _add_common_dataset_args(p_gen)
+    p_gen.add_argument("--out", required=True, help="output CSV path")
+    p_gen.add_argument("--public-schema", action="store_true",
+                       help="use the public Lumos5G dataset column names")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_eval = sub.add_parser("evaluate", help="train + evaluate one model")
+    _add_common_dataset_args(p_eval)
+    p_eval.add_argument("--features", default="T+M",
+                        help="feature groups, e.g. L, L+M, T+M+C")
+    p_eval.add_argument("--model", default="gdbt", choices=ALL_MODELS)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_map = sub.add_parser("map", help="summarize throughput/coverage maps")
+    _add_common_dataset_args(p_map)
+    p_map.add_argument("--cell-size", type=float, default=2.0)
+    p_map.add_argument("--csv", help="optionally dump map cells to CSV")
+    p_map.set_defaults(func=cmd_map)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Feature-importance analysis (Fig. 22, Appendix A.2).
+
+GDBT's split gains give a global importance score per feature (normalized
+to sum to 1).  The paper's headline observation: *no single feature or
+feature group dominates* -- the interplay of connection status, the two
+UE-panel angles, distance and speed collectively drives prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import GROUP_MEMBERS
+
+#: Feature-name prefixes -> owning primary group, for aggregation.
+_PREFIX_TO_GROUP = {
+    "pixel_x": "L", "pixel_y": "L",
+    "moving_speed": "M", "compass": "M",
+    "ue_panel_distance": "T", "positional_angle": "T", "mobility_angle": "T",
+    "past_throughput": "C", "radio_type": "C", "lte_": "C", "nr_": "C",
+    "horizontal_handoff": "C", "vertical_handoff": "C",
+}
+
+
+def group_of_feature(name: str) -> str:
+    """Map a materialized feature column to its primary group."""
+    for prefix, group in _PREFIX_TO_GROUP.items():
+        if name.startswith(prefix):
+            return group
+    raise ValueError(f"feature {name!r} belongs to no known group")
+
+
+@dataclass(frozen=True)
+class ImportanceReport:
+    """Per-feature and per-group normalized importances."""
+
+    per_feature: dict[str, float]
+    per_group: dict[str, float]
+
+    @property
+    def dominant_feature_share(self) -> float:
+        """Importance of the single most important feature."""
+        return max(self.per_feature.values()) if self.per_feature else 0.0
+
+    @property
+    def dominant_group_share(self) -> float:
+        return max(self.per_group.values()) if self.per_group else 0.0
+
+    def top(self, k: int = 5) -> list[tuple[str, float]]:
+        return sorted(self.per_feature.items(), key=lambda kv: -kv[1])[:k]
+
+
+def summarize_importance(per_feature: dict[str, float]) -> ImportanceReport:
+    """Aggregate raw per-feature importances into an :class:`ImportanceReport`."""
+    total = sum(per_feature.values())
+    if total <= 0:
+        norm = dict.fromkeys(per_feature, 0.0)
+    else:
+        norm = {k: v / total for k, v in per_feature.items()}
+    per_group: dict[str, float] = dict.fromkeys(GROUP_MEMBERS, 0.0)
+    for name, value in norm.items():
+        per_group[group_of_feature(name)] += value
+    per_group = {g: v for g, v in per_group.items() if v > 0.0}
+    return ImportanceReport(per_feature=norm, per_group=per_group)
+
+
+def entropy_of_importance(per_feature: dict[str, float]) -> float:
+    """Shannon entropy (nats) of the importance distribution.
+
+    Higher entropy = importance spread across features; the paper's
+    "no single feature dominates" corresponds to entropy well above 0.
+    """
+    p = np.asarray([v for v in per_feature.values() if v > 0.0], dtype=float)
+    if p.sum() <= 0:
+        return 0.0
+    p = p / p.sum()
+    return float(-(p * np.log(p)).sum())

@@ -1,0 +1,57 @@
+"""Throughput classes for the classification formulation (Sec. 5.2).
+
+The paper uses three levels: *low* below 300 Mbps, *medium* 300-700 Mbps,
+*high* above 700 Mbps, chosen because 5G throughput routinely fluctuates
++-200 Mbps from uncontrollable effects.  The thresholds are parameters so
+the "other choices of throughput classes" the paper alludes to can be
+studied (see the class-threshold ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+LOW, MEDIUM, HIGH = "low", "medium", "high"
+DEFAULT_THRESHOLDS = (300.0, 700.0)
+CLASS_ORDER = (LOW, MEDIUM, HIGH)
+
+
+@dataclass(frozen=True)
+class ThroughputClasses:
+    """A monotone binning of throughput (Mbps) into named classes."""
+
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS
+    names: tuple[str, ...] = CLASS_ORDER
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.thresholds) + 1:
+            raise ValueError("need exactly one more name than thresholds")
+        if list(self.thresholds) != sorted(self.thresholds):
+            raise ValueError("thresholds must be ascending")
+
+    def classify(self, throughput_mbps) -> np.ndarray:
+        """Vector of class names for throughput values."""
+        tput = np.asarray(throughput_mbps, dtype=float)
+        bins = np.digitize(tput, self.thresholds)
+        names = np.asarray(self.names, dtype=object)
+        return names[bins]
+
+    def class_index(self, throughput_mbps) -> np.ndarray:
+        """Integer class codes 0..k-1 (0 = lowest class)."""
+        return np.digitize(np.asarray(throughput_mbps, dtype=float),
+                           self.thresholds)
+
+    @property
+    def low_class(self) -> str:
+        """The class whose recall the paper reports (below 300 Mbps)."""
+        return self.names[0]
+
+
+DEFAULT_CLASSES = ThroughputClasses()
+
+
+def classify_throughput(throughput_mbps) -> np.ndarray:
+    """Classify with the paper's default 300/700 Mbps thresholds."""
+    return DEFAULT_CLASSES.classify(throughput_mbps)

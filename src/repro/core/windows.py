@@ -1,0 +1,84 @@
+"""Sequence windowing for Seq2Seq models.
+
+The Seq2Seq models consume a *history* of feature vectors and predict the
+next k throughput values (paper: input and output sequence length 20).
+``build_windows`` slides a window along each measurement run independently
+-- windows never straddle run boundaries -- and returns the tensors the
+:class:`~repro.ml.nn.seq2seq.Seq2SeqRegressor` expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WindowSet:
+    """Windows plus bookkeeping to map predictions back to rows."""
+
+    X: np.ndarray  # (n, T, D)
+    y: np.ndarray  # (n, k)
+    #: Row index (into the source table) of each window's first target step.
+    target_rows: np.ndarray
+    #: Run id of each window.
+    run_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+
+def build_windows(
+    features: np.ndarray,
+    target: np.ndarray,
+    run_ids: np.ndarray,
+    input_len: int = 20,
+    output_len: int = 1,
+    stride: int = 1,
+    include_past_target: bool = True,
+) -> WindowSet:
+    """Slide (input_len -> output_len) windows within each run.
+
+    A window uses feature rows ``t-input_len .. t-1`` (optionally augmented
+    with the concurrent throughput as an extra channel -- the "history"
+    the Seq2Seq model conditions on) to predict throughput at rows
+    ``t .. t+output_len-1``.
+    """
+    features = np.asarray(features, dtype=float)
+    target = np.asarray(target, dtype=float)
+    run_ids = np.asarray(run_ids)
+    if len(features) != len(target) or len(features) != len(run_ids):
+        raise ValueError("features/target/run_ids length mismatch")
+    if input_len < 1 or output_len < 1 or stride < 1:
+        raise ValueError("window parameters must be positive")
+
+    xs, ys, rows, runs = [], [], [], []
+    for run in np.unique(run_ids):
+        mask = run_ids == run
+        idx = np.nonzero(mask)[0]
+        F = features[idx]
+        y = target[idx]
+        if include_past_target:
+            F = np.column_stack([F, y])
+        n = len(idx)
+        for start in range(0, n - input_len - output_len + 1, stride):
+            t = start + input_len
+            xs.append(F[start:t])
+            ys.append(y[t:t + output_len])
+            rows.append(idx[t])
+            runs.append(run)
+    if not xs:
+        d = features.shape[1] + (1 if include_past_target else 0)
+        return WindowSet(
+            X=np.empty((0, input_len, d)),
+            y=np.empty((0, output_len)),
+            target_rows=np.empty(0, dtype=int),
+            run_ids=np.empty(0, dtype=run_ids.dtype),
+        )
+    return WindowSet(
+        X=np.stack(xs),
+        y=np.stack(ys),
+        target_rows=np.asarray(rows, dtype=int),
+        run_ids=np.asarray(runs),
+    )

@@ -1,0 +1,41 @@
+"""Datasets: column table, Table-1 schema, cleaning, generation."""
+
+from repro.datasets.cleaning import (
+    CleaningConfig,
+    CleaningReport,
+    clean,
+    filter_gps_error,
+    pixelize,
+    trim_buffer_period,
+)
+from repro.datasets.frame import Table
+from repro.datasets.generate import (
+    DEFAULT_AREAS,
+    clear_cache,
+    dataset_statistics,
+    generate_datasets,
+)
+from repro.datasets.public import load_public_dataset
+from repro.datasets.schema import (
+    PUBLIC_COLUMN_MAP,
+    from_public_csv_table,
+    to_public_csv_table,
+)
+
+__all__ = [
+    "DEFAULT_AREAS",
+    "CleaningConfig",
+    "CleaningReport",
+    "PUBLIC_COLUMN_MAP",
+    "Table",
+    "clean",
+    "clear_cache",
+    "dataset_statistics",
+    "filter_gps_error",
+    "from_public_csv_table",
+    "generate_datasets",
+    "load_public_dataset",
+    "pixelize",
+    "to_public_csv_table",
+    "trim_buffer_period",
+]

@@ -1,0 +1,123 @@
+"""Loader for the public Lumos5G dataset (https://lumos5g.umn.edu).
+
+The released dataset is a set of CSV files (one merged file or per-run
+files) using columns like ``run_num``, ``seq_num``, ``latitude``,
+``longitude``, ``movingSpeed``, ``compassDirection``, ``nrStatus``,
+``lte_rsrp``, ``nr_ssRsrp``, ``Throughput``, ``mobility_mode``,
+``trajectory_direction``, ``tower_id``.  :func:`load_public_dataset`
+reads one file or every ``*.csv`` under a directory, normalizes the
+columns into this repo's telemetry schema (filling fields the public
+release does not carry), and returns a cleaned-compatible
+:class:`~repro.datasets.frame.Table` ready for the feature extractor.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.datasets.frame import Table
+from repro.datasets.schema import PUBLIC_COLUMN_MAP, from_public_csv_table
+
+#: Defaults for telemetry fields absent from the public release.
+_FIELD_DEFAULTS = {
+    "area": "Public",
+    "mobility_mode": "walking",
+    "trajectory": "unknown",
+    "gps_accuracy_m": 3.0,
+    "detected_activity": "WALKING",
+    "compass_accuracy_deg": 6.0,
+    "nr_ss_rssi": -9999.0,
+    "lte_rssi": -9999.0,
+    "lte_rsrq": -9999.0,
+    "nr_ss_rsrq": -9999.0,
+    "horizontal_handoff": 0.0,
+    "vertical_handoff": 0.0,
+    "ue_panel_distance_m": float("nan"),
+    "positional_angle_deg": float("nan"),
+    "mobility_angle_deg": float("nan"),
+    "carrier_load_ues": 1.0,
+    "true_x_m": float("nan"),
+    "true_y_m": float("nan"),
+    "true_heading_deg": float("nan"),
+    "true_speed_mps": float("nan"),
+}
+
+REQUIRED_PUBLIC_COLUMNS = ("run_num", "latitude", "longitude", "Throughput")
+
+
+def _csv_files(path: pathlib.Path) -> list[pathlib.Path]:
+    if path.is_file():
+        return [path]
+    files = sorted(path.glob("**/*.csv"))
+    if not files:
+        raise FileNotFoundError(f"no CSV files under {path}")
+    return files
+
+
+def load_public_dataset(path) -> Table:
+    """Read public-format CSV file(s) into the internal telemetry schema.
+
+    Run numbers from separate files are offset so they stay unique.
+    Raises ``ValueError`` when a file lacks the minimal required columns.
+    """
+    path = pathlib.Path(path)
+    tables: list[Table] = []
+    run_offset = 0
+    for f in _csv_files(path):
+        raw = Table.from_csv(str(f))
+        missing = [c for c in REQUIRED_PUBLIC_COLUMNS if c not in raw]
+        if missing:
+            raise ValueError(f"{f} is missing required columns {missing}")
+        raw = _with_public_defaults(raw)
+        internal = from_public_csv_table(raw)
+        internal = _with_internal_defaults(internal)
+        runs = np.asarray(internal["run_id"], dtype=float).astype(int)
+        internal = internal.with_column("run_id", runs + run_offset)
+        run_offset = int(internal["run_id"].max()) + 1
+        tables.append(internal)
+    return Table.concat(tables) if len(tables) > 1 else tables[0]
+
+
+def _with_public_defaults(raw: Table) -> Table:
+    """Fill public-side columns the file may omit."""
+    n = len(raw)
+    inverse = {pub: ours for ours, pub in PUBLIC_COLUMN_MAP.items()}
+    for pub, ours in inverse.items():
+        if pub in raw:
+            continue
+        default = _FIELD_DEFAULTS.get(ours, 0.0)
+        if pub == "seq_num":
+            # Per-run second counter when absent.
+            runs = np.asarray(raw["run_num"], dtype=float).astype(int)
+            seq = np.zeros(n, dtype=int)
+            for run in np.unique(runs):
+                mask = runs == run
+                seq[mask] = np.arange(mask.sum())
+            raw = raw.with_column("seq_num", seq)
+        elif pub == "nrStatus":
+            raw = raw.with_column(
+                "nrStatus", np.asarray(["CONNECTED"] * n, dtype=object)
+            )
+        elif isinstance(default, str):
+            raw = raw.with_column(pub, np.asarray([default] * n,
+                                                  dtype=object))
+        else:
+            raw = raw.with_column(pub, np.full(n, float(default)))
+    return raw
+
+
+def _with_internal_defaults(table: Table) -> Table:
+    """Add internal-only telemetry fields the public release never had."""
+    n = len(table)
+    for name, default in _FIELD_DEFAULTS.items():
+        if name in table:
+            continue
+        if isinstance(default, str):
+            table = table.with_column(
+                name, np.asarray([default] * n, dtype=object)
+            )
+        else:
+            table = table.with_column(name, np.full(n, float(default)))
+    return table

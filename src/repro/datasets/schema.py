@@ -1,0 +1,72 @@
+"""Dataset schema and export in the public Lumos5G column convention.
+
+The authors released part of their dataset at https://lumos5g.umn.edu; its
+CSV uses columns like ``run_num``, ``movingSpeed``, ``compassDirection``,
+``nrStatus``, ``nr_ssRsrp`` and ``Throughput``.  :func:`to_public_csv_table`
+re-labels our raw telemetry into that convention so code written against
+the public dataset can consume simulated campaigns unchanged, and
+:func:`from_public_csv_table` maps back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.frame import Table
+
+#: our column -> public Lumos5G dataset column
+PUBLIC_COLUMN_MAP = {
+    "run_id": "run_num",
+    "timestamp_s": "seq_num",
+    "latitude": "latitude",
+    "longitude": "longitude",
+    "moving_speed_mps": "movingSpeed",
+    "compass_direction_deg": "compassDirection",
+    "radio_type": "nrStatus",
+    "lte_rssi": "lte_rssi",
+    "lte_rsrp": "lte_rsrp",
+    "lte_rsrq": "lte_rsrq",
+    "nr_ss_rsrp": "nr_ssRsrp",
+    "nr_ss_rsrq": "nr_ssRsrq",
+    "nr_ss_rssi": "nr_ssRssi",
+    "throughput_mbps": "Throughput",
+    "mobility_mode": "mobility_mode",
+    "trajectory": "trajectory_direction",
+    "cell_id": "tower_id",
+}
+
+#: nrStatus encoding used by the public dataset.
+NR_STATUS_CONNECTED = "CONNECTED"
+NR_STATUS_NOT_RESTRICTED = "NOT_RESTRICTED"
+
+
+def to_public_csv_table(raw: Table) -> Table:
+    """Re-label a raw telemetry table into public-dataset columns."""
+    columns = {}
+    for ours, public in PUBLIC_COLUMN_MAP.items():
+        col = raw[ours]
+        if ours == "radio_type":
+            col = np.asarray([
+                NR_STATUS_CONNECTED if v == "5G" else NR_STATUS_NOT_RESTRICTED
+                for v in col
+            ], dtype=object)
+        columns[public] = col
+    return Table(columns)
+
+
+def from_public_csv_table(public: Table) -> Table:
+    """Inverse of :func:`to_public_csv_table` (radio type decoded)."""
+    columns = {}
+    for ours, pub in PUBLIC_COLUMN_MAP.items():
+        col = public[pub]
+        if ours == "radio_type":
+            col = np.asarray(
+                ["5G" if v == NR_STATUS_CONNECTED else "4G" for v in col],
+                dtype=object,
+            )
+        columns[ours] = col
+    return Table(columns)
+
+
+#: Columns every cleaned dataset table must carry (raw + derived).
+CLEANED_EXTRA_COLUMNS = ("pixel_x", "pixel_y")

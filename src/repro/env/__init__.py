@@ -1,0 +1,24 @@
+"""Environment substrate: obstacles, areas, line-of-sight."""
+
+from repro.env.areas import (
+    AREA_BUILDERS,
+    build_airport,
+    build_area,
+    build_intersection,
+    build_loop,
+)
+from repro.env.environment import MINNEAPOLIS_LATLON, Environment
+from repro.env.obstacles import Obstacle, ObstacleMap, Rect
+
+__all__ = [
+    "AREA_BUILDERS",
+    "Environment",
+    "MINNEAPOLIS_LATLON",
+    "Obstacle",
+    "ObstacleMap",
+    "Rect",
+    "build_airport",
+    "build_area",
+    "build_intersection",
+    "build_loop",
+]

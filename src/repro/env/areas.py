@@ -1,0 +1,216 @@
+"""Builders for the paper's three measurement areas (Table 2).
+
+* **Airport** -- indoor mall corridor inside MSP airport, two head-on
+  single-panel towers ~200 m apart, information booths / open-space
+  restaurants creating a NLoS band 50-100 m from the south panel
+  (Sec. 4.3), NB/SB walking trajectories of ~340 m.
+* **Intersection** -- outdoor 4-way traffic intersection in downtown
+  Minneapolis with 3 dual-panel towers, concrete high-rises on all four
+  corners, and 12 walking trajectories of 232-274 m.
+* **Loop** -- a 1300 m loop near U.S. Bank Stadium covering roads, rail
+  crossings and a park; walked and driven.  The authors could not survey
+  its panel locations, so T-group features are unavailable there.
+
+Geometry is in local meters (east = +x, north = +y).  Panel bearings use
+compass degrees (0 = north).
+"""
+
+from __future__ import annotations
+
+from repro.env.environment import MINNEAPOLIS_LATLON, Environment
+from repro.env.obstacles import Obstacle, ObstacleMap, Rect
+from repro.mobility.trajectory import Trajectory
+from repro.radio.panel import Panel, PanelDirectory, Tower
+
+AIRPORT_LATLON = (44.8820, -93.2218)  # MSP airport
+CONCRETE_LOSS_DB = 200.0
+BOOTH_LOSS_DB = 8.0
+GLASS_LOSS_DB = 16.0
+
+
+def build_airport() -> Environment:
+    """Indoor mall-area with two head-on single panels ~200 m apart."""
+    panels = PanelDirectory()
+    # South panel faces north (up the corridor), north panel faces south.
+    panels.add_tower(Tower(tower_id=10, panels=(
+        Panel(panel_id=101, position=(0.0, 0.0), bearing_deg=0.0,
+              max_range_m=250.0),
+    )))
+    panels.add_tower(Tower(tower_id=11, panels=(
+        Panel(panel_id=102, position=(0.0, 200.0), bearing_deg=180.0,
+              max_range_m=250.0),
+    )))
+
+    obstacles = ObstacleMap()
+    # Information booths just off the corridor axis near the south panel.
+    # While the walking path detours onto the +x service lane (the 50-100 m
+    # band from the south panel), the oblique ray back to the south panel
+    # crosses these booths -> NLoS with a usable reflection; once the path
+    # returns to the corridor axis, LoS is regained (Fig. 11b).
+    obstacles.add(Obstacle(Rect(1.0, 20.0, 3.5, 32.0),
+                           penetration_loss_db=BOOTH_LOSS_DB,
+                           reflectivity=0.9, name="booth-south-1"))
+    obstacles.add(Obstacle(Rect(1.5, 34.0, 4.0, 44.0),
+                           penetration_loss_db=BOOTH_LOSS_DB,
+                           reflectivity=0.9, name="booth-south-2"))
+    # Open-space restaurant seating mid-corridor; clutters oblique rays from
+    # the north panel and contributes the handoff patch near mid-corridor.
+    obstacles.add(Obstacle(Rect(-5.0, 128.0, -1.0, 142.0),
+                           penetration_loss_db=GLASS_LOSS_DB,
+                           reflectivity=0.6, name="restaurant-mid"))
+
+    env = Environment(
+        name="Airport",
+        panels=panels,
+        obstacles=obstacles,
+        origin_latlon=AIRPORT_LATLON,
+        indoor=True,
+    )
+    # NB runs south -> north with a detour onto the +x lane between 40 and
+    # 105 m (around the booths); SB is the same path reversed.
+    nb = Trajectory(name="NB", waypoints=(
+        (0.0, -70.0), (0.0, 35.0), (6.0, 45.0), (6.0, 100.0),
+        (0.0, 110.0), (0.0, 270.0),
+    ))
+    env.add_trajectory(nb)
+    env.add_trajectory(nb.reversed("SB"))
+    return env
+
+
+def _intersection_towers() -> PanelDirectory:
+    panels = PanelDirectory()
+    # Three dual-panel towers, one per street arm, panels back-to-back
+    # covering both directions of their street.
+    panels.add_tower(Tower(tower_id=20, panels=(
+        Panel(panel_id=201, position=(5.0, 60.0), bearing_deg=0.0),
+        Panel(panel_id=202, position=(5.0, 60.0), bearing_deg=180.0),
+    )))
+    panels.add_tower(Tower(tower_id=21, panels=(
+        Panel(panel_id=203, position=(60.0, -5.0), bearing_deg=90.0),
+        Panel(panel_id=204, position=(60.0, -5.0), bearing_deg=270.0),
+    )))
+    panels.add_tower(Tower(tower_id=22, panels=(
+        Panel(panel_id=205, position=(-5.0, -60.0), bearing_deg=0.0),
+        Panel(panel_id=206, position=(-5.0, -60.0), bearing_deg=180.0),
+    )))
+    return panels
+
+
+def build_intersection() -> Environment:
+    """Outdoor 4-way intersection with 12 walking trajectories."""
+    obstacles = ObstacleMap()
+    corners = [
+        Rect(15.0, 15.0, 120.0, 120.0),
+        Rect(-120.0, 15.0, -15.0, 120.0),
+        Rect(-120.0, -120.0, -15.0, -15.0),
+        Rect(15.0, -120.0, 120.0, -15.0),
+    ]
+    for i, rect in enumerate(corners):
+        obstacles.add(Obstacle(rect, penetration_loss_db=CONCRETE_LOSS_DB,
+                               reflectivity=0.5, name=f"highrise-{i}"))
+
+    env = Environment(
+        name="Intersection",
+        panels=_intersection_towers(),
+        obstacles=obstacles,
+        origin_latlon=MINNEAPOLIS_LATLON,
+        indoor=False,
+    )
+    # 12 trajectories: both sidewalks of both streets, each walked in both
+    # directions (8), plus four L-shaped corner-to-corner routes.  Lengths
+    # fall in the paper's 232-274 m range.
+    reach = 130.0
+    west, east, south, north = -7.0, 7.0, -7.0, 7.0
+    straight = {
+        "NS-west-NB": ((west, -reach), (west, reach)),
+        "NS-east-NB": ((east, -reach), (east, reach)),
+        "EW-south-EB": ((-reach, south), (reach, south)),
+        "EW-north-EB": ((-reach, north), (reach, north)),
+    }
+    for name, pts in straight.items():
+        traj = Trajectory(name=name, waypoints=pts)
+        env.add_trajectory(traj)
+        reverse_tag = {"NB": "SB", "EB": "WB"}[name.rsplit("-", 1)[1]]
+        env.add_trajectory(
+            traj.reversed(name.rsplit("-", 1)[0] + "-" + reverse_tag)
+        )
+    l_shaped = {
+        "L-SW": ((west, -reach + 5.0), (west, south), (-reach + 5.0, south)),
+        "L-SE": ((east, -reach + 5.0), (east, south), (reach - 5.0, south)),
+        "L-NE": ((east, reach - 5.0), (east, north), (reach - 5.0, north)),
+        "L-NW": ((west, reach - 5.0), (west, north), (-reach + 5.0, north)),
+    }
+    for name, pts in l_shaped.items():
+        env.add_trajectory(Trajectory(name=name, waypoints=pts))
+    return env
+
+
+def build_loop() -> Environment:
+    """The 1300 m Loop: walked and driven; no reliable panel survey."""
+    panels = PanelDirectory()
+    panels.add_tower(Tower(tower_id=30, panels=(
+        Panel(panel_id=301, position=(-8.0, -8.0), bearing_deg=90.0),
+        Panel(panel_id=302, position=(-8.0, -8.0), bearing_deg=0.0),
+    )))
+    panels.add_tower(Tower(tower_id=31, panels=(
+        Panel(panel_id=303, position=(408.0, 258.0), bearing_deg=270.0),
+        Panel(panel_id=304, position=(408.0, 258.0), bearing_deg=180.0),
+    )))
+    panels.add_tower(Tower(tower_id=32, panels=(
+        Panel(panel_id=305, position=(200.0, 254.0), bearing_deg=90.0),
+        Panel(panel_id=306, position=(200.0, 254.0), bearing_deg=270.0),
+    )))
+    panels.add_tower(Tower(tower_id=33, panels=(
+        Panel(panel_id=307, position=(200.0, -4.0), bearing_deg=90.0),
+        Panel(panel_id=308, position=(200.0, -4.0), bearing_deg=270.0),
+    )))
+    panels.add_tower(Tower(tower_id=34, panels=(
+        Panel(panel_id=309, position=(408.0, -8.0), bearing_deg=0.0),
+    )))
+    panels.add_tower(Tower(tower_id=35, panels=(
+        Panel(panel_id=310, position=(-8.0, 258.0), bearing_deg=180.0),
+    )))
+
+    obstacles = ObstacleMap()
+    # The city block enclosed by the loop: blocks all across-the-block rays.
+    obstacles.add(Obstacle(Rect(25.0, 25.0, 375.0, 225.0),
+                           penetration_loss_db=CONCRETE_LOSS_DB,
+                           reflectivity=0.5, name="city-block"))
+    # A building just east of the east leg, between the NE tower and the
+    # lower part of the leg: shadows the mid-east stretch (a driving dead
+    # zone as in Fig. 2) without touching the street itself.
+    obstacles.add(Obstacle(Rect(401.5, 120.0, 410.0, 160.0),
+                           penetration_loss_db=CONCRETE_LOSS_DB,
+                           reflectivity=0.35, name="stadium-annex"))
+
+    env = Environment(
+        name="Loop",
+        panels=panels,
+        obstacles=obstacles,
+        origin_latlon=MINNEAPOLIS_LATLON,
+        indoor=False,
+        panel_survey_available=False,
+    )
+    loop = Trajectory(name="LOOP-CW", waypoints=(
+        (0.0, 0.0), (400.0, 0.0), (400.0, 250.0), (0.0, 250.0),
+    ), closed=True)
+    env.add_trajectory(loop)
+    env.add_trajectory(loop.reversed("LOOP-CCW"))
+    return env
+
+
+AREA_BUILDERS = {
+    "Airport": build_airport,
+    "Intersection": build_intersection,
+    "Loop": build_loop,
+}
+
+
+def build_area(name: str) -> Environment:
+    """Build one of the paper's areas by name."""
+    try:
+        return AREA_BUILDERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown area {name!r}; expected one of {sorted(AREA_BUILDERS)}"
+        ) from None

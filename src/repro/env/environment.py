@@ -1,0 +1,60 @@
+"""Environment: the static world a measurement campaign runs in.
+
+An :class:`Environment` bundles everything the radio layer needs about a
+place: the 5G panels (with positions/orientations, i.e. the exogenous
+information the authors gathered by surveying each area), the obstacle map
+(concrete structures, booths, glass), named trajectories that the campaign
+walks/drives repeatedly, and the GPS origin used to emit realistic
+latitude/longitude telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.env.obstacles import ObstacleMap
+from repro.geo.mercator import LocalProjection
+from repro.mobility.trajectory import Trajectory
+from repro.radio.panel import PanelDirectory
+
+#: Downtown Minneapolis, where the paper's outdoor areas are located.
+MINNEAPOLIS_LATLON = (44.9778, -93.2650)
+
+
+@dataclass
+class Environment:
+    """A measurement area: panels + obstacles + trajectories + GPS frame."""
+
+    name: str
+    panels: PanelDirectory
+    obstacles: ObstacleMap
+    trajectories: dict[str, Trajectory] = field(default_factory=dict)
+    origin_latlon: tuple[float, float] = MINNEAPOLIS_LATLON
+    indoor: bool = False
+    #: Whether the panel survey is available; the paper could not reliably
+    #: obtain panel locations for the Loop area, so its T features are absent.
+    panel_survey_available: bool = True
+
+    def __post_init__(self) -> None:
+        self.projection = LocalProjection(*self.origin_latlon)
+
+    def add_trajectory(self, trajectory: Trajectory) -> None:
+        if trajectory.name in self.trajectories:
+            raise ValueError(f"duplicate trajectory {trajectory.name!r}")
+        self.trajectories[trajectory.name] = trajectory
+
+    def has_los(self, panel_xy: tuple[float, float],
+                ue_xy: tuple[float, float]) -> bool:
+        return self.obstacles.has_los(panel_xy, ue_xy)
+
+    def describe(self) -> str:
+        """Human-readable summary (mirrors Table 2 rows)."""
+        lengths = [t.length_m for t in self.trajectories.values()]
+        span = (f"{min(lengths):.0f} to {max(lengths):.0f} m"
+                if lengths else "n/a")
+        return (
+            f"{self.name}: {'indoor' if self.indoor else 'outdoor'}, "
+            f"{len(self.panels)} panels on {len(self.panels.towers)} towers, "
+            f"{len(self.trajectories)} trajectories ({span}), "
+            f"{len(self.obstacles.obstacles)} obstacles"
+        )

@@ -1,0 +1,51 @@
+"""Geospatial substrate: Web Mercator pixelization, UE-panel geometry, grids."""
+
+from repro.geo.geometry import (
+    angle_difference,
+    bearing,
+    distance,
+    heading_to_unit,
+    mobility_angle,
+    normalize_bearing,
+    positional_angle,
+    positional_sector,
+    unit_to_heading,
+)
+from repro.geo.grid import (
+    CellStats,
+    GridAccumulator,
+    throughput_color_level,
+)
+from repro.geo.mercator import (
+    DEFAULT_ZOOM,
+    LocalProjection,
+    latlon_to_pixel,
+    latlon_to_world,
+    meters_per_pixel,
+    pixel_center_latlon,
+    pixel_to_latlon,
+    world_to_latlon,
+)
+
+__all__ = [
+    "DEFAULT_ZOOM",
+    "CellStats",
+    "GridAccumulator",
+    "LocalProjection",
+    "angle_difference",
+    "bearing",
+    "distance",
+    "heading_to_unit",
+    "latlon_to_pixel",
+    "latlon_to_world",
+    "meters_per_pixel",
+    "mobility_angle",
+    "normalize_bearing",
+    "pixel_center_latlon",
+    "pixel_to_latlon",
+    "positional_angle",
+    "positional_sector",
+    "throughput_color_level",
+    "unit_to_heading",
+    "world_to_latlon",
+]

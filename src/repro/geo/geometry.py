@@ -1,0 +1,110 @@
+"""Planar geometry between UEs and 5G panels.
+
+All positions are in local meters (east = +x, north = +y).  Angles follow the
+compass convention used by Android and the paper: degrees clockwise from
+North, in [0, 360).
+
+Three quantities from the paper (Fig. 5):
+
+* **UE-panel distance** -- Euclidean distance between UE and panel.
+* **Positional angle** (theta_p) -- angle between the panel boresight (the
+  line normal to the panel's front face) and the line from the panel to the
+  UE.  0 means the UE is dead ahead of the panel ("F"), 180 means it is
+  behind it ("B").
+* **Mobility angle** (theta_m) -- angle between the panel boresight and the
+  UE's direction of travel.  180 means the UE is moving head-on toward the
+  panel's facing direction; 0 means it moves the same way the panel faces
+  (the user's body then blocks line of sight for a hand-held phone).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def normalize_bearing(deg: float) -> float:
+    """Wrap an angle in degrees into [0, 360)."""
+    wrapped = deg % 360.0
+    # Guard against float artifacts (e.g. tiny negatives wrap to 360.0).
+    return 0.0 if wrapped >= 360.0 else wrapped
+
+
+def angle_difference(a_deg: float, b_deg: float) -> float:
+    """Smallest absolute difference between two bearings, in [0, 180]."""
+    d = abs(a_deg - b_deg) % 360.0
+    return 360.0 - d if d > 180.0 else d
+
+
+def bearing(from_xy: tuple[float, float], to_xy: tuple[float, float]) -> float:
+    """Compass bearing (deg clockwise from North) from one point to another."""
+    dx = to_xy[0] - from_xy[0]
+    dy = to_xy[1] - from_xy[1]
+    return normalize_bearing(math.degrees(math.atan2(dx, dy)))
+
+
+def distance(a_xy: tuple[float, float], b_xy: tuple[float, float]) -> float:
+    """Euclidean distance in meters."""
+    return math.hypot(b_xy[0] - a_xy[0], b_xy[1] - a_xy[1])
+
+
+def positional_angle(
+    panel_xy: tuple[float, float], panel_bearing_deg: float,
+    ue_xy: tuple[float, float],
+) -> float:
+    """UE-panel positional angle theta_p in [0, 180].
+
+    The angle between the panel boresight and the panel->UE line; it depends
+    only on where the UE *is*, not where it is going.
+    """
+    to_ue = bearing(panel_xy, ue_xy)
+    return angle_difference(to_ue, panel_bearing_deg)
+
+
+def mobility_angle(panel_bearing_deg: float, ue_heading_deg: float) -> float:
+    """UE-panel mobility angle theta_m in [0, 360).
+
+    Defined as the angle of the UE's trajectory measured against the panel's
+    facing direction; 180 deg means moving straight *toward* the panel face,
+    0 deg means moving *with* the panel's facing direction (body blockage
+    for a hand-held UE).  Unlike theta_p, the paper treats theta_m over the
+    full circle (Fig. 8 bins span 0-360).
+
+    A UE whose heading equals the panel bearing moves with the facing
+    direction (theta_m = 0); a UE whose heading is opposite the bearing
+    moves head-on toward the panel face (theta_m = 180).
+    """
+    return normalize_bearing(ue_heading_deg - panel_bearing_deg)
+
+
+POSITION_SECTORS = ("F", "R", "B", "L")
+
+
+def positional_sector(
+    panel_xy: tuple[float, float], panel_bearing_deg: float,
+    ue_xy: tuple[float, float],
+) -> str:
+    """Classify UE position relative to a panel as F/R/B/L (Fig. 12).
+
+    Front when the signed angle from boresight to the panel->UE line is within
+    +-45 deg, right for (45, 135], back beyond 135, left for [-135, -45).
+    """
+    to_ue = bearing(panel_xy, ue_xy)
+    signed = (to_ue - panel_bearing_deg + 180.0) % 360.0 - 180.0
+    if -45.0 <= signed <= 45.0:
+        return "F"
+    if 45.0 < signed <= 135.0:
+        return "R"
+    if -135.0 <= signed < -45.0:
+        return "L"
+    return "B"
+
+
+def heading_to_unit(deg: float) -> tuple[float, float]:
+    """Unit vector (east, north) for a compass heading."""
+    r = math.radians(deg)
+    return math.sin(r), math.cos(r)
+
+
+def unit_to_heading(dx: float, dy: float) -> float:
+    """Compass heading for a direction vector (east, north)."""
+    return normalize_bearing(math.degrees(math.atan2(dx, dy)))

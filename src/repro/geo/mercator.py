@@ -1,0 +1,122 @@
+"""Web Mercator pixel projection used for geolocation pixelization.
+
+The paper discretizes raw GPS coordinates onto the pixel grid defined by the
+Google Maps JavaScript API at zoom level 17, where one pixel spans roughly
+0.99--1.19 m depending on latitude (~1.07 m in Minneapolis).  This module
+implements that projection exactly: latitude/longitude -> "world coordinates"
+(a 256 x 256 unit square covering the globe) -> pixel coordinates at a given
+zoom level (world coordinates scaled by ``2**zoom``).
+
+Reference: Google Maps "Map and Tile Coordinates" documentation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+TILE_SIZE = 256
+DEFAULT_ZOOM = 17
+EARTH_RADIUS_M = 6_378_137.0
+EARTH_CIRCUMFERENCE_M = 2 * math.pi * EARTH_RADIUS_M
+
+# Web Mercator is undefined at the poles; Google clamps latitude to the range
+# where the projected square is closed (~85.05 degrees).
+MAX_LATITUDE = math.degrees(2 * math.atan(math.exp(math.pi)) - math.pi / 2)
+
+
+def clamp_latitude(lat_deg: float) -> float:
+    """Clamp a latitude into the valid Web Mercator range."""
+    return max(-MAX_LATITUDE, min(MAX_LATITUDE, lat_deg))
+
+
+def latlon_to_world(lat_deg: float, lon_deg: float) -> tuple[float, float]:
+    """Project latitude/longitude to world coordinates in [0, 256) x [0, 256)."""
+    lat_deg = clamp_latitude(lat_deg)
+    siny = math.sin(math.radians(lat_deg))
+    x = TILE_SIZE * (0.5 + lon_deg / 360.0)
+    y = TILE_SIZE * (0.5 - math.log((1 + siny) / (1 - siny)) / (4 * math.pi))
+    return x, y
+
+
+def world_to_latlon(x: float, y: float) -> tuple[float, float]:
+    """Invert :func:`latlon_to_world`."""
+    lon = (x / TILE_SIZE - 0.5) * 360.0
+    n = math.pi - 2 * math.pi * y / TILE_SIZE
+    lat = math.degrees(math.atan(math.sinh(n)))
+    return lat, lon
+
+
+def latlon_to_pixel(
+    lat_deg: float, lon_deg: float, zoom: int = DEFAULT_ZOOM
+) -> tuple[int, int]:
+    """Pixelize a GPS coordinate at the given zoom level (paper: zoom 17).
+
+    Returns integer pixel coordinates ``(px, py)``.  Two GPS fixes less than
+    one pixel (~1 m at zoom 17) apart map to the same pixel, which is the
+    paper's mechanism for reducing GPS noise and sparsity.
+    """
+    x, y = latlon_to_world(lat_deg, lon_deg)
+    scale = 1 << zoom
+    return int(math.floor(x * scale)), int(math.floor(y * scale))
+
+
+def pixel_to_latlon(
+    px: float, py: float, zoom: int = DEFAULT_ZOOM
+) -> tuple[float, float]:
+    """Map a pixel coordinate back to the lat/lon of its north-west corner."""
+    scale = 1 << zoom
+    return world_to_latlon(px / scale, py / scale)
+
+
+def pixel_center_latlon(
+    px: int, py: int, zoom: int = DEFAULT_ZOOM
+) -> tuple[float, float]:
+    """Latitude/longitude of the center of an integer pixel cell."""
+    return pixel_to_latlon(px + 0.5, py + 0.5, zoom)
+
+
+def meters_per_pixel(lat_deg: float, zoom: int = DEFAULT_ZOOM) -> float:
+    """Ground resolution (meters spanned by one pixel) at a latitude.
+
+    At zoom 17 this is ~1.19 m at the equator and ~1.07 m at Minneapolis
+    (45 N), matching the paper's "0.99 to 1.19 meters (~1 meter)".
+    """
+    lat_deg = clamp_latitude(lat_deg)
+    return (
+        EARTH_CIRCUMFERENCE_M
+        * math.cos(math.radians(lat_deg))
+        / (TILE_SIZE * (1 << zoom))
+    )
+
+
+@dataclass(frozen=True)
+class LocalProjection:
+    """Local tangent-plane (ENU) projection around an origin lat/lon.
+
+    The simulator works in local meters (east = +x, north = +y); this helper
+    converts between local meters and GPS coordinates so that the telemetry
+    pipeline can report realistic latitude/longitude values and the cleaning
+    stage can pixelize them exactly as the paper does.
+    """
+
+    origin_lat: float
+    origin_lon: float
+
+    def to_latlon(self, x_m: float, y_m: float) -> tuple[float, float]:
+        """Convert local east/north meters to latitude/longitude."""
+        lat = self.origin_lat + math.degrees(y_m / EARTH_RADIUS_M)
+        lon = self.origin_lon + math.degrees(
+            x_m / (EARTH_RADIUS_M * math.cos(math.radians(self.origin_lat)))
+        )
+        return lat, lon
+
+    def to_meters(self, lat_deg: float, lon_deg: float) -> tuple[float, float]:
+        """Convert latitude/longitude to local east/north meters."""
+        y = math.radians(lat_deg - self.origin_lat) * EARTH_RADIUS_M
+        x = (
+            math.radians(lon_deg - self.origin_lon)
+            * EARTH_RADIUS_M
+            * math.cos(math.radians(self.origin_lat))
+        )
+        return x, y

@@ -1,0 +1,124 @@
+"""Random forests -- the RF baseline of Alimpertis et al. [20].
+
+Bagged histogram trees with per-split feature subsampling.  The regressor
+averages leaf means; the classifier averages per-class scores of trees fit
+on one-hot targets (probability forests), matching scikit-learn's
+``predict_proba``-averaging behaviour closely enough for baseline duty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import LabelEncoder, one_hot
+from repro.ml.tree import FeatureBinner, HistogramTree, TreeParams
+
+
+class _ForestBase:
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int = 12,
+        min_samples_leaf: int = 3,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        max_bins: int = 256,
+        random_state: int | None = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.max_bins = max_bins
+        self.random_state = random_state
+        self._binner: FeatureBinner | None = None
+        self._trees: list[HistogramTree] = []
+        self.n_features_: int | None = None
+
+    def _params(self) -> TreeParams:
+        return TreeParams(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            reg_lambda=0.0,
+            max_features=self.max_features,
+        )
+
+    def _fit_trees(self, X: np.ndarray, targets: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        self.n_features_ = X.shape[1]
+        self._binner = FeatureBinner(self.max_bins)
+        binned = self._binner.fit_transform(X)
+        hess = np.ones_like(targets)
+        self._trees = []
+        n = len(X)
+        params = self._params()
+        for _ in range(self.n_estimators):
+            idx = (rng.integers(0, n, size=n) if self.bootstrap
+                   else np.arange(n))
+            tree = HistogramTree(params).fit(
+                binned[idx], targets[idx], hess[idx], rng=rng
+            )
+            self._trees.append(tree)
+
+    def _mean_prediction(self, X) -> np.ndarray:
+        if self._binner is None:
+            raise RuntimeError("model is not fitted")
+        binned = self._binner.transform(np.asarray(X, dtype=float))
+        acc = np.zeros((len(binned), self._trees[0].n_outputs))
+        for tree in self._trees:
+            acc += tree.predict_binned(binned)
+        return acc / len(self._trees)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        if self._binner is None:
+            raise RuntimeError("model is not fitted")
+        total = np.zeros(self.n_features_)
+        for tree in self._trees:
+            total += tree.feature_gain_
+        s = total.sum()
+        return total / s if s > 0 else total
+
+
+class RandomForestRegressor(_ForestBase):
+    """Bagging + feature-subsampled regression trees."""
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        if len(X) != len(y):
+            raise ValueError("X/y length mismatch")
+        self._fit_trees(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        return self._mean_prediction(X)[:, 0]
+
+
+class RandomForestClassifier(_ForestBase):
+    """Probability forest over one-hot targets."""
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=float)
+        self.encoder_ = LabelEncoder()
+        codes = self.encoder_.fit_transform(y)
+        Y = one_hot(codes, len(self.encoder_.classes_))
+        self._fit_trees(X, Y)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = np.clip(self._mean_prediction(X), 0.0, None)
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return scores / totals
+
+    def predict(self, X) -> np.ndarray:
+        codes = np.argmax(self._mean_prediction(X), axis=1)
+        return self.encoder_.inverse_transform(codes)
+
+    @property
+    def classes_(self) -> np.ndarray:
+        return self.encoder_.classes_

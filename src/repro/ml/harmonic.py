@@ -1,0 +1,62 @@
+"""Harmonic-mean throughput predictor -- the history baseline [38, 64].
+
+FESTIVE/MPC-style ABR algorithms predict the next throughput as the
+harmonic mean of the last ``window`` observed throughputs; the harmonic
+mean damps the effect of transient spikes.  It needs no training and no
+features beyond the session's own past throughput, which is why the paper
+lists it under the C (connection) information only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def harmonic_mean(values: np.ndarray) -> float:
+    """Harmonic mean, treating non-positive samples as a small floor.
+
+    mmWave traces genuinely hit 0 Mbps (handoff outages); a literal
+    harmonic mean would be destroyed by a single zero, so ABR
+    implementations floor the samples.
+    """
+    values = np.maximum(np.asarray(values, dtype=float), 1e-3)
+    return float(len(values) / np.sum(1.0 / values))
+
+
+class HarmonicMeanPredictor:
+    """Per-session sliding-window harmonic-mean forecaster."""
+
+    def __init__(self, window: int = 5):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def predict_trace(self, throughput: np.ndarray) -> np.ndarray:
+        """One-step-ahead predictions along a single session trace.
+
+        ``pred[t]`` forecasts ``throughput[t]`` from samples before ``t``;
+        the first prediction (no history) repeats the first observation.
+        """
+        x = np.asarray(throughput, dtype=float)
+        if len(x) == 0:
+            return np.empty(0)
+        preds = np.empty(len(x))
+        preds[0] = x[0]
+        for t in range(1, len(x)):
+            lo = max(0, t - self.window)
+            preds[t] = harmonic_mean(x[lo:t])
+        return preds
+
+    def predict_sessions(
+        self, throughput: np.ndarray, session_ids: np.ndarray
+    ) -> np.ndarray:
+        """One-step-ahead predictions, restarting at session boundaries."""
+        throughput = np.asarray(throughput, dtype=float)
+        session_ids = np.asarray(session_ids)
+        if len(throughput) != len(session_ids):
+            raise ValueError("length mismatch")
+        preds = np.empty(len(throughput))
+        for sid in np.unique(session_ids):
+            mask = session_ids == sid
+            preds[mask] = self.predict_trace(throughput[mask])
+        return preds

@@ -1,0 +1,112 @@
+"""A k-d tree for exact nearest-neighbour queries.
+
+Brute-force KNN is O(n) per query; the k-d tree gives expected
+O(log n) for the low-dimensional feature spaces of the L/L+M groups.
+Used by :class:`~repro.ml.knn.KNNRegressor`/``KNNClassifier`` when the
+dimensionality makes it worthwhile; also usable standalone.
+
+Implementation: median-split construction over the widest-spread axis,
+array-based nodes, iterative best-first query with a bounded max-heap of
+candidates.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+class KDTree:
+    """Static k-d tree over an (n, d) float matrix."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 16):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("points must be a non-empty 2-D array")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.points = points
+        self.leaf_size = leaf_size
+        # Node arrays: axis < 0 marks a leaf holding indices [start, end).
+        self._axis: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._start: list[int] = []
+        self._end: list[int] = []
+        self._index = np.arange(len(points))
+        self._build(0, len(points))
+
+    def _new_node(self) -> int:
+        for arr in (self._axis, self._threshold, self._left, self._right,
+                    self._start, self._end):
+            arr.append(-1)
+        return len(self._axis) - 1
+
+    def _build(self, start: int, end: int) -> int:
+        node = self._new_node()
+        n = end - start
+        if n <= self.leaf_size:
+            self._axis[node] = -1
+            self._start[node] = start
+            self._end[node] = end
+            return node
+        subset = self.points[self._index[start:end]]
+        spreads = subset.max(axis=0) - subset.min(axis=0)
+        axis = int(np.argmax(spreads))
+        order = np.argsort(subset[:, axis], kind="stable")
+        self._index[start:end] = self._index[start:end][order]
+        mid = start + n // 2
+        self._axis[node] = axis
+        self._threshold[node] = float(
+            self.points[self._index[mid], axis]
+        )
+        self._left[node] = self._build(start, mid)
+        self._right[node] = self._build(mid, end)
+        return node
+
+    def query(self, q: np.ndarray, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """(distances, indices) of the k nearest points to ``q``."""
+        q = np.asarray(q, dtype=float)
+        if q.ndim != 1 or len(q) != self.points.shape[1]:
+            raise ValueError("query dimensionality mismatch")
+        k = min(k, len(self.points))
+        # Max-heap of (-dist2, index) for the current best k.
+        best: list[tuple[float, int]] = []
+
+        def visit(node: int) -> None:
+            axis = self._axis[node]
+            if axis < 0:
+                for i in self._index[self._start[node]:self._end[node]]:
+                    d2 = float(((self.points[i] - q) ** 2).sum())
+                    if len(best) < k:
+                        heapq.heappush(best, (-d2, int(i)))
+                    elif d2 < -best[0][0]:
+                        heapq.heapreplace(best, (-d2, int(i)))
+                return
+            diff = q[axis] - self._threshold[node]
+            near, far = ((self._left[node], self._right[node]) if diff < 0
+                         else (self._right[node], self._left[node]))
+            visit(near)
+            if len(best) < k or diff * diff < -best[0][0]:
+                visit(far)
+
+        visit(0)
+        order = sorted(best, key=lambda t: -t[0])
+        dists = np.sqrt(np.asarray([-d2 for d2, _ in order]))
+        idx = np.asarray([i for _, i in order], dtype=int)
+        return dists, idx
+
+    def query_many(
+        self, Q: np.ndarray, k: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`query`; returns (n_q, k) distance/index arrays."""
+        Q = np.asarray(Q, dtype=float)
+        n = len(Q)
+        k_eff = min(k, len(self.points))
+        dists = np.empty((n, k_eff))
+        idx = np.empty((n, k_eff), dtype=int)
+        for i in range(n):
+            dists[i], idx[i] = self.query(Q[i], k_eff)
+        return dists, idx

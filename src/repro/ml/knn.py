@@ -1,0 +1,93 @@
+"""k-nearest-neighbour baselines.
+
+KNN is the simplest location-lookup predictor evaluated by the paper
+(Tables 4, 9, 10): find the k most similar feature vectors in the training
+set and average (regression) or vote (classification).  Features are
+standardized internally so that distances are meaningful across mixed
+units (pixels, m/s, degrees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+
+
+class _KNNBase:
+    def __init__(self, n_neighbors: int = 5, chunk_size: int = 512):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.chunk_size = chunk_size
+        self._scaler: StandardScaler | None = None
+        self._X: np.ndarray | None = None
+
+    def _fit_features(self, X) -> None:
+        X = np.asarray(X, dtype=float)
+        if len(X) == 0:
+            raise ValueError("empty training set")
+        self._scaler = StandardScaler()
+        self._X = self._scaler.fit_transform(np.nan_to_num(X))
+
+    def _neighbor_indices(self, X) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("model is not fitted")
+        Xq = self._scaler.transform(np.nan_to_num(np.asarray(X, dtype=float)))
+        k = min(self.n_neighbors, len(self._X))
+        out = np.empty((len(Xq), k), dtype=int)
+        train_sq = np.einsum("ij,ij->i", self._X, self._X)
+        for start in range(0, len(Xq), self.chunk_size):
+            chunk = Xq[start:start + self.chunk_size]
+            d2 = (
+                train_sq[None, :]
+                - 2.0 * chunk @ self._X.T
+                + np.einsum("ij,ij->i", chunk, chunk)[:, None]
+            )
+            out[start:start + len(chunk)] = np.argpartition(
+                d2, kth=k - 1, axis=1
+            )[:, :k]
+        return out
+
+
+class KNNRegressor(_KNNBase):
+    """Mean of the k nearest targets."""
+
+    def fit(self, X, y) -> "KNNRegressor":
+        self._fit_features(X)
+        self._y = np.asarray(y, dtype=float).ravel()
+        if len(self._y) != len(self._X):
+            raise ValueError("X/y length mismatch")
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        idx = self._neighbor_indices(X)
+        return self._y[idx].mean(axis=1)
+
+
+class KNNClassifier(_KNNBase):
+    """Majority vote among the k nearest labels."""
+
+    def fit(self, X, y) -> "KNNClassifier":
+        self._fit_features(X)
+        self.encoder_ = LabelEncoder()
+        self._codes = self.encoder_.fit_transform(y)
+        if len(self._codes) != len(self._X):
+            raise ValueError("X/y length mismatch")
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        idx = self._neighbor_indices(X)
+        k_classes = len(self.encoder_.classes_)
+        votes = np.zeros((len(idx), k_classes))
+        for c in range(k_classes):
+            votes[:, c] = (self._codes[idx] == c).mean(axis=1)
+        return votes
+
+    def predict(self, X) -> np.ndarray:
+        codes = np.argmax(self.predict_proba(X), axis=1)
+        return self.encoder_.inverse_transform(codes)
+
+    @property
+    def classes_(self) -> np.ndarray:
+        return self.encoder_.classes_

@@ -1,0 +1,111 @@
+"""Linear baselines: ridge regression and multinomial logistic regression.
+
+Simple, strong-floor baselines used throughout the wireless-prediction
+literature.  Both standardize features internally (so regularization acts
+uniformly) and tolerate NaN features by mean imputation, matching the
+tolerance of the tree models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.gbdt import softmax
+from repro.ml.preprocessing import LabelEncoder, StandardScaler, one_hot
+
+
+def _impute(X: np.ndarray) -> np.ndarray:
+    if not np.isnan(X).any():
+        return X
+    col_mean = np.nanmean(X, axis=0)
+    col_mean = np.where(np.isfinite(col_mean), col_mean, 0.0)
+    return np.where(np.isnan(X), col_mean[None, :], X)
+
+
+class RidgeRegressor:
+    """L2-regularized least squares with intercept (closed form)."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, X, y) -> "RidgeRegressor":
+        X = _impute(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise ValueError("X/y length mismatch")
+        self._scaler = StandardScaler()
+        Z = self._scaler.fit_transform(X)
+        self._y_mean = float(y.mean())
+        yc = y - self._y_mean
+        d = Z.shape[1]
+        A = Z.T @ Z + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(A, Z.T @ yc)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._scaler is None:
+            raise RuntimeError("model is not fitted")
+        Z = self._scaler.transform(_impute(np.asarray(X, dtype=float)))
+        return Z @ self.coef_ + self._y_mean
+
+
+class LogisticRegression:
+    """Multinomial logistic regression trained by full-batch Newton-free
+    gradient descent with L2 regularization."""
+
+    def __init__(self, alpha: float = 1e-3, max_iter: int = 300,
+                 learning_rate: float = 0.5, tol: float = 1e-7):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+        self.tol = tol
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X = _impute(np.asarray(X, dtype=float))
+        self.encoder_ = LabelEncoder()
+        codes = self.encoder_.fit_transform(y)
+        k = len(self.encoder_.classes_)
+        if k < 2:
+            raise ValueError("need at least two classes")
+        Y = one_hot(codes, k)
+        self._scaler = StandardScaler()
+        Z = self._scaler.fit_transform(X)
+        Z = np.column_stack([Z, np.ones(len(Z))])  # intercept column
+        n, d = Z.shape
+        W = np.zeros((d, k))
+        prev_loss = np.inf
+        for _ in range(self.max_iter):
+            P = softmax(Z @ W)
+            grad = Z.T @ (P - Y) / n + self.alpha * W
+            W -= self.learning_rate * grad
+            loss = (-np.sum(Y * np.log(np.clip(P, 1e-12, None))) / n
+                    + 0.5 * self.alpha * float((W * W).sum()))
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.W_ = W
+        return self
+
+    def _logits(self, X) -> np.ndarray:
+        if self._scaler is None:
+            raise RuntimeError("model is not fitted")
+        Z = self._scaler.transform(_impute(np.asarray(X, dtype=float)))
+        Z = np.column_stack([Z, np.ones(len(Z))])
+        return Z @ self.W_
+
+    def predict_proba(self, X) -> np.ndarray:
+        return softmax(self._logits(X))
+
+    def predict(self, X) -> np.ndarray:
+        codes = np.argmax(self._logits(X), axis=1)
+        return self.encoder_.inverse_transform(codes)
+
+    @property
+    def classes_(self) -> np.ndarray:
+        return self.encoder_.classes_

@@ -1,0 +1,124 @@
+"""Evaluation metrics used throughout the paper.
+
+Regression: MAE and RMSE (Tables 4, 8, 9, 10).  Classification: weighted
+average F1 score (the paper's headline metric), per-class recall (reported
+for the low-throughput class), accuracy, and confusion matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_same_length(a: np.ndarray, b: np.ndarray) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    if len(a) == 0:
+        raise ValueError("metrics need at least one sample")
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error (the paper's "MAE"/"Mean Average Error")."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _check_same_length(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _check_same_length(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mse(y_true, y_pred) -> float:
+    """Mean squared error (the training loss of both model families)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _check_same_length(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Counts[i, j] = samples with true label i predicted as label j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    _check_same_length(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = list(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def precision_recall_f1(
+    y_true, y_pred, labels=None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class (precision, recall, f1, support) arrays.
+
+    Empty classes get 0 for all three scores (sklearn's zero_division=0).
+    """
+    if labels is None:
+        labels = np.unique(np.concatenate([np.asarray(y_true),
+                                           np.asarray(y_pred)]))
+    cm = confusion_matrix(y_true, y_pred, labels=labels)
+    tp = np.diag(cm).astype(float)
+    predicted = cm.sum(axis=0).astype(float)
+    actual = cm.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return precision, recall, f1, actual.astype(int)
+
+
+def weighted_f1(y_true, y_pred, labels=None) -> float:
+    """Support-weighted average F1 (the paper's "weighted average F1")."""
+    _, _, f1, support = precision_recall_f1(y_true, y_pred, labels=labels)
+    total = support.sum()
+    if total == 0:
+        raise ValueError("no samples")
+    return float(np.sum(f1 * support) / total)
+
+
+def macro_f1(y_true, y_pred, labels=None) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    _, _, f1, _ = precision_recall_f1(y_true, y_pred, labels=labels)
+    return float(f1.mean())
+
+
+def recall_of_class(y_true, y_pred, target_label) -> float:
+    """Recall of one class (the paper tracks the low-throughput class).
+
+    Returns NaN when the class never occurs in ``y_true``.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    _check_same_length(y_true, y_pred)
+    actual = y_true == target_label
+    if not actual.any():
+        return float("nan")
+    return float(np.mean(y_pred[actual] == target_label))
+
+
+def accuracy(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    _check_same_length(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def error_reduction_factor(baseline_error: float, model_error: float) -> float:
+    """How many times smaller the model's error is vs a baseline.
+
+    The paper's "1.37x to 4.84x reduction in prediction error".
+    """
+    if model_error <= 0:
+        raise ValueError("model error must be positive")
+    return baseline_error / model_error

@@ -1,0 +1,124 @@
+"""Model selection: k-fold cross-validation and grid search.
+
+The paper tunes GDBT and Seq2Seq hyperparameters by grid search on a
+held-out area (data from neither train nor test).  ``GridSearch`` mirrors
+that: it scores each parameter combination on a validation set (or via
+k-fold CV) and keeps the best estimator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def kfold_indices(
+    n: int, n_splits: int = 5, rng: np.random.Generator | int | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_idx, val_idx) pairs."""
+    if n_splits < 2:
+        raise ValueError("n_splits must be >= 2")
+    if n < n_splits:
+        raise ValueError("more folds than samples")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, n_splits)
+    out = []
+    for i in range(n_splits):
+        val = folds[i]
+        train = np.concatenate([folds[j] for j in range(n_splits) if j != i])
+        out.append((train, val))
+    return out
+
+
+def parameter_grid(grid: Mapping[str, Sequence]) -> list[dict]:
+    """Expand ``{param: [values]}`` into the list of combinations."""
+    if not grid:
+        return [{}]
+    keys = list(grid)
+    return [dict(zip(keys, combo))
+            for combo in itertools.product(*(grid[k] for k in keys))]
+
+
+@dataclass
+class GridSearchResult:
+    params: dict
+    score: float
+
+
+class GridSearch:
+    """Exhaustive search over a parameter grid.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Callable mapping a parameter dict to an unfitted estimator with
+        ``fit``/``predict``.
+    score_fn:
+        Callable ``(y_true, y_pred) -> float``; *lower is better* when
+        ``minimize`` is True (e.g. MAE), higher otherwise (e.g. F1).
+    """
+
+    def __init__(
+        self,
+        estimator_factory: Callable[[dict], object],
+        param_grid: Mapping[str, Sequence],
+        score_fn: Callable,
+        minimize: bool = True,
+    ):
+        self.estimator_factory = estimator_factory
+        self.param_grid = param_grid
+        self.score_fn = score_fn
+        self.minimize = minimize
+        self.results_: list[GridSearchResult] = []
+        self.best_params_: dict | None = None
+        self.best_score_: float | None = None
+        self.best_estimator_ = None
+
+    def _better(self, a: float, b: float) -> bool:
+        return a < b if self.minimize else a > b
+
+    def fit_validation(self, X_train, y_train, X_val, y_val) -> "GridSearch":
+        """Score every combination on one fixed validation set."""
+        self.results_ = []
+        for params in parameter_grid(self.param_grid):
+            model = self.estimator_factory(params)
+            model.fit(X_train, y_train)
+            score = float(self.score_fn(y_val, model.predict(X_val)))
+            self.results_.append(GridSearchResult(params, score))
+            if self.best_score_ is None or self._better(score, self.best_score_):
+                self.best_score_ = score
+                self.best_params_ = params
+                self.best_estimator_ = model
+        return self
+
+    def fit_cv(
+        self, X, y, n_splits: int = 3,
+        rng: np.random.Generator | int | None = 0,
+    ) -> "GridSearch":
+        """Score every combination by k-fold cross-validation."""
+        X = np.asarray(X)
+        y = np.asarray(y)
+        folds = kfold_indices(len(X), n_splits, rng)
+        self.results_ = []
+        for params in parameter_grid(self.param_grid):
+            scores = []
+            for train_idx, val_idx in folds:
+                model = self.estimator_factory(params)
+                model.fit(X[train_idx], y[train_idx])
+                scores.append(
+                    float(self.score_fn(y[val_idx], model.predict(X[val_idx])))
+                )
+            score = float(np.mean(scores))
+            self.results_.append(GridSearchResult(params, score))
+            if self.best_score_ is None or self._better(score, self.best_score_):
+                self.best_score_ = score
+                self.best_params_ = params
+        if self.best_params_ is not None:
+            self.best_estimator_ = self.estimator_factory(self.best_params_)
+            self.best_estimator_.fit(X, y)
+        return self

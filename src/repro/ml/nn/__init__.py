@@ -1,0 +1,17 @@
+"""Numpy neural nets: LSTM with BPTT, Adam, Seq2Seq encoder-decoder."""
+
+from repro.ml.nn.gru import GRULayer
+from repro.ml.nn.lstm import DenseLayer, LSTMLayer, sigmoid
+from repro.ml.nn.optim import Adam, clip_gradients
+from repro.ml.nn.seq2seq import Seq2SeqNetwork, Seq2SeqRegressor
+
+__all__ = [
+    "Adam",
+    "DenseLayer",
+    "GRULayer",
+    "LSTMLayer",
+    "Seq2SeqNetwork",
+    "Seq2SeqRegressor",
+    "clip_gradients",
+    "sigmoid",
+]

@@ -1,0 +1,125 @@
+"""GRU layer with full backpropagation-through-time, in numpy.
+
+A lighter recurrent cell than the LSTM (no separate cell state, 3 gates
+instead of 4); offered as an alternative Seq2Seq encoder for the
+standard LSTM-vs-GRU ablation.  Weight layout: ``W`` of shape
+(input_dim + hidden, 3 * hidden) holding the reset / update / candidate
+blocks in that column order, with the candidate block applied to the
+*reset-gated* hidden state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn.lstm import _orthogonal, sigmoid
+
+
+class GRULayer:
+    """Batch-first GRU: input (B, T, D) -> hidden states (B, T, H)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | None = None):
+        if input_dim < 1 or hidden_dim < 1:
+            raise ValueError("dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        scale = np.sqrt(2.0 / (input_dim + hidden_dim))
+        Wx = rng.normal(0.0, scale, size=(input_dim, 3 * hidden_dim))
+        Wh = np.concatenate(
+            [_orthogonal((hidden_dim, hidden_dim), rng) for _ in range(3)],
+            axis=1,
+        )
+        self.W = np.concatenate([Wx, Wh], axis=0)
+        self.b = np.zeros(3 * hidden_dim)
+        self._cache = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def forward(
+        self, x: np.ndarray, h0: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, None]:
+        """Run the sequence; returns (H_all, h_T, None).
+
+        The trailing ``None`` keeps the return signature interchangeable
+        with :class:`~repro.ml.nn.lstm.LSTMLayer` (which returns c_T).
+        """
+        B, T, D = x.shape
+        if D != self.input_dim:
+            raise ValueError(f"expected input dim {self.input_dim}, got {D}")
+        Hd = self.hidden_dim
+        h = np.zeros((B, Hd)) if h0 is None else h0.copy()
+        H_all = np.empty((B, T, Hd))
+        cache = {
+            "x": x, "h_prev": np.empty((B, T, Hd)),
+            "r": np.empty((B, T, Hd)), "z": np.empty((B, T, Hd)),
+            "n": np.empty((B, T, Hd)),
+        }
+        Wx = self.W[:D]
+        Wh = self.W[D:]
+        for t in range(T):
+            cache["h_prev"][:, t] = h
+            gates_x = x[:, t] @ Wx + self.b
+            gates_h = h @ Wh
+            r = sigmoid(gates_x[:, :Hd] + gates_h[:, :Hd])
+            z = sigmoid(gates_x[:, Hd:2 * Hd] + gates_h[:, Hd:2 * Hd])
+            n = np.tanh(gates_x[:, 2 * Hd:] + r * gates_h[:, 2 * Hd:])
+            h = (1.0 - z) * n + z * h
+            H_all[:, t] = h
+            cache["r"][:, t] = r
+            cache["z"][:, t] = z
+            cache["n"][:, t] = n
+        self._cache = cache
+        return H_all, h, None
+
+    def backward(
+        self,
+        dH_all: np.ndarray | None,
+        dh_last: np.ndarray | None = None,
+        dc_last=None,  # ignored; signature parity with LSTMLayer
+    ) -> tuple[np.ndarray, list[np.ndarray], np.ndarray, None]:
+        """Exact BPTT; returns (dx, [dW, db], dh0, None)."""
+        cache = self._cache
+        if cache is None:
+            raise RuntimeError("forward must run before backward")
+        x = cache["x"]
+        B, T, D = x.shape
+        Hd = self.hidden_dim
+        Wx = self.W[:D]
+        Wh = self.W[D:]
+        dWx = np.zeros_like(Wx)
+        dWh = np.zeros_like(Wh)
+        db = np.zeros_like(self.b)
+        dx = np.zeros_like(x)
+        dh = np.zeros((B, Hd)) if dh_last is None else dh_last.copy()
+        for t in range(T - 1, -1, -1):
+            if dH_all is not None:
+                dh = dh + dH_all[:, t]
+            r, z, n = cache["r"][:, t], cache["z"][:, t], cache["n"][:, t]
+            h_prev = cache["h_prev"][:, t]
+            dn = dh * (1.0 - z)
+            dz = dh * (h_prev - n)
+            dh_prev = dh * z
+
+            da_n = dn * (1.0 - n * n)  # pre-activation of candidate
+            gh_n = h_prev @ Wh[:, 2 * Hd:]
+            dr = da_n * gh_n
+            da_r = dr * r * (1.0 - r)
+            da_z = dz * z * (1.0 - z)
+
+            da = np.concatenate([da_r, da_z, da_n], axis=1)
+            dWx += x[:, t].T @ da
+            db += da.sum(axis=0)
+            dx[:, t] = da @ Wx.T
+
+            # Hidden-side contributions: r and z blocks see h_prev
+            # directly; the candidate block sees r * h_prev.
+            dgh = np.concatenate([da_r, da_z, da_n * r], axis=1)
+            dWh += h_prev.T @ dgh
+            dh_prev = dh_prev + dgh @ Wh.T
+            dh = dh_prev
+        dW = np.concatenate([dWx, dWh], axis=0)
+        return dx, [dW, db], dh, None

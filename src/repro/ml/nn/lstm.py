@@ -1,0 +1,173 @@
+"""LSTM layer with full backpropagation-through-time, in numpy.
+
+A single weight matrix ``W`` of shape (input_dim + hidden, 4 * hidden)
+holds the input/forget/cell/output gate weights (in that column order);
+forward caches per-step activations so ``backward`` can run exact BPTT.
+Weights use orthogonal recurrent / Glorot input initialization with the
+standard forget-gate bias of 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    a = rng.normal(size=shape)
+    q, _ = np.linalg.qr(a if shape[0] >= shape[1] else a.T)
+    return q if shape[0] >= shape[1] else q.T
+
+
+class LSTMLayer:
+    """Batch-first LSTM: input (B, T, D) -> hidden states (B, T, H)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | None = None):
+        if input_dim < 1 or hidden_dim < 1:
+            raise ValueError("dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        scale = np.sqrt(2.0 / (input_dim + hidden_dim))
+        Wx = rng.normal(0.0, scale, size=(input_dim, 4 * hidden_dim))
+        Wh = np.concatenate(
+            [_orthogonal((hidden_dim, hidden_dim), rng) for _ in range(4)],
+            axis=1,
+        )
+        self.W = np.concatenate([Wx, Wh], axis=0)
+        self.b = np.zeros(4 * hidden_dim)
+        self.b[hidden_dim:2 * hidden_dim] = 1.0  # forget-gate bias
+        self._cache = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def forward(
+        self,
+        x: np.ndarray,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run the sequence; returns (H_all, h_T, c_T)."""
+        B, T, D = x.shape
+        if D != self.input_dim:
+            raise ValueError(f"expected input dim {self.input_dim}, got {D}")
+        Hd = self.hidden_dim
+        h = np.zeros((B, Hd)) if h0 is None else h0.copy()
+        c = np.zeros((B, Hd)) if c0 is None else c0.copy()
+        H_all = np.empty((B, T, Hd))
+        cache = {"x": x, "h_prev": np.empty((B, T, Hd)),
+                 "c_prev": np.empty((B, T, Hd)),
+                 "i": np.empty((B, T, Hd)), "f": np.empty((B, T, Hd)),
+                 "g": np.empty((B, T, Hd)), "o": np.empty((B, T, Hd)),
+                 "c": np.empty((B, T, Hd)), "tanh_c": np.empty((B, T, Hd)),
+                 "h0": h.copy(), "c0": c.copy()}
+        for t in range(T):
+            cache["h_prev"][:, t] = h
+            cache["c_prev"][:, t] = c
+            z = np.concatenate([x[:, t], h], axis=1) @ self.W + self.b
+            i = sigmoid(z[:, :Hd])
+            f = sigmoid(z[:, Hd:2 * Hd])
+            g = np.tanh(z[:, 2 * Hd:3 * Hd])
+            o = sigmoid(z[:, 3 * Hd:])
+            c = f * c + i * g
+            tc = np.tanh(c)
+            h = o * tc
+            H_all[:, t] = h
+            for key, val in (("i", i), ("f", f), ("g", g), ("o", o),
+                             ("c", c), ("tanh_c", tc)):
+                cache[key][:, t] = val
+        self._cache = cache
+        return H_all, h, c
+
+    def backward(
+        self,
+        dH_all: np.ndarray | None,
+        dh_last: np.ndarray | None = None,
+        dc_last: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, list[np.ndarray], np.ndarray, np.ndarray]:
+        """BPTT given upstream grads.
+
+        ``dH_all`` is the gradient w.r.t. every hidden state (may be None),
+        ``dh_last``/``dc_last`` w.r.t. the final states only.  Returns
+        ``(dx, [dW, db], dh0, dc0)``.
+        """
+        cache = self._cache
+        if cache is None:
+            raise RuntimeError("forward must run before backward")
+        x = cache["x"]
+        B, T, _ = x.shape
+        Hd = self.hidden_dim
+        dW = np.zeros_like(self.W)
+        db = np.zeros_like(self.b)
+        dx = np.zeros_like(x)
+        dh = np.zeros((B, Hd)) if dh_last is None else dh_last.copy()
+        dc = np.zeros((B, Hd)) if dc_last is None else dc_last.copy()
+        for t in range(T - 1, -1, -1):
+            if dH_all is not None:
+                dh = dh + dH_all[:, t]
+            i, f, g, o = (cache["i"][:, t], cache["f"][:, t],
+                          cache["g"][:, t], cache["o"][:, t])
+            tc = cache["tanh_c"][:, t]
+            c_prev = cache["c_prev"][:, t]
+            do = dh * tc
+            dc = dc + dh * o * (1.0 - tc * tc)
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_prev = dc * f
+            dz = np.concatenate([
+                di * i * (1 - i),
+                df * f * (1 - f),
+                dg * (1 - g * g),
+                do * o * (1 - o),
+            ], axis=1)
+            inp = np.concatenate([x[:, t], cache["h_prev"][:, t]], axis=1)
+            dW += inp.T @ dz
+            db += dz.sum(axis=0)
+            dinp = dz @ self.W.T
+            dx[:, t] = dinp[:, :self.input_dim]
+            dh = dinp[:, self.input_dim:]
+            dc = dc_prev
+        return dx, [dW, db], dh, dc
+
+
+class DenseLayer:
+    """Affine map applied to the trailing dimension."""
+
+    def __init__(self, input_dim: int, output_dim: int,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(2.0 / (input_dim + output_dim))
+        self.W = rng.normal(0.0, scale, size=(input_dim, output_dim))
+        self.b = np.zeros(output_dim)
+        self._x: np.ndarray | None = None
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, dout: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        x = self._x
+        if x is None:
+            raise RuntimeError("forward must run before backward")
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_d = dout.reshape(-1, dout.shape[-1])
+        dW = flat_x.T @ flat_d
+        db = flat_d.sum(axis=0)
+        dx = dout @ self.W.T
+        return dx, [dW, db]

@@ -1,0 +1,46 @@
+"""Optimizers for the numpy neural nets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam optimizer over a flat list of parameter arrays (in-place)."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+        self.t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError("gradient list length mismatch")
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+def clip_gradients(grads: list[np.ndarray], max_norm: float = 5.0) -> float:
+    """Global-norm gradient clipping (in place); returns the pre-clip norm."""
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total

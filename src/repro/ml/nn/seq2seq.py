@@ -1,0 +1,197 @@
+"""Seq2Seq encoder-decoder for multi-step throughput regression (Fig. 15).
+
+Architecture follows the paper: an LSTM encoder consumes the input feature
+sequence (length 20 in the paper); its final state conditions an LSTM
+decoder that emits the next-k throughput values.  We use the standard
+repeat-vector decoding (the encoder context is fed to the decoder at every
+output step) with a dense readout per step -- the classic Keras
+encoder-decoder for time-series, trained with MSE and Adam.
+
+``Seq2SeqRegressor`` wraps the network in an sklearn-like interface over
+pre-windowed tensors: ``X`` of shape (n, T, D) and ``y`` of shape (n, k)
+(or (n,) for single-step prediction).  Inputs and targets are standardized
+internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn.gru import GRULayer
+from repro.ml.nn.lstm import DenseLayer, LSTMLayer
+from repro.ml.nn.optim import Adam, clip_gradients
+
+_CELLS = {"lstm": LSTMLayer, "gru": GRULayer}
+
+
+class Seq2SeqNetwork:
+    """Encoder (1-2 recurrent layers) -> repeated context -> decoder -> dense.
+
+    ``cell`` selects the recurrent unit ("lstm", the paper's choice, or
+    "gru" for the standard ablation).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int = 64,
+        output_steps: int = 1,
+        encoder_layers: int = 2,
+        cell: str = "lstm",
+        rng: np.random.Generator | None = None,
+    ):
+        if encoder_layers not in (1, 2):
+            raise ValueError("encoder_layers must be 1 or 2")
+        try:
+            layer_cls = _CELLS[cell]
+        except KeyError:
+            raise ValueError(
+                f"unknown cell {cell!r}; expected one of {sorted(_CELLS)}"
+            ) from None
+        rng = rng or np.random.default_rng(0)
+        self.output_steps = output_steps
+        self.encoders = [layer_cls(input_dim, hidden_dim, rng)]
+        if encoder_layers == 2:
+            self.encoders.append(layer_cls(hidden_dim, hidden_dim, rng))
+        self.decoder = layer_cls(hidden_dim, hidden_dim, rng)
+        self.readout = DenseLayer(hidden_dim, 1, rng)
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for enc in self.encoders:
+            out.extend(enc.params)
+        out.extend(self.decoder.params)
+        out.extend(self.readout.params)
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """x: (B, T, D) -> predictions (B, k)."""
+        h_seq = x
+        context = None
+        for enc in self.encoders:
+            h_seq, context, _ = enc.forward(h_seq)
+        dec_in = np.repeat(context[:, None, :], self.output_steps, axis=1)
+        self._dec_in_shape = dec_in.shape
+        dec_seq, _, _ = self.decoder.forward(dec_in)
+        out = self.readout.forward(dec_seq)  # (B, k, 1)
+        return out[:, :, 0]
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        """dout: (B, k) gradient of the loss w.r.t. predictions."""
+        grads_readout_input, g_read = self.readout.backward(dout[:, :, None])
+        d_dec_in, g_dec, _, _ = self.decoder.backward(grads_readout_input)
+        d_context = d_dec_in.sum(axis=1)  # repeat-vector fan-in
+
+        grads: list[np.ndarray] = []
+        # Encoder layers backward, deepest first; only the final hidden
+        # state of the last encoder receives gradient directly.
+        d_h_seq = None
+        dh_last = d_context
+        for enc in reversed(self.encoders):
+            d_x, g_enc, _, _ = enc.backward(d_h_seq, dh_last=dh_last)
+            grads = g_enc + grads
+            d_h_seq, dh_last = d_x, None
+        return grads + g_dec + g_read
+
+
+class Seq2SeqRegressor:
+    """sklearn-style wrapper: fit/predict on windowed sequences."""
+
+    def __init__(
+        self,
+        hidden_dim: int = 64,
+        encoder_layers: int = 2,
+        cell: str = "lstm",
+        epochs: int = 30,
+        batch_size: int = 256,
+        learning_rate: float = 3e-3,
+        max_grad_norm: float = 5.0,
+        min_updates: int = 300,
+        random_state: int | None = 0,
+        verbose: bool = False,
+    ):
+        self.hidden_dim = hidden_dim
+        self.encoder_layers = encoder_layers
+        self.cell = cell
+        self.epochs = epochs
+        self.min_updates = min_updates
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.max_grad_norm = max_grad_norm
+        self.random_state = random_state
+        self.verbose = verbose
+        self._net: Seq2SeqNetwork | None = None
+        self.loss_history_: list[float] = []
+
+    def _standardize_fit(self, X: np.ndarray, Y: np.ndarray) -> None:
+        self._x_mean = X.mean(axis=(0, 1))
+        self._x_std = X.std(axis=(0, 1))
+        self._x_std[self._x_std == 0.0] = 1.0
+        self._y_mean = float(Y.mean())
+        self._y_std = float(Y.std()) or 1.0
+
+    def _scale_x(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._x_mean) / self._x_std
+
+    def fit(self, X, y) -> "Seq2SeqRegressor":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 3:
+            raise ValueError("X must be (n, T, D) windows")
+        Y = np.asarray(y, dtype=float)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if len(X) != len(Y):
+            raise ValueError("X/y length mismatch")
+        rng = np.random.default_rng(self.random_state)
+        self._standardize_fit(X, Y)
+        Xs = self._scale_x(X)
+        Ys = (Y - self._y_mean) / self._y_std
+
+        self._net = Seq2SeqNetwork(
+            input_dim=X.shape[2],
+            hidden_dim=self.hidden_dim,
+            output_steps=Y.shape[1],
+            encoder_layers=self.encoder_layers,
+            cell=self.cell,
+            rng=rng,
+        )
+        optimizer = Adam(self._net.params, lr=self.learning_rate)
+        n = len(Xs)
+        # Small datasets yield few batches per epoch; stretch the epoch
+        # count so every fit gets a floor of optimizer updates.
+        batches_per_epoch = max(1, -(-n // self.batch_size))
+        epochs = max(self.epochs,
+                     -(-self.min_updates // batches_per_epoch))
+        self.loss_history_ = []
+        for epoch in range(epochs):
+            perm = rng.permutation(n)
+            epoch_loss, n_batches = 0.0, 0
+            for start in range(0, n, self.batch_size):
+                idx = perm[start:start + self.batch_size]
+                xb, yb = Xs[idx], Ys[idx]
+                pred = self._net.forward(xb)
+                diff = pred - yb
+                loss = float((diff * diff).mean())
+                dout = 2.0 * diff / diff.size
+                grads = self._net.backward(dout)
+                clip_gradients(grads, self.max_grad_norm)
+                optimizer.step(grads)
+                epoch_loss += loss
+                n_batches += 1
+            self.loss_history_.append(epoch_loss / max(n_batches, 1))
+            if self.verbose:
+                print(f"epoch {epoch + 1}/{epochs} "
+                      f"mse={self.loss_history_[-1]:.4f}")
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._net is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        preds = []
+        for start in range(0, len(X), 4096):
+            xb = self._scale_x(X[start:start + 4096])
+            preds.append(self._net.forward(xb))
+        out = np.concatenate(preds) * self._y_std + self._y_mean
+        return out[:, 0] if out.shape[1] == 1 else out

@@ -1,0 +1,125 @@
+"""JSON-serializable persistence for the tree-based models.
+
+The paper envisions UEs *downloading* throughput maps "augmented with the
+ML models" (Sec. 1).  That needs models that serialize compactly without
+pickle: this module round-trips :class:`~repro.ml.gbdt.GBDTRegressor` and
+:class:`~repro.ml.gbdt.GBDTClassifier` (binner edges + tree node arrays +
+boosting metadata) through plain dicts / JSON strings.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
+from repro.ml.preprocessing import LabelEncoder
+from repro.ml.tree import FeatureBinner, HistogramTree, TreeParams, _Node
+
+FORMAT_VERSION = 1
+
+
+def _tree_to_dict(tree: HistogramTree) -> dict:
+    return {
+        "n_outputs": tree.n_outputs,
+        "feature_gain": tree.feature_gain_.tolist(),
+        "nodes": [
+            {
+                "f": n.feature,
+                "t": n.threshold_bin,
+                "l": n.left,
+                "r": n.right,
+                "v": np.asarray(n.value).tolist(),
+                "n": n.n_samples,
+            }
+            for n in tree.nodes
+        ],
+    }
+
+
+def _tree_from_dict(data: dict, params: TreeParams) -> HistogramTree:
+    tree = HistogramTree(params)
+    tree.n_outputs = int(data["n_outputs"])
+    tree.feature_gain_ = np.asarray(data["feature_gain"], dtype=float)
+    tree.nodes = [
+        _Node(
+            feature=int(n["f"]),
+            threshold_bin=int(n["t"]),
+            left=int(n["l"]),
+            right=int(n["r"]),
+            value=np.asarray(n["v"], dtype=float),
+            n_samples=int(n["n"]),
+        )
+        for n in data["nodes"]
+    ]
+    return tree
+
+
+def _binner_to_dict(binner: FeatureBinner) -> dict:
+    return {
+        "max_bins": binner.max_bins,
+        "edges": [e.tolist() for e in binner.edges_],
+    }
+
+
+def _binner_from_dict(data: dict) -> FeatureBinner:
+    binner = FeatureBinner(max_bins=int(data["max_bins"]))
+    binner.edges_ = [np.asarray(e, dtype=float) for e in data["edges"]]
+    return binner
+
+
+_COMMON_HYPERPARAMS = (
+    "n_estimators", "learning_rate", "max_depth", "min_samples_leaf",
+    "subsample", "reg_lambda", "max_bins", "random_state",
+)
+
+
+def gbdt_to_dict(model: GBDTRegressor | GBDTClassifier) -> dict:
+    """Serialize a fitted GBDT model to a JSON-safe dict."""
+    if model._binner is None:
+        raise ValueError("model must be fitted before serialization")
+    out = {
+        "format_version": FORMAT_VERSION,
+        "kind": ("classifier" if isinstance(model, GBDTClassifier)
+                 else "regressor"),
+        "hyperparams": {k: getattr(model, k) for k in _COMMON_HYPERPARAMS},
+        "n_features": model.n_features_,
+        "binner": _binner_to_dict(model._binner),
+        "trees": [_tree_to_dict(t) for t in model._trees],
+    }
+    if isinstance(model, GBDTClassifier):
+        out["classes"] = model.encoder_.classes_.tolist()
+        out["base_logits"] = model.base_logits_.tolist()
+    else:
+        out["base_score"] = model.base_score_
+    return out
+
+
+def gbdt_from_dict(data: dict) -> GBDTRegressor | GBDTClassifier:
+    """Reconstruct a fitted GBDT model from :func:`gbdt_to_dict` output."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {data.get('format_version')!r}"
+        )
+    cls = GBDTClassifier if data["kind"] == "classifier" else GBDTRegressor
+    model = cls(**data["hyperparams"])
+    model.n_features_ = int(data["n_features"])
+    model._binner = _binner_from_dict(data["binner"])
+    params = model._tree_params()
+    model._trees = [_tree_from_dict(t, params) for t in data["trees"]]
+    if data["kind"] == "classifier":
+        model.encoder_ = LabelEncoder()
+        model.encoder_.classes_ = np.asarray(data["classes"])
+        model.base_logits_ = np.asarray(data["base_logits"], dtype=float)
+    else:
+        model.base_score_ = float(data["base_score"])
+    return model
+
+
+def gbdt_to_json(model, **json_kwargs) -> str:
+    return json.dumps(gbdt_to_dict(model), **json_kwargs)
+
+
+def gbdt_from_json(payload: str):
+    return gbdt_from_dict(json.loads(payload))

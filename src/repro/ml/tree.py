@@ -1,0 +1,291 @@
+"""Histogram-based decision trees (the shared core of GBDT and forests).
+
+Features are quantized once into at most 256 quantile bins; split search
+then reduces to per-bin gradient/hessian histograms (the LightGBM-style
+construction).  One builder covers every tree use in the repo:
+
+* plain regression trees fit targets with ``grad=y, hess=1`` (leaf = mean);
+* gradient boosting fits Newton steps with arbitrary grad/hess;
+* classification forests fit one-hot targets as multi-output regression.
+
+Trees support multi-output targets: a leaf stores a k-vector and the split
+gain sums over outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+MAX_BINS = 256
+
+
+class FeatureBinner:
+    """Quantile binning of a float feature matrix into uint8 codes."""
+
+    def __init__(self, max_bins: int = MAX_BINS):
+        if not 2 <= max_bins <= MAX_BINS:
+            raise ValueError(f"max_bins must be in [2, {MAX_BINS}]")
+        self.max_bins = max_bins
+        self.edges_: list[np.ndarray] | None = None
+
+    def fit(self, X: np.ndarray) -> "FeatureBinner":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.edges_ = []
+        qs = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+        for j in range(X.shape[1]):
+            col = X[:, j]
+            col = col[np.isfinite(col)]
+            if len(col) == 0 or col.min() == col.max():
+                # Missing or constant feature: one bin, never splittable.
+                self.edges_.append(np.empty(0))
+                continue
+            edges = np.unique(np.quantile(col, qs))
+            self.edges_.append(edges)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.edges_ is None:
+            raise RuntimeError("binner is not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.zeros(X.shape, dtype=np.uint8)
+        for j, edges in enumerate(self.edges_):
+            col = X[:, j]
+            codes = np.searchsorted(edges, col, side="right")
+            codes[~np.isfinite(col)] = 0  # missing values go to bin 0
+            out[:, j] = codes.astype(np.uint8)
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def n_bins(self, feature: int) -> int:
+        return len(self.edges_[feature]) + 1
+
+
+@dataclass
+class TreeParams:
+    """Growth limits shared by all tree consumers."""
+
+    max_depth: int = 6
+    min_samples_leaf: int = 5
+    min_gain: float = 1e-12
+    reg_lambda: float = 1.0
+    #: Number of features considered per split; None = all ("sqrt" for RF).
+    max_features: int | str | None = None
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold_bin: int = 0
+    left: int = -1
+    right: int = -1
+    value: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    n_samples: int = 0
+    gain: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class HistogramTree:
+    """One grown tree over pre-binned features."""
+
+    def __init__(self, params: TreeParams):
+        self.params = params
+        self.nodes: list[_Node] = []
+        self.n_outputs = 1
+        #: Total split gain attributed to each feature (importance raw score).
+        self.feature_gain_: np.ndarray | None = None
+
+    # -- growing ------------------------------------------------------------ #
+
+    def fit(
+        self,
+        binned: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> "HistogramTree":
+        """Grow on uint8-binned X; grad/hess are (n,) or (n, k)."""
+        grad = np.atleast_2d(np.asarray(grad, dtype=float).T).T
+        hess = np.atleast_2d(np.asarray(hess, dtype=float).T).T
+        if grad.shape != hess.shape or len(grad) != len(binned):
+            raise ValueError("grad/hess/binned shape mismatch")
+        self.n_outputs = grad.shape[1]
+        n_features = binned.shape[1]
+        self.feature_gain_ = np.zeros(n_features)
+        self.nodes = []
+        rng = rng or np.random.default_rng()
+        idx_all = np.arange(len(binned))
+        self._grow(binned, grad, hess, idx_all, depth=0, rng=rng)
+        return self
+
+    def _n_split_features(self, n_features: int) -> int:
+        mf = self.params.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return max(1, min(int(mf), n_features))
+
+    def _leaf_value(self, G: np.ndarray, H: np.ndarray) -> np.ndarray:
+        return G / (H + max(self.params.reg_lambda, 1e-12))
+
+    def _grow(self, binned, grad, hess, idx, depth, rng) -> int:
+        node_id = len(self.nodes)
+        G = grad[idx].sum(axis=0)
+        H = hess[idx].sum(axis=0)
+        node = _Node(value=self._leaf_value(G, H), n_samples=len(idx))
+        self.nodes.append(node)
+
+        p = self.params
+        if depth >= p.max_depth or len(idx) < 2 * p.min_samples_leaf:
+            return node_id
+
+        n_features = binned.shape[1]
+        k_feat = self._n_split_features(n_features)
+        features = (np.arange(n_features) if k_feat == n_features
+                    else rng.choice(n_features, size=k_feat, replace=False))
+
+        # Floor the regularizer so empty bins (H == 0) cannot divide by zero.
+        lam = max(p.reg_lambda, 1e-12)
+        base_score = float(np.sum(G * G / (H + lam)))
+        best_gain, best_feature, best_bin = 0.0, -1, -1
+
+        codes_node = binned[idx]
+        for f in features:
+            codes = codes_node[:, f]
+            n_bins = int(codes.max()) + 1
+            if n_bins < 2:
+                continue
+            # Per-bin gradient/hessian sums for every output.
+            hist_g = np.empty((n_bins, self.n_outputs))
+            hist_h = np.empty((n_bins, self.n_outputs))
+            hist_n = np.bincount(codes, minlength=n_bins)
+            for k in range(self.n_outputs):
+                hist_g[:, k] = np.bincount(codes, weights=grad[idx, k],
+                                           minlength=n_bins)
+                hist_h[:, k] = np.bincount(codes, weights=hess[idx, k],
+                                           minlength=n_bins)
+            GL = np.cumsum(hist_g, axis=0)[:-1]
+            HL = np.cumsum(hist_h, axis=0)[:-1]
+            NL = np.cumsum(hist_n)[:-1]
+            GR = G - GL
+            HR = H - HL
+            NR = len(idx) - NL
+            valid = (NL >= p.min_samples_leaf) & (NR >= p.min_samples_leaf)
+            if not valid.any():
+                continue
+            score = (np.sum(GL * GL / (HL + lam), axis=1)
+                     + np.sum(GR * GR / (HR + lam), axis=1))
+            score[~valid] = -np.inf
+            b = int(np.argmax(score))
+            gain = float(score[b]) - base_score
+            if gain > best_gain:
+                best_gain, best_feature, best_bin = gain, int(f), b
+
+        if best_feature < 0 or best_gain <= p.min_gain:
+            return node_id
+
+        mask = codes_node[:, best_feature] <= best_bin
+        left_idx, right_idx = idx[mask], idx[~mask]
+        node.feature = best_feature
+        node.threshold_bin = best_bin
+        node.gain = best_gain
+        self.feature_gain_[best_feature] += best_gain
+        node.left = self._grow(binned, grad, hess, left_idx, depth + 1, rng)
+        node.right = self._grow(binned, grad, hess, right_idx, depth + 1, rng)
+        return node_id
+
+    # -- prediction ---------------------------------------------------------- #
+
+    def predict_binned(self, binned: np.ndarray) -> np.ndarray:
+        """Leaf values for pre-binned samples; shape (n, k)."""
+        n = len(binned)
+        out = np.zeros((n, self.n_outputs))
+        node_ids = np.zeros(n, dtype=int)
+        active = np.arange(n)
+        while len(active):
+            nid = node_ids[active]
+            # Group by current node to test leafness vectorized-ish.
+            still = []
+            for u in np.unique(nid):
+                node = self.nodes[u]
+                members = active[nid == u]
+                if node.is_leaf:
+                    out[members] = node.value
+                else:
+                    goes_left = binned[members, node.feature] <= node.threshold_bin
+                    node_ids[members[goes_left]] = node.left
+                    node_ids[members[~goes_left]] = node.right
+                    still.append(members)
+            active = np.concatenate(still) if still else np.empty(0, dtype=int)
+        return out
+
+    def apply(self, binned: np.ndarray) -> np.ndarray:
+        """Leaf node-id each pre-binned sample lands in."""
+        n = len(binned)
+        node_ids = np.zeros(n, dtype=int)
+        active = np.arange(n)
+        while len(active):
+            nid = node_ids[active]
+            still = []
+            for u in np.unique(nid):
+                node = self.nodes[u]
+                members = active[nid == u]
+                if node.is_leaf:
+                    continue
+                goes_left = binned[members, node.feature] <= node.threshold_bin
+                node_ids[members[goes_left]] = node.left
+                node_ids[members[~goes_left]] = node.right
+                still.append(members)
+            active = np.concatenate(still) if still else np.empty(0, dtype=int)
+        return node_ids
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.nodes if n.is_leaf)
+
+    @property
+    def depth(self) -> int:
+        def walk(i: int) -> int:
+            node = self.nodes[i]
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(0) if self.nodes else 0
+
+
+class DecisionTreeRegressor:
+    """Standalone CART-style regressor over the histogram core."""
+
+    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 5,
+                 max_bins: int = MAX_BINS):
+        self.params = TreeParams(max_depth=max_depth,
+                                 min_samples_leaf=min_samples_leaf,
+                                 reg_lambda=0.0)
+        self.max_bins = max_bins
+        self._binner: FeatureBinner | None = None
+        self._tree: HistogramTree | None = None
+
+    def fit(self, X, y, rng: np.random.Generator | None = None):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        self._binner = FeatureBinner(self.max_bins)
+        binned = self._binner.fit_transform(X)
+        self._tree = HistogramTree(self.params)
+        self._tree.fit(binned, y, np.ones_like(np.atleast_2d(y.T).T), rng=rng)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._tree is None:
+            raise RuntimeError("model is not fitted")
+        binned = self._binner.transform(np.asarray(X, dtype=float))
+        pred = self._tree.predict_binned(binned)
+        return pred[:, 0] if pred.shape[1] == 1 else pred

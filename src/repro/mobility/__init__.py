@@ -1,0 +1,27 @@
+"""Mobility substrate: trajectories and walking/driving/stationary models."""
+
+from repro.mobility.models import (
+    DrivingModel,
+    MobilityModel,
+    StationaryModel,
+    WalkingModel,
+    kmph,
+    mps,
+)
+from repro.mobility.trajectory import (
+    TraversalState,
+    Trajectory,
+    rectangle_loop,
+)
+
+__all__ = [
+    "DrivingModel",
+    "MobilityModel",
+    "StationaryModel",
+    "TraversalState",
+    "Trajectory",
+    "WalkingModel",
+    "kmph",
+    "mps",
+    "rectangle_loop",
+]

@@ -1,0 +1,172 @@
+"""Mobility models: how fast the UE moves along its route each second.
+
+Three modes appear in the dataset (Table 3): stationary, walking
+(0-7 km/h) and driving (0-45 km/h with stop-and-go at traffic lights and
+rail crossings).  Models are stateful speed generators; the simulator
+advances a :class:`~repro.mobility.trajectory.TraversalState` by the speed
+each model emits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def kmph(speed_mps: float) -> float:
+    return speed_mps * 3.6
+
+
+def mps(speed_kmph: float) -> float:
+    return speed_kmph / 3.6
+
+
+class MobilityModel:
+    """Interface: emit the speed (m/s) for the next 1-second step."""
+
+    #: Google Activity Recognition label reported in telemetry.
+    activity = "STILL"
+    #: Whether the UE rides inside a vehicle (windshield mount, body loss).
+    in_vehicle = False
+
+    def reset(self, rng: np.random.Generator) -> None:  # pragma: no cover
+        """Re-initialize internal state at the start of a pass."""
+
+    def next_speed_mps(
+        self, rng: np.random.Generator, s_m: float = 0.0,
+        route_length_m: float | None = None,
+    ) -> float:
+        """Speed for the next second; ``s_m`` is arclength along the route."""
+        raise NotImplementedError
+
+
+@dataclass
+class StationaryModel(MobilityModel):
+    """A UE resting on a tripod or held still."""
+
+    activity = "STILL"
+
+    def next_speed_mps(
+        self, rng: np.random.Generator, s_m: float = 0.0,
+        route_length_m: float | None = None,
+    ) -> float:
+        return 0.0
+
+
+@dataclass
+class WalkingModel(MobilityModel):
+    """Pedestrian pace with small second-to-second variation.
+
+    Mean-reverting (AR(1)) around a preferred pace of ~1.4 m/s (5 km/h),
+    clipped to the paper's observed 0-7 km/h walking range.
+    """
+
+    mean_speed_mps: float = 1.4
+    sigma_mps: float = 0.25
+    reversion: float = 0.7
+    max_speed_mps: float = mps(7.0)
+    _speed: float = field(default=1.4, repr=False)
+
+    activity = "WALKING"
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._speed = float(
+            np.clip(rng.normal(self.mean_speed_mps, self.sigma_mps),
+                    0.0, self.max_speed_mps)
+        )
+
+    def next_speed_mps(
+        self, rng: np.random.Generator, s_m: float = 0.0,
+        route_length_m: float | None = None,
+    ) -> float:
+        drift = self.reversion * (self._speed - self.mean_speed_mps)
+        self._speed = self.mean_speed_mps + drift + float(
+            rng.normal(0.0, self.sigma_mps * math.sqrt(1 - self.reversion**2))
+        )
+        self._speed = float(np.clip(self._speed, 0.0, self.max_speed_mps))
+        return self._speed
+
+
+@dataclass
+class DrivingModel(MobilityModel):
+    """Urban stop-and-go driving between 0 and ~45 km/h.
+
+    Alternates between CRUISE (accelerate toward a cruising speed) and
+    STOP phases (decelerate to zero and idle).  Stops are triggered two
+    ways, mirroring the Loop area: fixed ``traffic_lights`` (arclengths of
+    signalled corners/rail crossings, each red with probability
+    ``red_light_probability``) and a small per-second random stop chance
+    (pedestrians, congestion).  Phone is windshield-mounted:
+    ``in_vehicle``.
+    """
+
+    cruise_speed_mps: float = mps(38.0)
+    accel_mps2: float = 1.8
+    decel_mps2: float = 2.5
+    stop_probability_per_s: float = 0.004
+    traffic_lights: tuple[float, ...] = ()
+    red_light_probability: float = 0.55
+    light_lookahead_m: float = 40.0
+    mean_stop_duration_s: float = 18.0
+    max_speed_mps: float = mps(45.0)
+    _speed: float = field(default=0.0, repr=False)
+    _stop_timer: float = field(default=0.0, repr=False)
+    _braking: bool = field(default=False, repr=False)
+    _handled_light: float | None = field(default=None, repr=False)
+
+    activity = "IN_VEHICLE"
+    in_vehicle = True
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._speed = 0.0
+        self._stop_timer = 0.0
+        self._braking = False
+        self._handled_light = None
+
+    def _light_ahead(self, s_m: float, route_length_m: float | None) -> float | None:
+        """The nearest traffic light within lookahead distance, if any."""
+        for light in self.traffic_lights:
+            gap = light - s_m
+            if route_length_m:
+                gap %= route_length_m
+            if 0.0 <= gap <= self.light_lookahead_m:
+                return light
+        return None
+
+    def next_speed_mps(
+        self, rng: np.random.Generator, s_m: float = 0.0,
+        route_length_m: float | None = None,
+    ) -> float:
+        if self._stop_timer > 0.0:
+            self._stop_timer -= 1.0
+            self._speed = 0.0
+            return 0.0
+        if self._braking:
+            self._speed = max(0.0, self._speed - self.decel_mps2)
+            if self._speed == 0.0:
+                self._braking = False
+                self._stop_timer = float(
+                    max(2.0, rng.exponential(self.mean_stop_duration_s))
+                )
+            return self._speed
+        light = self._light_ahead(s_m, route_length_m)
+        if light is not None and light != self._handled_light:
+            self._handled_light = light
+            if rng.random() < self.red_light_probability:
+                self._braking = True
+                self._speed = max(0.0, self._speed - self.decel_mps2)
+                return self._speed
+        elif light is None:
+            self._handled_light = None
+        if rng.random() < self.stop_probability_per_s:
+            self._braking = True
+            self._speed = max(0.0, self._speed - self.decel_mps2)
+            return self._speed
+        jitter = float(rng.normal(0.0, 0.6))
+        self._speed = float(np.clip(
+            self._speed + self.accel_mps2 * 0.7 + jitter,
+            0.0, min(self.cruise_speed_mps + 2.0, self.max_speed_mps),
+        ))
+        return self._speed

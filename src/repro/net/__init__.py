@@ -1,0 +1,25 @@
+"""Network substrate: panel scheduling, parallel-TCP bulk transfer, iPerf."""
+
+from repro.net.flows import FlowLevelTcp, TcpFlow
+from repro.net.iperf import (
+    MIN_SERVER_CAPACITY_BPS,
+    IperfInterval,
+    IperfSession,
+    Server,
+    filter_servers,
+)
+from repro.net.scheduler import CellLoadModel, PanelScheduler
+from repro.net.tcp import BulkTransferModel
+
+__all__ = [
+    "MIN_SERVER_CAPACITY_BPS",
+    "BulkTransferModel",
+    "FlowLevelTcp",
+    "TcpFlow",
+    "CellLoadModel",
+    "IperfInterval",
+    "IperfSession",
+    "PanelScheduler",
+    "Server",
+    "filter_servers",
+]

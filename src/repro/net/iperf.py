@@ -1,0 +1,68 @@
+"""iPerf-style measurement sessions.
+
+Thin orchestration layer mirroring how the paper's app drives iPerf 3.7:
+sessions have a start/end time, report per-second intervals, and are run
+against one of several candidate backend servers.  Server filtering follows
+Sec. 3.1: keep only servers whose wired-path capacity comfortably exceeds
+peak 5G throughput so the Internet is never the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Server:
+    """A candidate iPerf backend server."""
+
+    name: str
+    provider: str
+    wired_capacity_bps: float
+
+
+#: Minimum wired capacity for an acceptable server (paper: >= 3 Gbps).
+MIN_SERVER_CAPACITY_BPS = 3e9
+
+
+def filter_servers(candidates: list[Server]) -> list[Server]:
+    """Apply the paper's server-selection criterion."""
+    return [s for s in candidates
+            if s.wired_capacity_bps >= MIN_SERVER_CAPACITY_BPS]
+
+
+@dataclass(frozen=True)
+class IperfInterval:
+    """One per-second iPerf interval report."""
+
+    t_s: int
+    throughput_bps: float
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / 1e6
+
+
+@dataclass
+class IperfSession:
+    """Accumulates interval reports for a single measurement session."""
+
+    server: Server
+    intervals: list[IperfInterval] = field(default_factory=list)
+
+    def record(self, t_s: int, throughput_bps: float) -> None:
+        self.intervals.append(IperfInterval(t_s=t_s, throughput_bps=throughput_bps))
+
+    @property
+    def duration_s(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def bytes_transferred(self) -> float:
+        return sum(iv.throughput_bps for iv in self.intervals) / 8.0
+
+    @property
+    def mean_throughput_mbps(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return sum(iv.throughput_mbps for iv in self.intervals) / len(self.intervals)

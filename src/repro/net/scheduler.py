@@ -1,0 +1,82 @@
+"""Per-panel radio resource sharing among attached UEs.
+
+Appendix A.1.4 of the paper shows that when a second UE starts an iPerf
+session on the same panel, the first UE's throughput roughly halves, and so
+on for the third and fourth.  That is the signature of a proportional-fair
+(PF) scheduler dividing airtime evenly among backlogged full-buffer users
+with similar channel quality.  ``PanelScheduler`` implements exactly that:
+each UE receives a share of airtime proportional to its PF weight
+(uniform by default), and its achieved rate is its own PHY rate times its
+airtime share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PanelScheduler:
+    """Airtime allocation for one panel serving several full-buffer UEs."""
+
+    panel_id: int
+    _demands: dict[str, float] = field(default_factory=dict)
+    _weights: dict[str, float] = field(default_factory=dict)
+
+    def register(self, ue_id: str, phy_rate_bps: float, weight: float = 1.0) -> None:
+        """Declare that a UE is backlogged on this panel this scheduling epoch."""
+        if phy_rate_bps < 0:
+            raise ValueError("phy_rate_bps must be non-negative")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._demands[ue_id] = float(phy_rate_bps)
+        self._weights[ue_id] = float(weight)
+
+    def clear(self) -> None:
+        self._demands.clear()
+        self._weights.clear()
+
+    @property
+    def active_ues(self) -> int:
+        return len(self._demands)
+
+    def allocate(self) -> dict[str, float]:
+        """Per-UE allocated rate (bps) for this epoch.
+
+        Airtime shares are weights normalized over active UEs; a UE's rate
+        is its own PHY rate scaled by its airtime share.  With equal
+        weights and N active UEs, everyone gets 1/N of their solo rate --
+        the halving behaviour in Fig. 21.
+        """
+        if not self._demands:
+            return {}
+        total_weight = sum(self._weights.values())
+        return {
+            ue: rate * (self._weights[ue] / total_weight)
+            for ue, rate in self._demands.items()
+        }
+
+
+@dataclass
+class CellLoadModel:
+    """Background load from other subscribers sharing the panel.
+
+    The authors could not observe how many other customers each tower was
+    serving; this model injects that unobservable "time-of-day" factor: a
+    random number of background full-buffer users occupying airtime.  The
+    paper's own experiments ran late at night (near-zero background), so
+    the default intensity is low; benchmarks can raise it to study the
+    congestion factor.
+    """
+
+    mean_background_ues: float = 0.0
+
+    def background_ues(self, rng) -> int:
+        if self.mean_background_ues <= 0:
+            return 0
+        return int(rng.poisson(self.mean_background_ues))
+
+    def airtime_share(self, foreground_ues: int, rng) -> float:
+        """Fraction of airtime left per foreground UE."""
+        total = max(foreground_ues, 1) + self.background_ues(rng)
+        return 1.0 / total

@@ -1,0 +1,55 @@
+"""Radio substrate: propagation, blockage, link budget, signal, handoffs."""
+
+from repro.radio.beams import BeamCodebook, BeamTracker
+from repro.radio.blockage import (
+    BodyBlockageModel,
+    PedestrianBlockageModel,
+    VehiclePenetrationModel,
+)
+from repro.radio.handoff import (
+    AttachmentState,
+    HandoffEvent,
+    HandoffPolicy,
+    HandoffTracker,
+    RadioType,
+    consume_interruption,
+)
+from repro.radio.link import LinkBudget, LteLinkModel
+from repro.radio.panel import Panel, PanelDirectory, Tower
+from repro.radio.propagation import (
+    PathLossModel,
+    ShadowingProcess,
+    fast_fading_db,
+    fspl_db,
+)
+from repro.radio.signal import (
+    UNAVAILABLE,
+    SignalReport,
+    SignalStrengthModel,
+)
+
+__all__ = [
+    "UNAVAILABLE",
+    "AttachmentState",
+    "BeamCodebook",
+    "BeamTracker",
+    "BodyBlockageModel",
+    "HandoffEvent",
+    "HandoffPolicy",
+    "HandoffTracker",
+    "LinkBudget",
+    "LteLinkModel",
+    "Panel",
+    "PanelDirectory",
+    "PathLossModel",
+    "PedestrianBlockageModel",
+    "RadioType",
+    "ShadowingProcess",
+    "SignalReport",
+    "SignalStrengthModel",
+    "Tower",
+    "VehiclePenetrationModel",
+    "consume_interruption",
+    "fast_fading_db",
+    "fspl_db",
+]

@@ -1,0 +1,97 @@
+"""Codebook-based beam management for mmWave panels.
+
+Commercial mmWave gNBs serve UEs through narrow analog beams picked from
+a fixed codebook and re-selected periodically from SSB sweep
+measurements.  The default simulator abstracts this into a
+speed-dependent tracking loss; this module models it explicitly:
+
+* :class:`BeamCodebook` -- N narrow beams tiling the panel's sector, each
+  with a parabolic pattern and a peak gain exceeding the wide-beam gain
+  (narrower beam = more array gain);
+* :class:`BeamTracker` -- per-UE serving-beam state: beams are re-swept
+  every ``sweep_period_s``; between sweeps the UE keeps its old beam, so
+  angular motion opens a misalignment loss that grows with speed.
+
+Enable by constructing the simulator with
+``SimulationConfig(beams=BeamConfig(...))`` (see the beam ablation bench).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geo.geometry import bearing, normalize_bearing
+
+
+@dataclass(frozen=True)
+class BeamCodebook:
+    """Narrow beams tiling [-sector/2, +sector/2] around boresight."""
+
+    n_beams: int = 8
+    sector_deg: float = 120.0
+    #: Extra array gain of a narrow beam over the panel's wide pattern.
+    peak_gain_bonus_db: float = 6.0
+    rolloff_db: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.n_beams < 1:
+            raise ValueError("need at least one beam")
+        if self.sector_deg <= 0:
+            raise ValueError("sector must be positive")
+
+    @property
+    def beam_width_deg(self) -> float:
+        return self.sector_deg / self.n_beams
+
+    def beam_centers_deg(self) -> list[float]:
+        """Beam boresights as offsets from the panel boresight."""
+        w = self.beam_width_deg
+        half = self.sector_deg / 2.0
+        return [-half + w * (i + 0.5) for i in range(self.n_beams)]
+
+    def best_beam(self, offset_deg: float) -> int:
+        """Beam index whose center is nearest an angular offset."""
+        centers = self.beam_centers_deg()
+        return min(range(self.n_beams),
+                   key=lambda i: abs(centers[i] - offset_deg))
+
+    def gain_db(self, beam: int, offset_deg: float) -> float:
+        """Relative beam gain toward an offset (0 dB = wide-beam level).
+
+        Peak ``peak_gain_bonus_db`` on the beam center, parabolic rolloff
+        with the (narrow) beam width, floored at -20 dB.
+        """
+        if not 0 <= beam < self.n_beams:
+            raise ValueError("beam index out of range")
+        center = self.beam_centers_deg()[beam]
+        miss = abs(offset_deg - center)
+        att = self.rolloff_db * (miss / self.beam_width_deg) ** 2
+        return self.peak_gain_bonus_db - min(att, 20.0 + self.peak_gain_bonus_db)
+
+
+@dataclass
+class BeamTracker:
+    """Serving-beam state for one UE against one panel."""
+
+    codebook: BeamCodebook
+    sweep_period_s: float = 1.28  # SSB periodicity scale
+    _beam: int = 0
+    _since_sweep: float = field(default=1e9, repr=False)
+
+    def offset_of(self, panel_position, panel_bearing_deg, ue_xy) -> float:
+        """Signed angular offset of the UE from the panel boresight."""
+        to_ue = bearing(panel_position, ue_xy)
+        return (normalize_bearing(to_ue - panel_bearing_deg + 180.0)
+                - 180.0)
+
+    def step(
+        self, panel_position, panel_bearing_deg, ue_xy, dt_s: float = 1.0
+    ) -> float:
+        """Advance one step; returns the beam gain (dB, relative)."""
+        offset = self.offset_of(panel_position, panel_bearing_deg, ue_xy)
+        self._since_sweep += dt_s
+        if self._since_sweep >= self.sweep_period_s:
+            self._beam = self.codebook.best_beam(offset)
+            self._since_sweep = 0.0
+        return self.codebook.gain_db(self._beam, offset)

@@ -1,0 +1,148 @@
+"""Handoff state machine: panel attachment, 5G<->4G fallback.
+
+The UE attaches to the panel offering the best received power.  Two kinds of
+handoff appear in the paper's telemetry:
+
+* **horizontal** -- the serving cell ID changes between two 5G panels;
+* **vertical** -- the radio type flips between 5G NR and LTE, which happens
+  when no panel can sustain the link (obstruction, range, dead zone).
+
+Real modems add hysteresis (a new cell must beat the serving cell by a
+margin before the UE switches) and a short service interruption accompanies
+every switch; both matter for throughput traces, since the paper's maps show
+persistent low-throughput "handoff patches".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.radio.panel import Panel, PanelDirectory
+
+
+class RadioType(str, Enum):
+    NR = "5G"
+    LTE = "4G"
+
+
+@dataclass(frozen=True)
+class HandoffEvent:
+    """What changed during one attachment decision."""
+
+    horizontal: bool
+    vertical: bool
+
+
+@dataclass
+class AttachmentState:
+    """Current serving panel / radio type of a UE."""
+
+    radio_type: RadioType = RadioType.LTE
+    serving_panel_id: int | None = None
+    interruption_s: float = 0.0  # residual outage from the last handoff
+    nr_inhibit_s: float = 0.0  # cooldown before 5G may be re-added
+
+
+@dataclass
+class HandoffPolicy:
+    """A3-style event-triggered handoff with hysteresis and fallback.
+
+    Parameters
+    ----------
+    hysteresis_db:
+        A candidate panel must exceed the serving panel's RSRP by this
+        margin to trigger a horizontal handoff.
+    nr_drop_dbm / nr_add_dbm:
+        RSRP thresholds to drop 5G (vertical handoff to LTE) and to re-add
+        5G once coverage returns; ``nr_add_dbm > nr_drop_dbm`` provides
+        ping-pong protection.
+    horizontal_outage_s / vertical_outage_s:
+        Service interruption charged per handoff type; mmWave beam
+        (re)acquisition after a vertical handoff is the slow case.
+    reacquire_dwell_s:
+        Minimum time the UE camps on LTE after losing 5G before it may
+        try 5G again (time-to-trigger analogue; prevents ping-pong).
+    """
+
+    hysteresis_db: float = 8.0
+    nr_drop_dbm: float = -92.0
+    nr_add_dbm: float = -86.0
+    horizontal_outage_s: float = 0.6
+    vertical_outage_s: float = 1.8
+    reacquire_dwell_s: float = 8.0
+
+    def decide(
+        self,
+        state: AttachmentState,
+        candidate_rsrp_dbm: dict[int, float],
+    ) -> HandoffEvent:
+        """Update ``state`` in place given per-panel RSRP and report changes."""
+        best_id, best_rsrp = None, float("-inf")
+        for panel_id, rsrp in candidate_rsrp_dbm.items():
+            if rsrp > best_rsrp:
+                best_id, best_rsrp = panel_id, rsrp
+
+        horizontal = vertical = False
+        on_nr = state.radio_type is RadioType.NR
+
+        if on_nr:
+            serving_rsrp = candidate_rsrp_dbm.get(
+                state.serving_panel_id, float("-inf")
+            )
+            if serving_rsrp < self.nr_drop_dbm and best_rsrp < self.nr_add_dbm:
+                # Nothing usable: fall back to LTE.
+                state.radio_type = RadioType.LTE
+                state.serving_panel_id = None
+                state.interruption_s = self.vertical_outage_s
+                state.nr_inhibit_s = self.reacquire_dwell_s
+                vertical = True
+            elif (
+                best_id is not None
+                and best_id != state.serving_panel_id
+                and best_rsrp >= serving_rsrp + self.hysteresis_db
+            ):
+                state.serving_panel_id = best_id
+                state.interruption_s = self.horizontal_outage_s
+                horizontal = True
+        else:
+            if state.nr_inhibit_s > 0.0:
+                state.nr_inhibit_s = max(0.0, state.nr_inhibit_s - 1.0)
+            elif best_id is not None and best_rsrp >= self.nr_add_dbm:
+                state.radio_type = RadioType.NR
+                state.serving_panel_id = best_id
+                state.interruption_s = self.vertical_outage_s
+                vertical = True
+
+        return HandoffEvent(horizontal=horizontal, vertical=vertical)
+
+
+@dataclass
+class HandoffTracker:
+    """Counts and exposes per-second handoff indicator fields."""
+
+    horizontal_count: int = 0
+    vertical_count: int = 0
+    last_event: HandoffEvent = field(
+        default_factory=lambda: HandoffEvent(False, False)
+    )
+
+    def record(self, event: HandoffEvent) -> None:
+        self.last_event = event
+        if event.horizontal:
+            self.horizontal_count += 1
+        if event.vertical:
+            self.vertical_count += 1
+
+
+def consume_interruption(state: AttachmentState, dt_s: float) -> float:
+    """Advance time and return the usable fraction of this step in [0, 1].
+
+    During a handoff interruption no user data flows; a 1-second sample that
+    contains 0.6 s of outage delivers only 40% of the link's throughput.
+    """
+    if state.interruption_s <= 0.0:
+        return 1.0
+    blocked = min(state.interruption_s, dt_s)
+    state.interruption_s -= blocked
+    return 1.0 - blocked / dt_s

@@ -1,0 +1,93 @@
+"""Link budget and SNR -> PHY-rate mapping.
+
+Combines path loss, antenna gain, blockage losses and noise into an SINR,
+then maps SINR to an achievable physical-layer rate with a capped spectral
+efficiency (truncated Shannon bound, as used in 3GPP system evaluations).
+Verizon's 2019 mmWave deployment aggregated 4 x 100 MHz carriers, giving the
+~2 Gbps practical per-UE ceiling the paper measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Static link-budget parameters for a 5G NR mmWave carrier."""
+
+    bandwidth_hz: float = 400e6  # 4 x 100 MHz aggregated carriers
+    noise_figure_db: float = 10.0
+    ue_gain_db: float = 0.0
+    max_spectral_efficiency: float = 5.5  # bit/s/Hz, 64-QAM-ish cap
+    attenuation_factor: float = 0.85  # implementation loss vs Shannon
+    min_sinr_db: float = -12.0  # below this the 5G link drops
+
+    @property
+    def noise_dbm(self) -> float:
+        return THERMAL_NOISE_DBM_PER_HZ + 10.0 * math.log10(self.bandwidth_hz) \
+            + self.noise_figure_db
+
+    def sinr_db(
+        self,
+        tx_power_dbm: float,
+        tx_gain_db: float,
+        path_loss_db: float,
+        extra_loss_db: float = 0.0,
+        interference_db: float = 0.0,
+    ) -> float:
+        """Received SINR given the link-budget terms (all in dB/dBm)."""
+        rx_dbm = (
+            tx_power_dbm + tx_gain_db + self.ue_gain_db
+            - path_loss_db - extra_loss_db
+        )
+        return rx_dbm - self.noise_dbm - interference_db
+
+    def rx_power_dbm(
+        self,
+        tx_power_dbm: float,
+        tx_gain_db: float,
+        path_loss_db: float,
+        extra_loss_db: float = 0.0,
+    ) -> float:
+        """Received reference-signal power (feeds RSRP reporting)."""
+        return (
+            tx_power_dbm + tx_gain_db + self.ue_gain_db
+            - path_loss_db - extra_loss_db
+        )
+
+    def phy_rate_bps(self, sinr_db: float) -> float:
+        """Truncated-Shannon PHY rate for a SINR.
+
+        ``rate = att * B * min(log2(1 + SINR), SE_max)``, zero below the
+        SINR floor where the modem cannot hold the 5G link.
+        """
+        if sinr_db < self.min_sinr_db:
+            return 0.0
+        sinr = 10.0 ** (sinr_db / 10.0)
+        se = min(math.log2(1.0 + sinr), self.max_spectral_efficiency)
+        return self.attenuation_factor * self.bandwidth_hz * se
+
+
+@dataclass(frozen=True)
+class LteLinkModel:
+    """Coarse LTE fallback link used after a vertical handoff.
+
+    The paper's vertical handoffs drop the UE to 4G whose throughput sits
+    far below mmWave 5G (tens of Mbps, occasionally ~100+).  We model LTE
+    throughput as a distance-damped draw around a configurable median; LTE
+    macro coverage is effectively everywhere, so it never drops out.
+    """
+
+    median_mbps: float = 70.0
+    sigma_ln: float = 0.45
+    range_scale_m: float = 1500.0
+
+    def throughput_mbps(self, distance_m: float, rng) -> float:
+        damp = math.exp(-max(distance_m, 0.0) / self.range_scale_m)
+        draw = rng.lognormal(math.log(self.median_mbps * max(damp, 0.1)),
+                             self.sigma_ln)
+        return float(min(draw, 250.0))

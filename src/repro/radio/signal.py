@@ -1,0 +1,76 @@
+"""Signal-strength reporting: the fields a UE's modem exposes.
+
+The paper parses LTE (rsrp, rsrq, rssi) and 5G NR (ssRsrp, ssRsrq, ssRssi)
+from Android's raw ``SignalStrength`` object.  We synthesize these from the
+link budget: RSRP tracks received power per resource element, RSRQ the
+quality ratio, RSSI the wideband power.  Values are quantized and clamped to
+the reporting ranges Android uses, including the occasional bogus reading
+(the paper notes NR APIs "did not always provide meaningful data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NR_RSRP_RANGE = (-140.0, -44.0)
+NR_RSRQ_RANGE = (-20.0, -3.0)
+LTE_RSRP_RANGE = (-140.0, -44.0)
+LTE_RSRQ_RANGE = (-20.0, -3.0)
+UNAVAILABLE = -9999.0  # Android's CellInfo "unavailable" sentinel analogue
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+@dataclass(frozen=True)
+class SignalReport:
+    """One second's worth of signal-strength fields."""
+
+    nr_ss_rsrp: float
+    nr_ss_rsrq: float
+    nr_ss_rssi: float
+    lte_rsrp: float
+    lte_rsrq: float
+    lte_rssi: float
+
+
+@dataclass(frozen=True)
+class SignalStrengthModel:
+    """Derive Android-style signal fields from link-level quantities."""
+
+    measurement_noise_db: float = 2.5
+    unreliable_probability: float = 0.02  # NR report comes back unavailable
+
+    def report(
+        self,
+        nr_rx_dbm: float | None,
+        nr_sinr_db: float | None,
+        lte_rx_dbm: float,
+        rng: np.random.Generator,
+    ) -> SignalReport:
+        """Build a report; ``nr_*`` are None when the UE is on LTE only."""
+        noise = lambda: float(rng.normal(0.0, self.measurement_noise_db))
+
+        if nr_rx_dbm is None or rng.random() < self.unreliable_probability:
+            nr_rsrp = nr_rsrq = nr_rssi = UNAVAILABLE
+        else:
+            # RSRP is per-resource-element power: wideband minus ~10log10(N_RE).
+            nr_rsrp = _clamp(round(nr_rx_dbm - 27.0 + noise()), *NR_RSRP_RANGE)
+            quality = -20.0 + 0.55 * max(min(nr_sinr_db or 0.0, 30.0), 0.0)
+            nr_rsrq = _clamp(round(quality + noise() * 0.5), *NR_RSRQ_RANGE)
+            nr_rssi = _clamp(round(nr_rx_dbm + noise()), -120.0, -20.0)
+
+        lte_rsrp = _clamp(round(lte_rx_dbm - 22.0 + noise()), *LTE_RSRP_RANGE)
+        lte_rsrq = _clamp(round(-10.5 + noise() * 0.7), *LTE_RSRQ_RANGE)
+        lte_rssi = _clamp(round(lte_rx_dbm + noise()), -120.0, -20.0)
+        return SignalReport(
+            nr_ss_rsrp=nr_rsrp,
+            nr_ss_rsrq=nr_rsrq,
+            nr_ss_rssi=nr_rssi,
+            lte_rsrp=lte_rsrp,
+            lte_rsrq=lte_rsrq,
+            lte_rssi=lte_rssi,
+        )

@@ -1,0 +1,33 @@
+"""Measurement simulator: per-second link simulation and campaigns."""
+
+from repro.sim.collection import (
+    CampaignConfig,
+    run_area_campaign,
+    run_campaign,
+    run_congestion_experiment,
+    run_side_by_side_4g5g,
+)
+from repro.sim.multi import MultiUeSimulator, UeSpec, UeTrace
+from repro.sim.simulator import (
+    LTE_MACRO_CELL_ID,
+    LinkSimulator,
+    SimulationConfig,
+    StepResult,
+    simulate_pass,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "MultiUeSimulator",
+    "UeSpec",
+    "UeTrace",
+    "LTE_MACRO_CELL_ID",
+    "LinkSimulator",
+    "SimulationConfig",
+    "StepResult",
+    "run_area_campaign",
+    "run_campaign",
+    "run_congestion_experiment",
+    "run_side_by_side_4g5g",
+    "simulate_pass",
+]

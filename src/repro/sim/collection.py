@@ -1,0 +1,246 @@
+"""Measurement campaigns: repeated passes, special experiments.
+
+``run_campaign`` mirrors the paper's methodology (Sec. 3.2): every
+trajectory in an area is traversed repeatedly (the paper does >= 30 passes;
+the default here is configurable so tests stay fast), on "different dates"
+(fresh random state per pass), walking everywhere plus driving at the Loop.
+
+Two appendix experiments get dedicated drivers:
+
+* :func:`run_congestion_experiment` (A.1.4) -- four UEs side by side on one
+  panel with staggered iPerf sessions;
+* :func:`run_side_by_side_4g5g` (A.4) -- one UE pinned to LTE and one on 5G
+  walking the Loop together.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.env.areas import build_area
+from repro.env.environment import Environment
+from repro.mobility.models import (
+    DrivingModel,
+    MobilityModel,
+    StationaryModel,
+    WalkingModel,
+)
+from repro.datasets.frame import Table
+from repro.geo.geometry import distance
+from repro.net.scheduler import PanelScheduler
+from repro.net.tcp import BulkTransferModel
+from repro.radio.handoff import RadioType
+from repro.sim.simulator import LinkSimulator, SimulationConfig, simulate_pass
+from repro.ue.telemetry import (
+    MODE_DRIVING,
+    MODE_STATIONARY,
+    MODE_WALKING,
+    TelemetryRecord,
+)
+
+
+@dataclass
+class CampaignConfig:
+    """How much data to collect and under which physics."""
+
+    passes_per_trajectory: int = 30
+    driving_passes: int = 30  # Loop only
+    stationary_runs: int = 4
+    stationary_duration_s: int = 120
+    seed: int = 2020
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def scaled(self, factor: float) -> "CampaignConfig":
+        """A proportionally smaller campaign (for tests/benchmarks)."""
+        return CampaignConfig(
+            passes_per_trajectory=max(1, int(self.passes_per_trajectory * factor)),
+            driving_passes=max(1, int(self.driving_passes * factor)),
+            stationary_runs=max(1, int(self.stationary_runs * factor)),
+            stationary_duration_s=self.stationary_duration_s,
+            seed=self.seed,
+            simulation=self.simulation,
+        )
+
+
+def _records_to_table(records: list[TelemetryRecord]) -> Table:
+    return Table.from_records(records, TelemetryRecord.field_names())
+
+
+def _corner_arclengths(trajectory) -> tuple[float, ...]:
+    """Arclength positions of a polyline's interior corners (waypoints)."""
+    out, s = [0.0], 0.0
+    for (a, b) in trajectory.segments:
+        s += ((b[0] - a[0]) ** 2 + (b[1] - a[1]) ** 2) ** 0.5
+        out.append(s)
+    return tuple(out[:-1])
+
+
+def run_area_campaign(
+    env: Environment, config: CampaignConfig | None = None
+) -> Table:
+    """Collect the full campaign for one area and return the raw log."""
+    config = config or CampaignConfig()
+    rng = np.random.default_rng(
+        config.seed + zlib.crc32(env.name.encode()) % 10_000
+    )
+    records: list[TelemetryRecord] = []
+    run_id = 0
+
+    for name in sorted(env.trajectories):
+        trajectory = env.trajectories[name]
+        # Closed loops never "arrive": size the pass to one full lap.
+        walk_duration = (
+            int(trajectory.length_m / 1.25) if trajectory.closed else None
+        )
+        for _ in range(config.passes_per_trajectory):
+            records.extend(simulate_pass(
+                env, trajectory, WalkingModel(), run_id=run_id, rng=rng,
+                config=config.simulation, mobility_mode=MODE_WALKING,
+                duration_s=walk_duration,
+            ))
+            run_id += 1
+        if env.name == "Loop":
+            # Traffic lights / rail crossings sit at the loop's corners.
+            lights = _corner_arclengths(trajectory)
+            for _ in range(config.driving_passes):
+                drive_duration = int(trajectory.length_m / 6.0)
+                records.extend(simulate_pass(
+                    env, trajectory, DrivingModel(traffic_lights=lights),
+                    run_id=run_id, rng=rng,
+                    config=config.simulation, mobility_mode=MODE_DRIVING,
+                    duration_s=drive_duration,
+                ))
+                run_id += 1
+
+    # A few stationary sessions at the start of each trajectory.
+    for name in sorted(env.trajectories):
+        trajectory = env.trajectories[name]
+        for _ in range(config.stationary_runs):
+            records.extend(simulate_pass(
+                env, trajectory, StationaryModel(), run_id=run_id, rng=rng,
+                config=config.simulation, mobility_mode=MODE_STATIONARY,
+                duration_s=config.stationary_duration_s,
+            ))
+            run_id += 1
+    return _records_to_table(records)
+
+
+def run_campaign(
+    areas: list[str] | None = None, config: CampaignConfig | None = None
+) -> dict[str, Table]:
+    """Run campaigns for several areas; returns ``{area_name: raw_table}``."""
+    areas = areas or ["Airport", "Intersection", "Loop"]
+    return {
+        name: run_area_campaign(build_area(name), config) for name in areas
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Appendix A.1.4: multi-UE congestion
+# --------------------------------------------------------------------------- #
+
+
+def run_congestion_experiment(
+    n_ues: int = 4,
+    stagger_s: int = 60,
+    tail_s: int = 60,
+    seed: int = 7,
+    config: SimulationConfig | None = None,
+) -> dict[str, list[float]]:
+    """Staggered iPerf sessions on one Airport panel (Fig. 21).
+
+    UE_k starts at ``k * stagger_s``; all sessions end together.  All UEs
+    sit ~25 m in front of the south panel with clear LoS.  Returns the
+    per-second throughput series (Mbps) per UE, NaN before a UE starts.
+    """
+    env = build_area("Airport")
+    config = config or SimulationConfig()
+    rng = np.random.default_rng(seed)
+    position = (0.0, 25.0)  # 25 m in front of the south panel, on boresight
+    panel = env.panels.get(101)
+
+    sims = []
+    for _ in range(n_ues):
+        sim = LinkSimulator(env, config=config, rng=rng)
+        sim.tcp = BulkTransferModel()
+        sims.append(sim)
+
+    total_s = stagger_s * (n_ues - 1) + tail_s
+    series: dict[str, list[float]] = {f"UE{k + 1}": [] for k in range(n_ues)}
+    scheduler = PanelScheduler(panel_id=panel.panel_id)
+
+    for t in range(total_s):
+        active = [k for k in range(n_ues) if t >= k * stagger_s]
+        scheduler.clear()
+        phy_rates: dict[int, float] = {}
+        for k in active:
+            sim = sims[k]
+            # Evaluate the solo PHY rate at full airtime, then let the PF
+            # scheduler split airtime among the active sessions.
+            result = sim.step(
+                position, heading_deg=180.0, speed_mps=0.0,
+                in_vehicle=False, airtime_share=1.0,
+            )
+            if result.radio_type is RadioType.NR:
+                phy_rates[k] = result.throughput_mbps
+                scheduler.register(f"UE{k + 1}", result.throughput_mbps)
+            else:
+                phy_rates[k] = result.throughput_mbps
+        alloc = scheduler.allocate()
+        for k in range(n_ues):
+            if k not in active:
+                series[f"UE{k + 1}"].append(float("nan"))
+            else:
+                shared = alloc.get(f"UE{k + 1}", phy_rates.get(k, 0.0))
+                series[f"UE{k + 1}"].append(shared)
+    return series
+
+
+# --------------------------------------------------------------------------- #
+# Appendix A.4: side-by-side 4G vs 5G walk
+# --------------------------------------------------------------------------- #
+
+
+def run_side_by_side_4g5g(
+    passes: int = 30,
+    seed: int = 11,
+    config: SimulationConfig | None = None,
+) -> tuple[Table, Table]:
+    """Two phones walking the Loop together: one on 5G, one locked to LTE.
+
+    Returns ``(table_5g, table_4g)`` raw logs.  The 4G phone experiences
+    the omnidirectional macro link, whose throughput is far less sensitive
+    to micro-location -- the property A.4 quantifies.
+    """
+    env = build_area("Loop")
+    config = config or SimulationConfig()
+    rng = np.random.default_rng(seed)
+    records_5g: list[TelemetryRecord] = []
+    records_4g: list[TelemetryRecord] = []
+    trajectory = env.trajectories["LOOP-CW"]
+
+    for run in range(passes):
+        recs = simulate_pass(
+            env, trajectory, WalkingModel(), run_id=run, rng=rng,
+            config=config, mobility_mode=MODE_WALKING, duration_s=600,
+        )
+        records_5g.extend(recs)
+        # The LTE phone walks the identical ground truth; reuse positions.
+        lte_rng = np.random.default_rng(seed * 1000 + run)
+        for rec in recs:
+            d = min(
+                distance(p.position, (rec.true_x_m, rec.true_y_m))
+                for p in env.panels.panels
+            )
+            lte_tput = config.lte.throughput_mbps(d, lte_rng)
+            clone = TelemetryRecord(**{
+                f: getattr(rec, f) for f in TelemetryRecord.field_names()
+            })
+            clone.radio_type = RadioType.LTE.value
+            clone.throughput_mbps = lte_tput
+            clone.cell_id = 9999
+            records_4g.append(clone)
+    return _records_to_table(records_5g), _records_to_table(records_4g)

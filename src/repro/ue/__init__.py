@@ -1,0 +1,27 @@
+"""UE substrate: device sensors and per-second telemetry records."""
+
+from repro.ue.device import (
+    ActivityRecognizer,
+    CompassSensor,
+    GpsSensor,
+    SpeedSensor,
+    UserEquipment,
+)
+from repro.ue.telemetry import (
+    MODE_DRIVING,
+    MODE_STATIONARY,
+    MODE_WALKING,
+    TelemetryRecord,
+)
+
+__all__ = [
+    "ActivityRecognizer",
+    "CompassSensor",
+    "GpsSensor",
+    "MODE_DRIVING",
+    "MODE_STATIONARY",
+    "MODE_WALKING",
+    "SpeedSensor",
+    "TelemetryRecord",
+    "UserEquipment",
+]

@@ -1,0 +1,137 @@
+"""UE device and its imperfect sensors.
+
+The paper stresses that GPS coordinates, compass direction and moving speed
+"reported by Android APIs are often inaccurate enough especially when fine
+granularity matters" -- their cleaning pipeline exists precisely to cope
+with that.  We therefore model the sensors with realistic error processes
+so the cleaning stage has real work to do:
+
+* GPS position error is a slowly-varying correlated offset (multipath bias)
+  plus white jitter; the device also reports an *estimated accuracy* that
+  correlates with, but does not equal, the true error.
+* Compass bearing has Gaussian error, occasionally large until the
+  magnetometer calibrates (the paper adds a "buffer period" for this).
+* Speed is GPS-Doppler derived: small noise, floored at zero.
+* Detected activity mirrors Google's Activity Recognition, with occasional
+  misclassification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.geometry import normalize_bearing
+
+
+@dataclass
+class GpsSensor:
+    """Correlated-bias GPS model with self-reported accuracy."""
+
+    jitter_m: float = 1.2
+    bias_sigma_m: float = 2.2
+    bias_correlation: float = 0.96
+    degraded_probability: float = 0.04  # urban-canyon / indoor glitches
+    degraded_extra_m: float = 9.0
+    _bias: tuple[float, float] = field(default=(0.0, 0.0), repr=False)
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self._bias = (float(rng.normal(0.0, self.bias_sigma_m)),
+                      float(rng.normal(0.0, self.bias_sigma_m)))
+
+    def read(
+        self, true_xy: tuple[float, float], rng: np.random.Generator
+    ) -> tuple[tuple[float, float], float]:
+        """Return (measured_xy, reported_accuracy_m)."""
+        innovation_sigma = self.bias_sigma_m * math.sqrt(
+            1.0 - self.bias_correlation**2
+        )
+        self._bias = (
+            self.bias_correlation * self._bias[0]
+            + float(rng.normal(0.0, innovation_sigma)),
+            self.bias_correlation * self._bias[1]
+            + float(rng.normal(0.0, innovation_sigma)),
+        )
+        extra = 0.0
+        if rng.random() < self.degraded_probability:
+            extra = float(rng.exponential(self.degraded_extra_m))
+        ex = self._bias[0] + float(rng.normal(0.0, self.jitter_m)) + extra * (
+            1.0 if rng.random() < 0.5 else -1.0
+        )
+        ey = self._bias[1] + float(rng.normal(0.0, self.jitter_m))
+        measured = (true_xy[0] + ex, true_xy[1] + ey)
+        true_err = math.hypot(ex, ey)
+        # Reported accuracy tracks the truth within ~30% multiplicative noise.
+        accuracy = max(1.0, true_err * float(rng.lognormal(0.0, 0.3)))
+        return measured, accuracy
+
+
+@dataclass
+class CompassSensor:
+    """Azimuth bearing with calibration transient and Gaussian error."""
+
+    sigma_deg: float = 6.0
+    calibration_steps: int = 10
+    uncalibrated_sigma_deg: float = 40.0
+    _steps: int = field(default=0, repr=False)
+
+    def reset(self) -> None:
+        self._steps = 0
+
+    def read(
+        self, true_heading_deg: float, rng: np.random.Generator
+    ) -> tuple[float, float]:
+        """Return (measured_heading_deg, reported_accuracy_deg)."""
+        self._steps += 1
+        sigma = (self.uncalibrated_sigma_deg
+                 if self._steps <= self.calibration_steps else self.sigma_deg)
+        measured = normalize_bearing(
+            true_heading_deg + float(rng.normal(0.0, sigma))
+        )
+        return measured, sigma
+
+
+@dataclass
+class SpeedSensor:
+    """GPS-Doppler speed: unbiased, small noise, floored at zero."""
+
+    sigma_mps: float = 0.15
+
+    def read(self, true_speed_mps: float, rng: np.random.Generator) -> float:
+        return max(0.0, true_speed_mps + float(rng.normal(0.0, self.sigma_mps)))
+
+
+@dataclass
+class ActivityRecognizer:
+    """Google Activity Recognition lookalike with rare misclassification."""
+
+    error_probability: float = 0.03
+    labels = ("STILL", "WALKING", "IN_VEHICLE")
+
+    def read(self, true_activity: str, rng: np.random.Generator) -> str:
+        if rng.random() >= self.error_probability:
+            return true_activity
+        others = [label for label in self.labels if label != true_activity]
+        return others[int(rng.integers(len(others)))]
+
+
+@dataclass
+class UserEquipment:
+    """A 5G smartphone: sensor bundle + identity.
+
+    The study used 4x Samsung Galaxy S10 5G; ``model`` is recorded so a
+    future "static features" group could consume it (Sec. 8.1).
+    """
+
+    ue_id: str = "UE1"
+    model: str = "SM-G977U"
+    gps: GpsSensor = field(default_factory=GpsSensor)
+    compass: CompassSensor = field(default_factory=CompassSensor)
+    speedometer: SpeedSensor = field(default_factory=SpeedSensor)
+    activity: ActivityRecognizer = field(default_factory=ActivityRecognizer)
+
+    def reset(self, rng: np.random.Generator) -> None:
+        self.gps.reset(rng)
+        self.compass.reset()

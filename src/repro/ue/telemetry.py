@@ -1,0 +1,77 @@
+"""Per-second telemetry records: the fields of Table 1.
+
+One :class:`TelemetryRecord` is what the paper's monitoring app logs every
+second: raw Android-API values (GPS fix with accuracy, detected activity,
+speed, compass direction) plus post-processed values (throughput from
+iPerf, radio type and cell ID parsed from ServiceState, signal strengths,
+handoff flags, and the tower-geometry fields computed against the panel
+survey).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class TelemetryRecord:
+    """One row of the raw measurement log (Table 1 schema)."""
+
+    # --- identity / time ---------------------------------------------------
+    run_id: int
+    timestamp_s: int
+    area: str
+    trajectory: str
+    mobility_mode: str  # "walking" | "driving" | "stationary"
+
+    # --- raw Android-API values --------------------------------------------
+    latitude: float
+    longitude: float
+    gps_accuracy_m: float
+    detected_activity: str
+    moving_speed_mps: float
+    compass_direction_deg: float
+    compass_accuracy_deg: float
+
+    # --- post-processed / other sources -------------------------------------
+    throughput_mbps: float
+    radio_type: str  # "5G" | "4G"
+    cell_id: int  # serving panel id (or LTE macro id when on 4G)
+    nr_ss_rsrp: float
+    nr_ss_rsrq: float
+    nr_ss_rssi: float
+    lte_rsrp: float
+    lte_rsrq: float
+    lte_rssi: float
+    horizontal_handoff: int  # 1 if a panel switch happened this second
+    vertical_handoff: int  # 1 if a 4G<->5G switch happened this second
+
+    # --- tower geometry (requires the panel survey; NaN for Loop) -----------
+    ue_panel_distance_m: float
+    positional_angle_deg: float
+    mobility_angle_deg: float
+
+    # --- carrier-side oracle (Appendix A.1.4): number of UEs sharing the
+    # serving panel's airtime this second.  Not observable from the UE; the
+    # paper suggests carriers could expose it as an extra feature group. ----
+    carrier_load_ues: float = 1.0
+
+    # --- ground-truth fields kept for simulator validation only; the ML
+    # pipeline never reads them (the paper has no access to them either) ----
+    true_x_m: float = float("nan")
+    true_y_m: float = float("nan")
+    true_heading_deg: float = float("nan")
+    true_speed_mps: float = float("nan")
+
+    @classmethod
+    def field_names(cls) -> list[str]:
+        return [f.name for f in fields(cls)]
+
+    def as_tuple(self) -> tuple:
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+
+#: Mobility-mode labels used throughout the dataset.
+MODE_WALKING = "walking"
+MODE_DRIVING = "driving"
+MODE_STATIONARY = "stationary"

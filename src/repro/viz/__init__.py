@@ -1,0 +1,16 @@
+"""SVG visualization: paper-style traces, heatmaps, boxes and bars."""
+
+from repro.viz.charts import bar_chart, box_chart, heatmap_chart, line_chart
+from repro.viz.colors import series_color, throughput_color
+from repro.viz.svg import LinearScale, SvgCanvas
+
+__all__ = [
+    "LinearScale",
+    "SvgCanvas",
+    "bar_chart",
+    "box_chart",
+    "heatmap_chart",
+    "line_chart",
+    "series_color",
+    "throughput_color",
+]

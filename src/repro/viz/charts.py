@@ -1,0 +1,192 @@
+"""Paper-style charts rendered to SVG.
+
+Four chart types cover every figure in the paper's evaluation:
+
+* :func:`line_chart` -- throughput traces (Figs. 1-2, 16, 21);
+* :func:`heatmap_chart` -- spatial throughput maps (Figs. 3, 6, 9);
+* :func:`box_chart` -- distributions per category (Figs. 8, 11, 13, 14);
+* :func:`bar_chart` -- model/metric comparisons (Figs. 22, 23).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.viz.colors import series_color, throughput_color
+from repro.viz.svg import LinearScale, SvgCanvas
+
+MARGIN = dict(left=60.0, right=20.0, top=36.0, bottom=46.0)
+
+
+def _frame(width, height, title):
+    canvas = SvgCanvas(width, height)
+    plot = dict(
+        x0=MARGIN["left"], x1=width - MARGIN["right"],
+        y0=height - MARGIN["bottom"], y1=MARGIN["top"],
+    )
+    if title:
+        canvas.text(width / 2, 20, title, size=14, anchor="middle")
+    return canvas, plot
+
+
+def _axes(canvas, plot, xs: LinearScale, ys: LinearScale,
+          x_label="", y_label="", x_tick_fmt="{:.0f}",
+          y_tick_fmt="{:.0f}") -> None:
+    canvas.line(plot["x0"], plot["y0"], plot["x1"], plot["y0"],
+                stroke="#444")
+    canvas.line(plot["x0"], plot["y0"], plot["x0"], plot["y1"],
+                stroke="#444")
+    for v in xs.ticks(5):
+        px = xs(v)
+        canvas.line(px, plot["y0"], px, plot["y0"] + 4, stroke="#444")
+        canvas.text(px, plot["y0"] + 18, x_tick_fmt.format(v),
+                    size=10, anchor="middle")
+    for v in ys.ticks(5):
+        py = ys(v)
+        canvas.line(plot["x0"] - 4, py, plot["x0"], py, stroke="#444")
+        canvas.text(plot["x0"] - 8, py + 3, y_tick_fmt.format(v),
+                    size=10, anchor="end")
+        canvas.line(plot["x0"], py, plot["x1"], py, stroke="#eee")
+    if x_label:
+        canvas.text((plot["x0"] + plot["x1"]) / 2, plot["y0"] + 36,
+                    x_label, size=11, anchor="middle")
+    if y_label:
+        canvas.text(16, (plot["y0"] + plot["y1"]) / 2, y_label, size=11,
+                    anchor="middle", rotate=-90)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "time (s)",
+    y_label: str = "throughput (Mbps)",
+    width: float = 640.0,
+    height: float = 320.0,
+) -> SvgCanvas:
+    """Multi-series line chart over a shared integer x axis."""
+    if not series:
+        raise ValueError("no series")
+    canvas, plot = _frame(width, height, title)
+    longest = max(len(v) for v in series.values())
+    all_vals = np.concatenate([
+        np.asarray(v, dtype=float)[np.isfinite(np.asarray(v, dtype=float))]
+        for v in series.values()
+    ])
+    hi = float(all_vals.max()) if len(all_vals) else 1.0
+    xs = LinearScale((0.0, max(longest - 1, 1)), (plot["x0"], plot["x1"]))
+    ys = LinearScale((0.0, hi * 1.05 or 1.0), (plot["y0"], plot["y1"]))
+    _axes(canvas, plot, xs, ys, x_label, y_label)
+    for i, (name, values) in enumerate(series.items()):
+        vals = np.asarray(values, dtype=float)
+        pts = [(xs(t), ys(v)) for t, v in enumerate(vals)
+               if np.isfinite(v)]
+        if pts:
+            canvas.polyline(pts, stroke=series_color(i))
+        canvas.text(plot["x1"] - 4, plot["y1"] + 14 + 14 * i, name,
+                    size=10, anchor="end", fill=series_color(i))
+    return canvas
+
+
+def heatmap_chart(
+    cells: Sequence,
+    title: str = "",
+    width: float = 520.0,
+    height: float = 520.0,
+    cell_px: float | None = None,
+) -> SvgCanvas:
+    """Spatial heatmap from :class:`repro.core.maps.MapCell` objects."""
+    if not cells:
+        raise ValueError("no cells")
+    canvas, plot = _frame(width, height, title)
+    xs_v = np.asarray([c.x for c in cells])
+    ys_v = np.asarray([c.y for c in cells])
+    xs = LinearScale((xs_v.min() - 2, xs_v.max() + 2),
+                     (plot["x0"], plot["x1"]))
+    ys = LinearScale((ys_v.min() - 2, ys_v.max() + 2),
+                     (plot["y0"], plot["y1"]))
+    _axes(canvas, plot, xs, ys, "x (m/px)", "y (m/px)")
+    if cell_px is None:
+        span = max(xs_v.max() - xs_v.min(), ys_v.max() - ys_v.min(), 1.0)
+        cell_px = max(2.0, (plot["x1"] - plot["x0"]) / span * 2.0)
+    for c in cells:
+        canvas.rect(xs(c.x) - cell_px / 2, ys(c.y) - cell_px / 2,
+                    cell_px, cell_px, fill=throughput_color(c.value))
+    return canvas
+
+
+def box_chart(
+    groups: Mapping[str, Sequence[float]],
+    title: str = "",
+    y_label: str = "throughput (Mbps)",
+    width: float = 640.0,
+    height: float = 320.0,
+) -> SvgCanvas:
+    """Box-and-whisker chart, one box per named group (Fig. 14 style)."""
+    if not groups:
+        raise ValueError("no groups")
+    canvas, plot = _frame(width, height, title)
+    finite = [np.asarray(v, dtype=float) for v in groups.values()]
+    finite = [v[np.isfinite(v)] for v in finite]
+    hi = max((float(v.max()) for v in finite if len(v)), default=1.0)
+    ys = LinearScale((0.0, hi * 1.05 or 1.0), (plot["y0"], plot["y1"]))
+    n = len(groups)
+    slot = (plot["x1"] - plot["x0"]) / n
+    box_w = slot * 0.5
+    for v in ys.ticks(5):
+        canvas.line(plot["x0"], ys(v), plot["x1"], ys(v), stroke="#eee")
+        canvas.text(plot["x0"] - 8, ys(v) + 3, f"{v:.0f}", size=10,
+                    anchor="end")
+    canvas.line(plot["x0"], plot["y0"], plot["x1"], plot["y0"],
+                stroke="#444")
+    canvas.text(16, (plot["y0"] + plot["y1"]) / 2, y_label, size=11,
+                anchor="middle", rotate=-90)
+    for i, (name, vals) in enumerate(groups.items()):
+        v = np.asarray(vals, dtype=float)
+        v = v[np.isfinite(v)]
+        cx = plot["x0"] + slot * (i + 0.5)
+        canvas.text(cx, plot["y0"] + 18, name, size=9, anchor="middle")
+        if len(v) == 0:
+            continue
+        q1, med, q3 = np.percentile(v, [25, 50, 75])
+        lo, hi_w = np.percentile(v, [5, 95])
+        canvas.line(cx, ys(lo), cx, ys(hi_w), stroke="#666")
+        canvas.rect(cx - box_w / 2, ys(q3), box_w, ys(q1) - ys(q3),
+                    fill="#a8c6e8", stroke="#446")
+        canvas.line(cx - box_w / 2, ys(med), cx + box_w / 2, ys(med),
+                    stroke="#d62728", stroke_width=2.0)
+    return canvas
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    y_label: str = "",
+    width: float = 640.0,
+    height: float = 320.0,
+) -> SvgCanvas:
+    """Labelled vertical bars (feature importance / model comparison)."""
+    if not values:
+        raise ValueError("no values")
+    canvas, plot = _frame(width, height, title)
+    hi = max(max(values.values()), 1e-9)
+    ys = LinearScale((0.0, hi * 1.1), (plot["y0"], plot["y1"]))
+    n = len(values)
+    slot = (plot["x1"] - plot["x0"]) / n
+    bar_w = slot * 0.6
+    canvas.line(plot["x0"], plot["y0"], plot["x1"], plot["y0"],
+                stroke="#444")
+    for v in ys.ticks(5):
+        canvas.text(plot["x0"] - 8, ys(v) + 3, f"{v:.2g}", size=10,
+                    anchor="end")
+        canvas.line(plot["x0"], ys(v), plot["x1"], ys(v), stroke="#eee")
+    canvas.text(16, (plot["y0"] + plot["y1"]) / 2, y_label, size=11,
+                anchor="middle", rotate=-90)
+    for i, (name, value) in enumerate(values.items()):
+        cx = plot["x0"] + slot * (i + 0.5)
+        canvas.rect(cx - bar_w / 2, ys(value), bar_w,
+                    plot["y0"] - ys(value), fill=series_color(i))
+        canvas.text(cx, plot["y0"] + 14, name, size=9, anchor="middle",
+                    rotate=20)
+    return canvas

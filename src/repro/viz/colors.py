@@ -1,0 +1,46 @@
+"""Color maps for throughput figures.
+
+The paper's heatmaps run dark red (< 60 Mbps) to lime green (> 1 Gbps);
+``throughput_color`` interpolates that ramp continuously.
+"""
+
+from __future__ import annotations
+
+#: (value anchor in Mbps, (r, g, b)) stops of the paper-style ramp.
+THROUGHPUT_STOPS = (
+    (0.0, (139, 0, 0)),       # dark red
+    (60.0, (214, 39, 40)),    # red
+    (300.0, (255, 160, 54)),  # orange
+    (700.0, (255, 221, 87)),  # yellow
+    (1000.0, (154, 205, 50)), # yellow-green
+    (2000.0, (50, 205, 50)),  # lime green
+)
+
+SERIES_PALETTE = (
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+    "#8c613c", "#dc7ec0", "#797979",
+)
+
+
+def _hex(rgb: tuple[int, int, int]) -> str:
+    return "#{:02x}{:02x}{:02x}".format(*rgb)
+
+
+def throughput_color(mbps: float) -> str:
+    """Continuous paper-style color for a throughput value."""
+    stops = THROUGHPUT_STOPS
+    if mbps <= stops[0][0]:
+        return _hex(stops[0][1])
+    for (v0, c0), (v1, c1) in zip(stops, stops[1:]):
+        if mbps <= v1:
+            t = (mbps - v0) / (v1 - v0)
+            rgb = tuple(
+                int(round(a + t * (b - a))) for a, b in zip(c0, c1)
+            )
+            return _hex(rgb)
+    return _hex(stops[-1][1])
+
+
+def series_color(index: int) -> str:
+    """Stable categorical color for the index-th series."""
+    return SERIES_PALETTE[index % len(SERIES_PALETTE)]

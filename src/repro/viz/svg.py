@@ -1,0 +1,115 @@
+"""Minimal SVG document builder (no third-party plotting available).
+
+Produces standalone .svg files for the paper-style figures.  Elements are
+accumulated as strings; coordinates are in user units (pixels).
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.2f}".rstrip("0").rstrip(".")
+
+
+@dataclass
+class SvgCanvas:
+    """An SVG drawing surface with a fixed pixel size."""
+
+    width: float
+    height: float
+    background: str | None = "white"
+    _elements: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("canvas size must be positive")
+        if self.background:
+            self.rect(0, 0, self.width, self.height, fill=self.background,
+                      stroke="none")
+
+    # -- primitives ---------------------------------------------------------- #
+
+    def rect(self, x, y, w, h, fill="black", stroke="none",
+             stroke_width=1.0, opacity=1.0) -> None:
+        self._elements.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" '
+            f'height="{_fmt(h)}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(stroke_width)}" '
+            f'opacity="{_fmt(opacity)}"/>'
+        )
+
+    def circle(self, cx, cy, r, fill="black", stroke="none",
+               opacity=1.0) -> None:
+        self._elements.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill="{fill}" stroke="{stroke}" opacity="{_fmt(opacity)}"/>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="black", stroke_width=1.0,
+             dash: str | None = None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(stroke_width)}"{dash_attr}/>'
+        )
+
+    def polyline(self, points, stroke="black", stroke_width=1.5,
+                 fill="none") -> None:
+        pts = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{pts}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(stroke_width)}"/>'
+        )
+
+    def text(self, x, y, content, size=12.0, anchor="start",
+             fill="#222", rotate: float | None = None) -> None:
+        transform = (f' transform="rotate({_fmt(rotate)} {_fmt(x)} '
+                     f'{_fmt(y)})"' if rotate else "")
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{_fmt(size)}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{transform}>{html.escape(str(content))}</text>'
+        )
+
+    # -- output --------------------------------------------------------------- #
+
+    def to_string(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_string())
+
+
+@dataclass(frozen=True)
+class LinearScale:
+    """Map a data interval onto a pixel interval."""
+
+    domain: tuple[float, float]
+    range: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if self.domain[0] == self.domain[1]:
+            raise ValueError("degenerate scale domain")
+
+    def __call__(self, value: float) -> float:
+        d0, d1 = self.domain
+        r0, r1 = self.range
+        return r0 + (value - d0) / (d1 - d0) * (r1 - r0)
+
+    def ticks(self, n: int = 5) -> list[float]:
+        d0, d1 = self.domain
+        if n < 2:
+            raise ValueError("need at least two ticks")
+        step = (d1 - d0) / (n - 1)
+        return [d0 + i * step for i in range(n)]

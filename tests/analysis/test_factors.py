@@ -1,0 +1,47 @@
+"""Tests for the Table-4/10 factor-analysis driver."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.factors import analyze_factors
+
+
+@pytest.fixture(scope="module")
+def analysis(request):
+    dataset = request.getfixturevalue("airport_dataset")
+    return analyze_factors(dataset, "Airport", seed=0)
+
+
+class TestFactorAnalysis:
+    def test_two_rows(self, analysis):
+        rows = analysis.rows()
+        assert [r.setting for r in rows] == [
+            "geolocation", "geolocation+mobility"
+        ]
+
+    def test_mobility_reduces_cv(self, analysis):
+        """Table 4's headline: conditioning on mobility direction cuts
+        the per-cell coefficient of variation."""
+        assert (analysis.with_mobility.cv_mean
+                < analysis.geolocation_only.cv_mean)
+
+    def test_mobility_improves_prediction(self, analysis):
+        assert analysis.with_mobility.rf_mae < analysis.geolocation_only.rf_mae
+        assert (analysis.with_mobility.knn_rmse
+                < analysis.geolocation_only.knn_rmse)
+
+    def test_same_direction_traces_more_consistent(self, analysis):
+        """Sec. 4.2: within-direction Spearman far above cross-direction."""
+        assert analysis.with_mobility.spearman_mean > 0.3
+        assert (analysis.with_mobility.spearman_mean
+                > analysis.geolocation_only.spearman_mean + 0.2)
+
+    def test_cv_meaningfully_high(self, analysis):
+        """Even the raw CV shows heavy same-location variability (paper:
+        ~53% of cells with CV >= 50%)."""
+        assert analysis.geolocation_only.cv_mean > 25.0
+
+    def test_errors_are_positive_and_ordered(self, analysis):
+        for row in analysis.rows():
+            assert 0 < row.knn_mae <= row.knn_rmse
+            assert 0 < row.rf_mae <= row.rf_rmse

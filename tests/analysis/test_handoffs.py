@@ -1,0 +1,57 @@
+"""Tests for handoff-patch detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.handoffs import find_handoff_patches
+from repro.datasets.frame import Table
+
+
+def synthetic_table():
+    """Two regions: a calm one and a handoff-heavy, low-throughput one."""
+    n = 400
+    rng = np.random.default_rng(0)
+    x = np.concatenate([np.full(n, 10.0), np.full(n, 100.0)])
+    y = np.zeros(2 * n)
+    tput = np.concatenate([rng.normal(900, 50, n),
+                           np.abs(rng.normal(150, 50, n))])
+    hho = np.concatenate([np.zeros(n), rng.random(n) < 0.2]).astype(int)
+    return Table({
+        "pixel_x": x, "pixel_y": y, "throughput_mbps": tput,
+        "horizontal_handoff": hho,
+        "vertical_handoff": np.zeros(2 * n, dtype=int),
+    })
+
+
+class TestSynthetic:
+    def test_patch_found_in_heavy_region(self):
+        analysis = find_handoff_patches(synthetic_table(), min_rate=0.05)
+        assert len(analysis.patches) == 1
+        assert analysis.patches[0].cell[0] == 25  # 100 / cell_size 4
+
+    def test_penalty_measured(self):
+        analysis = find_handoff_patches(synthetic_table(), min_rate=0.05)
+        assert analysis.mean_throughput_inside < 300
+        assert analysis.mean_throughput_outside > 700
+        assert analysis.penalty_fraction > 0.5
+
+    def test_threshold_excludes_calm_cells(self):
+        analysis = find_handoff_patches(synthetic_table(), min_rate=0.5)
+        assert analysis.patches == []
+        assert analysis.penalty_fraction == 0.0
+
+
+class TestOnSimulatedCampaign:
+    def test_airport_has_handoff_patches(self, airport_dataset):
+        analysis = find_handoff_patches(airport_dataset, cell_size=4.0,
+                                        min_samples=8, min_rate=0.03)
+        assert len(analysis.patches) >= 1
+        # The paper's observation: handoff patches mean degraded service.
+        assert (analysis.mean_throughput_inside
+                < analysis.mean_throughput_outside)
+
+    def test_patches_sorted_by_rate(self, airport_dataset):
+        analysis = find_handoff_patches(airport_dataset, cell_size=4.0,
+                                        min_samples=8, min_rate=0.02)
+        rates = [p.handoff_rate for p in analysis.patches]
+        assert rates == sorted(rates, reverse=True)

@@ -1,0 +1,62 @@
+"""Tests for the explained-variance predictability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.predictability import (
+    PredictabilityReport,
+    predictability_ladder,
+    r_squared,
+)
+
+
+class TestRSquared:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.array([3.0, 2.0, 1.0])) < 0.0
+
+    def test_constant_target(self):
+        assert r_squared(np.ones(5), np.ones(5)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            r_squared([1.0], [1.0, 2.0])
+
+
+class TestLadder:
+    @pytest.fixture(scope="class")
+    def report(self, request):
+        table = request.getfixturevalue("airport_dataset")
+        return predictability_ladder(table, "Airport", seed=0,
+                                     n_estimators=80)
+
+    def test_nested_specs_monotone(self, report):
+        r2s = [report.r2_by_spec[s] for s in ("L", "L+M", "L+M+C")]
+        assert r2s[0] <= r2s[1] + 0.05
+        assert r2s[1] <= r2s[2] + 0.05
+
+    def test_throughput_is_substantially_predictable(self, report):
+        """The paper's conclusion: prediction is feasible."""
+        assert report.ceiling > 0.6
+
+    def test_but_not_fully(self, report):
+        """And its caveat: uncontrollable factors put a floor on error."""
+        assert report.unexplained > 0.02
+
+    def test_increments_sum_to_ceiling(self, report):
+        total = sum(report.increments.values())
+        final = report.r2_by_spec["L+M+C"]
+        assert total == pytest.approx(final)
+
+    def test_empty_specs_rejected(self, request):
+        table = request.getfixturevalue("airport_dataset")
+        with pytest.raises(ValueError):
+            predictability_ladder(table, "Airport", specs=())

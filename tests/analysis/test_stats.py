@@ -1,0 +1,144 @@
+"""Tests for the statistical analysis machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    cv_percent,
+    direction_spearman_analysis,
+    fraction_high_cv,
+    fraction_normal,
+    group_by_cell,
+    is_normal,
+    mean_offdiagonal,
+    pairwise_location_tests,
+    resample_trace,
+    trace_spearman_matrix,
+)
+
+
+def make_cells(rng, n_cells=10, per_cell=30, means=None):
+    xs, ys, vals = [], [], []
+    for i in range(n_cells):
+        mu = means[i] if means is not None else 100.0 * (i + 1)
+        xs.extend([float(i)] * per_cell)
+        ys.extend([0.0] * per_cell)
+        vals.extend(rng.normal(mu, 10.0, per_cell))
+    return group_by_cell(xs, ys, vals, cell_size=1.0, min_samples=5)
+
+
+class TestGrouping:
+    def test_min_samples_enforced(self, rng):
+        cells = group_by_cell([0.0] * 3, [0.0] * 3, [1.0] * 3,
+                              min_samples=8)
+        assert len(cells) == 0
+
+    def test_cells_separate(self, rng):
+        cells = make_cells(rng)
+        assert len(cells) == 10
+
+
+class TestCv:
+    def test_cv_definition(self):
+        v = np.array([50.0, 150.0])
+        assert cv_percent(v) == pytest.approx(
+            100.0 * v.std(ddof=1) / v.mean()
+        )
+
+    def test_zero_mean_guard(self):
+        assert cv_percent(np.zeros(5)) == 0.0
+
+    def test_fraction_high_cv(self, rng):
+        # Half the cells very noisy, half tight.
+        xs, ys, vals = [], [], []
+        for i in range(10):
+            sigma = 200.0 if i < 5 else 1.0
+            xs.extend([float(i)] * 40)
+            ys.extend([0.0] * 40)
+            vals.extend(np.abs(rng.normal(100.0, sigma, 40)))
+        cells = group_by_cell(xs, ys, vals, min_samples=5)
+        frac = fraction_high_cv(cells, threshold=50.0)
+        assert 0.3 <= frac <= 0.7
+
+    def test_empty_raises(self):
+        from repro.analysis.stats import CellSampleSet
+
+        with pytest.raises(ValueError):
+            fraction_high_cv(CellSampleSet([], []))
+
+
+class TestNormality:
+    def test_gaussian_passes(self, rng):
+        assert is_normal(rng.normal(0, 1, 500))
+
+    def test_bimodal_fails(self, rng):
+        data = np.concatenate([rng.normal(-10, 0.5, 250),
+                               rng.normal(10, 0.5, 250)])
+        assert not is_normal(data)
+
+    def test_tiny_sample_fails_conservatively(self):
+        assert not is_normal(np.array([1.0, 2.0]))
+
+    def test_constant_fails(self):
+        assert not is_normal(np.full(100, 3.0))
+
+    def test_fraction_normal(self, rng):
+        cells = make_cells(rng)
+        assert fraction_normal(cells) > 0.6  # cells are Gaussian
+
+
+class TestPairwiseTests:
+    def test_distinct_means_detected(self, rng):
+        cells = make_cells(rng, n_cells=6, per_cell=50)
+        res = pairwise_location_tests(cells, alpha=0.1)
+        assert res.frac_significant_ttest > 0.8
+        assert res.n_pairs == 15
+
+    def test_identical_cells_not_flagged(self, rng):
+        cells = make_cells(rng, n_cells=6, per_cell=50,
+                           means=[100.0] * 6)
+        res = pairwise_location_tests(cells, alpha=0.1)
+        assert res.frac_significant_ttest < 0.35
+
+    def test_pair_subsampling(self, rng):
+        cells = make_cells(rng, n_cells=30, per_cell=10)
+        res = pairwise_location_tests(cells, max_pairs=50, rng=0)
+        assert res.n_pairs == 50
+
+    def test_single_cell_raises(self, rng):
+        cells = make_cells(rng, n_cells=1)
+        with pytest.raises(ValueError):
+            pairwise_location_tests(cells)
+
+
+class TestSpearman:
+    def test_identical_traces_correlate(self):
+        t = np.linspace(0, 1, 50) ** 2
+        m = trace_spearman_matrix([t, t + 0.001])
+        assert m[0, 1] > 0.99
+
+    def test_reversed_traces_anticorrelate(self):
+        t = np.linspace(0, 1, 50)
+        m = trace_spearman_matrix([t, t[::-1]])
+        assert m[0, 1] < -0.99
+
+    def test_mean_offdiagonal(self):
+        m = np.array([[1.0, 0.5], [0.5, 1.0]])
+        assert mean_offdiagonal(m) == pytest.approx(0.5)
+
+    def test_resample_preserves_endpoints(self):
+        t = np.array([0.0, 1.0, 4.0, 9.0])
+        r = resample_trace(t, 10)
+        assert r[0] == 0.0 and r[-1] == 9.0
+        assert len(r) == 10
+
+    def test_direction_analysis_shape(self, rng):
+        base = np.linspace(0, 1, 80) ** 2  # monotone spatial profile
+        nb = [base + rng.normal(0, 0.05, 80) for _ in range(4)]
+        sb = [base[::-1] + rng.normal(0, 0.05, 80) for _ in range(4)]
+        out = direction_spearman_analysis({"NB": nb, "SB": sb})
+        # Same-direction traces track each other; opposite directions
+        # anti-correlate (walking the profile backwards).
+        assert out["NB"] > 0.5
+        assert out["SB"] > 0.5
+        assert out["cross"] < 0.0

@@ -1,0 +1,35 @@
+"""Shared fixtures: small simulated datasets reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generate import generate_datasets
+from repro.sim.collection import CampaignConfig
+
+
+@pytest.fixture(scope="session")
+def airport_dataset():
+    """A small cleaned Airport dataset (8 passes per trajectory)."""
+    data = generate_datasets(
+        areas=("Airport",), passes_per_trajectory=8, seed=123,
+        include_global=False,
+    )
+    return data["Airport"]
+
+
+@pytest.fixture(scope="session")
+def tri_area_datasets():
+    """Tiny three-area datasets + Global, for pipeline-level tests."""
+    campaign = CampaignConfig(
+        passes_per_trajectory=3, driving_passes=3, stationary_runs=1,
+        stationary_duration_s=60, seed=7,
+    )
+    return generate_datasets(
+        areas=("Airport", "Intersection", "Loop"), campaign=campaign,
+        use_cache=False,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

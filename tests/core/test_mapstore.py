@@ -1,0 +1,106 @@
+"""Tests for the downloadable throughput-map bundle."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapstore import ThroughputMapBundle
+
+
+@pytest.fixture(scope="module")
+def bundle(request):
+    table = request.getfixturevalue("airport_dataset")
+    return ThroughputMapBundle.build(table, "Airport", train_model=True,
+                                     n_estimators=60)
+
+
+@pytest.fixture(scope="module")
+def map_only_bundle(request):
+    table = request.getfixturevalue("airport_dataset")
+    return ThroughputMapBundle.build(table, "Airport", train_model=False)
+
+
+class TestBuild:
+    def test_has_cells_and_model(self, bundle):
+        assert len(bundle.cells) > 30
+        assert bundle.model is not None
+        assert bundle.global_mean > 0
+
+    def test_directional_cells_subset_consistent(self, bundle):
+        for (x, y, _o), (mean, count) in bundle.directional_cells.items():
+            assert (x, y) in bundle.cells
+            assert count <= bundle.cells[(x, y)][1]
+            assert mean >= 0
+
+
+class TestPredict:
+    def test_model_prediction_reasonable(self, bundle, airport_dataset):
+        px = np.asarray(airport_dataset["pixel_x"], dtype=float)
+        py = np.asarray(airport_dataset["pixel_y"], dtype=float)
+        tput = np.asarray(airport_dataset["throughput_mbps"], dtype=float)
+        heading = np.asarray(airport_dataset["compass_direction_deg"],
+                             dtype=float)
+        preds = np.asarray([
+            bundle.predict(px[i], py[i], heading[i])
+            for i in range(0, len(px), 37)
+        ])
+        actual = tput[::37]
+        # Much better than predicting the global mean everywhere.
+        mae_model = np.abs(preds - actual).mean()
+        mae_mean = np.abs(bundle.global_mean - actual).mean()
+        assert mae_model < 0.8 * mae_mean
+
+    def test_direction_changes_prediction(self, bundle, airport_dataset):
+        px = float(np.median(np.asarray(airport_dataset["pixel_x"],
+                                        dtype=float)))
+        py = float(np.median(np.asarray(airport_dataset["pixel_y"],
+                                        dtype=float)))
+        nb = bundle.predict(px, py, heading_deg=0.0)
+        sb = bundle.predict(px, py, heading_deg=180.0)
+        assert nb != sb  # direction-aware, the paper's core point
+
+    def test_unknown_location_falls_back_to_global(self, map_only_bundle):
+        value = map_only_bundle.predict(10.0, 10.0)  # far off the map
+        assert value == pytest.approx(map_only_bundle.global_mean)
+
+    def test_lookup_prefers_directional_cell(self, map_only_bundle):
+        (x, y, o), (mean, count) = max(
+            map_only_bundle.directional_cells.items(),
+            key=lambda kv: kv[1][1],
+        )
+        heading = (o + 0.5) * 45.0
+        px = (x + 0.5) * map_only_bundle.cell_size_px
+        py = (y + 0.5) * map_only_bundle.cell_size_px
+        assert map_only_bundle.lookup(px, py, heading) == pytest.approx(mean)
+
+    def test_coverage_fraction(self, bundle, airport_dataset):
+        px = np.asarray(airport_dataset["pixel_x"], dtype=float)
+        py = np.asarray(airport_dataset["pixel_y"], dtype=float)
+        points = list(zip(px[::61], py[::61]))
+        assert bundle.coverage_fraction(points) > 0.9
+        assert bundle.coverage_fraction([(0.0, 0.0)]) == 0.0
+
+
+class TestPersistence:
+    def test_roundtrip_with_model(self, bundle, tmp_path):
+        path = tmp_path / "airport.bundle.json"
+        bundle.save(path)
+        loaded = ThroughputMapBundle.load(path)
+        assert loaded.area == "Airport"
+        assert len(loaded.cells) == len(bundle.cells)
+        # Model predictions survive the round trip.
+        a = bundle.predict(10000.0, 20000.0, 90.0)
+        b = loaded.predict(10000.0, 20000.0, 90.0)
+        assert a == pytest.approx(b)
+
+    def test_roundtrip_without_model(self, map_only_bundle):
+        clone = ThroughputMapBundle.from_json(map_only_bundle.to_json())
+        assert clone.model is None
+        assert clone.global_mean == map_only_bundle.global_mean
+
+    def test_bad_version_rejected(self, map_only_bundle):
+        import json
+
+        data = json.loads(map_only_bundle.to_json())
+        data["bundle_version"] = 42
+        with pytest.raises(ValueError):
+            ThroughputMapBundle.from_json(json.dumps(data))

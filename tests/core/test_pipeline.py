@@ -1,0 +1,159 @@
+"""Tests for the Lumos5G pipeline (fast profile)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Lumos5G, ModelConfig
+
+
+@pytest.fixture(scope="module")
+def framework(tri_area_datasets_module):
+    return Lumos5G(tri_area_datasets_module, config=ModelConfig.fast(), seed=0)
+
+
+@pytest.fixture(scope="module")
+def tri_area_datasets_module():
+    from repro.datasets.generate import generate_datasets
+    from repro.sim.collection import CampaignConfig
+
+    campaign = CampaignConfig(
+        passes_per_trajectory=3, driving_passes=3, stationary_runs=1,
+        stationary_duration_s=60, seed=7,
+    )
+    return generate_datasets(
+        areas=("Airport", "Intersection", "Loop"), campaign=campaign,
+        use_cache=False,
+    )
+
+
+class TestSupports:
+    def test_loop_has_no_tower_features(self, framework):
+        assert not framework.supports("Loop", "T+M")
+        assert framework.supports("Loop", "L+M")
+
+    def test_airport_supports_everything(self, framework):
+        for spec in ("L", "L+M", "T+M", "L+M+C", "T+M+C"):
+            assert framework.supports("Airport", spec)
+
+    def test_unknown_area(self, framework):
+        with pytest.raises(KeyError):
+            framework.table("Mars")
+
+
+class TestRegression:
+    def test_gdbt_result_fields(self, framework):
+        r = framework.evaluate_regression("Airport", "L+M", "gdbt")
+        assert r.mae > 0 and r.rmse >= r.mae
+        assert r.n_train > r.n_test > 0
+        assert len(r.y_true) == r.n_test
+
+    def test_mobility_beats_location_alone(self, framework):
+        r_l = framework.evaluate_regression("Airport", "L", "gdbt")
+        r_lm = framework.evaluate_regression("Airport", "L+M", "gdbt")
+        assert r_lm.mae < r_l.mae
+
+    def test_connection_features_help(self, framework):
+        r_lm = framework.evaluate_regression("Airport", "L+M", "gdbt")
+        r_lmc = framework.evaluate_regression("Airport", "L+M+C", "gdbt")
+        assert r_lmc.mae < r_lm.mae
+
+    def test_baselines_run(self, framework):
+        for model in ("knn", "rf"):
+            r = framework.evaluate_regression("Airport", "L+M", model)
+            assert np.isfinite(r.mae)
+
+    def test_kriging_restricted_to_l(self, framework):
+        r = framework.evaluate_regression("Airport", "L", "ok")
+        assert np.isfinite(r.mae)
+        with pytest.raises(ValueError):
+            framework.evaluate_regression("Airport", "L+M", "ok")
+
+    def test_harmonic_mean_runs(self, framework):
+        r = framework.evaluate_regression("Airport", "L", "hm")
+        assert np.isfinite(r.mae)
+        assert r.n_train == 0  # training-free baseline
+
+    def test_unknown_model_rejected(self, framework):
+        with pytest.raises(ValueError):
+            framework.evaluate_regression("Airport", "L", "svm")
+
+
+class TestClassification:
+    def test_gdbt_classifier(self, framework):
+        r = framework.evaluate_classification("Airport", "L+M", "gdbt")
+        assert 0.0 <= r.weighted_f1 <= 1.0
+        assert 0.0 <= r.recall_low <= 1.0
+        assert set(np.unique(r.y_pred)) <= {"low", "medium", "high"}
+
+    def test_regression_models_classify_by_binning(self, framework):
+        r = framework.evaluate_classification("Airport", "L", "ok")
+        assert 0.0 <= r.weighted_f1 <= 1.0
+
+    def test_feature_rich_beats_location(self, framework):
+        r_l = framework.evaluate_classification("Airport", "L", "gdbt")
+        r_lmc = framework.evaluate_classification("Airport", "L+M+C", "gdbt")
+        assert r_lmc.weighted_f1 > r_l.weighted_f1
+
+
+class TestSeq2Seq:
+    def test_seq2seq_regression_runs(self, framework):
+        r = framework.evaluate_regression("Airport", "L+M", "seq2seq")
+        assert np.isfinite(r.mae)
+        assert (r.y_pred >= 0).all()  # clipped at zero
+
+    def test_seq2seq_handles_nan_features(self, framework):
+        r = framework.evaluate_regression("Airport", "L+M+C", "seq2seq")
+        assert np.isfinite(r.mae)
+
+
+class TestGridAndImportance:
+    def test_evaluation_grid_skips_unsupported(self, framework):
+        results = framework.evaluation_grid(
+            areas=["Loop"], specs=["L", "T+M"], models=["gdbt"],
+        )
+        assert [r.feature_group for r in results] == ["L"]
+
+    def test_feature_importance_normalized(self, framework):
+        imp = framework.feature_importance("Airport", "L+M")
+        assert set(imp) == {"pixel_x", "pixel_y", "moving_speed",
+                            "compass_sin", "compass_cos"}
+        assert sum(imp.values()) == pytest.approx(1.0)
+
+    def test_design_caches(self, framework):
+        a = framework.design("Airport", "L")
+        b = framework.design("Airport", "L")
+        assert a[0] is b[0]
+
+
+class TestModelConfig:
+    def test_paper_profile_matches_publication(self):
+        cfg = ModelConfig.paper()
+        assert cfg.gdbt_estimators == 8000
+        assert cfg.gdbt_depth == 8
+        assert cfg.gdbt_learning_rate == 0.01
+        assert cfg.seq2seq_hidden == 128
+        assert cfg.seq2seq_layers == 2
+        assert cfg.input_len == 20
+
+    def test_fast_profile_is_smaller(self):
+        fast, paper = ModelConfig.fast(), ModelConfig.paper()
+        assert fast.gdbt_estimators < paper.gdbt_estimators
+        assert fast.seq2seq_epochs < paper.seq2seq_epochs
+
+
+class TestDeployableModels:
+    def test_fit_regressor_trains_on_all_data(self, framework):
+        model = framework.fit_regressor("Airport", "L+M")
+        X, y, _, _ = framework.design("Airport", "L+M")
+        pred = model.predict(X)
+        assert len(pred) == len(y)
+        # In-sample fit is decent (trained on everything).
+        assert float(np.abs(pred - y).mean()) < float(
+            np.abs(y - y.mean()).mean()
+        )
+
+    def test_fit_classifier_returns_class_labels(self, framework):
+        clf = framework.fit_classifier("Airport", "L+M")
+        X, _, _, _ = framework.design("Airport", "L+M")
+        labels = set(np.unique(clf.predict(X[:200])))
+        assert labels <= {"low", "medium", "high"}

@@ -1,0 +1,98 @@
+"""Tests for the cleaning pipeline and public-schema export."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cleaning import (
+    CleaningConfig,
+    clean,
+    filter_gps_error,
+    pixelize,
+    trim_buffer_period,
+)
+from repro.datasets.frame import Table
+from repro.datasets.schema import (
+    from_public_csv_table,
+    to_public_csv_table,
+)
+
+
+def toy_raw_table():
+    """Two runs: run 0 has good GPS, run 1 has terrible GPS."""
+    n = 30
+    return Table({
+        "run_id": np.array([0] * n + [1] * n),
+        "timestamp_s": np.array(list(range(n)) * 2),
+        "latitude": np.full(2 * n, 44.8820),
+        "longitude": np.full(2 * n, -93.2218),
+        "gps_accuracy_m": np.array([2.0] * n + [12.0] * n),
+        "throughput_mbps": np.linspace(0, 1000, 2 * n),
+    })
+
+
+class TestGpsFilter:
+    def test_drops_bad_run_entirely(self):
+        t, dropped = filter_gps_error(toy_raw_table(), max_mean_error_m=5.0)
+        assert dropped == 1
+        assert set(np.unique(t["run_id"])) == {0}
+
+    def test_keeps_everything_when_accurate(self):
+        t, dropped = filter_gps_error(toy_raw_table(), max_mean_error_m=50.0)
+        assert dropped == 0
+        assert len(t) == 60
+
+
+class TestBufferTrim:
+    def test_drops_first_seconds_of_each_run(self):
+        t, dropped = trim_buffer_period(toy_raw_table(), buffer_s=10)
+        assert dropped == 20  # 10 per run
+        assert np.asarray(t["timestamp_s"], dtype=float).min() == 10
+
+
+class TestPixelize:
+    def test_adds_integer_pixel_columns(self):
+        t = pixelize(toy_raw_table())
+        assert "pixel_x" in t and "pixel_y" in t
+        assert np.issubdtype(t["pixel_x"].dtype, np.integer)
+
+    def test_same_location_same_pixel(self):
+        t = pixelize(toy_raw_table())
+        assert len(np.unique(t["pixel_x"])) == 1
+
+
+class TestFullPipeline:
+    def test_report_accounts_for_rows(self):
+        table = toy_raw_table()
+        cleaned, report = clean(table, CleaningConfig(buffer_period_s=5))
+        assert report.input_rows == 60
+        assert report.runs_dropped_gps == 1
+        assert report.output_rows == len(cleaned)
+        assert report.output_rows == 25  # one run of 30 minus 5 buffered
+        assert 0.0 < report.retention < 1.0
+
+    def test_pipeline_on_simulated_data(self, airport_dataset):
+        # The fixture is already cleaned; sanity-check invariants instead.
+        t = airport_dataset
+        assert "pixel_x" in t
+        acc = np.asarray(t["gps_accuracy_m"], dtype=float)
+        run_ids = t["run_id"]
+        for run in np.unique(run_ids):
+            assert acc[run_ids == run].mean() <= 5.0 + 1e-9
+
+
+class TestPublicSchema:
+    def test_roundtrip(self, airport_dataset):
+        public = to_public_csv_table(airport_dataset)
+        assert "Throughput" in public
+        assert "nrStatus" in public
+        back = from_public_csv_table(public)
+        np.testing.assert_allclose(
+            np.asarray(back["throughput_mbps"], float),
+            np.asarray(airport_dataset["throughput_mbps"], float),
+        )
+        assert list(back["radio_type"]) == list(airport_dataset["radio_type"])
+
+    def test_nr_status_encoding(self, airport_dataset):
+        public = to_public_csv_table(airport_dataset)
+        statuses = set(np.unique(public["nrStatus"]))
+        assert statuses <= {"CONNECTED", "NOT_RESTRICTED"}

@@ -1,0 +1,125 @@
+"""Tests for the column Table."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.frame import Table
+
+
+def sample_table():
+    return Table({
+        "a": np.array([3.0, 1.0, 2.0, 1.0]),
+        "b": np.array(["x", "y", "x", "y"], dtype=object),
+        "c": np.array([10, 20, 30, 40]),
+    })
+
+
+class TestConstruction:
+    def test_length_and_columns(self):
+        t = sample_table()
+        assert len(t) == 4
+        assert t.column_names == ["a", "b", "c"]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_2d_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_missing_column_keyerror_lists_available(self):
+        t = sample_table()
+        with pytest.raises(KeyError, match="available"):
+            t["zzz"]
+
+    def test_from_records(self):
+        class Rec:
+            def __init__(self, a, b):
+                self.a, self.b = a, b
+
+        t = Table.from_records([Rec(1, "u"), Rec(2, "v")], ["a", "b"])
+        assert list(t["a"]) == [1, 2]
+        assert list(t["b"]) == ["u", "v"]
+
+
+class TestTransforms:
+    def test_filter(self):
+        t = sample_table()
+        f = t.filter(t["a"] > 1.5)
+        assert len(f) == 2
+        assert list(f["c"]) == [10, 30]
+
+    def test_filter_mask_length_check(self):
+        with pytest.raises(ValueError):
+            sample_table().filter(np.array([True]))
+
+    def test_take_reorders(self):
+        t = sample_table().take(np.array([3, 0]))
+        assert list(t["c"]) == [40, 10]
+
+    def test_select(self):
+        t = sample_table().select(["c", "a"])
+        assert t.column_names == ["c", "a"]
+
+    def test_with_column_replaces(self):
+        t = sample_table().with_column("a", [9.0] * 4)
+        assert list(t["a"]) == [9.0] * 4
+
+    def test_with_column_length_check(self):
+        with pytest.raises(ValueError):
+            sample_table().with_column("d", [1.0])
+
+    def test_sort_by(self):
+        t = sample_table().sort_by("a")
+        assert list(t["a"]) == [1.0, 1.0, 2.0, 3.0]
+
+    def test_groupby_partitions(self):
+        groups = sample_table().groupby("b")
+        assert set(groups) == {("x",), ("y",)}
+        assert len(groups[("x",)]) == 2
+
+    def test_groupby_multi_key(self):
+        groups = sample_table().groupby("b", "a")
+        assert ("y", 1.0) in groups
+
+    def test_concat(self):
+        t = sample_table()
+        both = Table.concat([t, t])
+        assert len(both) == 8
+
+    def test_concat_mismatched_rejected(self):
+        t = sample_table()
+        other = Table({"a": [1.0]})
+        with pytest.raises(ValueError):
+            Table.concat([t, other])
+
+    def test_to_matrix(self):
+        m = sample_table().to_matrix(["a", "c"])
+        assert m.shape == (4, 2)
+        assert m.dtype == float
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        t = sample_table()
+        buf = io.StringIO(t.to_csv_string())
+        t2 = Table.from_csv(buf)
+        assert t2.column_names == t.column_names
+        np.testing.assert_allclose(
+            np.asarray(t2["a"], float), np.asarray(t["a"], float)
+        )
+        assert list(t2["b"]) == list(t["b"])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_numeric_roundtrip_property(self, values):
+        t = Table({"v": np.asarray(values)})
+        buf = io.StringIO(t.to_csv_string())
+        t2 = Table.from_csv(buf)
+        np.testing.assert_allclose(np.asarray(t2["v"], float), values,
+                                   rtol=1e-12)

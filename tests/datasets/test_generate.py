@@ -1,0 +1,92 @@
+"""Tests for dataset generation, pooling and caching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generate import (
+    clear_cache,
+    dataset_statistics,
+    generate_datasets,
+)
+from repro.sim.collection import CampaignConfig
+
+
+@pytest.fixture(scope="module")
+def two_area():
+    campaign = CampaignConfig(passes_per_trajectory=2, driving_passes=2,
+                              stationary_runs=1, stationary_duration_s=40,
+                              seed=55)
+    return generate_datasets(areas=("Airport", "Loop"), campaign=campaign,
+                             use_cache=False)
+
+
+class TestGlobalPooling:
+    def test_global_contains_all_areas(self, two_area):
+        areas = set(np.unique(two_area["Global"]["area"]))
+        assert areas == {"Airport", "Loop"}
+
+    def test_global_row_count(self, two_area):
+        assert len(two_area["Global"]) == (
+            len(two_area["Airport"]) + len(two_area["Loop"])
+        )
+
+    def test_run_ids_disjoint_across_areas(self, two_area):
+        g = two_area["Global"]
+        by_area = {
+            a: set(np.asarray(g.filter(
+                np.asarray([x == a for x in g["area"]])
+            )["run_id"]).tolist())
+            for a in ("Airport", "Loop")
+        }
+        assert by_area["Airport"] & by_area["Loop"] == set()
+
+    def test_loop_rows_lack_tower_geometry(self, two_area):
+        g = two_area["Global"]
+        loop_rows = g.filter(np.asarray([x == "Loop" for x in g["area"]]))
+        assert np.isnan(
+            np.asarray(loop_rows["ue_panel_distance_m"], dtype=float)
+        ).all()
+
+    def test_include_global_false(self):
+        campaign = CampaignConfig(passes_per_trajectory=1, driving_passes=1,
+                                  stationary_runs=1,
+                                  stationary_duration_s=30, seed=9)
+        out = generate_datasets(areas=("Airport",), campaign=campaign,
+                                include_global=False, use_cache=False)
+        assert "Global" not in out
+
+
+class TestStatistics:
+    def test_table3_style_fields(self, two_area):
+        stats = dataset_statistics(two_area)
+        for name in ("Airport", "Loop", "Global"):
+            s = stats[name]
+            assert s["rows"] > 0
+            assert s["runs"] > 0
+            assert s["gb_downloaded"] >= 0
+            assert s["peak_throughput_mbps"] <= 2000.0
+
+    def test_loop_has_driving_mode(self, two_area):
+        stats = dataset_statistics(two_area)
+        assert "driving" in stats["Loop"]["mode_counts"]
+
+
+class TestCache:
+    def test_default_call_is_memoized(self):
+        clear_cache()
+        a = generate_datasets(areas=("Airport",), passes_per_trajectory=1,
+                              seed=77)
+        b = generate_datasets(areas=("Airport",), passes_per_trajectory=1,
+                              seed=77)
+        assert a is b
+        clear_cache()
+        c = generate_datasets(areas=("Airport",), passes_per_trajectory=1,
+                              seed=77)
+        assert c is not a
+
+    def test_reports_attached(self):
+        generate_datasets(areas=("Airport",), passes_per_trajectory=1,
+                          seed=78, use_cache=False)
+        reports = generate_datasets.last_reports
+        assert "Airport" in reports
+        assert reports["Airport"].output_rows > 0

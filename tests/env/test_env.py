@@ -1,0 +1,132 @@
+"""Tests for obstacles, line of sight, and the three paper areas."""
+
+import pytest
+
+from repro.env.areas import build_airport, build_area, build_intersection, build_loop
+from repro.env.obstacles import Obstacle, ObstacleMap, Rect
+
+
+class TestRect:
+    def test_contains(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(5, 5)
+        assert not r.contains(11, 5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 0, 10)
+
+    def test_segment_through_center(self):
+        r = Rect(4, 4, 6, 6)
+        assert r.intersects_segment((0, 5), (10, 5))
+
+    def test_segment_missing(self):
+        r = Rect(4, 4, 6, 6)
+        assert not r.intersects_segment((0, 0), (10, 0))
+
+    def test_segment_ending_inside(self):
+        r = Rect(4, 4, 6, 6)
+        assert r.intersects_segment((0, 5), (5, 5))
+
+    def test_segment_parallel_outside(self):
+        r = Rect(4, 4, 6, 6)
+        assert not r.intersects_segment((0, 7), (10, 7))
+
+    def test_segment_touching_edge(self):
+        r = Rect(4, 4, 6, 6)
+        assert r.intersects_segment((0, 4), (10, 4))
+
+
+class TestObstacleMap:
+    def make_map(self):
+        m = ObstacleMap()
+        m.add(Obstacle(Rect(4, 4, 6, 6), penetration_loss_db=20.0,
+                       reflectivity=0.5))
+        m.add(Obstacle(Rect(8, 4, 9, 6), penetration_loss_db=200.0,
+                       reflectivity=0.2))
+        return m
+
+    def test_penetration_accumulates(self):
+        m = self.make_map()
+        assert m.penetration_loss_db((0, 5), (10, 5)) == pytest.approx(220.0)
+
+    def test_los_with_clear_path(self):
+        m = self.make_map()
+        assert m.has_los((0, 0), (10, 0))
+
+    def test_no_los_through_concrete(self):
+        m = self.make_map()
+        assert not m.has_los((7, 5), (10, 5))
+
+    def test_best_reflectivity(self):
+        m = self.make_map()
+        assert m.best_reflectivity((0, 5), (10, 5)) == pytest.approx(0.5)
+        assert m.best_reflectivity((0, 0), (10, 0)) == 0.0
+
+
+class TestAreas:
+    def test_airport_layout(self):
+        env = build_airport()
+        assert env.indoor
+        assert len(env.panels) == 2
+        # Two head-on panels ~200 m apart (paper Sec. 3.2).
+        p1, p2 = env.panels.panels
+        dist = abs(p1.position[1] - p2.position[1])
+        assert dist == pytest.approx(200.0)
+        assert {p1.bearing_deg, p2.bearing_deg} == {0.0, 180.0}
+
+    def test_airport_trajectories_match_paper_lengths(self):
+        env = build_airport()
+        assert set(env.trajectories) == {"NB", "SB"}
+        for t in env.trajectories.values():
+            assert 324 <= t.length_m <= 369 or 300 <= t.length_m <= 369
+
+    def test_airport_nlos_band_from_south_panel(self):
+        # While on the detour lane 40-105 m out, the south-panel ray is
+        # booth-blocked; back on the axis beyond 110 m LoS returns.
+        env = build_airport()
+        south = env.panels.get(101).position
+        assert not env.has_los(south, (6.0, 70.0))
+        assert env.has_los(south, (0.0, 150.0))
+
+    def test_intersection_has_12_trajectories(self):
+        env = build_intersection()
+        assert len(env.trajectories) == 12
+        for t in env.trajectories.values():
+            assert 230 <= t.length_m <= 275
+
+    def test_intersection_has_3_dual_panel_towers(self):
+        env = build_intersection()
+        assert len(env.panels.towers) == 3
+        assert all(len(t.panels) == 2 for t in env.panels.towers)
+
+    def test_intersection_buildings_block_diagonals(self):
+        env = build_intersection()
+        # Corner-to-corner diagonal passes through a high-rise.
+        assert not env.has_los((100.0, 100.0), (-100.0, -100.0))
+        # Straight down a street stays clear.
+        assert env.has_los((0.0, -120.0), (0.0, 120.0))
+
+    def test_loop_is_1300m_closed(self):
+        env = build_loop()
+        loop = env.trajectories["LOOP-CW"]
+        assert loop.closed
+        assert loop.length_m == pytest.approx(1300.0)
+
+    def test_loop_has_no_panel_survey(self):
+        env = build_loop()
+        assert not env.panel_survey_available
+
+    def test_build_area_dispatch(self):
+        assert build_area("Airport").name == "Airport"
+        with pytest.raises(ValueError):
+            build_area("Atlantis")
+
+    def test_describe_mentions_key_facts(self):
+        text = build_airport().describe()
+        assert "Airport" in text and "indoor" in text
+
+    def test_duplicate_trajectory_rejected(self):
+        env = build_airport()
+        with pytest.raises(ValueError):
+            env.add_trajectory(env.trajectories["NB"])

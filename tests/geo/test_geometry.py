@@ -1,0 +1,115 @@
+"""Tests for UE-panel geometry: bearings, theta_p, theta_m, sectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import geometry as g
+
+
+class TestBearing:
+    def test_north(self):
+        assert g.bearing((0, 0), (0, 10)) == pytest.approx(0.0)
+
+    def test_east(self):
+        assert g.bearing((0, 0), (10, 0)) == pytest.approx(90.0)
+
+    def test_south(self):
+        assert g.bearing((0, 0), (0, -10)) == pytest.approx(180.0)
+
+    def test_west(self):
+        assert g.bearing((0, 0), (-10, 0)) == pytest.approx(270.0)
+
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    @settings(max_examples=100)
+    def test_reverse_bearing_differs_by_180(self, x, y):
+        if abs(x) < 1e-6 and abs(y) < 1e-6:
+            return
+        fwd = g.bearing((0, 0), (x, y))
+        back = g.bearing((x, y), (0, 0))
+        assert g.angle_difference(fwd, back) == pytest.approx(180.0, abs=1e-6)
+
+
+class TestAngleDifference:
+    def test_wraps_around(self):
+        assert g.angle_difference(350.0, 10.0) == pytest.approx(20.0)
+
+    def test_symmetric(self):
+        assert g.angle_difference(10, 200) == g.angle_difference(200, 10)
+
+    @given(st.floats(-720, 720), st.floats(-720, 720))
+    @settings(max_examples=200)
+    def test_range(self, a, b):
+        d = g.angle_difference(a, b)
+        assert 0.0 <= d <= 180.0
+
+
+class TestPositionalAngle:
+    def test_ue_on_boresight_is_zero(self):
+        # Panel at origin facing north; UE straight north.
+        assert g.positional_angle((0, 0), 0.0, (0, 50)) == pytest.approx(0.0)
+
+    def test_ue_behind_panel_is_180(self):
+        assert g.positional_angle((0, 0), 0.0, (0, -50)) == pytest.approx(180.0)
+
+    def test_ue_to_the_side_is_90(self):
+        assert g.positional_angle((0, 0), 0.0, (50, 0)) == pytest.approx(90.0)
+
+    def test_independent_of_distance(self):
+        near = g.positional_angle((0, 0), 45.0, (10, 10))
+        far = g.positional_angle((0, 0), 45.0, (1000, 1000))
+        assert near == pytest.approx(far)
+
+
+class TestMobilityAngle:
+    def test_moving_with_facing_direction_is_zero(self):
+        # Paper: theta_m = 0 when walking along the panel's facing
+        # direction (body blocks LoS).
+        assert g.mobility_angle(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_moving_head_on_toward_panel_is_180(self):
+        assert g.mobility_angle(0.0, 180.0) == pytest.approx(180.0)
+
+    def test_full_circle_range(self):
+        assert g.mobility_angle(0.0, 90.0) == pytest.approx(90.0)
+        assert g.mobility_angle(0.0, 270.0) == pytest.approx(270.0)
+
+    @given(st.floats(0, 360), st.floats(0, 360))
+    @settings(max_examples=100)
+    def test_range_is_0_360(self, bearing, heading):
+        v = g.mobility_angle(bearing, heading)
+        assert 0.0 <= v < 360.0
+
+
+class TestPositionalSector:
+    def test_front(self):
+        assert g.positional_sector((0, 0), 0.0, (0, 10)) == "F"
+
+    def test_back(self):
+        assert g.positional_sector((0, 0), 0.0, (0, -10)) == "B"
+
+    def test_right(self):
+        assert g.positional_sector((0, 0), 0.0, (10, 1)) == "R"
+
+    def test_left(self):
+        assert g.positional_sector((0, 0), 0.0, (-10, 1)) == "L"
+
+    @given(st.floats(0, 360), st.floats(-50, 50), st.floats(-50, 50))
+    @settings(max_examples=200)
+    def test_always_a_valid_sector(self, bearing, x, y):
+        if abs(x) < 1e-6 and abs(y) < 1e-6:
+            return
+        assert g.positional_sector((0, 0), bearing, (x, y)) in g.POSITION_SECTORS
+
+
+class TestHeadingVectors:
+    @given(st.floats(0, 359.999))
+    @settings(max_examples=100)
+    def test_unit_roundtrip(self, deg):
+        dx, dy = g.heading_to_unit(deg)
+        assert g.unit_to_heading(dx, dy) == pytest.approx(deg, abs=1e-6)
+
+    def test_north_unit(self):
+        dx, dy = g.heading_to_unit(0.0)
+        assert dx == pytest.approx(0.0, abs=1e-12)
+        assert dy == pytest.approx(1.0)

@@ -1,0 +1,119 @@
+"""Tests for grid aggregation (throughput-map substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.grid import (
+    GridAccumulator,
+    throughput_color_level,
+)
+
+
+class TestGridAccumulator:
+    def test_cell_assignment(self):
+        acc = GridAccumulator(cell_size=2.0)
+        assert acc.cell_of(0.5, 0.5) == (0, 0)
+        assert acc.cell_of(2.1, 0.0) == (1, 0)
+        assert acc.cell_of(-0.1, -0.1) == (-1, -1)
+
+    def test_rejects_nonpositive_cell_size(self):
+        with pytest.raises(ValueError):
+            GridAccumulator(cell_size=0.0)
+
+    def test_mean_map(self):
+        acc = GridAccumulator(cell_size=1.0)
+        acc.add(0.2, 0.2, 100.0)
+        acc.add(0.8, 0.8, 300.0)
+        acc.add(5.0, 5.0, 50.0)
+        means = acc.mean_map()
+        assert means[(0, 0)] == pytest.approx(200.0)
+        assert means[(5, 5)] == pytest.approx(50.0)
+
+    def test_min_samples_filters_sparse_cells(self):
+        acc = GridAccumulator(cell_size=1.0)
+        acc.add(0.5, 0.5, 1.0)
+        acc.add(0.5, 0.5, 2.0)
+        acc.add(9.5, 9.5, 3.0)
+        stats = acc.stats(min_samples=2)
+        assert len(stats) == 1
+        assert stats[0].cell == (0, 0)
+
+    def test_add_many_matches_add(self):
+        a, b = GridAccumulator(2.0), GridAccumulator(2.0)
+        xs = np.array([0.1, 1.5, 3.2, -2.0])
+        ys = np.array([0.1, 0.5, 3.9, -0.5])
+        vs = np.array([1.0, 2.0, 3.0, 4.0])
+        a.add_many(xs, ys, vs)
+        for x, y, v in zip(xs, ys, vs):
+            b.add(x, y, v)
+        assert a.mean_map() == b.mean_map()
+
+    def test_add_many_shape_mismatch(self):
+        acc = GridAccumulator(1.0)
+        with pytest.raises(ValueError):
+            acc.add_many([1.0, 2.0], [1.0], [1.0, 2.0])
+
+    def test_cv_of_constant_cell_is_zero(self):
+        acc = GridAccumulator(1.0)
+        for _ in range(5):
+            acc.add(0.5, 0.5, 100.0)
+        (stat,) = acc.stats()
+        assert stat.cv == pytest.approx(0.0)
+
+    def test_cv_definition(self):
+        acc = GridAccumulator(1.0)
+        values = [100.0, 200.0, 300.0]
+        for v in values:
+            acc.add(0.5, 0.5, v)
+        (stat,) = acc.stats()
+        arr = np.asarray(values)
+        expected = 100.0 * arr.std(ddof=1) / arr.mean()
+        assert stat.cv == pytest.approx(expected)
+
+    def test_zero_mean_cell_has_zero_cv(self):
+        acc = GridAccumulator(1.0)
+        acc.add(0.5, 0.5, 0.0)
+        acc.add(0.5, 0.5, 0.0)
+        (stat,) = acc.stats()
+        assert stat.cv == 0.0
+
+    @given(st.lists(
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50),
+                  st.floats(0, 2000)),
+        min_size=1, max_size=60,
+    ))
+    @settings(max_examples=50)
+    def test_sample_conservation(self, points):
+        """Every sample lands in exactly one cell."""
+        acc = GridAccumulator(cell_size=3.0)
+        for x, y, v in points:
+            acc.add(x, y, v)
+        total = sum(s.count for s in acc.stats())
+        assert total == len(points)
+
+    def test_to_arrays_alignment(self):
+        acc = GridAccumulator(2.0)
+        acc.add(1.0, 1.0, 500.0)
+        xs, ys, means = acc.to_arrays()
+        assert xs[0] == pytest.approx(1.0)  # center of cell (0, 0)
+        assert ys[0] == pytest.approx(1.0)
+        assert means[0] == pytest.approx(500.0)
+
+    def test_to_arrays_empty(self):
+        xs, ys, means = GridAccumulator(2.0).to_arrays()
+        assert len(xs) == len(ys) == len(means) == 0
+
+
+class TestColorLevels:
+    def test_dead_zone_is_level_zero(self):
+        assert throughput_color_level(10.0) == 0
+
+    def test_gigabit_is_top_level(self):
+        assert throughput_color_level(1500.0) == 6
+
+    def test_levels_monotone(self):
+        levels = [throughput_color_level(v)
+                  for v in (0, 59, 60, 200, 400, 600, 800, 1200)]
+        assert levels == sorted(levels)

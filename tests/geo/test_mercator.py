@@ -1,0 +1,122 @@
+"""Tests for Web Mercator projection and pixelization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import mercator
+
+
+class TestWorldProjection:
+    def test_equator_prime_meridian_maps_to_center(self):
+        x, y = mercator.latlon_to_world(0.0, 0.0)
+        assert x == pytest.approx(128.0)
+        assert y == pytest.approx(128.0)
+
+    def test_positive_longitude_moves_east(self):
+        x0, _ = mercator.latlon_to_world(0.0, 0.0)
+        x1, _ = mercator.latlon_to_world(0.0, 10.0)
+        assert x1 > x0
+
+    def test_positive_latitude_moves_up(self):
+        # World y decreases northward (screen coordinates).
+        _, y0 = mercator.latlon_to_world(0.0, 0.0)
+        _, y1 = mercator.latlon_to_world(10.0, 0.0)
+        assert y1 < y0
+
+    def test_latitude_clamped_beyond_mercator_limit(self):
+        x_hi, y_hi = mercator.latlon_to_world(89.9, 0.0)
+        x_cap, y_cap = mercator.latlon_to_world(mercator.MAX_LATITUDE, 0.0)
+        assert y_hi == pytest.approx(y_cap)
+        assert x_hi == pytest.approx(x_cap)
+
+    @given(
+        lat=st.floats(-80.0, 80.0),
+        lon=st.floats(-179.9, 179.9),
+    )
+    @settings(max_examples=200)
+    def test_world_roundtrip(self, lat, lon):
+        x, y = mercator.latlon_to_world(lat, lon)
+        lat2, lon2 = mercator.world_to_latlon(x, y)
+        assert lat2 == pytest.approx(lat, abs=1e-9)
+        assert lon2 == pytest.approx(lon, abs=1e-9)
+
+
+class TestPixelization:
+    def test_pixel_is_integer_grid(self):
+        px, py = mercator.latlon_to_pixel(44.97, -93.26)
+        assert isinstance(px, int) and isinstance(py, int)
+
+    def test_nearby_points_share_a_pixel(self):
+        # Two fixes ~10 cm apart must land in the same zoom-17 pixel most
+        # of the time; use a point at a pixel center to avoid edge flips.
+        lat, lon = mercator.pixel_center_latlon(30000, 46000)
+        p1 = mercator.latlon_to_pixel(lat, lon)
+        p2 = mercator.latlon_to_pixel(lat + 1e-7, lon + 1e-7)
+        assert p1 == p2
+
+    def test_distinct_points_get_distinct_pixels(self):
+        p1 = mercator.latlon_to_pixel(44.97, -93.26)
+        p2 = mercator.latlon_to_pixel(44.98, -93.26)
+        assert p1 != p2
+
+    @given(
+        px=st.integers(0, (1 << 17) * 256 - 1),
+        py=st.integers(1000, (1 << 17) * 256 - 1000),
+    )
+    @settings(max_examples=200)
+    def test_pixel_roundtrip(self, px, py):
+        lat, lon = mercator.pixel_center_latlon(px, py, zoom=17)
+        px2, py2 = mercator.latlon_to_pixel(lat, lon, zoom=17)
+        assert (px2, py2) == (px, py)
+
+    def test_zoom_doubles_resolution(self):
+        lat, lon = 44.97, -93.26
+        p17 = mercator.latlon_to_pixel(lat, lon, zoom=17)
+        p18 = mercator.latlon_to_pixel(lat, lon, zoom=18)
+        assert p18[0] // 2 == p17[0]
+        assert p18[1] // 2 == p17[1]
+
+
+class TestMetersPerPixel:
+    def test_paper_resolution_range_at_zoom_17(self):
+        # "each pixel's spatial resolution ranges between 0.99 to 1.19 m".
+        equator = mercator.meters_per_pixel(0.0, zoom=17)
+        minneapolis = mercator.meters_per_pixel(44.98, zoom=17)
+        assert equator == pytest.approx(1.194, abs=0.01)
+        assert 0.8 < minneapolis < 1.19
+        assert minneapolis == pytest.approx(
+            equator * math.cos(math.radians(44.98)), rel=1e-6
+        )
+
+    def test_resolution_halves_per_zoom_level(self):
+        a = mercator.meters_per_pixel(45.0, zoom=16)
+        b = mercator.meters_per_pixel(45.0, zoom=17)
+        assert a == pytest.approx(2 * b)
+
+
+class TestLocalProjection:
+    @given(
+        x=st.floats(-2000, 2000),
+        y=st.floats(-2000, 2000),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_meters(self, x, y):
+        proj = mercator.LocalProjection(44.9778, -93.2650)
+        lat, lon = proj.to_latlon(x, y)
+        x2, y2 = proj.to_meters(lat, lon)
+        assert x2 == pytest.approx(x, abs=1e-6)
+        assert y2 == pytest.approx(y, abs=1e-6)
+
+    def test_one_degree_latitude_is_about_111km(self):
+        proj = mercator.LocalProjection(44.9778, -93.2650)
+        _, y = proj.to_meters(45.9778, -93.2650)
+        assert y == pytest.approx(111_000, rel=0.01)
+
+    def test_east_is_positive_x(self):
+        proj = mercator.LocalProjection(44.9778, -93.2650)
+        x, _ = proj.to_meters(44.9778, -93.25)
+        assert x > 0

@@ -1,0 +1,151 @@
+"""Tests for KNN, Ordinary Kriging and the harmonic-mean predictor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.harmonic import HarmonicMeanPredictor, harmonic_mean
+from repro.ml.knn import KNNClassifier, KNNRegressor
+from repro.ml.kriging import (
+    OrdinaryKriging,
+    fit_spherical_variogram,
+    spherical_variogram,
+)
+from repro.ml.metrics import accuracy, mae
+
+
+class TestKNN:
+    def test_regressor_memorizes_with_k1(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = X[:, 0] * 2
+        model = KNNRegressor(n_neighbors=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+
+    def test_regressor_interpolates(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, size=(1000, 2))
+        y = X[:, 0] + X[:, 1]
+        model = KNNRegressor(n_neighbors=5).fit(X[:800], y[:800])
+        assert mae(y[800:], model.predict(X[800:])) < 0.5
+
+    def test_classifier_votes(self):
+        X = np.array([[0.0], [0.1], [0.2], [5.0], [5.1], [5.2]])
+        y = np.array(["a", "a", "a", "b", "b", "b"], dtype=object)
+        model = KNNClassifier(n_neighbors=3).fit(X, y)
+        assert model.predict(np.array([[0.05], [5.05]])).tolist() == ["a", "b"]
+
+    def test_nan_features_tolerated(self):
+        X = np.array([[0.0, np.nan], [1.0, 2.0], [2.0, 3.0]])
+        y = np.array([0.0, 1.0, 2.0])
+        model = KNNRegressor(n_neighbors=1).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_k_larger_than_train_set(self):
+        X = np.array([[0.0], [1.0]])
+        model = KNNRegressor(n_neighbors=10).fit(X, np.array([1.0, 3.0]))
+        np.testing.assert_allclose(model.predict(X), 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(n_neighbors=0)
+        with pytest.raises(ValueError):
+            KNNRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+
+class TestVariogram:
+    def test_zero_at_origin(self):
+        assert spherical_variogram(np.array([0.0]), 1.0, 5.0, 10.0)[0] == 0.0
+
+    def test_reaches_sill_at_range(self):
+        g = spherical_variogram(np.array([10.0, 50.0]), 0.5, 4.0, 10.0)
+        assert g[0] == pytest.approx(4.0)
+        assert g[1] == pytest.approx(4.0)
+
+    def test_monotone_up_to_range(self):
+        h = np.linspace(0.01, 10.0, 50)
+        g = spherical_variogram(h, 0.0, 1.0, 10.0)
+        assert all(b >= a for a, b in zip(g, g[1:]))
+
+    def test_fit_recovers_scale(self):
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(0, 100, size=(150, 2))
+        values = np.sin(coords[:, 0] / 20.0) + 0.05 * rng.normal(size=150)
+        nugget, sill, range_ = fit_spherical_variogram(coords, values)
+        assert 0 <= nugget <= sill
+        assert range_ > 0
+
+
+class TestOrdinaryKriging:
+    def test_interpolates_smooth_field(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 10, size=(500, 2))
+        y = np.sin(X[:, 0]) + np.cos(X[:, 1])
+        model = OrdinaryKriging().fit(X[:400], y[:400])
+        assert mae(y[400:], model.predict(X[400:])) < 0.25
+
+    def test_exactness_near_support(self):
+        # Kriging passes (almost) through its support points.
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 10, size=(100, 2))
+        y = X[:, 0]
+        model = OrdinaryKriging().fit(X, y)
+        assert mae(y, model.predict(X)) < 0.3
+
+    def test_requires_2d_coordinates(self):
+        with pytest.raises(ValueError):
+            OrdinaryKriging().fit(np.ones((10, 3)), np.ones(10))
+
+    def test_duplicate_coordinates_aggregated(self):
+        X = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        y = np.array([0.0, 2.0, 5.0, 5.0])
+        model = OrdinaryKriging().fit(X, y)
+        pred = model.predict(np.array([[0.0, 0.0]]))
+        assert 0.0 <= pred[0] <= 5.0
+
+    def test_subsampling_cap(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 100, size=(2000, 2))
+        y = X.sum(axis=1)
+        model = OrdinaryKriging(max_points=200).fit(X, y)
+        assert len(model._coords) == 200
+
+
+class TestHarmonicMean:
+    def test_harmonic_mean_value(self):
+        assert harmonic_mean(np.array([1.0, 1.0])) == pytest.approx(1.0)
+        assert harmonic_mean(np.array([2.0, 6.0])) == pytest.approx(3.0)
+
+    def test_zero_floored_not_fatal(self):
+        v = harmonic_mean(np.array([0.0, 100.0]))
+        assert 0.0 < v < 100.0
+
+    def test_spike_damped_vs_arithmetic_mean(self):
+        vals = np.array([100.0, 100.0, 100.0, 2000.0])
+        assert harmonic_mean(vals) < vals.mean()
+
+    def test_one_step_ahead_alignment(self):
+        hm = HarmonicMeanPredictor(window=2)
+        trace = np.array([10.0, 20.0, 40.0])
+        pred = hm.predict_trace(trace)
+        assert pred[0] == 10.0  # no history: repeat first observation
+        assert pred[1] == pytest.approx(10.0)  # from [10]
+        assert pred[2] == pytest.approx(harmonic_mean(np.array([10., 20.])))
+
+    def test_sessions_do_not_leak(self):
+        hm = HarmonicMeanPredictor(window=3)
+        tput = np.array([100.0, 100.0, 900.0, 900.0])
+        sessions = np.array([0, 0, 1, 1])
+        pred = hm.predict_sessions(tput, sessions)
+        assert pred[2] == 900.0  # session 1 restarts, no session-0 history
+
+    def test_tracks_constant_trace_exactly(self):
+        hm = HarmonicMeanPredictor(window=5)
+        trace = np.full(20, 250.0)
+        np.testing.assert_allclose(hm.predict_trace(trace), 250.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor(window=0)
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor().predict_sessions(
+                np.ones(3), np.ones(2)
+            )

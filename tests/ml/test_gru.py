@@ -1,0 +1,135 @@
+"""Tests for the GRU layer: shapes, gradient checks, Seq2Seq integration."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import mae
+from repro.ml.nn.gru import GRULayer
+from repro.ml.nn.seq2seq import Seq2SeqNetwork, Seq2SeqRegressor
+
+
+class TestForward:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        layer = GRULayer(4, 6, rng)
+        x = rng.normal(size=(3, 5, 4))
+        H, h, c = layer.forward(x)
+        assert H.shape == (3, 5, 6)
+        assert h.shape == (3, 6)
+        assert c is None
+        np.testing.assert_allclose(H[:, -1], h)
+
+    def test_hidden_bounded(self):
+        rng = np.random.default_rng(1)
+        layer = GRULayer(2, 4, rng)
+        x = rng.normal(size=(2, 40, 2)) * 10
+        H, _, _ = layer.forward(x)
+        # h is a convex combination of tanh candidates: |h| <= 1.
+        assert np.abs(H).max() <= 1.0 + 1e-9
+
+    def test_wrong_dim_rejected(self):
+        with pytest.raises(ValueError):
+            GRULayer(3, 4).forward(np.zeros((1, 2, 5)))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            GRULayer(0, 4)
+
+
+class TestGradients:
+    def test_bptt_matches_finite_differences(self):
+        rng = np.random.default_rng(2)
+        layer = GRULayer(3, 4, rng)
+        x = rng.normal(size=(2, 4, 3))
+        target = rng.normal(size=(2, 4, 4))
+
+        def loss_fn():
+            H, _, _ = layer.forward(x)
+            return 0.5 * float(((H - target) ** 2).sum())
+
+        H, _, _ = layer.forward(x)
+        _, (dW, db), _, _ = layer.backward(H - target)
+
+        eps = 1e-6
+        for grad, param, idxs in (
+            (dW, layer.W, [(0, 0), (2, 5), (5, 10)]),
+            (db, layer.b, [(0,), (5,), (11,)]),
+        ):
+            for idx in idxs:
+                orig = param[idx]
+                param[idx] = orig + eps
+                up = loss_fn()
+                param[idx] = orig - eps
+                down = loss_fn()
+                param[idx] = orig
+                numeric = (up - down) / (2 * eps)
+                assert grad[idx] == pytest.approx(numeric, rel=1e-4,
+                                                  abs=1e-6)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(3)
+        layer = GRULayer(2, 3, rng)
+        x = rng.normal(size=(1, 3, 2))
+        target = rng.normal(size=(1, 3, 3))
+
+        H, _, _ = layer.forward(x)
+        dx, _, _, _ = layer.backward(H - target)
+
+        def loss_at(x_mod):
+            H2, _, _ = layer.forward(x_mod)
+            return 0.5 * float(((H2 - target) ** 2).sum())
+
+        eps = 1e-6
+        for idx in [(0, 0, 0), (0, 2, 1), (0, 1, 0)]:
+            xp = x.copy()
+            xp[idx] += eps
+            xm = x.copy()
+            xm[idx] -= eps
+            numeric = (loss_at(xp) - loss_at(xm)) / (2 * eps)
+            assert dx[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_dh_last_path(self):
+        rng = np.random.default_rng(4)
+        layer = GRULayer(2, 3, rng)
+        x = rng.normal(size=(1, 4, 2))
+        w = rng.normal(size=3)
+
+        def loss_fn():
+            _, h, _ = layer.forward(x)
+            return float((h @ w)[0])
+
+        layer.forward(x)
+        _, (dW, _), _, _ = layer.backward(None, dh_last=np.tile(w, (1, 1)))
+        eps = 1e-6
+        orig = layer.W[1, 1]
+        layer.W[1, 1] = orig + eps
+        up = loss_fn()
+        layer.W[1, 1] = orig - eps
+        down = loss_fn()
+        layer.W[1, 1] = orig
+        assert dW[1, 1] == pytest.approx((up - down) / (2 * eps),
+                                         rel=1e-4, abs=1e-7)
+
+
+class TestSeq2SeqIntegration:
+    def test_gru_cell_selectable(self):
+        net = Seq2SeqNetwork(input_dim=3, hidden_dim=8, output_steps=2,
+                             encoder_layers=1, cell="gru",
+                             rng=np.random.default_rng(0))
+        out = net.forward(np.zeros((4, 6, 3)))
+        assert out.shape == (4, 2)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError):
+            Seq2SeqNetwork(3, 8, cell="transformer")
+
+    def test_gru_regressor_learns(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(800, 6, 2))
+        y = X[:, -1, 0]
+        model = Seq2SeqRegressor(hidden_dim=16, encoder_layers=1,
+                                 cell="gru", epochs=25,
+                                 learning_rate=5e-3, random_state=0)
+        model.fit(X[:600], y[:600])
+        err = mae(y[600:], model.predict(X[600:]))
+        assert err < 0.3 * np.std(y)

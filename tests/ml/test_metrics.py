@@ -1,0 +1,110 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import metrics as m
+
+
+class TestRegressionMetrics:
+    def test_mae_simple(self):
+        assert m.mae([1, 2, 3], [2, 2, 2]) == pytest.approx(2 / 3)
+
+    def test_rmse_simple(self):
+        assert m.rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_perfect_prediction(self):
+        y = [1.0, 5.0, 9.0]
+        assert m.mae(y, y) == 0.0
+        assert m.rmse(y, y) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            m.mae([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            m.rmse([], [])
+
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=50),
+           st.data())
+    @settings(max_examples=100)
+    def test_rmse_at_least_mae(self, y_true, data):
+        y_pred = data.draw(st.lists(
+            st.floats(-1e4, 1e4),
+            min_size=len(y_true), max_size=len(y_true),
+        ))
+        assert m.rmse(y_true, y_pred) >= m.mae(y_true, y_pred) - 1e-9
+
+    def test_mse_is_rmse_squared(self):
+        y, p = [1, 2, 3], [3, 2, 0]
+        assert m.mse(y, p) == pytest.approx(m.rmse(y, p) ** 2)
+
+
+class TestConfusionMatrix:
+    def test_diagonal_counts_correct(self):
+        cm = m.confusion_matrix(["a", "b", "a"], ["a", "b", "b"],
+                                labels=["a", "b"])
+        assert cm[0, 0] == 1  # a predicted a
+        assert cm[0, 1] == 1  # a predicted b
+        assert cm[1, 1] == 1
+
+    def test_total_equals_samples(self):
+        y = ["a", "b", "c", "a", "c"]
+        p = ["b", "b", "c", "a", "a"]
+        cm = m.confusion_matrix(y, p)
+        assert cm.sum() == 5
+
+
+class TestF1:
+    def test_perfect_classification(self):
+        y = ["low", "high", "medium", "low"]
+        assert m.weighted_f1(y, y) == pytest.approx(1.0)
+
+    def test_all_wrong(self):
+        assert m.weighted_f1(["a", "a"], ["b", "b"],
+                             labels=["a", "b"]) == 0.0
+
+    @given(st.lists(st.sampled_from(["low", "medium", "high"]),
+                    min_size=2, max_size=60), st.data())
+    @settings(max_examples=100)
+    def test_f1_bounds(self, y_true, data):
+        y_pred = data.draw(st.lists(
+            st.sampled_from(["low", "medium", "high"]),
+            min_size=len(y_true), max_size=len(y_true),
+        ))
+        v = m.weighted_f1(y_true, y_pred,
+                          labels=["low", "medium", "high"])
+        assert 0.0 <= v <= 1.0
+
+    def test_weighted_differs_from_macro_under_imbalance(self):
+        y = ["a"] * 9 + ["b"]
+        p = ["a"] * 9 + ["a"]
+        assert m.weighted_f1(y, p, labels=["a", "b"]) > m.macro_f1(
+            y, p, labels=["a", "b"]
+        )
+
+
+class TestRecall:
+    def test_recall_of_class(self):
+        y = ["low", "low", "high", "low"]
+        p = ["low", "high", "high", "low"]
+        assert m.recall_of_class(y, p, "low") == pytest.approx(2 / 3)
+
+    def test_absent_class_is_nan(self):
+        assert np.isnan(m.recall_of_class(["a"], ["a"], "z"))
+
+    def test_accuracy(self):
+        assert m.accuracy([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+
+
+class TestErrorReduction:
+    def test_paper_headline_form(self):
+        # "1.37x to 4.84x reduction in prediction error".
+        assert m.error_reduction_factor(137.0, 100.0) == pytest.approx(1.37)
+
+    def test_zero_model_error_rejected(self):
+        with pytest.raises(ValueError):
+            m.error_reduction_factor(1.0, 0.0)

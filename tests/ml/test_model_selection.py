@@ -1,0 +1,79 @@
+"""Tests for k-fold and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNNRegressor
+from repro.ml.metrics import mae
+from repro.ml.model_selection import GridSearch, kfold_indices, parameter_grid
+
+
+class TestKFold:
+    def test_folds_partition_data(self):
+        folds = kfold_indices(50, n_splits=5, rng=0)
+        assert len(folds) == 5
+        all_val = np.concatenate([val for _, val in folds])
+        assert sorted(all_val.tolist()) == list(range(50))
+
+    def test_train_val_disjoint(self):
+        for train, val in kfold_indices(30, 3, rng=1):
+            assert set(train) & set(val) == set()
+            assert len(train) + len(val) == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, n_splits=1)
+        with pytest.raises(ValueError):
+            kfold_indices(2, n_splits=5)
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = parameter_grid({"a": [1, 2], "b": ["x", "y", "z"]})
+        assert len(grid) == 6
+        assert {"a": 2, "b": "y"} in grid
+
+    def test_empty_grid(self):
+        assert parameter_grid({}) == [{}]
+
+
+class TestGridSearch:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, size=(400, 1))
+        y = np.sin(X[:, 0]) + 0.05 * rng.normal(size=400)
+        return X, y
+
+    def test_validation_split_picks_sensible_k(self):
+        X, y = self._data()
+        gs = GridSearch(
+            estimator_factory=lambda p: KNNRegressor(**p),
+            param_grid={"n_neighbors": [1, 5, 200]},
+            score_fn=mae,
+        )
+        gs.fit_validation(X[:300], y[:300], X[300:], y[300:])
+        # k=200 averages over the whole sine wave: clearly worst.
+        assert gs.best_params_["n_neighbors"] in (1, 5)
+        assert len(gs.results_) == 3
+        assert gs.best_estimator_ is not None
+
+    def test_cv_mode(self):
+        X, y = self._data()
+        gs = GridSearch(
+            estimator_factory=lambda p: KNNRegressor(**p),
+            param_grid={"n_neighbors": [2, 100]},
+            score_fn=mae,
+        )
+        gs.fit_cv(X, y, n_splits=3, rng=0)
+        assert gs.best_params_["n_neighbors"] == 2
+
+    def test_maximize_mode(self):
+        X, y = self._data()
+        gs = GridSearch(
+            estimator_factory=lambda p: KNNRegressor(**p),
+            param_grid={"n_neighbors": [2, 200]},
+            score_fn=lambda yt, yp: -mae(yt, yp),
+            minimize=False,
+        )
+        gs.fit_validation(X[:300], y[:300], X[300:], y[300:])
+        assert gs.best_params_["n_neighbors"] == 2

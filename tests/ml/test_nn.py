@@ -1,0 +1,221 @@
+"""Tests for the numpy neural substrate: LSTM BPTT, Adam, Seq2Seq."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import mae
+from repro.ml.nn.lstm import DenseLayer, LSTMLayer, sigmoid
+from repro.ml.nn.optim import Adam, clip_gradients
+from repro.ml.nn.seq2seq import Seq2SeqNetwork, Seq2SeqRegressor
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        x = np.array([-3.0, 0.0, 3.0])
+        s = sigmoid(x)
+        assert s[1] == pytest.approx(0.5)
+        assert s[0] + s[2] == pytest.approx(1.0)
+
+    def test_extremes_stable(self):
+        s = sigmoid(np.array([-1000.0, 1000.0]))
+        assert s[0] == pytest.approx(0.0)
+        assert s[1] == pytest.approx(1.0)
+
+
+class TestLSTMForward:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        layer = LSTMLayer(4, 8, rng)
+        x = rng.normal(size=(3, 5, 4))
+        H, h, c = layer.forward(x)
+        assert H.shape == (3, 5, 8)
+        assert h.shape == (3, 8)
+        assert c.shape == (3, 8)
+        np.testing.assert_allclose(H[:, -1], h)
+
+    def test_hidden_bounded(self):
+        rng = np.random.default_rng(1)
+        layer = LSTMLayer(2, 4, rng)
+        x = rng.normal(size=(2, 50, 2)) * 10
+        H, _, _ = layer.forward(x)
+        assert np.abs(H).max() <= 1.0  # |h| = |o * tanh(c)| <= 1
+
+    def test_wrong_input_dim_rejected(self):
+        layer = LSTMLayer(3, 4)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 2, 5)))
+
+
+class TestLSTMGradients:
+    def test_bptt_matches_finite_differences(self):
+        """The load-bearing test: analytic BPTT vs numeric gradient."""
+        rng = np.random.default_rng(2)
+        layer = LSTMLayer(3, 4, rng)
+        x = rng.normal(size=(2, 4, 3))
+        target = rng.normal(size=(2, 4, 4))
+
+        def loss_fn():
+            H, _, _ = layer.forward(x)
+            return 0.5 * float(((H - target) ** 2).sum())
+
+        H, _, _ = layer.forward(x)
+        dH = H - target
+        _, (dW, db), _, _ = layer.backward(dH)
+
+        eps = 1e-6
+        for grad, param in ((dW, layer.W), (db, layer.b)):
+            flat_idx = [(0, 0), (1, 2)] if param.ndim == 2 else [(0,), (3,)]
+            for idx in flat_idx:
+                orig = param[idx]
+                param[idx] = orig + eps
+                up = loss_fn()
+                param[idx] = orig - eps
+                down = loss_fn()
+                param[idx] = orig
+                numeric = (up - down) / (2 * eps)
+                assert grad[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_input_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        layer = LSTMLayer(2, 3, rng)
+        x = rng.normal(size=(1, 3, 2))
+        target = rng.normal(size=(1, 3, 3))
+
+        H, _, _ = layer.forward(x)
+        dx, _, _, _ = layer.backward(H - target)
+
+        def loss_at(x_mod):
+            H2, _, _ = layer.forward(x_mod)
+            return 0.5 * float(((H2 - target) ** 2).sum())
+
+        eps = 1e-6
+        for idx in [(0, 0, 0), (0, 2, 1)]:
+            xp = x.copy()
+            xp[idx] += eps
+            xm = x.copy()
+            xm[idx] -= eps
+            numeric = (loss_at(xp) - loss_at(xm)) / (2 * eps)
+            assert dx[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_dh_last_path(self):
+        """Gradient flowing only through the final state (encoder use)."""
+        rng = np.random.default_rng(4)
+        layer = LSTMLayer(2, 3, rng)
+        x = rng.normal(size=(1, 4, 2))
+        w = rng.normal(size=3)
+
+        def loss_fn():
+            _, h, _ = layer.forward(x)
+            return float((h @ w)[0])
+
+        layer.forward(x)
+        _, (dW, _), _, _ = layer.backward(None, dh_last=np.tile(w, (1, 1)))
+        eps = 1e-6
+        orig = layer.W[0, 0]
+        layer.W[0, 0] = orig + eps
+        up = loss_fn()
+        layer.W[0, 0] = orig - eps
+        down = loss_fn()
+        layer.W[0, 0] = orig
+        assert dW[0, 0] == pytest.approx((up - down) / (2 * eps),
+                                         rel=1e-4, abs=1e-7)
+
+
+class TestDense:
+    def test_gradcheck(self):
+        rng = np.random.default_rng(5)
+        layer = DenseLayer(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        t = rng.normal(size=(4, 2))
+        out = layer.forward(x)
+        dx, (dW, db) = layer.backward(out - t)
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - t) ** 2).sum())
+
+        eps = 1e-6
+        orig = layer.W[1, 1]
+        layer.W[1, 1] = orig + eps
+        up = loss()
+        layer.W[1, 1] = orig - eps
+        down = loss()
+        layer.W[1, 1] = orig
+        assert dW[1, 1] == pytest.approx((up - down) / (2 * eps), rel=1e-5)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        w = np.array([5.0, -3.0])
+        opt = Adam([w], lr=0.1)
+        for _ in range(500):
+            opt.step([2 * w])
+        assert np.abs(w).max() < 1e-2
+
+    def test_gradient_clipping(self):
+        g = [np.full(4, 100.0)]
+        norm = clip_gradients(g, max_norm=1.0)
+        assert norm == pytest.approx(200.0)
+        assert np.linalg.norm(g[0]) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        g = [np.array([0.1, 0.1])]
+        clip_gradients(g, max_norm=10.0)
+        np.testing.assert_allclose(g[0], [0.1, 0.1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(2)], lr=0.0)
+        opt = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            opt.step([])
+
+
+class TestSeq2Seq:
+    def test_network_output_shape(self):
+        net = Seq2SeqNetwork(input_dim=3, hidden_dim=8, output_steps=4,
+                             encoder_layers=2,
+                             rng=np.random.default_rng(0))
+        out = net.forward(np.zeros((5, 7, 3)))
+        assert out.shape == (5, 4)
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            Seq2SeqNetwork(3, 8, encoder_layers=3)
+
+    def test_learns_last_step_identity(self):
+        """Predict y = last value of channel 0 -- pure memory task."""
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(1200, 6, 2))
+        y = X[:, -1, 0]
+        model = Seq2SeqRegressor(hidden_dim=16, encoder_layers=1,
+                                 epochs=30, learning_rate=5e-3,
+                                 random_state=0)
+        model.fit(X[:1000], y[:1000])
+        err = mae(y[1000:], model.predict(X[1000:]))
+        assert err < 0.25 * np.std(y)
+
+    def test_multi_step_output(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(400, 5, 2))
+        Y = np.column_stack([X[:, -1, 0], X[:, -1, 1]])
+        model = Seq2SeqRegressor(hidden_dim=12, encoder_layers=1,
+                                 epochs=20, random_state=0)
+        model.fit(X, Y)
+        pred = model.predict(X)
+        assert pred.shape == (400, 2)
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(500, 5, 3))
+        y = X.sum(axis=(1, 2))
+        model = Seq2SeqRegressor(hidden_dim=12, encoder_layers=1,
+                                 epochs=10, random_state=1)
+        model.fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_input_validation(self):
+        model = Seq2SeqRegressor()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 4)), np.zeros(10))  # not 3-D
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 4, 2)))

@@ -1,0 +1,138 @@
+"""Tests for scaling, splits, and encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    StandardScaler,
+    cyclic_encode,
+    one_hot,
+    split_by_run,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(500, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_passthrough(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    @given(arrays(np.float64, (20, 3),
+                  elements=st.floats(-1e5, 1e5)))
+    @settings(max_examples=50)
+    def test_roundtrip(self, X):
+        s = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            s.inverse_transform(s.transform(X)), X, atol=1e-6, rtol=1e-6
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestTrainTestSplit:
+    def test_proportions(self):
+        X = np.arange(100)
+        tr, te = train_test_split(X, test_size=0.3, rng=0)
+        assert len(te) == 30
+        assert len(tr) == 70
+
+    def test_partition_no_overlap(self):
+        X = np.arange(50)
+        tr, te = train_test_split(X, test_size=0.3, rng=1)
+        assert set(tr) | set(te) == set(range(50))
+        assert set(tr) & set(te) == set()
+
+    def test_parallel_arrays_stay_aligned(self):
+        X = np.arange(40)
+        y = X * 10
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, rng=2)
+        np.testing.assert_array_equal(y_tr, X_tr * 10)
+        np.testing.assert_array_equal(y_te, X_te * 10)
+
+    def test_deterministic_given_seed(self):
+        X = np.arange(30)
+        a = train_test_split(X, rng=7)
+        b = train_test_split(X, rng=7)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), test_size=1.5)
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(6))
+
+
+class TestSplitByRun:
+    def test_runs_not_fragmented(self):
+        runs = np.repeat(np.arange(10), 20)
+        train, test = split_by_run(runs, test_size=0.3, rng=0)
+        for r in range(10):
+            mask = runs == r
+            # A run is entirely train or entirely test.
+            assert train[mask].all() or test[mask].all()
+
+    def test_masks_are_complementary(self):
+        runs = np.repeat(np.arange(5), 7)
+        train, test = split_by_run(runs, rng=1)
+        assert np.all(train ^ test)
+
+
+class TestCyclicEncode:
+    def test_wraparound_continuity(self):
+        a = cyclic_encode([359.0])
+        b = cyclic_encode([1.0])
+        assert np.linalg.norm(a - b) < 0.1
+
+    def test_opposite_headings_far_apart(self):
+        a = cyclic_encode([0.0])
+        b = cyclic_encode([180.0])
+        assert np.linalg.norm(a - b) == pytest.approx(2.0)
+
+    def test_nan_propagates(self):
+        out = cyclic_encode([np.nan])
+        assert np.isnan(out).all()
+
+    @given(st.floats(0, 360))
+    @settings(max_examples=100)
+    def test_unit_norm(self, angle):
+        out = cyclic_encode([angle])[0]
+        assert np.hypot(*out) == pytest.approx(1.0)
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "c", "a"])
+        assert codes.max() == 2
+        labels = enc.inverse_transform(codes)
+        assert list(labels) == ["b", "a", "c", "a"]
+
+    def test_unseen_label_rejected(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            enc.transform(["z"])
+
+
+class TestOneHot:
+    def test_shape_and_rows(self):
+        Y = one_hot([0, 2, 1], 3)
+        assert Y.shape == (3, 3)
+        np.testing.assert_array_equal(Y.sum(axis=1), 1.0)
+        assert Y[1, 2] == 1.0

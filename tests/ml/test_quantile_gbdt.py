@@ -1,0 +1,67 @@
+"""Tests for quantile gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import GBDTQuantileRegressor
+
+
+def heteroscedastic_data(n=3000, seed=0):
+    """y ~ N(2x, (0.5 + x)^2): both mean and spread depend on x."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 4.0, n)
+    y = 2.0 * x + rng.normal(0.0, 0.5 + x, n)
+    return x[:, None], y
+
+
+class TestQuantileGBDT:
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            GBDTQuantileRegressor(quantile=0.0)
+        with pytest.raises(ValueError):
+            GBDTQuantileRegressor(quantile=1.2)
+
+    def test_coverage_matches_alpha(self):
+        X, y = heteroscedastic_data()
+        for alpha in (0.1, 0.5, 0.9):
+            model = GBDTQuantileRegressor(
+                quantile=alpha, n_estimators=80, max_depth=3,
+                learning_rate=0.1, random_state=0,
+            ).fit(X[:2000], y[:2000])
+            pred = model.predict(X[2000:])
+            coverage = float(np.mean(y[2000:] <= pred))
+            assert coverage == pytest.approx(alpha, abs=0.07), alpha
+
+    def test_quantiles_ordered(self):
+        X, y = heteroscedastic_data(seed=1)
+        lo = GBDTQuantileRegressor(quantile=0.1, n_estimators=60,
+                                   random_state=0).fit(X, y).predict(X)
+        hi = GBDTQuantileRegressor(quantile=0.9, n_estimators=60,
+                                   random_state=0).fit(X, y).predict(X)
+        assert np.mean(lo <= hi + 1e-9) > 0.97
+
+    def test_captures_heteroscedastic_spread(self):
+        """The q90-q10 band must widen where the noise is larger."""
+        X, y = heteroscedastic_data(seed=2)
+        lo = GBDTQuantileRegressor(quantile=0.1, n_estimators=60,
+                                   random_state=0).fit(X, y)
+        hi = GBDTQuantileRegressor(quantile=0.9, n_estimators=60,
+                                   random_state=0).fit(X, y)
+        narrow_x = np.full((100, 1), 0.3)
+        wide_x = np.full((100, 1), 3.7)
+        band_narrow = float(np.mean(hi.predict(narrow_x)
+                                    - lo.predict(narrow_x)))
+        band_wide = float(np.mean(hi.predict(wide_x) - lo.predict(wide_x)))
+        assert band_wide > 1.5 * band_narrow
+
+    def test_median_close_to_mean_for_symmetric_noise(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(1000, 1))
+        y = 3.0 * X[:, 0] + rng.normal(0, 0.1, 1000)
+        med = GBDTQuantileRegressor(quantile=0.5, n_estimators=60,
+                                    random_state=0).fit(X, y).predict(X)
+        assert float(np.mean(np.abs(med - 3.0 * X[:, 0]))) < 0.15
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GBDTQuantileRegressor().predict(np.ones((2, 1)))

@@ -1,0 +1,69 @@
+"""Tests for stratified run splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import split_by_run
+
+
+def make_runs(strata_plan):
+    """strata_plan: {stratum: n_runs}; 10 rows per run."""
+    run_ids, strata = [], []
+    run = 0
+    for label, n_runs in strata_plan.items():
+        for _ in range(n_runs):
+            run_ids.extend([run] * 10)
+            strata.extend([label] * 10)
+            run += 1
+    return np.asarray(run_ids), np.asarray(strata, dtype=object)
+
+
+class TestStratifiedSplit:
+    def test_every_stratum_represented_in_test(self):
+        runs, strata = make_runs({"NB": 6, "SB": 6, "drive": 6})
+        train, test = split_by_run(runs, test_size=0.3, rng=0,
+                                   strata=strata)
+        test_strata = set(strata[test])
+        assert test_strata == {"NB", "SB", "drive"}
+
+    def test_every_stratum_represented_in_train(self):
+        runs, strata = make_runs({"NB": 4, "SB": 4})
+        train, test = split_by_run(runs, test_size=0.3, rng=1,
+                                   strata=strata)
+        assert set(strata[train]) == {"NB", "SB"}
+
+    def test_runs_stay_whole(self):
+        runs, strata = make_runs({"NB": 5, "SB": 5})
+        train, test = split_by_run(runs, test_size=0.3, rng=2,
+                                   strata=strata)
+        for run in np.unique(runs):
+            mask = runs == run
+            assert train[mask].all() or test[mask].all()
+
+    def test_single_run_stratum_stays_in_train(self):
+        runs, strata = make_runs({"NB": 5, "lonely": 1})
+        train, test = split_by_run(runs, test_size=0.3, rng=3,
+                                   strata=strata)
+        assert train[strata == "lonely"].all()
+
+    def test_all_single_run_strata_falls_back(self):
+        runs, strata = make_runs({"a": 1, "b": 1, "c": 1, "d": 1})
+        train, test = split_by_run(runs, test_size=0.3, rng=4,
+                                   strata=strata)
+        # Fallback to unstratified: still a valid non-empty split.
+        assert test.any() and train.any()
+
+    def test_strata_length_validated(self):
+        runs, strata = make_runs({"NB": 3})
+        with pytest.raises(ValueError):
+            split_by_run(runs, strata=strata[:-1])
+
+    def test_proportion_respected_per_stratum(self):
+        runs, strata = make_runs({"NB": 10, "SB": 10})
+        train, test = split_by_run(runs, test_size=0.3, rng=5,
+                                   strata=strata)
+        for label in ("NB", "SB"):
+            runs_in_stratum = np.unique(runs[strata == label])
+            test_runs = {r for r in runs_in_stratum
+                         if test[runs == r].all()}
+            assert len(test_runs) == 3  # 30% of 10

@@ -1,0 +1,99 @@
+"""Property-based tests on the tree/GBDT core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.gbdt import GBDTRegressor
+from repro.ml.metrics import mse
+from repro.ml.tree import (
+    DecisionTreeRegressor,
+    FeatureBinner,
+    HistogramTree,
+    TreeParams,
+)
+
+
+@st.composite
+def regression_data(draw, max_n=120, max_d=4):
+    n = draw(st.integers(12, max_n))
+    d = draw(st.integers(1, max_d))
+    X = draw(arrays(np.float64, (n, d),
+                    elements=st.floats(-100, 100)))
+    y = draw(arrays(np.float64, (n,),
+                    elements=st.floats(-1000, 1000)))
+    return X, y
+
+
+class TestTreeProperties:
+    @given(regression_data())
+    @settings(max_examples=40, deadline=None)
+    def test_predictions_within_target_hull(self, data):
+        """Leaf values are means of targets -> predictions stay in
+        [min(y), max(y)]."""
+        X, y = data
+        model = DecisionTreeRegressor(max_depth=4, min_samples_leaf=2)
+        model.fit(X, y)
+        pred = model.predict(X)
+        assert pred.min() >= y.min() - 1e-6
+        assert pred.max() <= y.max() + 1e-6
+
+    @given(regression_data())
+    @settings(max_examples=40, deadline=None)
+    def test_deeper_trees_fit_training_data_no_worse(self, data):
+        X, y = data
+        shallow = DecisionTreeRegressor(max_depth=1, min_samples_leaf=2)
+        deep = DecisionTreeRegressor(max_depth=6, min_samples_leaf=2)
+        err_shallow = mse(y, shallow.fit(X, y).predict(X))
+        err_deep = mse(y, deep.fit(X, y).predict(X))
+        assert err_deep <= err_shallow + 1e-6
+
+    @given(regression_data(max_n=80))
+    @settings(max_examples=30, deadline=None)
+    def test_depth1_matches_exhaustive_best_split(self, data):
+        """A depth-1 histogram tree on raw-value bins must achieve the
+        same SSE as brute-force search over all axis-aligned splits at
+        bin boundaries."""
+        X, y = data
+        binner = FeatureBinner(max_bins=256).fit(X)
+        binned = binner.fit_transform(X)
+        tree = HistogramTree(TreeParams(max_depth=1, min_samples_leaf=1,
+                                        reg_lambda=0.0))
+        tree.fit(binned, y[:, None], np.ones((len(y), 1)))
+        pred = tree.predict_binned(binned)[:, 0]
+        tree_sse = float(((y - pred) ** 2).sum())
+
+        best_sse = float(((y - y.mean()) ** 2).sum())
+        for f in range(binned.shape[1]):
+            for b in np.unique(binned[:, f])[:-1]:
+                left = binned[:, f] <= b
+                sse = (((y[left] - y[left].mean()) ** 2).sum()
+                       + ((y[~left] - y[~left].mean()) ** 2).sum())
+                best_sse = min(best_sse, float(sse))
+        assert tree_sse <= best_sse + 1e-6 * max(abs(best_sse), 1.0)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_gbdt_training_error_decreases(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(200, 3))
+        y = X[:, 0] * 2 + rng.normal(0, 0.1, 200)
+        model = GBDTRegressor(n_estimators=25, max_depth=3,
+                              random_state=0).fit(X, y)
+        staged = model.staged_errors(X, y, mse)
+        assert staged[-1] < staged[0]
+        # Mostly monotone (allow tiny numerical wiggle).
+        increases = sum(b > a + 1e-9 for a, b in zip(staged, staged[1:]))
+        assert increases <= len(staged) // 5
+
+    @given(regression_data())
+    @settings(max_examples=30, deadline=None)
+    def test_prediction_invariant_to_row_order(self, data):
+        X, y = data
+        model = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        perm = np.random.default_rng(0).permutation(len(X))
+        np.testing.assert_allclose(
+            model.predict(X)[perm], model.predict(X[perm])
+        )

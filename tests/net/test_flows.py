@@ -1,0 +1,76 @@
+"""Tests for the flow-level TCP simulation."""
+
+import numpy as np
+import pytest
+
+from repro.net.flows import FlowLevelTcp, TcpFlow
+
+
+class TestTcpFlow:
+    def test_slow_start_doubles(self):
+        f = TcpFlow(cwnd=4.0, ssthresh=100.0)
+        f.on_ack()
+        assert f.cwnd == 8.0
+
+    def test_congestion_avoidance_linear(self):
+        f = TcpFlow(cwnd=50.0, ssthresh=10.0)
+        f.on_ack()
+        assert f.cwnd == 51.0
+
+    def test_loss_halves(self):
+        f = TcpFlow(cwnd=40.0, ssthresh=100.0)
+        f.on_loss()
+        assert f.cwnd == 20.0
+        assert f.ssthresh == 20.0
+
+    def test_slow_start_capped_at_ssthresh(self):
+        f = TcpFlow(cwnd=9.0, ssthresh=12.0)
+        f.on_ack()
+        assert f.cwnd == 12.0
+
+
+class TestFlowLevelTcp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowLevelTcp(n_flows=0)
+        with pytest.raises(ValueError):
+            FlowLevelTcp(rtt_s=0.0)
+
+    def test_outage_resets_flows(self):
+        tcp = FlowLevelTcp(n_flows=2)
+        tcp.step_second(1e9)
+        assert tcp.step_second(0.0) == 0.0
+        assert all(f.cwnd == 1.0 for f in tcp.flows)
+
+    def test_goodput_bounded_by_link(self):
+        tcp = FlowLevelTcp(n_flows=8)
+        for _ in range(5):
+            got = tcp.step_second(1e9)
+            assert got <= 1e9 * 1.001
+
+    def test_single_flow_cannot_saturate_fat_link(self):
+        """The emergent version of the paper's 8-connection rationale:
+        one AIMD flow on a 1.5 Gbps x 20 ms path leaves capacity idle."""
+        one = FlowLevelTcp(n_flows=1, rng_seed=0)
+        eight = FlowLevelTcp(n_flows=8, rng_seed=0)
+        u1 = one.utilization(1.5e9, seconds=6)
+        u8 = eight.utilization(1.5e9, seconds=6)
+        assert u8 > u1 + 0.1
+        assert u8 > 0.8
+
+    def test_utilization_monotone_in_flows(self):
+        utils = [
+            FlowLevelTcp(n_flows=n, rng_seed=1).utilization(1.5e9, 5)
+            for n in (1, 4, 8)
+        ]
+        assert utils[0] < utils[2]
+
+    def test_small_link_saturated_even_by_one_flow(self):
+        tcp = FlowLevelTcp(n_flows=1, rng_seed=2)
+        assert tcp.utilization(5e7, seconds=5) > 0.8
+
+    def test_reset(self):
+        tcp = FlowLevelTcp(n_flows=2)
+        tcp.step_second(1e9)
+        tcp.reset()
+        assert all(f.cwnd == 10.0 for f in tcp.flows)

@@ -1,0 +1,154 @@
+"""Tests for the scheduler, TCP model and iPerf session plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.net.iperf import (
+    MIN_SERVER_CAPACITY_BPS,
+    IperfSession,
+    Server,
+    filter_servers,
+)
+from repro.net.scheduler import CellLoadModel, PanelScheduler
+from repro.net.tcp import BulkTransferModel
+
+
+class TestPanelScheduler:
+    def test_single_ue_gets_full_rate(self):
+        s = PanelScheduler(panel_id=1)
+        s.register("a", 1e9)
+        assert s.allocate() == {"a": pytest.approx(1e9)}
+
+    def test_two_equal_ues_halve(self):
+        # The Fig. 21 behaviour: adding a UE halves the first one's rate.
+        s = PanelScheduler(panel_id=1)
+        s.register("a", 1e9)
+        s.register("b", 1e9)
+        alloc = s.allocate()
+        assert alloc["a"] == pytest.approx(5e8)
+        assert alloc["b"] == pytest.approx(5e8)
+
+    def test_four_ues_quarter(self):
+        s = PanelScheduler(panel_id=1)
+        for name in "abcd":
+            s.register(name, 1e9)
+        assert s.allocate()["a"] == pytest.approx(2.5e8)
+
+    def test_airtime_not_rate_is_shared(self):
+        # A cell-edge UE with a low PHY rate drags only its own share.
+        s = PanelScheduler(panel_id=1)
+        s.register("near", 1e9)
+        s.register("far", 1e8)
+        alloc = s.allocate()
+        assert alloc["near"] == pytest.approx(5e8)
+        assert alloc["far"] == pytest.approx(5e7)
+
+    def test_weights_bias_airtime(self):
+        s = PanelScheduler(panel_id=1)
+        s.register("a", 1e9, weight=3.0)
+        s.register("b", 1e9, weight=1.0)
+        alloc = s.allocate()
+        assert alloc["a"] == pytest.approx(7.5e8)
+
+    def test_validation(self):
+        s = PanelScheduler(panel_id=1)
+        with pytest.raises(ValueError):
+            s.register("a", -1.0)
+        with pytest.raises(ValueError):
+            s.register("a", 1.0, weight=0.0)
+
+    def test_clear(self):
+        s = PanelScheduler(panel_id=1)
+        s.register("a", 1e9)
+        s.clear()
+        assert s.allocate() == {}
+        assert s.active_ues == 0
+
+
+class TestCellLoad:
+    def test_no_background_by_default(self):
+        m = CellLoadModel()
+        rng = np.random.default_rng(0)
+        assert m.airtime_share(1, rng) == 1.0
+
+    def test_background_reduces_share(self):
+        m = CellLoadModel(mean_background_ues=4.0)
+        rng = np.random.default_rng(0)
+        shares = [m.airtime_share(1, rng) for _ in range(500)]
+        assert np.mean(shares) < 0.6
+
+
+class TestBulkTransfer:
+    def test_single_flow_cannot_saturate(self):
+        one = BulkTransferModel(parallel_connections=1)
+        assert one.aggregate_efficiency == pytest.approx(
+            one.single_flow_efficiency
+        )
+
+    def test_eight_flows_nearly_saturate(self):
+        # The paper's reason for 8 parallel connections.
+        eight = BulkTransferModel(parallel_connections=8)
+        assert eight.aggregate_efficiency > 0.99
+
+    def test_ramp_up_takes_time(self):
+        m = BulkTransferModel()
+        first = m.step(1e9)
+        second = m.step(1e9)
+        third = m.step(1e9)
+        assert first < second <= third
+
+    def test_reaches_capacity(self):
+        m = BulkTransferModel()
+        for _ in range(10):
+            out = m.step(1e9)
+        assert out == pytest.approx(1e9 * m.aggregate_efficiency, rel=0.01)
+
+    def test_immediate_reaction_to_capacity_drop(self):
+        m = BulkTransferModel()
+        for _ in range(10):
+            m.step(1e9)
+        dropped = m.step(1e8)
+        assert dropped <= 1e8
+
+    def test_outage_blanks_throughput(self):
+        m = BulkTransferModel()
+        for _ in range(10):
+            m.step(1e9)
+        assert m.step(1e9, usable_fraction=0.0) == 0.0
+
+    def test_zero_link_resets(self):
+        m = BulkTransferModel()
+        for _ in range(10):
+            m.step(1e9)
+        assert m.step(0.0) == 0.0
+        # Must ramp again afterwards.
+        assert m.step(1e9) < 0.5e9
+
+    def test_server_ceiling_binds(self):
+        m = BulkTransferModel(server_ceiling_bps=5e8)
+        for _ in range(10):
+            out = m.step(1e9)
+        assert out <= 5e8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BulkTransferModel(parallel_connections=0)
+
+
+class TestIperf:
+    def test_server_filter_keeps_3gbps(self):
+        servers = [
+            Server("good", "cloud-a", 4e9),
+            Server("bad", "cloud-b", 1e9),
+            Server("edge", "cloud-c", MIN_SERVER_CAPACITY_BPS),
+        ]
+        kept = filter_servers(servers)
+        assert {s.name for s in kept} == {"good", "edge"}
+
+    def test_session_accounting(self):
+        s = IperfSession(server=Server("s", "p", 4e9))
+        s.record(0, 1e9)
+        s.record(1, 5e8)
+        assert s.duration_s == 2
+        assert s.mean_throughput_mbps == pytest.approx(750.0)
+        assert s.bytes_transferred == pytest.approx(1.5e9 / 8)

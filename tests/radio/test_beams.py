@@ -1,0 +1,82 @@
+"""Tests for codebook beam management."""
+
+import numpy as np
+import pytest
+
+from repro.radio.beams import BeamCodebook, BeamTracker
+
+
+class TestCodebook:
+    def test_centers_tile_sector(self):
+        cb = BeamCodebook(n_beams=8, sector_deg=120.0)
+        centers = cb.beam_centers_deg()
+        assert len(centers) == 8
+        assert centers[0] == pytest.approx(-52.5)
+        assert centers[-1] == pytest.approx(52.5)
+        widths = np.diff(centers)
+        np.testing.assert_allclose(widths, cb.beam_width_deg)
+
+    def test_best_beam_is_nearest(self):
+        cb = BeamCodebook(n_beams=8, sector_deg=120.0)
+        assert cb.best_beam(-52.5) == 0
+        assert cb.best_beam(52.5) == 7
+        assert cb.best_beam(0.0) in (3, 4)
+
+    def test_gain_peaks_on_center(self):
+        cb = BeamCodebook(n_beams=8, peak_gain_bonus_db=6.0)
+        center = cb.beam_centers_deg()[3]
+        on = cb.gain_db(3, center)
+        off = cb.gain_db(3, center + cb.beam_width_deg)
+        assert on == pytest.approx(6.0)
+        assert off < on
+
+    def test_gain_floored(self):
+        cb = BeamCodebook(n_beams=8)
+        far = cb.gain_db(0, 60.0)
+        assert far == pytest.approx(-20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BeamCodebook(n_beams=0)
+        with pytest.raises(ValueError):
+            BeamCodebook(sector_deg=0.0)
+        with pytest.raises(ValueError):
+            BeamCodebook().gain_db(99, 0.0)
+
+
+class TestTracker:
+    def test_first_step_sweeps(self):
+        tracker = BeamTracker(BeamCodebook(n_beams=8))
+        gain = tracker.step((0.0, 0.0), 0.0, (0.0, 50.0))
+        # Fresh sweep: positive beam gain toward the UE (worst case the
+        # UE straddles two beams, costing the half-width rolloff).
+        assert gain > 2.5
+
+    def test_stationary_ue_stays_aligned(self):
+        tracker = BeamTracker(BeamCodebook(n_beams=8), sweep_period_s=2.0)
+        gains = [tracker.step((0.0, 0.0), 0.0, (10.0, 50.0))
+                 for _ in range(6)]
+        assert min(gains) > 2.5
+
+    def test_fast_angular_motion_misaligns_between_sweeps(self):
+        """A UE cutting across beams faster than the sweep period loses
+        gain -- the physical origin of the driving penalty."""
+        cb = BeamCodebook(n_beams=16, sector_deg=120.0)
+        tracker = BeamTracker(cb, sweep_period_s=4.0)
+        # UE orbits the panel at 25 m radius, 15 deg/s angular speed.
+        gains = []
+        for t in range(8):
+            angle = np.radians(15.0 * t)
+            ue = (25.0 * np.sin(angle), 25.0 * np.cos(angle))
+            gains.append(tracker.step((0.0, 0.0), 0.0, ue))
+        # Early (just swept) positive gain, later steps misaligned.
+        assert gains[0] > 2.5
+        assert min(gains[1:4]) < 0.0
+
+    def test_offset_sign_convention(self):
+        tracker = BeamTracker(BeamCodebook())
+        # UE due east of a north-facing panel: +90 deg offset.
+        assert tracker.offset_of((0.0, 0.0), 0.0, (50.0, 0.0)) \
+            == pytest.approx(90.0)
+        assert tracker.offset_of((0.0, 0.0), 0.0, (-50.0, 0.0)) \
+            == pytest.approx(-90.0)

@@ -1,0 +1,104 @@
+"""Tests for blockage models and signal-strength reporting."""
+
+import numpy as np
+import pytest
+
+from repro.radio.blockage import (
+    BodyBlockageModel,
+    PedestrianBlockageModel,
+    VehiclePenetrationModel,
+)
+from repro.radio.signal import UNAVAILABLE, SignalStrengthModel
+
+
+class TestBodyBlockage:
+    def test_max_loss_when_moving_with_facing_direction(self):
+        m = BodyBlockageModel(max_loss_db=18.0)
+        assert m.loss_db(0.0) == pytest.approx(18.0)
+
+    def test_no_loss_when_head_on(self):
+        m = BodyBlockageModel(max_loss_db=18.0)
+        assert m.loss_db(180.0) == pytest.approx(0.0)
+
+    def test_symmetric_around_zero(self):
+        m = BodyBlockageModel()
+        assert m.loss_db(30.0) == pytest.approx(m.loss_db(330.0))
+
+    def test_monotone_from_0_to_180(self):
+        m = BodyBlockageModel()
+        losses = [m.loss_db(a) for a in range(0, 181, 15)]
+        assert all(b <= a for a, b in zip(losses, losses[1:]))
+
+    def test_not_applied_while_driving(self):
+        m = BodyBlockageModel()
+        assert m.loss_db(0.0, driving=True) == 0.0
+
+
+class TestVehiclePenetration:
+    def test_zero_outside_vehicle(self):
+        m = VehiclePenetrationModel()
+        assert m.loss_db(45.0, in_vehicle=False) == 0.0
+
+    def test_base_loss_at_stop(self):
+        m = VehiclePenetrationModel()
+        assert m.loss_db(0.0, in_vehicle=True) == pytest.approx(m.base_loss_db)
+
+    def test_tracking_penalty_grows_with_speed(self):
+        m = VehiclePenetrationModel()
+        slow = m.loss_db(10.0, True)
+        fast = m.loss_db(40.0, True)
+        assert fast > slow > m.base_loss_db
+
+    def test_tracking_penalty_capped(self):
+        m = VehiclePenetrationModel()
+        v200 = m.loss_db(200.0, True)
+        assert v200 == pytest.approx(
+            m.base_loss_db + m.max_tracking_loss_db
+        )
+
+    def test_walking_speeds_never_penalized(self):
+        # The whole point of Fig. 14's asymmetry: walking (not in a
+        # vehicle) has no speed penalty at any walking speed.
+        m = VehiclePenetrationModel()
+        for v in (0.0, 3.0, 5.0, 7.0):
+            assert m.loss_db(v, in_vehicle=False) == 0.0
+
+
+class TestPedestrianBlockage:
+    def test_event_rate(self):
+        m = PedestrianBlockageModel(event_probability=0.2, loss_db=10.0)
+        rng = np.random.default_rng(0)
+        hits = sum(m.sample_loss_db(rng) > 0 for _ in range(5000))
+        assert hits / 5000 == pytest.approx(0.2, abs=0.02)
+
+
+class TestSignalReporting:
+    def test_lte_always_reported(self):
+        m = SignalStrengthModel(unreliable_probability=0.0)
+        rng = np.random.default_rng(0)
+        rep = m.report(None, None, lte_rx_dbm=-80.0, rng=rng)
+        assert rep.lte_rsrp > UNAVAILABLE
+        assert rep.nr_ss_rsrp == UNAVAILABLE  # not on 5G
+
+    def test_nr_reported_when_connected(self):
+        m = SignalStrengthModel(unreliable_probability=0.0)
+        rng = np.random.default_rng(0)
+        rep = m.report(-60.0, 20.0, lte_rx_dbm=-80.0, rng=rng)
+        assert -140.0 <= rep.nr_ss_rsrp <= -44.0
+        assert -20.0 <= rep.nr_ss_rsrq <= -3.0
+
+    def test_stronger_rx_gives_stronger_rsrp(self):
+        m = SignalStrengthModel(measurement_noise_db=0.0,
+                                unreliable_probability=0.0)
+        rng = np.random.default_rng(0)
+        strong = m.report(-50.0, 25.0, -80.0, rng).nr_ss_rsrp
+        weak = m.report(-90.0, 5.0, -80.0, rng).nr_ss_rsrp
+        assert strong > weak
+
+    def test_unreliable_reports_occur(self):
+        # Paper: NR APIs "did not always provide meaningful data".
+        m = SignalStrengthModel(unreliable_probability=0.5)
+        rng = np.random.default_rng(1)
+        reports = [m.report(-60.0, 20.0, -80.0, rng) for _ in range(400)]
+        n_missing = sum(r.nr_ss_rsrp == UNAVAILABLE for r in reports)
+        assert 120 < n_missing < 280

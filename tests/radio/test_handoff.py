@@ -1,0 +1,109 @@
+"""Tests for the handoff state machine."""
+
+import pytest
+
+from repro.radio.handoff import (
+    AttachmentState,
+    HandoffPolicy,
+    HandoffTracker,
+    RadioType,
+    consume_interruption,
+)
+
+
+def fresh(policy=None):
+    return policy or HandoffPolicy(), AttachmentState()
+
+
+class TestVerticalHandoff:
+    def test_initial_attach_to_5g(self):
+        policy, state = fresh()
+        event = policy.decide(state, {1: -70.0})
+        assert event.vertical and not event.horizontal
+        assert state.radio_type is RadioType.NR
+        assert state.serving_panel_id == 1
+
+    def test_stays_on_lte_when_coverage_weak(self):
+        policy, state = fresh()
+        event = policy.decide(state, {1: policy.nr_add_dbm - 5.0})
+        assert not event.vertical
+        assert state.radio_type is RadioType.LTE
+
+    def test_drops_to_lte_when_signal_collapses(self):
+        policy, state = fresh()
+        policy.decide(state, {1: -70.0})
+        state.interruption_s = 0.0
+        event = policy.decide(state, {1: -120.0})
+        assert event.vertical
+        assert state.radio_type is RadioType.LTE
+        assert state.nr_inhibit_s > 0
+
+    def test_reacquire_dwell_blocks_immediate_readd(self):
+        policy, state = fresh()
+        policy.decide(state, {1: -70.0})
+        policy.decide(state, {1: -120.0})  # drop
+        event = policy.decide(state, {1: -70.0})  # coverage back instantly
+        assert not event.vertical  # still dwelling on LTE
+        assert state.radio_type is RadioType.LTE
+
+    def test_readds_after_dwell_expires(self):
+        policy, state = fresh(HandoffPolicy(reacquire_dwell_s=2.0))
+        policy.decide(state, {1: -70.0})
+        policy.decide(state, {1: -120.0})
+        for _ in range(3):
+            policy.decide(state, {1: -70.0})
+        assert state.radio_type is RadioType.NR
+
+
+class TestHorizontalHandoff:
+    def test_switch_requires_hysteresis_margin(self):
+        policy, state = fresh()
+        policy.decide(state, {1: -70.0, 2: -90.0})
+        assert state.serving_panel_id == 1
+        # 2 improves but within hysteresis: no switch.
+        event = policy.decide(
+            state, {1: -70.0, 2: -70.0 + policy.hysteresis_db - 1.0}
+        )
+        assert not event.horizontal
+        assert state.serving_panel_id == 1
+
+    def test_switch_beyond_hysteresis(self):
+        policy, state = fresh()
+        policy.decide(state, {1: -70.0, 2: -90.0})
+        event = policy.decide(
+            state, {1: -70.0, 2: -70.0 + policy.hysteresis_db + 1.0}
+        )
+        assert event.horizontal and not event.vertical
+        assert state.serving_panel_id == 2
+
+    def test_handoff_charges_interruption(self):
+        policy, state = fresh()
+        policy.decide(state, {1: -70.0})
+        assert state.interruption_s == pytest.approx(policy.vertical_outage_s)
+
+
+class TestInterruption:
+    def test_full_second_available_without_outage(self):
+        state = AttachmentState()
+        assert consume_interruption(state, 1.0) == 1.0
+
+    def test_partial_outage(self):
+        state = AttachmentState(interruption_s=0.6)
+        assert consume_interruption(state, 1.0) == pytest.approx(0.4)
+        assert state.interruption_s == pytest.approx(0.0)
+
+    def test_long_outage_spans_steps(self):
+        state = AttachmentState(interruption_s=1.8)
+        assert consume_interruption(state, 1.0) == 0.0
+        assert consume_interruption(state, 1.0) == pytest.approx(0.2)
+
+
+class TestTracker:
+    def test_counts(self):
+        policy, state = fresh()
+        tracker = HandoffTracker()
+        tracker.record(policy.decide(state, {1: -70.0}))
+        state.interruption_s = 0.0
+        tracker.record(policy.decide(state, {1: -70.0, 2: -50.0}))
+        assert tracker.vertical_count == 1
+        assert tracker.horizontal_count == 1

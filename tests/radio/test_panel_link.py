@@ -1,0 +1,143 @@
+"""Tests for panels, towers, link budget and LTE fallback."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.radio.link import LinkBudget, LteLinkModel
+from repro.radio.panel import Panel, PanelDirectory, Tower
+
+
+def make_panel(**kwargs):
+    defaults = dict(panel_id=1, position=(0.0, 0.0), bearing_deg=0.0)
+    defaults.update(kwargs)
+    return Panel(**defaults)
+
+
+class TestPanelGain:
+    def test_boresight_gets_max_gain(self):
+        p = make_panel()
+        assert p.gain_toward_db((0.0, 100.0)) == pytest.approx(p.max_gain_db)
+
+    def test_gain_decreases_off_boresight(self):
+        p = make_panel()
+        front = p.gain_toward_db((0.0, 100.0))
+        side = p.gain_toward_db((100.0, 0.0))
+        back = p.gain_toward_db((0.0, -100.0))
+        assert front > side > back
+
+    def test_back_attenuation_follows_pattern(self):
+        p = make_panel()
+        back = p.gain_toward_db((0.0, -100.0))
+        expected_att = min(12.0 * (180.0 / p.beamwidth_deg) ** 2, 30.0)
+        assert back == pytest.approx(p.max_gain_db - expected_att)
+
+    def test_attenuation_never_exceeds_30db(self):
+        p = make_panel(beamwidth_deg=60.0)
+        back = p.gain_toward_db((0.0, -100.0))
+        assert back == pytest.approx(p.max_gain_db - 30.0)
+
+
+class TestTowerDirectory:
+    def test_tower_requires_panels(self):
+        with pytest.raises(ValueError):
+            Tower(tower_id=1, panels=())
+
+    def test_duplicate_panel_ids_rejected(self):
+        d = PanelDirectory()
+        d.add_tower(Tower(tower_id=1, panels=(make_panel(panel_id=5),)))
+        with pytest.raises(ValueError):
+            d.add_tower(Tower(tower_id=2, panels=(make_panel(panel_id=5),)))
+
+    def test_nearest(self):
+        d = PanelDirectory()
+        d.add_tower(Tower(tower_id=1, panels=(
+            make_panel(panel_id=1, position=(0.0, 0.0)),
+            make_panel(panel_id=2, position=(100.0, 0.0)),
+        )))
+        assert d.nearest((90.0, 0.0)).panel_id == 2
+        assert d.nearest((10.0, 0.0)).panel_id == 1
+
+    def test_nearest_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            PanelDirectory().nearest((0.0, 0.0))
+
+    def test_lookup_and_contains(self):
+        d = PanelDirectory()
+        d.add_tower(Tower(tower_id=1, panels=(make_panel(panel_id=9),)))
+        assert 9 in d
+        assert 10 not in d
+        assert d.get(9).panel_id == 9
+        assert len(d) == 1
+
+
+class TestLinkBudget:
+    def test_noise_floor_reasonable(self):
+        lb = LinkBudget()
+        # kTB for 400 MHz + NF ~ -78 dBm.
+        assert lb.noise_dbm == pytest.approx(-78.0, abs=1.0)
+
+    def test_rate_zero_below_sinr_floor(self):
+        lb = LinkBudget()
+        assert lb.phy_rate_bps(lb.min_sinr_db - 1.0) == 0.0
+
+    def test_rate_caps_at_spectral_efficiency(self):
+        lb = LinkBudget()
+        high = lb.phy_rate_bps(40.0)
+        cap = lb.attenuation_factor * lb.bandwidth_hz * lb.max_spectral_efficiency
+        assert high == pytest.approx(cap)
+
+    def test_peak_rate_matches_paper_scale(self):
+        # Commercial mmWave peaks near 2 Gbps per UE.
+        lb = LinkBudget()
+        assert 1.5e9 < lb.phy_rate_bps(40.0) < 2.2e9
+
+    def test_rate_monotone_in_sinr(self):
+        lb = LinkBudget()
+        sinrs = np.linspace(-5, 35, 50)
+        rates = [lb.phy_rate_bps(s) for s in sinrs]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_sinr_accounting(self):
+        lb = LinkBudget()
+        sinr = lb.sinr_db(tx_power_dbm=24.0, tx_gain_db=18.0,
+                          path_loss_db=100.0)
+        expected = 24.0 + 18.0 + lb.ue_gain_db - 100.0 - lb.noise_dbm
+        assert sinr == pytest.approx(expected)
+
+
+class TestLteModel:
+    def test_throughput_is_4g_like(self):
+        lte = LteLinkModel()
+        rng = np.random.default_rng(0)
+        samples = [lte.throughput_mbps(300.0, rng) for _ in range(2000)]
+        med = float(np.median(samples))
+        assert 20.0 < med < 150.0  # "below that of mmWave 5G"
+        assert max(samples) <= 250.0
+
+    def test_damps_with_distance(self):
+        lte = LteLinkModel()
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        near = np.median([lte.throughput_mbps(50.0, rng1)
+                          for _ in range(500)])
+        far = np.median([lte.throughput_mbps(5000.0, rng2)
+                         for _ in range(500)])
+        assert near > far
+
+
+class TestPanelGainProperties:
+    def test_gain_never_exceeds_max(self):
+        p = make_panel()
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            xy = tuple(rng.uniform(-500, 500, 2))
+            if xy == (0.0, 0.0):
+                continue
+            assert p.gain_toward_db(xy) <= p.max_gain_db + 1e-9
+
+    def test_gain_symmetric_about_boresight(self):
+        p = make_panel()
+        left = p.gain_toward_db((-30.0, 100.0))
+        right = p.gain_toward_db((30.0, 100.0))
+        assert left == pytest.approx(right)

@@ -1,0 +1,111 @@
+"""Area-specific physical behaviours the paper's figures rely on."""
+
+import numpy as np
+import pytest
+
+from repro.env.areas import build_intersection, build_loop
+from repro.mobility.models import DrivingModel, WalkingModel
+from repro.net.scheduler import CellLoadModel
+from repro.sim.simulator import SimulationConfig, simulate_pass
+
+
+class TestIntersection:
+    @pytest.fixture(scope="class")
+    def env(self):
+        return build_intersection()
+
+    def test_street_walk_gets_5g(self, env):
+        rng = np.random.default_rng(0)
+        recs = simulate_pass(env, env.trajectories["NS-west-NB"],
+                             WalkingModel(), 0, rng)
+        frac_5g = np.mean([r.radio_type == "5G" for r in recs])
+        assert frac_5g > 0.5
+
+    def test_direction_changes_serving_experience(self, env):
+        """NB vs SB on the same sidewalk must differ (body blockage flips
+        which panel is usable where)."""
+        def median_profile(name):
+            rng = np.random.default_rng(42)
+            out = []
+            for run in range(4):
+                recs = simulate_pass(env, env.trajectories[name],
+                                     WalkingModel(), run, rng)
+                out.extend(r.throughput_mbps for r in recs)
+            return np.asarray(out)
+
+        nb = median_profile("NS-west-NB")
+        sb = median_profile("NS-west-SB")
+        # Distributions differ substantially in at least one quartile.
+        gaps = [abs(np.percentile(nb, q) - np.percentile(sb, q))
+                for q in (25, 50, 75)]
+        assert max(gaps) > 100.0
+
+    def test_corner_turn_triggers_handoff(self, env):
+        rng = np.random.default_rng(1)
+        hho_or_vho = 0
+        for run in range(5):
+            recs = simulate_pass(env, env.trajectories["L-SW"],
+                                 WalkingModel(), run, rng)
+            hho_or_vho += sum(r.horizontal_handoff or r.vertical_handoff
+                              for r in recs)
+        assert hho_or_vho >= 5
+
+
+class TestLoop:
+    @pytest.fixture(scope="class")
+    def env(self):
+        return build_loop()
+
+    def test_loop_has_dead_stretch(self, env):
+        """Fig. 2: the drive hits near-zero zones."""
+        rng = np.random.default_rng(2)
+        recs = simulate_pass(
+            env, env.trajectories["LOOP-CW"],
+            DrivingModel(traffic_lights=(0.0, 400.0, 650.0, 1050.0)),
+            0, rng, mobility_mode="driving", duration_s=220,
+        )
+        tput = np.asarray([r.throughput_mbps for r in recs])
+        assert (tput < 10.0).sum() > 5
+
+    def test_walking_beats_driving_on_loop(self, env):
+        rng = np.random.default_rng(3)
+        walk, drive = [], []
+        for run in range(2):
+            walk.extend(r.throughput_mbps for r in simulate_pass(
+                env, env.trajectories["LOOP-CW"], WalkingModel(), run, rng,
+                mobility_mode="walking", duration_s=1000,
+            ))
+            drive.extend(r.throughput_mbps for r in simulate_pass(
+                env, env.trajectories["LOOP-CW"],
+                DrivingModel(traffic_lights=(0.0, 400.0, 650.0, 1050.0)),
+                run, rng, mobility_mode="driving", duration_s=216,
+            ))
+        assert np.median(walk) > np.median(drive)
+
+
+class TestCarrierLoad:
+    def test_quiet_campaign_logs_load_one(self):
+        from repro.env.areas import build_airport
+
+        env = build_airport()
+        rng = np.random.default_rng(4)
+        recs = simulate_pass(env, env.trajectories["NB"], WalkingModel(),
+                             0, rng, duration_s=60)
+        assert all(r.carrier_load_ues == 1.0 for r in recs)
+
+    def test_background_load_logged_and_throughput_reduced(self):
+        from repro.env.areas import build_airport
+
+        env = build_airport()
+        cfg = SimulationConfig(cell_load=CellLoadModel(
+            mean_background_ues=3.0
+        ))
+        rng = np.random.default_rng(5)
+        loaded = simulate_pass(env, env.trajectories["NB"], WalkingModel(),
+                               0, rng, config=cfg, duration_s=150)
+        quiet = simulate_pass(env, env.trajectories["NB"], WalkingModel(),
+                              0, np.random.default_rng(5), duration_s=150)
+        assert np.mean([r.carrier_load_ues for r in loaded]) > 2.0
+        med_loaded = np.median([r.throughput_mbps for r in loaded])
+        med_quiet = np.median([r.throughput_mbps for r in quiet])
+        assert med_loaded < med_quiet

@@ -1,0 +1,79 @@
+"""Tests for campaign orchestration and the appendix experiments."""
+
+import numpy as np
+import pytest
+
+from repro.env.areas import build_airport
+from repro.sim.collection import (
+    CampaignConfig,
+    run_area_campaign,
+    run_congestion_experiment,
+    run_side_by_side_4g5g,
+)
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    cfg = CampaignConfig(passes_per_trajectory=3, driving_passes=2,
+                         stationary_runs=1, stationary_duration_s=30, seed=5)
+    return run_area_campaign(build_airport(), cfg)
+
+
+class TestCampaign:
+    def test_produces_all_trajectories(self, small_campaign):
+        names = set(np.unique(small_campaign["trajectory"]))
+        assert names == {"NB", "SB"}
+
+    def test_run_ids_unique_per_pass(self, small_campaign):
+        # 2 trajectories x 3 walking passes + 2 stationary runs.
+        n_runs = len(np.unique(small_campaign["run_id"]))
+        assert n_runs == 2 * 3 + 2 * 1
+
+    def test_mobility_modes_recorded(self, small_campaign):
+        modes = set(np.unique(small_campaign["mobility_mode"]))
+        assert modes == {"walking", "stationary"}
+
+    def test_scaled_config(self):
+        cfg = CampaignConfig(passes_per_trajectory=30, driving_passes=30)
+        small = cfg.scaled(0.1)
+        assert small.passes_per_trajectory == 3
+        assert small.driving_passes == 3
+
+
+class TestCongestionExperiment:
+    def test_throughput_divides_among_ues(self):
+        """Appendix A.1.4: UE1's rate roughly halves per added UE."""
+        series = run_congestion_experiment(
+            n_ues=4, stagger_s=25, tail_s=25, seed=3
+        )
+        u1 = np.asarray(series["UE1"])
+        phase = [np.nanmean(u1[k * 25:(k + 1) * 25]) for k in range(4)]
+        # Alone: well above 1 Gbps at 25 m LoS.
+        assert phase[0] > 1000.0
+        # Each added UE cuts UE1's share substantially and monotonically.
+        assert phase[0] > phase[1] > phase[2] > phase[3]
+        assert phase[1] < 0.7 * phase[0]
+        assert phase[3] < 0.4 * phase[0]
+
+    def test_late_ues_start_as_nan(self):
+        series = run_congestion_experiment(n_ues=2, stagger_s=10,
+                                           tail_s=10, seed=1)
+        u2 = np.asarray(series["UE2"])
+        assert np.isnan(u2[:10]).all()
+        assert np.isfinite(u2[10:]).all()
+
+
+class TestSideBySide4g5g:
+    def test_4g_less_location_sensitive(self):
+        """A.4 precondition: 4G throughput varies far less than 5G."""
+        t5, t4 = run_side_by_side_4g5g(passes=4, seed=2)
+        tput5 = np.asarray(t5["throughput_mbps"], dtype=float)
+        tput4 = np.asarray(t4["throughput_mbps"], dtype=float)
+        assert len(t5) == len(t4)
+        assert tput5.std() > 3.0 * tput4.std()
+        assert tput5.max() > 1000.0
+        assert tput4.max() < 300.0
+
+    def test_4g_rows_tagged(self):
+        _, t4 = run_side_by_side_4g5g(passes=2, seed=2)
+        assert set(np.unique(t4["radio_type"])) == {"4G"}

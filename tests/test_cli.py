@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--area", "Loop", "--out", "x.csv"]
+        )
+        assert args.area == "Loop"
+        assert args.func.__name__ == "cmd_generate"
+
+    def test_unknown_area_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--area", "Atlantis", "--out", "x.csv"]
+            )
+
+
+class TestCommands:
+    def test_areas_lists_all(self, capsys):
+        assert main(["areas"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Airport", "Intersection", "Loop"):
+            assert name in out
+
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "campaign.csv"
+        code = main(["generate", "--area", "Airport", "--passes", "1",
+                     "--out", str(out)])
+        assert code == 0
+        with open(out, newline="") as f:
+            rows = list(csv.reader(f))
+        assert "throughput_mbps" in rows[0]
+        assert len(rows) > 100
+
+    def test_generate_public_schema(self, tmp_path):
+        out = tmp_path / "public.csv"
+        main(["generate", "--area", "Airport", "--passes", "1",
+              "--public-schema", "--out", str(out)])
+        with open(out, newline="") as f:
+            header = next(csv.reader(f))
+        assert "Throughput" in header
+        assert "nrStatus" in header
+
+    def test_evaluate_runs_knn(self, capsys):
+        code = main(["evaluate", "--area", "Airport", "--passes", "2",
+                     "--features", "L", "--model", "knn"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAE=" in out and "weighted-F1=" in out
+
+    def test_evaluate_rejects_unsupported_combo(self, capsys):
+        code = main(["evaluate", "--area", "Loop", "--passes", "1",
+                     "--features", "T+M", "--model", "knn"])
+        assert code == 2
+
+    def test_map_summary_and_csv(self, tmp_path, capsys):
+        out = tmp_path / "map.csv"
+        code = main(["map", "--area", "Airport", "--passes", "2",
+                     "--csv", str(out)])
+        assert code == 0
+        assert "throughput Mbps" in capsys.readouterr().out
+        with open(out, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["x", "y", "mean_throughput_mbps", "samples"]
+        assert len(rows) > 10

@@ -1,0 +1,109 @@
+"""Tests for UE sensors and telemetry records."""
+
+import numpy as np
+import pytest
+
+from repro.ue.device import (
+    ActivityRecognizer,
+    CompassSensor,
+    GpsSensor,
+    SpeedSensor,
+    UserEquipment,
+)
+from repro.ue.telemetry import TelemetryRecord
+
+
+class TestGpsSensor:
+    def test_error_and_accuracy_correlate(self):
+        gps = GpsSensor()
+        rng = np.random.default_rng(0)
+        gps.reset(rng)
+        errors, accuracies = [], []
+        for _ in range(1500):
+            (mx, my), acc = gps.read((100.0, 200.0), rng)
+            errors.append(np.hypot(mx - 100.0, my - 200.0))
+            accuracies.append(acc)
+        corr = np.corrcoef(errors, accuracies)[0, 1]
+        assert corr > 0.5
+
+    def test_typical_error_a_few_meters(self):
+        gps = GpsSensor()
+        rng = np.random.default_rng(1)
+        gps.reset(rng)
+        errors = []
+        for _ in range(2000):
+            (mx, my), _ = gps.read((0.0, 0.0), rng)
+            errors.append(np.hypot(mx, my))
+        med = float(np.median(errors))
+        assert 0.5 < med < 6.0
+
+    def test_bias_is_correlated_over_time(self):
+        gps = GpsSensor(jitter_m=0.01)
+        rng = np.random.default_rng(2)
+        gps.reset(rng)
+        (x1, _), _ = gps.read((0.0, 0.0), rng)
+        (x2, _), _ = gps.read((0.0, 0.0), rng)
+        # Successive errors share the slowly-varying bias.
+        assert abs(x1 - x2) < 3.0
+
+
+class TestCompass:
+    def test_calibration_transient(self):
+        c = CompassSensor(calibration_steps=5)
+        rng = np.random.default_rng(0)
+        c.reset()
+        early_acc = [c.read(90.0, rng)[1] for _ in range(5)]
+        late_acc = [c.read(90.0, rng)[1] for _ in range(5)]
+        assert min(early_acc) > max(late_acc)
+
+    def test_output_wrapped(self):
+        c = CompassSensor(sigma_deg=60.0)
+        rng = np.random.default_rng(1)
+        c.reset()
+        for _ in range(200):
+            heading, _ = c.read(5.0, rng)
+            assert 0.0 <= heading < 360.0
+
+
+class TestSpeedSensor:
+    def test_never_negative(self):
+        s = SpeedSensor(sigma_mps=1.0)
+        rng = np.random.default_rng(0)
+        assert all(s.read(0.0, rng) >= 0.0 for _ in range(200))
+
+    def test_unbiased_at_speed(self):
+        s = SpeedSensor()
+        rng = np.random.default_rng(1)
+        vals = [s.read(1.4, rng) for _ in range(2000)]
+        assert np.mean(vals) == pytest.approx(1.4, abs=0.02)
+
+
+class TestActivityRecognizer:
+    def test_mostly_correct(self):
+        a = ActivityRecognizer(error_probability=0.1)
+        rng = np.random.default_rng(0)
+        outputs = [a.read("WALKING", rng) for _ in range(1000)]
+        frac = np.mean([o == "WALKING" for o in outputs])
+        assert frac == pytest.approx(0.9, abs=0.03)
+
+    def test_errors_are_other_labels(self):
+        a = ActivityRecognizer(error_probability=1.0)
+        rng = np.random.default_rng(1)
+        outputs = {a.read("STILL", rng) for _ in range(100)}
+        assert "STILL" not in outputs
+        assert outputs <= {"WALKING", "IN_VEHICLE"}
+
+
+class TestTelemetry:
+    def test_field_names_stable(self):
+        names = TelemetryRecord.field_names()
+        for required in ("throughput_mbps", "radio_type", "cell_id",
+                         "ue_panel_distance_m", "positional_angle_deg",
+                         "mobility_angle_deg", "horizontal_handoff",
+                         "vertical_handoff", "latitude", "longitude"):
+            assert required in names
+
+    def test_ue_reset(self):
+        ue = UserEquipment()
+        ue.reset(np.random.default_rng(0))  # must not raise
+        assert ue.model == "SM-G977U"

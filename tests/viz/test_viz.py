@@ -1,0 +1,130 @@
+"""Tests for the SVG renderer and charts."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz.charts import bar_chart, box_chart, heatmap_chart, line_chart
+from repro.viz.colors import series_color, throughput_color
+from repro.viz.svg import LinearScale, SvgCanvas
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(canvas):
+    return ET.fromstring(canvas.to_string())
+
+
+class TestSvgCanvas:
+    def test_valid_xml(self):
+        c = SvgCanvas(100, 50)
+        c.rect(0, 0, 10, 10)
+        c.circle(5, 5, 2)
+        c.line(0, 0, 10, 10)
+        c.polyline([(0, 0), (5, 5), (10, 0)])
+        c.text(1, 1, "hello <world> & co")
+        root = parse(c)
+        assert root.tag == f"{SVG_NS}svg"
+        tags = {child.tag for child in root}
+        assert f"{SVG_NS}rect" in tags
+        assert f"{SVG_NS}text" in tags
+
+    def test_text_escaped(self):
+        c = SvgCanvas(10, 10, background=None)
+        c.text(0, 0, "<script>")
+        assert "<script>" not in c.to_string()
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "x.svg"
+        SvgCanvas(10, 10).save(path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestLinearScale:
+    def test_maps_endpoints(self):
+        s = LinearScale((0.0, 10.0), (100.0, 200.0))
+        assert s(0.0) == 100.0
+        assert s(10.0) == 200.0
+        assert s(5.0) == 150.0
+
+    def test_inverted_range(self):
+        s = LinearScale((0.0, 1.0), (300.0, 0.0))  # SVG y grows downward
+        assert s(0.0) == 300.0
+        assert s(1.0) == 0.0
+
+    def test_degenerate_domain_rejected(self):
+        with pytest.raises(ValueError):
+            LinearScale((1.0, 1.0), (0.0, 1.0))
+
+    def test_ticks_cover_domain(self):
+        s = LinearScale((0.0, 100.0), (0.0, 1.0))
+        ticks = s.ticks(5)
+        assert ticks[0] == 0.0 and ticks[-1] == 100.0
+        assert len(ticks) == 5
+
+
+class TestColors:
+    def test_ramp_endpoints(self):
+        assert throughput_color(0.0) == "#8b0000"  # dark red
+        assert throughput_color(5000.0) == "#32cd32"  # lime green
+
+    def test_ramp_progression(self):
+        # Green rises through the red/orange/yellow band ...
+        greens = [int(throughput_color(v)[3:5], 16)
+                  for v in (0, 100, 400, 700)]
+        assert greens == sorted(greens)
+        # ... and red falls from yellow toward lime green at the top.
+        reds = [int(throughput_color(v)[1:3], 16)
+                for v in (700, 1200, 2000)]
+        assert reds == sorted(reds, reverse=True)
+
+    def test_series_colors_cycle(self):
+        assert series_color(0) == series_color(8)
+        assert series_color(0) != series_color(1)
+
+
+class TestCharts:
+    def test_line_chart_renders_series(self):
+        c = line_chart({"a": [0, 10, 5], "b": [3, 3, 3]}, title="T")
+        root = parse(c)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) >= 2
+
+    def test_line_chart_skips_nan(self):
+        c = line_chart({"a": [1.0, float("nan"), 3.0]})
+        assert "nan" not in c.to_string()
+
+    def test_heatmap_from_map_cells(self, airport_dataset):
+        from repro.core.maps import throughput_map
+
+        cells = throughput_map(airport_dataset, cell_size=2.0)
+        c = heatmap_chart(cells, title="Fig 6")
+        root = parse(c)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) > len(cells) * 0.9
+
+    def test_box_chart(self):
+        rng = np.random.default_rng(0)
+        c = box_chart({"walk": rng.normal(500, 100, 200),
+                       "drive": rng.normal(100, 30, 200)})
+        assert "rect" in c.to_string()
+
+    def test_bar_chart(self):
+        c = bar_chart({"distance": 0.6, "angle": 0.3, "speed": 0.1})
+        root = parse(c)
+        assert len(root.findall(f"{SVG_NS}rect")) >= 4  # bg + 3 bars
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            heatmap_chart([])
+        with pytest.raises(ValueError):
+            box_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({})

@@ -1,0 +1,122 @@
+"""Render paper-style SVG figures into ``figures/``.
+
+Generates the visual analogues of the paper's key figures from a fresh
+small simulation (self-contained; a few minutes):
+
+    python tools/make_figures.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.core.maps import directional_throughput_map, throughput_map
+from repro.core.pipeline import Lumos5G, ModelConfig
+from repro.datasets.generate import generate_datasets
+from repro.env.areas import build_loop
+from repro.mobility.models import DrivingModel, WalkingModel
+from repro.sim.collection import run_congestion_experiment
+from repro.sim.simulator import simulate_pass
+from repro.viz.charts import bar_chart, box_chart, heatmap_chart, line_chart
+
+
+def fig_traces(out: pathlib.Path) -> None:
+    env = build_loop()
+    rng = np.random.default_rng(1)
+    walk = simulate_pass(env, env.trajectories["LOOP-CW"], WalkingModel(),
+                         0, rng, mobility_mode="walking", duration_s=600)
+    drive = simulate_pass(
+        env, env.trajectories["LOOP-CW"],
+        DrivingModel(traffic_lights=(0.0, 400.0, 650.0, 1050.0)),
+        1, rng, mobility_mode="driving", duration_s=240,
+    )
+    line_chart(
+        {"walking": [r.throughput_mbps for r in walk]},
+        title="Fig. 1 -- 5G throughput while walking",
+    ).save(out / "fig01_walking_trace.svg")
+    line_chart(
+        {"driving": [r.throughput_mbps for r in drive]},
+        title="Fig. 2 -- 5G throughput while driving",
+    ).save(out / "fig02_driving_trace.svg")
+
+
+def fig_maps(data, out: pathlib.Path) -> None:
+    airport = data["Airport"]
+    heatmap_chart(
+        throughput_map(airport, cell_size=2.0),
+        title="Fig. 6a -- Airport throughput map",
+    ).save(out / "fig06_airport_heatmap.svg")
+    heatmap_chart(
+        throughput_map(data["Intersection"], cell_size=2.0),
+        title="Fig. 6b -- Intersection throughput map",
+    ).save(out / "fig06_intersection_heatmap.svg")
+    heatmap_chart(
+        directional_throughput_map(airport, 0.0),
+        title="Fig. 9a -- Airport NB map",
+    ).save(out / "fig09_nb_map.svg")
+    heatmap_chart(
+        directional_throughput_map(airport, 180.0),
+        title="Fig. 9b -- Airport SB map",
+    ).save(out / "fig09_sb_map.svg")
+
+
+def fig_speed_boxes(data, out: pathlib.Path) -> None:
+    loop = data["Loop"]
+    speed = np.asarray(loop["moving_speed_mps"], dtype=float) * 3.6
+    tput = np.asarray(loop["throughput_mbps"], dtype=float)
+    mode = np.asarray(loop["mobility_mode"])
+    groups = {}
+    for lo, hi in ((0, 5), (5, 15), (15, 30), (30, 46)):
+        sel = (mode == "driving") & (speed >= lo) & (speed < hi)
+        groups[f"drive {lo}-{hi}"] = tput[sel]
+    for lo, hi in ((0, 3), (3, 5), (5, 8)):
+        sel = (mode == "walking") & (speed >= lo) & (speed < hi)
+        groups[f"walk {lo}-{hi}"] = tput[sel]
+    box_chart(groups, title="Fig. 14 -- speed vs throughput "
+                            "(km/h bins)").save(out / "fig14_speed.svg")
+
+
+def fig_congestion(out: pathlib.Path) -> None:
+    series = run_congestion_experiment(n_ues=4, stagger_s=60, tail_s=60,
+                                       seed=13)
+    line_chart(series, title="Fig. 21 -- multi-UE congestion").save(
+        out / "fig21_congestion.svg"
+    )
+
+
+def fig_importance(data, out: pathlib.Path) -> None:
+    framework = Lumos5G(
+        {"Airport": data["Airport"]},
+        config=ModelConfig(gdbt_estimators=120), seed=0,
+    )
+    importance = framework.feature_importance("Airport", "T+M+C")
+    top = dict(sorted(importance.items(), key=lambda kv: -kv[1])[:8])
+    bar_chart(top, title="Fig. 22 -- GDBT feature importance (T+M+C)",
+              y_label="importance share").save(out / "fig22_importance.svg")
+
+
+def main() -> int:
+    out = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "figures")
+    out.mkdir(exist_ok=True)
+    print("simulating datasets ...")
+    data = generate_datasets(
+        areas=("Airport", "Intersection", "Loop"),
+        passes_per_trajectory=8, seed=5, include_global=False,
+        use_cache=False,
+    )
+    print("rendering figures ...")
+    fig_traces(out)
+    fig_maps(data, out)
+    fig_speed_boxes(data, out)
+    fig_congestion(out)
+    fig_importance(data, out)
+    for path in sorted(out.glob("*.svg")):
+        print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

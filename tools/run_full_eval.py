@@ -1,0 +1,111 @@
+"""Run the full Table 7/8/9 evaluation at a chosen scale.
+
+The benchmark suite uses a reduced "bench" profile; this script exposes
+the scale knobs so the evaluation can be pushed toward the paper's
+(hours-long) configuration:
+
+    python tools/run_full_eval.py --passes 12 --profile default
+    python tools/run_full_eval.py --passes 30 --profile paper   # slow!
+
+Prints Tables 7, 8 and 9 in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.pipeline import Lumos5G, ModelConfig
+from repro.datasets.generate import generate_datasets
+from repro.ml.metrics import error_reduction_factor
+from repro.sim.collection import CampaignConfig
+
+AREAS = ["Intersection", "Loop", "Airport", "Global"]
+SPECS = ["L", "L+M", "T+M", "L+M+C", "T+M+C"]
+
+PROFILES = {
+    "fast": ModelConfig.fast(),
+    "default": ModelConfig(),
+    "paper": ModelConfig.paper(),
+}
+
+
+def print_grid(framework: Lumos5G, task: str) -> None:
+    header = f"{'feature/model':18s}" + "".join(
+        f"{a:>16s}" for a in AREAS
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in SPECS:
+        for model in ("gdbt", "seq2seq"):
+            cells = []
+            for area in AREAS:
+                if not framework.supports(area, spec):
+                    cells.append("-")
+                    continue
+                if task == "classification":
+                    r = framework.evaluate_classification(area, spec, model)
+                    cells.append(f"{r.weighted_f1:.2f}|{r.recall_low:.2f}")
+                else:
+                    r = framework.evaluate_regression(area, spec, model)
+                    cells.append(f"{r.mae:.0f}|{r.rmse:.0f}")
+            print(f"{spec + ' / ' + model:18s}"
+                  + "".join(f"{c:>16s}" for c in cells))
+
+
+def print_baselines(framework: Lumos5G) -> None:
+    models = ["knn", "rf", "ok", "gdbt", "seq2seq"]
+    header = f"{'features':10s}" + "".join(f"{m:>12s}" for m in models)
+    print(header)
+    print("-" * len(header))
+    errors = {}
+    for spec in SPECS:
+        cells = []
+        for model in models:
+            if model == "ok" and spec != "L":
+                cells.append("NA")
+                continue
+            r = framework.evaluate_regression("Global", spec, model)
+            errors[(spec, model)] = r.mae
+            cells.append(f"{r.mae:.0f}|{r.rmse:.0f}")
+        print(f"{spec:10s}" + "".join(f"{c:>12s}" for c in cells))
+    factors = []
+    for spec in SPECS:
+        best = min(errors[(spec, "gdbt")], errors[(spec, "seq2seq")])
+        for baseline in ("knn", "rf"):
+            factors.append(error_reduction_factor(errors[(spec, baseline)],
+                                                  best))
+    print(f"\nerror-reduction vs baselines: {min(factors):.2f}x to "
+          f"{max(factors):.2f}x (paper: 1.37x to 4.84x)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--passes", type=int, default=10)
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="default")
+    parser.add_argument("--seed", type=int, default=2020)
+    args = parser.parse_args()
+
+    t0 = time.time()
+    print(f"simulating campaigns ({args.passes} passes/trajectory) ...")
+    campaign = CampaignConfig(
+        passes_per_trajectory=args.passes, driving_passes=args.passes,
+        seed=args.seed,
+    )
+    data = generate_datasets(campaign=campaign, use_cache=False)
+    framework = Lumos5G(data, config=PROFILES[args.profile], seed=42)
+
+    print(f"\n=== Table 8: regression (MAE|RMSE, Mbps) "
+          f"[{args.profile} profile] ===")
+    print_grid(framework, "regression")
+    print("\n=== Table 7: classification (weighted F1 | low recall) ===")
+    print_grid(framework, "classification")
+    print("\n=== Table 9: Global baselines (MAE|RMSE) ===")
+    print_baselines(framework)
+    print(f"\ntotal: {time.time() - t0:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
