@@ -13,11 +13,17 @@ qualitative shape of every table is preserved and asserted.
 
 from __future__ import annotations
 
+import json
+import time
+
 import pytest
 
+from repro import obs
 from repro.core.pipeline import Lumos5G, ModelConfig
 from repro.datasets.generate import generate_datasets
 from repro.sim.collection import CampaignConfig
+
+from _bench_utils import RESULTS_DIR
 
 BENCH_SEED = 2020
 BENCH_CAMPAIGN = CampaignConfig(
@@ -90,3 +96,33 @@ class ResultCache:
 @pytest.fixture(scope="session")
 def results(framework):
     return ResultCache(framework)
+
+
+# --------------------------------------------------------------------------- #
+# Observability: per-bench wall-clock + registry snapshot, persisted next to
+# the paper tables so perf regressions show up in benchmarks/results/ diffs.
+# --------------------------------------------------------------------------- #
+
+_OBS_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture(autouse=True)
+def _obs_bench_record(request):
+    """Record each bench's wall-clock and the registry state it left."""
+    obs.set_enabled(True)
+    t0 = time.perf_counter()
+    yield
+    _OBS_RECORDS[request.node.name] = {
+        "wall_clock_s": round(time.perf_counter() - t0, 3),
+        "registry": obs.get_registry().snapshot(),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _OBS_RECORDS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "obs_metrics.json"
+    path.write_text(
+        json.dumps(_OBS_RECORDS, indent=2, sort_keys=True) + "\n"
+    )

@@ -29,6 +29,7 @@ __all__ = [
     "ml",
     "mobility",
     "net",
+    "obs",
     "radio",
     "sim",
     "ue",

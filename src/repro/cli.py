@@ -3,18 +3,26 @@
 Examples::
 
     python -m repro generate --area Airport --passes 10 --out airport.csv
-    python -m repro evaluate --area Airport --features T+M --model gdbt
+    python -m repro evaluate --area Airport --features T+M --model gdbt \
+        --verbose --metrics-out metrics.json
     python -m repro map --area Airport --cell-size 2
     python -m repro areas
+
+``--verbose`` turns on observability (structured logs, metrics, span
+tracing; see docs/observability.md) and prints the span tree plus a
+metrics snapshot after the command; ``--metrics-out FILE`` dumps the
+snapshot and trace as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
+from repro import __version__, obs
 from repro.core.maps import coverage_map, throughput_map
 from repro.core.pipeline import ALL_MODELS, Lumos5G, ModelConfig
 from repro.datasets.generate import generate_datasets
@@ -28,6 +36,10 @@ def _add_common_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--passes", type=int, default=10,
                         help="walking passes per trajectory")
     parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="enable telemetry; print span tree + metrics")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write a JSON metrics/trace snapshot to FILE")
 
 
 def _dataset(args):
@@ -50,7 +62,8 @@ def cmd_generate(args) -> int:
     if args.public_schema:
         table = to_public_csv_table(table)
     table.to_csv(args.out)
-    print(f"wrote {len(table)} rows to {args.out}")
+    print(f"wrote {len(table)} rows to {args.out} "
+          f"(area={args.area} seed={args.seed} passes={args.passes})")
     return 0
 
 
@@ -100,7 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Lumos5G reproduction: simulate campaigns, train and "
                     "evaluate 5G throughput predictors, build maps.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command")
 
     p_areas = sub.add_parser("areas", help="list the measurement areas")
     p_areas.set_defaults(func=cmd_areas)
@@ -128,8 +143,49 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        parser.print_help(sys.stderr)
+        return 2
+
+    verbose = getattr(args, "verbose", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    if verbose or metrics_out:
+        obs.set_enabled(True)
+    if verbose:
+        obs.configure_logging("info")
+    if not obs.enabled():
+        return args.func(args)
+
+    # Fresh trace/metrics per invocation (matters when main() is called
+    # repeatedly in one process, e.g. from the tests).
+    obs.get_tracer().reset()
+    obs.get_registry().reset()
+    with obs.span(args.command):
+        code = args.func(args)
+    tracer = obs.get_tracer()
+    registry_snapshot = obs.get_registry().snapshot()
+    if verbose:
+        print()
+        print(tracer.render())
+        print(obs.format_snapshot(registry_snapshot))
+    if metrics_out:
+        payload = {
+            "command": args.command,
+            "argv": list(argv) if argv is not None else sys.argv[1:],
+            "metrics": registry_snapshot,
+            "trace": tracer.to_dict(),
+        }
+        try:
+            with open(metrics_out, "w") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+                f.write("\n")
+        except OSError as exc:
+            print(f"cannot write metrics snapshot: {exc}", file=sys.stderr)
+            return code or 1
+        print(f"metrics snapshot written to {metrics_out}")
+    return code
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.datasets.frame import Table
 from repro.ml.preprocessing import cyclic_encode
 from repro.radio.signal import UNAVAILABLE
@@ -148,13 +149,16 @@ class FeatureExtractor:
             "T": self._tower,
             "C": self._connection,
         }
-        names: list[str] = []
-        cols: list[np.ndarray] = []
-        for group in parse_combination(spec):
-            n, c = builders[group](table)
-            names.extend(n)
-            cols.extend(c)
-        X = np.column_stack(cols) if cols else np.empty((len(table), 0))
+        with obs.span("features.extract", spec=spec, rows=len(table)):
+            names: list[str] = []
+            cols: list[np.ndarray] = []
+            for group in parse_combination(spec):
+                n, c = builders[group](table)
+                names.extend(n)
+                cols.extend(c)
+            X = np.column_stack(cols) if cols else np.empty((len(table), 0))
+        obs.inc("features.extractions_total")
+        obs.inc("features.rows_total", len(table))
         return FeatureMatrix(spec=spec, names=tuple(names), X=X)
 
     def target(self, table: Table) -> np.ndarray:

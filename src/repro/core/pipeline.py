@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.features import (
     COMBINATIONS,
     FeatureExtractor,
@@ -250,18 +251,27 @@ class Lumos5G:
         self, area: str, spec: str, model: str
     ) -> RegressionResult:
         """Train + evaluate one (area, feature group, model) cell of Table 8."""
-        if model == "seq2seq":
-            y_true, y_pred, n_tr, n_te = self._run_seq2seq(area, spec)
-        elif model == "hm":
-            y_true, y_pred, n_tr, n_te = self._run_harmonic(area)
-        else:
-            X, y, _, _ = self.design(area, spec)
-            X_tr, X_te, y_tr, y_te = train_test_split(
-                X, y, test_size=0.3, rng=self.seed
-            )
-            reg = self._make_regressor(model, spec).fit(X_tr, y_tr)
-            y_true, y_pred = y_te, reg.predict(X_te)
-            n_tr, n_te = len(X_tr), len(X_te)
+        with obs.span("pipeline.evaluate_regression",
+                      area=area, spec=spec, model=model):
+            if model == "seq2seq":
+                y_true, y_pred, n_tr, n_te = self._run_seq2seq(area, spec)
+            elif model == "hm":
+                y_true, y_pred, n_tr, n_te = self._run_harmonic(area)
+            else:
+                X, y, _, _ = self.design(area, spec)
+                X_tr, X_te, y_tr, y_te = train_test_split(
+                    X, y, test_size=0.3, rng=self.seed
+                )
+                with obs.span("model.fit", model=model, n_train=len(X_tr)):
+                    reg = self._make_regressor(model, spec).fit(X_tr, y_tr)
+                with obs.span("model.predict", model=model,
+                              n_test=len(X_te)):
+                    y_pred = reg.predict(X_te)
+                y_true = y_te
+                n_tr, n_te = len(X_tr), len(X_te)
+        obs.inc("pipeline.evaluations_total")
+        obs.set_gauge("pipeline.n_train", n_tr)
+        obs.set_gauge("pipeline.n_test", n_te)
         return RegressionResult(
             area=area, feature_group=spec, model=model,
             mae=mae(y_true, y_pred), rmse=rmse(y_true, y_pred),
@@ -277,20 +287,29 @@ class Lumos5G:
         predicted throughput is post-processed into classes, exactly as
         the paper does for its Seq2Seq models.
         """
-        if model in ("seq2seq", "ok", "hm"):
-            reg = self.evaluate_regression(area, spec, model)
-            labels_true = self.classes.classify(reg.y_true)
-            labels_pred = self.classes.classify(reg.y_pred)
-            n_tr, n_te = reg.n_train, reg.n_test
-        else:
-            X, y, _, _ = self.design(area, spec)
-            labels = self.classes.classify(y)
-            X_tr, X_te, l_tr, l_te = train_test_split(
-                X, labels, test_size=0.3, rng=self.seed
-            )
-            clf = self._make_classifier(model).fit(X_tr, l_tr)
-            labels_true, labels_pred = l_te, clf.predict(X_te)
-            n_tr, n_te = len(X_tr), len(X_te)
+        with obs.span("pipeline.evaluate_classification",
+                      area=area, spec=spec, model=model):
+            if model in ("seq2seq", "ok", "hm"):
+                reg = self.evaluate_regression(area, spec, model)
+                labels_true = self.classes.classify(reg.y_true)
+                labels_pred = self.classes.classify(reg.y_pred)
+                n_tr, n_te = reg.n_train, reg.n_test
+            else:
+                X, y, _, _ = self.design(area, spec)
+                labels = self.classes.classify(y)
+                X_tr, X_te, l_tr, l_te = train_test_split(
+                    X, labels, test_size=0.3, rng=self.seed
+                )
+                with obs.span("model.fit", model=model, n_train=len(X_tr)):
+                    clf = self._make_classifier(model).fit(X_tr, l_tr)
+                with obs.span("model.predict", model=model,
+                              n_test=len(X_te)):
+                    labels_pred = clf.predict(X_te)
+                labels_true = l_te
+                n_tr, n_te = len(X_tr), len(X_te)
+        obs.inc("pipeline.evaluations_total")
+        obs.set_gauge("pipeline.n_train", n_tr)
+        obs.set_gauge("pipeline.n_test", n_te)
         return ClassificationResult(
             area=area, feature_group=spec, model=model,
             weighted_f1=weighted_f1(labels_true, labels_pred,
@@ -337,8 +356,12 @@ class Lumos5G:
             learning_rate=cfg.seq2seq_lr,
             random_state=self.seed,
         )
-        model.fit(windows.X[train_mask], windows.y[train_mask])
-        pred = np.atleast_2d(model.predict(windows.X[test_mask]).T).T
+        with obs.span("model.fit", model="seq2seq",
+                      n_train=int(train_mask.sum())):
+            model.fit(windows.X[train_mask], windows.y[train_mask])
+        with obs.span("model.predict", model="seq2seq",
+                      n_test=int(test_mask.sum())):
+            pred = np.atleast_2d(model.predict(windows.X[test_mask]).T).T
         true = windows.y[test_mask]
         return (true[:, 0], np.clip(pred[:, 0], 0.0, None),
                 int(train_mask.sum()), int(test_mask.sum()))
@@ -409,13 +432,15 @@ class Lumos5G:
         :class:`~repro.core.mapstore.ThroughputMapBundle`.
         """
         X, y, _, _ = self.design(area, spec)
-        return self._make_regressor(model, spec).fit(X, y)
+        with obs.span("model.fit", model=model, n_train=len(X)):
+            return self._make_regressor(model, spec).fit(X, y)
 
     def fit_classifier(self, area: str, spec: str, model: str = "gdbt"):
         """Train a deployable throughput-class classifier on all data."""
         X, y, _, _ = self.design(area, spec)
         labels = self.classes.classify(y)
-        return self._make_classifier(model).fit(X, labels)
+        with obs.span("model.fit", model=model, n_train=len(X)):
+            return self._make_classifier(model).fit(X, labels)
 
     def feature_importance(
         self, area: str, spec: str

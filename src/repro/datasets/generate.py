@@ -13,6 +13,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.datasets.cleaning import CleaningConfig, CleaningReport, clean
 from repro.datasets.frame import Table
 
@@ -44,7 +45,9 @@ def generate_datasets(
     key = (tuple(areas), passes_per_trajectory, seed, include_global,
            cleaning, campaign is None)
     if use_cache and campaign is None and key in _CACHE:
+        obs.inc("datasets.cache_hits_total")
         return _CACHE[key]
+    obs.inc("datasets.cache_misses_total")
 
     if campaign is None:
         campaign = CampaignConfig(
@@ -52,23 +55,32 @@ def generate_datasets(
             driving_passes=passes_per_trajectory,
             seed=seed,
         )
-    raw = run_campaign(list(areas), campaign)
+    log = obs.get_logger("datasets")
     out: dict[str, Table] = {}
     reports: dict[str, CleaningReport] = {}
-    offset = 0
-    pooled = []
-    for area, table in raw.items():
-        cleaned, report = clean(table, cleaning)
-        reports[area] = report
-        out[area] = cleaned
-        if include_global:
-            shifted = cleaned.with_column(
-                "run_id", np.asarray(cleaned["run_id"], dtype=int) + offset
-            )
-            pooled.append(shifted)
-            offset += int(np.asarray(table["run_id"], dtype=int).max()) + 1
-    if include_global and pooled:
-        out["Global"] = Table.concat(pooled)
+    with obs.span("datasets.generate", areas="+".join(areas), seed=seed):
+        raw = run_campaign(list(areas), campaign)
+        offset = 0
+        pooled = []
+        with obs.span("datasets.clean"):
+            for area, table in raw.items():
+                cleaned, report = clean(table, cleaning)
+                reports[area] = report
+                out[area] = cleaned
+                obs.inc("datasets.rows_generated_total", len(cleaned))
+                log.info("generated", area=area, rows=len(cleaned),
+                         raw_rows=len(table), seed=seed)
+                if include_global:
+                    shifted = cleaned.with_column(
+                        "run_id",
+                        np.asarray(cleaned["run_id"], dtype=int) + offset,
+                    )
+                    pooled.append(shifted)
+                    offset += int(
+                        np.asarray(table["run_id"], dtype=int).max()
+                    ) + 1
+        if include_global and pooled:
+            out["Global"] = Table.concat(pooled)
     out_reports = reports  # kept for callers that want them via attribute
     generate_datasets.last_reports = out_reports  # type: ignore[attr-defined]
     if use_cache and key[-1]:

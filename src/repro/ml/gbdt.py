@@ -18,8 +18,11 @@ Defaults are scaled to laptop-size data (hundreds of trees rather than
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs
 from repro.ml.preprocessing import LabelEncoder, one_hot
 from repro.ml.tree import FeatureBinner, HistogramTree, TreeParams
 
@@ -57,6 +60,9 @@ class _GBDTBase:
         self._binner: FeatureBinner | None = None
         self._trees: list[HistogramTree] = []
         self.n_features_: int | None = None
+        #: Filled by ``fit``: wall clock, rounds completed, final train
+        #: loss.  Serialized with the model (see repro.ml.serialize).
+        self.fit_telemetry_: dict | None = None
 
     def _tree_params(self) -> TreeParams:
         return TreeParams(
@@ -101,7 +107,10 @@ class GBDTRegressor(_GBDTBase):
         current = np.full(len(y), self.base_score_)
         ones = np.ones((len(y), 1))
         params = self._tree_params()
+        obs_on = obs.enabled()
+        t_start = time.perf_counter()
         for _ in range(self.n_estimators):
+            round_t0 = time.perf_counter() if obs_on else 0.0
             residual = (y - current)[:, None]
             if self.subsample < 1.0:
                 rows = rng.random(len(y)) < self.subsample
@@ -113,6 +122,17 @@ class GBDTRegressor(_GBDTBase):
             tree = HistogramTree(params).fit(sub_binned, sub_g, sub_h, rng=rng)
             self._trees.append(tree)
             current += self.learning_rate * tree.predict_binned(binned)[:, 0]
+            if obs_on:
+                obs.inc("gbdt.rounds_total")
+                obs.observe("gbdt.round_s", time.perf_counter() - round_t0)
+                obs.set_gauge("gbdt.train_loss",
+                              float(np.mean((y - current) ** 2)))
+        self.fit_telemetry_ = {
+            "model": "gbdt_regressor",
+            "fit_wall_s": time.perf_counter() - t_start,
+            "rounds_completed": len(self._trees),
+            "final_train_loss": float(np.mean((y - current) ** 2)),
+        }
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -168,6 +188,7 @@ class GBDTQuantileRegressor(_GBDTBase):
         self._trees = []
         self._leaf_values: list[dict[int, float]] = []
         alpha = self.quantile
+        t_start = time.perf_counter()
         for _ in range(self.n_estimators):
             residual = y - current
             pseudo = np.where(residual >= 0.0, alpha, alpha - 1.0)[:, None]
@@ -184,6 +205,16 @@ class GBDTQuantileRegressor(_GBDTBase):
             current += self.learning_rate * np.asarray(
                 [leaf_map[int(l)] for l in leaves]
             )
+        residual = y - current
+        self.fit_telemetry_ = {
+            "model": "gbdt_quantile_regressor",
+            "fit_wall_s": time.perf_counter() - t_start,
+            "rounds_completed": len(self._trees),
+            "final_train_loss": float(np.mean(
+                np.where(residual >= 0.0, alpha * residual,
+                         (alpha - 1.0) * residual)
+            )),
+        }
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -224,7 +255,16 @@ class GBDTClassifier(_GBDTBase):
         logits = np.tile(self.base_logits_, (len(X), 1))
         self._trees = []
         params = self._tree_params()
+        obs_on = obs.enabled()
+        t_start = time.perf_counter()
+
+        def _logloss() -> float:
+            p_now = softmax(logits)
+            picked = np.clip(p_now[np.arange(len(codes)), codes], 1e-12, 1.0)
+            return float(-np.mean(np.log(picked)))
+
         for _ in range(self.n_estimators):
+            round_t0 = time.perf_counter() if obs_on else 0.0
             p = softmax(logits)
             grad = Y - p
             hess = np.clip(p * (1.0 - p), 1e-6, None)
@@ -237,6 +277,16 @@ class GBDTClassifier(_GBDTBase):
                 tree = HistogramTree(params).fit(binned, grad, hess, rng=rng)
             self._trees.append(tree)
             logits += self.learning_rate * tree.predict_binned(binned)
+            if obs_on:
+                obs.inc("gbdt.rounds_total")
+                obs.observe("gbdt.round_s", time.perf_counter() - round_t0)
+                obs.set_gauge("gbdt.train_loss", _logloss())
+        self.fit_telemetry_ = {
+            "model": "gbdt_classifier",
+            "fit_wall_s": time.perf_counter() - t_start,
+            "rounds_completed": len(self._trees),
+            "final_train_loss": _logloss(),
+        }
         return self
 
     def _logits(self, X) -> np.ndarray:

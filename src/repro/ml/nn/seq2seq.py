@@ -15,8 +15,11 @@ internally.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs
 from repro.ml.nn.gru import GRULayer
 from repro.ml.nn.lstm import DenseLayer, LSTMLayer
 from repro.ml.nn.optim import Adam, clip_gradients
@@ -123,6 +126,9 @@ class Seq2SeqRegressor:
         self.verbose = verbose
         self._net: Seq2SeqNetwork | None = None
         self.loss_history_: list[float] = []
+        #: Filled by ``fit``: wall clock, epochs completed, final train
+        #: loss (mirrors the GBDT models' telemetry block).
+        self.fit_telemetry_: dict | None = None
 
     def _standardize_fit(self, X: np.ndarray, Y: np.ndarray) -> None:
         self._x_mean = X.mean(axis=(0, 1))
@@ -164,7 +170,11 @@ class Seq2SeqRegressor:
         epochs = max(self.epochs,
                      -(-self.min_updates // batches_per_epoch))
         self.loss_history_ = []
+        log = obs.get_logger("ml.seq2seq")
+        obs_on = obs.enabled()
+        t_start = time.perf_counter()
         for epoch in range(epochs):
+            epoch_t0 = time.perf_counter()
             perm = rng.permutation(n)
             epoch_loss, n_batches = 0.0, 0
             for start in range(0, n, self.batch_size):
@@ -180,9 +190,21 @@ class Seq2SeqRegressor:
                 epoch_loss += loss
                 n_batches += 1
             self.loss_history_.append(epoch_loss / max(n_batches, 1))
+            if obs_on:
+                obs.inc("seq2seq.epochs_total")
+                obs.observe("seq2seq.epoch_s",
+                            time.perf_counter() - epoch_t0)
+                obs.set_gauge("seq2seq.train_loss", self.loss_history_[-1])
             if self.verbose:
-                print(f"epoch {epoch + 1}/{epochs} "
-                      f"mse={self.loss_history_[-1]:.4f}")
+                log.warning("epoch", epoch=epoch + 1, of=epochs,
+                            mse=self.loss_history_[-1])
+        self.fit_telemetry_ = {
+            "model": "seq2seq_regressor",
+            "fit_wall_s": time.perf_counter() - t_start,
+            "epochs_completed": len(self.loss_history_),
+            "final_train_loss": (self.loss_history_[-1]
+                                 if self.loss_history_ else float("nan")),
+        }
         return self
 
     def predict(self, X) -> np.ndarray:

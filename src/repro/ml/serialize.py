@@ -93,6 +93,12 @@ def gbdt_to_dict(model: GBDTRegressor | GBDTClassifier) -> dict:
         out["base_logits"] = model.base_logits_.tolist()
     else:
         out["base_score"] = model.base_score_
+    telemetry = getattr(model, "fit_telemetry_", None)
+    if telemetry is not None:
+        # Training telemetry (fit wall clock, rounds completed, final
+        # train loss) travels with the model so deployed bundles stay
+        # attributable to their training run.
+        out["telemetry"] = dict(telemetry)
     return out
 
 
@@ -114,6 +120,8 @@ def gbdt_from_dict(data: dict) -> GBDTRegressor | GBDTClassifier:
         model.base_logits_ = np.asarray(data["base_logits"], dtype=float)
     else:
         model.base_score_ = float(data["base_score"])
+    if "telemetry" in data:
+        model.fit_telemetry_ = dict(data["telemetry"])
     return model
 
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass
 class PanelScheduler:
@@ -50,6 +52,10 @@ class PanelScheduler:
         """
         if not self._demands:
             return {}
+        if obs.enabled():
+            obs.inc("net.scheduler.allocations_total")
+            if len(self._demands) > 1:
+                obs.inc("net.scheduler.contended_epochs_total")
         total_weight = sum(self._weights.values())
         return {
             ue: rate * (self._weights[ue] / total_weight)

@@ -1,0 +1,93 @@
+"""``repro.obs`` -- structured telemetry for the sim -> ML pipeline.
+
+Three zero-dependency facilities (docs/observability.md has the full
+guide and the metric-key naming conventions):
+
+* a **metrics registry** of thread-safe counters, gauges and
+  fixed-bucket histograms (:mod:`repro.obs.metrics`);
+* a **span tracer** recording nested wall-clock timings into a tree
+  with JSON and flame-style text export (:mod:`repro.obs.trace`);
+* a **structured logger** emitting ``key=value`` lines through stdlib
+  ``logging`` (:mod:`repro.obs.log`).
+
+Everything is gated on one process-wide switch (:func:`enabled` /
+:func:`set_enabled`, seeded from ``REPRO_OBS``): instrumented hot paths
+pay a flag check when observability is off.  The module-level helpers
+:func:`inc`, :func:`set_gauge`, :func:`observe` and :func:`span` apply
+that gate; the underlying classes always record and can be used
+directly (e.g. with a private registry) regardless of the switch.
+
+Quickstart::
+
+    from repro import obs
+
+    obs.set_enabled(True)
+    with obs.span("gbdt.fit", n_rounds=120):
+        obs.inc("gbdt.rounds_total")
+        obs.observe("gbdt.round_s", 0.012)
+    print(obs.get_tracer().render())
+    print(obs.format_snapshot(obs.get_registry().snapshot()))
+"""
+
+from repro.obs.state import enabled, set_enabled
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_snapshot,
+    get_registry,
+)
+from repro.obs.trace import Span, Tracer, get_tracer, span
+from repro.obs.log import (
+    KeyValueFormatter,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "configure_logging",
+    "enabled",
+    "format_snapshot",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "inc",
+    "observe",
+    "set_enabled",
+    "set_gauge",
+    "snapshot",
+    "span",
+]
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment a counter in the default registry (no-op when disabled)."""
+    if enabled():
+        get_registry().counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge in the default registry (no-op when disabled)."""
+    if enabled():
+        get_registry().gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe into a histogram in the default registry (no-op when disabled)."""
+    if enabled():
+        get_registry().histogram(name).observe(value)
+
+
+def snapshot() -> dict:
+    """Shorthand for ``get_registry().snapshot()``."""
+    return get_registry().snapshot()

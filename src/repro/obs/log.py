@@ -1,0 +1,144 @@
+"""Structured key=value logging on top of stdlib ``logging``.
+
+``get_logger("sim")`` returns a :class:`StructuredLogger` whose methods
+take an event name plus keyword fields and emit one ``key=value`` line::
+
+    log = obs.get_logger("datasets")
+    log.info("generated", area="Airport", rows=1812)
+    # ts=2026-08-05T09:12:33 level=info logger=repro.datasets \
+    #   event=generated area=Airport rows=1812
+
+The ``repro`` logger hierarchy is configured lazily on first use with a
+stderr handler; the level comes from the ``REPRO_LOG`` environment
+variable (``debug``/``info``/``warning``/``error``, default ``warning``)
+and can be changed at runtime with :func:`configure_logging` (the CLI's
+``--verbose`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+
+__all__ = ["KeyValueFormatter", "StructuredLogger", "configure_logging",
+           "get_logger"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_ROOT_NAME = "repro"
+_lock = threading.Lock()
+_configured = False
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    text = str(value)
+    if text == "" or any(c in text for c in ' "=\n'):
+        return json.dumps(text)
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... event=... key=value ...`` lines."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"ts={self.formatTime(record)}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"event={_format_value(record.getMessage())}",
+        ]
+        fields = getattr(record, "kv", None)
+        if fields:
+            parts.extend(f"{k}={_format_value(v)}" for k, v in fields.items())
+        if record.exc_info:
+            parts.append(f"exc={_format_value(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+def configure_logging(level: str | int | None = None, stream=None) -> None:
+    """(Re)configure the ``repro`` logger hierarchy.
+
+    Idempotent: installs a single stderr handler with the key=value
+    formatter; later calls just adjust the level/stream.
+    """
+    global _configured
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.strip().lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+            ) from None
+    if level is None:
+        level = _LEVELS.get(
+            os.environ.get("REPRO_LOG", "").strip().lower(), logging.WARNING
+        )
+    with _lock:
+        root = logging.getLogger(_ROOT_NAME)
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_obs", False):
+                root.removeHandler(handler)
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(KeyValueFormatter())
+        handler._repro_obs = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+        root.setLevel(level)
+        root.propagate = False
+        _configured = True
+
+
+class StructuredLogger:
+    """Thin wrapper translating keyword fields into ``key=value`` output."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def is_enabled_for(self, level: str) -> bool:
+        return self._logger.isEnabledFor(_LEVELS[level])
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"kv": fields})
+
+    def debug(self, event: str, **fields) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger under the ``repro.`` hierarchy."""
+    if not _configured:
+        configure_logging()
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(name))

@@ -1,0 +1,280 @@
+"""Zero-dependency, thread-safe metrics: counters, gauges, histograms.
+
+The process-wide :class:`MetricsRegistry` (via :func:`get_registry`)
+holds every metric by name.  Naming conventions (docs/observability.md):
+keys are dot-separated ``<layer>.<subject>`` paths; counters end in
+``_total``, histograms end in a unit suffix (``_s``, ``_mbps``), gauges
+are plain nouns -- e.g. ``sim.handoff.vertical_total``,
+``span.model.fit_s``, ``gbdt.train_loss``.
+
+Histograms use fixed buckets: exact count/sum/min/max plus per-bucket
+counts, from which quantiles are estimated by linear interpolation
+inside the containing bucket.  The default edges are log-spaced (16 per
+decade from 1e-6 to 1e6, ~7% relative resolution) so one layout serves
+durations in seconds, throughputs in Mbps and small integer counts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_snapshot",
+    "get_registry",
+]
+
+#: (-inf, 0), [0, 1e-6), then 16 log-spaced buckets per decade up to 1e6.
+DEFAULT_EDGES = np.concatenate(([0.0], np.geomspace(1e-6, 1e6, 12 * 16 + 1)))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (may move in both directions)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = float("nan")
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            base = 0.0 if math.isnan(self._value) else self._value
+            self._value = base + amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimates.
+
+    ``edges`` is an ascending 1-D boundary array defining the buckets
+    ``(-inf, e0), [e0, e1), ..., [e_last, +inf)``.  NaN observations are
+    dropped.  Quantiles interpolate linearly within the containing
+    bucket and are clamped to the observed min/max, so accuracy is
+    bounded by the bucket width around the requested quantile.
+    """
+
+    __slots__ = ("name", "_lock", "_edges", "_counts",
+                 "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, edges=None):
+        self.name = name
+        e = np.array(DEFAULT_EDGES if edges is None else edges, dtype=float)
+        if e.ndim != 1 or len(e) < 2 or np.any(np.diff(e) <= 0):
+            raise ValueError("edges must be a strictly ascending 1-D array "
+                             "with at least two entries")
+        self._edges = e
+        self._counts = np.zeros(len(e) + 1, dtype=np.int64)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if math.isnan(v):
+            return
+        idx = int(np.searchsorted(self._edges, v, side="right"))
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += v
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+
+    def observe_many(self, values) -> None:
+        v = np.asarray(values, dtype=float).ravel()
+        v = v[~np.isnan(v)]
+        if len(v) == 0:
+            return
+        idx = np.searchsorted(self._edges, v, side="right")
+        bins = np.bincount(idx, minlength=len(self._counts))
+        with self._lock:
+            self._counts += bins
+            self._count += len(v)
+            self._sum += float(v.sum())
+            self._min = min(self._min, float(v.min()))
+            self._max = max(self._max, float(v.max()))
+
+    # -- read side --------------------------------------------------------- #
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile of everything observed so far."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return float("nan")
+            counts = self._counts.copy()
+            total, vmin, vmax = self._count, self._min, self._max
+        if q == 0.0:
+            return vmin
+        if q == 1.0:
+            return vmax
+        cum = np.cumsum(counts)
+        target = q * total
+        i = int(np.searchsorted(cum, target, side="left"))
+        in_bucket = counts[i]
+        before = cum[i - 1] if i > 0 else 0
+        lo = self._edges[i - 1] if i > 0 else vmin
+        hi = self._edges[i] if i < len(self._edges) else vmax
+        lo, hi = max(lo, vmin), min(hi, vmax)
+        if hi < lo:
+            hi = lo
+        frac = (target - before) / in_bucket if in_bucket else 0.0
+        return float(lo + min(max(frac, 0.0), 1.0) * (hi - lo))
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Process-wide get-or-create store of named metrics."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is already registered as a "
+                    f"{type(metric).__name__}, not a {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, edges=None) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, edges))
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every metric (mainly for tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-safe ``{"counters": .., "gauges": .., "histograms": ..}``."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name, metric in items:
+            if isinstance(metric, Counter):
+                v = metric.value
+                counters[name] = int(v) if float(v).is_integer() else v
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.snapshot()
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Human-readable rendering of :meth:`MetricsRegistry.snapshot`."""
+    lines: list[str] = ["metrics:"]
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(f"  counter    {name} = {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append(f"  gauge      {name} = {value:.6g}")
+    for name, h in snapshot.get("histograms", {}).items():
+        lines.append(
+            f"  histogram  {name}: count={h['count']} mean={h['mean']:.6g} "
+            f"p50={h['p50']:.6g} p90={h['p90']:.6g} max={h['max']:.6g}"
+        )
+    if len(lines) == 1:
+        lines.append("  (empty)")
+    return "\n".join(lines)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

@@ -1,0 +1,27 @@
+"""Process-wide observability switch.
+
+Instrumented call sites across the codebase are gated on :func:`enabled`
+so that a run with observability off pays only a flag check (the <2%
+overhead budget of the seed GBDT benchmark).  The switch starts from the
+``REPRO_OBS`` environment variable and is flipped programmatically by the
+CLI's ``--verbose`` / ``--metrics-out`` flags or by tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FALSY = ("", "0", "false", "off", "no")
+
+_enabled = os.environ.get("REPRO_OBS", "").strip().lower() not in _FALSY
+
+
+def enabled() -> bool:
+    """Whether instrumentation should record metrics and spans."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Turn instrumentation on or off process-wide."""
+    global _enabled
+    _enabled = bool(value)

@@ -1,0 +1,202 @@
+"""Nested wall-clock span tracing with JSON and flame-style text export.
+
+Usage::
+
+    from repro import obs
+
+    with obs.span("gbdt.fit", n_rounds=120):
+        ...                       # nested obs.span() calls become children
+
+Spans form a tree per thread (thread-local stacks; root spans from every
+thread land in the shared ``roots`` list).  A span that raises still
+closes: its duration is recorded, its status becomes ``"error"`` and the
+exception propagates.  Every closed span also feeds the histogram
+``span.<name>_s`` in the default metrics registry, so span timings show
+up in metric snapshots without extra code.
+
+The module-level :func:`span` is the instrumented-code entry point: it
+returns a shared no-op context when observability is disabled (see
+:mod:`repro.obs.state`), keeping hot paths nearly free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import metrics as _metrics
+from repro.obs import state as _state
+
+__all__ = ["Span", "Tracer", "get_tracer", "span"]
+
+
+class Span:
+    """One timed node of the trace tree."""
+
+    __slots__ = ("name", "attrs", "children", "duration_s", "status",
+                 "error", "_t0")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = name
+        self.attrs = dict(attrs or {})
+        self.children: list[Span] = []
+        self.duration_s: float | None = None
+        self.status = "ok"
+        self.error: str | None = None
+        self._t0 = 0.0
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one :class:`Span` on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        sp = Span(self._name, self._attrs)
+        stack = self._tracer._stack()
+        if stack:
+            stack[-1].children.append(sp)
+        else:
+            with self._tracer._lock:
+                self._tracer.roots.append(sp)
+        stack.append(sp)
+        sp._t0 = time.perf_counter()
+        self._span = sp
+        return sp
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        sp = self._span
+        sp.duration_s = time.perf_counter() - sp._t0
+        if exc_type is not None:
+            sp.status = "error"
+            sp.error = f"{exc_type.__name__}: {exc}"
+        stack = self._tracer._stack()
+        if sp in stack:
+            # Normally the top of the stack; tolerate skipped exits from
+            # nested spans abandoned by an exception.
+            del stack[stack.index(sp):]
+        registry = self._tracer.registry or _metrics.get_registry()
+        registry.histogram(f"span.{sp.name}_s").observe(sp.duration_s)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op context used when observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span trees; thread-safe via per-thread open-span stacks."""
+
+    def __init__(self, registry: _metrics.MetricsRegistry | None = None):
+        self.registry = registry
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        return _SpanHandle(self, name, attrs)
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots = []
+        self._local = threading.local()
+
+    # -- export ------------------------------------------------------------ #
+
+    def to_dict(self) -> list[dict]:
+        """JSON-safe list of completed root span trees."""
+        with self._lock:
+            roots = list(self.roots)
+        return [r.to_dict() for r in roots]
+
+    def render(self) -> str:
+        """Flame-style text summary (duration + % of the root span)."""
+        with self._lock:
+            roots = list(self.roots)
+        if not roots:
+            return "span tree: (no spans recorded)"
+        rows: list[tuple[str, float, float]] = []
+
+        def walk(sp: Span, depth: int, total: float) -> None:
+            label = "  " * depth + sp.name
+            if sp.attrs:
+                label += " [" + " ".join(
+                    f"{k}={_fmt_attr(v)}" for k, v in sp.attrs.items()
+                ) + "]"
+            if sp.status == "error":
+                label += " !error"
+            dur = sp.duration_s if sp.duration_s is not None else 0.0
+            rows.append((label, dur, 100.0 * dur / total if total else 0.0))
+            for child in sp.children:
+                walk(child, depth + 1, total)
+
+        for root in roots:
+            walk(root, 0, root.duration_s or 0.0)
+        width = max(len(label) for label, _, _ in rows)
+        lines = ["span tree:"]
+        for label, dur, pct in rows:
+            lines.append(f"  {label.ljust(width)}  {dur * 1e3:10.1f} ms "
+                         f"{pct:5.1f}%")
+        return "\n".join(lines)
+
+
+def _fmt_attr(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _TRACER
+
+
+def span(name: str, **attrs):
+    """Open a span on the default tracer (no-op when obs is disabled)."""
+    if not _state.enabled():
+        return _NULL_SPAN
+    return _TRACER.span(name, **attrs)

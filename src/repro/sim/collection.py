@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.env.areas import build_area
 from repro.env.environment import Environment
 from repro.mobility.models import (
@@ -83,6 +84,17 @@ def run_area_campaign(
 ) -> Table:
     """Collect the full campaign for one area and return the raw log."""
     config = config or CampaignConfig()
+    with obs.span("sim.campaign", area=env.name,
+                  passes=config.passes_per_trajectory):
+        table = _run_area_campaign(env, config)
+    obs.get_logger("sim").info(
+        "campaign", area=env.name, rows=len(table),
+        passes=config.passes_per_trajectory,
+    )
+    return table
+
+
+def _run_area_campaign(env: Environment, config: CampaignConfig) -> Table:
     rng = np.random.default_rng(
         config.seed + zlib.crc32(env.name.encode()) % 10_000
     )

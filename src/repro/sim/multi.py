@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.env.environment import Environment
 from repro.mobility.models import MobilityModel
 from repro.mobility.trajectory import Trajectory, TraversalState
@@ -93,6 +94,17 @@ class MultiUeSimulator:
         traces = {s.name: UeTrace(name=s.name) for s in self.specs}
         schedulers: dict[int, PanelScheduler] = {}
 
+        with obs.span("sim.multi.run", ues=len(self.specs),
+                      duration_s=duration_s):
+            self._run(duration_s, traces, schedulers)
+        return traces
+
+    def _run(
+        self,
+        duration_s: int,
+        traces: dict[str, UeTrace],
+        schedulers: dict[int, PanelScheduler],
+    ) -> None:
         for t in range(duration_s):
             solo: dict[str, tuple] = {}
             attached: dict[int, list[str]] = {}
@@ -125,10 +137,17 @@ class MultiUeSimulator:
                     ).append(spec.name)
 
             # PF airtime division on contended panels.
+            obs_on = obs.enabled()
+            if obs_on:
+                obs.set_gauge("sim.multi.active_ues",
+                              sum(len(u) for u in attached.values()))
             shared_rate: dict[str, float] = {}
             for panel_id, users in attached.items():
                 if len(users) == 1:
                     continue
+                if obs_on:
+                    obs.inc("sim.contention.events_total")
+                    obs.observe("sim.contention.ues_per_panel", len(users))
                 scheduler = schedulers.setdefault(
                     panel_id, PanelScheduler(panel_id=panel_id)
                 )
@@ -148,4 +167,3 @@ class MultiUeSimulator:
                 )
                 trace.position.append(position)
                 trace.speed_mps.append(speed)
-        return traces

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.env.environment import Environment
 from repro.geo.geometry import distance, mobility_angle, positional_angle
 from repro.mobility.models import MobilityModel, kmph
@@ -136,6 +137,7 @@ class LinkSimulator:
         self.tracker = HandoffTracker()
         self.tcp = BulkTransferModel()
         self.run_offset_db = 0.0
+        self._prev_serving_los: bool | None = None
         self.reset()
 
     def reset(self) -> None:
@@ -159,6 +161,7 @@ class LinkSimulator:
         self.attachment = AttachmentState()
         self.tracker = HandoffTracker()
         self.tcp = BulkTransferModel()
+        self._prev_serving_los = None
         self.run_offset_db = float(
             self.rng.normal(0.0, cfg.run_offset_sigma_db)
         )
@@ -233,14 +236,27 @@ class LinkSimulator:
         self.tracker.record(event)
         usable = consume_interruption(self.attachment, 1.0)
 
+        obs_on = obs.enabled()
+        if obs_on:
+            obs.inc("sim.steps_total")
+            if event.horizontal:
+                obs.inc("sim.handoff.horizontal_total")
+            if event.vertical:
+                obs.inc("sim.handoff.vertical_total")
+
         if airtime_share is None:
             airtime_share = cfg.cell_load.airtime_share(1, self.rng)
 
         if self.attachment.radio_type is RadioType.NR:
             panel = self.env.panels.get(self.attachment.serving_panel_id)
             rx_dbm = rsrp[panel.panel_id]
+            serving_los = los_by_panel[panel.panel_id]
+            if obs_on and self._prev_serving_los is not None \
+                    and serving_los != self._prev_serving_los:
+                obs.inc("sim.blockage.transitions_total")
+            self._prev_serving_los = serving_los
             fading = cfg.fading_averaging * fast_fading_db(
-                los_by_panel[panel.panel_id], self.rng
+                serving_los, self.rng
             )
             ped_db = cfg.pedestrian.sample_loss_db(self.rng)
             sinr = cfg.link_budget.sinr_db(
@@ -259,6 +275,10 @@ class LinkSimulator:
                 self.tracker.record(
                     type(event)(horizontal=False, vertical=True)
                 )
+                if obs_on:
+                    obs.inc("sim.handoff.vertical_total")
+                    obs.inc("sim.beam_loss_total")
+                self._prev_serving_los = None
                 tput = 0.0
                 return StepResult(
                     throughput_mbps=tput,
@@ -274,6 +294,8 @@ class LinkSimulator:
             # iPerf intervals cannot report more than the deployment's
             # practical ceiling (~2 Gbps on 2019 commercial mmWave).
             goodput = min(goodput, 2000e6)
+            if obs_on:
+                obs.observe("sim.step.throughput_mbps", goodput / 1e6)
             return StepResult(
                 throughput_mbps=goodput / 1e6,
                 radio_type=RadioType.NR,
@@ -285,10 +307,14 @@ class LinkSimulator:
             )
 
         # LTE fallback: throughput from the macro model, TCP still ramps.
+        self._prev_serving_los = None
         nearest = self.env.panels.nearest(ue_xy)
         d_macro = distance(nearest.position, ue_xy)
         lte_mbps = cfg.lte.throughput_mbps(d_macro, self.rng)
         goodput = self.tcp.step(lte_mbps * 1e6, usable_fraction=usable)
+        if obs_on:
+            obs.inc("sim.lte_fallback_steps_total")
+            obs.observe("sim.step.throughput_mbps", goodput / 1e6)
         return StepResult(
             throughput_mbps=goodput / 1e6,
             radio_type=RadioType.LTE,
@@ -415,4 +441,7 @@ def simulate_pass(
 
         if traversal.finished and duration_s is None:
             break
+    if obs.enabled():
+        obs.inc("sim.passes_total")
+        obs.inc("sim.telemetry_rows_total", len(records))
     return records

@@ -3,8 +3,21 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.datasets.generate import generate_datasets
 from repro.sim.collection import CampaignConfig
+
+
+@pytest.fixture(autouse=True)
+def _obs_flag_guard():
+    """Restore the global obs enabled flag after every test.
+
+    Several tests flip it (enabled-gate tests, CLI --verbose smoke); this
+    keeps one test's toggle from changing another's behaviour.
+    """
+    was_enabled = obs.enabled()
+    yield
+    obs.set_enabled(was_enabled)
 
 
 @pytest.fixture(scope="session")

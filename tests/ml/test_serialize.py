@@ -75,3 +75,20 @@ class TestValidation:
         data["format_version"] = 999
         with pytest.raises(ValueError):
             gbdt_from_dict(data)
+
+
+class TestTelemetryRoundtrip:
+    def test_fit_telemetry_preserved(self):
+        model, _, _ = fitted_regressor()
+        assert model.fit_telemetry_["model"] == "gbdt_regressor"
+        assert model.fit_telemetry_["rounds_completed"] == 20
+        clone = gbdt_from_json(gbdt_to_json(model))
+        assert clone.fit_telemetry_ == model.fit_telemetry_
+
+    def test_telemetry_key_optional(self):
+        model, X, _ = fitted_regressor()
+        data = gbdt_to_dict(model)
+        del data["telemetry"]  # payloads from older builds lack the key
+        clone = gbdt_from_dict(data)
+        assert clone.fit_telemetry_ is None
+        np.testing.assert_allclose(clone.predict(X), model.predict(X))

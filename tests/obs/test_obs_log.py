@@ -1,0 +1,81 @@
+"""Structured key=value logging."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture
+def captured():
+    """Route the repro logger hierarchy to an in-memory stream."""
+    stream = io.StringIO()
+    configure_logging("debug", stream=stream)
+    yield stream
+    configure_logging()  # restore env-driven defaults
+
+
+class TestFormatter:
+    def _record(self, msg, kv=None):
+        record = logging.LogRecord(
+            name="repro.test", level=logging.INFO, pathname=__file__,
+            lineno=1, msg=msg, args=(), exc_info=None,
+        )
+        if kv is not None:
+            record.kv = kv
+        return record
+
+    def test_basic_fields(self):
+        line = KeyValueFormatter().format(self._record("fit"))
+        assert "level=info" in line
+        assert "logger=repro.test" in line
+        assert "event=fit" in line
+        assert line.startswith("ts=")
+
+    def test_kv_fields_and_quoting(self):
+        line = KeyValueFormatter().format(self._record(
+            "fit done", {"area": "Air port", "mae": 12.345678,
+                         "rounds": 60, "ok": True},
+        ))
+        assert 'event="fit done"' in line
+        assert 'area="Air port"' in line
+        assert "mae=12.3457" in line
+        assert "rounds=60" in line
+        assert "ok=true" in line
+
+
+class TestLogger:
+    def test_info_emits_key_values(self, captured):
+        get_logger("sim").info("campaign", area="Airport", rows=100)
+        line = captured.getvalue()
+        assert "logger=repro.sim" in line
+        assert "event=campaign" in line
+        assert "area=Airport" in line
+        assert "rows=100" in line
+
+    def test_level_filtering(self, captured):
+        configure_logging("error", stream=captured)
+        get_logger("sim").info("quiet", x=1)
+        assert captured.getvalue() == ""
+        get_logger("sim").error("loud", x=1)
+        assert "event=loud" in captured.getvalue()
+
+    def test_name_prefixing(self):
+        assert get_logger("datasets").name == "repro.datasets"
+        assert get_logger("repro.datasets").name == "repro.datasets"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
+
+    def test_configure_is_idempotent_single_handler(self, captured):
+        configure_logging("debug", stream=captured)
+        configure_logging("debug", stream=captured)
+        get_logger("sim").info("once")
+        assert captured.getvalue().count("event=once") == 1

@@ -1,0 +1,154 @@
+"""Metrics registry: counters, gauges, histogram quantiles, thread safety."""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_snapshot,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_move(self):
+        g = Gauge("x")
+        assert np.isnan(g.value)
+        g.set(3.5)
+        g.inc(0.5)
+        g.dec(1.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("x_s")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 7.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == pytest.approx(7.0 / 3.0)
+
+    def test_nan_observations_dropped(self):
+        h = Histogram("x_s")
+        h.observe(float("nan"))
+        h.observe_many([1.0, float("nan"), 3.0])
+        assert h.count == 2
+
+    def test_empty_quantile_is_nan(self):
+        assert np.isnan(Histogram("x_s").quantile(0.5))
+
+    def test_quantiles_match_numpy_uniform_custom_edges(self, rng):
+        x = rng.uniform(0.0, 100.0, 20_000)
+        h = Histogram("u", edges=np.linspace(0.0, 100.0, 1001))
+        h.observe_many(x)
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            assert h.quantile(q) == pytest.approx(
+                float(np.quantile(x, q)), abs=0.5
+            )
+
+    def test_quantiles_match_numpy_default_edges(self, rng):
+        # Default log-spaced buckets: ~7% relative resolution.
+        x = rng.lognormal(3.0, 1.0, 20_000)
+        h = Histogram("ln")
+        h.observe_many(x)
+        for q in (0.1, 0.5, 0.9):
+            assert h.quantile(q) == pytest.approx(
+                float(np.quantile(x, q)), rel=0.1
+            )
+
+    def test_extreme_quantiles_clamp_to_observed(self, rng):
+        x = rng.normal(50.0, 5.0, 1000)
+        h = Histogram("n", edges=np.linspace(0, 100, 101))
+        h.observe_many(x)
+        assert h.quantile(0.0) == float(x.min())
+        assert h.quantile(1.0) == float(x.max())
+
+    def test_observe_many_equals_scalar_observes(self, rng):
+        x = rng.uniform(0, 10, 500)
+        h1, h2 = Histogram("a"), Histogram("b")
+        h1.observe_many(x)
+        for v in x:
+            h2.observe(v)
+        assert h1.count == h2.count
+        assert h1.quantile(0.5) == h2.quantile(0.5)
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", edges=[1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            Histogram("x", edges=[3.0])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.histogram("b_s") is reg.histogram("b_s")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_shape_and_json_safety(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h_s").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"]["c_total"] == 3
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h_s"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serializable
+        text = format_snapshot(snap)
+        assert "c_total" in text and "h_s" in text
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_default_registry_is_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_thread_safety_under_hammer(self):
+        reg = MetricsRegistry()
+        workers, per_worker = 8, 5_000
+
+        def hammer(_):
+            c = reg.counter("hammer_total")
+            h = reg.histogram("hammer_s")
+            g = reg.gauge("hammer")
+            for i in range(per_worker):
+                c.inc()
+                h.observe(i % 100)
+                g.set(i)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(hammer, range(workers)))
+        assert reg.counter("hammer_total").value == workers * per_worker
+        assert reg.histogram("hammer_s").count == workers * per_worker

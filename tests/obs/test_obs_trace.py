@@ -1,0 +1,165 @@
+"""Span tracer: nesting, exception safety, export, the enabled gate."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(registry=MetricsRegistry())
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "inner2"]
+        assert root.duration_s >= root.children[0].duration_s
+
+    def test_sequential_roots(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_attrs_recorded(self, tracer):
+        with tracer.span("fit", model="gdbt", n=12) as sp:
+            assert sp.attrs == {"model": "gdbt", "n": 12}
+
+    def test_current_tracks_stack(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            assert tracer.current().name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current().name == "inner"
+            assert tracer.current().name == "outer"
+        assert tracer.current() is None
+
+
+class TestExceptionSafety:
+    def test_raising_span_still_closes_and_records(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("bad"):
+                    raise ValueError("boom")
+        root = tracer.roots[0]
+        bad = root.children[0]
+        assert bad.status == "error"
+        assert "boom" in bad.error
+        assert bad.duration_s is not None
+        assert root.status == "error"  # the exception crossed it too
+        assert tracer.current() is None  # stack fully unwound
+
+    def test_next_span_after_exception_is_a_fresh_root(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError("x")
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["broken", "after"]
+        assert tracer.roots[1].children == []
+
+
+class TestExport:
+    def test_to_dict_is_json_safe(self, tracer):
+        with tracer.span("outer", area="Airport"):
+            with tracer.span("inner"):
+                pass
+        payload = json.dumps(tracer.to_dict())
+        data = json.loads(payload)
+        assert data[0]["name"] == "outer"
+        assert data[0]["attrs"] == {"area": "Airport"}
+        assert data[0]["children"][0]["name"] == "inner"
+        assert data[0]["children"][0]["duration_s"] >= 0
+
+    def test_render_flame_text(self, tracer):
+        with tracer.span("outer", model="gdbt"):
+            with tracer.span("inner"):
+                pass
+        text = tracer.render()
+        assert "outer" in text and "inner" in text
+        assert "100.0%" in text
+        assert "model=gdbt" in text
+        # Child is indented deeper than the root.
+        lines = text.splitlines()
+        outer = next(l for l in lines if "outer" in l)
+        inner = next(l for l in lines if "inner" in l)
+        assert len(inner) - len(inner.lstrip()) > \
+            len(outer) - len(outer.lstrip())
+
+    def test_empty_render(self, tracer):
+        assert "no spans" in tracer.render()
+
+    def test_span_duration_feeds_histogram(self, tracer):
+        with tracer.span("fit"):
+            pass
+        assert tracer.registry.histogram("span.fit_s").count == 1
+
+    def test_reset(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestThreading:
+    def test_threads_get_independent_stacks(self, tracer):
+        errors = []
+
+        def worker(name):
+            try:
+                with tracer.span(name):
+                    with tracer.span(f"{name}.child"):
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tracer.roots) == 4
+        assert all(len(r.children) == 1 for r in tracer.roots)
+
+
+class TestEnabledGate:
+    def test_module_level_span_noops_when_disabled(self):
+        obs.set_enabled(False)
+        before = len(obs.get_tracer().roots)
+        with obs.span("ignored"):
+            pass
+        assert len(obs.get_tracer().roots) == before
+
+    def test_helpers_noop_when_disabled(self):
+        obs.set_enabled(False)
+        reg = obs.get_registry()
+        name = "test.disabled_total"
+        obs.inc(name)
+        assert name not in reg.names()
+
+    def test_helpers_record_when_enabled(self):
+        obs.set_enabled(True)
+        reg = obs.get_registry()
+        obs.inc("test.enabled_total", 2)
+        obs.set_gauge("test.enabled", 7)
+        obs.observe("test.enabled_s", 0.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["test.enabled_total"] == 2
+        assert snap["gauges"]["test.enabled"] == 7
+        assert snap["histograms"]["test.enabled_s"]["count"] >= 1

@@ -1,0 +1,69 @@
+"""Wire tools/check_obs.py into the tier-1 suite.
+
+The lint enforces that library code under src/repro/ routes diagnostics
+through repro.obs (no bare print(), no time.time() stopwatches) so the
+telemetry contract can't silently erode.
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECK = REPO_ROOT / "tools" / "check_obs.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_obs  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes_lint(self):
+        violations = check_obs.check()
+        assert violations == []
+
+    def test_script_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECK)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "check_obs: OK" in proc.stdout
+
+
+class TestDetection:
+    def _violations(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return check_obs.file_violations(path)
+
+    def test_flags_bare_print(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def f():
+                print("debugging")
+        """)
+        assert len(found) == 1
+        assert "print" in found[0][1]
+
+    def test_flags_time_time(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import time
+            t0 = time.time()
+        """)
+        assert len(found) == 1
+        assert "time.time" in found[0][1]
+
+    def test_perf_counter_and_docstrings_allowed(self, tmp_path):
+        found = self._violations(tmp_path, '''\
+            """Example: print("hi") inside a docstring is fine."""
+            import time
+            t0 = time.perf_counter()
+        ''')
+        assert found == []
+
+    def test_allowlist_honoured(self, tmp_path):
+        (tmp_path / "viz").mkdir()
+        (tmp_path / "viz" / "plot.py").write_text("print('table')\n")
+        (tmp_path / "cli.py").write_text("print('result')\n")
+        (tmp_path / "core.py").write_text("x = 1\n")
+        assert check_obs.check(root=tmp_path) == []

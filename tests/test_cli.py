@@ -1,16 +1,26 @@
 """Tests for the command-line interface."""
 
 import csv
+import json
 
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
 class TestParser:
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_command_prints_help_and_exits_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage: repro" in err
+        assert "evaluate" in err
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
     def test_generate_args(self):
         args = build_parser().parse_args(
@@ -38,6 +48,8 @@ class TestCommands:
         code = main(["generate", "--area", "Airport", "--passes", "1",
                      "--out", str(out)])
         assert code == 0
+        summary = capsys.readouterr().out
+        assert "seed=2020" in summary  # reproducibility info in the output
         with open(out, newline="") as f:
             rows = list(csv.reader(f))
         assert "throughput_mbps" in rows[0]
@@ -63,6 +75,32 @@ class TestCommands:
         code = main(["evaluate", "--area", "Loop", "--passes", "1",
                      "--features", "T+M", "--model", "knn"])
         assert code == 2
+
+    def test_evaluate_verbose_metrics_out(self, tmp_path, capsys):
+        """--verbose prints the span tree; --metrics-out dumps valid JSON."""
+        out = tmp_path / "metrics.json"
+        code = main(["evaluate", "--area", "Airport", "--passes", "2",
+                     "--features", "L", "--model", "knn",
+                     "--verbose", "--metrics-out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        # Flame-style span tree covering the pipeline stages.
+        assert "evaluate" in stdout
+        assert "datasets.generate" in stdout
+        assert "features.extract" in stdout
+        assert "model.fit" in stdout
+        assert "100.0%" in stdout
+
+        with open(out) as f:
+            payload = json.load(f)
+        assert payload["command"] == "evaluate"
+        metrics = payload["metrics"]
+        assert len(metrics["counters"]) >= 1
+        assert len(metrics["gauges"]) >= 1
+        assert len(metrics["histograms"]) >= 1
+        assert metrics["counters"]["sim.steps_total"] > 0
+        assert payload["trace"][0]["name"] == "evaluate"
+        assert payload["trace"][0]["children"]
 
     def test_map_summary_and_csv(self, tmp_path, capsys):
         out = tmp_path / "map.csv"

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Lint: library code must use ``repro.obs``, not ad-hoc diagnostics.
+
+Fails (exit 1) if any module under ``src/repro/`` calls bare ``print()``
+or ``time.time()`` -- the hand-rolled stopwatch/diagnostic patterns the
+observability subsystem replaces.  ``time.perf_counter()`` is fine (it
+is what the obs API itself uses for spans and fit telemetry).
+
+Allowlisted: ``viz/`` (figure code legitimately prints/draws) and
+``cli.py`` (the user-facing surface prints its results by design).
+
+Run directly (``python tools/check_obs.py``) or via the tier-1 suite
+(``tests/test_check_obs.py`` wires it in).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Paths (relative to src/repro, posix) exempt from the diagnostics lint.
+ALLOWLIST = ("viz/", "cli.py")
+
+
+def _is_print_call(node: ast.Call) -> bool:
+    return isinstance(node.func, ast.Name) and node.func.id == "print"
+
+
+def _is_time_time_call(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    )
+
+
+def file_violations(path: pathlib.Path) -> list[tuple[int, str]]:
+    """(line, message) pairs for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_print_call(node):
+            out.append((node.lineno,
+                        "bare print(); use repro.obs.get_logger() instead"))
+        elif _is_time_time_call(node):
+            out.append((node.lineno,
+                        "time.time(); use repro.obs spans/histograms "
+                        "(or time.perf_counter) instead"))
+    return out
+
+
+def check(root: pathlib.Path = SRC_ROOT) -> list[str]:
+    """All violations under ``root`` as ``path:line: message`` strings."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel == entry or rel.startswith(entry) for entry in ALLOWLIST):
+            continue
+        for lineno, message in file_violations(path):
+            violations.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                              f"{message}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_obs: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_obs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
