@@ -1,0 +1,83 @@
+"""repro.par speedup: run_campaign serial vs a 4-worker process pool.
+
+Times the full tri-area measurement campaign both ways, proves the
+outputs are bit-identical (the determinism contract), and records the
+wall-clock numbers as obs gauges so they land in
+``benchmarks/results/obs_metrics.json``:
+
+* ``par.campaign.serial_s`` / ``par.campaign.workers4_s`` -- wall clock
+* ``par.campaign.speedup``  -- serial / workers4 ratio
+* ``par.cpu_count``         -- cores visible to this run
+
+The >=2x speedup assertion only fires on machines with >= 4 cores; on
+smaller boxes the pool cannot beat serial and the honest ratio (often
+< 1 with fork/IPC overhead on 1 core) is still recorded for the record.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.sim.collection import run_campaign
+
+from _bench_utils import emit, format_table
+from conftest import BENCH_CAMPAIGN
+
+AREAS = ["Airport", "Intersection", "Loop"]
+
+
+def _tables_identical(a, b) -> bool:
+    if set(a) != set(b):
+        return False
+    for area in a:
+        ta, tb = a[area], b[area]
+        if ta.column_names != tb.column_names or len(ta) != len(tb):
+            return False
+        for name in ta.column_names:
+            ca, cb = ta[name], tb[name]
+            equal_nan = ca.dtype.kind == "f" and cb.dtype.kind == "f"
+            if not np.array_equal(ca, cb, equal_nan=equal_nan):
+                return False
+    return True
+
+
+def _timed_campaign(workers):
+    t0 = time.perf_counter()
+    tables = run_campaign(AREAS, BENCH_CAMPAIGN, workers=workers)
+    return tables, time.perf_counter() - t0
+
+
+def test_par_campaign_speedup(benchmark, capsys):
+    serial_tables, serial_s = benchmark.pedantic(
+        lambda: _timed_campaign(workers=1), rounds=1, iterations=1,
+    )
+    par_tables, par_s = _timed_campaign(workers=4)
+
+    assert _tables_identical(serial_tables, par_tables), \
+        "workers=4 produced different data than serial"
+
+    cpu_count = os.cpu_count() or 1
+    speedup = serial_s / par_s if par_s > 0 else float("inf")
+    obs.set_gauge("par.campaign.serial_s", round(serial_s, 3))
+    obs.set_gauge("par.campaign.workers4_s", round(par_s, 3))
+    obs.set_gauge("par.campaign.speedup", round(speedup, 3))
+    obs.set_gauge("par.cpu_count", float(cpu_count))
+
+    rows = [
+        ["serial (workers=1)", f"{serial_s:.2f}", "1.00"],
+        ["pool (workers=4)", f"{par_s:.2f}", f"{speedup:.2f}"],
+    ]
+    table = format_table(["configuration", "wall clock s", "speedup"], rows)
+    note = (f"\ncpu_count={cpu_count}; outputs bit-identical across "
+            f"{sum(len(t) for t in serial_tables.values())} rows x 3 areas")
+    emit("par_speedup", table + note, capsys)
+
+    total_rows = sum(len(t) for t in serial_tables.values())
+    assert total_rows > 0
+    if cpu_count >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at workers=4 on {cpu_count} cores, "
+            f"got {speedup:.2f}x"
+        )

@@ -36,6 +36,11 @@ def _add_common_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--passes", type=int, default=10,
                         help="walking passes per trajectory")
     parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="process-pool size for the simulation "
+                             "(default: $REPRO_WORKERS, else serial; "
+                             "N<=1 runs serially; results are identical "
+                             "at any worker count)")
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="enable telemetry; print span tree + metrics")
     parser.add_argument("--metrics-out", metavar="FILE",
@@ -46,6 +51,7 @@ def _dataset(args):
     data = generate_datasets(
         areas=(args.area,), passes_per_trajectory=args.passes,
         seed=args.seed, include_global=False, use_cache=False,
+        workers=args.workers,
     )
     return data
 

@@ -1,13 +1,28 @@
 """End-to-end dataset generation: campaign -> cleaning -> ML-ready tables.
 
 ``generate_datasets`` is the one call most consumers need: it simulates
-the measurement campaign for the requested areas, runs the Sec.-3.1
-cleaning pipeline, and returns cleaned per-area tables plus the pooled
-"Global" table used in Sec. 6.  A module-level memo cache keeps repeated
-test/benchmark calls cheap within one process.
+the measurement campaign for the requested areas (fanning areas out over
+a process pool when ``workers`` > 1), runs the Sec.-3.1 cleaning
+pipeline, and returns cleaned per-area tables plus the pooled "Global"
+table used in Sec. 6.
+
+Caching is two-tier and content-addressed:
+
+* a module-level memo keeps repeated test/benchmark calls cheap within
+  one process (default-config calls only, as before);
+* an optional on-disk ``.npz`` cache (``cache_dir`` argument or the
+  ``REPRO_CACHE_DIR`` env var) persists every generated dataset keyed by
+  a fingerprint of the full request -- areas, seeds, campaign and
+  cleaning configs, the telemetry schema and ``DATASET_CACHE_VERSION``
+  -- so a stale entry can never load silently: any config or schema
+  change simply hashes to a different key.
+
+``clear_cache()`` drops both tiers.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -16,13 +31,75 @@ from typing import TYPE_CHECKING
 from repro import obs
 from repro.datasets.cleaning import CleaningConfig, CleaningReport, clean
 from repro.datasets.frame import Table
+from repro.par import NpzCache, fingerprint, pmap
+from repro.ue.telemetry import TelemetryRecord
 
 if TYPE_CHECKING:  # avoid a circular import with repro.sim at runtime
     from repro.sim.collection import CampaignConfig
 
 DEFAULT_AREAS = ("Airport", "Intersection", "Loop")
 
+#: Bump whenever the meaning of cached bytes changes (schema migrations,
+#: cleaning semantics, npz layout); old entries then never match a key.
+DATASET_CACHE_VERSION = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
 _CACHE: dict[tuple, dict[str, Table]] = {}
+
+
+def _disk_cache(cache_dir: str | os.PathLike | None) -> NpzCache | None:
+    root = cache_dir or os.environ.get(CACHE_DIR_ENV, "").strip()
+    return NpzCache(root) if root else None
+
+
+def _cache_key(
+    areas: tuple[str, ...],
+    include_global: bool,
+    cleaning: CleaningConfig | None,
+    campaign: "CampaignConfig",
+) -> str:
+    """Content hash of everything that determines the output tables."""
+    return fingerprint({
+        "version": DATASET_CACHE_VERSION,
+        "schema": TelemetryRecord.field_names(),
+        "areas": list(areas),
+        "include_global": include_global,
+        "cleaning": cleaning if cleaning is not None else CleaningConfig(),
+        "campaign": campaign,
+    })
+
+
+def _tables_to_arrays(tables: dict[str, Table]) -> dict[str, dict]:
+    return {
+        name: {c: t[c] for c in t.column_names}
+        for name, t in tables.items()
+    }
+
+
+def _tables_from_arrays(arrays: dict[str, dict]) -> dict[str, Table]:
+    return {name: Table(columns) for name, columns in arrays.items()}
+
+
+def _generate_area_task(
+    campaign: "CampaignConfig",
+    cleaning: CleaningConfig | None,
+    workers: int | None,
+    area: str,
+) -> tuple[str, Table, CleaningReport, int, int]:
+    """Pure per-area task: simulate + clean one area (pmap-friendly).
+
+    ``workers`` lets a single-area request still fan out per pass; when
+    this task itself runs inside a pool worker, the nested ``pmap`` is
+    forced serial, so the knob never stacks pools.
+    """
+    from repro.env.areas import build_area
+    from repro.sim.collection import run_area_campaign
+
+    raw = run_area_campaign(build_area(area), campaign, workers=workers)
+    cleaned, report = clean(raw, cleaning)
+    next_run_offset = int(np.asarray(raw["run_id"], dtype=int).max()) + 1
+    return area, cleaned, report, len(raw), next_run_offset
 
 
 def generate_datasets(
@@ -33,21 +110,23 @@ def generate_datasets(
     cleaning: CleaningConfig | None = None,
     campaign: "CampaignConfig | None" = None,
     use_cache: bool = True,
+    workers: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
 ) -> dict[str, Table]:
     """Simulate, clean and return ``{area: table}`` (+ ``"Global"``).
 
     The Global table pools every area, mirroring the paper's combined
     dataset; rows keep their ``area`` column so per-area slices remain
     possible.  Run ids are offset per area so they stay globally unique.
-    """
-    from repro.sim.collection import CampaignConfig, run_campaign
 
-    key = (tuple(areas), passes_per_trajectory, seed, include_global,
-           cleaning, campaign is None)
-    if use_cache and campaign is None and key in _CACHE:
-        obs.inc("datasets.cache_hits_total")
-        return _CACHE[key]
-    obs.inc("datasets.cache_misses_total")
+    ``workers`` parallelizes across areas (each area's campaign then
+    runs serially inside its worker; seeding keeps the result identical
+    at any worker count).  When a disk cache is configured
+    (``cache_dir`` or ``REPRO_CACHE_DIR``) and ``use_cache`` is true,
+    generated datasets round-trip through content-addressed ``.npz``
+    files that survive across processes.
+    """
+    from repro.sim.collection import CampaignConfig
 
     if campaign is None:
         campaign = CampaignConfig(
@@ -55,36 +134,61 @@ def generate_datasets(
             driving_passes=passes_per_trajectory,
             seed=seed,
         )
+        memo_key: tuple | None = (tuple(areas), passes_per_trajectory, seed,
+                                  include_global, cleaning, True)
+    else:
+        memo_key = None  # custom campaigns are disk-cacheable, not memoized
+
+    disk = _disk_cache(cache_dir) if use_cache else None
+    if use_cache and memo_key is not None and memo_key in _CACHE:
+        obs.inc("datasets.cache_hits_total")
+        return _CACHE[memo_key]
+    if disk is not None:
+        key = _cache_key(tuple(areas), include_global, cleaning, campaign)
+        cached = disk.load(key)
+        if cached is not None:
+            obs.inc("datasets.disk_cache_hits_total")
+            out = _tables_from_arrays(cached)
+            if memo_key is not None:
+                _CACHE[memo_key] = out
+            return out
+        obs.inc("datasets.disk_cache_misses_total")
+    obs.inc("datasets.cache_misses_total")
+
     log = obs.get_logger("datasets")
     out: dict[str, Table] = {}
     reports: dict[str, CleaningReport] = {}
     with obs.span("datasets.generate", areas="+".join(areas), seed=seed):
-        raw = run_campaign(list(areas), campaign)
+        from functools import partial
+
+        area_results = pmap(
+            partial(_generate_area_task, campaign, cleaning, workers),
+            list(areas),
+            workers=workers,
+            label="datasets.generate",
+        )
         offset = 0
         pooled = []
-        with obs.span("datasets.clean"):
-            for area, table in raw.items():
-                cleaned, report = clean(table, cleaning)
-                reports[area] = report
-                out[area] = cleaned
-                obs.inc("datasets.rows_generated_total", len(cleaned))
-                log.info("generated", area=area, rows=len(cleaned),
-                         raw_rows=len(table), seed=seed)
-                if include_global:
-                    shifted = cleaned.with_column(
-                        "run_id",
-                        np.asarray(cleaned["run_id"], dtype=int) + offset,
-                    )
-                    pooled.append(shifted)
-                    offset += int(
-                        np.asarray(table["run_id"], dtype=int).max()
-                    ) + 1
+        for area, cleaned, report, raw_rows, next_offset in area_results:
+            reports[area] = report
+            out[area] = cleaned
+            obs.inc("datasets.rows_generated_total", len(cleaned))
+            log.info("generated", area=area, rows=len(cleaned),
+                     raw_rows=raw_rows, seed=seed)
+            if include_global:
+                shifted = cleaned.with_column(
+                    "run_id",
+                    np.asarray(cleaned["run_id"], dtype=int) + offset,
+                )
+                pooled.append(shifted)
+                offset += next_offset
         if include_global and pooled:
             out["Global"] = Table.concat(pooled)
-    out_reports = reports  # kept for callers that want them via attribute
-    generate_datasets.last_reports = out_reports  # type: ignore[attr-defined]
-    if use_cache and key[-1]:
-        _CACHE[key] = out
+    generate_datasets.last_reports = reports  # type: ignore[attr-defined]
+    if use_cache and memo_key is not None:
+        _CACHE[memo_key] = out
+    if disk is not None:
+        disk.save(key, _tables_to_arrays(out))
     return out
 
 
@@ -105,6 +209,15 @@ def dataset_statistics(tables: dict[str, Table]) -> dict[str, dict]:
     return stats
 
 
-def clear_cache() -> None:
-    """Drop memoized datasets (mainly for tests)."""
+def clear_cache(cache_dir: str | os.PathLike | None = None) -> None:
+    """Drop memoized datasets *and* the active on-disk cache entries.
+
+    The disk tier resolves exactly like :func:`generate_datasets`
+    (``cache_dir`` argument, else ``REPRO_CACHE_DIR``); pass the same
+    directory you generated with to invalidate it.
+    """
     _CACHE.clear()
+    disk = _disk_cache(cache_dir)
+    if disk is not None:
+        removed = disk.clear()
+        obs.inc("datasets.disk_cache_cleared_total", removed)

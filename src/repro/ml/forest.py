@@ -8,10 +8,30 @@ on one-hot targets (probability forests), matching scikit-learn's
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.ml.preprocessing import LabelEncoder, one_hot
 from repro.ml.tree import FeatureBinner, HistogramTree, TreeParams
+from repro.par import pmap, spawn_seeds
+
+
+def _fit_one_tree(
+    binned: np.ndarray,
+    targets: np.ndarray,
+    hess: np.ndarray,
+    params: TreeParams,
+    bootstrap: bool,
+    seed: np.random.SeedSequence,
+) -> HistogramTree:
+    """Pure per-tree task: bootstrap + grow from the tree's own seed."""
+    rng = np.random.default_rng(seed)
+    n = len(binned)
+    idx = rng.integers(0, n, size=n) if bootstrap else np.arange(n)
+    return HistogramTree(params).fit(
+        binned[idx], targets[idx], hess[idx], rng=rng
+    )
 
 
 class _ForestBase:
@@ -24,6 +44,7 @@ class _ForestBase:
         bootstrap: bool = True,
         max_bins: int = 256,
         random_state: int | None = 0,
+        workers: int | None = None,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -34,6 +55,10 @@ class _ForestBase:
         self.bootstrap = bootstrap
         self.max_bins = max_bins
         self.random_state = random_state
+        #: Process-pool size for tree fitting (None = REPRO_WORKERS).
+        #: Predictions are invariant to this: tree i always grows from
+        #: the i-th child of ``random_state``'s seed sequence.
+        self.workers = workers
         self._binner: FeatureBinner | None = None
         self._trees: list[HistogramTree] = []
         self.n_features_: int | None = None
@@ -47,21 +72,18 @@ class _ForestBase:
         )
 
     def _fit_trees(self, X: np.ndarray, targets: np.ndarray) -> None:
-        rng = np.random.default_rng(self.random_state)
         self.n_features_ = X.shape[1]
         self._binner = FeatureBinner(self.max_bins)
         binned = self._binner.fit_transform(X)
         hess = np.ones_like(targets)
-        self._trees = []
-        n = len(X)
-        params = self._params()
-        for _ in range(self.n_estimators):
-            idx = (rng.integers(0, n, size=n) if self.bootstrap
-                   else np.arange(n))
-            tree = HistogramTree(params).fit(
-                binned[idx], targets[idx], hess[idx], rng=rng
-            )
-            self._trees.append(tree)
+        seeds = spawn_seeds(self.random_state, self.n_estimators)
+        self._trees = pmap(
+            partial(_fit_one_tree, binned, targets, hess,
+                    self._params(), self.bootstrap),
+            seeds,
+            workers=self.workers,
+            label="forest.fit",
+        )
 
     def _mean_prediction(self, X) -> np.ndarray:
         if self._binner is None:

@@ -11,8 +11,11 @@ from __future__ import annotations
 import itertools
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
+
+from repro.par import pmap
 
 
 def kfold_indices(
@@ -99,21 +102,37 @@ class GridSearch:
     def fit_cv(
         self, X, y, n_splits: int = 3,
         rng: np.random.Generator | int | None = 0,
+        workers: int | None = None,
     ) -> "GridSearch":
-        """Score every combination by k-fold cross-validation."""
+        """Score every combination by k-fold cross-validation.
+
+        ``workers`` fans the ``len(grid) x n_splits`` fit/score cells out
+        over a process pool (factories/score functions that don't pickle
+        -- e.g. lambdas -- fall back to serial).  Folds are drawn once up
+        front and each cell is a pure function of (params, fold), so the
+        scores, ``best_params_`` and tie-breaking (first grid entry on
+        equal score) are identical parallel or serial.
+        """
         X = np.asarray(X)
         y = np.asarray(y)
         folds = kfold_indices(len(X), n_splits, rng)
+        grid = parameter_grid(self.param_grid)
+        cells = [(pi, fi) for pi in range(len(grid))
+                 for fi in range(len(folds))]
+        scores = pmap(
+            partial(_fit_score_cell, self.estimator_factory, self.score_fn,
+                    X, y, grid, folds),
+            cells,
+            workers=workers,
+            label="gridsearch.cv",
+        )
+        per_param = np.asarray(scores, dtype=float).reshape(
+            len(grid), len(folds)
+        )
         self.results_ = []
-        for params in parameter_grid(self.param_grid):
-            scores = []
-            for train_idx, val_idx in folds:
-                model = self.estimator_factory(params)
-                model.fit(X[train_idx], y[train_idx])
-                scores.append(
-                    float(self.score_fn(y[val_idx], model.predict(X[val_idx])))
-                )
-            score = float(np.mean(scores))
+        self.best_score_ = self.best_params_ = self.best_estimator_ = None
+        for params, fold_scores in zip(grid, per_param):
+            score = float(fold_scores.mean())
             self.results_.append(GridSearchResult(params, score))
             if self.best_score_ is None or self._better(score, self.best_score_):
                 self.best_score_ = score
@@ -122,3 +141,20 @@ class GridSearch:
             self.best_estimator_ = self.estimator_factory(self.best_params_)
             self.best_estimator_.fit(X, y)
         return self
+
+
+def _fit_score_cell(
+    factory: Callable[[dict], object],
+    score_fn: Callable,
+    X: np.ndarray,
+    y: np.ndarray,
+    grid: list[dict],
+    folds: list[tuple[np.ndarray, np.ndarray]],
+    cell: tuple[int, int],
+) -> float:
+    """Pure (param index, fold index) -> validation score task."""
+    pi, fi = cell
+    train_idx, val_idx = folds[fi]
+    model = factory(grid[pi])
+    model.fit(X[train_idx], y[train_idx])
+    return float(score_fn(y[val_idx], model.predict(X[val_idx])))

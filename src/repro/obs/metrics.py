@@ -54,6 +54,10 @@ class Counter:
     def value(self) -> float:
         return self._value
 
+    def merge_state(self, value: float) -> None:
+        """Fold another process's count into this counter."""
+        self.inc(float(value))
+
 
 class Gauge:
     """Last-written value (may move in both directions)."""
@@ -197,6 +201,39 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    def state(self) -> dict:
+        """Lossless raw state (unlike :meth:`snapshot`), for merging."""
+        with self._lock:
+            return {
+                "edges": self._edges.tolist(),
+                "counts": self._counts.tolist(),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Both histograms must share bucket edges (always true for the
+        default layout); merged quantiles are exactly what a single
+        histogram observing both streams would report.
+        """
+        edges = np.asarray(state["edges"], dtype=float)
+        if len(edges) != len(self._edges) or \
+                not np.array_equal(edges, self._edges):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket edges differ"
+            )
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        with self._lock:
+            self._counts += counts
+            self._count += int(state["count"])
+            self._sum += float(state["sum"])
+            self._min = min(self._min, float(state["min"]))
+            self._max = max(self._max, float(state["max"]))
+
 
 class MetricsRegistry:
     """Process-wide get-or-create store of named metrics."""
@@ -253,6 +290,39 @@ class MetricsRegistry:
                 histograms[name] = metric.snapshot()
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
+
+    def dump(self) -> dict:
+        """Lossless, picklable state for cross-process merging.
+
+        Same three-section shape as :meth:`snapshot`, but histograms
+        carry raw bucket counts so :meth:`merge` loses nothing.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name, metric in items:
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.state()
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` (e.g. from a worker process) into this
+        registry: counters add, histograms combine bucket-wise, gauges
+        take the incoming value (last merge wins, NaN skipped)."""
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).merge_state(value)
+        for name, value in dump.get("gauges", {}).items():
+            if not math.isnan(float(value)):
+                self.gauge(name).set(value)
+        for name, state in dump.get("histograms", {}).items():
+            self.histogram(name, edges=state["edges"]).merge_state(state)
 
 
 def format_snapshot(snapshot: dict) -> str:

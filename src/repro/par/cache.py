@@ -1,0 +1,150 @@
+"""Content-addressed on-disk caching: config fingerprint -> ``.npz`` file.
+
+Two pieces, both dependency-light so any layer can use them:
+
+* :func:`fingerprint` -- a stable SHA-256 digest of an arbitrary config
+  object (dataclasses recursed field by field, numpy arrays by value,
+  dicts key-sorted).  Two configs share a digest iff their canonical
+  forms match, so *any* field change -- and any cache-version or schema
+  change folded into the payload -- produces a new cache entry rather
+  than silently loading stale data.
+* :class:`NpzCache` -- a directory of ``<digest>.npz`` files, each
+  holding a ``{table_name: {column: array}}`` mapping plus a JSON
+  manifest that preserves table/column order.  Writes go through a
+  temp file + ``os.replace`` so readers never observe a half-written
+  entry; unreadable entries load as misses, never as errors.
+
+``repro.datasets.generate`` builds its dataset cache on these; the
+module itself knows nothing about Tables or campaigns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+from collections.abc import Mapping
+
+import numpy as np
+
+__all__ = ["NpzCache", "fingerprint"]
+
+#: npz entry separating table name from column name ("tbl::col").
+_SEP = "::"
+_MANIFEST = "__manifest__"
+
+
+# --------------------------------------------------------------------------- #
+# Config fingerprinting
+# --------------------------------------------------------------------------- #
+
+
+def _canonical(obj):
+    """A JSON-serializable canonical form; raises on nothing."""
+    if isinstance(obj, np.generic):
+        obj = obj.item()
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)  # full precision, -0.0/inf/nan all distinct texts
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__qualname__, "value": obj.value}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__qualname__, **body}
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        seq = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) \
+            else list(obj)
+        return [_canonical(x) for x in seq]
+    # Arbitrary objects (model instances, callables): their repr is the
+    # best stable identity available without importing their modules.
+    return {"__repr__": f"{type(obj).__qualname__}:{obj!r}"}
+
+
+def fingerprint(obj) -> str:
+    """Hex SHA-256 of the canonical form of ``obj``."""
+    payload = json.dumps(_canonical(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# npz-backed cache directory
+# --------------------------------------------------------------------------- #
+
+
+class NpzCache:
+    """``{digest: {table: {column: array}}}`` persisted as npz files."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+
+    def path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.npz"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def save(self, key: str, tables: Mapping[str, Mapping[str, np.ndarray]]
+             ) -> pathlib.Path:
+        """Atomically persist one entry; returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        manifest: dict[str, list[str]] = {}
+        for tname, columns in tables.items():
+            if _SEP in tname:
+                raise ValueError(f"table name {tname!r} contains {_SEP!r}")
+            manifest[tname] = list(columns)
+            for cname, col in columns.items():
+                if _SEP in cname:
+                    raise ValueError(
+                        f"column name {cname!r} contains {_SEP!r}"
+                    )
+                arrays[f"{tname}{_SEP}{cname}"] = np.asarray(col)
+        arrays[_MANIFEST] = np.asarray(json.dumps(manifest))
+        target = self.path(key)
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            with open(tmp, "wb") as f:
+                np.savez(f, **arrays)
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return target
+
+    def load(self, key: str) -> dict[str, dict[str, np.ndarray]] | None:
+        """The stored entry, or None on miss/corruption (never raises)."""
+        p = self.path(key)
+        if not p.exists():
+            return None
+        try:
+            with np.load(p, allow_pickle=True) as z:
+                manifest = json.loads(str(z[_MANIFEST][()]))
+                out: dict[str, dict[str, np.ndarray]] = {}
+                for tname, cnames in manifest.items():
+                    out[tname] = {
+                        c: z[f"{tname}{_SEP}{c}"] for c in cnames
+                    }
+                return out
+        except Exception:
+            return None
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for p in self.root.glob("*.npz"):
+            p.unlink(missing_ok=True)
+            removed += 1
+        return removed

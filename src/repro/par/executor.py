@@ -1,0 +1,195 @@
+"""Process-pool ``pmap`` with ordered results and obs metric merge-back.
+
+``pmap(fn, items)`` maps a picklable, *pure* function over a task list on
+a ``multiprocessing`` pool and returns results in input order.  It is the
+only place in the repo allowed to own a process pool
+(``tools/check_par.py`` enforces that).
+
+Execution mode is an implementation detail, never a semantic one: task
+functions must derive their randomness from the task item itself (see
+:mod:`repro.par.seeding`), so serial and parallel runs are bit-identical.
+
+Serial fallback happens when the resolved worker count is <= 1 (including
+``REPRO_WORKERS=0``), when there is at most one task, when already inside
+a ``pmap`` worker (no nested pools), or when ``fn`` cannot be pickled
+(e.g. a lambda factory) -- the fallback is counted in
+``par.serial_fallback_total`` so it never hides silently.
+
+Worker-side telemetry: each worker starts from an empty metrics registry
+(and the parent's enabled flag); per-chunk registry deltas travel back
+with the results and are merged into the parent registry in chunk order,
+so counters and histograms survive the process boundary.  Span traces
+stay parent-side only.
+
+Env knobs: ``REPRO_WORKERS`` (default worker count when the caller
+passes ``None``; 0/1 = serial) and ``REPRO_MP_CONTEXT``
+(``fork``/``spawn``/``forkserver``; default prefers ``fork`` where the
+platform offers it, for start-up speed).  All task/worker functions here
+are module-level, so every context -- including ``spawn`` -- works.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+
+from repro import obs
+
+__all__ = [
+    "CONTEXT_ENV",
+    "WORKERS_ENV",
+    "default_context",
+    "in_worker",
+    "pmap",
+    "resolve_workers",
+]
+
+WORKERS_ENV = "REPRO_WORKERS"
+CONTEXT_ENV = "REPRO_MP_CONTEXT"
+_WORKER_FLAG_ENV = "REPRO_PAR_IN_WORKER"
+
+#: Chunks per worker; >1 smooths load imbalance between uneven tasks.
+_CHUNKS_PER_WORKER = 4
+
+
+def in_worker() -> bool:
+    """True inside a ``pmap`` worker process (nested pmap goes serial)."""
+    return os.environ.get(_WORKER_FLAG_ENV) == "1"
+
+
+def default_context() -> str:
+    """Start method: ``REPRO_MP_CONTEXT``, else fork if available."""
+    explicit = os.environ.get(CONTEXT_ENV, "").strip()
+    if explicit:
+        return explicit
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_WORKERS``, else 1.
+
+    Anything <= 1 (including ``REPRO_WORKERS=0``) means serial; inside a
+    worker process the answer is always 1 so pools never nest.
+    """
+    if in_worker():
+        return 1
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    return workers if workers > 1 else 1
+
+
+def _worker_init(obs_enabled: bool) -> None:
+    """Runs once per worker: mark the process and zero its registry.
+
+    Under ``fork`` the child inherits a *copy* of the parent registry;
+    resetting makes every returned delta count each event exactly once.
+    """
+    os.environ[_WORKER_FLAG_ENV] = "1"
+    obs.set_enabled(obs_enabled)
+    obs.get_registry().reset()
+
+
+class _ChunkRunner:
+    """Picklable wrapper running one chunk and capturing the obs delta."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, chunk: Sequence) -> tuple[list, dict]:
+        results = [self.fn(item) for item in chunk]
+        registry = obs.get_registry()
+        delta = registry.dump()
+        registry.reset()
+        return results, delta
+
+
+def _chunked(items: list, size: int) -> list[list]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _picklable(fn: Callable) -> bool:
+    try:
+        pickle.dumps(fn)
+        return True
+    except Exception:
+        return False
+
+
+def _run_serial(fn: Callable, items: list) -> list:
+    obs.inc("par.serial_fallback_total")
+    obs.inc("par.tasks_total", len(items))
+    return [fn(item) for item in items]
+
+
+def pmap(
+    fn: Callable,
+    items: Iterable,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    context: str | None = None,
+    label: str | None = None,
+) -> list:
+    """Map ``fn`` over ``items`` on a process pool; ordered results.
+
+    ``fn`` must be pure and picklable (module-level function or
+    ``functools.partial`` over one); its randomness must come from the
+    task item (a seed or :class:`~numpy.random.SeedSequence`), never
+    from shared state -- that is what makes results identical at any
+    ``workers`` value.
+
+    Parameters mirror the env knobs: ``workers=None`` defers to
+    ``REPRO_WORKERS`` (serial when unset), ``context=None`` defers to
+    ``REPRO_MP_CONTEXT``.  ``chunk_size`` only affects scheduling
+    granularity, never results.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        return []
+    w = min(resolve_workers(workers), n)
+    if w <= 1:
+        return _run_serial(fn, items)
+    if not _picklable(fn):
+        obs.inc("par.pickle_fallback_total")
+        return _run_serial(fn, items)
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(n / (w * _CHUNKS_PER_WORKER)))
+    chunks = _chunked(items, chunk_size)
+    ctx = multiprocessing.get_context(context or default_context())
+    name = label or getattr(fn, "__name__", type(fn).__name__)
+    with obs.span("par.pmap", label=name, workers=w, tasks=n,
+                  chunks=len(chunks)):
+        with ctx.Pool(
+            processes=w,
+            initializer=_worker_init,
+            initargs=(obs.enabled(),),
+        ) as pool:
+            chunk_out = pool.map(_ChunkRunner(fn), chunks, chunksize=1)
+
+    results: list = []
+    registry = obs.get_registry()
+    merge = obs.enabled()
+    for chunk_results, delta in chunk_out:
+        results.extend(chunk_results)
+        if merge:
+            registry.merge(delta)
+    obs.inc("par.tasks_total", n)
+    obs.inc("par.parallel_runs_total")
+    obs.set_gauge("par.last_workers", w)
+    return results

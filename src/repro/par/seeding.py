@@ -1,0 +1,68 @@
+"""Deterministic per-task seed derivation for parallel work.
+
+The reproducibility contract of :mod:`repro.par` rests on one rule:
+
+    **a task's random stream depends only on the root entropy and the
+    task's index -- never on worker count, chunking, or scheduling.**
+
+``spawn_seeds(root, n)`` derives ``n`` child :class:`numpy.random.SeedSequence`
+objects via ``SeedSequence.spawn`` (the collision-resistant construction
+NumPy recommends for parallel streams); child ``i`` always hashes the same
+way, so a campaign run serially, with 2 workers, or with 16 produces
+bit-identical draws per task.
+
+String entropy (area names, stage labels) is folded in through
+``zlib.crc32`` rather than ``hash()`` so seeds are stable across
+processes and interpreter runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["root_sequence", "rng_from", "spawn_seeds"]
+
+
+def _entropy_word(item) -> int:
+    """One non-negative 32/64-bit entropy word from an int or a string."""
+    if isinstance(item, str):
+        return zlib.crc32(item.encode())
+    return int(item) % (2**64)
+
+
+def root_sequence(*entropy) -> np.random.SeedSequence:
+    """A :class:`~numpy.random.SeedSequence` from mixed int/str entropy.
+
+    ``root_sequence(2020, "Airport")`` is stable across processes; pass it
+    (or any of its spawned children) to :func:`spawn_seeds`.
+    """
+    if not entropy:
+        raise ValueError("root_sequence needs at least one entropy item")
+    return np.random.SeedSequence([_entropy_word(e) for e in entropy])
+
+
+def spawn_seeds(
+    root: np.random.SeedSequence | int | str | None, n: int
+) -> list[np.random.SeedSequence]:
+    """``n`` child seeds keyed by task index (0..n-1).
+
+    ``root=None`` draws fresh OS entropy -- every call differs, but the
+    children of one call still follow the index-keyed contract, so a
+    single fit/campaign remains worker-count invariant.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if root is None:
+        ss = np.random.SeedSequence()
+    elif isinstance(root, np.random.SeedSequence):
+        ss = root
+    else:
+        ss = root_sequence(root)
+    return ss.spawn(n)
+
+
+def rng_from(seed: np.random.SeedSequence | int) -> np.random.Generator:
+    """A fresh :class:`~numpy.random.Generator` for one task."""
+    return np.random.default_rng(seed)

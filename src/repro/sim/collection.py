@@ -15,12 +15,13 @@ Two appendix experiments get dedicated drivers:
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro import obs
+from repro.par import pmap, root_sequence, spawn_seeds
 from repro.env.areas import build_area
 from repro.env.environment import Environment
 from repro.mobility.models import (
@@ -80,13 +81,21 @@ def _corner_arclengths(trajectory) -> tuple[float, ...]:
 
 
 def run_area_campaign(
-    env: Environment, config: CampaignConfig | None = None
+    env: Environment,
+    config: CampaignConfig | None = None,
+    workers: int | None = None,
 ) -> Table:
-    """Collect the full campaign for one area and return the raw log."""
+    """Collect the full campaign for one area and return the raw log.
+
+    ``workers`` fans the per-pass simulations out over a process pool
+    (``None`` defers to ``REPRO_WORKERS``; <=1 runs serially).  Every
+    pass draws from its own index-keyed seed, so the returned Table is
+    bit-identical at any worker count.
+    """
     config = config or CampaignConfig()
     with obs.span("sim.campaign", area=env.name,
                   passes=config.passes_per_trajectory):
-        table = _run_area_campaign(env, config)
+        table = _run_area_campaign(env, config, workers=workers)
     obs.get_logger("sim").info(
         "campaign", area=env.name, rows=len(table),
         passes=config.passes_per_trajectory,
@@ -94,13 +103,22 @@ def run_area_campaign(
     return table
 
 
-def _run_area_campaign(env: Environment, config: CampaignConfig) -> Table:
-    rng = np.random.default_rng(
-        config.seed + zlib.crc32(env.name.encode()) % 10_000
-    )
-    records: list[TelemetryRecord] = []
-    run_id = 0
+@dataclass(frozen=True)
+class _PassTask:
+    """One schedulable traversal of the campaign plan."""
 
+    kind: str  # "walk" | "drive" | "stationary"
+    trajectory: str
+    run_id: int
+    duration_s: int | None
+    traffic_lights: tuple[float, ...] = ()
+
+
+def _campaign_plan(env: Environment, config: CampaignConfig
+                   ) -> list[_PassTask]:
+    """The ordered pass list (run_id order, matching the paper's plan)."""
+    tasks: list[_PassTask] = []
+    run_id = 0
     for name in sorted(env.trajectories):
         trajectory = env.trajectories[name]
         # Closed loops never "arrive": size the pass to one full lap.
@@ -108,45 +126,83 @@ def _run_area_campaign(env: Environment, config: CampaignConfig) -> Table:
             int(trajectory.length_m / 1.25) if trajectory.closed else None
         )
         for _ in range(config.passes_per_trajectory):
-            records.extend(simulate_pass(
-                env, trajectory, WalkingModel(), run_id=run_id, rng=rng,
-                config=config.simulation, mobility_mode=MODE_WALKING,
-                duration_s=walk_duration,
-            ))
+            tasks.append(_PassTask("walk", name, run_id, walk_duration))
             run_id += 1
         if env.name == "Loop":
             # Traffic lights / rail crossings sit at the loop's corners.
             lights = _corner_arclengths(trajectory)
+            drive_duration = int(trajectory.length_m / 6.0)
             for _ in range(config.driving_passes):
-                drive_duration = int(trajectory.length_m / 6.0)
-                records.extend(simulate_pass(
-                    env, trajectory, DrivingModel(traffic_lights=lights),
-                    run_id=run_id, rng=rng,
-                    config=config.simulation, mobility_mode=MODE_DRIVING,
-                    duration_s=drive_duration,
-                ))
+                tasks.append(_PassTask("drive", name, run_id,
+                                       drive_duration, lights))
                 run_id += 1
-
     # A few stationary sessions at the start of each trajectory.
     for name in sorted(env.trajectories):
-        trajectory = env.trajectories[name]
         for _ in range(config.stationary_runs):
-            records.extend(simulate_pass(
-                env, trajectory, StationaryModel(), run_id=run_id, rng=rng,
-                config=config.simulation, mobility_mode=MODE_STATIONARY,
-                duration_s=config.stationary_duration_s,
-            ))
+            tasks.append(_PassTask("stationary", name, run_id,
+                                   config.stationary_duration_s))
             run_id += 1
+    return tasks
+
+
+def _simulate_pass_task(
+    env: Environment,
+    config: SimulationConfig,
+    item: tuple[_PassTask, np.random.SeedSequence],
+) -> list[TelemetryRecord]:
+    """Pure worker: one pass from its own seed (pmap task function)."""
+    task, seed = item
+    rng = np.random.default_rng(seed)
+    trajectory = env.trajectories[task.trajectory]
+    if task.kind == "walk":
+        mobility: MobilityModel = WalkingModel()
+        mode = MODE_WALKING
+    elif task.kind == "drive":
+        mobility = DrivingModel(traffic_lights=task.traffic_lights)
+        mode = MODE_DRIVING
+    else:
+        mobility = StationaryModel()
+        mode = MODE_STATIONARY
+    return simulate_pass(
+        env, trajectory, mobility, run_id=task.run_id, rng=rng,
+        config=config, mobility_mode=mode, duration_s=task.duration_s,
+    )
+
+
+def _run_area_campaign(
+    env: Environment, config: CampaignConfig, workers: int | None = None
+) -> Table:
+    tasks = _campaign_plan(env, config)
+    # One child seed per pass, keyed by (campaign seed, area, pass index):
+    # execution order and worker count cannot change any draw.
+    seeds = spawn_seeds(root_sequence(config.seed, env.name), len(tasks))
+    per_pass = pmap(
+        partial(_simulate_pass_task, env, config.simulation),
+        list(zip(tasks, seeds)),
+        workers=workers,
+        label="sim.campaign",
+    )
+    records: list[TelemetryRecord] = []
+    for recs in per_pass:
+        records.extend(recs)
     return _records_to_table(records)
 
 
 def run_campaign(
-    areas: list[str] | None = None, config: CampaignConfig | None = None
+    areas: list[str] | None = None,
+    config: CampaignConfig | None = None,
+    workers: int | None = None,
 ) -> dict[str, Table]:
-    """Run campaigns for several areas; returns ``{area_name: raw_table}``."""
+    """Run campaigns for several areas; returns ``{area_name: raw_table}``.
+
+    ``workers`` is forwarded to :func:`run_area_campaign` (per-pass
+    fan-out within each area); per-area seeding keeps the result
+    independent of how the passes were executed.
+    """
     areas = areas or ["Airport", "Intersection", "Loop"]
     return {
-        name: run_area_campaign(build_area(name), config) for name in areas
+        name: run_area_campaign(build_area(name), config, workers=workers)
+        for name in areas
     }
 
 

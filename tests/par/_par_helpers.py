@@ -1,0 +1,22 @@
+"""Shared assertions for the parallel-determinism test suite."""
+
+import numpy as np
+
+
+def assert_tables_equal(a, b, context: str = "") -> None:
+    """Bit-identical Table comparison (NaNs compare equal to NaNs)."""
+    assert a.column_names == b.column_names, context
+    assert len(a) == len(b), context
+    for name in a.column_names:
+        ca, cb = a[name], b[name]
+        if ca.dtype.kind == "f" and cb.dtype.kind == "f":
+            same = np.array_equal(ca, cb, equal_nan=True)
+        else:
+            same = np.array_equal(ca, cb)
+        assert same, f"{context}: column {name!r} differs"
+
+
+def assert_datasets_equal(a: dict, b: dict, context: str = "") -> None:
+    assert set(a) == set(b), context
+    for key in a:
+        assert_tables_equal(a[key], b[key], f"{context}[{key}]")

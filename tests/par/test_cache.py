@@ -1,0 +1,128 @@
+"""Disk cache: content addressing, invalidation, and the clear contract."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate as generate_mod
+from repro.datasets.generate import clear_cache, generate_datasets
+from repro.par.cache import NpzCache, fingerprint
+from repro.sim.collection import CampaignConfig
+
+from _par_helpers import assert_datasets_equal
+
+
+def _campaign(seed: int = 5, passes: int = 2) -> CampaignConfig:
+    return CampaignConfig(
+        passes_per_trajectory=passes, driving_passes=1, stationary_runs=1,
+        stationary_duration_s=15, seed=seed,
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint(_campaign()) == fingerprint(_campaign())
+
+    def test_any_field_change_changes_digest(self):
+        base = fingerprint(_campaign(seed=5))
+        assert fingerprint(_campaign(seed=6)) != base
+        assert fingerprint(_campaign(passes=3)) != base
+
+    def test_nested_dataclass_fields_matter(self):
+        a, b = _campaign(), _campaign()
+        b.simulation.fading_averaging += 0.01
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_primitives_and_arrays(self):
+        assert fingerprint({"a": 1, "b": [1.5, None]}) == \
+            fingerprint({"b": [1.5, None], "a": 1})
+        assert fingerprint(np.arange(3)) != fingerprint(np.arange(4))
+        assert fingerprint(1) != fingerprint("1")
+
+
+class TestNpzCache:
+    def test_round_trip_preserves_order_and_values(self, tmp_path):
+        cache = NpzCache(tmp_path)
+        tables = {
+            "A": {"z": np.arange(4.0), "a": np.asarray(["x", "y", "z", "w"],
+                                                       dtype=object)},
+            "B": {"n": np.asarray([1, 2, 3])},
+        }
+        cache.save("k1", tables)
+        back = cache.load("k1")
+        assert list(back) == ["A", "B"]
+        assert list(back["A"]) == ["z", "a"]  # insertion order kept
+        assert np.array_equal(back["A"]["z"], tables["A"]["z"])
+        assert back["A"]["a"].tolist() == ["x", "y", "z", "w"]
+
+    def test_miss_and_corruption_return_none(self, tmp_path):
+        cache = NpzCache(tmp_path)
+        assert cache.load("missing") is None
+        cache.path("bad").parent.mkdir(parents=True, exist_ok=True)
+        cache.path("bad").write_bytes(b"not an npz")
+        assert cache.load("bad") is None
+
+    def test_clear_counts_entries(self, tmp_path):
+        cache = NpzCache(tmp_path)
+        cache.save("k1", {"T": {"x": np.arange(2)}})
+        cache.save("k2", {"T": {"x": np.arange(2)}})
+        assert "k1" in cache and "k2" in cache
+        assert cache.clear() == 2
+        assert cache.load("k1") is None
+
+    def test_separator_collision_rejected(self, tmp_path):
+        cache = NpzCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.save("k", {"a::b": {"x": np.arange(1)}})
+        with pytest.raises(ValueError):
+            cache.save("k", {"t": {"a::b": np.arange(1)}})
+
+
+class TestDatasetDiskCache:
+    def test_second_call_loads_identical_tables(self, tmp_path):
+        cfg = _campaign()
+        first = generate_datasets(areas=("Airport",), campaign=cfg,
+                                  cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+        second = generate_datasets(areas=("Airport",), campaign=cfg,
+                                   cache_dir=tmp_path)
+        assert_datasets_equal(first, second, "generated vs disk-loaded")
+
+    def test_config_change_busts_cache(self, tmp_path):
+        """A config change must never load the old entry."""
+        base = generate_datasets(areas=("Airport",), campaign=_campaign(),
+                                 cache_dir=tmp_path)
+        changed = generate_datasets(areas=("Airport",),
+                                    campaign=_campaign(passes=3),
+                                    cache_dir=tmp_path)
+        # Two distinct entries on disk, and genuinely different data.
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+        assert len(changed["Airport"]) != len(base["Airport"])
+
+    def test_cache_version_bump_busts_cache(self, tmp_path, monkeypatch):
+        cfg = _campaign()
+        generate_datasets(areas=("Airport",), campaign=cfg,
+                          cache_dir=tmp_path)
+        monkeypatch.setattr(generate_mod, "DATASET_CACHE_VERSION", 999)
+        generate_datasets(areas=("Airport",), campaign=cfg,
+                          cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_clear_cache_invalidates_disk_too(self, tmp_path):
+        cfg = _campaign()
+        generate_datasets(areas=("Airport",), campaign=cfg,
+                          cache_dir=tmp_path)
+        assert list(tmp_path.glob("*.npz"))
+        clear_cache(cache_dir=tmp_path)
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_env_var_configures_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        generate_datasets(areas=("Airport",), campaign=_campaign())
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+        clear_cache()
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_use_cache_false_skips_disk(self, tmp_path):
+        generate_datasets(areas=("Airport",), campaign=_campaign(),
+                          cache_dir=tmp_path, use_cache=False)
+        assert not list(tmp_path.glob("*.npz"))

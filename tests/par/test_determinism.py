@@ -1,0 +1,87 @@
+"""Golden determinism: parallel execution must be invisible in the data.
+
+``run_campaign`` and ``generate_datasets`` must produce bit-identical
+Tables whether they run serially (workers unset / ``REPRO_WORKERS=0``),
+at ``workers=1``, or on a real pool at ``workers=4`` -- across seeds.
+This is the contract that makes ``repro.par`` trustworthy: a worker
+count is a performance knob, never a semantic one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generate import generate_datasets
+from repro.sim.collection import CampaignConfig, run_campaign
+
+from _par_helpers import assert_datasets_equal
+
+
+def _campaign(seed: int) -> CampaignConfig:
+    return CampaignConfig(
+        passes_per_trajectory=2, driving_passes=1, stationary_runs=1,
+        stationary_duration_s=15, seed=seed,
+    )
+
+
+class TestCampaignDeterminism:
+    @pytest.mark.parametrize("seed", [3, 2020])
+    def test_worker_count_invisible(self, seed, monkeypatch):
+        cfg = _campaign(seed)
+        # Serial fallback via the env knob (REPRO_WORKERS=0)...
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        serial = run_campaign(["Airport"], cfg)
+        monkeypatch.delenv("REPRO_WORKERS")
+        # ...explicit workers=1, and a real 4-process pool.
+        w1 = run_campaign(["Airport"], cfg, workers=1)
+        w4 = run_campaign(["Airport"], cfg, workers=4)
+        assert_datasets_equal(serial, w1, f"serial vs w1 (seed={seed})")
+        assert_datasets_equal(serial, w4, f"serial vs w4 (seed={seed})")
+
+    def test_seeds_actually_differ(self):
+        a = run_campaign(["Airport"], _campaign(3))["Airport"]
+        b = run_campaign(["Airport"], _campaign(2020))["Airport"]
+        ta = np.asarray(a["throughput_mbps"], dtype=float)
+        tb = np.asarray(b["throughput_mbps"], dtype=float)
+        assert len(ta) != len(tb) or not np.allclose(ta, tb)
+
+    def test_repeated_serial_runs_identical(self):
+        cfg = _campaign(11)
+        assert_datasets_equal(
+            run_campaign(["Airport"], cfg),
+            run_campaign(["Airport"], cfg),
+            "two serial runs",
+        )
+
+
+class TestGenerateDeterminism:
+    @pytest.mark.parametrize("seed", [3, 2020])
+    def test_worker_count_invisible(self, seed):
+        cfg = _campaign(seed)
+        kw = dict(areas=("Airport",), campaign=cfg, use_cache=False)
+        serial = generate_datasets(**kw)
+        w1 = generate_datasets(workers=1, **kw)
+        w4 = generate_datasets(workers=4, **kw)
+        assert_datasets_equal(serial, w1, f"serial vs w1 (seed={seed})")
+        assert_datasets_equal(serial, w4, f"serial vs w4 (seed={seed})")
+
+    def test_multi_area_pool_matches_serial(self):
+        cfg = _campaign(7)
+        kw = dict(areas=("Airport", "Loop"), campaign=cfg, use_cache=False)
+        assert_datasets_equal(
+            generate_datasets(**kw),
+            generate_datasets(workers=2, **kw),
+            "two-area serial vs pool",
+        )
+
+
+@pytest.mark.slow
+class TestSpawnContext:
+    """The seeding contract must hold under the spawn start method too."""
+
+    def test_spawn_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_CONTEXT", "spawn")
+        cfg = _campaign(5)
+        par = run_campaign(["Airport"], cfg, workers=2)
+        monkeypatch.delenv("REPRO_MP_CONTEXT")
+        serial = run_campaign(["Airport"], cfg)
+        assert_datasets_equal(serial, par, "serial vs spawn pool")

@@ -1,0 +1,193 @@
+"""Unit tests for ``repro.par``: pmap semantics, seeding, obs merging."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.par import (
+    default_context,
+    in_worker,
+    pmap,
+    resolve_workers,
+    rng_from,
+    root_sequence,
+    spawn_seeds,
+)
+from repro.par.executor import _WORKER_FLAG_ENV, _chunked
+
+
+# Module-level task functions (picklable under every start method).
+
+def _square(x):
+    return x * x
+
+
+def _draw(seed):
+    return float(np.random.default_rng(seed).uniform())
+
+
+def _observe(x):
+    obs.inc("par.testing_total")
+    obs.observe("par.testing_v_s", float(x))
+    obs.set_gauge("par.testing_last", float(x))
+    return x
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert resolve_workers() == 6
+        assert resolve_workers(2) == 2  # explicit arg wins
+
+    def test_env_zero_means_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert resolve_workers() == 1
+
+    def test_nonpositive_means_serial(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+        assert resolve_workers(1) == 1
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_worker_flag_forces_serial(self, monkeypatch):
+        monkeypatch.setenv(_WORKER_FLAG_ENV, "1")
+        assert in_worker()
+        assert resolve_workers(8) == 1
+
+
+class TestPmap:
+    def test_empty(self):
+        assert pmap(_square, [], workers=4) == []
+
+    def test_serial_matches_map(self):
+        assert pmap(_square, range(7), workers=1) == [x * x for x in range(7)]
+
+    def test_parallel_preserves_order(self):
+        out = pmap(_square, range(23), workers=3)
+        assert out == [x * x for x in range(23)]
+
+    def test_parallel_matches_serial_on_seeds(self):
+        seeds = spawn_seeds(root_sequence(42, "x"), 10)
+        assert pmap(_draw, seeds, workers=1) == pmap(_draw, seeds, workers=3)
+
+    def test_chunk_size_does_not_change_results(self):
+        seeds = spawn_seeds(7, 9)
+        a = pmap(_draw, seeds, workers=2, chunk_size=1)
+        b = pmap(_draw, seeds, workers=2, chunk_size=5)
+        assert a == b
+
+    def test_unpicklable_fn_falls_back_serial(self):
+        obs.set_enabled(True)
+        obs.get_registry().reset()
+        out = pmap(lambda x: x + 1, [1, 2, 3], workers=2)
+        assert out == [2, 3, 4]
+        snap = obs.get_registry().snapshot()
+        assert snap["counters"]["par.pickle_fallback_total"] == 1
+        assert snap["counters"]["par.serial_fallback_total"] == 1
+
+    def test_task_exceptions_propagate(self):
+        with pytest.raises(RuntimeError, match="failed"):
+            pmap(_boom, [1], workers=1)
+        with pytest.raises(RuntimeError, match="failed"):
+            pmap(_boom, [1, 2, 3, 4], workers=2)
+
+    def test_chunked_partitions_everything(self):
+        items = list(range(10))
+        chunks = _chunked(items, 3)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert [x for c in chunks for x in c] == items
+
+
+class TestObsMergeBack:
+    def test_worker_metrics_reach_parent_registry(self):
+        obs.set_enabled(True)
+        obs.get_registry().reset()
+        pmap(_observe, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0], workers=3)
+        snap = obs.get_registry().snapshot()
+        assert snap["counters"]["par.testing_total"] == 6
+        hist = snap["histograms"]["par.testing_v_s"]
+        assert hist["count"] == 6
+        assert hist["sum"] == pytest.approx(21.0)
+        assert hist["min"] == 1.0 and hist["max"] == 6.0
+        assert snap["gauges"]["par.testing_last"] in (1, 2, 3, 4, 5, 6)
+        assert snap["counters"]["par.tasks_total"] == 6
+
+    def test_disabled_obs_stays_silent(self):
+        obs.set_enabled(False)
+        obs.get_registry().reset()
+        pmap(_observe, [1.0, 2.0], workers=2)
+        snap = obs.get_registry().snapshot()
+        assert "par.testing_total" not in snap["counters"]
+
+
+class TestSeeding:
+    def test_spawn_is_deterministic(self):
+        a = spawn_seeds(root_sequence(2020, "Airport"), 5)
+        b = spawn_seeds(root_sequence(2020, "Airport"), 5)
+        for sa, sb in zip(a, b):
+            assert rng_from(sa).uniform() == rng_from(sb).uniform()
+
+    def test_children_differ_by_index(self):
+        seeds = spawn_seeds(0, 8)
+        draws = {rng_from(s).uniform() for s in seeds}
+        assert len(draws) == 8
+
+    def test_string_entropy_is_stable(self):
+        # crc32-based, so identical in every process/run (unlike hash()).
+        s = root_sequence(1, "Loop")
+        assert rng_from(s.spawn(1)[0]).integers(0, 1_000_000) == \
+            rng_from(root_sequence(1, "Loop").spawn(1)[0]).integers(0, 1_000_000)
+
+    def test_entropy_order_matters(self):
+        a = rng_from(root_sequence(1, "ab")).uniform()
+        b = rng_from(root_sequence("ab", 1)).uniform()
+        assert a != b
+
+    def test_none_root_draws_fresh_entropy(self):
+        a = spawn_seeds(None, 3)
+        b = spawn_seeds(None, 3)
+        assert [rng_from(s).uniform() for s in a] != \
+            [rng_from(s).uniform() for s in b]
+
+    def test_seed_sequences_are_picklable(self):
+        seeds = spawn_seeds(root_sequence(3, "x"), 4)
+        clone = pickle.loads(pickle.dumps(seeds))
+        assert [rng_from(s).uniform() for s in seeds] == \
+            [rng_from(s).uniform() for s in clone]
+
+    def test_needs_entropy(self):
+        with pytest.raises(ValueError):
+            root_sequence()
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestContext:
+    def test_default_context_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_CONTEXT", "spawn")
+        assert default_context() == "spawn"
+
+    @pytest.mark.slow
+    def test_spawn_pool_works(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MP_CONTEXT", raising=False)
+        out = pmap(_square, range(5), workers=2, context="spawn")
+        assert out == [x * x for x in range(5)]
+
+    def test_worker_env_flag_not_leaked(self):
+        pmap(_square, [1, 2, 3, 4], workers=2)
+        assert os.environ.get(_WORKER_FLAG_ENV) != "1"

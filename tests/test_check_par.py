@@ -1,0 +1,105 @@
+"""Wire tools/check_par.py into the tier-1 suite.
+
+The lint enforces the determinism contract behind repro.par: process
+pools live only in src/repro/par/ (everything else goes through pmap),
+and library code never mutates the global numpy RNG.
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECK = REPO_ROOT / "tools" / "check_par.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_par  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes_lint(self):
+        violations = check_par.check()
+        assert violations == []
+
+    def test_script_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECK)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "check_par: OK" in proc.stdout
+
+
+class TestDetection:
+    def _violations(self, tmp_path, source, pools_allowed=False):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return check_par.file_violations(path, pools_allowed=pools_allowed)
+
+    def test_flags_multiprocessing_pool(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import multiprocessing
+            pool = multiprocessing.Pool(4)
+        """)
+        assert len(found) == 1
+        assert "Pool" in found[0][1]
+
+    def test_flags_get_context_pool(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import multiprocessing
+            pool = multiprocessing.get_context("spawn").Pool(2)
+        """)
+        assert len(found) == 1
+
+    def test_flags_process_pool_executor_import(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+        """)
+        assert len(found) == 1
+        assert "ProcessPoolExecutor" in found[0][1]
+
+    def test_flags_global_numpy_seed(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import numpy as np
+            np.random.seed(0)
+        """)
+        assert len(found) == 1
+        assert "seed" in found[0][1]
+
+    def test_flags_seed_import(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from numpy.random import seed
+        """)
+        assert len(found) == 1
+
+    def test_generators_and_default_rng_allowed(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.uniform()
+            ss = np.random.SeedSequence(3)
+        """)
+        assert found == []
+
+    def test_pools_allowed_inside_par(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import multiprocessing
+            pool = multiprocessing.get_context("fork").Pool(2)
+        """, pools_allowed=True)
+        assert found == []
+
+    def test_seed_flagged_even_where_pools_allowed(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import numpy as np
+            np.random.seed(1)
+        """, pools_allowed=True)
+        assert len(found) == 1
+
+    def test_allowlist_honoured_in_tree_check(self, tmp_path):
+        (tmp_path / "par").mkdir()
+        (tmp_path / "par" / "executor.py").write_text(
+            "import multiprocessing\npool = multiprocessing.Pool(2)\n"
+        )
+        (tmp_path / "core.py").write_text("x = 1\n")
+        assert check_par.check(root=tmp_path) == []

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Lint: parallelism and RNG discipline for library code.
+
+Two rules keep ``repro.par``'s determinism contract enforceable:
+
+1. **No naked process pools outside ``src/repro/par/``** -- uses of
+   ``multiprocessing.Pool`` / ``get_context(...).Pool`` /
+   ``concurrent.futures.ProcessPoolExecutor`` must go through
+   :func:`repro.par.pmap`, which owns seeding, serial fallback and obs
+   metric merge-back.
+2. **No global RNG seeding anywhere in ``src/repro/``** --
+   ``np.random.seed(...)`` (and ``from numpy.random import seed``)
+   mutate interpreter-wide state that silently couples tasks; library
+   code must thread explicit ``numpy.random.Generator`` objects (see
+   docs/parallelism.md).
+
+Run directly (``python tools/check_par.py``) or via the tier-1 suite
+(``tests/test_check_par.py`` wires it in).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Paths (relative to src/repro, posix) allowed to own process pools.
+POOL_ALLOWLIST = ("par/",)
+
+#: Callable names that mean "a raw process pool is being created".
+_POOL_NAMES = frozenset({"Pool", "ProcessPoolExecutor"})
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"] (empty when not a plain chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def _pool_violation(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in _POOL_NAMES:
+            return (f"raw {name}(); use repro.par.pmap (only repro/par/ "
+                    "may own process pools)")
+    if isinstance(node, ast.ImportFrom) and node.module in (
+        "multiprocessing", "multiprocessing.pool", "concurrent.futures"
+    ):
+        for alias in node.names:
+            if alias.name in _POOL_NAMES:
+                return (f"importing {alias.name} from {node.module}; "
+                        "use repro.par.pmap instead")
+    return None
+
+
+def _seed_violation(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        # np.random.seed / numpy.random.seed / random.seed-on-numpy style.
+        if len(chain) >= 2 and chain[-1] == "seed" and chain[-2] == "random":
+            return ("global np.random.seed(); thread an explicit "
+                    "numpy.random.Generator (repro.par.seeding) instead")
+    if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+        for alias in node.names:
+            if alias.name == "seed":
+                return ("importing seed from numpy.random; thread an "
+                        "explicit Generator instead")
+    return None
+
+
+def file_violations(
+    path: pathlib.Path, pools_allowed: bool = False
+) -> list[tuple[int, str]]:
+    """(line, message) pairs for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not pools_allowed:
+            message = _pool_violation(node)
+            if message:
+                out.append((node.lineno, message))
+        message = _seed_violation(node)
+        if message:
+            out.append((node.lineno, message))
+    return out
+
+
+def check(root: pathlib.Path = SRC_ROOT) -> list[str]:
+    """All violations under ``root`` as ``path:line: message`` strings."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        pools_allowed = any(
+            rel == entry or rel.startswith(entry) for entry in POOL_ALLOWLIST
+        )
+        for lineno, message in file_violations(path, pools_allowed):
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            violations.append(f"{shown}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_par: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_par: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
