@@ -1,0 +1,112 @@
+"""Serving-path throughput: per-row predict vs. the micro-batched path.
+
+Replays Airport T+M campaign feature rows against one bench-profile GBDT
+three ways:
+
+* **per-row** -- ``model.predict`` one row at a time, the pre-serving
+  baseline every online consumer would otherwise pay;
+* **batched** -- the same rows through :class:`repro.serve.BatchPredictor`
+  (vectorized traversal + micro-batching, cache off so the model runs
+  for every row);
+* **jsonl** -- the full ``repro serve`` protocol via
+  :class:`InferenceService` (JSON parse + batching + response encode).
+
+Wall clocks, rows/sec and request-latency quantiles are recorded as obs
+gauges so they land in ``benchmarks/results/obs_metrics.json``:
+
+* ``serve.bench.per_row_rows_per_s`` / ``serve.bench.batched_rows_per_s``
+  / ``serve.bench.jsonl_rows_per_s``
+* ``serve.bench.speedup`` -- batched / per-row ratio (asserted >= 3x)
+* ``serve.bench.latency_p50_ms`` / ``_p90_ms`` / ``_p99_ms`` -- per
+  request through the batched path
+"""
+
+import io
+import json
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.serve import BatchPredictor, InferenceService, ServeConfig
+
+from _bench_utils import emit, format_table
+
+#: Rows replayed through each serving path.
+N_ROWS = 2000
+
+
+def _replay_rows(framework) -> np.ndarray:
+    X, _, _, _ = framework.design("Airport", "T+M")
+    reps = int(np.ceil(N_ROWS / len(X)))
+    return np.tile(X, (reps, 1))[:N_ROWS]
+
+
+def test_serve_latency(framework, benchmark, capsys):
+    model = framework.fit_regressor("Airport", "T+M")
+    rows = _replay_rows(framework)
+
+    # Per-row baseline: one model call per request, no batching anywhere.
+    t0 = time.perf_counter()
+    per_row_pred = np.asarray(
+        [model.predict(row[None, :])[0] for row in rows]
+    )
+    per_row_s = time.perf_counter() - t0
+
+    # Micro-batched path (cache off: measure the model, not memoization).
+    def batched_run():
+        with BatchPredictor(model.predict, max_batch_size=256,
+                            max_wait_s=0.001) as batcher:
+            return np.asarray(batcher.predict_many(rows))
+
+    t0 = time.perf_counter()
+    batched_pred = benchmark.pedantic(batched_run, rounds=1, iterations=1)
+    batched_s = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(batched_pred, per_row_pred)
+
+    # Full JSONL protocol, parse + format included.
+    lines = [json.dumps({"id": i, "features": list(map(float, row))})
+             for i, row in enumerate(rows)]
+    service = InferenceService(model, ServeConfig(
+        max_batch_size=256, max_wait_ms=1.0, cache_size=0,
+    ))
+    stats = service.run_jsonl(lines, io.StringIO())
+    assert stats.requests == N_ROWS and stats.errors == 0
+
+    per_row_rps = N_ROWS / per_row_s
+    batched_rps = N_ROWS / batched_s
+    speedup = batched_rps / per_row_rps
+    latency = obs.get_registry().histogram("serve.request_latency_s")
+    p50, p90, p99 = (latency.quantile(q) * 1e3 for q in (0.5, 0.9, 0.99))
+
+    obs.set_gauge("serve.bench.n_rows", float(N_ROWS))
+    obs.set_gauge("serve.bench.per_row_rows_per_s", round(per_row_rps, 1))
+    obs.set_gauge("serve.bench.batched_rows_per_s", round(batched_rps, 1))
+    obs.set_gauge("serve.bench.jsonl_rows_per_s",
+                  round(stats.rows_per_s, 1))
+    obs.set_gauge("serve.bench.speedup", round(speedup, 2))
+    obs.set_gauge("serve.bench.latency_p50_ms", round(p50, 3))
+    obs.set_gauge("serve.bench.latency_p90_ms", round(p90, 3))
+    obs.set_gauge("serve.bench.latency_p99_ms", round(p99, 3))
+
+    rows_out = [
+        ["per-row predict", f"{per_row_s:.2f}", f"{per_row_rps:.0f}",
+         "1.00"],
+        ["batched (serve)", f"{batched_s:.2f}", f"{batched_rps:.0f}",
+         f"{speedup:.2f}"],
+        ["jsonl protocol", f"{stats.wall_s:.2f}",
+         f"{stats.rows_per_s:.0f}",
+         f"{stats.rows_per_s / per_row_rps:.2f}"],
+    ]
+    table = format_table(
+        ["path", "wall clock s", "rows/s", "vs per-row"], rows_out
+    )
+    note = (f"\n{N_ROWS} Airport T+M rows; batched latency "
+            f"p50={p50:.2f}ms p90={p90:.2f}ms p99={p99:.2f}ms")
+    emit("serve_latency", table + note, capsys)
+
+    assert speedup >= 3.0, (
+        f"batched serving must be >=3x the per-row baseline, got "
+        f"{speedup:.2f}x"
+    )

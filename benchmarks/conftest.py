@@ -123,6 +123,15 @@ def pytest_sessionfinish(session, exitstatus):
         return
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "obs_metrics.json"
+    # Merge over what's already on disk so running a subset of benches
+    # refreshes only their records instead of dropping everyone else's.
+    records: dict = {}
+    if path.is_file():
+        try:
+            records = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            records = {}
+    records.update(_OBS_RECORDS)
     path.write_text(
-        json.dumps(_OBS_RECORDS, indent=2, sort_keys=True) + "\n"
+        json.dumps(records, indent=2, sort_keys=True) + "\n"
     )

@@ -1,4 +1,4 @@
-"""Command-line interface: simulate, evaluate, map.
+"""Command-line interface: simulate, evaluate, map, serve.
 
 Examples::
 
@@ -7,6 +7,7 @@ Examples::
         --verbose --metrics-out metrics.json
     python -m repro map --area Airport --cell-size 2
     python -m repro areas
+    python -m repro serve --model model.json < requests.jsonl
 
 ``--verbose`` turns on observability (structured logs, metrics, span
 tracing; see docs/observability.md) and prints the span tree plus a
@@ -113,6 +114,69 @@ def cmd_map(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.ml.serialize import model_from_json
+    from repro.serve import (
+        InferenceService,
+        ModelNotFound,
+        ModelRegistry,
+        ServeConfig,
+    )
+
+    if bool(args.model) == bool(args.registry):
+        print("serve: pass exactly one of --model FILE or "
+              "--registry DIR (with --name)", file=sys.stderr)
+        return 2
+    if args.registry and not args.name:
+        print("serve: --registry needs --name", file=sys.stderr)
+        return 2
+    try:
+        if args.model:
+            with open(args.model) as f:
+                model = model_from_json(f.read())
+        else:
+            model = ModelRegistry(args.registry).load(
+                args.name, args.model_version
+            )
+    except FileNotFoundError:
+        print(f"serve: model file not found: {args.model}", file=sys.stderr)
+        return 2
+    except ModelNotFound as exc:
+        print(f"serve: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"serve: cannot load model: {exc}", file=sys.stderr)
+        return 2
+
+    service = InferenceService(model, ServeConfig(
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+        cache_quant_step=args.quant_step,
+    ))
+    try:
+        instream = sys.stdin if args.input == "-" else open(args.input)
+    except OSError as exc:
+        print(f"serve: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    outstream = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        stats = service.run_jsonl(instream, outstream)
+    finally:
+        if instream is not sys.stdin:
+            instream.close()
+        if outstream is not sys.stdout:
+            outstream.close()
+    hit_rate = (service.cache.hit_rate if service.cache is not None else 0.0)
+    print(f"served {stats.requests} requests "
+          f"({stats.errors} malformed) in {stats.wall_s:.2f}s: "
+          f"{stats.rows_per_s:.0f} rows/s, {stats.batches} batches, "
+          f"cache hit rate {hit_rate:.2f}", file=sys.stderr)
+    if args.strict and stats.errors:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,6 +209,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--cell-size", type=float, default=2.0)
     p_map.add_argument("--csv", help="optionally dump map cells to CSV")
     p_map.set_defaults(func=cmd_map)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="answer JSONL prediction requests from a saved model",
+        description="Read one JSON request per line ({\"features\": [...]}), "
+                    "micro-batch them through the model, write one JSON "
+                    "response per line in input order (docs/serving.md).",
+    )
+    src = p_serve.add_argument_group("model source (exactly one)")
+    src.add_argument("--model", metavar="FILE",
+                     help="serialized model JSON (repro.ml.serialize)")
+    src.add_argument("--registry", metavar="DIR",
+                     help="model registry root (repro.serve.ModelRegistry)")
+    src.add_argument("--name", help="registry model name")
+    src.add_argument("--model-version", type=int, default=None, metavar="N",
+                     help="registry version (default: latest)")
+    p_serve.add_argument("--input", default="-", metavar="FILE",
+                         help="JSONL request file (default: stdin)")
+    p_serve.add_argument("--output", default="-", metavar="FILE",
+                         help="JSONL response file (default: stdout)")
+    p_serve.add_argument("--batch-size", type=int, default=64, metavar="N",
+                         help="max rows per micro-batch (default 64)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         metavar="MS",
+                         help="max wait for a batch to fill (default 2)")
+    p_serve.add_argument("--cache-size", type=int, default=4096, metavar="N",
+                         help="LRU prediction cache entries; 0 disables")
+    p_serve.add_argument("--quant-step", type=float, default=0.25,
+                         metavar="STEP",
+                         help="feature quantization step for cache keys")
+    p_serve.add_argument("--strict", action="store_true",
+                         help="exit 1 if any request line was malformed")
+    p_serve.add_argument("--verbose", "-v", action="store_true",
+                         help="enable telemetry; print span tree + metrics")
+    p_serve.add_argument("--metrics-out", metavar="FILE",
+                         help="write a JSON metrics/trace snapshot to FILE")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

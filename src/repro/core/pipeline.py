@@ -442,6 +442,41 @@ class Lumos5G:
         with obs.span("model.fit", model=model, n_train=len(X)):
             return self._make_classifier(model).fit(X, labels)
 
+    def publish(
+        self,
+        registry,
+        area: str,
+        spec: str,
+        model: str = "gdbt",
+        task: str = "regression",
+        name: str | None = None,
+    ) -> tuple[str, int]:
+        """Train a deployable model on all data and version it for serving.
+
+        The handoff from training to the online path: fits via
+        :meth:`fit_regressor` / :meth:`fit_classifier` and saves the
+        result into a :class:`repro.serve.ModelRegistry`.  Returns the
+        registry ``(name, version)``; ``repro serve`` loads it from
+        there.
+        """
+        if task == "regression":
+            est = self.fit_regressor(area, spec, model)
+        elif task == "classification":
+            est = self.fit_classifier(area, spec, model)
+        else:
+            raise ValueError(
+                f"unknown task {task!r}; use 'regression' or "
+                "'classification'"
+            )
+        if name is None:
+            name = "-".join(
+                part.lower().replace("+", "")
+                for part in (area, spec, model, task[:3])
+            )
+        version = registry.save(name, est)
+        obs.inc("pipeline.models_published_total")
+        return name, version
+
     def feature_importance(
         self, area: str, spec: str
     ) -> dict[str, float]:

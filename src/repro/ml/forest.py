@@ -8,6 +8,7 @@ on one-hot targets (probability forests), matching scikit-learn's
 
 from __future__ import annotations
 
+import time
 from functools import partial
 
 import numpy as np
@@ -62,6 +63,9 @@ class _ForestBase:
         self._binner: FeatureBinner | None = None
         self._trees: list[HistogramTree] = []
         self.n_features_: int | None = None
+        #: Training provenance (wall clock, sizes); travels with the
+        #: serialized model like the GBDT family's telemetry does.
+        self.fit_telemetry_: dict | None = None
 
     def _params(self) -> TreeParams:
         return TreeParams(
@@ -72,6 +76,7 @@ class _ForestBase:
         )
 
     def _fit_trees(self, X: np.ndarray, targets: np.ndarray) -> None:
+        t_start = time.perf_counter()
         self.n_features_ = X.shape[1]
         self._binner = FeatureBinner(self.max_bins)
         binned = self._binner.fit_transform(X)
@@ -84,6 +89,12 @@ class _ForestBase:
             workers=self.workers,
             label="forest.fit",
         )
+        self.fit_telemetry_ = {
+            "model": self._MODEL_TAG,
+            "fit_wall_s": time.perf_counter() - t_start,
+            "n_trees": len(self._trees),
+            "n_train": len(X),
+        }
 
     def _mean_prediction(self, X) -> np.ndarray:
         if self._binner is None:
@@ -108,6 +119,8 @@ class _ForestBase:
 class RandomForestRegressor(_ForestBase):
     """Bagging + feature-subsampled regression trees."""
 
+    _MODEL_TAG = "rf_regressor"
+
     def fit(self, X, y) -> "RandomForestRegressor":
         X = np.asarray(X, dtype=float)
         y = np.asarray(y, dtype=float).reshape(-1, 1)
@@ -122,6 +135,8 @@ class RandomForestRegressor(_ForestBase):
 
 class RandomForestClassifier(_ForestBase):
     """Probability forest over one-hot targets."""
+
+    _MODEL_TAG = "rf_classifier"
 
     def fit(self, X, y) -> "RandomForestClassifier":
         X = np.asarray(X, dtype=float)

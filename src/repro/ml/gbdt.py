@@ -186,7 +186,9 @@ class GBDTQuantileRegressor(_GBDTBase):
         ones = np.ones((len(y), 1))
         params = self._tree_params()
         self._trees = []
-        self._leaf_values: list[dict[int, float]] = []
+        #: Per tree: refit alpha-quantile leaf values indexed by node id
+        #: (zero at internal nodes), so prediction is one array gather.
+        self._leaf_values: list[np.ndarray] = []
         alpha = self.quantile
         t_start = time.perf_counter()
         for _ in range(self.n_estimators):
@@ -194,17 +196,13 @@ class GBDTQuantileRegressor(_GBDTBase):
             pseudo = np.where(residual >= 0.0, alpha, alpha - 1.0)[:, None]
             tree = HistogramTree(params).fit(binned, pseudo, ones, rng=rng)
             leaves = tree.apply(binned)
-            leaf_map: dict[int, float] = {}
+            leaf_vals = np.zeros(len(tree.nodes))
             for leaf in np.unique(leaves):
-                members = leaves == leaf
-                leaf_map[int(leaf)] = float(
-                    np.quantile(residual[members], alpha)
-                )
+                leaf_vals[leaf] = np.quantile(residual[leaves == leaf],
+                                              alpha)
             self._trees.append(tree)
-            self._leaf_values.append(leaf_map)
-            current += self.learning_rate * np.asarray(
-                [leaf_map[int(l)] for l in leaves]
-            )
+            self._leaf_values.append(leaf_vals)
+            current += self.learning_rate * leaf_vals[leaves]
         residual = y - current
         self.fit_telemetry_ = {
             "model": "gbdt_quantile_regressor",
@@ -221,11 +219,8 @@ class GBDTQuantileRegressor(_GBDTBase):
         self._check_fitted()
         binned = self._binner.transform(np.asarray(X, dtype=float))
         out = np.full(len(binned), self.base_score_)
-        for tree, leaf_map in zip(self._trees, self._leaf_values):
-            leaves = tree.apply(binned)
-            out += self.learning_rate * np.asarray(
-                [leaf_map.get(int(l), 0.0) for l in leaves]
-            )
+        for tree, leaf_vals in zip(self._trees, self._leaf_values):
+            out += self.learning_rate * leaf_vals[tree.apply(binned)]
         return out
 
 

@@ -153,6 +153,46 @@ class LabelEncoder:
         return self.classes_[np.asarray(codes, dtype=int)]
 
 
+class PredictionPipeline:
+    """An optional :class:`StandardScaler` in front of any estimator.
+
+    The deployable unit the serving layer ships: models that were trained
+    on scaled features (KNN, the neural baselines) carry their scaler so
+    a request's raw feature vector is transformed exactly as training
+    data was.  ``scaler=None`` passes features through untouched (the
+    tree models bin raw values and need no scaling).
+    """
+
+    def __init__(self, model, scaler: StandardScaler | None = None):
+        self.model = model
+        self.scaler = scaler
+
+    def _transform(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return self.scaler.transform(X) if self.scaler is not None else X
+
+    def fit(self, X, y) -> "PredictionPipeline":
+        X = np.asarray(X, dtype=float)
+        if self.scaler is not None:
+            X = self.scaler.fit_transform(X)
+        self.model.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        return self.model.predict(self._transform(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        return self.model.predict_proba(self._transform(X))
+
+    @property
+    def classes_(self) -> np.ndarray:
+        return self.model.classes_
+
+    @property
+    def n_features_(self) -> int | None:
+        return getattr(self.model, "n_features_", None)
+
+
 def one_hot(codes, n_classes: int | None = None) -> np.ndarray:
     """Integer codes -> one-hot float matrix."""
     codes = np.asarray(codes, dtype=int)

@@ -2,9 +2,17 @@
 
 The paper envisions UEs *downloading* throughput maps "augmented with the
 ML models" (Sec. 1).  That needs models that serialize compactly without
-pickle: this module round-trips :class:`~repro.ml.gbdt.GBDTRegressor` and
-:class:`~repro.ml.gbdt.GBDTClassifier` (binner edges + tree node arrays +
-boosting metadata) through plain dicts / JSON strings.
+pickle: this module round-trips the GBDT family
+(:class:`~repro.ml.gbdt.GBDTRegressor` / ``GBDTClassifier``), the random
+forests (:class:`~repro.ml.forest.RandomForestRegressor` /
+``RandomForestClassifier``), :class:`~repro.ml.preprocessing.StandardScaler`
+and :class:`~repro.ml.preprocessing.PredictionPipeline` (scaler + model)
+through plain dicts / JSON strings.
+
+:func:`model_to_dict` / :func:`model_from_dict` (and their ``_json``
+twins) dispatch on the concrete type / the payload's ``kind`` tag; the
+older ``gbdt_*`` entry points remain for existing callers.  The serving
+layer (``repro.serve``) builds its on-disk model registry on these.
 """
 
 from __future__ import annotations
@@ -13,8 +21,13 @@ import json
 
 import numpy as np
 
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
-from repro.ml.preprocessing import LabelEncoder
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    PredictionPipeline,
+    StandardScaler,
+)
 from repro.ml.tree import FeatureBinner, HistogramTree, TreeParams, _Node
 
 FORMAT_VERSION = 1
@@ -131,3 +144,159 @@ def gbdt_to_json(model, **json_kwargs) -> str:
 
 def gbdt_from_json(payload: str):
     return gbdt_from_dict(json.loads(payload))
+
+
+# --------------------------------------------------------------------------- #
+# Random forests
+# --------------------------------------------------------------------------- #
+
+_FOREST_HYPERPARAMS = (
+    "n_estimators", "max_depth", "min_samples_leaf", "max_features",
+    "bootstrap", "max_bins", "random_state",
+)
+
+
+def forest_to_dict(
+    model: RandomForestRegressor | RandomForestClassifier,
+) -> dict:
+    """Serialize a fitted random forest to a JSON-safe dict."""
+    if model._binner is None:
+        raise ValueError("model must be fitted before serialization")
+    out = {
+        "format_version": FORMAT_VERSION,
+        "kind": ("rf_classifier"
+                 if isinstance(model, RandomForestClassifier)
+                 else "rf_regressor"),
+        "hyperparams": {k: getattr(model, k) for k in _FOREST_HYPERPARAMS},
+        "n_features": model.n_features_,
+        "binner": _binner_to_dict(model._binner),
+        "trees": [_tree_to_dict(t) for t in model._trees],
+    }
+    if isinstance(model, RandomForestClassifier):
+        out["classes"] = model.encoder_.classes_.tolist()
+    telemetry = getattr(model, "fit_telemetry_", None)
+    if telemetry is not None:
+        out["telemetry"] = dict(telemetry)
+    return out
+
+
+def forest_from_dict(
+    data: dict,
+) -> RandomForestRegressor | RandomForestClassifier:
+    """Reconstruct a fitted forest from :func:`forest_to_dict` output."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {data.get('format_version')!r}"
+        )
+    cls = (RandomForestClassifier if data["kind"] == "rf_classifier"
+           else RandomForestRegressor)
+    model = cls(**data["hyperparams"])
+    model.n_features_ = int(data["n_features"])
+    model._binner = _binner_from_dict(data["binner"])
+    params = model._params()
+    model._trees = [_tree_from_dict(t, params) for t in data["trees"]]
+    if data["kind"] == "rf_classifier":
+        model.encoder_ = LabelEncoder()
+        model.encoder_.classes_ = np.asarray(data["classes"])
+    if "telemetry" in data:
+        model.fit_telemetry_ = dict(data["telemetry"])
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# Preprocessing: scaler and pipeline
+# --------------------------------------------------------------------------- #
+
+
+def scaler_to_dict(scaler: StandardScaler) -> dict:
+    if scaler.mean_ is None:
+        raise ValueError("scaler must be fitted before serialization")
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "standard_scaler",
+        "mean": scaler.mean_.tolist(),
+        "scale": scaler.scale_.tolist(),
+    }
+
+
+def scaler_from_dict(data: dict) -> StandardScaler:
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {data.get('format_version')!r}"
+        )
+    scaler = StandardScaler()
+    scaler.mean_ = np.asarray(data["mean"], dtype=float)
+    scaler.scale_ = np.asarray(data["scale"], dtype=float)
+    return scaler
+
+
+def pipeline_to_dict(pipeline: PredictionPipeline) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "pipeline",
+        "scaler": (scaler_to_dict(pipeline.scaler)
+                   if pipeline.scaler is not None else None),
+        "model": model_to_dict(pipeline.model),
+    }
+
+
+def pipeline_from_dict(data: dict) -> PredictionPipeline:
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {data.get('format_version')!r}"
+        )
+    scaler = (scaler_from_dict(data["scaler"])
+              if data.get("scaler") is not None else None)
+    return PredictionPipeline(model_from_dict(data["model"]), scaler=scaler)
+
+
+# --------------------------------------------------------------------------- #
+# Generic dispatch (what the model registry speaks)
+# --------------------------------------------------------------------------- #
+
+#: ``kind`` tag -> loader.  "regressor"/"classifier" are the original
+#: GBDT tags, kept verbatim so pre-existing payloads stay loadable.
+_LOADERS = {
+    "regressor": gbdt_from_dict,
+    "classifier": gbdt_from_dict,
+    "rf_regressor": forest_from_dict,
+    "rf_classifier": forest_from_dict,
+    "standard_scaler": scaler_from_dict,
+    "pipeline": pipeline_from_dict,
+}
+
+
+def model_to_dict(model) -> dict:
+    """Serialize any supported model/preprocessor to a tagged dict."""
+    if isinstance(model, (GBDTRegressor, GBDTClassifier)):
+        return gbdt_to_dict(model)
+    if isinstance(model, (RandomForestRegressor, RandomForestClassifier)):
+        return forest_to_dict(model)
+    if isinstance(model, StandardScaler):
+        return scaler_to_dict(model)
+    if isinstance(model, PredictionPipeline):
+        return pipeline_to_dict(model)
+    raise TypeError(
+        f"cannot serialize {type(model).__name__}; supported: GBDT, "
+        "RandomForest, StandardScaler, PredictionPipeline"
+    )
+
+
+def model_from_dict(data: dict):
+    """Reconstruct any :func:`model_to_dict` payload via its ``kind`` tag."""
+    kind = data.get("kind")
+    loader = _LOADERS.get(kind)
+    if loader is None:
+        raise ValueError(
+            f"unknown model kind {kind!r}; expected one of "
+            f"{sorted(_LOADERS)}"
+        )
+    return loader(data)
+
+
+def model_to_json(model, **json_kwargs) -> str:
+    return json.dumps(model_to_dict(model), **json_kwargs)
+
+
+def model_from_json(payload: str):
+    return model_from_dict(json.loads(payload))

@@ -94,7 +94,14 @@ class _Node:
 
 
 class HistogramTree:
-    """One grown tree over pre-binned features."""
+    """One grown tree over pre-binned features.
+
+    Prediction uses a vectorized level-order descent over flattened node
+    arrays (see :meth:`predict_binned`); the original per-row/per-node
+    loop survives as :meth:`predict_binned_slow` because it is the
+    reference implementation the equivalence property tests (and the
+    serving benchmark baseline) compare against.
+    """
 
     def __init__(self, params: TreeParams):
         self.params = params
@@ -102,6 +109,8 @@ class HistogramTree:
         self.n_outputs = 1
         #: Total split gain attributed to each feature (importance raw score).
         self.feature_gain_: np.ndarray | None = None
+        #: Flattened node arrays for vectorized descent (built lazily).
+        self._flat: tuple[np.ndarray, ...] | None = None
 
     # -- growing ------------------------------------------------------------ #
 
@@ -121,6 +130,7 @@ class HistogramTree:
         n_features = binned.shape[1]
         self.feature_gain_ = np.zeros(n_features)
         self.nodes = []
+        self._flat = None
         rng = rng or np.random.default_rng()
         idx_all = np.arange(len(binned))
         self._grow(binned, grad, hess, idx_all, depth=0, rng=rng)
@@ -205,8 +215,64 @@ class HistogramTree:
 
     # -- prediction ---------------------------------------------------------- #
 
+    def _ensure_flat(self) -> tuple[np.ndarray, ...]:
+        """Flattened (feature, threshold, left, right, values) node arrays.
+
+        Built once per grown/deserialized tree; every structure change
+        goes through ``fit`` (which resets the cache), so staleness is
+        impossible in normal use.
+        """
+        if self._flat is None or len(self._flat[0]) != len(self.nodes):
+            nodes = self.nodes
+            self._flat = (
+                np.asarray([n.feature for n in nodes], dtype=np.int64),
+                np.asarray([n.threshold_bin for n in nodes], dtype=np.int64),
+                np.asarray([n.left for n in nodes], dtype=np.int64),
+                np.asarray([n.right for n in nodes], dtype=np.int64),
+                np.stack([np.asarray(n.value, dtype=float) for n in nodes]),
+            )
+        return self._flat
+
+    def _descend(self, binned: np.ndarray) -> np.ndarray:
+        """Vectorized level-order descent: the leaf node-id per row."""
+        feature, threshold, left, right, _ = self._ensure_flat()
+        n = len(binned)
+        node_ids = np.zeros(n, dtype=np.int64)
+        # Rows still sitting at an internal node, advanced one level per
+        # iteration -- at most ``depth`` passes of O(n) numpy work.
+        active = np.flatnonzero(np.take(feature, node_ids) >= 0)
+        while active.size:
+            nid = node_ids[active]
+            f = np.take(feature, nid)
+            goes_left = binned[active, f] <= np.take(threshold, nid)
+            nxt = np.where(goes_left, np.take(left, nid), np.take(right, nid))
+            node_ids[active] = nxt
+            active = active[np.take(feature, nxt) >= 0]
+        return node_ids
+
     def predict_binned(self, binned: np.ndarray) -> np.ndarray:
-        """Leaf values for pre-binned samples; shape (n, k)."""
+        """Leaf values for pre-binned samples; shape (n, k).
+
+        Vectorized over the whole batch: rows descend level-by-level
+        through flattened node arrays (``np.take`` gathers), so cost is
+        O(depth) numpy passes instead of a Python loop per node group.
+        """
+        values = self._ensure_flat()[4]
+        return np.take(values, self._descend(binned), axis=0)
+
+    def apply(self, binned: np.ndarray) -> np.ndarray:
+        """Leaf node-id each pre-binned sample lands in."""
+        return self._descend(binned)
+
+    # -- reference (per-row) prediction -------------------------------------- #
+
+    def predict_binned_slow(self, binned: np.ndarray) -> np.ndarray:
+        """Reference node-group-loop traversal (pre-vectorization).
+
+        Kept as the ground truth for the equivalence property tests and
+        the per-row baseline in ``benchmarks/bench_serve_latency.py``;
+        must stay bit-for-bit identical to :meth:`predict_binned`.
+        """
         n = len(binned)
         out = np.zeros((n, self.n_outputs))
         node_ids = np.zeros(n, dtype=int)
@@ -228,8 +294,8 @@ class HistogramTree:
             active = np.concatenate(still) if still else np.empty(0, dtype=int)
         return out
 
-    def apply(self, binned: np.ndarray) -> np.ndarray:
-        """Leaf node-id each pre-binned sample lands in."""
+    def apply_slow(self, binned: np.ndarray) -> np.ndarray:
+        """Reference counterpart of :meth:`apply` (see predict_binned_slow)."""
         n = len(binned)
         node_ids = np.zeros(n, dtype=int)
         active = np.arange(n)

@@ -63,6 +63,7 @@ __all__ = [
     "get_tracer",
     "inc",
     "observe",
+    "observe_many",
     "set_enabled",
     "set_gauge",
     "snapshot",
@@ -86,6 +87,17 @@ def observe(name: str, value: float) -> None:
     """Observe into a histogram in the default registry (no-op when disabled)."""
     if enabled():
         get_registry().histogram(name).observe(value)
+
+
+def observe_many(name: str, values) -> None:
+    """Observe a whole array into a histogram (no-op when disabled).
+
+    One lock acquisition for the batch -- what vectorized paths (batched
+    serving, benchmark replay) should call instead of a Python loop of
+    :func:`observe`.
+    """
+    if enabled():
+        get_registry().histogram(name).observe_many(values)
 
 
 def snapshot() -> dict:

@@ -12,7 +12,8 @@ Two pieces, both dependency-light so any layer can use them:
   holding a ``{table_name: {column: array}}`` mapping plus a JSON
   manifest that preserves table/column order.  Writes go through a
   temp file + ``os.replace`` so readers never observe a half-written
-  entry; unreadable entries load as misses, never as errors.
+  entry; a truncated/corrupt entry loads as a miss (and is deleted so
+  it cannot shadow the regenerated data), never as an error.
 
 ``repro.datasets.generate`` builds its dataset cache on these; the
 module itself knows nothing about Tables or campaigns.
@@ -123,7 +124,14 @@ class NpzCache:
         return target
 
     def load(self, key: str) -> dict[str, dict[str, np.ndarray]] | None:
-        """The stored entry, or None on miss/corruption (never raises)."""
+        """The stored entry, or None on miss/corruption (never raises).
+
+        A truncated or garbled file (killed writer on a filesystem
+        without atomic replace, disk corruption, partial copy) is
+        treated exactly like a miss: the bad entry is deleted so
+        ``key in cache`` stops claiming it exists, and the caller's
+        regenerate-then-``save`` path overwrites it with a good one.
+        """
         p = self.path(key)
         if not p.exists():
             return None
@@ -137,6 +145,13 @@ class NpzCache:
                     }
                 return out
         except Exception:
+            from repro import obs
+
+            obs.inc("cache.corrupt_entries_total")
+            try:
+                p.unlink(missing_ok=True)
+            except OSError:
+                pass  # unreadable AND undeletable: still report a miss
             return None
 
     def clear(self) -> int:

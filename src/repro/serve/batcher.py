@@ -1,0 +1,173 @@
+"""Micro-batching front end for a batch-capable predict function.
+
+Requests arrive one feature row at a time; the model is fastest on big
+matrices (the vectorized tree traversal costs O(depth) numpy passes per
+*batch*, not per row).  :class:`BatchPredictor` bridges the two: rows
+queue up, a worker thread drains up to ``max_batch_size`` of them --
+waiting at most ``max_wait_s`` for stragglers after the first -- stacks
+them into one matrix and runs the model once.  Each caller gets a
+``concurrent.futures.Future`` resolving to its own row's prediction.
+
+An optional :class:`~repro.serve.cache.PredictionCache` short-circuits
+submits whose quantized feature key is already known; fresh batch
+results are written back so the cache warms itself.
+
+Request-path telemetry (``repro.obs``): ``serve.requests_total``,
+``serve.batches_total``, ``serve.errors_total`` counters, and
+``serve.batch_size`` / ``serve.request_latency_s`` /
+``serve.batch_predict_s`` histograms.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro import obs
+from repro.serve.cache import PredictionCache
+
+_STOP = object()
+
+
+class BatchPredictor:
+    """Queue rows, predict in micro-batches, resolve per-row futures."""
+
+    def __init__(
+        self,
+        predict_fn,
+        max_batch_size: int = 64,
+        max_wait_s: float = 0.002,
+        cache: PredictionCache | None = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0.0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.predict_fn = predict_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.cache = cache
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        #: Requests answered (cache hits included) and batches run.
+        self.requests = 0
+        self.batches = 0
+        self.errors = 0
+
+    # -- lifecycle ---------------------------------------------------------- #
+
+    def start(self) -> "BatchPredictor":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="serve-batcher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting work, drain the queue, join the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._queue.put(_STOP)
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "BatchPredictor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------- #
+
+    def submit(self, features) -> Future:
+        """Enqueue one feature row; the Future resolves to its prediction."""
+        if self._closed:
+            raise RuntimeError("predictor is closed")
+        if self._thread is None:
+            raise RuntimeError("predictor is not started; use start() or "
+                               "a with-block")
+        row = np.asarray(features, dtype=float).ravel()
+        fut: Future = Future()
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(row)
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.requests += 1
+                obs.inc("serve.requests_total")
+                obs.observe("serve.request_latency_s", 0.0)
+                fut.set_result(hit)
+                return fut
+        self._queue.put((row, fut, time.perf_counter(), key))
+        return fut
+
+    def predict_many(self, X) -> list:
+        """Submit every row of ``X`` and wait; per-row results in order."""
+        futures = [self.submit(row) for row in np.asarray(X, dtype=float)]
+        return [f.result() for f in futures]
+
+    # -- worker ------------------------------------------------------------- #
+
+    def _collect(self, first) -> tuple[list, bool]:
+        """One micro-batch starting from ``first``; True when stopping."""
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            timeout = deadline - time.perf_counter()
+            if timeout <= 0:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            else:
+                try:
+                    item = self._queue.get(timeout=timeout)
+                except queue.Empty:
+                    break
+            if item is _STOP:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch, stopping = self._collect(item)
+            self._predict_batch(batch)
+            if stopping:
+                return
+
+    def _predict_batch(self, batch: list) -> None:
+        rows = [item[0] for item in batch]
+        t0 = time.perf_counter()
+        try:
+            preds = self.predict_fn(np.stack(rows))
+        except Exception as exc:  # surface through every waiting future
+            self.errors += len(batch)
+            obs.inc("serve.errors_total", len(batch))
+            for _, fut, _, _ in batch:
+                fut.set_exception(exc)
+            return
+        done = time.perf_counter()
+        preds = np.asarray(preds)
+        self.requests += len(batch)
+        self.batches += 1
+        obs.inc("serve.requests_total", len(batch))
+        obs.inc("serve.batches_total")
+        obs.observe("serve.batch_size", len(batch))
+        obs.observe("serve.batch_predict_s", done - t0)
+        for i, (_, fut, t_enqueue, key) in enumerate(batch):
+            obs.observe("serve.request_latency_s", done - t_enqueue)
+            if self.cache is not None and key is not None:
+                self.cache.put(key, preds[i])
+            fut.set_result(preds[i])

@@ -1,0 +1,101 @@
+"""LRU prediction cache keyed by quantized feature vectors.
+
+Map-style queries hit the same few thousand grid positions over and
+over; quantizing each feature to a step (default 0.25) folds
+nearly-identical rows onto one key, so repeated lookups skip model
+traversal entirely.  Keys are the raw bytes of the quantized ``int64``
+vector -- hashing is one ``tobytes`` call, and vectors of different
+lengths can never collide.
+
+Thread-safe; the serving batcher consults it on submit and fills it
+after every predicted batch.  Hit/miss/eviction counts are kept locally
+(for the CLI summary and benchmarks) and mirrored into ``repro.obs``
+counters when observability is on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro import obs
+
+#: Sentinels for non-finite features, outside the clip range of real
+#: values so a missing reading can never alias a huge real one.
+_CLIP = np.int64(2) ** 62
+_NAN = np.int64(_CLIP + 1)
+_POS_INF = np.int64(_CLIP + 2)
+_NEG_INF = np.int64(-(_CLIP + 2))
+
+
+class PredictionCache:
+    """Bounded LRU of ``quantized feature vector -> prediction``."""
+
+    def __init__(self, max_entries: int = 4096, quant_step: float = 0.25):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if not quant_step > 0.0:
+            raise ValueError("quant_step must be > 0")
+        self.max_entries = max_entries
+        self.quant_step = quant_step
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def key(self, features) -> bytes:
+        """Quantized-vector cache key for one feature row."""
+        x = np.asarray(features, dtype=float).ravel()
+        q = np.rint(x / self.quant_step)
+        out = np.empty(len(q), dtype=np.int64)
+        finite = np.isfinite(q)
+        out[finite] = np.clip(q[finite], -_CLIP, _CLIP).astype(np.int64)
+        nonfinite = q[~finite]
+        out[~finite] = np.where(
+            np.isnan(nonfinite), _NAN,
+            np.where(nonfinite > 0, _POS_INF, _NEG_INF),
+        )
+        return out.tobytes()
+
+    def get(self, key: bytes):
+        """Cached prediction for ``key``, or None (refreshes recency)."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if value is None:
+            obs.inc("serve.cache.misses_total")
+            return None
+        obs.inc("serve.cache.hits_total")
+        return value
+
+    def put(self, key: bytes, value) -> None:
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted:
+            obs.inc("serve.cache.evictions_total", evicted)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

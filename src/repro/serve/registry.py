@@ -1,0 +1,143 @@
+"""On-disk model registry: named, versioned, JSON-serialized models.
+
+Layout (one directory per model name, one file per version)::
+
+    <root>/
+      airport-tm-gdbt/
+        v00001.json
+        v00002.json
+      global-lm-rf/
+        v00001.json
+
+Payloads are ``repro.ml.serialize.model_to_dict`` dicts, so anything the
+serializer speaks -- GBDT, random forests, scalers, prediction pipelines
+-- can be published and loaded without pickle.  Writes go through a temp
+file + ``os.replace`` so a crash never leaves a half-written version,
+and a bounded LRU keeps recently used models deserialized in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import threading
+from collections import OrderedDict
+
+from repro import obs
+from repro.ml.serialize import model_from_dict, model_to_dict
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._+-]*$")
+_VERSION_RE = re.compile(r"^v(\d{5})\.json$")
+
+
+class ModelNotFound(KeyError):
+    """Unknown model name or version."""
+
+
+class ModelRegistry:
+    """Load/save versioned models under one root directory."""
+
+    def __init__(self, root: str | os.PathLike, max_loaded: int = 8):
+        if max_loaded < 1:
+            raise ValueError("max_loaded must be >= 1")
+        self.root = pathlib.Path(root)
+        self.max_loaded = max_loaded
+        self._lock = threading.Lock()
+        self._loaded: OrderedDict[tuple[str, int], object] = OrderedDict()
+
+    # -- paths -------------------------------------------------------------- #
+
+    def _model_dir(self, name: str) -> pathlib.Path:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}; use letters, digits, "
+                "'.', '_', '+', '-'"
+            )
+        return self.root / name
+
+    def path(self, name: str, version: int) -> pathlib.Path:
+        return self._model_dir(name) / f"v{int(version):05d}.json"
+
+    # -- catalog ------------------------------------------------------------ #
+
+    def names(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and _NAME_RE.match(p.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        d = self._model_dir(name)
+        if not d.is_dir():
+            return []
+        out = []
+        for p in d.iterdir():
+            m = _VERSION_RE.match(p.name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def latest_version(self, name: str) -> int | None:
+        versions = self.versions(name)
+        return versions[-1] if versions else None
+
+    # -- save / load -------------------------------------------------------- #
+
+    def save(self, name: str, model, version: int | None = None) -> int:
+        """Serialize ``model`` as a new (or given) version; returns it."""
+        d = self._model_dir(name)
+        if version is None:
+            latest = self.latest_version(name)
+            version = 1 if latest is None else latest + 1
+        elif version < 1:
+            raise ValueError("version must be >= 1")
+        d.mkdir(parents=True, exist_ok=True)
+        target = self.path(name, version)
+        payload = json.dumps(model_to_dict(model), sort_keys=True)
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            tmp.write_text(payload + "\n")
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+        with self._lock:
+            self._loaded[(name, int(version))] = model
+            self._loaded.move_to_end((name, int(version)))
+            while len(self._loaded) > self.max_loaded:
+                self._loaded.popitem(last=False)
+        obs.inc("serve.registry.saves_total")
+        return int(version)
+
+    def load(self, name: str, version: int | None = None):
+        """Deserialize a model (latest version when unspecified)."""
+        if version is None:
+            version = self.latest_version(name)
+            if version is None:
+                raise ModelNotFound(
+                    f"no versions of model {name!r} in {self.root}"
+                )
+        key = (name, int(version))
+        with self._lock:
+            model = self._loaded.get(key)
+            if model is not None:
+                self._loaded.move_to_end(key)
+        if model is not None:
+            obs.inc("serve.registry.memo_hits_total")
+            return model
+        target = self.path(name, int(version))
+        if not target.is_file():
+            raise ModelNotFound(
+                f"model {name!r} version {version} not found at {target}"
+            )
+        model = model_from_dict(json.loads(target.read_text()))
+        with self._lock:
+            self._loaded[key] = model
+            self._loaded.move_to_end(key)
+            while len(self._loaded) > self.max_loaded:
+                self._loaded.popitem(last=False)
+        obs.inc("serve.registry.loads_total")
+        return model

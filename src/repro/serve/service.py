@@ -1,0 +1,187 @@
+"""JSONL inference service: the request loop behind ``repro serve``.
+
+One request per line::
+
+    {"id": 7, "features": [12.0, 3.5, null, 140.0]}
+
+One response per line, in request order::
+
+    {"id": 7, "prediction": 612.4}                       # regressor
+    {"id": 8, "prediction": "High", "proba": [...]}      # classifier
+    {"id": 9, "error": "features must be ..."}           # bad request
+
+``null`` features become NaN (a missing signal reading -- the tree
+models route those through their missing-value bin).  Lines are read
+ahead in windows of several batches and submitted together so the
+micro-batcher actually sees concurrent work even from a serial stdin
+stream; responses are flushed strictly in input order.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.serve.batcher import BatchPredictor
+from repro.serve.cache import PredictionCache
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving path (docs/serving.md)."""
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 2.0
+    cache_size: int = 4096
+    cache_quant_step: float = 0.25
+    #: How many requests to read ahead before flushing responses; the
+    #: window is what lets a serial input stream fill batches.
+    read_ahead: int = 256
+
+
+@dataclass
+class ServeStats:
+    """What one request-loop run did (the CLI summary / bench record)."""
+
+    requests: int = 0
+    errors: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def rows_per_s(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class InferenceService:
+    """Glue: model + micro-batcher + prediction cache + JSONL protocol."""
+
+    def __init__(self, model, config: ServeConfig | None = None):
+        self.model = model
+        self.config = config or ServeConfig()
+        self.is_classifier = hasattr(model, "predict_proba")
+        self.classes = (
+            [c for c in np.asarray(model.classes_).tolist()]
+            if self.is_classifier else None
+        )
+        self.n_features = getattr(model, "n_features_", None)
+        self.cache = (
+            PredictionCache(
+                max_entries=self.config.cache_size,
+                quant_step=self.config.cache_quant_step,
+            )
+            if self.config.cache_size > 0 else None
+        )
+        predict_fn = (model.predict_proba if self.is_classifier
+                      else model.predict)
+        self.batcher = BatchPredictor(
+            predict_fn,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_ms / 1000.0,
+            cache=self.cache,
+        )
+
+    # -- request handling --------------------------------------------------- #
+
+    def parse_request(self, line: str) -> tuple[dict | None, np.ndarray | None]:
+        """(request, features) -- features is None on a bad request."""
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError:
+            return None, None
+        if not isinstance(req, dict):
+            return None, None
+        raw = req.get("features")
+        if not isinstance(raw, list) or not raw:
+            return req, None
+        try:
+            features = np.asarray(
+                [float("nan") if v is None else float(v) for v in raw],
+                dtype=float,
+            )
+        except (TypeError, ValueError):
+            return req, None
+        if self.n_features is not None and len(features) != self.n_features:
+            return req, None
+        return req, features
+
+    def _error_response(self, req: dict | None) -> dict:
+        if req is None:
+            message = "invalid JSON request line"
+        elif not isinstance(req.get("features"), list):
+            message = "request must carry a 'features' array"
+        elif self.n_features is not None and isinstance(
+            req.get("features"), list
+        ) and len(req["features"]) != self.n_features:
+            message = (f"expected {self.n_features} features, "
+                       f"got {len(req['features'])}")
+        else:
+            message = "features must be numbers or null"
+        out = {"error": message}
+        if isinstance(req, dict) and "id" in req:
+            out["id"] = req["id"]
+        return out
+
+    def _format_response(self, req: dict, pred) -> dict:
+        out: dict = {}
+        if "id" in req:
+            out["id"] = req["id"]
+        if self.is_classifier:
+            proba = np.asarray(pred, dtype=float)
+            out["prediction"] = self.classes[int(np.argmax(proba))]
+            out["proba"] = [round(float(p), 6) for p in proba]
+        else:
+            out["prediction"] = float(pred)
+        return out
+
+    # -- the loop ----------------------------------------------------------- #
+
+    def run_jsonl(self, lines, out) -> ServeStats:
+        """Serve every request line from ``lines``; write to ``out``.
+
+        Reads ahead ``config.read_ahead`` requests, submits them all to
+        the batcher, then drains responses in input order.  Returns the
+        run's :class:`ServeStats`; error lines get error responses and
+        are tallied (the CLI's ``--strict`` turns them into a nonzero
+        exit).
+        """
+        stats = ServeStats()
+        t_start = time.perf_counter()
+        with self.batcher, obs.span("serve.run"):
+            window: list = []  # (request, future-or-error-dict)
+            for line in lines:
+                if not line.strip():
+                    continue
+                req, features = self.parse_request(line)
+                if features is None:
+                    stats.errors += 1
+                    obs.inc("serve.bad_requests_total")
+                    window.append((req, self._error_response(req)))
+                else:
+                    window.append((req, self.batcher.submit(features)))
+                stats.requests += 1
+                if len(window) >= self.config.read_ahead:
+                    self._flush(window, out)
+                    window = []
+            self._flush(window, out)
+        stats.batches = self.batcher.batches
+        stats.cache_hits = self.cache.hits if self.cache is not None else 0
+        stats.wall_s = time.perf_counter() - t_start
+        obs.set_gauge("serve.rows_per_s", round(stats.rows_per_s, 3))
+        if self.cache is not None:
+            obs.set_gauge("serve.cache.hit_rate",
+                          round(self.cache.hit_rate, 4))
+        return stats
+
+    def _flush(self, window: list, out) -> None:
+        for req, pending in window:
+            if isinstance(pending, dict):  # pre-formed error response
+                response = pending
+            else:
+                response = self._format_response(req, pending.result())
+            out.write(json.dumps(response) + "\n")

@@ -61,6 +61,23 @@ class TestNpzCache:
         cache.path("bad").write_bytes(b"not an npz")
         assert cache.load("bad") is None
 
+    def test_corrupt_entry_deleted_and_overwritable(self, tmp_path):
+        """A garbled file must act like a miss: deleted on load, then
+        cleanly replaced by the next save."""
+        cache = NpzCache(tmp_path)
+        tables = {"T": {"x": np.arange(5.0)}}
+        cache.save("k", tables)
+        # Truncate the valid entry to simulate a torn write/disk fault.
+        good = cache.path("k").read_bytes()
+        cache.path("k").write_bytes(good[: len(good) // 2])
+        assert cache.load("k") is None
+        assert not cache.path("k").exists()  # bad entry cleaned up
+        assert "k" not in cache
+        cache.save("k", tables)
+        back = cache.load("k")
+        assert back is not None
+        assert np.array_equal(back["T"]["x"], tables["T"]["x"])
+
     def test_clear_counts_entries(self, tmp_path):
         cache = NpzCache(tmp_path)
         cache.save("k1", {"T": {"x": np.arange(2)}})
@@ -126,3 +143,18 @@ class TestDatasetDiskCache:
         generate_datasets(areas=("Airport",), campaign=_campaign(),
                           cache_dir=tmp_path, use_cache=False)
         assert not list(tmp_path.glob("*.npz"))
+
+    def test_corrupt_disk_entry_regenerated(self, tmp_path):
+        """Garbage bytes in a cache entry: the next call regenerates the
+        dataset and overwrites the entry instead of raising."""
+        cfg = _campaign()
+        first = generate_datasets(areas=("Airport",), campaign=cfg,
+                                  cache_dir=tmp_path)
+        (entry,) = tmp_path.glob("*.npz")
+        entry.write_bytes(b"\x00garbage\xff" * 64)
+        recovered = generate_datasets(areas=("Airport",), campaign=cfg,
+                                      cache_dir=tmp_path)
+        assert_datasets_equal(first, recovered, "pre- vs post-corruption")
+        # Entry was rewritten and is loadable again.
+        (entry,) = tmp_path.glob("*.npz")
+        assert NpzCache(tmp_path).load(entry.stem) is not None

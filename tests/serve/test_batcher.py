@@ -1,0 +1,120 @@
+"""BatchPredictor: batching, futures, caching, error propagation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.serve.batcher import BatchPredictor
+from repro.serve.cache import PredictionCache
+
+
+def _sum_rows(X):
+    return np.asarray(X).sum(axis=1)
+
+
+class TestLifecycle:
+    def test_submit_before_start_rejected(self):
+        batcher = BatchPredictor(_sum_rows)
+        with pytest.raises(RuntimeError, match="not started"):
+            batcher.submit([1.0, 2.0])
+
+    def test_submit_after_close_rejected(self):
+        with BatchPredictor(_sum_rows) as batcher:
+            pass
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit([1.0, 2.0])
+
+    def test_close_idempotent(self):
+        batcher = BatchPredictor(_sum_rows).start()
+        batcher.close()
+        batcher.close()
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPredictor(_sum_rows, max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchPredictor(_sum_rows, max_wait_s=-1.0)
+
+
+class TestPredictions:
+    def test_results_match_direct_call_in_order(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        with BatchPredictor(_sum_rows, max_batch_size=16) as batcher:
+            got = batcher.predict_many(X)
+        np.testing.assert_array_equal(np.asarray(got), _sum_rows(X))
+
+    def test_batch_size_cap_respected(self):
+        sizes = []
+
+        def spy(X):
+            sizes.append(len(X))
+            return _sum_rows(X)
+
+        X = np.ones((50, 2))
+        with BatchPredictor(spy, max_batch_size=8, max_wait_s=0.01) as b:
+            b.predict_many(X)
+            assert b.requests == 50
+        assert sum(sizes) == 50
+        assert max(sizes) <= 8
+        assert len(sizes) == b.batches
+
+    def test_concurrent_submitters_coalesce(self):
+        """Rows from many threads land in shared batches, each resolving
+        to its own row's prediction."""
+        results = {}
+
+        def worker(i):
+            with_lock = batcher.submit([float(i), float(i)])
+            results[i] = float(with_lock.result(timeout=5))
+
+        with BatchPredictor(_sum_rows, max_batch_size=32,
+                            max_wait_s=0.005) as batcher:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(40)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == {i: 2.0 * i for i in range(40)}
+
+    def test_predict_fn_exception_reaches_every_future(self):
+        def boom(X):
+            raise ValueError("model exploded")
+
+        with BatchPredictor(boom, max_batch_size=4) as batcher:
+            futures = [batcher.submit([1.0]) for _ in range(3)]
+            for fut in futures:
+                with pytest.raises(ValueError, match="model exploded"):
+                    fut.result(timeout=5)
+            assert batcher.errors == 3
+
+
+class TestCacheIntegration:
+    def test_repeat_row_served_from_cache(self):
+        calls = []
+
+        def spy(X):
+            calls.append(len(X))
+            return _sum_rows(X)
+
+        cache = PredictionCache(quant_step=0.25)
+        with BatchPredictor(spy, cache=cache) as batcher:
+            first = batcher.submit([1.0, 2.0]).result(timeout=5)
+            second = batcher.submit([1.0, 2.0]).result(timeout=5)
+        assert first == second == 3.0
+        assert cache.hits == 1
+        assert sum(calls) == 1  # the second request never hit the model
+        assert batcher.requests == 2
+        assert batcher.batches == 1
+
+    def test_obs_counters_emitted_when_enabled(self):
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        before = registry.counter("serve.requests_total").value
+        with BatchPredictor(_sum_rows) as batcher:
+            batcher.predict_many(np.ones((5, 2)))
+        assert registry.counter("serve.requests_total").value == before + 5
+        assert registry.histogram("serve.batch_size").count >= 1

@@ -1,0 +1,73 @@
+"""PredictionCache: key quantization, sentinels, LRU behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import PredictionCache
+
+
+class TestKeys:
+    def test_nearby_rows_share_a_key(self):
+        cache = PredictionCache(quant_step=0.25)
+        assert cache.key([1.0, 2.0]) == cache.key([1.05, 1.95])
+
+    def test_distant_rows_differ(self):
+        cache = PredictionCache(quant_step=0.25)
+        assert cache.key([1.0, 2.0]) != cache.key([1.0, 2.5])
+
+    def test_quant_step_controls_resolution(self):
+        coarse = PredictionCache(quant_step=10.0)
+        fine = PredictionCache(quant_step=0.01)
+        a, b = [3.0, 7.0], [4.0, 6.0]
+        assert coarse.key(a) == coarse.key(b)
+        assert fine.key(a) != fine.key(b)
+
+    def test_nonfinite_sentinels_distinct(self):
+        cache = PredictionCache()
+        keys = {
+            cache.key([np.nan]), cache.key([np.inf]), cache.key([-np.inf]),
+            cache.key([1e30]), cache.key([-1e30]), cache.key([0.0]),
+        }
+        # NaN, +inf, -inf, clipped +huge, clipped -huge, zero: all distinct.
+        assert len(keys) == 6
+
+    def test_length_cannot_collide(self):
+        cache = PredictionCache()
+        assert cache.key([1.0]) != cache.key([1.0, 0.0])
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionCache(max_entries=0)
+        with pytest.raises(ValueError):
+            PredictionCache(quant_step=0.0)
+
+
+class TestLRU:
+    def test_hit_miss_accounting(self):
+        cache = PredictionCache()
+        k = cache.key([1.0])
+        assert cache.get(k) is None
+        cache.put(k, np.float64(5.0))
+        assert cache.get(k) == 5.0
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_drops_least_recent(self):
+        cache = PredictionCache(max_entries=2)
+        ka, kb, kc = (cache.key([float(i)]) for i in range(3))
+        cache.put(ka, 1)
+        cache.put(kb, 2)
+        cache.get(ka)  # refresh: a is now more recent than b
+        cache.put(kc, 3)
+        assert cache.get(kb) is None  # b was evicted
+        assert cache.get(ka) == 1
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = PredictionCache()
+        k = cache.key([2.0])
+        cache.put(k, 9)
+        cache.clear()
+        assert cache.get(k) is None
+        assert len(cache) == 0

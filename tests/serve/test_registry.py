@@ -1,0 +1,108 @@
+"""ModelRegistry: layout, versioning, LRU memo, failure modes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import GBDTRegressor
+from repro.serve.registry import ModelNotFound, ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    y = X[:, 0] + rng.normal(0, 0.1, 200)
+    return GBDTRegressor(n_estimators=5, max_depth=3,
+                         random_state=0).fit(X, y), X
+
+
+class TestSaveLoad:
+    def test_round_trip_predictions_identical(self, tmp_path, fitted):
+        model, X = fitted
+        registry = ModelRegistry(tmp_path)
+        version = registry.save("airport-l-gdbt", model)
+        assert version == 1
+        fresh = ModelRegistry(tmp_path)  # cold memo: reads from disk
+        clone = fresh.load("airport-l-gdbt")
+        np.testing.assert_array_equal(clone.predict(X), model.predict(X))
+
+    def test_versions_auto_increment(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        assert registry.save("m", model) == 1
+        assert registry.save("m", model) == 2
+        assert registry.save("m", model, version=7) == 7
+        assert registry.save("m", model) == 8  # continues past the gap
+        assert registry.versions("m") == [1, 2, 7, 8]
+        assert registry.latest_version("m") == 8
+
+    def test_layout_on_disk(self, tmp_path, fitted):
+        model, _ = fitted
+        ModelRegistry(tmp_path).save("loop-rf", model)
+        path = tmp_path / "loop-rf" / "v00001.json"
+        assert path.is_file()
+        assert json.loads(path.read_text())["kind"] == "regressor"
+        assert not list(tmp_path.glob("**/*.tmp"))  # atomic write cleaned up
+
+    def test_explicit_version_load(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        registry.save("m", model)
+        assert registry.load("m", version=1) is not None
+
+    def test_names_catalog(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("bbb", model)
+        registry.save("aaa", model)
+        assert registry.names() == ["aaa", "bbb"]
+
+
+class TestMemo:
+    def test_save_then_load_returns_same_object(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        assert registry.load("m") is model  # memo hit, no deserialization
+
+    def test_memo_bounded_by_max_loaded(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path, max_loaded=2)
+        for name in ("a", "b", "c"):
+            registry.save(name, model)
+        assert registry.load("a") is not model  # evicted, reloaded from disk
+
+
+class TestFailureModes:
+    def test_missing_name_raises(self, tmp_path):
+        with pytest.raises(ModelNotFound):
+            ModelRegistry(tmp_path).load("nope")
+
+    def test_missing_version_raises(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        with pytest.raises(ModelNotFound):
+            registry.load("m", version=5)
+
+    def test_model_not_found_is_a_key_error(self):
+        assert issubclass(ModelNotFound, KeyError)
+
+    def test_invalid_names_rejected(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        for bad in ("", ".hidden", "a/b", "a b", "../escape"):
+            with pytest.raises(ValueError):
+                registry.save(bad, model)
+
+    def test_bad_max_loaded_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ModelRegistry(tmp_path, max_loaded=0)
+
+    def test_bad_version_number_rejected(self, tmp_path, fitted):
+        model, _ = fitted
+        with pytest.raises(ValueError):
+            ModelRegistry(tmp_path).save("m", model, version=0)

@@ -1,0 +1,151 @@
+"""InferenceService: the JSONL protocol end to end (no CLI involved)."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceService, ServeConfig
+
+from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 3))
+    y = 100 + 50 * X[:, 0] + rng.normal(0, 5, 300)
+    return GBDTRegressor(n_estimators=10, max_depth=3,
+                         random_state=0).fit(X, y), X
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 2))
+    y = np.where(X[:, 0] > 0, "High", "Low").astype(object)
+    return GBDTClassifier(n_estimators=8, max_depth=3,
+                          random_state=0).fit(X, y), X
+
+
+def _serve(model, lines, **config):
+    service = InferenceService(model, ServeConfig(**config))
+    out = io.StringIO()
+    stats = service.run_jsonl(lines, out)
+    responses = [json.loads(line) for line in
+                 out.getvalue().strip().splitlines()]
+    return stats, responses
+
+
+def _request_lines(X, start_id=0):
+    return [
+        json.dumps({"id": start_id + i, "features": list(map(float, row))})
+        for i, row in enumerate(X)
+    ]
+
+
+class TestRegressionProtocol:
+    def test_responses_in_input_order_and_exact(self, regressor):
+        model, X = regressor
+        stats, responses = _serve(model, _request_lines(X[:40]))
+        assert stats.requests == 40 and stats.errors == 0
+        assert [r["id"] for r in responses] == list(range(40))
+        direct = model.predict(X[:40])
+        got = np.asarray([r["prediction"] for r in responses])
+        np.testing.assert_array_equal(got, direct)
+
+    def test_null_feature_is_missing_value(self, regressor):
+        model, _ = regressor
+        row = [0.5, None, -0.25]
+        _, responses = _serve(model, [json.dumps({"features": row})])
+        direct = model.predict(np.asarray([[0.5, np.nan, -0.25]]))
+        assert responses[0]["prediction"] == float(direct[0])
+
+    def test_blank_lines_skipped(self, regressor):
+        model, X = regressor
+        lines = ["", _request_lines(X[:1])[0], "   ", ""]
+        stats, responses = _serve(model, lines)
+        assert stats.requests == 1 and len(responses) == 1
+
+    def test_read_ahead_window_preserves_order(self, regressor):
+        model, X = regressor
+        stats, responses = _serve(
+            model, _request_lines(X[:30]), read_ahead=7
+        )
+        assert [r["id"] for r in responses] == list(range(30))
+        assert stats.requests == 30
+
+
+class TestClassificationProtocol:
+    def test_label_and_proba(self, classifier):
+        model, X = classifier
+        _, responses = _serve(model, _request_lines(X[:20]))
+        direct_labels = model.predict(X[:20])
+        direct_proba = model.predict_proba(X[:20])
+        for i, resp in enumerate(responses):
+            assert resp["prediction"] == direct_labels[i]
+            np.testing.assert_allclose(resp["proba"], direct_proba[i],
+                                       atol=1e-6)
+            assert json.dumps(resp)  # fully JSON-serializable
+
+
+class TestBadRequests:
+    def test_each_failure_mode_gets_specific_error(self, regressor):
+        model, _ = regressor
+        lines = [
+            "this is not json",
+            json.dumps({"id": 1}),                          # no features
+            json.dumps({"id": 2, "features": [1.0]}),       # wrong arity
+            json.dumps({"id": 3, "features": [1.0, "x", 2.0]}),
+            json.dumps([1, 2, 3]),                          # not an object
+        ]
+        stats, responses = _serve(model, lines)
+        assert stats.errors == 5 and stats.requests == 5
+        assert "invalid JSON" in responses[0]["error"]
+        assert "features" in responses[1]["error"]
+        assert "expected 3 features, got 1" in responses[2]["error"]
+        assert "numbers or null" in responses[3]["error"]
+        assert "invalid JSON" in responses[4]["error"]
+        assert responses[1]["id"] == 1  # id echoed when present
+        assert "prediction" not in responses[0]
+
+    def test_errors_interleave_in_order(self, regressor):
+        model, X = regressor
+        lines = _request_lines(X[:4])
+        lines.insert(2, "garbage")
+        _, responses = _serve(model, lines)
+        assert len(responses) == 5
+        assert "error" in responses[2]
+        assert [r.get("id") for r in responses] == [0, 1, None, 2, 3]
+
+
+class TestCacheOnRequestPath:
+    def test_repeats_hit_cache(self, regressor):
+        model, X = regressor
+        lines = _request_lines(X[:10]) + _request_lines(X[:10], start_id=10)
+        # read_ahead=10: the first window is flushed (and cached) before
+        # the repeats are submitted, so every repeat is a guaranteed hit.
+        stats, responses = _serve(model, lines, cache_quant_step=0.001,
+                                  read_ahead=10)
+        assert stats.cache_hits == 10
+        first = [r["prediction"] for r in responses[:10]]
+        second = [r["prediction"] for r in responses[10:]]
+        assert first == second
+
+    def test_cache_disabled_by_zero_size(self, regressor):
+        model, X = regressor
+        service = InferenceService(model, ServeConfig(cache_size=0))
+        assert service.cache is None
+        out = io.StringIO()
+        stats = service.run_jsonl(_request_lines(X[:5]), out)
+        assert stats.requests == 5 and stats.cache_hits == 0
+
+
+class TestStats:
+    def test_rows_per_s_and_batches(self, regressor):
+        model, X = regressor
+        stats, _ = _serve(model, _request_lines(X[:50]), max_batch_size=16)
+        assert stats.batches >= 4  # 50 rows / cap 16
+        assert stats.wall_s > 0
+        assert stats.rows_per_s > 0

@@ -1,0 +1,92 @@
+"""Wire tools/check_serve.py into the tier-1 suite.
+
+The lint pins two serving-layer invariants: no model fitting inside
+src/repro/serve/ (serving is read-only; training happens upstream and
+arrives via the registry), and repro.obs instrumentation present in
+every request-path module (batcher, service, cache, registry).
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECK = REPO_ROOT / "tools" / "check_serve.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_serve  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_serve_tree_passes_lint(self):
+        assert check_serve.check() == []
+
+    def test_script_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECK)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "check_serve: OK" in proc.stdout
+
+    def test_request_path_modules_all_exist(self):
+        """The obs-required list must track real files, or the obs rule
+        silently checks nothing."""
+        for name in check_serve.OBS_REQUIRED:
+            assert (check_serve.SERVE_ROOT / name).is_file(), name
+
+
+class TestDetection:
+    def _violations(self, tmp_path, source, obs_required=False):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return check_serve.file_violations(path, obs_required=obs_required)
+
+    def test_flags_fit_call(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def handler(model, X, y):
+                model.fit(X, y)
+        """)
+        assert len(found) == 1
+        assert "must not train" in found[0][1]
+
+    def test_flags_fit_transform(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def prep(scaler, X):
+                return scaler.fit_transform(X)
+        """)
+        assert len(found) == 1
+
+    def test_flags_missing_obs_on_request_path(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def handle(batch):
+                return [1.0 for _ in batch]
+        """, obs_required=True)
+        assert len(found) == 1
+        assert "instrumentation" in found[0][1]
+
+    def test_obs_call_satisfies_requirement(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro import obs
+
+            def handle(batch):
+                obs.inc("serve.requests_total", len(batch))
+                return [1.0 for _ in batch]
+        """, obs_required=True)
+        assert found == []
+
+    def test_plain_module_without_obs_allowed(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            MAX_BATCH = 64
+        """, obs_required=False)
+        assert found == []
+
+    def test_check_walks_a_tree(self, tmp_path):
+        (tmp_path / "service.py").write_text(
+            "def f(m, X, y):\n    m.fit(X, y)\n"
+        )
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        violations = check_serve.check(root=tmp_path)
+        assert len(violations) == 2  # fit call + service.py missing obs
+        assert all("service.py" in v for v in violations)

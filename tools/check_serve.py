@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Lint: the serving layer stays read-only and observable.
+
+Two rules keep ``repro.serve``'s contract enforceable:
+
+1. **No model fitting inside ``src/repro/serve/``** -- serving loads
+   versioned, already-trained models from the registry; any
+   ``something.fit(...)`` / ``fit_transform(...)`` call there means
+   training snuck onto the request path (latency, nondeterminism, and
+   golden-metric drift all follow).
+2. **Obs instrumentation present on the request path** -- the modules
+   that touch live requests (``batcher.py``, ``service.py``,
+   ``cache.py``, ``registry.py``) must each call into ``repro.obs``
+   (``obs.inc`` / ``obs.observe`` / ``obs.span`` / ...), so qps, batch
+   sizes, latency quantiles and cache hit rates cannot silently vanish
+   in a refactor.
+
+Run directly (``python tools/check_serve.py``) or via the tier-1 suite
+(``tests/test_check_serve.py`` wires it in).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SERVE_ROOT = REPO_ROOT / "src" / "repro" / "serve"
+
+#: Method names that mean "a model is being trained".
+_FIT_NAMES = frozenset({"fit", "fit_transform", "partial_fit"})
+
+#: Files (relative to serve/) that handle live requests and therefore
+#: must carry obs instrumentation.
+OBS_REQUIRED = ("batcher.py", "service.py", "cache.py", "registry.py")
+
+
+def _is_fit_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _FIT_NAMES
+    )
+
+
+def _is_obs_call(node: ast.AST) -> bool:
+    """``obs.<anything>(...)`` -- how repro code talks to telemetry."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "obs"
+    )
+
+
+def file_violations(
+    path: pathlib.Path, obs_required: bool = False
+) -> list[tuple[int, str]]:
+    """(line, message) pairs for one serve-layer source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+    saw_obs = False
+    for node in ast.walk(tree):
+        if _is_fit_call(node):
+            out.append((
+                node.lineno,
+                f".{node.func.attr}() call: repro/serve must not train "
+                "models; load them from the registry instead",
+            ))
+        if _is_obs_call(node):
+            saw_obs = True
+    if obs_required and not saw_obs:
+        out.append((
+            1,
+            "request-path module without any repro.obs instrumentation "
+            "(qps/latency/cache metrics are part of the serving contract)",
+        ))
+    return out
+
+
+def check(root: pathlib.Path = SERVE_ROOT) -> list[str]:
+    """All violations under ``root`` as ``path:line: message`` strings."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        for lineno, message in file_violations(
+            path, obs_required=rel in OBS_REQUIRED
+        ):
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            violations.append(f"{shown}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_serve: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_serve: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

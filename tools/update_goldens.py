@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Regenerate the golden accuracy snapshots in ``tests/golden/``.
+
+The golden suite freezes the paper-facing Table 7/8-style numbers (GBDT
+regression MAE/RMSE, classification weighted-F1 / low-class recall) for
+a small, fully seeded Airport campaign.  Serving or vectorization
+refactors must reproduce these bit-stably; a genuine modelling change
+reruns this script and commits the diff::
+
+    PYTHONPATH=src python tools/update_goldens.py
+
+``compute_goldens()`` is the single source of truth for the golden
+configuration -- ``tests/golden/test_golden_regression.py`` imports it,
+so the check and the regeneration can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "golden_metrics.json"
+
+#: Relative/absolute tolerance for comparing a metric to its snapshot.
+#: The whole pipeline is numpy-deterministic, so same-platform runs match
+#: exactly; the slack only absorbs tiny cross-version float drift.  A
+#: perturbed tree split moves MAE/F1 by orders of magnitude more.
+GOLDEN_RTOL = 1e-7
+GOLDEN_ATOL = 1e-9
+
+#: Feature groups snapshotted (Airport has the panel survey, so T works).
+GOLDEN_SPECS = ("L", "T+M")
+
+GOLDEN_SEED = 424242
+
+
+def _golden_framework():
+    from repro.core.pipeline import Lumos5G, ModelConfig
+    from repro.datasets.generate import generate_datasets
+    from repro.sim.collection import CampaignConfig
+
+    campaign = CampaignConfig(
+        passes_per_trajectory=4,
+        driving_passes=2,
+        stationary_runs=1,
+        stationary_duration_s=30,
+        seed=GOLDEN_SEED,
+    )
+    data = generate_datasets(
+        areas=("Airport",), campaign=campaign, include_global=False,
+        use_cache=False,
+    )
+    config = ModelConfig(
+        gdbt_estimators=40, gdbt_depth=4, gdbt_learning_rate=0.15,
+        gdbt_min_samples_leaf=10,
+    )
+    return Lumos5G(data, config=config, seed=GOLDEN_SEED)
+
+
+def compute_goldens() -> dict:
+    """Freshly computed golden metrics (the snapshot's ground truth)."""
+    framework = _golden_framework()
+    out: dict = {
+        "config": {
+            "area": "Airport",
+            "model": "gdbt",
+            "seed": GOLDEN_SEED,
+            "specs": list(GOLDEN_SPECS),
+        },
+        "metrics": {},
+    }
+    for spec in GOLDEN_SPECS:
+        reg = framework.evaluate_regression("Airport", spec, "gdbt")
+        clf = framework.evaluate_classification("Airport", spec, "gdbt")
+        out["metrics"][spec] = {
+            "regression": {"mae": reg.mae, "rmse": reg.rmse},
+            "classification": {
+                "weighted_f1": clf.weighted_f1,
+                "recall_low": clf.recall_low,
+            },
+            "n_train": reg.n_train,
+            "n_test": reg.n_test,
+        }
+    return out
+
+
+def load_goldens() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    goldens = compute_goldens()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(goldens, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH.relative_to(REPO_ROOT)}")
+    for spec, m in goldens["metrics"].items():
+        print(f"  {spec:6s} MAE={m['regression']['mae']:.3f} "
+              f"RMSE={m['regression']['rmse']:.3f} "
+              f"F1={m['classification']['weighted_f1']:.4f} "
+              f"recall(low)={m['classification']['recall_low']:.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main())
