@@ -1,0 +1,165 @@
+"""GBDT/forest training throughput: growth engine vs reference grower.
+
+Fits on synthetic regression/classification data (>= 50k rows for the
+asserted case) through three model families:
+
+* **regressor** -- squared-error GBDT, engine vs the recursive
+  reference grower (``HistogramTree.fit_reference`` monkeypatched in);
+  the engine must be >= 2x.
+* **classifier k=7** -- multi-output softmax boosting (7 classes means
+  7-output trees), engine vs reference.
+* **forest** -- bagged sqrt-feature trees, engine only, serial vs
+  ``workers=4`` under ``repro.par.pmap``.
+
+Throughput is reported as rows*trees/sec (rows fitted per tree times
+trees per second), the natural unit for boosting/bagging training, and
+recorded as obs gauges so it lands in
+``benchmarks/results/obs_metrics.json``:
+
+* ``tree.bench.reg_engine_row_trees_per_s`` / ``tree.bench.reg_reference_row_trees_per_s``
+* ``tree.bench.reg_speedup`` -- engine / reference ratio (asserted >= 2x)
+* ``tree.bench.clf_engine_row_trees_per_s`` / ``tree.bench.clf_reference_row_trees_per_s``
+  / ``tree.bench.clf_speedup``
+* ``tree.bench.forest_serial_row_trees_per_s`` / ``tree.bench.forest_workers4_row_trees_per_s``
+"""
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
+from repro.ml.tree import HistogramTree
+
+from _bench_utils import emit, format_table
+
+#: The asserted >= 2x case: a >= 50k-row regression fit.
+N_REG, REG_TREES = 50_000, 5
+#: Classifier rows are fewer: each round grows a 7-output tree, so the
+#: reference baseline pays 7x the bincounts per node.
+N_CLS, CLS_TREES = 20_000, 2
+N_RF, RF_TREES = 20_000, 8
+D = 20
+
+
+def _regression_data(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(N_REG, D))
+    y = (X[:, 0] - 2.0 * X[:, 3] + 0.5 * X[:, 7] * X[:, 11]
+         + rng.normal(0, 0.3, N_REG))
+    return X, y
+
+
+def _classification_data(seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(N_CLS, D))
+    score = X[:, 0] + X[:, 5] - X[:, 9] + rng.normal(0, 0.5, N_CLS)
+    edges = np.quantile(score, np.linspace(0, 1, 8)[1:-1])
+    return X, np.digitize(score, edges)  # 7 classes
+
+
+def _use_reference(monkeypatch_ctx):
+    monkeypatch_ctx.setattr(HistogramTree, "fit",
+                            HistogramTree.fit_reference)
+
+
+def test_gbdt_fit_throughput(benchmark, monkeypatch, capsys):
+    X_reg, y_reg = _regression_data()
+    X_clf, y_clf = _classification_data()
+    reg_kwargs = dict(n_estimators=REG_TREES, max_depth=8,
+                      min_samples_leaf=5, max_bins=64, random_state=0)
+    clf_kwargs = dict(n_estimators=CLS_TREES, max_depth=6,
+                      min_samples_leaf=10, max_bins=64, random_state=0)
+
+    # Regressor: engine (timed by pytest-benchmark) then reference.
+    t0 = time.perf_counter()
+    engine_model = benchmark.pedantic(
+        lambda: GBDTRegressor(**reg_kwargs).fit(X_reg, y_reg),
+        rounds=1, iterations=1,
+    )
+    reg_engine_s = time.perf_counter() - t0
+    with monkeypatch.context() as m:
+        _use_reference(m)
+        t0 = time.perf_counter()
+        reference_model = GBDTRegressor(**reg_kwargs).fit(X_reg, y_reg)
+        reg_reference_s = time.perf_counter() - t0
+    # Same bits out of both growers, or the speedup is meaningless.
+    probe = X_reg[:2000]
+    np.testing.assert_array_equal(engine_model.predict(probe),
+                                  reference_model.predict(probe))
+
+    # Classifier, 7 classes -> 7-output trees.
+    t0 = time.perf_counter()
+    GBDTClassifier(**clf_kwargs).fit(X_clf, y_clf)
+    clf_engine_s = time.perf_counter() - t0
+    with monkeypatch.context() as m:
+        _use_reference(m)
+        t0 = time.perf_counter()
+        GBDTClassifier(**clf_kwargs).fit(X_clf, y_clf)
+        clf_reference_s = time.perf_counter() - t0
+
+    # Forest: engine only, serial vs 4 workers (per-tree pmap).
+    X_rf, y_rf = X_reg[:N_RF], y_reg[:N_RF]
+    rf_kwargs = dict(n_estimators=RF_TREES, max_depth=10,
+                     min_samples_leaf=3, max_bins=64, random_state=0)
+    t0 = time.perf_counter()
+    RandomForestRegressor(workers=1, **rf_kwargs).fit(X_rf, y_rf)
+    rf_serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    RandomForestRegressor(workers=4, **rf_kwargs).fit(X_rf, y_rf)
+    rf_workers_s = time.perf_counter() - t0
+
+    def rtps(n, trees, wall):
+        return n * trees / wall
+
+    reg_engine = rtps(N_REG, REG_TREES, reg_engine_s)
+    reg_reference = rtps(N_REG, REG_TREES, reg_reference_s)
+    reg_speedup = reg_engine / reg_reference
+    clf_engine = rtps(N_CLS, CLS_TREES, clf_engine_s)
+    clf_reference = rtps(N_CLS, CLS_TREES, clf_reference_s)
+    clf_speedup = clf_engine / clf_reference
+    rf_serial = rtps(N_RF, RF_TREES, rf_serial_s)
+    rf_workers = rtps(N_RF, RF_TREES, rf_workers_s)
+
+    obs.set_gauge("tree.bench.reg_engine_row_trees_per_s",
+                  round(reg_engine, 1))
+    obs.set_gauge("tree.bench.reg_reference_row_trees_per_s",
+                  round(reg_reference, 1))
+    obs.set_gauge("tree.bench.reg_speedup", round(reg_speedup, 2))
+    obs.set_gauge("tree.bench.clf_engine_row_trees_per_s",
+                  round(clf_engine, 1))
+    obs.set_gauge("tree.bench.clf_reference_row_trees_per_s",
+                  round(clf_reference, 1))
+    obs.set_gauge("tree.bench.clf_speedup", round(clf_speedup, 2))
+    obs.set_gauge("tree.bench.forest_serial_row_trees_per_s",
+                  round(rf_serial, 1))
+    obs.set_gauge("tree.bench.forest_workers4_row_trees_per_s",
+                  round(rf_workers, 1))
+
+    table = format_table(
+        ["fit", "rows", "trees", "wall s", "row*trees/s", "speedup"],
+        [
+            ["regressor reference", N_REG, REG_TREES,
+             f"{reg_reference_s:.2f}", f"{reg_reference:.0f}", "1.00"],
+            ["regressor engine", N_REG, REG_TREES,
+             f"{reg_engine_s:.2f}", f"{reg_engine:.0f}",
+             f"{reg_speedup:.2f}"],
+            ["classifier k=7 reference", N_CLS, CLS_TREES,
+             f"{clf_reference_s:.2f}", f"{clf_reference:.0f}", "1.00"],
+            ["classifier k=7 engine", N_CLS, CLS_TREES,
+             f"{clf_engine_s:.2f}", f"{clf_engine:.0f}",
+             f"{clf_speedup:.2f}"],
+            ["forest serial", N_RF, RF_TREES,
+             f"{rf_serial_s:.2f}", f"{rf_serial:.0f}", "-"],
+            ["forest workers=4", N_RF, RF_TREES,
+             f"{rf_workers_s:.2f}", f"{rf_workers:.0f}",
+             f"{rf_serial_s / rf_workers_s:.2f} vs serial"],
+        ],
+    )
+    emit("gbdt_fit_throughput", table, capsys)
+
+    assert reg_speedup >= 2.0, (
+        f"growth engine must be >=2x the reference grower on the "
+        f"{N_REG}-row regression fit, got {reg_speedup:.2f}x"
+    )

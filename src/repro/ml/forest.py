@@ -24,6 +24,7 @@ def _fit_one_tree(
     hess: np.ndarray,
     params: TreeParams,
     bootstrap: bool,
+    n_bins: np.ndarray,
     seed: np.random.SeedSequence,
 ) -> HistogramTree:
     """Pure per-tree task: bootstrap + grow from the tree's own seed."""
@@ -31,7 +32,7 @@ def _fit_one_tree(
     n = len(binned)
     idx = rng.integers(0, n, size=n) if bootstrap else np.arange(n)
     return HistogramTree(params).fit(
-        binned[idx], targets[idx], hess[idx], rng=rng
+        binned[idx], targets[idx], hess[idx], rng=rng, n_bins=n_bins
     )
 
 
@@ -84,7 +85,7 @@ class _ForestBase:
         seeds = spawn_seeds(self.random_state, self.n_estimators)
         self._trees = pmap(
             partial(_fit_one_tree, binned, targets, hess,
-                    self._params(), self.bootstrap),
+                    self._params(), self.bootstrap, self._binner.n_bins_),
             seeds,
             workers=self.workers,
             label="forest.fit",

@@ -33,6 +33,12 @@ def softmax(logits: np.ndarray) -> np.ndarray:
     return e / e.sum(axis=1, keepdims=True)
 
 
+def _pinball_loss(residual: np.ndarray, alpha: float) -> float:
+    return float(np.mean(
+        np.where(residual >= 0.0, alpha * residual, (alpha - 1.0) * residual)
+    ))
+
+
 class _GBDTBase:
     def __init__(
         self,
@@ -119,7 +125,8 @@ class GBDTRegressor(_GBDTBase):
                 )
             else:
                 sub_binned, sub_g, sub_h = binned, residual, ones
-            tree = HistogramTree(params).fit(sub_binned, sub_g, sub_h, rng=rng)
+            tree = HistogramTree(params).fit(sub_binned, sub_g, sub_h, rng=rng,
+                                             n_bins=self._binner.n_bins_)
             self._trees.append(tree)
             current += self.learning_rate * tree.predict_binned(binned)[:, 0]
             if obs_on:
@@ -190,28 +197,49 @@ class GBDTQuantileRegressor(_GBDTBase):
         #: (zero at internal nodes), so prediction is one array gather.
         self._leaf_values: list[np.ndarray] = []
         alpha = self.quantile
+        obs_on = obs.enabled()
         t_start = time.perf_counter()
         for _ in range(self.n_estimators):
+            round_t0 = time.perf_counter() if obs_on else 0.0
             residual = y - current
             pseudo = np.where(residual >= 0.0, alpha, alpha - 1.0)[:, None]
-            tree = HistogramTree(params).fit(binned, pseudo, ones, rng=rng)
-            leaves = tree.apply(binned)
+            if self.subsample < 1.0:
+                # Stochastic boosting: grow and leaf-refit on the in-bag
+                # rows only; the update still applies to every row.
+                rows = rng.random(len(y)) < self.subsample
+                tree = HistogramTree(params).fit(
+                    binned[rows], pseudo[rows], ones[rows], rng=rng,
+                    n_bins=self._binner.n_bins_,
+                )
+                fit_leaves = tree.apply(binned[rows])
+                fit_residual = residual[rows]
+                leaves = tree.apply(binned)
+            else:
+                tree = HistogramTree(params).fit(binned, pseudo, ones,
+                                                 rng=rng,
+                                                 n_bins=self._binner.n_bins_)
+                leaves = tree.apply(binned)
+                fit_leaves, fit_residual = leaves, residual
+            # Every tree leaf holds in-bag rows by construction, so the
+            # refit quantile is defined wherever out-of-bag rows land.
             leaf_vals = np.zeros(len(tree.nodes))
-            for leaf in np.unique(leaves):
-                leaf_vals[leaf] = np.quantile(residual[leaves == leaf],
-                                              alpha)
+            for leaf in np.unique(fit_leaves):
+                leaf_vals[leaf] = np.quantile(
+                    fit_residual[fit_leaves == leaf], alpha
+                )
             self._trees.append(tree)
             self._leaf_values.append(leaf_vals)
             current += self.learning_rate * leaf_vals[leaves]
-        residual = y - current
+            if obs_on:
+                obs.inc("gbdt.rounds_total")
+                obs.observe("gbdt.round_s", time.perf_counter() - round_t0)
+                obs.set_gauge("gbdt.train_loss",
+                              _pinball_loss(y - current, alpha))
         self.fit_telemetry_ = {
             "model": "gbdt_quantile_regressor",
             "fit_wall_s": time.perf_counter() - t_start,
             "rounds_completed": len(self._trees),
-            "final_train_loss": float(np.mean(
-                np.where(residual >= 0.0, alpha * residual,
-                         (alpha - 1.0) * residual)
-            )),
+            "final_train_loss": _pinball_loss(y - current, alpha),
         }
         return self
 
@@ -266,10 +294,12 @@ class GBDTClassifier(_GBDTBase):
             if self.subsample < 1.0:
                 rows = rng.random(len(X)) < self.subsample
                 tree = HistogramTree(params).fit(
-                    binned[rows], grad[rows], hess[rows], rng=rng
+                    binned[rows], grad[rows], hess[rows], rng=rng,
+                    n_bins=self._binner.n_bins_,
                 )
             else:
-                tree = HistogramTree(params).fit(binned, grad, hess, rng=rng)
+                tree = HistogramTree(params).fit(binned, grad, hess, rng=rng,
+                                                 n_bins=self._binner.n_bins_)
             self._trees.append(tree)
             logits += self.learning_rate * tree.predict_binned(binned)
             if obs_on:
@@ -298,6 +328,19 @@ class GBDTClassifier(_GBDTBase):
     def predict(self, X) -> np.ndarray:
         codes = np.argmax(self._logits(X), axis=1)
         return self.encoder_.inverse_transform(codes)
+
+    def staged_errors(self, X, y, metric) -> list[float]:
+        """Metric on decoded labels after each boosting stage."""
+        self._check_fitted()
+        binned = self._binner.transform(np.asarray(X, dtype=float))
+        y = np.asarray(y)
+        logits = np.tile(self.base_logits_, (len(binned), 1))
+        out = []
+        for tree in self._trees:
+            logits += self.learning_rate * tree.predict_binned(binned)
+            pred = self.encoder_.inverse_transform(np.argmax(logits, axis=1))
+            out.append(metric(y, pred))
+        return out
 
     @property
     def classes_(self) -> np.ndarray:

@@ -2,7 +2,8 @@
 
 Features are quantized once into at most 256 quantile bins; split search
 then reduces to per-bin gradient/hessian histograms (the LightGBM-style
-construction).  One builder covers every tree use in the repo:
+construction, Ke et al., NeurIPS 2017).  One builder covers every tree
+use in the repo:
 
 * plain regression trees fit targets with ``grad=y, hess=1`` (leaf = mean);
 * gradient boosting fits Newton steps with arbitrary grad/hess;
@@ -10,13 +11,26 @@ construction).  One builder covers every tree use in the repo:
 
 Trees support multi-output targets: a leaf stores a k-vector and the split
 gain sums over outputs.
+
+Growth runs through an iterative, frontier-based engine
+(:class:`_TreeGrower`) with the four classic histogram-GBDT
+optimizations -- one-shot all-feature offset-bincount histograms, the
+histogram-subtraction trick, in-place stable row partitioning, and a
+fully vectorized split search (docs/performance.md).  The original
+recursive grower survives as :meth:`HistogramTree.fit_reference`
+(mirroring the ``predict_binned_slow`` pattern) and the engine produces
+bit-identical trees: same node order, splits, values, gains and
+``feature_gain_``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro import obs
 
 MAX_BINS = 256
 
@@ -65,6 +79,14 @@ class FeatureBinner:
     def n_bins(self, feature: int) -> int:
         return len(self.edges_[feature]) + 1
 
+    @property
+    def n_bins_(self) -> np.ndarray:
+        """Per-feature bin counts; what tree growth needs to size its
+        histogram grid without rescanning codes per node."""
+        if self.edges_ is None:
+            raise RuntimeError("binner is not fitted")
+        return np.asarray([len(e) + 1 for e in self.edges_], dtype=np.int64)
+
 
 @dataclass
 class TreeParams:
@@ -93,8 +115,351 @@ class _Node:
         return self.feature < 0
 
 
+class _TreeGrower:
+    """Iterative frontier-based growth engine for :class:`HistogramTree`.
+
+    Equivalent to the recursive reference grower
+    (:meth:`HistogramTree.fit_reference`) node for node and bit for bit,
+    but structured around four histogram-GBDT optimizations:
+
+    1. **One-shot histogram construction**: per node, a single set of
+       ``np.bincount`` calls over ``codes + per-feature bin offsets``
+       builds every feature's grad/hess/count histogram at once, instead
+       of a Python loop of ``n_features x n_outputs`` bincounts.
+    2. **Histogram subtraction**: only the smaller child's histogram is
+       built from rows; the larger child's is derived as
+       ``parent - sibling``.  Parent histograms ride the frontier and
+       are dropped as soon as both children own theirs.
+    3. **In-place stable partition**: one shared set of row-major
+       arrays (codes, grad, hess) is reordered in place at each split,
+       so a node's rows are a contiguous slice -- no per-node
+       ``binned[idx]`` row gathers.
+    4. **Vectorized split search**: scores for every (feature, bin)
+       candidate live in one 2-D array; a single argmax replaces the
+       per-feature Python loop while reproducing its tie-breaking
+       (first feature in sampled order, then lowest bin) exactly.
+
+    Bit-identity with the reference is preserved by keeping every float
+    that lands in the tree on the reference's exact computation path.
+    Node G/H come from contiguous slice sums over rows in original
+    order (stable partition).  Direct-built histograms accumulate
+    per-cell in ascending row order, so their split scores equal the
+    reference's bit for bit; selection then mirrors the reference's
+    control flow -- per-feature bin by raw-score argmax, features
+    compared on ``gain = score - base`` with first-wins ties (gain
+    space matters: scores one ulp apart can round to equal gains).  A
+    *derived* (parent - sibling) histogram carries ulp-level rounding
+    noise, so its scores only nominate a near-tie band (everything
+    within ``BAND_REL`` of the max -- orders of magnitude wider than
+    the noise, so the reference's winner is always inside); every
+    feature in the band is then re-scored with an exact single-feature
+    pass and the same gain-space scan picks the winner.  Stored gains
+    always come from the exact path.
+    """
+
+    #: Children smaller than this build their histograms directly:
+    #: tiny nodes are cheap to histogram but dense in exactly-tied
+    #: candidate splits, where derived-histogram noise would force wide
+    #: exact re-scoring bands.
+    SUBTRACT_MIN_ROWS = 256
+    #: Relative half-width of the near-tie band re-scored exactly when
+    #: selecting on a derived histogram.  Subtraction noise is
+    #: O(depth * 2^-52) relative, ~1e5 times smaller.
+    BAND_REL = 1e-8
+
+    def __init__(self, tree: "HistogramTree", binned, grad, hess, rng,
+                 n_bins=None):
+        self.tree = tree
+        p = tree.params
+        self.k = tree.n_outputs
+        # Own row-major copies: the engine reorders these in place.
+        self.C = np.array(binned, order="C")
+        self.G = np.array(grad, dtype=float, order="C")
+        self.H = np.array(hess, dtype=float, order="C")
+        self.n, self.d = self.C.shape
+        if n_bins is not None and len(np.asarray(n_bins)):
+            B = int(np.max(n_bins))
+        else:
+            B = int(self.C.max()) + 1 if self.n else 1
+        #: Uniform per-feature bin stride; candidate bins beyond a
+        #: feature's real range are empty and min_samples_leaf-invalid,
+        #: so they can never win.  Floor of 2 keeps (B-1)-wide candidate
+        #: grids non-degenerate when every feature is constant.
+        self.B = max(B, 2)
+        self.lam = max(p.reg_lambda, 1e-12)
+        self.msl = p.min_samples_leaf
+        self.rng = rng
+        self.k_feat = tree._n_split_features(self.d)
+        self.full = self.k_feat == self.d
+        #: hess == 1 everywhere (regression trees, forests, quantile
+        #: boosting): the hessian histogram equals the count histogram
+        #: bit for bit (a bincount of ones is the count), so skip
+        #: building it.
+        self.unit_hess = bool(self.n == 0 or (self.H == 1.0).all())
+        # Scratch buffers reused by every histogram build (flat codes
+        # and repeated per-output weights), sliced per node.
+        width = self.d if self.full else self.k_feat
+        self._offsets = np.arange(width, dtype=np.intp) * self.B
+        self._fbuf = np.empty((self.n, width), dtype=np.intp)
+        self._wbuf = np.empty(self.n * width)
+
+    # -- histogram construction -------------------------------------------- #
+
+    def _build_hist(self, s: int, e: int, features) -> np.ndarray:
+        """All-feature histogram for rows [s, e): shape (nf, B, 2k+1).
+
+        Planes ``[..., :k]`` hold grad sums, ``[..., k:2k]`` hess sums,
+        ``[..., 2k]`` counts (exact integers in float64, so histogram
+        subtraction never loses a row).  Per-cell accumulation order is
+        ascending row order -- identical to the reference grower's
+        per-feature bincounts.
+        """
+        m = e - s
+        k, B = self.k, self.B
+        if features is None:
+            codes, nf = self.C[s:e], self.d
+        else:
+            codes, nf = self.C[s:e][:, features], len(features)
+        flat = self._fbuf[:m]  # (m, nf): nf always equals the buffer width
+        np.add(codes, self._offsets, out=flat, casting="unsafe")
+        fr = flat.ravel()
+        total = nf * B
+        hist = np.zeros((nf, B, 2 * k + 1))
+        cnt = np.bincount(fr, minlength=total).reshape(nf, B)
+        hist[:, :, 2 * k] = cnt
+        wview = self._wbuf[: m * nf].reshape(m, nf)
+        for j in range(k):
+            wview[:] = self.G[s:e, j, None]
+            hist[:, :, j] = np.bincount(
+                fr, weights=wview.ravel(), minlength=total
+            ).reshape(nf, B)
+        if self.unit_hess:
+            hist[:, :, k:2 * k] = cnt[:, :, None]
+        else:
+            for j in range(k):
+                wview[:] = self.H[s:e, j, None]
+                hist[:, :, j + k] = np.bincount(
+                    fr, weights=wview.ravel(), minlength=total
+                ).reshape(nf, B)
+        obs.inc("tree.hist_built_total")
+        return hist
+
+    # -- split search ------------------------------------------------------- #
+
+    def _scores(self, hist: np.ndarray, G: np.ndarray, H: np.ndarray,
+                n_node: int) -> np.ndarray:
+        """Scores for every (feature, bin) candidate in one sweep.
+
+        One cumulative-sum pass over the histogram planes, then the
+        split objective evaluated on the whole ``(n_features, B-1)``
+        grid at once; invalid candidates (min_samples_leaf) are -inf.
+        On a direct-built histogram every cell of the result is
+        bit-identical to the reference grower's per-feature scores.
+        """
+        k, B = self.k, self.B
+        GL = np.cumsum(hist[:, :, :k], axis=1)[:, : B - 1, :]
+        HL = np.cumsum(hist[:, :, k:2 * k], axis=1)[:, : B - 1, :]
+        NL = np.cumsum(hist[:, :, 2 * k], axis=1)[:, : B - 1]
+        GR = G[None, None, :] - GL
+        HR = H[None, None, :] - HL
+        NR = n_node - NL
+        valid = (NL >= self.msl) & (NR >= self.msl)
+        score = ((GL * GL / (HL + self.lam)).sum(axis=2)
+                 + (GR * GR / (HR + self.lam)).sum(axis=2))
+        score[~valid] = -np.inf
+        return score
+
+    # -- exact single-feature score (reference arithmetic) ------------------ #
+
+    def _exact_scores_1f(self, s: int, e: int, f: int,
+                         G: np.ndarray, H: np.ndarray) -> np.ndarray:
+        """Per-bin scores for one feature on the reference grower's exact
+        float path (direct single-feature histogram + cumsum, -inf at
+        min_samples_leaf-invalid bins), so derived-histogram rounding
+        never reaches stored gains or tie-breaking."""
+        k = self.k
+        codes = self.C[s:e, f]
+        nb = int(codes.max()) + 1
+        if nb < 2:
+            return np.full(max(nb - 1, 0), -np.inf)
+        hist_g = np.empty((nb, k))
+        hist_h = np.empty((nb, k))
+        hist_n = np.bincount(codes, minlength=nb)
+        for j in range(k):
+            hist_g[:, j] = np.bincount(codes, weights=self.G[s:e, j],
+                                       minlength=nb)
+            hist_h[:, j] = np.bincount(codes, weights=self.H[s:e, j],
+                                       minlength=nb)
+        GL = np.cumsum(hist_g, axis=0)[:-1]
+        HL = np.cumsum(hist_h, axis=0)[:-1]
+        NL = np.cumsum(hist_n)[:-1]
+        GR = G - GL
+        HR = H - HL
+        NR = (e - s) - NL
+        score = (np.sum(GL * GL / (HL + self.lam), axis=1)
+                 + np.sum(GR * GR / (HR + self.lam), axis=1))
+        score[~((NL >= self.msl) & (NR >= self.msl))] = -np.inf
+        return score
+
+    def _select(self, score: np.ndarray, derived: bool, s: int, e: int,
+                features, G: np.ndarray, H: np.ndarray, base: float):
+        """Winning (feature-position, bin, gain) or None.
+
+        The reference picks each feature's bin by raw-score argmax but
+        compares *features* on ``gain = score[bin] - base`` with strict
+        ``>`` -- and two scores one ulp apart can round to the same
+        gain, so tie-breaking must happen in gain space, not score
+        space.  Direct histograms: per-feature argmax + vectorized gain,
+        first occurrence of the max gain.  Derived histograms: exact
+        re-scoring of every feature in the near-tie band (see class
+        docstring), same first-wins scan over exact gains.
+        """
+        if score.size == 0:
+            return None
+        if not derived:
+            b_f = np.argmax(score, axis=1)  # first occurrence per feature
+            sc_f = score[np.arange(score.shape[0]), b_f]
+            gain_f = sc_f - base
+            f_pos = int(np.argmax(gain_f))  # first occurrence of max gain
+            gain = float(gain_f[f_pos])
+            if not np.isfinite(gain):
+                return None
+            return f_pos, int(b_f[f_pos]), gain
+        smax = float(score.max())
+        if not np.isfinite(smax):
+            return None
+        delta = self.BAND_REL * (abs(smax) + 1.0)
+        in_band = (score >= smax - delta).any(axis=1)
+        best = None
+        best_gain = -np.inf
+        for f_pos in np.flatnonzero(in_band):  # ascending sample order
+            f_pos = int(f_pos)
+            f = f_pos if features is None else int(features[f_pos])
+            exact = self._exact_scores_1f(s, e, f, G, H)
+            if exact.size == 0:
+                continue
+            b = int(np.argmax(exact))
+            gain = float(exact[b]) - base
+            if np.isfinite(gain) and gain > best_gain:
+                best = (f_pos, b)
+                best_gain = gain
+        if best is None:
+            return None
+        return best[0], best[1], best_gain
+
+    # -- partition ---------------------------------------------------------- #
+
+    def _partition(self, s: int, e: int, f: int, b: int) -> int:
+        """Stable in-place partition of rows [s, e) on code <= b.
+
+        Left-going rows keep their relative (original) order, as do
+        right-going rows, so every node's slice stays in the exact row
+        order the reference grower's ``idx[mask]`` chain would produce.
+        """
+        mask = self.C[s:e, f] <= b
+        nl = int(np.count_nonzero(mask))
+        if nl == 0 or nl == e - s:
+            return nl
+        perm = np.concatenate([np.flatnonzero(mask), np.flatnonzero(~mask)])
+        self.C[s:e] = self.C[s:e][perm]
+        self.G[s:e] = self.G[s:e][perm]
+        self.H[s:e] = self.H[s:e][perm]
+        return nl
+
+    # -- main loop ---------------------------------------------------------- #
+
+    def run(self) -> None:
+        tree, p = self.tree, self.tree.params
+        nodes = tree.nodes
+        obs_on = obs.enabled()
+        # Frontier entries:
+        # (start, end, depth, hist, derived, parent_id, is_right).
+        # LIFO with right pushed first reproduces the reference's
+        # pre-order: parent, full left subtree, then right subtree --
+        # node ids, rng draws and feature_gain_ accumulation all land in
+        # the reference's order.
+        stack = [(0, self.n, 0, None, False, -1, False)]
+        while stack:
+            s, e, depth, hist, derived, parent, is_right = stack.pop()
+            t0 = time.perf_counter() if obs_on else 0.0
+            nid = len(nodes)
+            if parent >= 0:
+                if is_right:
+                    nodes[parent].right = nid
+                else:
+                    nodes[parent].left = nid
+            m = e - s
+            G = self.G[s:e].sum(axis=0)
+            H = self.H[s:e].sum(axis=0)
+            node = _Node(value=tree._leaf_value(G, H), n_samples=m)
+            nodes.append(node)
+            if depth >= p.max_depth or m < 2 * p.min_samples_leaf:
+                continue
+            features = (None if self.full
+                        else self.rng.choice(self.d, size=self.k_feat,
+                                             replace=False))
+            if hist is None:
+                hist = self._build_hist(s, e, features)
+                derived = False
+            base = float(np.sum(G * G / (H + self.lam)))
+            score = self._scores(hist, G, H, m)
+            sel = self._select(score, derived, s, e, features, G, H, base)
+            if sel is None:
+                continue
+            f_pos, b, gain = sel
+            f = f_pos if features is None else int(features[f_pos])
+            if gain <= 0.0 or gain <= p.min_gain:
+                continue
+            nl = self._partition(s, e, f, b)
+            node.feature = f
+            node.threshold_bin = int(b)
+            node.gain = gain
+            tree.feature_gain_[f] += gain
+            cdepth = depth + 1
+            nr = m - nl
+            lhist = rhist = None
+            lder = rder = False
+            if self.full:
+                lneed = cdepth < p.max_depth and nl >= 2 * p.min_samples_leaf
+                rneed = cdepth < p.max_depth and nr >= 2 * p.min_samples_leaf
+                small_is_left = nl <= nr
+                other_need = rneed if small_is_left else lneed
+                other_size = nr if small_is_left else nl
+                # Subtraction pays off only for a large derived child:
+                # small ones are cheap to histogram directly and skip
+                # the exact re-scoring band entirely.
+                if other_need and other_size >= self.SUBTRACT_MIN_ROWS:
+                    # Build the smaller child's histogram from its rows;
+                    # its sibling is parent - sibling for free.
+                    if small_is_left:
+                        shist = self._build_hist(s, s + nl, None)
+                    else:
+                        shist = self._build_hist(s + nl, e, None)
+                    ohist = hist - shist
+                    obs.inc("tree.hist_subtracted_total")
+                    small_need = lneed if small_is_left else rneed
+                    if small_is_left:
+                        lhist = shist if small_need else None
+                        rhist, rder = ohist, True
+                    else:
+                        rhist = shist if small_need else None
+                        lhist, lder = ohist, True
+            stack.append((s + nl, e, cdepth, rhist, rder, nid, True))
+            stack.append((s, s + nl, cdepth, lhist, lder, nid, False))
+            if obs_on:
+                obs.observe("tree.node_grow_s", time.perf_counter() - t0)
+
+
 class HistogramTree:
     """One grown tree over pre-binned features.
+
+    Growth uses the iterative frontier engine (:class:`_TreeGrower`:
+    offset-bincount histograms, histogram subtraction, in-place stable
+    partition, vectorized split search); the original recursive grower
+    survives as :meth:`fit_reference` because it is the ground truth the
+    growth-equivalence property tests (and ``benchmarks/
+    bench_gbdt_fit.py``) compare against, exactly as
+    :meth:`predict_binned_slow` anchors the vectorized traversal.
 
     Prediction uses a vectorized level-order descent over flattened node
     arrays (see :meth:`predict_binned`); the original per-row/per-node
@@ -114,26 +479,59 @@ class HistogramTree:
 
     # -- growing ------------------------------------------------------------ #
 
+    def _prepare_fit(self, binned, grad, hess):
+        binned = np.asarray(binned)
+        grad = np.atleast_2d(np.asarray(grad, dtype=float).T).T
+        hess = np.atleast_2d(np.asarray(hess, dtype=float).T).T
+        if grad.shape != hess.shape or len(grad) != len(binned):
+            raise ValueError("grad/hess/binned shape mismatch")
+        self.n_outputs = grad.shape[1]
+        self.feature_gain_ = np.zeros(binned.shape[1])
+        self.nodes = []
+        self._flat = None
+        return binned, grad, hess
+
     def fit(
         self,
         binned: np.ndarray,
         grad: np.ndarray,
         hess: np.ndarray,
         rng: np.random.Generator | None = None,
+        n_bins: np.ndarray | None = None,
     ) -> "HistogramTree":
-        """Grow on uint8-binned X; grad/hess are (n,) or (n, k)."""
-        grad = np.atleast_2d(np.asarray(grad, dtype=float).T).T
-        hess = np.atleast_2d(np.asarray(hess, dtype=float).T).T
-        if grad.shape != hess.shape or len(grad) != len(binned):
-            raise ValueError("grad/hess/binned shape mismatch")
-        self.n_outputs = grad.shape[1]
-        n_features = binned.shape[1]
-        self.feature_gain_ = np.zeros(n_features)
-        self.nodes = []
-        self._flat = None
+        """Grow on uint8-binned X; grad/hess are (n,) or (n, k).
+
+        ``n_bins`` (per-feature bin counts, e.g.
+        :attr:`FeatureBinner.n_bins_`) sizes the histogram grid without
+        rescanning codes; when omitted the engine takes one max over
+        ``binned``.  Codes must stay below the advertised bin counts.
+        """
+        binned, grad, hess = self._prepare_fit(binned, grad, hess)
+        rng = rng or np.random.default_rng()
+        _TreeGrower(self, binned, grad, hess, rng, n_bins=n_bins).run()
+        return self
+
+    def fit_reference(
+        self,
+        binned: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        rng: np.random.Generator | None = None,
+        n_bins: np.ndarray | None = None,
+    ) -> "HistogramTree":
+        """Reference recursive grower (pre-engine implementation).
+
+        Kept as ground truth for the growth-equivalence property tests
+        and the baseline in ``benchmarks/bench_gbdt_fit.py``; the
+        engine in :meth:`fit` must stay bit-for-bit identical to it.
+        ``n_bins`` is accepted for signature compatibility and ignored
+        (this grower rescans codes per node).
+        """
+        del n_bins
+        binned, grad, hess = self._prepare_fit(binned, grad, hess)
         rng = rng or np.random.default_rng()
         idx_all = np.arange(len(binned))
-        self._grow(binned, grad, hess, idx_all, depth=0, rng=rng)
+        self._grow_reference(binned, grad, hess, idx_all, depth=0, rng=rng)
         return self
 
     def _n_split_features(self, n_features: int) -> int:
@@ -147,7 +545,7 @@ class HistogramTree:
     def _leaf_value(self, G: np.ndarray, H: np.ndarray) -> np.ndarray:
         return G / (H + max(self.params.reg_lambda, 1e-12))
 
-    def _grow(self, binned, grad, hess, idx, depth, rng) -> int:
+    def _grow_reference(self, binned, grad, hess, idx, depth, rng) -> int:
         node_id = len(self.nodes)
         G = grad[idx].sum(axis=0)
         H = hess[idx].sum(axis=0)
@@ -209,8 +607,10 @@ class HistogramTree:
         node.threshold_bin = best_bin
         node.gain = best_gain
         self.feature_gain_[best_feature] += best_gain
-        node.left = self._grow(binned, grad, hess, left_idx, depth + 1, rng)
-        node.right = self._grow(binned, grad, hess, right_idx, depth + 1, rng)
+        node.left = self._grow_reference(binned, grad, hess, left_idx,
+                                         depth + 1, rng)
+        node.right = self._grow_reference(binned, grad, hess, right_idx,
+                                          depth + 1, rng)
         return node_id
 
     # -- prediction ---------------------------------------------------------- #
@@ -346,7 +746,8 @@ class DecisionTreeRegressor:
         self._binner = FeatureBinner(self.max_bins)
         binned = self._binner.fit_transform(X)
         self._tree = HistogramTree(self.params)
-        self._tree.fit(binned, y, np.ones_like(np.atleast_2d(y.T).T), rng=rng)
+        self._tree.fit(binned, y, np.ones_like(np.atleast_2d(y.T).T),
+                       rng=rng, n_bins=self._binner.n_bins_)
         return self
 
     def predict(self, X) -> np.ndarray:

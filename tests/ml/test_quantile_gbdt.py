@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.ml.gbdt import GBDTQuantileRegressor
 
 
@@ -65,3 +66,55 @@ class TestQuantileGBDT:
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError):
             GBDTQuantileRegressor().predict(np.ones((2, 1)))
+
+
+class TestSubsampleAndObs:
+    """``subsample`` used to be validated but silently ignored by the
+    quantile fit loop; these pin the stochastic-boosting behaviour and
+    the per-round obs instrumentation the other fit loops already had."""
+
+    def test_subsample_changes_the_model(self):
+        X, y = heteroscedastic_data(seed=4)
+        kwargs = dict(quantile=0.5, n_estimators=20, random_state=0)
+        full = GBDTQuantileRegressor(**kwargs).fit(X, y)
+        sub = GBDTQuantileRegressor(subsample=0.6, **kwargs).fit(X, y)
+        assert not np.array_equal(full.predict(X), sub.predict(X))
+
+    def test_subsample_deterministic_given_seed(self):
+        X, y = heteroscedastic_data(n=800, seed=5)
+        kwargs = dict(quantile=0.5, n_estimators=15, subsample=0.5,
+                      random_state=3)
+        a = GBDTQuantileRegressor(**kwargs).fit(X, y).predict(X)
+        b = GBDTQuantileRegressor(**kwargs).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_subsample_keeps_coverage(self):
+        X, y = heteroscedastic_data(seed=6)
+        model = GBDTQuantileRegressor(
+            quantile=0.9, n_estimators=80, max_depth=3, learning_rate=0.1,
+            subsample=0.7, random_state=0,
+        ).fit(X[:2000], y[:2000])
+        coverage = float(np.mean(y[2000:] <= model.predict(X[2000:])))
+        assert coverage == pytest.approx(0.9, abs=0.08)
+
+    def test_per_round_obs_instrumentation(self):
+        obs.set_enabled(True)
+        reg = obs.get_registry()
+        rounds_before = reg.counter("gbdt.rounds_total").value
+        timings_before = reg.histogram("gbdt.round_s").count
+        X, y = heteroscedastic_data(n=500, seed=7)
+        GBDTQuantileRegressor(quantile=0.5, n_estimators=7,
+                              random_state=0).fit(X, y)
+        assert reg.counter("gbdt.rounds_total").value - rounds_before == 7
+        assert reg.histogram("gbdt.round_s").count - timings_before == 7
+        loss = reg.gauge("gbdt.train_loss").value
+        assert np.isfinite(loss) and loss >= 0.0
+
+    def test_obs_disabled_records_nothing(self):
+        obs.set_enabled(False)
+        reg = obs.get_registry()
+        rounds_before = reg.counter("gbdt.rounds_total").value
+        X, y = heteroscedastic_data(n=300, seed=8)
+        GBDTQuantileRegressor(quantile=0.5, n_estimators=3,
+                              random_state=0).fit(X, y)
+        assert reg.counter("gbdt.rounds_total").value == rounds_before

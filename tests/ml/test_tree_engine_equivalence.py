@@ -1,0 +1,276 @@
+"""Iterative growth engine vs. recursive reference: bit-for-bit trees.
+
+The frontier engine behind ``HistogramTree.fit`` (offset-bincount
+histograms, histogram subtraction, in-place partition, vectorized split
+search) must reproduce the recursive reference grower --
+``fit_reference``, kept precisely for these tests -- *exactly*: same
+node order, same splits, same float leaf values and gains, same
+``feature_gain_``.  That is what lets goldens, serialized payloads and
+``feature_importances_`` survive the engine swap untouched.
+
+Model-level checks refit whole GBDTs/forests with ``fit_reference``
+monkeypatched in and demand identical predictions, covering the
+``n_bins`` plumbing through gbdt.py and forest.py too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.gbdt import GBDTClassifier, GBDTQuantileRegressor, GBDTRegressor
+from repro.ml.tree import FeatureBinner, HistogramTree, TreeParams
+
+
+def _assert_same_tree(got: HistogramTree, want: HistogramTree):
+    """Node-for-node, bit-for-bit structural equality."""
+    assert len(got.nodes) == len(want.nodes)
+    for i, (a, b) in enumerate(zip(got.nodes, want.nodes)):
+        assert (a.feature, a.threshold_bin, a.left, a.right, a.n_samples) \
+            == (b.feature, b.threshold_bin, b.left, b.right, b.n_samples), i
+        assert a.gain == b.gain, i  # float equality, not allclose
+        va, vb = np.asarray(a.value), np.asarray(b.value)
+        assert va.dtype == vb.dtype and np.array_equal(va, vb), i
+    assert np.array_equal(got.feature_gain_, want.feature_gain_)
+
+
+def _grow_both(binned, grad, hess, params, seed, n_bins=None):
+    """The same fit through the engine and the reference grower.
+
+    Each gets a fresh rng from the same seed so feature subsampling
+    draws are comparable."""
+    engine = HistogramTree(params)
+    engine.fit(binned, grad, hess, rng=np.random.default_rng(seed),
+               n_bins=n_bins)
+    reference = HistogramTree(params)
+    reference.fit_reference(binned, grad, hess,
+                            rng=np.random.default_rng(seed))
+    return engine, reference
+
+
+def _case(rng, n, d, k, max_bins=32, salted=False):
+    X = rng.normal(size=(n, d))
+    if salted:
+        flat = X.reshape(-1)
+        bad = rng.choice(flat.size, max(1, flat.size // 10), replace=False)
+        flat[bad] = np.nan  # missing values -> bin 0
+        X[:, -1] = 7.5      # constant feature -> never splittable
+    binner = FeatureBinner(max_bins=max_bins)
+    binned = binner.fit_transform(X)
+    grad = rng.normal(size=(n, k))
+    hess = np.abs(rng.normal(size=(n, k))) + 0.1
+    return binner, binned, grad, hess
+
+
+class TestGrowthEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_regression_single_output(self, seed):
+        rng = np.random.default_rng(seed)
+        binner, binned, grad, _ = _case(rng, 400, 6, 1)
+        hess = np.ones((400, 1))
+        engine, reference = _grow_both(
+            binned, grad[:, 0], hess,
+            TreeParams(max_depth=6, min_samples_leaf=3), seed,
+            n_bins=binner.n_bins_,
+        )
+        _assert_same_tree(engine, reference)
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_multi_output_random_hessians(self, k):
+        rng = np.random.default_rng(100 + k)
+        binner, binned, grad, hess = _case(rng, 350, 5, k)
+        engine, reference = _grow_both(
+            binned, grad, hess,
+            TreeParams(max_depth=5, min_samples_leaf=4), 100 + k,
+            n_bins=binner.n_bins_,
+        )
+        _assert_same_tree(engine, reference)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_max_features_sqrt(self, seed):
+        """Feature subsampling consumes the rng in node (pre-)order; the
+        iterative engine must draw in exactly the reference's order."""
+        rng = np.random.default_rng(200 + seed)
+        binner, binned, grad, hess = _case(rng, 400, 9, 1)
+        engine, reference = _grow_both(
+            binned, grad, hess,
+            TreeParams(max_depth=6, min_samples_leaf=3,
+                       max_features="sqrt"), 200 + seed,
+            n_bins=binner.n_bins_,
+        )
+        _assert_same_tree(engine, reference)
+
+    def test_max_features_int(self):
+        rng = np.random.default_rng(300)
+        binner, binned, grad, hess = _case(rng, 300, 8, 3)
+        engine, reference = _grow_both(
+            binned, grad, hess,
+            TreeParams(max_depth=5, min_samples_leaf=2, max_features=3),
+            300, n_bins=binner.n_bins_,
+        )
+        _assert_same_tree(engine, reference)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_constant_and_missing_features(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        binner, binned, grad, hess = _case(rng, 400, 6, 1, salted=True)
+        engine, reference = _grow_both(
+            binned, grad, hess,
+            TreeParams(max_depth=6, min_samples_leaf=3), 400 + seed,
+            n_bins=binner.n_bins_,
+        )
+        _assert_same_tree(engine, reference)
+
+    @pytest.mark.parametrize("msl", [1, 2, 5, 50, 200])
+    def test_min_samples_leaf_edges(self, msl):
+        """msl=1 with deep growth is the tie-dense stress case: tiny
+        nodes where many candidate splits score exactly equal and the
+        tie-break must match the reference's scan order."""
+        rng = np.random.default_rng(500 + msl)
+        binner, binned, grad, _ = _case(rng, 300, 4, 1)
+        engine, reference = _grow_both(
+            binned, grad, np.ones((300, 1)),
+            TreeParams(max_depth=12, min_samples_leaf=msl), 500 + msl,
+            n_bins=binner.n_bins_,
+        )
+        _assert_same_tree(engine, reference)
+
+    def test_depth_zero_and_stump(self):
+        rng = np.random.default_rng(600)
+        binner, binned, grad, hess = _case(rng, 120, 3, 1)
+        for depth in (0, 1):
+            engine, reference = _grow_both(
+                binned, grad, hess,
+                TreeParams(max_depth=depth, min_samples_leaf=2), 600,
+                n_bins=binner.n_bins_,
+            )
+            _assert_same_tree(engine, reference)
+
+    def test_n_bins_hint_optional(self):
+        """The engine must build the same tree with and without the
+        FeatureBinner.n_bins_ sizing hint."""
+        rng = np.random.default_rng(700)
+        binner, binned, grad, hess = _case(rng, 300, 5, 1)
+        params = TreeParams(max_depth=6, min_samples_leaf=3)
+        with_hint, _ = _grow_both(binned, grad, hess, params, 700,
+                                  n_bins=binner.n_bins_)
+        without_hint, reference = _grow_both(binned, grad, hess, params, 700)
+        _assert_same_tree(with_hint, reference)
+        _assert_same_tree(without_hint, reference)
+
+    def test_predictions_identical(self):
+        rng = np.random.default_rng(800)
+        binner, binned, grad, hess = _case(rng, 400, 6, 3)
+        engine, reference = _grow_both(
+            binned, grad, hess,
+            TreeParams(max_depth=7, min_samples_leaf=2), 800,
+            n_bins=binner.n_bins_,
+        )
+        query = rng.integers(0, 32, size=(500, 6)).astype(np.uint8)
+        assert np.array_equal(engine.predict_binned(query),
+                              reference.predict_binned(query))
+        assert np.array_equal(engine.apply(query), reference.apply(query))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_deep_fits(self, seed):
+        """Big enough that histogram subtraction and the in-place
+        partition actually engage on multi-level frontiers."""
+        rng = np.random.default_rng(900 + seed)
+        binner, binned, grad, hess = _case(rng, 20_000, 10, 1, max_bins=64)
+        engine, reference = _grow_both(
+            binned, grad, hess,
+            TreeParams(max_depth=10, min_samples_leaf=2), 900 + seed,
+            n_bins=binner.n_bins_,
+        )
+        _assert_same_tree(engine, reference)
+
+    @pytest.mark.slow
+    def test_large_multi_output(self):
+        rng = np.random.default_rng(950)
+        binner, binned, grad, hess = _case(rng, 15_000, 8, 7, max_bins=64)
+        engine, reference = _grow_both(
+            binned, grad, hess,
+            TreeParams(max_depth=8, min_samples_leaf=5), 950,
+            n_bins=binner.n_bins_,
+        )
+        _assert_same_tree(engine, reference)
+
+
+def _reference_growth(monkeypatch):
+    """Route every tree fit through the recursive reference grower."""
+    monkeypatch.setattr(HistogramTree, "fit", HistogramTree.fit_reference)
+
+
+class TestModelLevelEquivalence:
+    """Whole models refit with the reference grower must predict the
+    same bits: the engine swap is invisible above tree.py."""
+
+    def test_gbdt_regressor(self, monkeypatch):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 5))
+        y = X[:, 0] - 2.0 * X[:, 3] + rng.normal(0, 0.2, 500)
+        kwargs = dict(n_estimators=20, max_depth=5, subsample=0.8,
+                      random_state=7)
+        fast = GBDTRegressor(**kwargs).fit(X, y)
+        with monkeypatch.context() as m:
+            _reference_growth(m)
+            slow = GBDTRegressor(**kwargs).fit(X, y)
+        X_query = rng.normal(size=(200, 5))
+        assert np.array_equal(fast.predict(X_query), slow.predict(X_query))
+        assert np.array_equal(fast.feature_importances_,
+                              slow.feature_importances_)
+
+    def test_gbdt_classifier(self, monkeypatch):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 4))
+        y = np.asarray(["a", "b", "c"])[
+            np.clip(np.digitize(X[:, 0], [-0.4, 0.6]), 0, 2)
+        ]
+        kwargs = dict(n_estimators=15, max_depth=4, random_state=3)
+        fast = GBDTClassifier(**kwargs).fit(X, y)
+        with monkeypatch.context() as m:
+            _reference_growth(m)
+            slow = GBDTClassifier(**kwargs).fit(X, y)
+        X_query = rng.normal(size=(150, 4))
+        assert np.array_equal(fast.predict_proba(X_query),
+                              slow.predict_proba(X_query))
+
+    def test_gbdt_quantile_regressor(self, monkeypatch):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(400, 3))
+        y = X[:, 0] + rng.gumbel(0, 0.5, 400)
+        kwargs = dict(quantile=0.9, n_estimators=12, max_depth=4,
+                      subsample=0.7, random_state=5)
+        fast = GBDTQuantileRegressor(**kwargs).fit(X, y)
+        with monkeypatch.context() as m:
+            _reference_growth(m)
+            slow = GBDTQuantileRegressor(**kwargs).fit(X, y)
+        X_query = rng.normal(size=(150, 3))
+        assert np.array_equal(fast.predict(X_query), slow.predict(X_query))
+
+    def test_random_forest(self, monkeypatch):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(350, 5))
+        y = np.abs(X[:, 1]) + rng.normal(0, 0.1, 350)
+        kwargs = dict(n_estimators=10, max_depth=7, random_state=11,
+                      workers=1)
+        fast = RandomForestRegressor(**kwargs).fit(X, y)
+        with monkeypatch.context() as m:
+            _reference_growth(m)
+            slow = RandomForestRegressor(**kwargs).fit(X, y)
+        X_query = rng.normal(size=(150, 5))
+        assert np.array_equal(fast.predict(X_query), slow.predict(X_query))
+
+    def test_random_forest_classifier(self, monkeypatch):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(300, 4))
+        y = np.where(X[:, 0] + X[:, 2] > 0, "hi", "lo").astype(object)
+        kwargs = dict(n_estimators=8, max_depth=6, random_state=13,
+                      workers=1)
+        fast = RandomForestClassifier(**kwargs).fit(X, y)
+        with monkeypatch.context() as m:
+            _reference_growth(m)
+            slow = RandomForestClassifier(**kwargs).fit(X, y)
+        X_query = rng.normal(size=(120, 4))
+        assert np.array_equal(fast.predict_proba(X_query),
+                              slow.predict_proba(X_query))

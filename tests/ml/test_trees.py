@@ -51,6 +51,16 @@ class TestFeatureBinner:
         binner = FeatureBinner().fit(X)
         assert binner.n_bins(0) == 1
 
+    def test_n_bins_vector_matches_per_feature(self):
+        rng = np.random.default_rng(1)
+        X = np.column_stack([rng.normal(size=200), np.ones(200)])
+        binner = FeatureBinner(max_bins=16).fit(X)
+        n_bins = binner.n_bins_
+        assert n_bins.tolist() == [binner.n_bins(0), binner.n_bins(1)]
+        assert n_bins[1] == 1  # constant feature
+        with pytest.raises(RuntimeError):
+            FeatureBinner().n_bins_
+
 
 class TestHistogramTree:
     def test_learns_step_function(self):
@@ -187,6 +197,29 @@ class TestGBDTClassifier:
         y = (X[:, 0] > 0).astype(int)
         model = GBDTClassifier(n_estimators=3).fit(X, y)
         assert set(model.classes_.tolist()) == {0, 1}
+
+    def test_staged_errors_learning_curve(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-3, 3, size=(1200, 4))
+        score = X[:, 0] + 0.8 * X[:, 1] * X[:, 2] + rng.normal(0, 0.8, 1200)
+        y = np.where(score < -1, "low",
+                     np.where(score > 1, "high", "medium")).astype(object)
+        model = GBDTClassifier(n_estimators=30, max_depth=3,
+                               learning_rate=0.2).fit(X[:800], y[:800])
+
+        def err(y_true, y_pred):
+            return 1.0 - accuracy(y_true, y_pred)
+
+        staged = model.staged_errors(X[800:], y[800:], err)
+        assert len(staged) == 30
+        assert staged[-1] < staged[0]  # boosting actually learns
+        # The last stage is the full model: same logits, same labels.
+        assert staged[-1] == err(y[800:], model.predict(X[800:]))
+
+    def test_staged_errors_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GBDTClassifier().staged_errors(np.ones((2, 1)), [0, 1],
+                                           lambda a, b: 0.0)
 
 
 class TestRandomForest:
