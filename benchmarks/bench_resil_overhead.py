@@ -1,0 +1,126 @@
+"""repro.resil overhead: what the fault seams and retries cost.
+
+Times the tiny Airport campaign three ways and records the results as
+obs gauges so they land in ``benchmarks/results/obs_metrics.json``:
+
+* ``resil.campaign.off_s``   -- seams dormant (``REPRO_FAULTS`` unset)
+* ``resil.campaign.idle_s``  -- injector armed at rate 0.0: every seam
+  consults the schedule but nothing ever fires (the pure seam tax)
+* ``resil.campaign.chaos_s`` -- the chaos-suite rates
+  (``par.worker_crash:0.15,sim.pass_crash:0.1``, seed 1), where retries
+  absorb real injected crashes (the recovery tax)
+
+The chaos run must still be bit-identical to the dormant run -- the
+same determinism contract the chaos test suite enforces.  A second
+micro-benchmark records the throughput of the ``retry()`` happy path
+and of ``CircuitBreaker.allow()``, the two calls that sit on the serve
+hot path.
+"""
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.env.areas import build_area
+from repro.resil import CircuitBreaker, faults, retry
+from repro.sim.collection import CampaignConfig, run_area_campaign
+
+from _bench_utils import emit, format_table
+
+# The exact configuration the chaos suite proved completes and matches
+# under these rates/seed; changing any of them needs re-verification.
+CHAOS_RATES = "par.worker_crash:0.15,sim.pass_crash:0.1"
+CHAOS_SEED = 1
+CAMPAIGN = CampaignConfig(
+    passes_per_trajectory=1, driving_passes=1, stationary_runs=1,
+    stationary_duration_s=10, seed=9,
+)
+
+
+def _tables_identical(a, b) -> bool:
+    if a.column_names != b.column_names or len(a) != len(b):
+        return False
+    for name in a.column_names:
+        ca, cb = a[name], b[name]
+        equal_nan = ca.dtype.kind == "f" and cb.dtype.kind == "f"
+        if not np.array_equal(ca, cb, equal_nan=equal_nan):
+            return False
+    return True
+
+
+def _timed_campaign():
+    env = build_area("Airport")
+    t0 = time.perf_counter()
+    table = run_area_campaign(env, CAMPAIGN)
+    return table, time.perf_counter() - t0
+
+
+def test_resil_seam_overhead(benchmark, capsys):
+    off_table, off_s = benchmark.pedantic(
+        _timed_campaign, rounds=1, iterations=1,
+    )
+    try:
+        faults.configure("par.worker_crash:0.0,sim.pass_crash:0.0")
+        _, idle_s = _timed_campaign()
+        faults.configure(CHAOS_RATES, seed=CHAOS_SEED)
+        chaos_table, chaos_s = _timed_campaign()
+    finally:
+        faults.reset()
+
+    assert _tables_identical(off_table, chaos_table), \
+        "chaos run produced different data than the dormant run"
+
+    idle_ratio = idle_s / off_s if off_s > 0 else float("inf")
+    chaos_ratio = chaos_s / off_s if off_s > 0 else float("inf")
+    obs.set_gauge("resil.campaign.off_s", round(off_s, 4))
+    obs.set_gauge("resil.campaign.idle_s", round(idle_s, 4))
+    obs.set_gauge("resil.campaign.chaos_s", round(chaos_s, 4))
+    obs.set_gauge("resil.campaign.chaos_ratio", round(chaos_ratio, 3))
+
+    rows = [
+        ["faults off", f"{off_s * 1e3:.1f}", "1.00"],
+        ["armed, rate 0.0", f"{idle_s * 1e3:.1f}", f"{idle_ratio:.2f}"],
+        [f"chaos ({CHAOS_RATES})", f"{chaos_s * 1e3:.1f}",
+         f"{chaos_ratio:.2f}"],
+    ]
+    table = format_table(["configuration", "wall clock ms", "ratio"], rows)
+    emit("resil_overhead",
+         table + "\noutputs bit-identical with and without chaos", capsys)
+
+    # The dormant seams must be effectively free; the chaos tax is
+    # bounded by the retry budget, allow generous slack for noise.
+    assert idle_ratio < 3.0
+    assert chaos_ratio < 10.0
+
+
+def test_retry_and_breaker_throughput(benchmark, capsys):
+    n = 20_000
+
+    def happy_path():
+        for _ in range(n):
+            retry(lambda: 1, sleep=lambda s: None)
+
+    t0 = time.perf_counter()
+    benchmark.pedantic(happy_path, rounds=1, iterations=1)
+    retry_ops = n / (time.perf_counter() - t0)
+
+    breaker = CircuitBreaker(name="bench")
+    t0 = time.perf_counter()
+    for _ in range(n):
+        breaker.allow()
+    allow_ops = n / (time.perf_counter() - t0)
+
+    obs.set_gauge("resil.retry.ops_per_s", round(retry_ops))
+    obs.set_gauge("resil.breaker.allow_ops_per_s", round(allow_ops))
+
+    table = format_table(
+        ["primitive", "ops/s"],
+        [["retry() first-try success", f"{retry_ops:,.0f}"],
+         ["CircuitBreaker.allow()", f"{allow_ops:,.0f}"]],
+    )
+    emit("resil_throughput", table, capsys)
+
+    # Both sit on the serve hot path: they must not be the bottleneck.
+    assert retry_ops > 10_000
+    assert allow_ops > 50_000

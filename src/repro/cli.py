@@ -116,10 +116,12 @@ def cmd_map(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.ml.serialize import model_from_json
+    from repro.resil import CircuitOpenError, FaultError, RetryExhausted
     from repro.serve import (
         InferenceService,
         ModelNotFound,
         ModelRegistry,
+        RegistryError,
         ServeConfig,
     )
 
@@ -135,7 +137,9 @@ def cmd_serve(args) -> int:
             with open(args.model) as f:
                 model = model_from_json(f.read())
         else:
-            model = ModelRegistry(args.registry).load(
+            # Resilient load: retries flaky reads, quarantines corrupt
+            # version files and falls back to the newest good version.
+            model = ModelRegistry(args.registry).load_resilient(
                 args.name, args.model_version
             )
     except FileNotFoundError:
@@ -144,6 +148,12 @@ def cmd_serve(args) -> int:
     except ModelNotFound as exc:
         print(f"serve: {exc.args[0]}", file=sys.stderr)
         return 2
+    except (RetryExhausted, FaultError, CircuitOpenError) as exc:
+        print(f"serve: model load failed: {exc}", file=sys.stderr)
+        return 1
+    except RegistryError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
     except (ValueError, KeyError) as exc:
         print(f"serve: cannot load model: {exc}", file=sys.stderr)
         return 2
@@ -153,6 +163,7 @@ def cmd_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
         cache_quant_step=args.quant_step,
+        request_deadline_ms=args.deadline_ms,
     ))
     try:
         instream = sys.stdin if args.input == "-" else open(args.input)
@@ -168,10 +179,11 @@ def cmd_serve(args) -> int:
         if outstream is not sys.stdout:
             outstream.close()
     hit_rate = (service.cache.hit_rate if service.cache is not None else 0.0)
+    failed = f", {stats.failures} failed" if stats.failures else ""
     print(f"served {stats.requests} requests "
           f"({stats.errors} malformed) in {stats.wall_s:.2f}s: "
           f"{stats.rows_per_s:.0f} rows/s, {stats.batches} batches, "
-          f"cache hit rate {hit_rate:.2f}", file=sys.stderr)
+          f"cache hit rate {hit_rate:.2f}{failed}", file=sys.stderr)
     if args.strict and stats.errors:
         return 1
     return 0
@@ -239,6 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--quant-step", type=float, default=0.25,
                          metavar="STEP",
                          help="feature quantization step for cache keys")
+    p_serve.add_argument("--deadline-ms", type=float, default=0.0,
+                         metavar="MS",
+                         help="per-request queue deadline; 0 = unbounded")
     p_serve.add_argument("--strict", action="store_true",
                          help="exit 1 if any request line was malformed")
     p_serve.add_argument("--verbose", "-v", action="store_true",

@@ -32,12 +32,18 @@ from repro import obs
 from repro.datasets.cleaning import CleaningConfig, CleaningReport, clean
 from repro.datasets.frame import Table
 from repro.par import NpzCache, fingerprint, pmap
+from repro.resil import faults
 from repro.ue.telemetry import TelemetryRecord
 
 if TYPE_CHECKING:  # avoid a circular import with repro.sim at runtime
     from repro.sim.collection import CampaignConfig
 
 DEFAULT_AREAS = ("Airport", "Intersection", "Loop")
+
+faults.register_point(
+    "datasets.area_crash",
+    "raise before simulating one area's dataset (keyed by area name)",
+)
 
 #: Bump whenever the meaning of cached bytes changes (schema migrations,
 #: cleaning semantics, npz layout); old entries then never match a key.
@@ -96,6 +102,7 @@ def _generate_area_task(
     from repro.env.areas import build_area
     from repro.sim.collection import run_area_campaign
 
+    faults.inject("datasets.area_crash", key=area)
     raw = run_area_campaign(build_area(area), campaign, workers=workers)
     cleaned, report = clean(raw, cleaning)
     next_run_offset = int(np.asarray(raw["run_id"], dtype=int).max()) + 1

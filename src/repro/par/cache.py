@@ -121,6 +121,14 @@ class NpzCache:
             os.replace(tmp, target)
         finally:
             tmp.unlink(missing_ok=True)
+        # Chaos seam: optionally truncate the entry we just wrote, which
+        # is what a crashed writer on a non-atomic filesystem leaves
+        # behind.  load() must then treat it as a miss, never an error.
+        from repro.resil import faults
+
+        if faults.corrupt("cache.corrupt", key=key):
+            data = target.read_bytes()
+            target.write_bytes(data[:max(1, len(data) // 2)])
         return target
 
     def load(self, key: str) -> dict[str, dict[str, np.ndarray]] | None:
@@ -131,6 +139,13 @@ class NpzCache:
         treated exactly like a miss: the bad entry is deleted so
         ``key in cache`` stops claiming it exists, and the caller's
         regenerate-then-``save`` path overwrites it with a good one.
+
+        Deletion uses ``unlink(missing_ok=True)``, and a file that
+        vanishes between the existence check and the read counts as a
+        plain miss: when two processes race to regenerate the same
+        corrupt entry, whichever loses the delete race must not die
+        with ``FileNotFoundError`` (and must not double-count the
+        corruption).
         """
         p = self.path(key)
         if not p.exists():
@@ -144,6 +159,13 @@ class NpzCache:
                         c: z[f"{tname}{_SEP}{c}"] for c in cnames
                     }
                 return out
+        except FileNotFoundError:
+            # Lost a regenerate race: another process already deleted
+            # this (corrupt) entry.  A miss, not a corruption event.
+            from repro import obs
+
+            obs.inc("cache.lost_races_total")
+            return None
         except Exception:
             from repro import obs
 

@@ -21,6 +21,16 @@ with the results and are merged into the parent registry in chunk order,
 so counters and histograms survive the process boundary.  Span traces
 stay parent-side only.
 
+Fault tolerance: a chunk whose worker raises is retried on the pool up
+to ``_MAX_CHUNK_ATTEMPTS`` times, then rescued by re-executing its tasks
+serially in the parent (with per-task retries).  Because every task
+derives its randomness from the task item itself, a re-run is
+bit-identical to the first attempt, so retries are invisible in the
+results -- only in the ``resil.par.*`` counters.  The
+``par.worker_crash`` fault-injection seam (:mod:`repro.resil.faults`)
+fires here, keyed by ``(task index, attempt)`` so the schedule is
+worker-count invariant and a retry re-rolls the decision.
+
 Env knobs: ``REPRO_WORKERS`` (default worker count when the caller
 passes ``None``; 0/1 = serial) and ``REPRO_MP_CONTEXT``
 (``fork``/``spawn``/``forkserver``; default prefers ``fork`` where the
@@ -37,6 +47,7 @@ import pickle
 from collections.abc import Callable, Iterable, Sequence
 
 from repro import obs
+from repro.resil import faults
 
 __all__ = [
     "CONTEXT_ENV",
@@ -53,6 +64,17 @@ _WORKER_FLAG_ENV = "REPRO_PAR_IN_WORKER"
 
 #: Chunks per worker; >1 smooths load imbalance between uneven tasks.
 _CHUNKS_PER_WORKER = 4
+
+#: Pool-side attempts per chunk before the parent rescues it serially.
+_MAX_CHUNK_ATTEMPTS = 3
+
+#: Per-task attempts on the serial path (fallback and rescue).
+_MAX_TASK_ATTEMPTS = 3
+
+faults.register_point(
+    "par.worker_crash",
+    "raise inside a pmap task before it runs (keyed by task index, attempt)",
+)
 
 
 def in_worker() -> bool:
@@ -101,6 +123,32 @@ def _worker_init(obs_enabled: bool) -> None:
     obs.get_registry().reset()
 
 
+def _run_one(fn: Callable, item, index: int, attempt: int):
+    """One task through the ``par.worker_crash`` fault seam."""
+    faults.inject("par.worker_crash", key=(index, attempt))
+    return fn(item)
+
+
+def _run_task_with_retry(fn: Callable, item, index: int,
+                         base_attempt: int = 0):
+    """Run one task serially, retrying up to ``_MAX_TASK_ATTEMPTS`` times.
+
+    Per-task seeding makes every re-run bit-identical, so retrying a
+    transient failure (an injected fault, a flaky resource) cannot
+    change results; a genuinely deterministic error still propagates
+    after the last attempt.
+    """
+    for attempt in range(_MAX_TASK_ATTEMPTS):
+        try:
+            return _run_one(fn, item, index, base_attempt + attempt)
+        except Exception:
+            obs.inc("resil.par.task_failures_total")
+            if attempt == _MAX_TASK_ATTEMPTS - 1:
+                raise
+            obs.inc("resil.par.task_retries_total")
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 class _ChunkRunner:
     """Picklable wrapper running one chunk and capturing the obs delta."""
 
@@ -109,8 +157,12 @@ class _ChunkRunner:
     def __init__(self, fn: Callable):
         self.fn = fn
 
-    def __call__(self, chunk: Sequence) -> tuple[list, dict]:
-        results = [self.fn(item) for item in chunk]
+    def __call__(self, chunk: tuple[int, int, Sequence]) -> tuple[list, dict]:
+        start, attempt, items = chunk
+        results = [
+            _run_one(self.fn, item, start + i, attempt)
+            for i, item in enumerate(items)
+        ]
         registry = obs.get_registry()
         delta = registry.dump()
         registry.reset()
@@ -126,13 +178,30 @@ def _picklable(fn: Callable) -> bool:
         pickle.dumps(fn)
         return True
     except Exception:
+        obs.inc("par.unpicklable_probe_total")
         return False
 
 
 def _run_serial(fn: Callable, items: list) -> list:
     obs.inc("par.serial_fallback_total")
     obs.inc("par.tasks_total", len(items))
-    return [fn(item) for item in items]
+    return [_run_task_with_retry(fn, item, i) for i, item in enumerate(items)]
+
+
+def _rescue_chunk(fn: Callable, items: Sequence, start: int) -> tuple[list, dict]:
+    """Re-execute an irrecoverable chunk serially in the parent.
+
+    Runs after the pool already failed ``_MAX_CHUNK_ATTEMPTS`` times, so
+    fault keys continue from that attempt number; the empty obs delta
+    mirrors the worker protocol (parent-side metrics are already live).
+    """
+    obs.inc("resil.par.serial_rescues_total")
+    results = [
+        _run_task_with_retry(fn, item, start + i,
+                             base_attempt=_MAX_CHUNK_ATTEMPTS)
+        for i, item in enumerate(items)
+    ]
+    return results, {}
 
 
 def pmap(
@@ -171,6 +240,10 @@ def pmap(
     if chunk_size is None:
         chunk_size = max(1, math.ceil(n / (w * _CHUNKS_PER_WORKER)))
     chunks = _chunked(items, chunk_size)
+    starts = [i * chunk_size for i in range(len(chunks))]
+    runner = _ChunkRunner(fn)
+    chunk_out: list = [None] * len(chunks)
+    rescue: list[int] = []
     ctx = multiprocessing.get_context(context or default_context())
     name = label or getattr(fn, "__name__", type(fn).__name__)
     with obs.span("par.pmap", label=name, workers=w, tasks=n,
@@ -180,7 +253,37 @@ def pmap(
             initializer=_worker_init,
             initargs=(obs.enabled(),),
         ) as pool:
-            chunk_out = pool.map(_ChunkRunner(fn), chunks, chunksize=1)
+            attempt = 0
+            pending = {
+                ci: pool.apply_async(runner, ((starts[ci], 0, chunk),))
+                for ci, chunk in enumerate(chunks)
+            }
+            while pending:
+                failed: list[int] = []
+                for ci in sorted(pending):
+                    try:
+                        chunk_out[ci] = pending[ci].get()
+                    except Exception:
+                        obs.inc("resil.par.chunk_failures_total")
+                        failed.append(ci)
+                if not failed:
+                    break
+                attempt += 1
+                if attempt >= _MAX_CHUNK_ATTEMPTS:
+                    rescue = failed
+                    break
+                obs.inc("resil.par.chunk_retries_total", len(failed))
+                pending = {
+                    ci: pool.apply_async(
+                        runner, ((starts[ci], attempt, chunks[ci]),)
+                    )
+                    for ci in failed
+                }
+        # Outside the pool: chunks the pool could not finish re-run
+        # serially in the parent, so one poisoned worker path can no
+        # longer discard every completed pass.
+        for ci in rescue:
+            chunk_out[ci] = _rescue_chunk(fn, chunks[ci], starts[ci])
 
     results: list = []
     registry = obs.get_registry()

@@ -1,0 +1,88 @@
+"""Crash-safe, content-addressed checkpointing for long campaigns.
+
+A :class:`CheckpointStore` persists the result of each independently
+seeded unit of work (a campaign pass) as it completes, under a directory
+named by a :func:`repro.par.fingerprint` of everything that determines
+the results (config, area, schema, store version).  A process killed
+mid-campaign therefore loses only in-flight passes; re-running the same
+campaign with the same checkpoint root skips completed passes and -- by
+the per-task seeding contract -- produces output bit-identical to an
+uninterrupted run.
+
+Because the address is a content hash, a changed config simply resolves
+to a different subdirectory: stale checkpoints can never leak into a new
+campaign, and the resume-vs-fresh decision needs no bookkeeping files.
+Entries ride on :class:`repro.par.cache.NpzCache`, so writes are atomic
+(temp file + rename) and a truncated entry -- the writer died mid-write
+-- loads as a miss and is simply recomputed.
+
+The checkpoint root comes from an explicit argument or the
+``REPRO_CHECKPOINT_DIR`` environment variable (:func:`resolve_dir`);
+with neither set, checkpointing is off and callers run exactly the
+pre-existing in-memory path.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro import obs
+from repro.par.cache import NpzCache
+
+__all__ = ["CHECKPOINT_ENV", "CheckpointStore", "resolve_dir"]
+
+CHECKPOINT_ENV = "REPRO_CHECKPOINT_DIR"
+
+#: The one table name used inside each npz entry.
+_TABLE = "part"
+
+
+def resolve_dir(
+    explicit: str | os.PathLike | None = None,
+) -> pathlib.Path | None:
+    """The checkpoint root: explicit argument, else ``REPRO_CHECKPOINT_DIR``.
+
+    ``None`` (checkpointing disabled) when neither is set.
+    """
+    root = explicit or os.environ.get(CHECKPOINT_ENV, "").strip()
+    return pathlib.Path(root) if root else None
+
+
+class CheckpointStore:
+    """Indexed part checkpoints under ``<root>/<fingerprint>/``."""
+
+    def __init__(self, root: str | os.PathLike, fingerprint: str):
+        if not fingerprint:
+            raise ValueError("fingerprint must be a non-empty digest")
+        self.fingerprint = fingerprint
+        self.root = pathlib.Path(root) / fingerprint
+        self._cache = NpzCache(self.root)
+
+    @staticmethod
+    def key(index: int) -> str:
+        return f"part{int(index):06d}"
+
+    def save(self, index: int, columns: Mapping[str, np.ndarray]) -> None:
+        """Atomically persist one completed part's column arrays."""
+        self._cache.save(self.key(index), {_TABLE: dict(columns)})
+        obs.inc("resil.checkpoint.saves_total")
+
+    def load(self, index: int) -> dict[str, np.ndarray] | None:
+        """The stored columns, or None on miss/corruption (never raises)."""
+        entry = self._cache.load(self.key(index))
+        if entry is None:
+            return None
+        obs.inc("resil.checkpoint.hits_total")
+        return entry[_TABLE]
+
+    def completed(self, n: int) -> list[int]:
+        """Indices in ``range(n)`` with an entry on disk (unvalidated)."""
+        return [i for i in range(n) if self.key(i) in self._cache]
+
+    def clear(self) -> int:
+        """Delete this campaign's checkpoints; returns files removed."""
+        return self._cache.clear()

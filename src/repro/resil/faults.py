@@ -1,0 +1,274 @@
+"""Deterministic, seeded fault injection for chaos testing.
+
+Faults are configured by the ``REPRO_FAULTS`` environment variable (or
+programmatically via :func:`configure`) as a comma-separated spec of
+``point:rate`` pairs::
+
+    REPRO_FAULTS="par.worker_crash:0.1,cache.corrupt:0.05,serve.model_load:0.2"
+
+Each *injection point* is a named seam in the library (registered with
+:func:`register_point`; see :func:`registered_points` for the catalog).
+Instrumented seams call :func:`inject` -- which raises :class:`FaultError`
+when the schedule says so -- or :func:`corrupt`, which returns True and
+lets the seam damage its own artifact (e.g. truncate a cache file).
+
+The schedule is **deterministic**: whether the fault fires for a given
+``(point, key, occurrence)`` triple is a pure hash of those values and
+the seed (``REPRO_FAULTS_SEED``, default 2020).  Same seed, same spec ->
+same fault schedule, so chaos tests reproduce exactly.  Two properties
+follow from the keying:
+
+* call sites that pass a stable ``key`` (a task index, a model version)
+  get decisions independent of call *order* -- and therefore independent
+  of worker count or scheduling;
+* repeat queries for the same ``(point, key)`` hash in a fresh
+  *occurrence* counter, so a retried operation re-rolls the dice instead
+  of failing forever (rate 1.0 still always fires).
+
+With ``REPRO_FAULTS`` unset every call is a cheap no-op, so the seams
+cost nothing in production runs and the no-fault goldens stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections.abc import Mapping
+
+from repro import obs
+
+__all__ = [
+    "DEFAULT_SEED",
+    "FAULTS_ENV",
+    "FAULTS_SEED_ENV",
+    "FaultError",
+    "FaultInjector",
+    "active_injector",
+    "configure",
+    "corrupt",
+    "inject",
+    "parse_spec",
+    "register_point",
+    "registered_points",
+    "reset",
+    "unit_hash",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+DEFAULT_SEED = 2020
+
+
+class FaultError(RuntimeError):
+    """Raised by :func:`inject` when the schedule fires at a seam."""
+
+    def __init__(self, point: str, key=None):
+        self.point = point
+        self.key = key
+        detail = f" (key={key!r})" if key is not None else ""
+        super().__init__(f"injected fault at {point!r}{detail}")
+
+
+# --------------------------------------------------------------------------- #
+# Injection-point catalog
+# --------------------------------------------------------------------------- #
+
+_points_lock = threading.Lock()
+
+#: ``{point name: description}`` -- every named seam in the library.  The
+#: core seams are registered here so the catalog is complete even before
+#: their host modules import; seam modules re-register idempotently.
+_POINTS: dict[str, str] = {
+    "par.worker_crash": "raise inside a pmap task before it runs "
+                        "(repro.par.executor)",
+    "cache.corrupt": "truncate a just-written cache entry "
+                     "(repro.par.cache.NpzCache.save)",
+    "serve.model_load": "raise while deserializing a registry model "
+                        "(repro.serve.registry.ModelRegistry.load)",
+    "serve.predict": "raise inside a micro-batch predict call "
+                     "(repro.serve.batcher.BatchPredictor)",
+    "sim.pass_crash": "raise before simulating one campaign pass "
+                      "(repro.sim.collection)",
+    "datasets.area_crash": "raise before generating one area's dataset "
+                           "(repro.datasets.generate)",
+}
+
+
+def register_point(name: str, description: str = "") -> str:
+    """Add a seam to the catalog (idempotent); returns ``name``."""
+    with _points_lock:
+        _POINTS.setdefault(name, description)
+    return name
+
+
+def registered_points() -> dict[str, str]:
+    """``{point: description}`` for every registered seam."""
+    with _points_lock:
+        return dict(_POINTS)
+
+
+# --------------------------------------------------------------------------- #
+# Spec parsing and the deterministic schedule
+# --------------------------------------------------------------------------- #
+
+
+def parse_spec(text: str) -> dict[str, float]:
+    """``"a:0.1,b:0.05"`` -> ``{"a": 0.1, "b": 0.05}``; raises ValueError.
+
+    Whitespace around tokens is ignored; empty tokens are skipped, so a
+    trailing comma (or an entirely empty string) is legal and yields
+    fewer (or zero) entries rather than an error.
+    """
+    rates: dict[str, float] = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        point, sep, rate_text = token.partition(":")
+        point = point.strip()
+        if not sep or not point:
+            raise ValueError(
+                f"bad fault spec token {token!r}; expected 'point:rate'"
+            )
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            raise ValueError(
+                f"bad fault rate in {token!r}; expected a float"
+            ) from None
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"fault rate in {token!r} must be within [0, 1]"
+            )
+        rates[point] = rate
+    return rates
+
+
+def unit_hash(seed: int, *parts) -> float:
+    """A deterministic uniform draw in [0, 1) from ``(seed, *parts)``.
+
+    Stable across processes and platforms (blake2b of the repr-encoded
+    parts); the shared primitive behind the fault schedule and the retry
+    jitter in :mod:`repro.resil.retry`.
+    """
+    token = "|".join([str(int(seed))] + [repr(p) for p in parts]).encode()
+    digest = hashlib.blake2b(token, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+class FaultInjector:
+    """A fault schedule: per-point rates plus the deciding seed."""
+
+    def __init__(self, rates: Mapping[str, float] | None = None,
+                 seed: int = DEFAULT_SEED):
+        self.rates = dict(rates or {})
+        for point, rate in self.rates.items():
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(
+                    f"rate for point {point!r} must be within [0, 1]"
+                )
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._occurrences: dict[tuple, int] = {}
+
+    @property
+    def armed(self) -> bool:
+        """True when any point can ever fire."""
+        return any(rate > 0.0 for rate in self.rates.values())
+
+    def rate(self, point: str) -> float:
+        return float(self.rates.get(point, 0.0))
+
+    def should_fire(self, point: str, key=None) -> bool:
+        """One scheduled decision for ``(point, key)``.
+
+        Deterministic in ``(seed, point, key, occurrence)``, where the
+        occurrence index counts prior queries of the same ``(point,
+        key)`` in this process -- so a retry of the same operation rolls
+        a fresh (but still reproducible) decision.
+        """
+        rate = self.rates.get(point, 0.0)
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            occurrence = self._occurrences.get((point, key), 0)
+            self._occurrences[(point, key)] = occurrence + 1
+        if unit_hash(self.seed, point, key, occurrence) >= rate:
+            return False
+        obs.inc("resil.faults.injected_total")
+        obs.inc(f"resil.fault.{point}_total")
+        return True
+
+    def reset_schedule(self) -> None:
+        """Forget occurrence counts (the next query re-runs the schedule)."""
+        with self._lock:
+            self._occurrences.clear()
+
+
+# --------------------------------------------------------------------------- #
+# The active (process-wide) injector
+# --------------------------------------------------------------------------- #
+
+_state_lock = threading.Lock()
+_env_injector: FaultInjector | None = None
+_env_source: tuple[str, str] | None = None
+_pinned: FaultInjector | None = None
+
+
+def configure(rates: Mapping[str, float] | str | None,
+              seed: int = DEFAULT_SEED) -> FaultInjector:
+    """Pin a programmatic fault schedule (tests); :func:`reset` unpins.
+
+    ``rates`` may be a spec string (``"a:0.1,b:0.2"``) or a mapping;
+    ``None`` pins an empty (never-firing) injector.
+    """
+    global _pinned
+    if isinstance(rates, str):
+        rates = parse_spec(rates)
+    injector = FaultInjector(rates, seed)
+    with _state_lock:
+        _pinned = injector
+    return injector
+
+
+def reset() -> None:
+    """Drop any pinned injector and the env-derived cache."""
+    global _pinned, _env_injector, _env_source
+    with _state_lock:
+        _pinned = None
+        _env_injector = None
+        _env_source = None
+
+
+def active_injector() -> FaultInjector:
+    """The injector in effect: pinned one, else derived from the env.
+
+    The env-derived injector is rebuilt whenever ``REPRO_FAULTS`` /
+    ``REPRO_FAULTS_SEED`` change, so tests that monkeypatch the env see
+    their spec take effect immediately.
+    """
+    global _env_injector, _env_source
+    with _state_lock:
+        if _pinned is not None:
+            return _pinned
+        text = os.environ.get(FAULTS_ENV, "")
+        seed_text = os.environ.get(FAULTS_SEED_ENV, "").strip()
+        source = (text, seed_text)
+        if _env_injector is None or _env_source != source:
+            seed = int(seed_text) if seed_text else DEFAULT_SEED
+            _env_injector = FaultInjector(parse_spec(text), seed)
+            _env_source = source
+        return _env_injector
+
+
+def inject(point: str, key=None) -> None:
+    """Raise :class:`FaultError` if the active schedule fires at ``point``."""
+    if active_injector().should_fire(point, key):
+        raise FaultError(point, key)
+
+
+def corrupt(point: str, key=None) -> bool:
+    """True when the seam should corrupt its artifact (never raises)."""
+    return active_injector().should_fire(point, key)

@@ -23,15 +23,22 @@ never fits a model -- serving is read-only by construction.
 
 from repro.serve.batcher import BatchPredictor
 from repro.serve.cache import PredictionCache
-from repro.serve.registry import ModelNotFound, ModelRegistry
+from repro.serve.registry import (
+    CORRUPT_SUFFIX,
+    ModelNotFound,
+    ModelRegistry,
+    RegistryError,
+)
 from repro.serve.service import InferenceService, ServeConfig, ServeStats
 
 __all__ = [
     "BatchPredictor",
+    "CORRUPT_SUFFIX",
     "InferenceService",
     "ModelNotFound",
     "ModelRegistry",
     "PredictionCache",
+    "RegistryError",
     "ServeConfig",
     "ServeStats",
 ]

@@ -16,6 +16,15 @@ Request-path telemetry (``repro.obs``): ``serve.requests_total``,
 ``serve.batches_total``, ``serve.errors_total`` counters, and
 ``serve.batch_size`` / ``serve.request_latency_s`` /
 ``serve.batch_predict_s`` histograms.
+
+Resilience (docs/robustness.md): an optional per-request **deadline**
+(``deadline_s``) expires rows that queued too long -- their futures
+resolve to :class:`~repro.resil.retry.DeadlineExceeded` without ever
+hitting the model, bounding tail latency under overload.  A failing
+batch predict is retried up to ``predict_attempts`` times (the
+``serve.predict`` fault seam fires here) before the error is fanned out
+to the waiting futures; re-running a pure predict on the same matrix is
+side-effect free, so the retry is invisible in results.
 """
 
 from __future__ import annotations
@@ -28,9 +37,16 @@ from concurrent.futures import Future
 import numpy as np
 
 from repro import obs
+from repro.resil import faults
+from repro.resil.retry import DeadlineExceeded
 from repro.serve.cache import PredictionCache
 
 _STOP = object()
+
+faults.register_point(
+    "serve.predict",
+    "raise inside a micro-batch predict call (retried once by default)",
+)
 
 
 class BatchPredictor:
@@ -42,22 +58,34 @@ class BatchPredictor:
         max_batch_size: int = 64,
         max_wait_s: float = 0.002,
         cache: PredictionCache | None = None,
+        deadline_s: float = 0.0,
+        predict_attempts: int = 2,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_s < 0.0:
             raise ValueError("max_wait_s must be >= 0")
+        if deadline_s < 0.0:
+            raise ValueError("deadline_s must be >= 0")
+        if predict_attempts < 1:
+            raise ValueError("predict_attempts must be >= 1")
         self.predict_fn = predict_fn
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.cache = cache
+        #: Seconds a row may spend queued before its future fails with
+        #: DeadlineExceeded instead of reaching the model (0 = no limit).
+        self.deadline_s = deadline_s
+        self.predict_attempts = predict_attempts
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._thread: threading.Thread | None = None
         self._closed = False
+        self._batch_seq = 0
         #: Requests answered (cache hits included) and batches run.
         self.requests = 0
         self.batches = 0
         self.errors = 0
+        self.expired = 0
 
     # -- lifecycle ---------------------------------------------------------- #
 
@@ -106,7 +134,10 @@ class BatchPredictor:
                 obs.observe("serve.request_latency_s", 0.0)
                 fut.set_result(hit)
                 return fut
-        self._queue.put((row, fut, time.perf_counter(), key))
+        t_enqueue = time.perf_counter()
+        t_deadline = t_enqueue + self.deadline_s if self.deadline_s > 0 \
+            else None
+        self._queue.put((row, fut, t_enqueue, key, t_deadline))
         return fut
 
     def predict_many(self, X) -> list:
@@ -147,17 +178,46 @@ class BatchPredictor:
             if stopping:
                 return
 
+    def _expire(self, batch: list) -> list:
+        """Fail rows whose deadline already passed; returns the live rest."""
+        now = time.perf_counter()
+        live = []
+        for item in batch:
+            t_deadline = item[4]
+            if t_deadline is not None and now > t_deadline:
+                self.expired += 1
+                obs.inc("resil.serve.deadline_exceeded_total")
+                item[1].set_exception(DeadlineExceeded(
+                    f"request spent > {self.deadline_s:g}s queued"
+                ))
+            else:
+                live.append(item)
+        return live
+
     def _predict_batch(self, batch: list) -> None:
-        rows = [item[0] for item in batch]
-        t0 = time.perf_counter()
-        try:
-            preds = self.predict_fn(np.stack(rows))
-        except Exception as exc:  # surface through every waiting future
-            self.errors += len(batch)
-            obs.inc("serve.errors_total", len(batch))
-            for _, fut, _, _ in batch:
-                fut.set_exception(exc)
+        batch = self._expire(batch)
+        if not batch:
             return
+        rows = [item[0] for item in batch]
+        seq = self._batch_seq
+        self._batch_seq += 1
+        t0 = time.perf_counter()
+        preds = None
+        for attempt in range(self.predict_attempts):
+            try:
+                faults.inject("serve.predict", key=(seq, attempt))
+                preds = self.predict_fn(np.stack(rows))
+                break
+            except Exception as exc:
+                obs.inc("resil.serve.predict_failures_total")
+                if attempt + 1 >= self.predict_attempts:
+                    # Out of attempts: surface through every waiting future.
+                    self.errors += len(batch)
+                    obs.inc("serve.errors_total", len(batch))
+                    for item in batch:
+                        item[1].set_exception(exc)
+                    return
+                obs.inc("resil.serve.batch_retries_total")
         done = time.perf_counter()
         preds = np.asarray(preds)
         self.requests += len(batch)
@@ -166,7 +226,7 @@ class BatchPredictor:
         obs.inc("serve.batches_total")
         obs.observe("serve.batch_size", len(batch))
         obs.observe("serve.batch_predict_s", done - t0)
-        for i, (_, fut, t_enqueue, key) in enumerate(batch):
+        for i, (_, fut, t_enqueue, key, _) in enumerate(batch):
             obs.observe("serve.request_latency_s", done - t_enqueue)
             if self.cache is not None and key is not None:
                 self.cache.put(key, preds[i])

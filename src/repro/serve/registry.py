@@ -14,6 +14,16 @@ serializer speaks -- GBDT, random forests, scalers, prediction pipelines
 -- can be published and loaded without pickle.  Writes go through a temp
 file + ``os.replace`` so a crash never leaves a half-written version,
 and a bounded LRU keeps recently used models deserialized in memory.
+
+Resilience (docs/robustness.md): a truncated or garbled version file
+raises a typed :class:`RegistryError` naming the path instead of a raw
+``json.JSONDecodeError``; :meth:`ModelRegistry.load_resilient` retries
+transient load failures under a seeded backoff policy, **quarantines**
+corrupt version files (renamed to ``*.corrupt``, which the version
+catalog skips) and falls back to the newest remaining good version,
+all guarded by a per-model-name :class:`~repro.resil.retry.CircuitBreaker`
+that short-circuits to the last good in-memory model once loads keep
+failing.  The ``serve.model_load`` fault seam lives on the load path.
 """
 
 from __future__ import annotations
@@ -23,17 +33,47 @@ import os
 import pathlib
 import re
 import threading
+import time
 from collections import OrderedDict
 
 from repro import obs
 from repro.ml.serialize import model_from_dict, model_to_dict
+from repro.resil import faults
+from repro.resil.faults import FaultError
+from repro.resil.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryExhausted,
+    RetryPolicy,
+    retry,
+)
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._+-]*$")
 _VERSION_RE = re.compile(r"^v(\d{5})\.json$")
 
+#: Suffix a quarantined (corrupt) version file is renamed with.
+CORRUPT_SUFFIX = ".corrupt"
+
+#: Default backoff for load_resilient: fast, bounded, deterministic.
+DEFAULT_LOAD_POLICY = RetryPolicy(max_attempts=3, base_delay_s=0.02,
+                                  max_delay_s=0.25, seed=0)
+
+faults.register_point(
+    "serve.model_load",
+    "raise while deserializing a registry model (keyed by name, version)",
+)
+
 
 class ModelNotFound(KeyError):
     """Unknown model name or version."""
+
+
+class RegistryError(RuntimeError):
+    """A version file exists but cannot be parsed; ``path`` names it."""
+
+    def __init__(self, message: str, path: str | os.PathLike | None = None):
+        super().__init__(message)
+        self.path = pathlib.Path(path) if path is not None else None
 
 
 class ModelRegistry:
@@ -46,6 +86,10 @@ class ModelRegistry:
         self.max_loaded = max_loaded
         self._lock = threading.Lock()
         self._loaded: OrderedDict[tuple[str, int], object] = OrderedDict()
+        #: Newest successfully loaded (version, model) per name -- what a
+        #: tripped breaker falls back to without touching the disk.
+        self._last_good: dict[str, tuple[int, object]] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
 
     # -- paths -------------------------------------------------------------- #
 
@@ -71,19 +115,29 @@ class ModelRegistry:
         )
 
     def versions(self, name: str) -> list[int]:
+        """Catalogued version numbers, ascending.
+
+        Anything that is not exactly a ``vNNNNN.json`` regular file --
+        temp files, quarantined ``*.json.corrupt`` entries, non-numeric
+        names, stray directories -- is skipped, never an error.
+        """
         d = self._model_dir(name)
         if not d.is_dir():
             return []
         out = []
         for p in d.iterdir():
             m = _VERSION_RE.match(p.name)
-            if m:
+            if m and p.is_file():
                 out.append(int(m.group(1)))
         return sorted(out)
 
     def latest_version(self, name: str) -> int | None:
         versions = self.versions(name)
         return versions[-1] if versions else None
+
+    def latest(self, name: str) -> int | None:
+        """Alias of :meth:`latest_version` (same skip-junk guarantees)."""
+        return self.latest_version(name)
 
     # -- save / load -------------------------------------------------------- #
 
@@ -133,11 +187,134 @@ class ModelRegistry:
             raise ModelNotFound(
                 f"model {name!r} version {version} not found at {target}"
             )
-        model = model_from_dict(json.loads(target.read_text()))
+        faults.inject("serve.model_load", key=(name, int(version)))
+        try:
+            payload = json.loads(target.read_text())
+        except json.JSONDecodeError as exc:
+            raise RegistryError(
+                f"corrupt model payload at {target}: {exc}", path=target
+            ) from exc
+        model = model_from_dict(payload)
         with self._lock:
             self._loaded[key] = model
             self._loaded.move_to_end(key)
             while len(self._loaded) > self.max_loaded:
                 self._loaded.popitem(last=False)
+            good = self._last_good.get(name)
+            if good is None or good[0] <= int(version):
+                self._last_good[name] = (int(version), model)
         obs.inc("serve.registry.loads_total")
         return model
+
+    # -- resilience --------------------------------------------------------- #
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The per-model-name circuit breaker guarding resilient loads."""
+        with self._lock:
+            b = self._breakers.get(name)
+            if b is None:
+                b = CircuitBreaker(name=f"registry:{name}",
+                                   failure_threshold=3, reset_timeout_s=5.0)
+                self._breakers[name] = b
+            return b
+
+    def quarantine(self, name: str, version: int) -> pathlib.Path | None:
+        """Rename a corrupt version file to ``*.corrupt``; returns the
+        new path (None when the file is already gone).
+
+        The quarantined file drops out of :meth:`versions` /
+        :meth:`latest_version` immediately but stays on disk for a
+        post-mortem, and the slot's cached deserialization (if any) is
+        evicted so it cannot shadow the corruption.
+        """
+        target = self.path(name, int(version))
+        dest = target.with_name(target.name + CORRUPT_SUFFIX)
+        try:
+            os.replace(target, dest)
+        except FileNotFoundError:
+            return None
+        with self._lock:
+            self._loaded.pop((name, int(version)), None)
+        obs.inc("resil.registry.quarantined_total")
+        return dest
+
+    def load_resilient(
+        self,
+        name: str,
+        version: int | None = None,
+        *,
+        policy: RetryPolicy | None = None,
+        sleep=time.sleep,
+    ):
+        """A model for ``name``, surviving flaky loads and corrupt files.
+
+        Per candidate version (the requested one, else the latest, then
+        falling back through older versions): transient failures --
+        injected ``serve.model_load`` faults, OS errors -- are retried
+        under ``policy``; a :class:`RegistryError` (corrupt payload)
+        quarantines the file and falls straight through to the previous
+        version.  Fallbacks count ``resil.registry.fallbacks_total``.
+
+        The per-name breaker trips after repeated failures; while open,
+        the newest previously loaded model is returned directly
+        (``resil.registry.breaker_fallbacks_total``) and the disk is
+        left alone.  Raises :class:`ModelNotFound` when no version
+        exists, :class:`RetryExhausted` when every candidate kept
+        failing transiently, :class:`CircuitOpenError` when the breaker
+        is open and nothing good was ever loaded.
+        """
+        policy = policy or DEFAULT_LOAD_POLICY
+        breaker = self.breaker(name)
+        if not breaker.allow():
+            with self._lock:
+                good = self._last_good.get(name)
+            if good is not None:
+                obs.inc("resil.registry.breaker_fallbacks_total")
+                return good[1]
+            raise CircuitOpenError(
+                f"model {name!r}: load circuit open and no good version "
+                "in memory"
+            )
+        known = self.versions(name)
+        if version is None:
+            candidates = list(reversed(known))
+        else:
+            candidates = [v for v in reversed(known) if v <= int(version)]
+            if int(version) not in known:
+                raise ModelNotFound(
+                    f"model {name!r} version {version} not found in "
+                    f"{self.root}"
+                )
+        if not candidates:
+            raise ModelNotFound(
+                f"no versions of model {name!r} in {self.root}"
+            )
+        last_exc: Exception | None = None
+        for i, v in enumerate(candidates):
+            fallback_left = i + 1 < len(candidates)
+            try:
+                model = retry(
+                    lambda v=v: self.load(name, v),
+                    policy=policy,
+                    retry_on=(FaultError, OSError),
+                    label=f"registry.load:{name}:v{v}",
+                    sleep=sleep,
+                )
+            except RegistryError as exc:
+                last_exc = exc
+                breaker.record_failure()
+                self.quarantine(name, v)
+                if fallback_left:
+                    obs.inc("resil.registry.fallbacks_total")
+                continue
+            except RetryExhausted as exc:
+                last_exc = exc
+                breaker.record_failure()
+                if fallback_left:
+                    obs.inc("resil.registry.fallbacks_total")
+                    continue
+                raise
+            breaker.record_success()
+            return model
+        assert last_exc is not None
+        raise last_exc

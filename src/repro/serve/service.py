@@ -15,6 +15,15 @@ models route those through their missing-value bin).  Lines are read
 ahead in windows of several batches and submitted together so the
 micro-batcher actually sees concurrent work even from a serial stdin
 stream; responses are flushed strictly in input order.
+
+Resilience (docs/robustness.md): a failed prediction never kills the
+loop -- the affected request gets an ``{"error": "prediction failed:
+..."}`` response and the run continues.  Repeated failures trip the
+service :class:`~repro.resil.retry.CircuitBreaker`, after which new
+requests are short-circuited with ``service unavailable`` responses
+until the reset timeout probes the model again.
+``ServeConfig.request_deadline_ms`` bounds how long a request may sit
+queued before failing with a deadline error instead of adding latency.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.resil.retry import CircuitBreaker
 from repro.serve.batcher import BatchPredictor
 from repro.serve.cache import PredictionCache
 
@@ -41,6 +51,13 @@ class ServeConfig:
     #: How many requests to read ahead before flushing responses; the
     #: window is what lets a serial input stream fill batches.
     read_ahead: int = 256
+    #: Max milliseconds a request may spend queued before it fails with
+    #: a deadline error (0 = unbounded).
+    request_deadline_ms: float = 0.0
+    #: Consecutive prediction failures that trip the service breaker,
+    #: and how long it stays open before probing again.
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
 
 
 @dataclass
@@ -49,6 +66,10 @@ class ServeStats:
 
     requests: int = 0
     errors: int = 0
+    #: Requests that reached the model but failed (prediction errors,
+    #: deadline expiries, breaker short-circuits) -- distinct from
+    #: ``errors``, which counts malformed requests.
+    failures: int = 0
     batches: int = 0
     cache_hits: int = 0
     wall_s: float = 0.0
@@ -84,6 +105,12 @@ class InferenceService:
             max_batch_size=self.config.max_batch_size,
             max_wait_s=self.config.max_wait_ms / 1000.0,
             cache=self.cache,
+            deadline_s=self.config.request_deadline_ms / 1000.0,
+        )
+        self.breaker = CircuitBreaker(
+            name="serve",
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
         )
 
     # -- request handling --------------------------------------------------- #
@@ -162,13 +189,20 @@ class InferenceService:
                     stats.errors += 1
                     obs.inc("serve.bad_requests_total")
                     window.append((req, self._error_response(req)))
+                elif not self.breaker.allow():
+                    stats.failures += 1
+                    response = {"error":
+                                "service unavailable: circuit breaker open"}
+                    if isinstance(req, dict) and "id" in req:
+                        response["id"] = req["id"]
+                    window.append((req, response))
                 else:
                     window.append((req, self.batcher.submit(features)))
                 stats.requests += 1
                 if len(window) >= self.config.read_ahead:
-                    self._flush(window, out)
+                    self._flush(window, out, stats)
                     window = []
-            self._flush(window, out)
+            self._flush(window, out, stats)
         stats.batches = self.batcher.batches
         stats.cache_hits = self.cache.hits if self.cache is not None else 0
         stats.wall_s = time.perf_counter() - t_start
@@ -178,10 +212,23 @@ class InferenceService:
                           round(self.cache.hit_rate, 4))
         return stats
 
-    def _flush(self, window: list, out) -> None:
+    def _flush(self, window: list, out, stats: ServeStats) -> None:
         for req, pending in window:
             if isinstance(pending, dict):  # pre-formed error response
                 response = pending
             else:
-                response = self._format_response(req, pending.result())
+                try:
+                    result = pending.result()
+                except Exception as exc:
+                    # One bad batch answers its own requests with error
+                    # responses; the loop itself never dies.
+                    stats.failures += 1
+                    obs.inc("resil.serve.failed_requests_total")
+                    self.breaker.record_failure()
+                    response = {"error": f"prediction failed: {exc}"}
+                    if isinstance(req, dict) and "id" in req:
+                        response["id"] = req["id"]
+                else:
+                    self.breaker.record_success()
+                    response = self._format_response(req, result)
             out.write(json.dumps(response) + "\n")

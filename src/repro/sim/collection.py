@@ -11,17 +11,27 @@ Two appendix experiments get dedicated drivers:
   panel with staggered iPerf sessions;
 * :func:`run_side_by_side_4g5g` (A.4) -- one UE pinned to LTE and one on 5G
   walking the Loop together.
+
+Crash safety (docs/robustness.md): pass ``checkpoint_dir`` (or set
+``REPRO_CHECKPOINT_DIR``) and every completed pass is persisted under a
+content-addressed campaign fingerprint; re-running after an interruption
+loads the finished passes and simulates only the rest, bit-identical to
+an uninterrupted run because each pass owns an index-keyed seed.  The
+``sim.pass_crash`` fault seam fires at the top of each pass.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import partial
 
 import numpy as np
 
 from repro import obs
-from repro.par import pmap, root_sequence, spawn_seeds
+from repro.par import fingerprint, pmap, root_sequence, spawn_seeds
+from repro.resil import faults
+from repro.resil.checkpoint import CheckpointStore, resolve_dir
 from repro.env.areas import build_area
 from repro.env.environment import Environment
 from repro.mobility.models import (
@@ -41,6 +51,11 @@ from repro.ue.telemetry import (
     MODE_STATIONARY,
     MODE_WALKING,
     TelemetryRecord,
+)
+
+faults.register_point(
+    "sim.pass_crash",
+    "raise at the top of one campaign pass (keyed by run_id)",
 )
 
 
@@ -84,6 +99,7 @@ def run_area_campaign(
     env: Environment,
     config: CampaignConfig | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
 ) -> Table:
     """Collect the full campaign for one area and return the raw log.
 
@@ -91,11 +107,18 @@ def run_area_campaign(
     (``None`` defers to ``REPRO_WORKERS``; <=1 runs serially).  Every
     pass draws from its own index-keyed seed, so the returned Table is
     bit-identical at any worker count.
+
+    ``checkpoint_dir`` (``None`` defers to ``REPRO_CHECKPOINT_DIR``;
+    unset disables checkpointing) persists each completed pass so an
+    interrupted campaign resumes from where it died -- bit-identical,
+    since resumed passes are the very arrays the original run produced
+    and fresh passes re-derive the same per-index seeds.
     """
     config = config or CampaignConfig()
     with obs.span("sim.campaign", area=env.name,
                   passes=config.passes_per_trajectory):
-        table = _run_area_campaign(env, config, workers=workers)
+        table = _run_area_campaign(env, config, workers=workers,
+                                   checkpoint_dir=checkpoint_dir)
     obs.get_logger("sim").info(
         "campaign", area=env.name, rows=len(table),
         passes=config.passes_per_trajectory,
@@ -152,6 +175,7 @@ def _simulate_pass_task(
 ) -> list[TelemetryRecord]:
     """Pure worker: one pass from its own seed (pmap task function)."""
     task, seed = item
+    faults.inject("sim.pass_crash", key=task.run_id)
     rng = np.random.default_rng(seed)
     trajectory = env.trajectories[task.trajectory]
     if task.kind == "walk":
@@ -169,19 +193,101 @@ def _simulate_pass_task(
     )
 
 
+def _pass_columns(records: list[TelemetryRecord]
+                  ) -> dict[str, np.ndarray]:
+    """One pass as column arrays (the checkpoint payload)."""
+    return {
+        f: np.asarray([getattr(r, f) for r in records])
+        for f in TelemetryRecord.field_names()
+    }
+
+
+def _records_from_columns(columns: dict[str, np.ndarray]
+                          ) -> list[TelemetryRecord]:
+    """Inverse of :func:`_pass_columns`, exact to the last bit.
+
+    ``tolist()`` restores native Python scalars (int/float/str), so a
+    record round-tripped through a checkpoint equals the original and
+    ``_records_to_table`` over a resumed run matches an uninterrupted
+    one column-for-column.
+    """
+    cols = [columns[f].tolist() for f in TelemetryRecord.field_names()]
+    return [TelemetryRecord(*vals) for vals in zip(*cols)]
+
+
+def _campaign_fingerprint(env: Environment, config: CampaignConfig) -> str:
+    """Content address of one area campaign's checkpoint bucket.
+
+    Any change to the campaign config, the area, or the telemetry
+    schema lands in a fresh bucket, so stale checkpoints can never leak
+    into a differently-configured run.
+    """
+    return fingerprint({
+        "version": 1,
+        "area": env.name,
+        "schema": TelemetryRecord.field_names(),
+        "campaign": config,
+    })
+
+
+def _simulate_checkpointed_pass_task(
+    env: Environment,
+    config: SimulationConfig,
+    root: str,
+    fp: str,
+    item: tuple[int, _PassTask, np.random.SeedSequence],
+) -> list[TelemetryRecord]:
+    """One pass that persists its own checkpoint before returning.
+
+    Workers write their own parts (atomically, via NpzCache) so a crash
+    mid-campaign loses only the passes still in flight.
+    """
+    index, task, seed = item
+    records = _simulate_pass_task(env, config, (task, seed))
+    CheckpointStore(root, fp).save(index, _pass_columns(records))
+    return records
+
+
 def _run_area_campaign(
-    env: Environment, config: CampaignConfig, workers: int | None = None
+    env: Environment,
+    config: CampaignConfig,
+    workers: int | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
 ) -> Table:
     tasks = _campaign_plan(env, config)
     # One child seed per pass, keyed by (campaign seed, area, pass index):
     # execution order and worker count cannot change any draw.
     seeds = spawn_seeds(root_sequence(config.seed, env.name), len(tasks))
-    per_pass = pmap(
-        partial(_simulate_pass_task, env, config.simulation),
-        list(zip(tasks, seeds)),
-        workers=workers,
-        label="sim.campaign",
-    )
+    root = resolve_dir(checkpoint_dir)
+    if root is None:
+        per_pass = pmap(
+            partial(_simulate_pass_task, env, config.simulation),
+            list(zip(tasks, seeds)),
+            workers=workers,
+            label="sim.campaign",
+        )
+    else:
+        fp = _campaign_fingerprint(env, config)
+        store = CheckpointStore(root, fp)
+        per_pass = [None] * len(tasks)
+        pending: list[tuple[int, _PassTask, np.random.SeedSequence]] = []
+        for i, (task, seed) in enumerate(zip(tasks, seeds)):
+            columns = store.load(i)
+            if columns is not None:
+                per_pass[i] = _records_from_columns(columns)
+                obs.inc("resil.checkpoint.passes_resumed_total")
+            else:
+                pending.append((i, task, seed))
+        if pending:
+            done = pmap(
+                partial(_simulate_checkpointed_pass_task, env,
+                        config.simulation, str(root), fp),
+                pending,
+                workers=workers,
+                label="sim.campaign",
+            )
+            for (i, _, _), recs in zip(pending, done):
+                per_pass[i] = recs
     records: list[TelemetryRecord] = []
     for recs in per_pass:
         records.extend(recs)
@@ -192,16 +298,19 @@ def run_campaign(
     areas: list[str] | None = None,
     config: CampaignConfig | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
 ) -> dict[str, Table]:
     """Run campaigns for several areas; returns ``{area_name: raw_table}``.
 
-    ``workers`` is forwarded to :func:`run_area_campaign` (per-pass
-    fan-out within each area); per-area seeding keeps the result
-    independent of how the passes were executed.
+    ``workers`` and ``checkpoint_dir`` are forwarded to
+    :func:`run_area_campaign` (per-pass fan-out / crash-safe resume
+    within each area); per-area seeding keeps the result independent of
+    how the passes were executed.
     """
     areas = areas or ["Airport", "Intersection", "Loop"]
     return {
-        name: run_area_campaign(build_area(name), config, workers=workers)
+        name: run_area_campaign(build_area(name), config, workers=workers,
+                                checkpoint_dir=checkpoint_dir)
         for name in areas
     }
 

@@ -93,6 +93,33 @@ class TestNpzCache:
         with pytest.raises(ValueError):
             cache.save("k", {"t": {"a::b": np.arange(1)}})
 
+    def test_lost_delete_race_is_a_plain_miss(self, tmp_path, monkeypatch):
+        """A file that vanishes between the existence check and the read
+        (another process won a corrupt-entry delete race) must load as a
+        miss -- no FileNotFoundError, no corruption count."""
+        from repro import obs
+
+        cache = NpzCache(tmp_path)
+        cache.save("k", {"T": {"x": np.arange(3.0)}})
+
+        real_load = np.load
+
+        def racing_load(path, *args, **kwargs):
+            # The other process deletes the entry just before our read.
+            cache.path("k").unlink(missing_ok=True)
+            return real_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(np, "load", racing_load)
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        corrupt_before = registry.counter("cache.corrupt_entries_total").value
+        races_before = registry.counter("cache.lost_races_total").value
+        assert cache.load("k") is None
+        assert registry.counter("cache.lost_races_total").value \
+            == races_before + 1
+        assert registry.counter("cache.corrupt_entries_total").value \
+            == corrupt_before
+
 
 class TestDatasetDiskCache:
     def test_second_call_loads_identical_tables(self, tmp_path):

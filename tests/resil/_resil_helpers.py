@@ -1,0 +1,23 @@
+"""Shared assertions and picklable pmap tasks for the resilience suite."""
+
+import numpy as np
+
+from repro.resil.retry import RetryPolicy
+
+
+def assert_tables_equal(a, b, context: str = "") -> None:
+    """Bit-identical Table comparison (NaNs compare equal to NaNs)."""
+    assert a.column_names == b.column_names, context
+    assert len(a) == len(b), context
+    for name in a.column_names:
+        ca, cb = a[name], b[name]
+        if ca.dtype.kind == "f" and cb.dtype.kind == "f":
+            same = np.array_equal(ca, cb, equal_nan=True)
+        else:
+            same = np.array_equal(ca, cb)
+        assert same, f"{context}: column {name!r} differs"
+
+
+def retry_schedule_task(seed: int) -> tuple:
+    """Module-level pmap task: a policy's backoff schedule, worker-side."""
+    return RetryPolicy(max_attempts=6, seed=seed).schedule()

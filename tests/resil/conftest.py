@@ -1,0 +1,20 @@
+"""Shared guards for the resilience suite: clean fault state per test."""
+
+import pytest
+
+from repro.resil import faults
+
+
+@pytest.fixture(autouse=True)
+def _faults_guard(monkeypatch):
+    """Every test starts and ends with no fault schedule in effect.
+
+    Chaos tests pin schedules (``faults.configure``) or set
+    ``REPRO_FAULTS``; this keeps one test's schedule -- and the
+    process-wide occurrence counters -- from leaking into the next.
+    """
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_SEED_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()

@@ -1,0 +1,137 @@
+"""Chaos suite: campaigns and dataset generation under injected faults.
+
+The contract under test (docs/robustness.md): with faults armed the
+pipeline *completes* -- retries, serial rescues and cache regeneration
+absorb the failures -- and the output is bit-identical to a fault-free
+run, because every task re-derives its results from its own seed.  The
+damage is visible only in the ``resil.*`` counters.
+
+Fault seeds here are fixed and were chosen so the deterministic
+schedule both actually fires (nonzero counters) and recovers within the
+per-task retry budget; any seed change must re-verify both properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.datasets.generate import generate_datasets
+from repro.env.areas import build_area
+from repro.par.cache import NpzCache
+from repro.resil import faults
+from repro.sim.collection import CampaignConfig, run_area_campaign
+
+from _resil_helpers import assert_tables_equal
+
+
+def _cfg(seed: int = 9) -> CampaignConfig:
+    return CampaignConfig(
+        passes_per_trajectory=1, driving_passes=1, stationary_runs=1,
+        stationary_duration_s=10, seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_airport():
+    """The fault-free reference table (module-scoped: simulate once)."""
+    return run_area_campaign(build_area("Airport"), _cfg())
+
+
+class TestChaosCampaign:
+    RATES = "par.worker_crash:0.15,sim.pass_crash:0.1"
+
+    def _arm(self, monkeypatch, seed: int = 1) -> None:
+        monkeypatch.setenv(faults.FAULTS_ENV, self.RATES)
+        monkeypatch.setenv(faults.FAULTS_SEED_ENV, str(seed))
+
+    def test_serial_campaign_survives_and_matches(
+        self, monkeypatch, clean_airport
+    ):
+        self._arm(monkeypatch)
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        injected0 = registry.counter("resil.faults.injected_total").value
+        retries0 = registry.counter("resil.par.task_retries_total").value
+        chaotic = run_area_campaign(build_area("Airport"), _cfg())
+        assert registry.counter("resil.faults.injected_total").value \
+            > injected0
+        assert registry.counter("resil.par.task_retries_total").value \
+            > retries0
+        assert_tables_equal(clean_airport, chaotic, "clean vs chaos serial")
+
+    def test_parallel_campaign_survives_and_matches(
+        self, monkeypatch, clean_airport
+    ):
+        self._arm(monkeypatch)
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        injected0 = registry.counter("resil.faults.injected_total").value
+        chaotic = run_area_campaign(build_area("Airport"), _cfg(), workers=2)
+        assert registry.counter("resil.faults.injected_total").value \
+            > injected0
+        assert_tables_equal(clean_airport, chaotic, "clean vs chaos pool")
+
+    def test_faults_off_again_counts_nothing(self, clean_airport):
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        injected0 = registry.counter("resil.faults.injected_total").value
+        quiet = run_area_campaign(build_area("Airport"), _cfg())
+        assert registry.counter("resil.faults.injected_total").value \
+            == injected0
+        assert_tables_equal(clean_airport, quiet, "clean vs quiet")
+
+
+class TestChaosGenerate:
+    def test_area_crash_retried_then_identical(self):
+        kw = dict(areas=("Airport",), campaign=_cfg(), use_cache=False,
+                  include_global=False)
+        clean = generate_datasets(**kw)
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        retries0 = registry.counter("resil.par.task_retries_total").value
+        # Seed 9: the schedule fires on the first attempt for key
+        # "Airport" and passes on the retry.
+        faults.configure("datasets.area_crash:0.5", seed=9)
+        chaotic = generate_datasets(**kw)
+        faults.reset()
+        assert registry.counter("resil.par.task_retries_total").value \
+            > retries0
+        assert_tables_equal(clean["Airport"], chaotic["Airport"],
+                            "clean vs chaos generate")
+
+
+class TestCacheCorruption:
+    def test_corrupted_write_loads_as_miss_then_regenerates(self, tmp_path):
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        cache = NpzCache(tmp_path)
+        tables = {"T": {"x": np.arange(6.0)}}
+
+        faults.configure("cache.corrupt:1.0")
+        cache.save("k", tables)  # seam truncates the entry post-write
+        assert registry.counter("resil.fault.cache.corrupt_total").value >= 1
+        corrupt0 = registry.counter("cache.corrupt_entries_total").value
+        assert cache.load("k") is None
+        assert registry.counter("cache.corrupt_entries_total").value \
+            == corrupt0 + 1
+        assert "k" not in cache  # bad entry deleted, regenerate path open
+
+        faults.reset()
+        cache.save("k", tables)
+        back = cache.load("k")
+        assert back is not None
+        assert np.array_equal(back["T"]["x"], tables["T"]["x"])
+
+    def test_dataset_cache_survives_corruption_rate(self, tmp_path,
+                                                    monkeypatch):
+        """End-to-end: with every cache write corrupted, generate still
+        returns correct data -- it just never gets disk hits."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        kw = dict(areas=("Airport",), campaign=_cfg(), include_global=False)
+        clean = generate_datasets(use_cache=False, **kw)
+        faults.configure("cache.corrupt:1.0")
+        first = generate_datasets(use_cache=True, **kw)
+        second = generate_datasets(use_cache=True, **kw)  # corrupt -> miss
+        faults.reset()
+        assert_tables_equal(clean["Airport"], first["Airport"], "first")
+        assert_tables_equal(clean["Airport"], second["Airport"], "second")

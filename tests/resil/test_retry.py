@@ -1,0 +1,248 @@
+"""retry/backoff, deadlines and the circuit breaker state machine."""
+
+import pytest
+
+from repro import obs
+from repro.par import pmap
+from repro.resil.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    RetryExhausted,
+    RetryPolicy,
+    retry,
+)
+
+from _resil_helpers import retry_schedule_task
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestRetryPolicy:
+    def test_schedule_deterministic(self):
+        p = RetryPolicy(max_attempts=6, seed=42)
+        assert p.schedule() == RetryPolicy(max_attempts=6, seed=42).schedule()
+        assert p.schedule() != RetryPolicy(max_attempts=6, seed=43).schedule()
+
+    def test_schedule_identical_inside_pool_workers(self):
+        """The satellite property: the same seed yields the same backoff
+        schedule at any worker count -- even computed in pool workers."""
+        local = RetryPolicy(max_attempts=6, seed=11).schedule()
+        for computed in pmap(retry_schedule_task, [11] * 4, workers=2):
+            assert computed == local
+
+    def test_exponential_growth_capped(self):
+        p = RetryPolicy(max_attempts=8, base_delay_s=0.1, max_delay_s=0.5,
+                        multiplier=2.0, jitter=0.0)
+        assert p.schedule() == (0.1, 0.2, 0.4, 0.5, 0.5, 0.5, 0.5)
+
+    def test_jitter_bounded(self):
+        p = RetryPolicy(max_attempts=12, base_delay_s=0.1, max_delay_s=10.0,
+                        multiplier=1.0, jitter=0.2, seed=5)
+        for delay in p.schedule():
+            assert 0.08 <= delay <= 0.12
+
+    def test_delay_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0}, {"base_delay_s": -1.0}, {"multiplier": 0.5},
+        {"jitter": 1.0}, {"jitter": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetry:
+    def test_sleeps_follow_the_schedule(self):
+        policy = RetryPolicy(max_attempts=4, seed=9)
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise OSError("flaky")
+            return "ok"
+
+        assert retry(flaky, policy=policy, sleep=sleeps.append) == "ok"
+        assert len(attempts) == 4
+        assert tuple(sleeps) == policy.schedule()
+
+    def test_first_try_success_never_sleeps(self):
+        sleeps = []
+        assert retry(lambda: 5, sleep=sleeps.append) == 5
+        assert sleeps == []
+
+    def test_exhaustion_raises_chained(self):
+        boom = ValueError("always")
+
+        def failing():
+            raise boom
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            retry(failing, policy=RetryPolicy(max_attempts=3),
+                  label="unit.op", sleep=lambda s: None)
+        err = excinfo.value
+        assert err.attempts == 3
+        assert err.last is boom
+        assert err.__cause__ is boom
+        assert "unit.op" in str(err)
+
+    def test_non_matching_exception_propagates_immediately(self):
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            retry(failing, retry_on=(OSError,), sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_counters(self):
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        retries0 = registry.counter("resil.retry.retries_total").value
+        recov0 = registry.counter("resil.retry.recoveries_total").value
+        state = {"n": 0}
+
+        def once_flaky():
+            state["n"] += 1
+            if state["n"] == 1:
+                raise OSError("flaky")
+            return True
+
+        assert retry(once_flaky, sleep=lambda s: None)
+        assert registry.counter("resil.retry.retries_total").value \
+            == retries0 + 1
+        assert registry.counter("resil.retry.recoveries_total").value \
+            == recov0 + 1
+
+    def test_deadline_aborts_between_attempts(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+
+        def failing():
+            clock.advance(0.6)
+            raise OSError("slow failure")
+
+        with pytest.raises(DeadlineExceeded):
+            retry(failing, policy=RetryPolicy(max_attempts=10),
+                  sleep=lambda s: None, deadline=deadline)
+        assert clock.t < 2.0  # aborted promptly, not after 10 attempts
+
+
+class TestDeadline:
+    def test_budget_accounting(self):
+        clock = FakeClock()
+        d = Deadline(0.5, clock=clock)
+        assert not d.expired
+        clock.advance(0.3)
+        assert d.elapsed_s == pytest.approx(0.3)
+        assert d.remaining_s == pytest.approx(0.2)
+        d.check()  # still fine
+        clock.advance(0.3)
+        assert d.expired
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            d.check("unit.op")
+        assert "unit.op" in str(excinfo.value)
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        assert issubclass(DeadlineExceeded, TimeoutError)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(name="unit", failure_threshold=3,
+                        reset_timeout_s=10.0, clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_closed_to_open_to_half_open_to_closed(self):
+        b, clock = self._breaker()
+        assert b.state == "closed"
+        assert b.allow()
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()  # short-circuited
+        clock.advance(10.0)
+        assert b.state == "half_open"
+        assert b.allow()       # the single probe slot
+        assert not b.allow()   # half_open_max_calls=1 exhausted
+        b.record_success()
+        assert b.state == "closed"
+        assert b.consecutive_failures == 0
+        assert b.allow()
+
+    def test_half_open_failure_reopens(self):
+        b, clock = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_failure()  # probe failed
+        assert b.state == "open"
+        assert not b.allow()
+        clock.advance(10.0)
+        assert b.state == "half_open"  # and the cycle repeats
+
+    def test_success_resets_consecutive_failures(self):
+        b, _ = self._breaker()
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"  # never reached 3 in a row
+
+    def test_call_wrapper(self):
+        b, clock = self._breaker(failure_threshold=1)
+        with pytest.raises(RuntimeError):
+            b.call(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        assert b.state == "open"
+        with pytest.raises(CircuitOpenError):
+            b.call(lambda: "never runs")
+        clock.advance(10.0)
+        assert b.call(lambda: "probe ok") == "probe ok"
+        assert b.state == "closed"
+
+    def test_short_circuits_counted(self):
+        obs.set_enabled(True)
+        registry = obs.get_registry()
+        before = registry.counter("resil.breaker.short_circuits_total").value
+        opens0 = registry.counter("resil.breaker.opens_total").value
+        b, _ = self._breaker(failure_threshold=1)
+        b.record_failure()
+        assert not b.allow()
+        assert not b.allow()
+        assert registry.counter(
+            "resil.breaker.short_circuits_total").value == before + 2
+        assert registry.counter("resil.breaker.opens_total").value \
+            == opens0 + 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0}, {"reset_timeout_s": -1.0},
+        {"half_open_max_calls": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

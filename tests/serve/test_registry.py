@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.ml.gbdt import GBDTRegressor
-from repro.serve.registry import ModelNotFound, ModelRegistry
+from repro.resil import faults
+from repro.resil.retry import RetryExhausted, RetryPolicy
+from repro.serve.registry import (
+    CORRUPT_SUFFIX,
+    ModelNotFound,
+    ModelRegistry,
+    RegistryError,
+)
 
 
 @pytest.fixture(scope="module")
@@ -106,3 +113,92 @@ class TestFailureModes:
         model, _ = fitted
         with pytest.raises(ValueError):
             ModelRegistry(tmp_path).save("m", model, version=0)
+
+    def test_truncated_file_raises_registry_error_naming_path(
+        self, tmp_path, fitted
+    ):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        target = tmp_path / "m" / "v00001.json"
+        target.write_text(target.read_text()[:40])  # truncate mid-payload
+        with pytest.raises(RegistryError) as excinfo:
+            ModelRegistry(tmp_path).load("m")  # cold memo
+        assert str(target) in str(excinfo.value)
+        assert excinfo.value.path == target
+        assert isinstance(excinfo.value.__cause__, json.JSONDecodeError)
+
+
+class TestCatalogSkipsJunk:
+    def test_versions_ignore_non_version_files(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        d = tmp_path / "m"
+        (d / "notes.txt").write_text("scratch")
+        (d / "v1.json").write_text("{}")        # wrong width
+        (d / "vabcde.json").write_text("{}")    # non-numeric
+        (d / f"v00009.json{CORRUPT_SUFFIX}").write_text("junk")
+        (d / "v00005.json.tmp").write_text("{}")
+        assert registry.versions("m") == [1]
+        assert registry.latest("m") == 1
+        assert registry.latest_version("m") == 1
+
+
+class TestResilientLoad:
+    def test_quarantine_renames_and_hides_version(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        registry.save("m", model)
+        dest = registry.quarantine("m", 2)
+        assert dest == tmp_path / "m" / f"v00002.json{CORRUPT_SUFFIX}"
+        assert dest.is_file()
+        assert registry.versions("m") == [1]
+        assert registry.quarantine("m", 2) is None  # already gone
+
+    def test_corrupt_latest_falls_back_to_previous(self, tmp_path, fitted):
+        model, X = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        registry.save("m", model)
+        (tmp_path / "m" / "v00002.json").write_text("{ not json")
+        fresh = ModelRegistry(tmp_path)
+        loaded = fresh.load_resilient("m", sleep=lambda s: None)
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+        assert (tmp_path / "m" / f"v00002.json{CORRUPT_SUFFIX}").is_file()
+        assert fresh.versions("m") == [1]
+
+    def test_transient_faults_retried_then_succeed(self, tmp_path, fitted):
+        model, X = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        # Rate-1.0 faults always fire; at 0.6 with this seed the first
+        # attempt fires and a later one passes (deterministic schedule).
+        faults.configure("serve.model_load:0.6", seed=3)
+        try:
+            fresh = ModelRegistry(tmp_path)
+            sleeps = []
+            loaded = fresh.load_resilient("m", sleep=sleeps.append)
+        finally:
+            faults.reset()
+        np.testing.assert_array_equal(loaded.predict(X), model.predict(X))
+        assert sleeps  # at least one backoff happened
+
+    def test_all_attempts_exhausted_raises(self, tmp_path, fitted):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        faults.configure("serve.model_load:1.0")
+        try:
+            with pytest.raises(RetryExhausted):
+                ModelRegistry(tmp_path).load_resilient(
+                    "m", policy=RetryPolicy(max_attempts=2),
+                    sleep=lambda s: None,
+                )
+        finally:
+            faults.reset()
+
+    def test_load_resilient_missing_name_raises(self, tmp_path):
+        with pytest.raises(ModelNotFound):
+            ModelRegistry(tmp_path).load_resilient("ghost")

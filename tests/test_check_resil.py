@@ -1,0 +1,155 @@
+"""Wire tools/check_resil.py into the tier-1 suite.
+
+The lint enforces the resilience contract behind repro.resil: backoff
+sleeps live only in src/repro/resil/ (everything else goes through
+retry() or takes an injectable sleep), and a broad except handler must
+re-raise or count the event through obs so degraded paths stay visible.
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECK = REPO_ROOT / "tools" / "check_resil.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_resil  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes_lint(self):
+        violations = check_resil.check()
+        assert violations == []
+
+    def test_script_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECK)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "check_resil: OK" in proc.stdout
+
+
+class TestDetection:
+    def _violations(self, tmp_path, source, sleep_allowed=False):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return check_resil.file_violations(path, sleep_allowed=sleep_allowed)
+
+    def test_flags_time_sleep_call(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import time
+            for _ in range(3):
+                time.sleep(0.1)
+        """)
+        assert len(found) == 1
+        assert "time.sleep" in found[0][1]
+
+    def test_flags_sleep_import(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from time import sleep
+        """)
+        assert len(found) == 1
+        assert "sleep" in found[0][1]
+
+    def test_sleep_as_injectable_default_allowed(self, tmp_path):
+        # Passing time.sleep as a value (an injectable parameter default)
+        # is the sanctioned pattern; only *calling* it is a violation.
+        found = self._violations(tmp_path, """\
+            import time
+
+            def fetch(url, sleep=time.sleep):
+                return sleep
+        """)
+        assert found == []
+
+    def test_sleep_allowed_inside_resil(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import time
+            time.sleep(0.01)
+        """, sleep_allowed=True)
+        assert found == []
+
+    def test_flags_silent_broad_except(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    return None
+        """)
+        assert len(found) == 1
+        assert "broad except" in found[0][1]
+
+    def test_flags_silent_bare_except(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def f():
+                try:
+                    risky()
+                except:
+                    pass
+        """)
+        assert len(found) == 1
+
+    def test_flags_broad_except_in_tuple(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def f():
+                try:
+                    risky()
+                except (ValueError, Exception):
+                    return 1
+        """)
+        assert len(found) == 1
+
+    def test_broad_except_with_obs_counter_allowed(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro import obs
+
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    obs.inc("mod.failures_total")
+                    return None
+        """)
+        assert found == []
+
+    def test_broad_except_with_reraise_allowed(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def f():
+                try:
+                    risky()
+                except Exception as exc:
+                    raise RuntimeError("wrapped") from exc
+        """)
+        assert found == []
+
+    def test_narrow_except_allowed(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def f():
+                try:
+                    risky()
+                except FileNotFoundError:
+                    return None
+        """)
+        assert found == []
+
+    def test_broad_except_flagged_even_where_sleep_allowed(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    return None
+        """, sleep_allowed=True)
+        assert len(found) == 1
+
+    def test_allowlist_honoured_in_tree_check(self, tmp_path):
+        (tmp_path / "resil").mkdir()
+        (tmp_path / "resil" / "retry.py").write_text(
+            "import time\ntime.sleep(0.01)\n"
+        )
+        (tmp_path / "core.py").write_text("x = 1\n")
+        assert check_resil.check(root=tmp_path) == []

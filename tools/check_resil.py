@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Lint: resilience discipline for library code.
+
+Two rules keep ``repro.resil``'s contract enforceable:
+
+1. **No ad-hoc ``time.sleep`` retry loops outside ``src/repro/resil/``**
+   -- backoff belongs to :func:`repro.resil.retry.retry`, which caps,
+   seeds its jitter and counts attempts in obs.  Library code that
+   wants to wait must take a ``sleep`` parameter (tests inject fakes)
+   or go through the retry helper.
+2. **No silent ``except Exception`` swallows anywhere in
+   ``src/repro/``** -- a broad handler (``except Exception``,
+   ``except BaseException``, or a bare ``except:``) must either
+   re-raise or record the event through an ``obs.*`` call, so degraded
+   paths always show up in the metrics snapshot
+   (docs/robustness.md).
+
+Run directly (``python tools/check_resil.py``) or via the tier-1 suite
+(``tests/test_check_resil.py`` wires it in).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Paths (relative to src/repro, posix) allowed to call time.sleep.
+SLEEP_ALLOWLIST = ("resil/",)
+
+#: Exception names whose handlers count as "broad" (rule 2).
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"] (empty when not a plain chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def _sleep_violation(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        if chain == ["time", "sleep"]:
+            return ("raw time.sleep(); use repro.resil.retry (seeded "
+                    "backoff) or take an injectable sleep parameter")
+    if isinstance(node, ast.ImportFrom) and node.module == "time":
+        for alias in node.names:
+            if alias.name == "sleep":
+                return ("importing sleep from time; use repro.resil.retry "
+                        "or an injectable sleep parameter instead")
+    return None
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if t is None:  # bare except:
+        return True
+    names = [t] if not isinstance(t, ast.Tuple) else list(t.elts)
+    for n in names:
+        chain = _attr_chain(n)
+        if chain and chain[-1] in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _handler_reports(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or emits an ``obs.*`` call."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if len(chain) >= 2 and chain[0] == "obs":
+                return True
+    return False
+
+
+def _swallow_violations(tree: ast.AST) -> list[tuple[int, str]]:
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _is_broad_handler(node) and not _handler_reports(node):
+            out.append((node.lineno, (
+                "broad except swallows silently; re-raise or count the "
+                "event with an obs.* call (degraded paths must be visible)"
+            )))
+    return out
+
+
+def file_violations(
+    path: pathlib.Path, sleep_allowed: bool = False
+) -> list[tuple[int, str]]:
+    """(line, message) pairs for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+    if not sleep_allowed:
+        for node in ast.walk(tree):
+            message = _sleep_violation(node)
+            if message:
+                out.append((node.lineno, message))
+    out.extend(_swallow_violations(tree))
+    return sorted(out)
+
+
+def check(root: pathlib.Path = SRC_ROOT) -> list[str]:
+    """All violations under ``root`` as ``path:line: message`` strings."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        sleep_allowed = any(
+            rel == entry or rel.startswith(entry) for entry in SLEEP_ALLOWLIST
+        )
+        for lineno, message in file_violations(path, sleep_allowed):
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            violations.append(f"{shown}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_resil: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_resil: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
