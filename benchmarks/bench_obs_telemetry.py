@@ -1,0 +1,115 @@
+"""repro.obs.telemetry overhead: what the windowed plane costs.
+
+Mirrors ``bench_resil_overhead.py`` for the telemetry plane.  Replays
+the same JSONL serve workload twice and records the results as obs
+gauges so they land in ``benchmarks/results/obs_metrics.json``:
+
+* ``obs.telemetry.serve_off_s``  -- ``ServeConfig(telemetry=False)``,
+  no plane anywhere on the request path;
+* ``obs.telemetry.serve_on_s``   -- the default dormant plane: windows
+  fill and SLO/drift monitors evaluate once per bucket, but nothing
+  alerts (the pure bookkeeping tax);
+* ``obs.telemetry.serve_ratio``  -- on / off, asserted bounded.
+
+A second micro-benchmark records the raw primitive throughput --
+``WindowedHistogram.observe`` and ``TelemetryPlane.inc`` ops/s -- the
+two calls the serve hot path performs per request.
+"""
+
+import io
+import json
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.obs.telemetry import TelemetryPlane, WindowedHistogram
+from repro.serve import InferenceService, ServeConfig
+
+from _bench_utils import emit, format_table
+
+#: Rows replayed through each serving configuration.
+N_ROWS = 2000
+
+
+def _serve_run(model, lines, telemetry: bool) -> float:
+    service = InferenceService(model, ServeConfig(
+        max_batch_size=256, max_wait_ms=1.0, cache_size=0,
+        telemetry=telemetry,
+    ))
+    t0 = time.perf_counter()
+    stats = service.run_jsonl(lines, io.StringIO())
+    wall_s = time.perf_counter() - t0
+    assert stats.requests == len(lines) and stats.errors == 0
+    assert (stats.telemetry is not None) == telemetry
+    return wall_s
+
+
+def test_telemetry_plane_overhead(framework, benchmark, capsys):
+    model = framework.fit_regressor("Airport", "T+M")
+    X, _, _, _ = framework.design("Airport", "T+M")
+    reps = int(np.ceil(N_ROWS / len(X)))
+    rows = np.tile(X, (reps, 1))[:N_ROWS]
+    lines = [json.dumps({"id": i, "features": list(map(float, row))})
+             for i, row in enumerate(rows)]
+
+    # Warm both paths once so JIT-ish costs (imports, caches) are paid.
+    _serve_run(model, lines[:64], telemetry=False)
+    _serve_run(model, lines[:64], telemetry=True)
+
+    off_s = benchmark.pedantic(
+        lambda: _serve_run(model, lines, telemetry=False),
+        rounds=1, iterations=1,
+    )
+    on_s = _serve_run(model, lines, telemetry=True)
+    ratio = on_s / off_s if off_s > 0 else float("inf")
+
+    obs.set_gauge("obs.telemetry.serve_off_s", round(off_s, 4))
+    obs.set_gauge("obs.telemetry.serve_on_s", round(on_s, 4))
+    obs.set_gauge("obs.telemetry.serve_ratio", round(ratio, 3))
+
+    table = format_table(
+        ["configuration", "wall clock ms", "ratio"],
+        [["telemetry off", f"{off_s * 1e3:.1f}", "1.00"],
+         ["telemetry on (dormant)", f"{on_s * 1e3:.1f}", f"{ratio:.2f}"]],
+    )
+    emit("obs_telemetry_overhead",
+         table + f"\n{N_ROWS} JSONL requests per configuration", capsys)
+
+    # A dormant plane is bookkeeping only; allow generous noise slack
+    # (the resil bench uses the same bound for its dormant seams).
+    assert ratio < 3.0
+
+
+def test_telemetry_primitive_throughput(benchmark, capsys):
+    n = 50_000
+
+    hist = WindowedHistogram("bench.latency_s", 60.0, 6)
+
+    def observe_loop():
+        for i in range(n):
+            hist.observe(i * 1e-6)
+
+    t0 = time.perf_counter()
+    benchmark.pedantic(observe_loop, rounds=1, iterations=1)
+    observe_ops = n / (time.perf_counter() - t0)
+
+    plane = TelemetryPlane()
+    t0 = time.perf_counter()
+    for _ in range(n):
+        plane.inc("bench.requests_total")
+    inc_ops = n / (time.perf_counter() - t0)
+
+    obs.set_gauge("obs.telemetry.observe_ops_per_s", round(observe_ops))
+    obs.set_gauge("obs.telemetry.inc_ops_per_s", round(inc_ops))
+
+    table = format_table(
+        ["primitive", "ops/s"],
+        [["WindowedHistogram.observe()", f"{observe_ops:,.0f}"],
+         ["TelemetryPlane.inc()", f"{inc_ops:,.0f}"]],
+    )
+    emit("obs_telemetry_throughput", table, capsys)
+
+    # Both sit on the serve hot path: they must not be the bottleneck.
+    assert observe_ops > 10_000
+    assert inc_ops > 10_000

@@ -158,17 +158,33 @@ def cmd_serve(args) -> int:
         print(f"serve: cannot load model: {exc}", file=sys.stderr)
         return 2
 
+    events_stream = None
+    if args.events_out:
+        try:
+            events_stream = open(args.events_out, "w")
+        except OSError as exc:
+            print(f"serve: cannot write {args.events_out}: {exc}",
+                  file=sys.stderr)
+            return 2
     service = InferenceService(model, ServeConfig(
         max_batch_size=args.batch_size,
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
         cache_quant_step=args.quant_step,
         request_deadline_ms=args.deadline_ms,
-    ))
+        telemetry=not args.no_telemetry,
+        window_s=args.window_s,
+        slow_window_s=max(args.slow_window_s, args.window_s),
+        latency_slo_p99_ms=args.slo_p99_ms,
+        latency_slo_p999_ms=args.slo_p999_ms,
+        availability_target=args.availability_target,
+    ), event_stream=events_stream)
     try:
         instream = sys.stdin if args.input == "-" else open(args.input)
     except OSError as exc:
         print(f"serve: cannot read {args.input}: {exc}", file=sys.stderr)
+        if events_stream is not None:
+            events_stream.close()
         return 2
     outstream = sys.stdout if args.output == "-" else open(args.output, "w")
     try:
@@ -178,14 +194,69 @@ def cmd_serve(args) -> int:
             instream.close()
         if outstream is not sys.stdout:
             outstream.close()
+        if events_stream is not None:
+            events_stream.close()
+    args._serve_telemetry = stats.telemetry  # picked up by --metrics-out
     hit_rate = (service.cache.hit_rate if service.cache is not None else 0.0)
     failed = f", {stats.failures} failed" if stats.failures else ""
     print(f"served {stats.requests} requests "
           f"({stats.errors} malformed) in {stats.wall_s:.2f}s: "
           f"{stats.rows_per_s:.0f} rows/s, {stats.batches} batches, "
-          f"cache hit rate {hit_rate:.2f}{failed}", file=sys.stderr)
-    if args.strict and stats.errors:
+          f"cache hit rate {hit_rate:.2f}{failed}"
+          f"{_telemetry_summary(stats.telemetry)}", file=sys.stderr)
+    if args.strict and (stats.errors or stats.budget_burned):
         return 1
+    return 0
+
+
+def _telemetry_summary(telemetry: dict | None) -> str:
+    """The windowed-quantile / SLO / drift tail of the serve summary."""
+    if not telemetry:
+        return ""
+    parts = []
+    hist = (telemetry.get("window", {}).get("histograms", {})
+            .get("serve.request_latency_s"))
+    if hist and hist.get("count"):
+        parts.append(f"window p99={hist['p99'] * 1e3:.2f}ms "
+                     f"p999={hist['p999'] * 1e3:.2f}ms")
+    verdict = telemetry.get("last_evaluation") or {}
+    slos = verdict.get("slos") or []
+    if slos:
+        if any(s.get("alerting") for s in slos):
+            slo_flag = "ALERT"
+        elif all(s.get("ok") for s in slos):
+            slo_flag = "ok"
+        else:
+            slo_flag = "breach"
+        parts.append(f"slo {slo_flag}")
+        parts.append("budget BURNED" if verdict.get("budget_burned")
+                     else "budget ok")
+    drift = verdict.get("drift")
+    if drift is not None:
+        parts.append("drift DRIFT" if drift.get("drifted") else "drift ok")
+    return f", {', '.join(parts)}" if parts else ""
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs.telemetry import render_report
+
+    try:
+        with open(args.metrics) as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"obs report: cannot read {args.metrics}: {exc}",
+              file=sys.stderr)
+        return 2
+    events = None
+    if args.events:
+        try:
+            with open(args.events) as f:
+                events = [json.loads(line) for line in f if line.strip()]
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"obs report: cannot read {args.events}: {exc}",
+                  file=sys.stderr)
+            return 2
+    print(render_report(payload, events))
     return 0
 
 
@@ -255,12 +326,49 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="MS",
                          help="per-request queue deadline; 0 = unbounded")
     p_serve.add_argument("--strict", action="store_true",
-                         help="exit 1 if any request line was malformed")
+                         help="exit 1 if any request line was malformed "
+                              "or the availability error budget burned")
+    tel = p_serve.add_argument_group("telemetry (docs/observability.md)")
+    tel.add_argument("--no-telemetry", action="store_true",
+                     help="disable the windowed telemetry plane")
+    tel.add_argument("--window-s", type=float, default=60.0, metavar="S",
+                     help="fast SLO/drift window length (default 60)")
+    tel.add_argument("--slow-window-s", type=float, default=600.0,
+                     metavar="S",
+                     help="slow burn-rate window length (default 600)")
+    tel.add_argument("--slo-p99-ms", type=float, default=50.0, metavar="MS",
+                     help="windowed p99 latency SLO threshold (default 50)")
+    tel.add_argument("--slo-p999-ms", type=float, default=250.0,
+                     metavar="MS",
+                     help="windowed p999 latency SLO threshold (default 250)")
+    tel.add_argument("--availability-target", type=float, default=0.999,
+                     metavar="R",
+                     help="availability SLO target ratio (default 0.999)")
+    tel.add_argument("--events-out", metavar="FILE",
+                     help="stream structured telemetry events as JSONL")
     p_serve.add_argument("--verbose", "-v", action="store_true",
                          help="enable telemetry; print span tree + metrics")
     p_serve.add_argument("--metrics-out", metavar="FILE",
                          help="write a JSON metrics/trace snapshot to FILE")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability utilities (docs/observability.md)",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command")
+    p_report = obs_sub.add_parser(
+        "report",
+        help="render a --metrics-out snapshot as an operator report",
+        description="Print the windowed metrics, SLO statuses, drift "
+                    "verdict and event tally recorded by a previous "
+                    "--metrics-out / --events-out run.",
+    )
+    p_report.add_argument("--metrics", required=True, metavar="FILE",
+                          help="JSON payload a --metrics-out run wrote")
+    p_report.add_argument("--events", metavar="FILE",
+                          help="JSONL event stream an --events-out run wrote")
+    p_report.set_defaults(func=cmd_obs_report)
     return parser
 
 
@@ -299,6 +407,9 @@ def main(argv: list[str] | None = None) -> int:
             "metrics": registry_snapshot,
             "trace": tracer.to_dict(),
         }
+        telemetry = getattr(args, "_serve_telemetry", None)
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
         try:
             with open(metrics_out, "w") as f:
                 json.dump(payload, f, indent=2, sort_keys=True)

@@ -458,16 +458,31 @@ class Lumos5G:
         result into a :class:`repro.serve.ModelRegistry`.  Returns the
         registry ``(name, version)``; ``repro serve`` loads it from
         there.
+
+        A frozen drift baseline over the training-time prediction
+        stream (``drift_baseline_``; serialized with the model) rides
+        along so the serving telemetry plane can watch live predictions
+        for distribution shift (docs/observability.md).
         """
+        from repro.obs.telemetry import attach_baseline
+
+        X, _, _, _ = self.design(area, spec)
         if task == "regression":
             est = self.fit_regressor(area, spec, model)
+            train_preds = np.asarray(est.predict(X), dtype=float)
         elif task == "classification":
             est = self.fit_classifier(area, spec, model)
+            # Classifier drift is watched on max class probability --
+            # the same scalar the serving loop extracts per response.
+            train_preds = np.max(
+                np.asarray(est.predict_proba(X), dtype=float), axis=1
+            )
         else:
             raise ValueError(
                 f"unknown task {task!r}; use 'regression' or "
                 "'classification'"
             )
+        attach_baseline(est, train_preds)
         if name is None:
             name = "-".join(
                 part.lower().replace("+", "")

@@ -112,6 +112,11 @@ def gbdt_to_dict(model: GBDTRegressor | GBDTClassifier) -> dict:
         # train loss) travels with the model so deployed bundles stay
         # attributable to their training run.
         out["telemetry"] = dict(telemetry)
+    baseline = getattr(model, "drift_baseline_", None)
+    if baseline is not None:
+        # Frozen training-time prediction statistics; the serving drift
+        # monitor compares its live window against these.
+        out["drift_baseline"] = dict(baseline)
     return out
 
 
@@ -135,6 +140,8 @@ def gbdt_from_dict(data: dict) -> GBDTRegressor | GBDTClassifier:
         model.base_score_ = float(data["base_score"])
     if "telemetry" in data:
         model.fit_telemetry_ = dict(data["telemetry"])
+    if "drift_baseline" in data:
+        model.drift_baseline_ = dict(data["drift_baseline"])
     return model
 
 
@@ -177,6 +184,9 @@ def forest_to_dict(
     telemetry = getattr(model, "fit_telemetry_", None)
     if telemetry is not None:
         out["telemetry"] = dict(telemetry)
+    baseline = getattr(model, "drift_baseline_", None)
+    if baseline is not None:
+        out["drift_baseline"] = dict(baseline)
     return out
 
 
@@ -200,6 +210,8 @@ def forest_from_dict(
         model.encoder_.classes_ = np.asarray(data["classes"])
     if "telemetry" in data:
         model.fit_telemetry_ = dict(data["telemetry"])
+    if "drift_baseline" in data:
+        model.drift_baseline_ = dict(data["drift_baseline"])
     return model
 
 

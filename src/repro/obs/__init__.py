@@ -45,29 +45,59 @@ from repro.obs.log import (
     configure_logging,
     get_logger,
 )
+from repro.obs import telemetry
+from repro.obs.telemetry import (
+    AvailabilitySLO,
+    DriftBaseline,
+    EventLog,
+    LatencySLO,
+    ManualClock,
+    TelemetryPlane,
+    WindowedCounter,
+    WindowedHistogram,
+    WindowedRegistry,
+    current_trace_id,
+    new_trace_id,
+    to_prometheus,
+    trace_scope,
+)
 
 __all__ = [
+    "AvailabilitySLO",
     "Counter",
+    "DriftBaseline",
+    "EventLog",
     "Gauge",
     "Histogram",
     "KeyValueFormatter",
+    "LatencySLO",
+    "ManualClock",
     "MetricsRegistry",
     "Span",
     "StructuredLogger",
+    "TelemetryPlane",
     "Tracer",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "WindowedRegistry",
     "configure_logging",
+    "current_trace_id",
     "enabled",
     "format_snapshot",
     "get_logger",
     "get_registry",
     "get_tracer",
     "inc",
+    "new_trace_id",
     "observe",
     "observe_many",
     "set_enabled",
     "set_gauge",
     "snapshot",
     "span",
+    "telemetry",
+    "to_prometheus",
+    "trace_scope",
 ]
 
 

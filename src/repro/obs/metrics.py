@@ -199,6 +199,7 @@ class Histogram:
             "p50": self.quantile(0.5),
             "p90": self.quantile(0.9),
             "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
         }
 
     def state(self) -> dict:
@@ -333,9 +334,11 @@ def format_snapshot(snapshot: dict) -> str:
     for name, value in snapshot.get("gauges", {}).items():
         lines.append(f"  gauge      {name} = {value:.6g}")
     for name, h in snapshot.get("histograms", {}).items():
+        p999 = h.get("p999", float("nan"))  # tolerate pre-p999 payloads
         lines.append(
             f"  histogram  {name}: count={h['count']} mean={h['mean']:.6g} "
-            f"p50={h['p50']:.6g} p90={h['p90']:.6g} max={h['max']:.6g}"
+            f"p50={h['p50']:.6g} p90={h['p90']:.6g} p99={h['p99']:.6g} "
+            f"p999={p999:.6g} max={h['max']:.6g}"
         )
     if len(lines) == 1:
         lines.append("  (empty)")

@@ -1,0 +1,90 @@
+"""``repro.obs.telemetry`` -- the serving telemetry plane.
+
+PR 1's ``repro.obs`` answers "what has this process done since it
+started"; this subpackage answers the questions a *continuously
+operating* prediction service must ask of itself
+(docs/observability.md):
+
+* **windowed metrics** (:mod:`.window`) -- bucketed sliding windows
+  over the log-bucket histograms/counters: rate-per-second and windowed
+  p50/p99/p999, mergeable across ``pmap`` workers, driven by an
+  injectable clock (:mod:`.clock`, the only module allowed to read
+  ``time``);
+* **trace propagation** (:mod:`.context`) -- per-request trace IDs
+  minted by the serve loop, carried through batching, registry loads
+  and resil retries via a contextvar, stitched into structured logs and
+  span attributes;
+* **SLO monitors** (:mod:`.slo`) -- declarative latency/availability
+  objectives evaluated over fast+slow windows with multi-window
+  error-budget burn-rate alerting;
+* **drift monitors** (:mod:`.drift`) -- windowed mean/quantile shift
+  against a frozen training-time :class:`DriftBaseline` serialized
+  alongside the model;
+* **exporters** (:mod:`.export`) -- Prometheus text format and a JSONL
+  structured-event stream; :mod:`.report` renders the ``obs report``
+  CLI summary;
+* :class:`TelemetryPlane` (:mod:`.plane`) -- the bundle a serving loop
+  holds: both window horizons, the monitors, and the event log.
+"""
+
+from repro.obs.telemetry.clock import Clock, ManualClock, system_clock
+from repro.obs.telemetry.context import (
+    current_trace_id,
+    new_trace_id,
+    set_trace_id,
+    trace_scope,
+)
+from repro.obs.telemetry.drift import (
+    DriftBaseline,
+    DriftMonitor,
+    DriftStatus,
+    attach_baseline,
+    baseline_of,
+)
+from repro.obs.telemetry.export import (
+    EventLog,
+    parse_prometheus,
+    sanitize_metric_name,
+    to_prometheus,
+)
+from repro.obs.telemetry.plane import TelemetryPlane
+from repro.obs.telemetry.report import render_report
+from repro.obs.telemetry.slo import (
+    AvailabilitySLO,
+    LatencySLO,
+    SLOMonitor,
+    SLOStatus,
+)
+from repro.obs.telemetry.window import (
+    WindowedCounter,
+    WindowedHistogram,
+    WindowedRegistry,
+)
+
+__all__ = [
+    "AvailabilitySLO",
+    "Clock",
+    "DriftBaseline",
+    "DriftMonitor",
+    "DriftStatus",
+    "EventLog",
+    "LatencySLO",
+    "ManualClock",
+    "SLOMonitor",
+    "SLOStatus",
+    "TelemetryPlane",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "WindowedRegistry",
+    "attach_baseline",
+    "baseline_of",
+    "current_trace_id",
+    "new_trace_id",
+    "parse_prometheus",
+    "render_report",
+    "sanitize_metric_name",
+    "set_trace_id",
+    "system_clock",
+    "to_prometheus",
+    "trace_scope",
+]

@@ -1,0 +1,208 @@
+"""Online drift detection: serving statistics vs. a frozen baseline.
+
+The continuous-learning loop needs a trigger: "the distribution the
+model now sees (or emits) no longer looks like training".  This module
+provides it with two pieces:
+
+* :class:`DriftBaseline` -- compact summary statistics (count, mean,
+  std, p10/p50/p90) of a training-time array, computed by
+  :func:`DriftBaseline.from_values` and **serialized alongside the
+  model** (``repro.ml.serialize`` stores it as the ``drift_baseline``
+  payload; ``Lumos5G.publish`` attaches it from training predictions).
+* :class:`DriftMonitor` -- feeds serving-time values into a
+  :class:`~repro.obs.telemetry.window.WindowedHistogram` and compares
+  the windowed mean/median against the baseline:
+
+  - **mean shift** as a z-score of the windowed mean under the
+    baseline's sampling distribution (``|m_w - m_b| / (s_b /
+    sqrt(n))``), and
+  - **quantile shift** of the windowed median, normalized by the
+    baseline's p10--p90 spread.
+
+  Drift is declared when either statistic passes its threshold with at
+  least ``min_count`` samples in the window, and (de)assertions are
+  edge-triggered structured events (``drift_detected`` /
+  ``drift_cleared``) -- the signal the refit/rollout roadmap item
+  consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.telemetry.window import WindowedHistogram
+
+__all__ = [
+    "DriftBaseline",
+    "DriftMonitor",
+    "DriftStatus",
+    "attach_baseline",
+    "baseline_of",
+]
+
+
+@dataclass(frozen=True)
+class DriftBaseline:
+    """Frozen training-time summary of one statistic stream."""
+
+    stat: str       #: what was summarized, e.g. "prediction" or "error"
+    count: int
+    mean: float
+    std: float
+    p10: float
+    p50: float
+    p90: float
+
+    @classmethod
+    def from_values(cls, stat: str, values) -> "DriftBaseline":
+        v = np.asarray(values, dtype=float).ravel()
+        v = v[np.isfinite(v)]
+        if len(v) == 0:
+            raise ValueError("cannot build a drift baseline from no values")
+        q10, q50, q90 = (float(np.quantile(v, q)) for q in (0.1, 0.5, 0.9))
+        return cls(
+            stat=stat, count=int(len(v)), mean=float(v.mean()),
+            std=float(v.std()), p10=q10, p50=q50, p90=q90,
+        )
+
+    @property
+    def scale(self) -> float:
+        """A robust spread for normalizing quantile shifts (never 0)."""
+        spread = self.p90 - self.p10
+        if spread <= 0.0:
+            spread = self.std
+        return max(spread, 1e-12)
+
+    def to_dict(self) -> dict:
+        return {
+            "stat": self.stat, "count": self.count,
+            "mean": self.mean, "std": self.std,
+            "p10": self.p10, "p50": self.p50, "p90": self.p90,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DriftBaseline":
+        return cls(
+            stat=str(data["stat"]), count=int(data["count"]),
+            mean=float(data["mean"]), std=float(data["std"]),
+            p10=float(data["p10"]), p50=float(data["p50"]),
+            p90=float(data["p90"]),
+        )
+
+
+@dataclass
+class DriftStatus:
+    """One drift evaluation (JSON-safe via :meth:`to_dict`)."""
+
+    stat: str
+    drifted: bool
+    z_mean: float         #: z-score of the windowed mean vs baseline
+    median_shift: float   #: |p50_w - p50_b| / baseline scale
+    n: int                #: samples in the window
+    window_mean: float
+    window_p50: float
+
+    def to_dict(self) -> dict:
+        def safe(v):
+            return None if isinstance(v, float) and not math.isfinite(v) \
+                else v
+        return {
+            "stat": self.stat, "drifted": self.drifted,
+            "z_mean": safe(round(self.z_mean, 4)),
+            "median_shift": safe(round(self.median_shift, 4)),
+            "n": self.n,
+            "window_mean": safe(self.window_mean),
+            "window_p50": safe(self.window_p50),
+        }
+
+
+class DriftMonitor:
+    """Stream values in, compare the window against the baseline."""
+
+    def __init__(
+        self,
+        baseline: DriftBaseline,
+        window: WindowedHistogram,
+        *,
+        z_threshold: float = 6.0,
+        shift_threshold: float = 0.5,
+        min_count: int = 30,
+        event_log=None,
+    ):
+        if z_threshold <= 0 or shift_threshold <= 0:
+            raise ValueError("drift thresholds must be > 0")
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self.baseline = baseline
+        self.window = window
+        self.z_threshold = z_threshold
+        self.shift_threshold = shift_threshold
+        self.min_count = min_count
+        self.event_log = event_log
+        self._drifted = False
+
+    def observe(self, value: float) -> None:
+        self.window.observe(value)
+
+    def observe_many(self, values) -> None:
+        self.window.observe_many(values)
+
+    def evaluate(self) -> DriftStatus:
+        """The window-vs-baseline verdict; emits edge-triggered events."""
+        merged = self.window.merged()
+        n = merged.count
+        b = self.baseline
+        if n == 0:
+            status = DriftStatus(
+                stat=b.stat, drifted=False, z_mean=0.0, median_shift=0.0,
+                n=0, window_mean=float("nan"), window_p50=float("nan"),
+            )
+        else:
+            w_mean = merged.mean
+            w_p50 = merged.quantile(0.5)
+            se = max(b.std, 1e-12) / math.sqrt(n)
+            z = abs(w_mean - b.mean) / se
+            shift = abs(w_p50 - b.p50) / b.scale
+            drifted = n >= self.min_count and (
+                z >= self.z_threshold or shift >= self.shift_threshold
+            )
+            status = DriftStatus(
+                stat=b.stat, drifted=drifted, z_mean=z, median_shift=shift,
+                n=n, window_mean=w_mean, window_p50=w_p50,
+            )
+        if self.event_log is not None:
+            if status.drifted and not self._drifted:
+                self.event_log.emit("drift_detected", **status.to_dict(),
+                                    baseline=b.to_dict())
+            elif self._drifted and not status.drifted:
+                self.event_log.emit("drift_cleared", stat=b.stat, n=status.n)
+        self._drifted = status.drifted
+        return status
+
+
+def attach_baseline(model, values, stat: str = "prediction"
+                    ) -> DriftBaseline:
+    """Compute a baseline from ``values`` and pin it on ``model``.
+
+    The model carries it as ``drift_baseline_`` (a plain dict), which
+    ``repro.ml.serialize`` round-trips alongside the weights -- so a
+    registry-loaded model arrives with its training-time reference.
+    """
+    baseline = DriftBaseline.from_values(stat, values)
+    model.drift_baseline_ = baseline.to_dict()
+    return baseline
+
+
+def baseline_of(model) -> DriftBaseline | None:
+    """The model's serialized baseline, if any (pipelines delegate)."""
+    data = getattr(model, "drift_baseline_", None)
+    if data is None:
+        # PredictionPipeline wraps the estimator that owns the baseline.
+        inner = getattr(model, "model", None)
+        data = getattr(inner, "drift_baseline_", None)
+    if data is None:
+        return None
+    return DriftBaseline.from_dict(data)

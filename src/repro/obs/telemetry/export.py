@@ -1,0 +1,171 @@
+"""Exporters: Prometheus text format and a JSONL event stream.
+
+Two ways telemetry leaves the process:
+
+* :func:`to_prometheus` renders a ``MetricsRegistry.snapshot()``-shaped
+  dict in the Prometheus text exposition format (dots become
+  underscores, histograms become summaries with ``quantile`` labels,
+  counters keep their ``_total`` suffix).  :func:`parse_prometheus`
+  inverts it for round-trip tests and the ``obs report`` CLI.
+* :class:`EventLog` collects **structured events** (SLO alerts, drift
+  detections, anything else) as dicts, optionally teeing each one as a
+  JSON line onto a stream/file -- the serving loop's machine-readable
+  alert channel.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.obs.telemetry.clock import Clock, system_clock
+
+__all__ = [
+    "EventLog",
+    "parse_prometheus",
+    "sanitize_metric_name",
+    "to_prometheus",
+]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram snapshot keys exported as summary quantiles.
+_QUANTILE_KEYS = (("p50", "0.5"), ("p90", "0.9"),
+                  ("p99", "0.99"), ("p999", "0.999"))
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """``serve.request_latency_s`` -> ``repro_serve_request_latency_s``."""
+    return prefix + _NAME_BAD.sub("_", name.replace(".", "_"))
+
+
+def _fmt(value: float) -> str:
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v)
+
+
+def to_prometheus(snapshot: dict, prefix: str = "repro_") -> str:
+    """Prometheus text format for a registry snapshot dict.
+
+    ``snapshot`` is the ``{"counters", "gauges", "histograms"}`` shape
+    of :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.  Histograms
+    are exported as summaries (quantile labels + ``_sum``/``_count``);
+    NaN gauges (never written) are skipped.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        if isinstance(value, float) and math.isnan(value):
+            continue
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, h in snapshot.get("histograms", {}).items():
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for key, label in _QUANTILE_KEYS:
+            if key in h:
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} {_fmt(h[key])}'
+                )
+        lines.append(f"{metric}_sum {_fmt(h['sum'])}")
+        lines.append(f"{metric}_count {_fmt(h['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{quantile="(?P<q>[0-9.]+)"\})?'
+    r'\s+(?P<value>\S+)$'
+)
+
+_LABEL_TO_KEY = {label: key for key, label in _QUANTILE_KEYS}
+
+
+def parse_prometheus(text: str) -> dict:
+    """Invert :func:`to_prometheus` back into a snapshot-shaped dict.
+
+    Names stay in their sanitized (underscored, prefixed) form; the
+    round-trip contract is on the *numbers*, which tests compare against
+    the in-process registry snapshot.
+    """
+    kinds: dict[str, str] = {}
+    out = {"counters": {}, "gauges": {}, "histograms": {}}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            kinds[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"unparseable prometheus sample: {line!r}")
+        name, q, value = m.group("name"), m.group("q"), float(
+            m.group("value"))
+        base = name
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in kinds \
+                    and kinds[name[:-len(suffix)]] == "summary":
+                base = name[:-len(suffix)]
+                break
+        kind = kinds.get(base, kinds.get(name, "gauge"))
+        if kind == "counter":
+            out["counters"][name] = value
+        elif kind == "gauge":
+            out["gauges"][name] = value
+        else:  # summary
+            h = out["histograms"].setdefault(base, {})
+            if q is not None:
+                h[_LABEL_TO_KEY.get(q, f"q{q}")] = value
+            elif name.endswith("_sum"):
+                h["sum"] = value
+            elif name.endswith("_count"):
+                h["count"] = value
+    return out
+
+
+class EventLog:
+    """Append-only structured events, teed to a JSONL stream when given.
+
+    ``emit("slo_alert", name=..., burn_fast=...)`` appends a dict
+    carrying the event kind and a clock timestamp, and -- if a stream
+    was provided -- writes it as one JSON line immediately (crash-safe:
+    the line is flushed before :meth:`emit` returns).
+    """
+
+    def __init__(self, stream=None, clock: Clock = system_clock):
+        self.stream = stream
+        self.clock = clock
+        self.events: list[dict] = []
+
+    def emit(self, event: str, **fields) -> dict:
+        record = {"event": event, "t_s": round(self.clock(), 6), **fields}
+        self.events.append(record)
+        if self.stream is not None:
+            self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+            flush = getattr(self.stream, "flush", None)
+            if flush is not None:
+                flush()
+        return record
+
+    def of_kind(self, event: str) -> list[dict]:
+        return [e for e in self.events if e["event"] == event]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,96 @@
+"""Render a telemetry snapshot as a human-readable report.
+
+Backs the ``repro obs report`` CLI subcommand: given the JSON payload a
+``--metrics-out`` run wrote (cumulative metrics + trace, and -- for
+serve runs -- the ``telemetry`` section with windows, SLO statuses and
+drift verdicts) and optionally a JSONL event stream, print the
+operator-facing summary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+
+from repro.obs.metrics import format_snapshot
+
+__all__ = ["render_report"]
+
+
+def _fmt_ms(seconds) -> str:
+    if seconds is None:
+        return "n/a"
+    return f"{float(seconds) * 1e3:.2f}ms"
+
+
+def _render_slo(status: dict) -> str:
+    flag = "ALERT" if status.get("alerting") else (
+        "ok" if status.get("ok") else "breach")
+    if status.get("kind") == "latency":
+        value = _fmt_ms(status.get("value"))
+        objective = _fmt_ms(status.get("objective"))
+        detail = f"value={value} objective<{objective}"
+    else:
+        value = status.get("value")
+        value = "n/a" if value is None else f"{float(value):.5f}"
+        detail = f"availability={value} target>={status.get('objective')}"
+    return (f"  [{flag:6s}] {status.get('name')}: {detail} "
+            f"burn fast={status.get('burn_fast')} "
+            f"slow={status.get('burn_slow')} n={status.get('n', 0)}")
+
+
+def _render_drift(status: dict) -> str:
+    flag = "DRIFT" if status.get("drifted") else "ok"
+    return (f"  [{flag:6s}] {status.get('stat')}: "
+            f"z_mean={status.get('z_mean')} "
+            f"median_shift={status.get('median_shift')} "
+            f"n={status.get('n', 0)}")
+
+
+def _render_window(window: dict) -> list[str]:
+    lines = [f"window ({window.get('window_s', '?')}s):"]
+    for name, c in sorted(window.get("counters", {}).items()):
+        lines.append(f"  counter    {name}: total={c['total']:g} "
+                     f"rate={c['rate_per_s']:g}/s")
+    for name, h in sorted(window.get("histograms", {}).items()):
+        if not h.get("count"):
+            lines.append(f"  histogram  {name}: (empty)")
+            continue
+        lines.append(
+            f"  histogram  {name}: count={h['count']} "
+            f"rate={h['rate_per_s']:g}/s p50={h['p50']:.6g} "
+            f"p99={h['p99']:.6g} p999={h['p999']:.6g}"
+        )
+    if len(lines) == 1:
+        lines.append("  (empty)")
+    return lines
+
+
+def render_report(payload: dict, events: list[dict] | None = None) -> str:
+    """The ``obs report`` text for a ``--metrics-out`` payload."""
+    lines: list[str] = []
+    command = payload.get("command")
+    lines.append(f"telemetry report{f' ({command})' if command else ''}")
+    telemetry = payload.get("telemetry") or {}
+    if telemetry.get("window"):
+        lines.extend(_render_window(telemetry["window"]))
+    verdict = telemetry.get("last_evaluation") or {}
+    slos = verdict.get("slos") or []
+    if slos:
+        lines.append("SLOs:")
+        lines.extend(_render_slo(s) for s in slos)
+        lines.append(
+            "  error budget: "
+            + ("BURNED" if verdict.get("budget_burned") else "within budget")
+        )
+    drift = verdict.get("drift")
+    if drift:
+        lines.append("drift:")
+        lines.append(_render_drift(drift))
+    if events:
+        tally = _TallyCounter(e.get("event", "?") for e in events)
+        summary = " ".join(f"{k}={v}" for k, v in sorted(tally.items()))
+        lines.append(f"events: {len(events)} ({summary})")
+    metrics = payload.get("metrics")
+    if metrics:
+        lines.append(format_snapshot(metrics))
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Declarative SLOs evaluated over windows, with burn-rate alerting.
+
+An SLO is data, not code: "windowed p99 of ``serve.request_latency_s``
+stays under 50 ms" or "availability >= 99.9%".  The
+:class:`SLOMonitor` evaluates a set of them against two
+:class:`~repro.obs.telemetry.window.WindowedRegistry` horizons -- a
+*fast* window (detects acute breakage) and a *slow* window (confirms it
+is sustained) -- the classic multi-window burn-rate scheme: an alert
+fires only when **both** windows burn error budget faster than their
+thresholds, so a single bad batch cannot page anyone but a sustained
+brownout cannot hide either.
+
+Burn rate for an availability SLO with target ``t`` is
+``error_ratio / (1 - t)``: 1.0 means "spending budget exactly as fast
+as the SLO allows", 14.4 (the default fast threshold) means "the whole
+monthly budget would be gone in ~2 days".  Latency SLOs breach when the
+windowed quantile exceeds the threshold; the slow window acts as the
+confirmation horizon.
+
+Alert transitions are edge-triggered **structured events** (through an
+:class:`~repro.obs.telemetry.export.EventLog`): ``slo_alert`` when a
+monitor starts alerting, ``slo_recovered`` when it stops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.obs.telemetry.window import WindowedRegistry
+
+__all__ = [
+    "AvailabilitySLO",
+    "LatencySLO",
+    "SLOMonitor",
+    "SLOStatus",
+]
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """"windowed ``quantile`` of ``metric`` stays below ``threshold_s``"."""
+
+    name: str                 #: e.g. "serve.latency_p99"
+    metric: str               #: windowed histogram name
+    quantile: float           #: e.g. 0.99 or 0.999
+    threshold_s: float        #: objective, seconds
+
+    def __post_init__(self):
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.threshold_s <= 0:
+            raise ValueError("threshold_s must be > 0")
+
+
+@dataclass(frozen=True)
+class AvailabilitySLO:
+    """"good / (good + bad) stays at or above ``target``"."""
+
+    name: str                 #: e.g. "serve.availability"
+    good: str                 #: windowed counter of successes
+    bad: str                  #: windowed counter of failures
+    target: float = 0.999     #: e.g. 0.999 for "three nines"
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated failure ratio (1 - target)."""
+        return 1.0 - self.target
+
+
+@dataclass
+class SLOStatus:
+    """One SLO's evaluation at a point in time (JSON-safe via to_dict)."""
+
+    name: str
+    kind: str                 #: "latency" | "availability"
+    ok: bool                  #: fast-window objective currently met
+    value: float              #: fast-window quantile / availability
+    objective: float          #: threshold_s / target
+    burn_fast: float          #: burn rate over the fast window
+    burn_slow: float          #: burn rate over the slow window
+    alerting: bool            #: both windows past their burn thresholds
+    n: int = 0                #: fast-window sample count
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "ok": self.ok,
+            "value": _json_safe(self.value),
+            "objective": self.objective,
+            "burn_fast": _json_safe(round(self.burn_fast, 4)),
+            "burn_slow": _json_safe(round(self.burn_slow, 4)),
+            "alerting": self.alerting,
+            "n": self.n,
+        }
+
+
+def _json_safe(v: float):
+    return None if isinstance(v, float) and not math.isfinite(v) else v
+
+
+class SLOMonitor:
+    """Evaluate declarative SLOs over a fast and a slow window."""
+
+    def __init__(
+        self,
+        slos,
+        fast: WindowedRegistry,
+        slow: WindowedRegistry,
+        *,
+        burn_threshold_fast: float = 14.4,
+        burn_threshold_slow: float = 6.0,
+        event_log=None,
+    ):
+        self.slos = list(slos)
+        self.fast = fast
+        self.slow = slow
+        self.burn_threshold_fast = burn_threshold_fast
+        self.burn_threshold_slow = burn_threshold_slow
+        self.event_log = event_log
+        self._alerting: dict[str, bool] = {}
+
+    # -- evaluation ---------------------------------------------------------- #
+
+    def _latency_status(self, slo: LatencySLO) -> SLOStatus:
+        fast_h = self.fast.histogram(slo.metric).merged()
+        slow_h = self.slow.histogram(slo.metric).merged()
+        value = fast_h.quantile(slo.quantile)
+        slow_value = slow_h.quantile(slo.quantile)
+        # Burn analog for latency: how far past the objective each
+        # window's quantile sits (1.0 == exactly at the objective).
+        burn_fast = value / slo.threshold_s if fast_h.count else 0.0
+        burn_slow = slow_value / slo.threshold_s if slow_h.count else 0.0
+        ok = not (fast_h.count and value > slo.threshold_s)
+        alerting = burn_fast > 1.0 and burn_slow > 1.0
+        return SLOStatus(
+            name=slo.name, kind="latency", ok=ok,
+            value=value if fast_h.count else float("nan"),
+            objective=slo.threshold_s,
+            burn_fast=burn_fast, burn_slow=burn_slow,
+            alerting=alerting, n=fast_h.count,
+        )
+
+    def _availability_status(self, slo: AvailabilitySLO) -> SLOStatus:
+        def window_burn(reg: WindowedRegistry) -> tuple[float, float, int]:
+            good = reg.counter(slo.good).total()
+            bad = reg.counter(slo.bad).total()
+            n = good + bad
+            if n <= 0:
+                return 1.0, 0.0, 0
+            availability = good / n
+            burn = (bad / n) / slo.budget
+            return availability, burn, int(n)
+
+        value, burn_fast, n = window_burn(self.fast)
+        _, burn_slow, _ = window_burn(self.slow)
+        ok = value >= slo.target or n == 0
+        alerting = (burn_fast >= self.burn_threshold_fast
+                    and burn_slow >= self.burn_threshold_slow)
+        return SLOStatus(
+            name=slo.name, kind="availability", ok=ok, value=value,
+            objective=slo.target, burn_fast=burn_fast,
+            burn_slow=burn_slow, alerting=alerting, n=n,
+        )
+
+    def evaluate(self) -> list[SLOStatus]:
+        """Every SLO's current status; emits edge-triggered alert events."""
+        statuses: list[SLOStatus] = []
+        for slo in self.slos:
+            if isinstance(slo, LatencySLO):
+                status = self._latency_status(slo)
+            elif isinstance(slo, AvailabilitySLO):
+                status = self._availability_status(slo)
+            else:
+                raise TypeError(
+                    f"unknown SLO type {type(slo).__name__}; expected "
+                    "LatencySLO or AvailabilitySLO"
+                )
+            was = self._alerting.get(status.name, False)
+            if status.alerting and not was and self.event_log is not None:
+                self.event_log.emit("slo_alert", **status.to_dict())
+            elif was and not status.alerting and self.event_log is not None:
+                self.event_log.emit("slo_recovered", name=status.name,
+                                    kind=status.kind)
+            self._alerting[status.name] = status.alerting
+            statuses.append(status)
+        return statuses

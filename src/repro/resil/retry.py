@@ -31,7 +31,10 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro import obs
+from repro.obs.telemetry.context import current_trace_id
 from repro.resil.faults import unit_hash
+
+_LOG = obs.get_logger("resil.retry")
 
 __all__ = [
     "CircuitBreaker",
@@ -133,8 +136,16 @@ def retry(
             obs.inc("resil.retry.failures_total")
             if attempt == policy.max_attempts:
                 obs.inc("resil.retry.exhausted_total")
+                _LOG.warning("retry exhausted",
+                             trace_id=current_trace_id() or "-",
+                             label=label or "-", attempts=attempt,
+                             error=str(exc))
                 raise RetryExhausted(label, attempt, exc) from exc
             obs.inc("resil.retry.retries_total")
+            _LOG.debug("retrying after failure",
+                       trace_id=current_trace_id() or "-",
+                       label=label or "-", attempt=attempt,
+                       error=str(exc))
             sleep(policy.delay_s(attempt))
             continue
         if attempt > 1:
@@ -277,6 +288,9 @@ class CircuitBreaker:
             self._half_open_inflight = 0
         if reopened:
             obs.inc("resil.breaker.closes_total")
+            _LOG.info("circuit closed",
+                      trace_id=current_trace_id() or "-",
+                      breaker=self.name or "-")
 
     def record_failure(self) -> None:
         with self._lock:
@@ -293,6 +307,10 @@ class CircuitBreaker:
                 self._half_open_inflight = 0
         if tripped:
             obs.inc("resil.breaker.opens_total")
+            _LOG.warning("circuit opened",
+                         trace_id=current_trace_id() or "-",
+                         breaker=self.name or "-",
+                         failures=self._failures)
 
     def call(self, fn: Callable) -> object:
         """Run ``fn()`` under the breaker; raise CircuitOpenError if open."""

@@ -15,7 +15,12 @@ results are written back so the cache warms itself.
 Request-path telemetry (``repro.obs``): ``serve.requests_total``,
 ``serve.batches_total``, ``serve.errors_total`` counters, and
 ``serve.batch_size`` / ``serve.request_latency_s`` /
-``serve.batch_predict_s`` histograms.
+``serve.batch_predict_s`` histograms.  An optional
+:class:`~repro.obs.telemetry.TelemetryPlane` additionally receives
+windowed per-request latency observations, and every queued row carries
+the request's trace ID (``submit(..., trace_id=...)``, defaulting to
+the ambient :func:`~repro.obs.telemetry.current_trace_id`) so failure
+and expiry log lines can name the requests they affected.
 
 Resilience (docs/robustness.md): an optional per-request **deadline**
 (``deadline_s``) expires rows that queued too long -- their futures
@@ -37,11 +42,13 @@ from concurrent.futures import Future
 import numpy as np
 
 from repro import obs
+from repro.obs.telemetry import current_trace_id
 from repro.resil import faults
 from repro.resil.retry import DeadlineExceeded
 from repro.serve.cache import PredictionCache
 
 _STOP = object()
+_LOG = obs.get_logger("serve.batcher")
 
 faults.register_point(
     "serve.predict",
@@ -60,6 +67,7 @@ class BatchPredictor:
         cache: PredictionCache | None = None,
         deadline_s: float = 0.0,
         predict_attempts: int = 2,
+        telemetry=None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -77,6 +85,8 @@ class BatchPredictor:
         #: DeadlineExceeded instead of reaching the model (0 = no limit).
         self.deadline_s = deadline_s
         self.predict_attempts = predict_attempts
+        #: Optional TelemetryPlane receiving windowed latency observations.
+        self.telemetry = telemetry
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._thread: threading.Thread | None = None
         self._closed = False
@@ -115,13 +125,20 @@ class BatchPredictor:
 
     # -- submission --------------------------------------------------------- #
 
-    def submit(self, features) -> Future:
-        """Enqueue one feature row; the Future resolves to its prediction."""
+    def submit(self, features, trace_id: str | None = None) -> Future:
+        """Enqueue one feature row; the Future resolves to its prediction.
+
+        ``trace_id`` ties the queued row back to its request; when
+        omitted, the ambient contextvar trace ID (set by the serve
+        loop's ``trace_scope``) is captured instead.
+        """
         if self._closed:
             raise RuntimeError("predictor is closed")
         if self._thread is None:
             raise RuntimeError("predictor is not started; use start() or "
                                "a with-block")
+        if trace_id is None:
+            trace_id = current_trace_id()
         row = np.asarray(features, dtype=float).ravel()
         fut: Future = Future()
         key = None
@@ -132,12 +149,14 @@ class BatchPredictor:
                 self.requests += 1
                 obs.inc("serve.requests_total")
                 obs.observe("serve.request_latency_s", 0.0)
+                if self.telemetry is not None:
+                    self.telemetry.observe("serve.request_latency_s", 0.0)
                 fut.set_result(hit)
                 return fut
         t_enqueue = time.perf_counter()
         t_deadline = t_enqueue + self.deadline_s if self.deadline_s > 0 \
             else None
-        self._queue.put((row, fut, t_enqueue, key, t_deadline))
+        self._queue.put((row, fut, t_enqueue, key, t_deadline, trace_id))
         return fut
 
     def predict_many(self, X) -> list:
@@ -187,6 +206,9 @@ class BatchPredictor:
             if t_deadline is not None and now > t_deadline:
                 self.expired += 1
                 obs.inc("resil.serve.deadline_exceeded_total")
+                _LOG.warning("request deadline exceeded",
+                             trace_id=item[5] or "-",
+                             queued_s=round(now - item[2], 6))
                 item[1].set_exception(DeadlineExceeded(
                     f"request spent > {self.deadline_s:g}s queued"
                 ))
@@ -214,10 +236,18 @@ class BatchPredictor:
                     # Out of attempts: surface through every waiting future.
                     self.errors += len(batch)
                     obs.inc("serve.errors_total", len(batch))
+                    _LOG.error("batch predict exhausted retries",
+                               trace_id=batch[0][5] or "-",
+                               batch_seq=seq, rows=len(batch),
+                               error=str(exc))
                     for item in batch:
                         item[1].set_exception(exc)
                     return
                 obs.inc("resil.serve.batch_retries_total")
+                _LOG.warning("batch predict retrying",
+                             trace_id=batch[0][5] or "-",
+                             batch_seq=seq, attempt=attempt + 1,
+                             error=str(exc))
         done = time.perf_counter()
         preds = np.asarray(preds)
         self.requests += len(batch)
@@ -226,8 +256,13 @@ class BatchPredictor:
         obs.inc("serve.batches_total")
         obs.observe("serve.batch_size", len(batch))
         obs.observe("serve.batch_predict_s", done - t0)
-        for i, (_, fut, t_enqueue, key, _) in enumerate(batch):
+        if self.telemetry is not None:
+            self.telemetry.inc("serve.batches_total")
+        for i, (_, fut, t_enqueue, key, _, _) in enumerate(batch):
             obs.observe("serve.request_latency_s", done - t_enqueue)
+            if self.telemetry is not None:
+                self.telemetry.observe("serve.request_latency_s",
+                                       done - t_enqueue)
             if self.cache is not None and key is not None:
                 self.cache.put(key, preds[i])
             fut.set_result(preds[i])

@@ -38,6 +38,7 @@ from collections import OrderedDict
 
 from repro import obs
 from repro.ml.serialize import model_from_dict, model_to_dict
+from repro.obs.telemetry import current_trace_id
 from repro.resil import faults
 from repro.resil.faults import FaultError
 from repro.resil.retry import (
@@ -47,6 +48,8 @@ from repro.resil.retry import (
     RetryPolicy,
     retry,
 )
+
+_LOG = obs.get_logger("serve.registry")
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._+-]*$")
 _VERSION_RE = re.compile(r"^v(\d{5})\.json$")
@@ -236,6 +239,9 @@ class ModelRegistry:
         with self._lock:
             self._loaded.pop((name, int(version)), None)
         obs.inc("resil.registry.quarantined_total")
+        _LOG.warning("model version quarantined",
+                     trace_id=current_trace_id() or "-",
+                     model=name, version=int(version), path=str(dest))
         return dest
 
     def load_resilient(
@@ -270,6 +276,9 @@ class ModelRegistry:
                 good = self._last_good.get(name)
             if good is not None:
                 obs.inc("resil.registry.breaker_fallbacks_total")
+                _LOG.warning("load breaker open; serving last good model",
+                             trace_id=current_trace_id() or "-",
+                             model=name, version=good[0])
                 return good[1]
             raise CircuitOpenError(
                 f"model {name!r}: load circuit open and no good version "
@@ -306,12 +315,20 @@ class ModelRegistry:
                 self.quarantine(name, v)
                 if fallback_left:
                     obs.inc("resil.registry.fallbacks_total")
+                    _LOG.warning("falling back to older model version",
+                                 trace_id=current_trace_id() or "-",
+                                 model=name, from_version=v,
+                                 reason="corrupt")
                 continue
             except RetryExhausted as exc:
                 last_exc = exc
                 breaker.record_failure()
                 if fallback_left:
                     obs.inc("resil.registry.fallbacks_total")
+                    _LOG.warning("falling back to older model version",
+                                 trace_id=current_trace_id() or "-",
+                                 model=name, from_version=v,
+                                 reason="retry_exhausted")
                     continue
                 raise
             breaker.record_success()

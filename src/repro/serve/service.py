@@ -24,20 +24,40 @@ requests are short-circuited with ``service unavailable`` responses
 until the reset timeout probes the model again.
 ``ServeConfig.request_deadline_ms`` bounds how long a request may sit
 queued before failing with a deadline error instead of adding latency.
+
+Telemetry (docs/observability.md): every request is minted a trace ID
+(honoring a client-supplied ``"trace"`` field) that rides through the
+batcher queue, the ambient contextvar, structured log lines and back
+out on the response.  A :class:`~repro.obs.telemetry.TelemetryPlane`
+tracks windowed latency quantiles and availability, evaluates the
+default latency/availability SLOs once per window bucket, and -- when
+the model carries a frozen training-time drift baseline -- watches the
+prediction stream for distribution shift.  The final verdict lands in
+``ServeStats.telemetry``.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
+from repro.obs.telemetry import (
+    AvailabilitySLO,
+    LatencySLO,
+    TelemetryPlane,
+    baseline_of,
+    new_trace_id,
+    trace_scope,
+)
 from repro.resil.retry import CircuitBreaker
 from repro.serve.batcher import BatchPredictor
 from repro.serve.cache import PredictionCache
+
+_LOG = obs.get_logger("serve.service")
 
 
 @dataclass(frozen=True)
@@ -58,6 +78,17 @@ class ServeConfig:
     #: and how long it stays open before probing again.
     breaker_threshold: int = 5
     breaker_reset_s: float = 30.0
+    #: Windowed telemetry (docs/observability.md): fast/slow window
+    #: lengths, the default latency SLO thresholds evaluated on the
+    #: windowed ``serve.request_latency_s`` quantiles, and the
+    #: availability target whose error budget ``--strict`` enforces.
+    #: ``telemetry=False`` turns the whole plane off.
+    telemetry: bool = True
+    window_s: float = 60.0
+    slow_window_s: float = 600.0
+    latency_slo_p99_ms: float = 50.0
+    latency_slo_p999_ms: float = 250.0
+    availability_target: float = 0.999
 
 
 @dataclass
@@ -73,18 +104,41 @@ class ServeStats:
     batches: int = 0
     cache_hits: int = 0
     wall_s: float = 0.0
+    #: Final telemetry-plane snapshot (windows, last SLO/drift verdict,
+    #: run totals) -- None when the plane is disabled.
+    telemetry: dict | None = field(default=None, repr=False)
 
     @property
     def rows_per_s(self) -> float:
         return self.requests / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def budget_burned(self) -> bool:
+        """Whether the run's availability error budget was spent."""
+        verdict = (self.telemetry or {}).get("last_evaluation") or {}
+        return bool(verdict.get("budget_burned"))
+
 
 class InferenceService:
     """Glue: model + micro-batcher + prediction cache + JSONL protocol."""
 
-    def __init__(self, model, config: ServeConfig | None = None):
+    def __init__(self, model, config: ServeConfig | None = None, *,
+                 telemetry: TelemetryPlane | None = None,
+                 event_stream=None):
         self.model = model
         self.config = config or ServeConfig()
+        #: The telemetry plane; pass one in (e.g. with a ManualClock) or
+        #: let the config build the default fast/slow-window plane with
+        #: the standard serve SLOs and the model's drift baseline.
+        self.telemetry = telemetry
+        if self.telemetry is None and self.config.telemetry:
+            self.telemetry = TelemetryPlane(
+                window_s=self.config.window_s,
+                slow_window_s=self.config.slow_window_s,
+                slos=self.default_slos(self.config),
+                baseline=baseline_of(model),
+                event_stream=event_stream,
+            )
         self.is_classifier = hasattr(model, "predict_proba")
         self.classes = (
             [c for c in np.asarray(model.classes_).tolist()]
@@ -106,12 +160,26 @@ class InferenceService:
             max_wait_s=self.config.max_wait_ms / 1000.0,
             cache=self.cache,
             deadline_s=self.config.request_deadline_ms / 1000.0,
+            telemetry=self.telemetry,
         )
         self.breaker = CircuitBreaker(
             name="serve",
             failure_threshold=self.config.breaker_threshold,
             reset_timeout_s=self.config.breaker_reset_s,
         )
+
+    @staticmethod
+    def default_slos(config: ServeConfig) -> list:
+        """The serve path's declarative SLOs for a given config."""
+        return [
+            LatencySLO("serve.latency_p99", "serve.request_latency_s",
+                       0.99, config.latency_slo_p99_ms / 1000.0),
+            LatencySLO("serve.latency_p999", "serve.request_latency_s",
+                       0.999, config.latency_slo_p999_ms / 1000.0),
+            AvailabilitySLO("serve.availability",
+                            good="serve.ok_total", bad="serve.failed_total",
+                            target=config.availability_target),
+        ]
 
     # -- request handling --------------------------------------------------- #
 
@@ -136,6 +204,15 @@ class InferenceService:
         if self.n_features is not None and len(features) != self.n_features:
             return req, None
         return req, features
+
+    @staticmethod
+    def _trace_of(req: dict | None) -> str:
+        """The request's trace ID: the client's ``"trace"``, else minted."""
+        if isinstance(req, dict):
+            tid = req.get("trace")
+            if isinstance(tid, str) and tid:
+                return tid
+        return new_trace_id()
 
     def _error_response(self, req: dict | None) -> dict:
         if req is None:
@@ -178,27 +255,39 @@ class InferenceService:
         exit).
         """
         stats = ServeStats()
+        plane = self.telemetry
         t_start = time.perf_counter()
         with self.batcher, obs.span("serve.run"):
-            window: list = []  # (request, future-or-error-dict)
+            window: list = []  # (request, future-or-error-dict, trace_id)
             for line in lines:
                 if not line.strip():
                     continue
                 req, features = self.parse_request(line)
+                tid = self._trace_of(req)
                 if features is None:
                     stats.errors += 1
                     obs.inc("serve.bad_requests_total")
-                    window.append((req, self._error_response(req)))
+                    if plane is not None:
+                        plane.inc("serve.bad_requests_total")
+                    window.append((req, self._error_response(req), tid))
                 elif not self.breaker.allow():
                     stats.failures += 1
+                    if plane is not None:
+                        plane.inc("serve.failed_total")
                     response = {"error":
                                 "service unavailable: circuit breaker open"}
                     if isinstance(req, dict) and "id" in req:
                         response["id"] = req["id"]
-                    window.append((req, response))
+                    window.append((req, response, tid))
                 else:
-                    window.append((req, self.batcher.submit(features)))
+                    with trace_scope(tid):
+                        window.append(
+                            (req, self.batcher.submit(features,
+                                                      trace_id=tid), tid)
+                        )
                 stats.requests += 1
+                if plane is not None:
+                    plane.inc("serve.requests_total")
                 if len(window) >= self.config.read_ahead:
                     self._flush(window, out, stats)
                     window = []
@@ -210,10 +299,22 @@ class InferenceService:
         if self.cache is not None:
             obs.set_gauge("serve.cache.hit_rate",
                           round(self.cache.hit_rate, 4))
+        if plane is not None:
+            # Force a final evaluation so the whole-run SLO/drift verdict
+            # lands in the stats even for sub-bucket-length runs.
+            plane.evaluate()
+            stats.telemetry = plane.snapshot()
         return stats
 
+    def _drift_value(self, result) -> float:
+        """The scalar the drift monitor watches for one prediction."""
+        if self.is_classifier:
+            return float(np.max(np.asarray(result, dtype=float)))
+        return float(result)
+
     def _flush(self, window: list, out, stats: ServeStats) -> None:
-        for req, pending in window:
+        plane = self.telemetry
+        for req, pending, tid in window:
             if isinstance(pending, dict):  # pre-formed error response
                 response = pending
             else:
@@ -224,11 +325,21 @@ class InferenceService:
                     # responses; the loop itself never dies.
                     stats.failures += 1
                     obs.inc("resil.serve.failed_requests_total")
+                    if plane is not None:
+                        plane.inc("serve.failed_total")
+                    _LOG.warning("request failed", trace_id=tid,
+                                 error=str(exc))
                     self.breaker.record_failure()
                     response = {"error": f"prediction failed: {exc}"}
                     if isinstance(req, dict) and "id" in req:
                         response["id"] = req["id"]
                 else:
                     self.breaker.record_success()
+                    if plane is not None:
+                        plane.inc("serve.ok_total")
+                        plane.observe_drift(self._drift_value(result))
                     response = self._format_response(req, result)
+            response["trace"] = tid
             out.write(json.dumps(response) + "\n")
+        if plane is not None:
+            plane.maybe_evaluate()

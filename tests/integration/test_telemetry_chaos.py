@@ -1,0 +1,191 @@
+"""Chaos telemetry: the serve loop observed under faults and drift.
+
+The PR-6 acceptance scenario (ISSUE.md): run the JSONL serve loop with
+``serve.predict`` faults injected and a drifted input stream, and prove
+the telemetry plane tells the truth about it --
+
+a. every response carries its request's trace ID (client-supplied IDs
+   are honored verbatim, the rest are minted);
+b. the windowed latency p99/p999 and availability SLO monitors all
+   evaluate, and the availability error budget burns;
+c. the drift monitor fires a structured ``drift_detected`` event
+   against the model's frozen training-time baseline;
+d. the Prometheus and JSONL-event exporters round-trip the same
+   numbers as the in-process windowed registry snapshot.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import GBDTRegressor
+from repro.obs.telemetry import (
+    TelemetryPlane,
+    attach_baseline,
+    baseline_of,
+    parse_prometheus,
+)
+from repro.resil import faults
+from repro.resil.faults import unit_hash
+from repro.serve import InferenceService, ModelRegistry, ServeConfig
+
+RATE, SEED = 0.4, 5
+N_REQUESTS = 80
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """A GBDT with its training-time drift baseline attached."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 3))
+    y = 200 + 40 * X[:, 0] + rng.normal(0, 4, 300)
+    model = GBDTRegressor(n_estimators=8, max_depth=3,
+                          random_state=0).fit(X, y)
+    attach_baseline(model, model.predict(X))
+    return model, X
+
+
+def _fault_schedule():
+    """Which batch seqs fail outright: both attempts fire (the batcher
+    retries once; max_batch_size=1 makes seq == request index)."""
+    def fires(i, a):
+        return unit_hash(SEED, "serve.predict", (i, a), 0) < RATE
+    return [i for i in range(N_REQUESTS) if fires(i, 0) and fires(i, 1)]
+
+
+def _drifted_lines(X):
+    """Requests whose x0 sits ~5 sigma above training: every prediction
+    lands far outside the baseline distribution."""
+    rng = np.random.default_rng(7)
+    rows = X[rng.integers(0, len(X), N_REQUESTS)].copy()
+    rows[:, 0] += 5.0
+    lines = []
+    for i, row in enumerate(rows):
+        req = {"id": i, "features": list(map(float, row))}
+        if i % 4 == 0:  # every 4th request brings its own trace ID
+            req["trace"] = f"chaos-{i:04d}"
+        lines.append(json.dumps(req))
+    return lines
+
+
+class TestTelemetryUnderChaos:
+    @pytest.fixture(scope="class")
+    def run(self, fitted):
+        model, X = fitted
+        doomed = _fault_schedule()
+        assert doomed, "seed must produce exhausted-retry failures"
+        assert N_REQUESTS - len(doomed) >= 30, "drift needs min_count oks"
+
+        config = ServeConfig(max_batch_size=1, cache_size=0,
+                             breaker_threshold=N_REQUESTS + 1)
+        events_stream = io.StringIO()
+        plane = TelemetryPlane(
+            window_s=60.0, slow_window_s=600.0,
+            slos=InferenceService.default_slos(config),
+            baseline=baseline_of(model),
+            event_stream=events_stream,
+        )
+        service = InferenceService(model, config, telemetry=plane)
+        out = io.StringIO()
+        faults.configure(f"serve.predict:{RATE}", seed=SEED)
+        try:
+            stats = service.run_jsonl(_drifted_lines(X), out)
+        finally:
+            faults.reset()
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        return stats, responses, plane, events_stream, doomed
+
+    # -- (a) trace propagation ------------------------------------------ #
+
+    def test_every_response_carries_its_trace(self, run):
+        stats, responses, _, _, _ = run
+        assert len(responses) == N_REQUESTS == stats.requests
+        for r in responses:
+            assert isinstance(r["trace"], str) and r["trace"]
+            if r["id"] % 4 == 0:  # client-supplied, honored verbatim
+                assert r["trace"] == f"chaos-{r['id']:04d}"
+            else:
+                assert r["trace"].startswith("req-")
+        minted = [r["trace"] for r in responses if r["id"] % 4]
+        assert len(set(minted)) == len(minted)  # one ID per request
+
+    def test_failures_match_fault_schedule(self, run):
+        stats, responses, _, _, doomed = run
+        failed = {r["id"] for r in responses if "error" in r}
+        assert failed == set(doomed)
+        assert stats.failures == len(doomed)
+
+    # -- (b) SLOs evaluate; the availability budget burns ---------------- #
+
+    def test_slos_evaluated_and_budget_burned(self, run):
+        stats, _, plane, _, doomed = run
+        verdict = stats.telemetry["last_evaluation"]
+        slos = {s["name"]: s for s in verdict["slos"]}
+        assert set(slos) == {"serve.latency_p99", "serve.latency_p999",
+                             "serve.availability"}
+        for name in ("serve.latency_p99", "serve.latency_p999"):
+            assert slos[name]["n"] > 0  # windowed quantiles evaluated
+            assert np.isfinite(slos[name]["value"])
+        avail = slos["serve.availability"]
+        assert avail["value"] == pytest.approx(
+            1.0 - len(doomed) / N_REQUESTS)
+        assert not avail["ok"] and avail["alerting"]
+        assert avail["burn_fast"] > 14.4 and avail["burn_slow"] > 6.0
+        assert verdict["budget_burned"] and stats.budget_burned
+        assert plane.events.of_kind("slo_alert")
+
+    # -- (c) drift fires a structured event ------------------------------ #
+
+    def test_drift_monitor_fires(self, run):
+        stats, _, plane, _, _ = run
+        drift = stats.telemetry["last_evaluation"]["drift"]
+        assert drift["drifted"]
+        assert drift["z_mean"] >= 6.0
+        events = plane.events.of_kind("drift_detected")
+        assert len(events) == 1
+        assert events[0]["baseline"]["stat"] == "prediction"
+
+    # -- (d) exporters round-trip the registry numbers ------------------- #
+
+    def test_prometheus_roundtrips_windowed_registry(self, run):
+        _, _, plane, _, _ = run
+        parsed = parse_prometheus(plane.to_prometheus())
+        snap = plane.fast.snapshot()
+        for name, counter in snap["counters"].items():
+            key = ("repro_window_"
+                   + name.replace(".", "_") + "_window_total")
+            assert parsed["gauges"][key] == counter["total"]
+        hist = parsed["histograms"][
+            "repro_window_serve_request_latency_s"]
+        src = snap["histograms"]["serve.request_latency_s"]
+        assert hist["count"] == src["count"]
+        assert hist["sum"] == pytest.approx(src["sum"])
+        for q in ("p50", "p90", "p99", "p999"):
+            assert hist[q] == pytest.approx(src[q])
+
+    def test_event_stream_mirrors_in_process_log(self, run):
+        _, _, plane, events_stream, _ = run
+        written = [json.loads(l)
+                   for l in events_stream.getvalue().splitlines()]
+        assert written == list(plane.events)
+
+    def test_totals_account_for_every_request(self, run):
+        stats, _, _, _, doomed = run
+        totals = stats.telemetry["totals"]
+        assert totals["serve.requests_total"] == N_REQUESTS
+        assert totals["serve.failed_total"] == len(doomed)
+        assert totals["serve.ok_total"] == N_REQUESTS - len(doomed)
+
+
+class TestBaselineSurvivesRegistry:
+    def test_saved_model_round_trips_drift_baseline(self, fitted,
+                                                    tmp_path):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.save("m", model)
+        loaded = registry.load("m")
+        baseline = baseline_of(loaded)
+        assert baseline is not None
+        assert baseline == baseline_of(model)

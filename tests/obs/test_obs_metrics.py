@@ -100,6 +100,40 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("x", edges=[3.0])
 
+    def test_snapshot_includes_p999(self, rng):
+        h = Histogram("x_s")
+        h.observe_many(rng.uniform(0.0, 1.0, 5000))
+        snap = h.snapshot()
+        assert "p999" in snap
+        assert snap["p99"] <= snap["p999"] <= snap["max"]
+
+    def test_single_observation_quantiles(self):
+        h = Histogram("x_s")
+        h.observe(0.125)
+        for q in (0.0, 0.5, 0.99, 0.999, 1.0):
+            assert h.quantile(q) == pytest.approx(0.125, rel=0.08)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == snap["max"] == 0.125
+
+    def test_empty_snapshot_quantiles_are_nan(self):
+        snap = Histogram("x_s").snapshot()
+        for key in ("p50", "p90", "p99", "p999", "mean", "min", "max"):
+            assert np.isnan(snap[key])
+
+    def test_format_snapshot_shows_p999(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_s").observe(0.5)
+        assert "p999=" in format_snapshot(reg.snapshot())
+
+    def test_format_snapshot_tolerates_pre_p999_payloads(self):
+        # Old --metrics-out files predate the p999 column.
+        snap = {"histograms": {"h_s": {
+            "count": 1, "sum": 0.5, "min": 0.5, "max": 0.5, "mean": 0.5,
+            "p50": 0.5, "p90": 0.5, "p99": 0.5,
+        }}}
+        assert "p999=nan" in format_snapshot(snap)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):

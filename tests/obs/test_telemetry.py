@@ -1,0 +1,504 @@
+"""repro.obs.telemetry: windows, traces, SLOs, drift, exporters."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.telemetry import (
+    AvailabilitySLO,
+    DriftBaseline,
+    DriftMonitor,
+    EventLog,
+    LatencySLO,
+    ManualClock,
+    SLOMonitor,
+    TelemetryPlane,
+    WindowedCounter,
+    WindowedHistogram,
+    WindowedRegistry,
+    attach_baseline,
+    baseline_of,
+    current_trace_id,
+    new_trace_id,
+    parse_prometheus,
+    sanitize_metric_name,
+    set_trace_id,
+    to_prometheus,
+    trace_scope,
+)
+
+
+class TestManualClock:
+    def test_advance_and_set(self):
+        clk = ManualClock(100.0)
+        assert clk() == 100.0
+        clk.advance(2.5)
+        assert clk() == 102.5
+        clk.set(50.0)
+        assert clk() == 50.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestTraceContext:
+    def test_ids_are_sequential_and_unique(self):
+        a, b = new_trace_id(), new_trace_id()
+        assert a != b
+        assert a.startswith("req-") and b.startswith("req-")
+        assert int(b.split("-")[1]) == int(a.split("-")[1]) + 1
+
+    def test_scope_sets_and_restores(self):
+        set_trace_id(None)
+        assert current_trace_id() is None
+        with trace_scope("req-xyz"):
+            assert current_trace_id() == "req-xyz"
+            with trace_scope("req-inner"):
+                assert current_trace_id() == "req-inner"
+            assert current_trace_id() == "req-xyz"
+        assert current_trace_id() is None
+
+
+class TestWindowedCounter:
+    def test_total_and_rate(self):
+        clk = ManualClock(1000.0)
+        c = WindowedCounter("x_total", window_s=60.0, n_buckets=6,
+                            clock=clk)
+        for _ in range(6):
+            c.inc()
+            clk.advance(5.0)
+        assert c.total() == 6.0
+        assert c.rate_per_s() == pytest.approx(0.1)
+
+    def test_rollover_drops_old_buckets(self):
+        clk = ManualClock(0.0)
+        c = WindowedCounter("x_total", window_s=60.0, n_buckets=6,
+                            clock=clk)
+        c.inc(10.0)
+        clk.advance(30.0)
+        c.inc(1.0)
+        assert c.total() == 11.0
+        clk.advance(35.0)  # first bucket (t=0) is now out of range
+        assert c.total() == 1.0
+        clk.advance(60.0)
+        assert c.total() == 0.0
+
+    def test_rollover_is_clock_skew_free(self):
+        # Bucket boundaries depend only on the absolute clock value, so
+        # two counters touched at different cadences agree exactly.
+        clk = ManualClock(0.0)
+        a = WindowedCounter("a", 60.0, 6, clk)
+        b = WindowedCounter("b", 60.0, 6, clk)
+        for t in (1.0, 11.0, 21.0, 31.0, 41.0, 51.0):
+            clk.set(t)
+            a.inc()
+        clk.set(51.0)
+        b.inc(6.0)  # all at once, same final instant
+        clk.set(69.9)  # t=1 bucket [0,10) expired for both
+        assert a.total() == 5.0
+        assert b.total() == 6.0
+        clk.set(111.0)  # >= 51 + 60: everything expired
+        assert a.total() == b.total() == 0.0
+
+    def test_backwards_clock_is_safe(self):
+        clk = ManualClock(500.0)
+        c = WindowedCounter("x", 60.0, 6, clk)
+        c.inc()
+        clk.set(100.0)  # jump backwards: fewer live buckets, no crash
+        assert c.total() == 0.0
+        c.inc()
+        assert c.total() == 1.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedCounter("x", clock=ManualClock()).inc(-1.0)
+
+
+class TestWindowedHistogram:
+    def test_windowed_quantiles_and_snapshot(self):
+        clk = ManualClock(0.0)
+        h = WindowedHistogram("lat_s", window_s=60.0, n_buckets=6,
+                              clock=clk)
+        h.observe_many(np.full(100, 0.01))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["window_s"] == 60.0
+        assert snap["rate_per_s"] == pytest.approx(100 / 60.0)
+        for key in ("p50", "p90", "p99", "p999"):
+            assert snap[key] == pytest.approx(0.01, rel=0.1)
+
+    def test_rollover_empties_window(self):
+        clk = ManualClock(0.0)
+        h = WindowedHistogram("lat_s", 60.0, 6, clk)
+        h.observe(1.0)
+        assert h.count == 1
+        clk.advance(70.0)
+        assert h.count == 0
+        assert np.isnan(h.quantile(0.5))
+
+    def test_merged_equals_single_histogram(self, rng):
+        clk = ManualClock(0.0)
+        h = WindowedHistogram("lat_s", 60.0, 6, clk)
+        x = rng.uniform(0.0, 1.0, 600)
+        for i, v in enumerate(x):
+            clk.set(i * 0.09)  # spread across several buckets
+            h.observe(v)
+        clk.set(x.size * 0.09)
+        m = h.merged()
+        assert m.count == 600
+        assert m.quantile(0.5) == pytest.approx(float(np.median(x)),
+                                                rel=0.1)
+
+
+class TestWindowedRegistryMerge:
+    def test_merge_disjoint_registries(self):
+        # Two pmap-style workers sharing a clock epoch, touching
+        # disjoint metric names; the merged registry holds both.
+        clk = ManualClock(1000.0)
+        a = WindowedRegistry(60.0, 6, clk)
+        b = WindowedRegistry(60.0, 6, clk)
+        a.counter("worker_a_total").inc(3.0)
+        a.histogram("lat_s").observe(0.01)
+        b.counter("worker_b_total").inc(5.0)
+        b.histogram("other_s").observe(0.5)
+        a.merge(b.dump())
+        snap = a.snapshot()
+        assert snap["counters"]["worker_a_total"]["total"] == 3.0
+        assert snap["counters"]["worker_b_total"]["total"] == 5.0
+        assert snap["histograms"]["lat_s"]["count"] == 1
+        assert snap["histograms"]["other_s"]["count"] == 1
+
+    def test_merge_sums_shared_names_bucketwise(self):
+        clk = ManualClock(1000.0)
+        a = WindowedRegistry(60.0, 6, clk)
+        b = WindowedRegistry(60.0, 6, clk)
+        a.counter("req_total").inc(2.0)
+        b.counter("req_total").inc(3.0)
+        a.histogram("lat_s").observe_many([0.01] * 4)
+        b.histogram("lat_s").observe_many([0.03] * 4)
+        a.merge(b.dump())
+        assert a.counter("req_total").total() == 5.0
+        assert a.histogram("lat_s").count == 8
+
+    def test_merge_drops_expired_buckets(self):
+        clk = ManualClock(0.0)
+        a = WindowedRegistry(60.0, 6, clk)
+        b = WindowedRegistry(60.0, 6, clk)
+        b.counter("req_total").inc(7.0)
+        dump = b.dump()
+        clk.advance(120.0)  # donor's buckets are now out of range
+        a.merge(dump)
+        assert a.counter("req_total").total() == 0.0
+
+    def test_layout_mismatch_raises(self):
+        clk = ManualClock(0.0)
+        a = WindowedRegistry(60.0, 6, clk)
+        b = WindowedRegistry(30.0, 6, clk)
+        b.counter("req_total").inc()
+        with pytest.raises(ValueError):
+            a.merge(b.dump())
+
+    def test_kind_conflict_raises(self):
+        reg = WindowedRegistry(clock=ManualClock())
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+
+class TestSLOMonitor:
+    def _windows(self, clk):
+        return (WindowedRegistry(60.0, 6, clk),
+                WindowedRegistry(600.0, 6, clk))
+
+    def test_latency_ok_then_alerting(self):
+        clk = ManualClock(0.0)
+        fast, slow = self._windows(clk)
+        events = EventLog(clock=clk)
+        slo = LatencySLO("lat_p99", "lat_s", 0.99, 0.05)
+        mon = SLOMonitor([slo], fast, slow, event_log=events)
+
+        for reg in (fast, slow):
+            reg.histogram("lat_s").observe_many([0.01] * 100)
+        (status,) = mon.evaluate()
+        assert status.ok and not status.alerting
+        assert len(events.of_kind("slo_alert")) == 0
+
+        for reg in (fast, slow):
+            reg.histogram("lat_s").observe_many([0.5] * 400)
+        (status,) = mon.evaluate()
+        assert not status.ok and status.alerting
+        assert status.burn_fast > 1.0 and status.burn_slow > 1.0
+        assert len(events.of_kind("slo_alert")) == 1
+        # Re-evaluating while still alerting is edge-triggered: no spam.
+        mon.evaluate()
+        assert len(events.of_kind("slo_alert")) == 1
+
+    def test_latency_recovery_event(self):
+        clk = ManualClock(0.0)
+        fast, slow = self._windows(clk)
+        events = EventLog(clock=clk)
+        mon = SLOMonitor([LatencySLO("lat_p99", "lat_s", 0.99, 0.05)],
+                         fast, slow, event_log=events)
+        for reg in (fast, slow):
+            reg.histogram("lat_s").observe_many([0.5] * 100)
+        assert mon.evaluate()[0].alerting
+        clk.advance(700.0)  # both windows roll over and empty
+        assert not mon.evaluate()[0].alerting
+        assert len(events.of_kind("slo_recovered")) == 1
+
+    def test_availability_burn_rates(self):
+        clk = ManualClock(0.0)
+        fast, slow = self._windows(clk)
+        slo = AvailabilitySLO("avail", good="ok_total", bad="bad_total",
+                              target=0.999)
+        mon = SLOMonitor([slo], fast, slow)
+        for reg in (fast, slow):
+            reg.counter("ok_total").inc(50.0)
+            reg.counter("bad_total").inc(50.0)
+        (status,) = mon.evaluate()
+        # 50% failure ratio against a 0.1% budget: burn rate 500.
+        assert status.value == pytest.approx(0.5)
+        assert status.burn_fast == pytest.approx(500.0)
+        assert not status.ok and status.alerting
+
+    def test_availability_empty_window_is_ok(self):
+        clk = ManualClock(0.0)
+        fast, slow = self._windows(clk)
+        mon = SLOMonitor(
+            [AvailabilitySLO("avail", good="ok_total", bad="bad_total")],
+            fast, slow,
+        )
+        (status,) = mon.evaluate()
+        assert status.ok and not status.alerting and status.n == 0
+
+    def test_single_window_burn_does_not_alert(self):
+        # Multi-window rule: a fast-only spike must not page.
+        clk = ManualClock(0.0)
+        fast, slow = self._windows(clk)
+        mon = SLOMonitor(
+            [AvailabilitySLO("avail", good="ok_total", bad="bad_total")],
+            fast, slow,
+        )
+        fast.counter("bad_total").inc(50.0)
+        fast.counter("ok_total").inc(50.0)
+        slow.counter("ok_total").inc(100.0)
+        (status,) = mon.evaluate()
+        assert status.burn_fast > 14.4 and status.burn_slow == 0.0
+        assert not status.alerting
+
+    def test_unknown_slo_type_raises(self):
+        clk = ManualClock(0.0)
+        fast, slow = self._windows(clk)
+        with pytest.raises(TypeError):
+            SLOMonitor([object()], fast, slow).evaluate()
+
+    def test_bad_slo_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySLO("x", "m", 1.5, 0.05)
+        with pytest.raises(ValueError):
+            LatencySLO("x", "m", 0.99, 0.0)
+        with pytest.raises(ValueError):
+            AvailabilitySLO("x", good="g", bad="b", target=1.0)
+
+
+class TestDrift:
+    def test_baseline_roundtrip_and_nonfinite_filter(self):
+        b = DriftBaseline.from_values(
+            "prediction", [1.0, 2.0, 3.0, float("nan"), float("inf")]
+        )
+        assert b.count == 3
+        assert b.mean == pytest.approx(2.0)
+        assert DriftBaseline.from_dict(b.to_dict()) == b
+
+    def test_empty_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            DriftBaseline.from_values("prediction", [float("nan")])
+
+    def _monitor(self, rng, clk, events=None, **kw):
+        base_values = rng.normal(100.0, 10.0, 5000)
+        baseline = DriftBaseline.from_values("prediction", base_values)
+        window = WindowedHistogram("drift.prediction", 60.0, 6, clk)
+        return DriftMonitor(baseline, window, event_log=events, **kw), \
+            baseline
+
+    def test_no_drift_on_matching_stream(self, rng):
+        clk = ManualClock(0.0)
+        mon, _ = self._monitor(rng, clk)
+        mon.observe_many(rng.normal(100.0, 10.0, 500))
+        status = mon.evaluate()
+        assert not status.drifted
+        assert status.n == 500
+
+    def test_drift_fires_on_shifted_stream(self, rng):
+        clk = ManualClock(0.0)
+        events = EventLog(clock=clk)
+        mon, _ = self._monitor(rng, clk, events=events)
+        mon.observe_many(rng.normal(160.0, 10.0, 500))
+        status = mon.evaluate()
+        assert status.drifted
+        assert status.z_mean >= 6.0
+        detected = events.of_kind("drift_detected")
+        assert len(detected) == 1
+        assert detected[0]["baseline"]["stat"] == "prediction"
+        # Edge-triggered: still drifted, no second event.
+        mon.evaluate()
+        assert len(events.of_kind("drift_detected")) == 1
+
+    def test_drift_clears_after_window_rolls(self, rng):
+        clk = ManualClock(0.0)
+        events = EventLog(clock=clk)
+        mon, _ = self._monitor(rng, clk, events=events)
+        mon.observe_many(rng.normal(160.0, 10.0, 500))
+        assert mon.evaluate().drifted
+        clk.advance(70.0)
+        assert not mon.evaluate().drifted
+        assert len(events.of_kind("drift_cleared")) == 1
+
+    def test_min_count_gates_detection(self, rng):
+        clk = ManualClock(0.0)
+        mon, _ = self._monitor(rng, clk, min_count=30)
+        mon.observe_many(rng.normal(160.0, 10.0, 10))
+        assert not mon.evaluate().drifted
+
+    def test_attach_and_recover_baseline(self, rng):
+        class Model:
+            pass
+
+        m = Model()
+        attach_baseline(m, rng.normal(50.0, 5.0, 1000))
+        b = baseline_of(m)
+        assert b is not None and b.stat == "prediction"
+
+        class Pipeline:
+            def __init__(self, model):
+                self.model = model
+
+        assert baseline_of(Pipeline(m)) == b
+        assert baseline_of(Model()) is None
+
+
+class TestExport:
+    def test_sanitize(self):
+        assert sanitize_metric_name("serve.request_latency_s") == \
+            "repro_serve_request_latency_s"
+
+    def test_prometheus_roundtrip_matches_registry(self, rng):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("serve.requests_total").inc(42)
+        reg.gauge("serve.rows_per_s").set(123.5)
+        reg.histogram("serve.request_latency_s").observe_many(
+            rng.uniform(0.001, 0.1, 2000)
+        )
+        snap = reg.snapshot()
+        parsed = parse_prometheus(to_prometheus(snap))
+        assert parsed["counters"]["repro_serve_requests_total"] == 42.0
+        assert parsed["gauges"]["repro_serve_rows_per_s"] == 123.5
+        hist = parsed["histograms"]["repro_serve_request_latency_s"]
+        src = snap["histograms"]["serve.request_latency_s"]
+        assert hist["count"] == src["count"]
+        assert hist["sum"] == pytest.approx(src["sum"])
+        for key in ("p50", "p90", "p99", "p999"):
+            assert hist[key] == pytest.approx(src[key])
+
+    def test_nan_gauges_skipped(self):
+        text = to_prometheus({"gauges": {"g": float("nan")}})
+        assert text == ""
+
+    def test_event_log_tees_jsonl(self):
+        clk = ManualClock(12.0)
+        stream = io.StringIO()
+        log = EventLog(stream, clock=clk)
+        log.emit("slo_alert", name="avail", burn_fast=20.0)
+        clk.advance(1.0)
+        log.emit("drift_detected", stat="prediction")
+        lines = [json.loads(line) for line in
+                 stream.getvalue().splitlines()]
+        assert [e["event"] for e in lines] == ["slo_alert",
+                                               "drift_detected"]
+        assert lines[0]["t_s"] == 12.0 and lines[1]["t_s"] == 13.0
+        assert len(log) == 2
+        assert log.of_kind("slo_alert")[0]["name"] == "avail"
+
+
+class TestTelemetryPlane:
+    def _plane(self, clk, **kw):
+        kw.setdefault("slos", [
+            LatencySLO("lat_p99", "serve.request_latency_s", 0.99, 0.05),
+            AvailabilitySLO("avail", good="serve.ok_total",
+                            bad="serve.failed_total", target=0.999),
+        ])
+        return TelemetryPlane(window_s=60.0, slow_window_s=600.0,
+                              clock=clk, **kw)
+
+    def test_observe_feeds_both_horizons(self):
+        clk = ManualClock(0.0)
+        plane = self._plane(clk)
+        plane.observe("serve.request_latency_s", 0.01)
+        assert plane.fast.histogram("serve.request_latency_s").count == 1
+        assert plane.slow.histogram("serve.request_latency_s").count == 1
+
+    def test_budget_burned_is_cumulative(self):
+        clk = ManualClock(0.0)
+        plane = self._plane(clk)
+        plane.inc("serve.ok_total", 50.0)
+        plane.inc("serve.failed_total", 50.0)
+        assert plane.budget_burned()
+        clk.advance(700.0)  # windows empty, but the run still burned
+        assert plane.budget_burned()
+        assert plane.evaluate()["budget_burned"]
+
+    def test_maybe_evaluate_rate_limits(self):
+        clk = ManualClock(0.0)
+        plane = self._plane(clk)
+        assert plane.maybe_evaluate() is not None
+        assert plane.maybe_evaluate() is None
+        clk.advance(10.0)  # one fast bucket (60/6)
+        assert plane.maybe_evaluate() is not None
+
+    def test_snapshot_shape(self):
+        clk = ManualClock(0.0)
+        plane = self._plane(clk)
+        plane.inc("serve.ok_total")
+        plane.evaluate()
+        snap = plane.snapshot()
+        json.dumps(snap)  # JSON-safe
+        assert snap["totals"]["serve.ok_total"] == 1.0
+        assert snap["window"]["window_s"] == 60.0
+        assert snap["slow_window"]["window_s"] == 600.0
+        assert {s["name"] for s in snap["last_evaluation"]["slos"]} == \
+            {"lat_p99", "avail"}
+
+    def test_prometheus_export_roundtrip(self):
+        clk = ManualClock(0.0)
+        plane = self._plane(clk)
+        plane.inc("serve.ok_total", 9.0)
+        plane.observe("serve.request_latency_s", 0.02)
+        parsed = parse_prometheus(plane.to_prometheus())
+        key = "repro_window_serve_ok_total_window_total"
+        assert parsed["gauges"][key] == 9.0
+        hist = parsed["histograms"][
+            "repro_window_serve_request_latency_s"]
+        assert hist["count"] == 1.0
+
+    def test_slow_window_must_cover_fast(self):
+        with pytest.raises(ValueError):
+            TelemetryPlane(window_s=60.0, slow_window_s=30.0,
+                           clock=ManualClock())
+
+    def test_drift_monitor_wired_from_baseline(self, rng):
+        clk = ManualClock(0.0)
+        baseline = DriftBaseline.from_values(
+            "prediction", rng.normal(100.0, 10.0, 2000)
+        )
+        plane = self._plane(clk, baseline=baseline)
+        plane.observe_drift(500.0)
+        for _ in range(40):
+            plane.observe_drift(500.0)
+        verdict = plane.evaluate()
+        assert verdict["drift"]["drifted"]
+        assert len(plane.events.of_kind("drift_detected")) == 1

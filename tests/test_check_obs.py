@@ -67,3 +67,68 @@ class TestDetection:
         (tmp_path / "cli.py").write_text("print('result')\n")
         (tmp_path / "core.py").write_text("x = 1\n")
         assert check_obs.check(root=tmp_path) == []
+
+
+class TestScopedDetection:
+    """The path-scoped rules: telemetry clock hygiene, serve trace IDs."""
+
+    def _violations(self, tmp_path, source, rel):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return check_obs.file_violations(path, rel=rel)
+
+    CLOCK_READ = """\
+        import time
+        def now():
+            return time.monotonic()
+    """
+
+    def test_flags_clock_read_in_telemetry_code(self, tmp_path):
+        found = self._violations(tmp_path, self.CLOCK_READ,
+                                 rel="obs/telemetry/window.py")
+        assert len(found) == 1
+        assert "injectable clock" in found[0][1]
+
+    def test_perf_counter_also_forbidden_in_telemetry(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import time
+            t0 = time.perf_counter()
+        """, rel="obs/telemetry/plane.py")
+        assert len(found) == 1
+        assert "time.perf_counter" in found[0][1]
+
+    def test_clock_module_itself_is_exempt(self, tmp_path):
+        assert self._violations(tmp_path, self.CLOCK_READ,
+                                rel="obs/telemetry/clock.py") == []
+
+    def test_clock_read_fine_outside_telemetry(self, tmp_path):
+        assert self._violations(tmp_path, self.CLOCK_READ,
+                                rel="serve/batcher.py") == []
+
+    def test_flags_serve_log_without_trace_id(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            _LOG.warning("request failed", error="boom")
+        """, rel="serve/service.py")
+        assert len(found) == 1
+        assert "trace_id" in found[0][1]
+
+    def test_serve_log_with_trace_id_passes(self, tmp_path):
+        assert self._violations(tmp_path, """\
+            _LOG.warning("request failed", trace_id=tid, error="boom")
+        """, rel="serve/service.py") == []
+
+    def test_untraced_log_fine_outside_serve(self, tmp_path):
+        assert self._violations(tmp_path, """\
+            _LOG.warning("pass crashed", area="Airport")
+        """, rel="sim/campaign.py") == []
+
+    def test_src_telemetry_tree_is_scoped(self):
+        # The real tree must be linted with the scoped rules active:
+        # a regression that dropped rel-passing would silently disable
+        # both rules.  Prove the rel plumbing by linting clock.py (the
+        # only module allowed to read the clock) under a different rel.
+        clock = (REPO_ROOT / "src" / "repro" / "obs" / "telemetry"
+                 / "clock.py")
+        assert check_obs.file_violations(clock, rel="obs/telemetry/clock.py") == []
+        assert check_obs.file_violations(clock,
+                                         rel="obs/telemetry/other.py")

@@ -171,3 +171,120 @@ class TestObservability:
         (root,) = payload["trace"]
         assert root["name"] == "serve"
         assert "serve.run" in [c["name"] for c in root["children"]]
+
+
+class TestTelemetry:
+    def test_summary_line_carries_telemetry_tail(self, tmp_path, model,
+                                                 model_file, capsys):
+        _, X = model
+        requests = _write_requests(tmp_path, X[:10])
+        out = tmp_path / "responses.jsonl"
+        code = main(["serve", "--model", str(model_file),
+                     "--input", str(requests), "--output", str(out)])
+        assert code == 0
+        summary = capsys.readouterr().err
+        assert "window p99=" in summary and "p999=" in summary
+        assert "slo ok" in summary
+        assert "budget ok" in summary
+
+    def test_no_telemetry_drops_the_tail(self, tmp_path, model,
+                                         model_file, capsys):
+        _, X = model
+        requests = _write_requests(tmp_path, X[:10])
+        out = tmp_path / "responses.jsonl"
+        code = main(["serve", "--model", str(model_file),
+                     "--no-telemetry",
+                     "--input", str(requests), "--output", str(out)])
+        assert code == 0
+        summary = capsys.readouterr().err
+        assert "window p99=" not in summary
+        assert "slo" not in summary
+
+    def test_metrics_out_includes_telemetry_section(self, tmp_path, model,
+                                                    model_file, capsys):
+        _, X = model
+        requests = _write_requests(tmp_path, X[:10])
+        out = tmp_path / "responses.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(["serve", "--model", str(model_file),
+                     "--input", str(requests), "--output", str(out),
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        telemetry = json.loads(metrics.read_text())["telemetry"]
+        assert telemetry["totals"]["serve.requests_total"] == 10
+        assert telemetry["totals"]["serve.ok_total"] == 10
+        hist = telemetry["window"]["histograms"][
+            "serve.request_latency_s"]
+        assert hist["count"] == 10
+        assert hist["p99"] >= 0.0 and hist["p999"] >= hist["p99"]
+        slos = {s["name"]: s for s in
+                telemetry["last_evaluation"]["slos"]}
+        assert set(slos) == {"serve.latency_p99", "serve.latency_p999",
+                             "serve.availability"}
+        assert slos["serve.availability"]["value"] == 1.0
+        assert not telemetry["last_evaluation"]["budget_burned"]
+
+    def test_strict_exits_1_on_burned_budget(self, tmp_path, model,
+                                             model_file, monkeypatch,
+                                             capsys):
+        from repro.resil import faults
+
+        _, X = model
+        requests = _write_requests(tmp_path, X[:8])
+        out = tmp_path / "responses.jsonl"
+        events = tmp_path / "events.jsonl"
+        # Every predict attempt faults: all requests fail, the
+        # availability budget burns, --strict must report it.
+        monkeypatch.setenv(faults.FAULTS_ENV, "serve.predict:1.0")
+        code = main(["serve", "--model", str(model_file), "--strict",
+                     "--input", str(requests), "--output", str(out),
+                     "--events-out", str(events)])
+        assert code == 1
+        summary = capsys.readouterr().err
+        assert "budget BURNED" in summary
+        assert len(_responses(out)) == 8  # every request still answered
+        kinds = [json.loads(l)["event"]
+                 for l in events.read_text().splitlines()]
+        assert "slo_alert" in kinds
+
+    def test_obs_report_renders_snapshot(self, tmp_path, model,
+                                         model_file, capsys):
+        _, X = model
+        requests = _write_requests(tmp_path, X[:10])
+        out = tmp_path / "responses.jsonl"
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "events.jsonl"
+        assert main(["serve", "--model", str(model_file),
+                     "--input", str(requests), "--output", str(out),
+                     "--metrics-out", str(metrics),
+                     "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--metrics", str(metrics),
+                     "--events", str(events)]) == 0
+        report = capsys.readouterr().out
+        assert "telemetry report (serve)" in report
+        assert "serve.request_latency_s" in report
+        assert "serve.latency_p99" in report
+        assert "error budget: within budget" in report
+
+    def test_obs_report_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "report",
+                     "--metrics", str(tmp_path / "no.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_responses_carry_trace_ids(self, tmp_path, model, model_file):
+        _, X = model
+        requests = _write_requests(
+            tmp_path, X[:3],
+            extra_lines=[json.dumps({
+                "id": 99, "trace": "client-abc",
+                "features": list(map(float, X[0])),
+            })],
+        )
+        out = tmp_path / "responses.jsonl"
+        assert main(["serve", "--model", str(model_file),
+                     "--input", str(requests),
+                     "--output", str(out)]) == 0
+        responses = _responses(out)
+        assert all(r.get("trace") for r in responses)
+        assert responses[3]["trace"] == "client-abc"

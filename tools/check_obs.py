@@ -6,6 +6,17 @@ or ``time.time()`` -- the hand-rolled stopwatch/diagnostic patterns the
 observability subsystem replaces.  ``time.perf_counter()`` is fine (it
 is what the obs API itself uses for spans and fit telemetry).
 
+Two scoped rules on top (docs/observability.md):
+
+* windowed-telemetry code (``obs/telemetry/``) may not read the clock
+  directly -- no ``time.time()`` / ``time.monotonic()`` /
+  ``time.perf_counter()`` outside ``obs/telemetry/clock.py``, the one
+  sanctioned clock abstraction (everything else takes an injectable
+  ``clock`` so window rollover is testable without sleeping);
+* serve-path structured log calls (``serve/``: ``*.debug/info/warning/
+  error(...)`` on a logger-named receiver) must carry a ``trace_id``
+  keyword so every serve log line is attributable to a request.
+
 Allowlisted: ``viz/`` (figure code legitimately prints/draws) and
 ``cli.py`` (the user-facing surface prints its results by design).
 
@@ -25,35 +36,77 @@ SRC_ROOT = REPO_ROOT / "src" / "repro"
 #: Paths (relative to src/repro, posix) exempt from the diagnostics lint.
 ALLOWLIST = ("viz/", "cli.py")
 
+#: The one telemetry module allowed to read the wall/monotonic clock.
+TELEMETRY_PREFIX = "obs/telemetry/"
+CLOCK_MODULE = "obs/telemetry/clock.py"
+
+#: Structured-log method names whose serve-path calls need trace_id.
+LOG_METHODS = frozenset({"debug", "info", "warning", "error"})
+SERVE_PREFIX = "serve/"
+
 
 def _is_print_call(node: ast.Call) -> bool:
     return isinstance(node.func, ast.Name) and node.func.id == "print"
 
 
-def _is_time_time_call(node: ast.Call) -> bool:
+def _time_attr(node: ast.Call) -> str | None:
+    """The attribute name of a ``time.<attr>()`` call, else None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return func.attr
+    return None
+
+
+def _is_logger_call(node: ast.Call) -> bool:
+    """``<logger-ish>.debug/info/warning/error(...)`` calls."""
     func = node.func
     return (
         isinstance(func, ast.Attribute)
-        and func.attr == "time"
+        and func.attr in LOG_METHODS
         and isinstance(func.value, ast.Name)
-        and func.value.id == "time"
+        and "log" in func.value.id.lower()
     )
 
 
-def file_violations(path: pathlib.Path) -> list[tuple[int, str]]:
-    """(line, message) pairs for one source file."""
+def file_violations(
+    path: pathlib.Path, rel: str = ""
+) -> list[tuple[int, str]]:
+    """(line, message) pairs for one source file.
+
+    ``rel`` is the path relative to ``src/repro`` (posix); it scopes the
+    telemetry-clock and serve-path trace-ID rules.
+    """
     tree = ast.parse(path.read_text(), filename=str(path))
+    in_telemetry = (rel.startswith(TELEMETRY_PREFIX)
+                    and rel != CLOCK_MODULE)
+    in_serve = rel.startswith(SERVE_PREFIX)
     out: list[tuple[int, str]] = []
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
+        time_attr = _time_attr(node)
         if _is_print_call(node):
             out.append((node.lineno,
                         "bare print(); use repro.obs.get_logger() instead"))
-        elif _is_time_time_call(node):
+        elif time_attr == "time":
             out.append((node.lineno,
                         "time.time(); use repro.obs spans/histograms "
                         "(or time.perf_counter) instead"))
+        elif in_telemetry and time_attr in ("monotonic", "perf_counter"):
+            out.append((node.lineno,
+                        f"time.{time_attr}() in windowed-telemetry code; "
+                        "only obs/telemetry/clock.py may read the clock -- "
+                        "take an injectable clock instead"))
+        elif in_serve and _is_logger_call(node) and not any(
+            kw.arg == "trace_id" for kw in node.keywords
+        ):
+            out.append((node.lineno,
+                        "serve-path log record without trace_id=...; "
+                        "every serve log line must name its request"))
     return out
 
 
@@ -64,7 +117,7 @@ def check(root: pathlib.Path = SRC_ROOT) -> list[str]:
         rel = path.relative_to(root).as_posix()
         if any(rel == entry or rel.startswith(entry) for entry in ALLOWLIST):
             continue
-        for lineno, message in file_violations(path):
+        for lineno, message in file_violations(path, rel):
             violations.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: "
                               f"{message}")
     return violations
