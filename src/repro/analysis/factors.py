@@ -21,7 +21,7 @@ from repro.analysis.stats import (
     fraction_normal,
     group_by_cell,
 )
-from repro.core.features import FeatureExtractor
+from repro import fstore
 from repro.datasets.frame import Table
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.knn import KNNRegressor
@@ -142,12 +142,11 @@ def analyze_factors(
     table: Table, area: str, seed: int = 0
 ) -> FactorAnalysis:
     """Produce the two Table-4/10 rows for an area dataset."""
-    extractor = FeatureExtractor()
-    y = extractor.target(table)
+    y = fstore.target(table)
 
     # Row 1: geolocation only.
     cv_m, cv_s, frac_norm = _cell_cv_stats(table, by_direction=False)
-    X_loc = extractor.extract(table, "L").X
+    X_loc = fstore.extract(table, "L").X
     knn_mae_, knn_rmse_, rf_mae_, rf_rmse_ = _simple_models_errors(
         X_loc, y, seed
     )
@@ -165,9 +164,9 @@ def analyze_factors(
         np.asarray(table["ue_panel_distance_m"], dtype=float)
     ).mean() > 0.5)
     X_mob = np.column_stack([
-        extractor.extract(table, "L").X,
-        extractor.extract(table, "M").X,
-    ] + ([extractor.extract(table, "T").X] if has_survey else []))
+        fstore.extract(table, "L").X,
+        fstore.extract(table, "M").X,
+    ] + ([fstore.extract(table, "T").X] if has_survey else []))
     cv_m2, cv_s2, frac_norm2 = _cell_cv_stats(table, by_direction=True)
     knn_mae2, knn_rmse2, rf_mae2, rf_rmse2 = _simple_models_errors(
         X_mob, y, seed

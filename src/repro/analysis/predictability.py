@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.features import FeatureExtractor
+from repro import fstore
 from repro.datasets.frame import Table
 from repro.ml.gbdt import GBDTRegressor
 from repro.ml.preprocessing import train_test_split
@@ -68,11 +68,10 @@ def predictability_ladder(
     """
     if not specs:
         raise ValueError("need at least one spec")
-    extractor = FeatureExtractor()
-    y = extractor.target(table)
+    y = fstore.target(table)
     r2s: dict[str, float] = {}
     for spec in specs:
-        X = extractor.extract(table, spec).X
+        X = fstore.extract(table, spec).X
         X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3,
                                                   rng=seed)
         model = GBDTRegressor(n_estimators=n_estimators, max_depth=6,

@@ -136,11 +136,24 @@ def cmd_serve(args) -> int:
         if args.model:
             with open(args.model) as f:
                 model = model_from_json(f.read())
+            if args.expect_view:
+                stamp = getattr(model, "feature_view_", None) or {}
+                actual = stamp.get("fingerprint")
+                if actual != args.expect_view:
+                    raise RegistryError(
+                        f"model {args.model} was published against "
+                        f"feature-view fingerprint {actual}, expected "
+                        f"{args.expect_view}"
+                    )
         else:
             # Resilient load: retries flaky reads, quarantines corrupt
             # version files and falls back to the newest good version.
+            # --expect-view makes the registry verify the model's
+            # feature-view stamp (FeatureViewMismatch is a
+            # RegistryError: exit 1 below).
             model = ModelRegistry(args.registry).load_resilient(
-                args.name, args.model_version
+                args.name, args.model_version,
+                expect_view=args.expect_view or None,
             )
     except FileNotFoundError:
         print(f"serve: model file not found: {args.model}", file=sys.stderr)
@@ -308,6 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
     src.add_argument("--name", help="registry model name")
     src.add_argument("--model-version", type=int, default=None, metavar="N",
                      help="registry version (default: latest)")
+    src.add_argument("--expect-view", default=None, metavar="FINGERPRINT",
+                     help="require the model's feature-view fingerprint "
+                          "(repro.fstore) to match; mismatch refuses to "
+                          "serve (exit 1)")
     p_serve.add_argument("--input", default="-", metavar="FILE",
                          help="JSONL request file (default: stdin)")
     p_serve.add_argument("--output", default="-", metavar="FILE",

@@ -1,4 +1,4 @@
-"""Feature groups and their composition (Table 6).
+"""Feature groups and their composition (Table 6) -- the training facade.
 
 Lumos5G's central design idea is *composability*: features are organized
 into primary groups that can be combined per use case --
@@ -11,48 +11,42 @@ into primary groups that can be combined per use case --
   (radio type, LTE and 5G signal strength, handoff flags);
 
 and the paper's evaluated combinations **L+M**, **T+M**, **L+M+C**,
-**T+M+C**.  :class:`FeatureExtractor` materializes any combination from a
-cleaned dataset table; circular quantities (compass, angles) are encoded
-as sin/cos pairs.
+**T+M+C**.
+
+The *definitions* live in the feature store (:mod:`repro.fstore`,
+docs/feature_store.md) as declarative, versioned feature views with
+content-addressed fingerprints, executed identically offline (batch
+materialization) and online (single-row serving).
+:class:`FeatureExtractor` is the thin training-side facade over those
+views, kept for its established API; new code should consume
+``repro.fstore`` directly -- ``tools/check_fstore.py`` keeps further
+``FeatureExtractor`` use out of the library so the store stays the
+single source of feature truth.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro import obs
 from repro.datasets.frame import Table
-from repro.ml.preprocessing import cyclic_encode
-from repro.radio.signal import UNAVAILABLE
+from repro.fstore.ops import lag_within_runs
+from repro.fstore.views import (
+    COMBINATIONS,
+    FeatureMatrix,
+    GROUP_MEMBERS,
+    PRIMARY_GROUPS,
+    combination_view,
+    parse_combination,
+    target as _target,
+)
 
-PRIMARY_GROUPS = ("L", "M", "T", "C")
-COMBINATIONS = ("L", "L+M", "T+M", "L+M+C", "T+M+C")
-
-#: Table-6 membership, used by tests and documentation.
-GROUP_MEMBERS = {
-    "L": ["pixel_x", "pixel_y"],
-    "M": ["moving_speed", "compass_direction"],
-    "T": ["ue_panel_distance", "positional_angle", "mobility_angle"],
-    "C": ["past_throughput", "radio_type", "lte_signal", "nr_signal",
-          "horizontal_handoff", "vertical_handoff"],
-}
-
-
-def parse_combination(spec: str) -> list[str]:
-    """'L+M+C' -> ['L', 'M', 'C'], validating group names."""
-    groups = [g.strip() for g in spec.split("+") if g.strip()]
-    if not groups:
-        raise ValueError("empty feature-group specification")
-    for g in groups:
-        if g not in PRIMARY_GROUPS:
-            raise ValueError(
-                f"unknown feature group {g!r}; expected one of {PRIMARY_GROUPS}"
-            )
-    if len(set(groups)) != len(groups):
-        raise ValueError(f"duplicate groups in {spec!r}")
-    return groups
+__all__ = [
+    "COMBINATIONS",
+    "FeatureExtractor",
+    "FeatureMatrix",
+    "GROUP_MEMBERS",
+    "PRIMARY_GROUPS",
+    "parse_combination",
+    "requires_panel_survey",
+]
 
 
 def requires_panel_survey(spec: str) -> bool:
@@ -60,21 +54,12 @@ def requires_panel_survey(spec: str) -> bool:
     return "T" in parse_combination(spec)
 
 
-@dataclass(frozen=True)
-class FeatureMatrix:
-    """A named feature matrix; names align with matrix columns."""
-
-    spec: str
-    names: tuple[str, ...]
-    X: np.ndarray
-
-    def __post_init__(self) -> None:
-        if self.X.ndim != 2 or self.X.shape[1] != len(self.names):
-            raise ValueError("column names / matrix width mismatch")
-
-
 class FeatureExtractor:
     """Materialize feature-group combinations from a cleaned table.
+
+    A facade over :func:`repro.fstore.combination_view`: the same view
+    definitions (and therefore bit-identical values) that the offline
+    materializer and the online serving path execute.
 
     Parameters
     ----------
@@ -89,96 +74,22 @@ class FeatureExtractor:
             raise ValueError("need at least one throughput lag")
         self.past_throughput_lags = past_throughput_lags
 
-    # -- per-group column builders ----------------------------------------- #
-
-    def _location(self, t: Table) -> tuple[list[str], list[np.ndarray]]:
-        return (
-            ["pixel_x", "pixel_y"],
-            [np.asarray(t["pixel_x"], dtype=float),
-             np.asarray(t["pixel_y"], dtype=float)],
-        )
-
-    def _mobility(self, t: Table) -> tuple[list[str], list[np.ndarray]]:
-        sc = cyclic_encode(t["compass_direction_deg"])
-        return (
-            ["moving_speed", "compass_sin", "compass_cos"],
-            [np.asarray(t["moving_speed_mps"], dtype=float),
-             sc[:, 0], sc[:, 1]],
-        )
-
-    def _tower(self, t: Table) -> tuple[list[str], list[np.ndarray]]:
-        theta_m = cyclic_encode(t["mobility_angle_deg"])
-        return (
-            ["ue_panel_distance", "positional_angle",
-             "mobility_angle_sin", "mobility_angle_cos"],
-            [np.asarray(t["ue_panel_distance_m"], dtype=float),
-             np.asarray(t["positional_angle_deg"], dtype=float),
-             theta_m[:, 0], theta_m[:, 1]],
-        )
-
-    def _connection(self, t: Table) -> tuple[list[str], list[np.ndarray]]:
-        names: list[str] = []
-        cols: list[np.ndarray] = []
-        tput = np.asarray(t["throughput_mbps"], dtype=float)
-        run_ids = np.asarray(t["run_id"])
-        for lag in range(1, self.past_throughput_lags + 1):
-            names.append(f"past_throughput_{lag}")
-            cols.append(_lag_within_runs(tput, run_ids, lag))
-        names.append("radio_type_is_5g")
-        cols.append(np.asarray(
-            [1.0 if v == "5G" else 0.0 for v in t["radio_type"]]
-        ))
-        for col in ("lte_rsrp", "lte_rsrq", "lte_rssi",
-                    "nr_ss_rsrp", "nr_ss_rsrq", "nr_ss_rssi"):
-            names.append(col)
-            raw = np.asarray(t[col], dtype=float)
-            # Android's "unavailable" sentinel becomes NaN (missing).
-            cols.append(np.where(raw <= UNAVAILABLE + 1.0, np.nan, raw))
-        for col in ("horizontal_handoff", "vertical_handoff"):
-            names.append(col)
-            cols.append(np.asarray(t[col], dtype=float))
-        return names, cols
-
-    # -- public API ---------------------------------------------------------- #
+    def view(self, spec: str):
+        """The :class:`repro.fstore.FeatureView` behind a combination."""
+        return combination_view(spec, self.past_throughput_lags)
 
     def extract(self, table: Table, spec: str) -> FeatureMatrix:
         """Build the feature matrix for a combination like ``"T+M+C"``."""
-        builders = {
-            "L": self._location,
-            "M": self._mobility,
-            "T": self._tower,
-            "C": self._connection,
-        }
-        with obs.span("features.extract", spec=spec, rows=len(table)):
-            names: list[str] = []
-            cols: list[np.ndarray] = []
-            for group in parse_combination(spec):
-                n, c = builders[group](table)
-                names.extend(n)
-                cols.extend(c)
-            X = np.column_stack(cols) if cols else np.empty((len(table), 0))
-        obs.inc("features.extractions_total")
-        obs.inc("features.rows_total", len(table))
-        return FeatureMatrix(spec=spec, names=tuple(names), X=X)
+        from repro import fstore
 
-    def target(self, table: Table) -> np.ndarray:
+        return fstore.extract(table, spec, self.past_throughput_lags)
+
+    def target(self, table: Table):
         """The regression target: current-second throughput in Mbps."""
-        return np.asarray(table["throughput_mbps"], dtype=float)
+        return _target(table)
 
 
-def _lag_within_runs(
-    values: np.ndarray, run_ids: np.ndarray, lag: int
-) -> np.ndarray:
-    """Shift ``values`` by ``lag`` without crossing run boundaries.
-
-    Rows whose lag would cross into the previous run repeat the first
-    value of their own run (no future leakage, no NaN).
-    """
-    out = np.empty_like(values)
-    for run in np.unique(run_ids):
-        mask = run_ids == run
-        v = values[mask]
-        shifted = np.concatenate([np.repeat(v[0], min(lag, len(v))),
-                                  v[:-lag] if lag < len(v) else v[:0]])
-        out[mask] = shifted[:len(v)]
-    return out
+#: Kept under its historical name for existing callers/tests; the
+#: canonical implementation is :func:`repro.fstore.ops.lag_within_runs`.
+def _lag_within_runs(values, run_ids, lag):
+    return lag_within_runs(values, run_ids, lag=lag)

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.features import FeatureExtractor
+from repro import fstore
 from repro.datasets.frame import Table
 from repro.ml.gbdt import GBDTRegressor
 from repro.ml.preprocessing import cyclic_encode
@@ -84,7 +84,7 @@ class ThroughputMapBundle:
 
         model = None
         if train_model:
-            fm = FeatureExtractor().extract(table, "L+M")
+            fm = fstore.extract(table, "L+M")
             model = GBDTRegressor(
                 n_estimators=n_estimators, max_depth=6, learning_rate=0.1,
                 random_state=seed,

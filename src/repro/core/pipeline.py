@@ -16,10 +16,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import obs
+from repro import fstore, obs
 from repro.core.features import (
     COMBINATIONS,
-    FeatureExtractor,
     parse_combination,
     requires_panel_survey,
 )
@@ -139,9 +138,6 @@ class Lumos5G:
         self.config = config or ModelConfig()
         self.classes = classes or DEFAULT_CLASSES
         self.seed = seed
-        self.extractor = FeatureExtractor(
-            past_throughput_lags=self.config.past_throughput_lags
-        )
         self._matrix_cache: dict[tuple[str, str], tuple] = {}
 
     # ------------------------------------------------------------------ #
@@ -181,13 +177,24 @@ class Lumos5G:
                                           dtype=float))
         return np.ones(len(t), dtype=bool)
 
+    def feature_view(self, spec: str) -> fstore.FeatureView:
+        """The feature-store view this framework trains/serves ``spec`` with.
+
+        One definition for every consumer: :meth:`design` materializes
+        it offline, :meth:`publish` stamps its fingerprint into the
+        model, and the serving stack executes the same view online.
+        """
+        return fstore.combination_view(
+            spec, self.config.past_throughput_lags
+        )
+
     def design(self, area: str, spec: str):
         """(X, y, run_ids, feature_names) for an area/feature-group pair."""
         key = (area, spec)
         if key not in self._matrix_cache:
             t = self.table(area).filter(self._rows_for_spec(area, spec))
-            fm = self.extractor.extract(t, spec)
-            y = self.extractor.target(t)
+            fm = fstore.extract(t, spec, self.config.past_throughput_lags)
+            y = fstore.target(t)
             run_ids = np.asarray(t["run_id"])
             self._matrix_cache[key] = (fm.X, y, run_ids, fm.names)
         return self._matrix_cache[key]
@@ -463,6 +470,13 @@ class Lumos5G:
         stream (``drift_baseline_``; serialized with the model) rides
         along so the serving telemetry plane can watch live predictions
         for distribution shift (docs/observability.md).
+
+        The feature-store view the model was trained on is stamped into
+        the payload too (``feature_view_``, including its
+        content-addressed fingerprint; docs/feature_store.md): the
+        registry refuses to serve the model against a different feature
+        version, and the serving stack rebuilds the online transformer
+        straight from the stamp.
         """
         from repro.obs.telemetry import attach_baseline
 
@@ -483,6 +497,7 @@ class Lumos5G:
                 "'classification'"
             )
         attach_baseline(est, train_preds)
+        fstore.attach_view(est, self.feature_view(spec))
         if name is None:
             name = "-".join(
                 part.lower().replace("+", "")

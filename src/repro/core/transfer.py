@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.features import FeatureExtractor
+from repro import fstore
 from repro.core.labels import DEFAULT_CLASSES, ThroughputClasses
 from repro.datasets.frame import Table
 from repro.ml.gbdt import GBDTClassifier
@@ -50,12 +50,11 @@ def cross_panel_transfer(
     spec: str = "T+M",
     near_distance_m: float = 25.0,
     classes: ThroughputClasses | None = None,
-    extractor: FeatureExtractor | None = None,
+    past_throughput_lags: int = 5,
     gdbt_kwargs: dict | None = None,
 ) -> TransferResult:
     """Train a classifier on one panel's samples, test on another's."""
     classes = classes or DEFAULT_CLASSES
-    extractor = extractor or FeatureExtractor()
     train_t = panel_slice(table, train_panel)
     test_t = panel_slice(table, test_panel)
     if len(train_t) < 50 or len(test_t) < 50:
@@ -63,10 +62,10 @@ def cross_panel_transfer(
             f"too few samples (train={len(train_t)}, test={len(test_t)}) "
             "for a transfer experiment"
         )
-    X_train = extractor.extract(train_t, spec).X
-    y_train = classes.classify(extractor.target(train_t))
-    X_test = extractor.extract(test_t, spec).X
-    y_test = classes.classify(extractor.target(test_t))
+    X_train = fstore.extract(train_t, spec, past_throughput_lags).X
+    y_train = classes.classify(fstore.target(train_t))
+    X_test = fstore.extract(test_t, spec, past_throughput_lags).X
+    y_test = classes.classify(fstore.target(test_t))
 
     kwargs = {"n_estimators": 120, "max_depth": 5, "learning_rate": 0.1}
     kwargs.update(gdbt_kwargs or {})

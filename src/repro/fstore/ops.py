@@ -1,0 +1,197 @@
+"""The pure transform ops feature views are built from.
+
+Every op is **stateless and deterministic**: its output is a pure
+function of its input column(s) and parameters.  That is the property
+the feature store's parity guarantee rests on -- the offline batch
+materializer and the online single-row path both execute *the same op
+implementations* (`Op.batch`), offline on full columns and online on
+length-1 arrays, so the float64 outputs are bit-identical by
+construction (and proven so by ``tests/fstore/``).
+
+Two op kinds exist:
+
+* **rowwise** -- each output row depends only on its own input row
+  (cast, cyclic sin/cos, sentinel-NaN, equality flag).  These are
+  chunk-safe: applying them to any row slice yields the same values as
+  applying them to the whole column.
+* **windowed** -- the output row looks back along its *run* (the
+  past-throughput lag).  Offline these consume the full column plus run
+  ids; online the request row supplies its own history (the
+  ``past_throughput`` list, most recent first).
+
+Adding an op: implement it here, register it in :data:`OPS`, and bump
+the version of every view that starts using it -- the view fingerprint
+(:meth:`repro.fstore.views.FeatureView.fingerprint`) covers op names
+and parameters, so the golden-fingerprint tests fail loudly if a
+definition changes silently.
+
+This module is part of the **online path**: it must never import
+``repro.datasets`` (``tools/check_fstore.py`` enforces that).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.preprocessing import cyclic_encode
+from repro.radio.signal import UNAVAILABLE
+
+__all__ = [
+    "OPS",
+    "Op",
+    "PAST_THROUGHPUT_FIELD",
+    "lag_within_runs",
+    "sentinel_threshold",
+]
+
+#: Online request-row field carrying the previous within-run throughput
+#: samples, **most recent first** (``[t-1, t-2, ...]``).  The offline lag
+#: op repeats a run's first sample for rows near the run head; an online
+#: row with a short (or empty) history falls back the same way -- to the
+#: oldest supplied sample, then to the row's own current throughput.
+PAST_THROUGHPUT_FIELD = "past_throughput"
+
+
+def sentinel_threshold() -> float:
+    """Raw signal readings at/below this are Android's "unavailable"."""
+    return UNAVAILABLE + 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Batch kernels (shared by both execution modes)
+# --------------------------------------------------------------------------- #
+
+
+def _as_float(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+def _cast(values: np.ndarray) -> np.ndarray:
+    """Plain float64 cast -- the identity feature."""
+    return _as_float(values)
+
+
+def _cyclic_sin(values: np.ndarray) -> np.ndarray:
+    return cyclic_encode(values)[:, 0]
+
+
+def _cyclic_cos(values: np.ndarray) -> np.ndarray:
+    return cyclic_encode(values)[:, 1]
+
+
+def _sentinel_nan(values: np.ndarray, *, threshold: float) -> np.ndarray:
+    """Map "unavailable"-sentinel readings to NaN (a missing value)."""
+    raw = _as_float(values)
+    return np.where(raw <= threshold, np.nan, raw)
+
+
+def _flag_equals(values: np.ndarray, *, value: str) -> np.ndarray:
+    """1.0 where the (string) column equals ``value``, else 0.0."""
+    return (np.asarray(values) == value).astype(np.float64)
+
+
+def lag_within_runs(
+    values: np.ndarray, run_ids: np.ndarray, *, lag: int
+) -> np.ndarray:
+    """Shift ``values`` by ``lag`` rows without crossing run boundaries.
+
+    Rows whose lag would cross into the previous run repeat the first
+    value of their own run (no future leakage, no NaN) -- the paper's
+    past-throughput semantics, shared verbatim with the old
+    ``core.features`` implementation.
+    """
+    values = _as_float(values)
+    run_ids = np.asarray(run_ids)
+    out = np.empty_like(values)
+    for run in np.unique(run_ids):
+        mask = run_ids == run
+        v = values[mask]
+        shifted = np.concatenate([np.repeat(v[0], min(lag, len(v))),
+                                  v[:-lag] if lag < len(v) else v[:0]])
+        out[mask] = shifted[:len(v)]
+    return out
+
+
+def _lag_online(row: Mapping, source: str, *, lag: int) -> float:
+    """Online equivalent of :func:`lag_within_runs` for one row.
+
+    With the row's full within-run history supplied (``past_throughput``
+    = every previous sample, most recent first) this is exactly the
+    offline value: ``history[lag-1]`` when the run is old enough, else
+    the run's first sample (the oldest history entry, or the current
+    value for a run's very first row).
+    """
+    history = row.get(PAST_THROUGHPUT_FIELD) or ()
+    if not isinstance(history, (Sequence, np.ndarray)) or isinstance(
+        history, (str, bytes)
+    ):
+        raise TypeError(
+            f"{PAST_THROUGHPUT_FIELD!r} must be a sequence of floats "
+            "(most recent first)"
+        )
+    if len(history) >= lag:
+        return float(history[lag - 1])
+    if len(history):
+        return float(history[-1])
+    return float(row[source])
+
+
+# --------------------------------------------------------------------------- #
+# The registry
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Op:
+    """One registered transform.
+
+    ``batch`` maps input column(s) to one float64 output column and is
+    used by *both* execution modes; ``windowed`` marks ops whose batch
+    form needs the run-id column and whose online form reads history
+    fields off the request row.
+    """
+
+    name: str
+    batch: callable
+    windowed: bool = False
+    online: callable | None = None
+
+    def apply_batch(self, columns: Sequence[np.ndarray],
+                    params: Mapping) -> np.ndarray:
+        if self.windowed:
+            values, run_ids = columns
+            return self.batch(values, run_ids, **params)
+        (values,) = columns
+        return self.batch(values, **params)
+
+    def apply_row(self, row: Mapping, source: Sequence[str],
+                  params: Mapping) -> float:
+        """One row -> one float64 value, bit-identical to apply_batch.
+
+        Rowwise ops route the scalar through the *same* batch kernel on
+        a length-1 array, so any numpy behavior (NaN handling, sentinel
+        comparison, trig) is shared rather than re-implemented.
+        """
+        if self.windowed:
+            return self.online(row, source[0], **params)
+        value = row[source[0]]
+        cell = np.asarray([value]) if not isinstance(value, str) \
+            else np.asarray([value], dtype=object)
+        return float(self.batch(cell, **params)[0])
+
+
+#: Every op a view definition may reference.
+OPS: dict[str, Op] = {
+    op.name: op
+    for op in (
+        Op("cast", _cast),
+        Op("cyclic_sin", _cyclic_sin),
+        Op("cyclic_cos", _cyclic_cos),
+        Op("sentinel_nan", _sentinel_nan),
+        Op("flag_equals", _flag_equals),
+        Op("lag", lag_within_runs, windowed=True, online=_lag_online),
+    )
+}

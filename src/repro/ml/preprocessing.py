@@ -117,10 +117,19 @@ def cyclic_encode(angles_deg) -> np.ndarray:
     """Map angles in degrees to (sin, cos) columns.
 
     Compass direction and the two UE-panel angles are circular quantities;
-    feeding raw degrees makes 0 and 360 maximally distant.  NaN angles
-    (e.g. Loop T-features) propagate as NaN in both columns.
+    feeding raw degrees makes 0 and 360 maximally distant.  Angles are
+    normalized mod 360 first so coterminal inputs (0 and 360, -90 and
+    270) encode to bit-identical pairs -- in particular exactly
+    ``(0.0, 1.0)`` at 0/360 deg, where the raw ``sin(radians(360.0))``
+    would be ~-2.45e-16.  Inputs already in [0, 360) pass through the
+    ``mod`` untouched, so encodings of in-range data are unchanged.  NaN
+    angles (e.g. Loop T-features) propagate as NaN in both columns.
     """
-    a = np.radians(np.asarray(angles_deg, dtype=float))
+    a = np.mod(np.asarray(angles_deg, dtype=float), 360.0)
+    # mod of a tiny negative (-1e-69) rounds up to exactly 360.0; fold it
+    # back so the residue really lives in [0, 360).
+    a = np.where(a == 360.0, 0.0, a)
+    a = np.radians(a)
     return np.column_stack([np.sin(a), np.cos(a)])
 
 
@@ -180,6 +189,24 @@ class PredictionPipeline:
 
     def predict(self, X) -> np.ndarray:
         return self.model.predict(self._transform(X))
+
+    def predict_row(self, row) -> float:
+        """Predict from one raw telemetry row (a plain dict).
+
+        Requires a feature-view stamp (``repro.fstore.attach_view``,
+        applied by ``Lumos5G.publish``) so the pipeline knows which
+        features to compute; the online path never allocates a table.
+        """
+        from repro import fstore
+
+        view = fstore.view_of(self)
+        if view is None:
+            raise RuntimeError(
+                "pipeline has no feature_view_ stamp; publish it through "
+                "repro.fstore.attach_view to enable row predictions"
+            )
+        x = fstore.view_from_dict(view["view"]).transform_row(row)
+        return float(self.predict(x[None, :])[0])
 
     def predict_proba(self, X) -> np.ndarray:
         return self.model.predict_proba(self._transform(X))

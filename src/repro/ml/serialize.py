@@ -117,6 +117,12 @@ def gbdt_to_dict(model: GBDTRegressor | GBDTClassifier) -> dict:
         # Frozen training-time prediction statistics; the serving drift
         # monitor compares its live window against these.
         out["drift_baseline"] = dict(baseline)
+    view = getattr(model, "feature_view_", None)
+    if view is not None:
+        # The feature-view stamp (repro.fstore.attach_view): which view,
+        # version and fingerprint the model was trained against, so the
+        # registry can reject a model/feature-version mismatch at load.
+        out["feature_view"] = dict(view)
     return out
 
 
@@ -142,6 +148,8 @@ def gbdt_from_dict(data: dict) -> GBDTRegressor | GBDTClassifier:
         model.fit_telemetry_ = dict(data["telemetry"])
     if "drift_baseline" in data:
         model.drift_baseline_ = dict(data["drift_baseline"])
+    if "feature_view" in data:
+        model.feature_view_ = dict(data["feature_view"])
     return model
 
 
@@ -187,6 +195,9 @@ def forest_to_dict(
     baseline = getattr(model, "drift_baseline_", None)
     if baseline is not None:
         out["drift_baseline"] = dict(baseline)
+    view = getattr(model, "feature_view_", None)
+    if view is not None:
+        out["feature_view"] = dict(view)
     return out
 
 
@@ -212,6 +223,8 @@ def forest_from_dict(
         model.fit_telemetry_ = dict(data["telemetry"])
     if "drift_baseline" in data:
         model.drift_baseline_ = dict(data["drift_baseline"])
+    if "feature_view" in data:
+        model.feature_view_ = dict(data["feature_view"])
     return model
 
 
@@ -243,13 +256,17 @@ def scaler_from_dict(data: dict) -> StandardScaler:
 
 
 def pipeline_to_dict(pipeline: PredictionPipeline) -> dict:
-    return {
+    out = {
         "format_version": FORMAT_VERSION,
         "kind": "pipeline",
         "scaler": (scaler_to_dict(pipeline.scaler)
                    if pipeline.scaler is not None else None),
         "model": model_to_dict(pipeline.model),
     }
+    view = getattr(pipeline, "feature_view_", None)
+    if view is not None:
+        out["feature_view"] = dict(view)
+    return out
 
 
 def pipeline_from_dict(data: dict) -> PredictionPipeline:
@@ -259,7 +276,11 @@ def pipeline_from_dict(data: dict) -> PredictionPipeline:
         )
     scaler = (scaler_from_dict(data["scaler"])
               if data.get("scaler") is not None else None)
-    return PredictionPipeline(model_from_dict(data["model"]), scaler=scaler)
+    pipeline = PredictionPipeline(model_from_dict(data["model"]),
+                                  scaler=scaler)
+    if "feature_view" in data:
+        pipeline.feature_view_ = dict(data["feature_view"])
+    return pipeline
 
 
 # --------------------------------------------------------------------------- #

@@ -118,6 +118,13 @@ class NpzCache:
         try:
             with open(tmp, "wb") as f:
                 np.savez(f, **arrays)
+                # Flush user- and kernel-space buffers before the rename:
+                # os.replace only makes the *name* durable, so without the
+                # fsync a crash shortly after could leave a fully renamed
+                # shard with truncated contents -- the one corruption
+                # load() would have to detect on every future hit.
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, target)
         finally:
             tmp.unlink(missing_ok=True)

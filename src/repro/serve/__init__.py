@@ -25,6 +25,7 @@ from repro.serve.batcher import BatchPredictor
 from repro.serve.cache import PredictionCache
 from repro.serve.registry import (
     CORRUPT_SUFFIX,
+    FeatureViewMismatch,
     ModelNotFound,
     ModelRegistry,
     RegistryError,
@@ -34,6 +35,7 @@ from repro.serve.service import InferenceService, ServeConfig, ServeStats
 __all__ = [
     "BatchPredictor",
     "CORRUPT_SUFFIX",
+    "FeatureViewMismatch",
     "InferenceService",
     "ModelNotFound",
     "ModelRegistry",

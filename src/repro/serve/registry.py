@@ -79,6 +79,44 @@ class RegistryError(RuntimeError):
         self.path = pathlib.Path(path) if path is not None else None
 
 
+class FeatureViewMismatch(RegistryError):
+    """The loaded model's feature-view stamp is not the expected one.
+
+    Raised by :meth:`ModelRegistry.load` / ``load_resilient`` when
+    ``expect_view`` is given and the model was published against a
+    different (or no) feature view: serving it would feed features the
+    model never saw.  Unlike payload corruption this is a deployment
+    error -- the file is *not* quarantined and no older version is
+    tried, because every version under the name is suspect.
+    """
+
+    def __init__(self, message: str, *, expected: str | None = None,
+                 actual: str | None = None,
+                 path: str | os.PathLike | None = None):
+        super().__init__(message, path=path)
+        self.expected = expected
+        self.actual = actual
+
+
+def _expected_fingerprint(expect_view) -> str:
+    """Normalize ``expect_view`` to a fingerprint hex string.
+
+    Accepts a raw fingerprint string, a ``repro.fstore.FeatureView``,
+    or an ``attach_view``-style stamp dict with a ``"fingerprint"`` key.
+    """
+    if isinstance(expect_view, str):
+        return expect_view
+    fp = getattr(expect_view, "fingerprint", None)
+    if callable(fp):
+        return fp()
+    if isinstance(expect_view, dict) and "fingerprint" in expect_view:
+        return str(expect_view["fingerprint"])
+    raise TypeError(
+        "expect_view must be a fingerprint string, a FeatureView or a "
+        f"feature_view_ stamp dict; got {type(expect_view).__name__}"
+    )
+
+
 class ModelRegistry:
     """Load/save versioned models under one root directory."""
 
@@ -169,8 +207,37 @@ class ModelRegistry:
         obs.inc("serve.registry.saves_total")
         return int(version)
 
-    def load(self, name: str, version: int | None = None):
-        """Deserialize a model (latest version when unspecified)."""
+    def _check_view(self, model, expect_view, name: str, version: int):
+        """Raise :class:`FeatureViewMismatch` unless the stamp matches."""
+        if expect_view is None:
+            return
+        expected = _expected_fingerprint(expect_view)
+        stamp = getattr(model, "feature_view_", None)
+        actual = stamp.get("fingerprint") if isinstance(stamp, dict) else None
+        if actual == expected:
+            return
+        obs.inc("serve.registry.view_mismatches_total")
+        described = (f"feature view {stamp.get('name')!r} "
+                     f"(version {stamp.get('version')!r}, "
+                     f"fingerprint {actual})"
+                     if isinstance(stamp, dict) else "no feature-view stamp")
+        raise FeatureViewMismatch(
+            f"model {name!r} version {version} was published against "
+            f"{described}, but serving expects fingerprint {expected}",
+            expected=expected, actual=actual,
+            path=self.path(name, int(version)),
+        )
+
+    def load(self, name: str, version: int | None = None, *,
+             expect_view=None):
+        """Deserialize a model (latest version when unspecified).
+
+        ``expect_view`` (a fingerprint string, ``FeatureView`` or stamp
+        dict) enforces the model/feature-version handshake: the loaded
+        model -- memoized or fresh from disk -- must carry a matching
+        ``feature_view_`` stamp or :class:`FeatureViewMismatch` is
+        raised.
+        """
         if version is None:
             version = self.latest_version(name)
             if version is None:
@@ -184,6 +251,7 @@ class ModelRegistry:
                 self._loaded.move_to_end(key)
         if model is not None:
             obs.inc("serve.registry.memo_hits_total")
+            self._check_view(model, expect_view, name, int(version))
             return model
         target = self.path(name, int(version))
         if not target.is_file():
@@ -207,6 +275,7 @@ class ModelRegistry:
             if good is None or good[0] <= int(version):
                 self._last_good[name] = (int(version), model)
         obs.inc("serve.registry.loads_total")
+        self._check_view(model, expect_view, name, int(version))
         return model
 
     # -- resilience --------------------------------------------------------- #
@@ -251,8 +320,15 @@ class ModelRegistry:
         *,
         policy: RetryPolicy | None = None,
         sleep=time.sleep,
+        expect_view=None,
     ):
         """A model for ``name``, surviving flaky loads and corrupt files.
+
+        ``expect_view`` enforces the feature-version handshake exactly as
+        in :meth:`load`; a :class:`FeatureViewMismatch` raises
+        immediately -- no quarantine, no retry, no fallback to an older
+        version -- because a wrongly-deployed model is not corruption
+        that ageing out can fix.
 
         Per candidate version (the requested one, else the latest, then
         falling back through older versions): transient failures --
@@ -275,6 +351,7 @@ class ModelRegistry:
             with self._lock:
                 good = self._last_good.get(name)
             if good is not None:
+                self._check_view(good[1], expect_view, name, good[0])
                 obs.inc("resil.registry.breaker_fallbacks_total")
                 _LOG.warning("load breaker open; serving last good model",
                              trace_id=current_trace_id() or "-",
@@ -303,12 +380,14 @@ class ModelRegistry:
             fallback_left = i + 1 < len(candidates)
             try:
                 model = retry(
-                    lambda v=v: self.load(name, v),
+                    lambda v=v: self.load(name, v, expect_view=expect_view),
                     policy=policy,
                     retry_on=(FaultError, OSError),
                     label=f"registry.load:{name}:v{v}",
                     sleep=sleep,
                 )
+            except FeatureViewMismatch:
+                raise
             except RegistryError as exc:
                 last_exc = exc
                 breaker.record_failure()

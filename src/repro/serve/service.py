@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.fstore import OnlineFeatureServer, view_from_dict, view_of
 from repro.obs.telemetry import (
     AvailabilitySLO,
     LatencySLO,
@@ -145,6 +146,18 @@ class InferenceService:
             if self.is_classifier else None
         )
         self.n_features = getattr(model, "n_features_", None)
+        #: The online feature path: models published through
+        #: ``Lumos5G.publish`` carry their feature-view stamp
+        #: (``repro.fstore.attach_view``), which lets the service accept
+        #: ``{"row": {...}}`` requests -- raw telemetry fields -- and
+        #: compute the feature vector itself, bit-identically to
+        #: training-time materialization.  Unstamped models still serve
+        #: ``"features"`` requests.
+        stamp = view_of(model)
+        self.feature_server = (
+            OnlineFeatureServer(view_from_dict(stamp["view"]))
+            if isinstance(stamp, dict) and "view" in stamp else None
+        )
         self.cache = (
             PredictionCache(
                 max_entries=self.config.cache_size,
@@ -192,6 +205,8 @@ class InferenceService:
         if not isinstance(req, dict):
             return None, None
         raw = req.get("features")
+        if raw is None and "row" in req:
+            return req, self._row_features(req.get("row"))
         if not isinstance(raw, list) or not raw:
             return req, None
         try:
@@ -205,6 +220,15 @@ class InferenceService:
             return req, None
         return req, features
 
+    def _row_features(self, row) -> np.ndarray | None:
+        """Feature vector for a ``"row"`` request; None on a bad row."""
+        if self.feature_server is None or not isinstance(row, dict):
+            return None
+        try:
+            return self.feature_server.vector(row)
+        except (KeyError, TypeError, ValueError):
+            return None
+
     @staticmethod
     def _trace_of(req: dict | None) -> str:
         """The request's trace ID: the client's ``"trace"``, else minted."""
@@ -217,6 +241,17 @@ class InferenceService:
     def _error_response(self, req: dict | None) -> dict:
         if req is None:
             message = "invalid JSON request line"
+        elif req.get("features") is None and "row" in req:
+            if self.feature_server is None:
+                message = ("model carries no feature-view stamp; "
+                           "'row' requests need a model published with "
+                           "repro.fstore.attach_view")
+            elif not isinstance(req.get("row"), dict):
+                message = "'row' must be an object of telemetry fields"
+            else:
+                message = ("row is missing or has malformed fields for "
+                           f"feature view "
+                           f"{self.feature_server.view.name!r}")
         elif not isinstance(req.get("features"), list):
             message = "request must carry a 'features' array"
         elif self.n_features is not None and isinstance(

@@ -1,0 +1,80 @@
+"""Shared builders for the feature-store parity harness.
+
+``edge_case_table`` packs every documented hazard into one deterministic
+table: wraparound compass angles (0 vs 360, 359.9999), zero-speed
+mobility, NaN tower geometry (the Loop has no panel survey),
+``UNAVAILABLE`` signal sentinels next to genuine readings and raw NaNs,
+LTE rows among 5G ones, and several runs of different lengths (including
+a run shorter than the lag depth).  ``online_rows`` converts any table
+into the per-row request dicts the online path serves, with the
+``past_throughput`` history built exactly as a live UE would report it:
+every previous within-run sample, most recent first.
+"""
+
+import numpy as np
+
+from repro.datasets.frame import Table
+from repro.fstore import PAST_THROUGHPUT_FIELD
+from repro.radio.signal import UNAVAILABLE
+
+nan = float("nan")
+
+#: Run layout: lengths 5, 3, 1, 3 -- run heads exercise the
+#: repeat-first-sample lag fallback, and the length-1 run the
+#: empty-history one.
+_RUN_IDS = [0, 0, 0, 0, 0, 1, 1, 1, 2, 3, 3, 3]
+
+
+def edge_case_table() -> Table:
+    return Table({
+        "pixel_x": [0.0, 1.0, 2.5, 3.0, 4.0, 10.0, 11.0, 12.0,
+                    50.0, 7.25, 8.5, 9.75],
+        "pixel_y": [0.0, 0.5, 1.0, 1.5, 2.0, 20.0, 21.0, 22.0,
+                    60.0, 3.0, 3.5, 4.0],
+        "moving_speed_mps": [0.0, 0.0, 1.4, 1.4, 1.4, 8.0, 8.5, 9.0,
+                             0.0, 1.2, 1.3, 1.4],
+        "compass_direction_deg": [0.0, 360.0, 359.9999, 180.0, 90.0,
+                                  0.5, 270.0, 45.0, 135.0, 315.0,
+                                  225.0, 60.0],
+        "ue_panel_distance_m": [10.0, 12.0, 15.0, 18.0, 20.0, nan, nan,
+                                nan, 42.0, 55.0, 60.0, 65.0],
+        "positional_angle_deg": [0.0, 360.0, 15.0, 30.0, 45.0, nan, nan,
+                                 nan, 90.0, 120.0, 150.0, 179.5],
+        "mobility_angle_deg": [0.0, 360.0, 359.9999, 90.0, 180.0, nan,
+                               nan, nan, 270.0, 30.0, 60.0, 120.0],
+        "throughput_mbps": [612.5, 0.0, 433.25, 512.0, 498.5, 120.0,
+                            95.5, 110.0, 801.0, 300.0, 310.5, 0.0],
+        "run_id": _RUN_IDS,
+        "radio_type": np.asarray(["5G", "5G", "LTE", "5G", "5G", "LTE",
+                                  "LTE", "5G", "5G", "5G", "LTE", "5G"],
+                                 dtype=object),
+        "lte_rsrp": [-85.0, UNAVAILABLE, -90.5, UNAVAILABLE - 5.0, -88.0,
+                     -95.0, nan, -99.0, -80.0, -87.5, -91.0, -93.0],
+        "lte_rsrq": [-10.0, -11.5, UNAVAILABLE, -12.0, nan, -13.0,
+                     -14.0, -9.5, -10.5, UNAVAILABLE, -11.0, -12.5],
+        "lte_rssi": [-60.0, -62.0, -61.5, UNAVAILABLE, -63.0, -64.0,
+                     -65.0, nan, -59.0, -61.0, UNAVAILABLE, -66.0],
+        "nr_ss_rsrp": [-95.0, -96.5, UNAVAILABLE, -97.0, -98.0, nan,
+                       UNAVAILABLE, -94.0, -93.5, -99.0, -100.0, -96.0],
+        "nr_ss_rsrq": [UNAVAILABLE, -11.0, -11.5, -12.0, nan, -12.5,
+                       -13.0, UNAVAILABLE, -10.0, -11.25, -12.75, -13.5],
+        "nr_ss_rssi": [-70.0, nan, -71.0, -72.0, UNAVAILABLE, -73.0,
+                       -74.0, -75.0, UNAVAILABLE, -70.5, -71.5, -76.0],
+        "horizontal_handoff": [0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0,
+                               0.0, 1.0, 0.0, 0.0],
+        "vertical_handoff": [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0,
+                             0.0, 0.0, 0.0, 1.0],
+    })
+
+
+def online_rows(table: Table) -> list[dict]:
+    """Per-row request dicts with a live-UE past-throughput history."""
+    tput = np.asarray(table["throughput_mbps"], dtype=float)
+    run_ids = np.asarray(table["run_id"])
+    rows = []
+    for i in range(len(table)):
+        row = {name: table[name][i] for name in table.column_names}
+        history = tput[:i][run_ids[:i] == run_ids[i]][::-1]
+        row[PAST_THROUGHPUT_FIELD] = [float(v) for v in history]
+        rows.append(row)
+    return rows

@@ -1,0 +1,52 @@
+"""Regenerate the golden feature-view fingerprints.
+
+Run this ONLY after deliberately changing a view definition AND bumping
+the affected entry in ``repro.fstore.views.GROUP_VERSIONS`` (or
+``FSTORE_SCHEMA_VERSION`` for canonical-form changes)::
+
+    PYTHONPATH=src python tests/fstore/regen_goldens.py
+
+``tests/fstore/test_goldens.py`` diffs the committed file against the
+live definitions; a mismatch there means a definition changed and this
+file explains the contract.
+"""
+
+import json
+import pathlib
+
+from repro.fstore import (
+    COMBINATIONS,
+    PRIMARY_GROUPS,
+    combination_view,
+    group_view,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_fingerprints.json"
+
+#: The lag depth the goldens are pinned at (the library default).
+GOLDEN_LAGS = 5
+
+
+def current_fingerprints() -> dict:
+    return {
+        "past_throughput_lags": GOLDEN_LAGS,
+        "groups": {
+            g: group_view(g, GOLDEN_LAGS).fingerprint()
+            for g in PRIMARY_GROUPS
+        },
+        "combinations": {
+            spec: combination_view(spec, GOLDEN_LAGS).fingerprint()
+            for spec in COMBINATIONS
+        },
+    }
+
+
+def main() -> None:
+    GOLDEN_PATH.write_text(
+        json.dumps(current_fingerprints(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

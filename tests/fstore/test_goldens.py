@@ -1,0 +1,102 @@
+"""Golden view fingerprints: definitions cannot drift silently.
+
+A feature view's fingerprint covers its name, version, op names, source
+columns and parameters.  These tests pin the committed fingerprints of
+every predefined group and Table-6 combination; if one fails, a view
+definition changed.  That is only legal together with a version bump --
+see the failure message.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fstore import (
+    COMBINATIONS,
+    GROUP_VERSIONS,
+    PRIMARY_GROUPS,
+    combination_view,
+    group_view,
+)
+
+from regen_goldens import GOLDEN_LAGS, GOLDEN_PATH, current_fingerprints
+
+_MISMATCH_MSG = """\
+feature view {name!r} changed: fingerprint
+  golden:  {golden}
+  current: {current}
+
+A view's content-addressed identity moved, which silently invalidates
+every published model trained against it.  If the change is deliberate:
+  1. bump the affected group's entry in repro.fstore.views.GROUP_VERSIONS
+     (or FSTORE_SCHEMA_VERSION for canonical-form changes),
+  2. regenerate: PYTHONPATH=src python tests/fstore/regen_goldens.py
+  3. commit the new golden_fingerprints.json with the definition change.
+If it is not deliberate, revert the definition change.
+"""
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    assert GOLDEN_PATH.is_file(), (
+        f"missing {GOLDEN_PATH}; generate it with "
+        "PYTHONPATH=src python tests/fstore/regen_goldens.py"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenFingerprints:
+    def test_golden_file_covers_everything(self, goldens):
+        assert set(goldens["groups"]) == set(PRIMARY_GROUPS)
+        assert set(goldens["combinations"]) == set(COMBINATIONS)
+        assert goldens["past_throughput_lags"] == GOLDEN_LAGS
+
+    @pytest.mark.parametrize("group", PRIMARY_GROUPS)
+    def test_group_fingerprint_pinned(self, goldens, group):
+        current = group_view(group, GOLDEN_LAGS).fingerprint()
+        golden = goldens["groups"][group]
+        assert current == golden, _MISMATCH_MSG.format(
+            name=group, golden=golden, current=current
+        )
+
+    @pytest.mark.parametrize("spec", COMBINATIONS)
+    def test_combination_fingerprint_pinned(self, goldens, spec):
+        current = combination_view(spec, GOLDEN_LAGS).fingerprint()
+        golden = goldens["combinations"][spec]
+        assert current == golden, _MISMATCH_MSG.format(
+            name=spec, golden=golden, current=current
+        )
+
+    def test_goldens_file_is_exactly_regenerable(self, goldens):
+        """The committed file is byte-for-byte what regeneration writes
+        (sorted keys, pinned lag depth) -- no hand edits."""
+        assert goldens == current_fingerprints()
+
+
+class TestFingerprintSensitivity:
+    """The golden check actually has teeth: each kind of definition
+    change moves the fingerprint, and a version bump alone does too
+    (so bumping without regenerating the goldens still fails loudly)."""
+
+    def test_stable_across_constructions(self):
+        a = combination_view("T+M+C", 5).fingerprint()
+        b = combination_view("T+M+C", 5).fingerprint()
+        assert a == b
+
+    def test_lag_depth_changes_fingerprint(self):
+        assert combination_view("T+M+C", 5).fingerprint() != \
+            combination_view("T+M+C", 4).fingerprint()
+
+    def test_version_bump_changes_fingerprint(self, monkeypatch):
+        base = group_view("M", 5).fingerprint()
+        monkeypatch.setitem(GROUP_VERSIONS, "M", GROUP_VERSIONS["M"] + 1)
+        assert group_view("M", 5).fingerprint() != base
+
+    def test_group_order_matters(self):
+        # L+M and a hypothetical M-then-L layout must not collide: the
+        # fingerprint covers feature order, which is matrix column order.
+        lm = combination_view("L+M", 5)
+        reordered = type(lm)(name=lm.name, version=lm.version,
+                             features=tuple(reversed(lm.features)))
+        assert lm.fingerprint() != reordered.fingerprint()

@@ -115,6 +115,49 @@ class TestCyclicEncode:
         out = cyclic_encode([angle])[0]
         assert np.hypot(*out) == pytest.approx(1.0)
 
+    def test_zero_and_full_turn_encode_bit_identically(self):
+        """0 and 360 deg are the same heading; both must give exactly
+        (sin, cos) = (0.0, 1.0) -- without the mod-360 normalization,
+        sin(radians(360.0)) is ~-2.45e-16 and the encodings differ."""
+        zero = cyclic_encode([0.0])
+        full = cyclic_encode([360.0])
+        assert zero.tobytes() == full.tobytes()
+        assert zero[0].tolist() == [0.0, 1.0]
+
+    @given(st.floats(-1080, 1080, allow_nan=False))
+    @settings(max_examples=200)
+    def test_mod_360_idempotent_bitwise(self, angle):
+        """Any angle encodes bit-identically to its [0, 360) residue, so
+        out-of-range request headings match in-range training data."""
+        wrapped = float(np.mod(angle, 360.0))
+        a = cyclic_encode([angle])
+        b = cyclic_encode([wrapped])
+        assert a.tobytes() == b.tobytes()
+
+    @given(st.floats(0, 360, exclude_max=True, allow_nan=False))
+    @settings(max_examples=200)
+    def test_in_range_angles_pass_through_unchanged(self, angle):
+        """The normalization is the identity on [0, 360): encodings of
+        already-wrapped pipeline data are bit-for-bit what the raw
+        sin/cos of the input would give."""
+        a = np.radians(np.asarray([angle]))
+        expected = np.column_stack([np.sin(a), np.cos(a)])
+        assert cyclic_encode([angle]).tobytes() == expected.tobytes()
+
+    def test_degrees_not_radians(self):
+        out = cyclic_encode([90.0])[0]
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.lists(st.floats(-720, 720), min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_nan_propagates_elementwise(self, angles):
+        angles = list(angles) + [np.nan]
+        out = cyclic_encode(angles)
+        nan_rows = np.isnan(np.asarray(angles, dtype=float))
+        assert np.isnan(out).all(axis=1).tolist() == nan_rows.tolist()
+        assert np.isfinite(out[~nan_rows]).all()
+
 
 class TestLabelEncoder:
     def test_roundtrip(self):

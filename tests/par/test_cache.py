@@ -1,5 +1,7 @@
 """Disk cache: content addressing, invalidation, and the clear contract."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -119,6 +121,46 @@ class TestNpzCache:
             == races_before + 1
         assert registry.counter("cache.corrupt_entries_total").value \
             == corrupt_before
+
+
+class TestDurableWrites:
+    def test_save_fsyncs_tmp_file_before_rename(self, tmp_path, monkeypatch):
+        """The shard's bytes must hit the disk before the atomic rename
+        publishes its name -- otherwise a crash right after the rename
+        leaves a fully-visible but truncated entry."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", fsync)
+        monkeypatch.setattr(os, "replace", replace)
+        NpzCache(tmp_path).save("k", {"T": {"x": np.arange(3.0)}})
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
+    def test_crash_truncated_shard_loads_as_miss(self, tmp_path,
+                                                 monkeypatch):
+        """The ``cache.corrupt`` fault seam models exactly the failure
+        the fsync closes off: a renamed shard with truncated contents.
+        It must load as a miss (regenerate + overwrite), never an error.
+        """
+        monkeypatch.setenv("REPRO_FAULTS", "cache.corrupt:1.0")
+        cache = NpzCache(tmp_path)
+        tables = {"T": {"x": np.arange(8.0)}}
+        cache.save("k", tables)
+        assert cache.load("k") is None
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        cache.save("k", tables)
+        back = cache.load("k")
+        assert back is not None
+        assert np.array_equal(back["T"]["x"], tables["T"]["x"])
 
 
 class TestDatasetDiskCache:

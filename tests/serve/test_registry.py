@@ -202,3 +202,94 @@ class TestResilientLoad:
     def test_load_resilient_missing_name_raises(self, tmp_path):
         with pytest.raises(ModelNotFound):
             ModelRegistry(tmp_path).load_resilient("ghost")
+
+
+class TestFeatureViewHandshake:
+    """load(expect_view=...): the model/feature-version guard."""
+
+    def _stamped(self, tmp_path, spec="T+M"):
+        from repro.fstore import attach_view, combination_view
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(80, 3))
+        y = X[:, 0]
+        model = GBDTRegressor(n_estimators=3, max_depth=2,
+                              random_state=0).fit(X, y)
+        view = combination_view(spec, 5)
+        attach_view(model, view)
+        registry = ModelRegistry(tmp_path)
+        registry.save("m", model)
+        return registry, view
+
+    def test_matching_fingerprint_loads(self, tmp_path):
+        registry, view = self._stamped(tmp_path)
+        model = ModelRegistry(tmp_path).load(
+            "m", expect_view=view.fingerprint())
+        assert model.feature_view_["fingerprint"] == view.fingerprint()
+        # A FeatureView object and a stamp dict normalize the same way.
+        registry.load("m", expect_view=view)
+        registry.load("m", expect_view=model.feature_view_)
+
+    def test_mismatched_fingerprint_raises_typed_error(self, tmp_path):
+        from repro.fstore import combination_view
+        from repro.serve.registry import FeatureViewMismatch
+
+        registry, view = self._stamped(tmp_path, spec="T+M")
+        other = combination_view("L+M", 5)
+        with pytest.raises(FeatureViewMismatch) as excinfo:
+            ModelRegistry(tmp_path).load("m",
+                                         expect_view=other.fingerprint())
+        err = excinfo.value
+        assert isinstance(err, RegistryError)  # typed, catchable as such
+        assert err.expected == other.fingerprint()
+        assert err.actual == view.fingerprint()
+        assert "T+M" in str(err)
+
+    def test_memoized_model_is_still_checked(self, tmp_path):
+        """A memo hit must not bypass the handshake."""
+        from repro.serve.registry import FeatureViewMismatch
+
+        registry, view = self._stamped(tmp_path)
+        registry.load("m")  # warm the memo
+        with pytest.raises(FeatureViewMismatch):
+            registry.load("m", expect_view="0" * 64)
+        # ...and a matching expectation still loads from the memo.
+        assert registry.load("m", expect_view=view.fingerprint()) \
+            is not None
+
+    def test_unstamped_model_fails_when_view_expected(self, tmp_path,
+                                                      fitted):
+        from repro.serve.registry import FeatureViewMismatch
+
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.save("plain", model)
+        with pytest.raises(FeatureViewMismatch,
+                           match="no feature-view stamp"):
+            ModelRegistry(tmp_path).load("plain", expect_view="0" * 64)
+
+    def test_resilient_load_mismatch_no_quarantine_no_fallback(
+            self, tmp_path):
+        """A version mismatch is a deployment error, not corruption:
+        load_resilient must raise immediately, leave the file alone, and
+        not fall back to an older version."""
+        from repro.serve.registry import FeatureViewMismatch
+
+        registry, view = self._stamped(tmp_path)
+        registry.save("m", registry.load("m"))  # a second, older-ok v2
+        fresh = ModelRegistry(tmp_path)
+        with pytest.raises(FeatureViewMismatch):
+            fresh.load_resilient("m", expect_view="0" * 64,
+                                 sleep=lambda s: None)
+        # Nothing was quarantined; both versions are still catalogued.
+        assert fresh.versions("m") == [1, 2]
+        assert not list(tmp_path.glob(f"**/*{CORRUPT_SUFFIX}"))
+        # A matching expectation serves normally.
+        assert fresh.load_resilient(
+            "m", expect_view=view.fingerprint(),
+            sleep=lambda s: None) is not None
+
+    def test_bad_expect_view_type_rejected(self, tmp_path):
+        registry, _ = self._stamped(tmp_path)
+        with pytest.raises(TypeError, match="expect_view"):
+            registry.load("m", expect_view=42)

@@ -149,3 +149,63 @@ class TestStats:
         assert stats.batches >= 4  # 50 rows / cap 16
         assert stats.wall_s > 0
         assert stats.rows_per_s > 0
+
+
+class TestRowRequests:
+    """{"row": {...}} requests: the online feature path behind serving."""
+
+    @pytest.fixture(scope="class")
+    def stamped(self):
+        import pathlib
+        import sys
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                               .parents[1] / "fstore"))
+        from _fstore_helpers import edge_case_table, online_rows
+
+        from repro.fstore import attach_view, combination_view
+
+        t = edge_case_table()
+        view = combination_view("T+M+C", 5)
+        fm = view.transform_table(t)
+        y = np.asarray(t["throughput_mbps"], dtype=float)
+        model = GBDTRegressor(n_estimators=4, max_depth=2,
+                              random_state=0).fit(fm.X, y)
+        attach_view(model, view)
+        return model, view, fm.X, online_rows(t)
+
+    @staticmethod
+    def _jsonable(row):
+        return {k: (list(v) if isinstance(v, list) else
+                    v if isinstance(v, str) else float(v))
+                for k, v in row.items()}
+
+    def test_row_predictions_match_feature_predictions(self, stamped):
+        model, view, X, rows = stamped
+        lines = [json.dumps({"id": i, "row": self._jsonable(r)})
+                 for i, r in enumerate(rows)]
+        stats, responses = _serve(model, lines)
+        assert stats.errors == 0
+        direct = model.predict(X)
+        got = np.asarray([r["prediction"] for r in responses])
+        np.testing.assert_array_equal(got, direct)
+
+    def test_bad_row_is_a_request_error_not_a_crash(self, stamped):
+        model, _, _, rows = stamped
+        good = json.dumps({"id": 0, "row": self._jsonable(rows[0])})
+        missing = json.dumps({"id": 1, "row": {"pixel_x": 1.0}})
+        not_an_object = json.dumps({"id": 2, "row": [1.0, 2.0]})
+        stats, responses = _serve(model, [good, missing, not_an_object])
+        assert stats.errors == 2
+        assert "prediction" in responses[0]
+        assert "missing or has malformed" in responses[1]["error"]
+        assert "'row' must be an object" in responses[2]["error"]
+
+    def test_unstamped_model_rejects_row_requests(self, regressor):
+        model, X = regressor
+        line = json.dumps({"id": 0, "row": {"pixel_x": 1.0}})
+        stats, responses = _serve(model, [line])
+        assert stats.errors == 1
+        assert "no feature-view stamp" in responses[0]["error"]
+        # ...while plain feature requests still work.
+        stats, responses = _serve(model, _request_lines(X[:2]))
+        assert stats.errors == 0

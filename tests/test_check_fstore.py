@@ -1,0 +1,108 @@
+"""Wire tools/check_fstore.py into the tier-1 suite.
+
+The lint pins two feature-store invariants: the online feature path
+(fstore ops/views/online plus the whole serve package) never imports
+repro.datasets, and FeatureExtractor is referenced nowhere in src/repro
+outside its core/features.py home -- feature values flow through
+repro.fstore views, which the offline/online parity harness covers.
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECK = REPO_ROOT / "tools" / "check_fstore.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_fstore  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_library_tree_passes_lint(self):
+        assert check_fstore.check() == []
+
+    def test_script_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECK)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "check_fstore: OK" in proc.stdout
+
+    def test_guarded_paths_all_exist(self):
+        """The path lists must track real files, or a rule silently
+        checks nothing."""
+        for rel in check_fstore.ONLINE_PATH + check_fstore.EXTRACTOR_HOME:
+            assert (check_fstore.SRC_ROOT / rel).is_file(), rel
+        for d in check_fstore.ONLINE_PATH_DIRS:
+            assert (check_fstore.SRC_ROOT / d).is_dir(), d
+
+
+class TestDetection:
+    def _violations(self, tmp_path, source, **kwargs):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return check_fstore.file_violations(path, **kwargs)
+
+    def test_flags_datasets_import_on_online_path(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro.datasets.frame import Table
+        """, online_path=True, extractor_home=True)
+        assert len(found) == 1
+        assert "table-free" in found[0][1]
+
+    def test_flags_plain_and_aliased_package_imports(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import repro.datasets.frame
+            from repro import datasets
+        """, online_path=True, extractor_home=True)
+        assert len(found) == 2
+
+    def test_offline_modules_may_use_tables(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro.datasets.frame import Table
+        """, online_path=False, extractor_home=True)
+        assert found == []
+
+    def test_flags_extractor_import_and_call(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro.core.features import FeatureExtractor
+
+            def build(table):
+                return FeatureExtractor().extract(table, "L+M")
+        """, extractor_home=False)
+        assert len(found) == 2
+        assert all("repro.fstore" in msg for _, msg in found)
+
+    def test_flags_attribute_reference(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import repro.core.features as features
+
+            def build():
+                return features.FeatureExtractor()
+        """, extractor_home=False)
+        assert len(found) == 1
+
+    def test_extractor_home_is_exempt(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            class FeatureExtractor:
+                pass
+        """, extractor_home=True)
+        assert found == []
+
+    def test_check_walks_a_tree(self, tmp_path):
+        serve = tmp_path / "serve"
+        serve.mkdir()
+        (serve / "service.py").write_text(
+            "from repro.datasets.frame import Table\n"
+        )
+        (tmp_path / "analysis.py").write_text(
+            "from repro.core.features import FeatureExtractor\n"
+        )
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        violations = check_fstore.check(root=tmp_path)
+        assert len(violations) == 2
+        assert any("serve/service.py" in v for v in violations)
+        assert any("analysis.py" in v for v in violations)

@@ -288,3 +288,71 @@ class TestTelemetry:
         responses = _responses(out)
         assert all(r.get("trace") for r in responses)
         assert responses[3]["trace"] == "client-abc"
+
+
+class TestExpectView:
+    """--expect-view: refuse to serve a model published against a
+    different feature view (exit 1, also under --strict)."""
+
+    @pytest.fixture()
+    def stamped_registry(self, model, tmp_path):
+        from repro.fstore import attach_view, combination_view
+
+        view = combination_view("L+M", 5)
+        est, _ = model
+        attach_view(est, view)
+        try:
+            registry_dir = tmp_path / "registry"
+            ModelRegistry(registry_dir).save("m", est)
+        finally:
+            del est.feature_view_  # module-scoped model: leave no stamp
+        return registry_dir, view
+
+    def _serve_args(self, tmp_path, registry_dir, X, *extra):
+        requests = _write_requests(tmp_path, X[:3])
+        return ["serve", "--registry", str(registry_dir), "--name", "m",
+                "--input", str(requests),
+                "--output", str(tmp_path / "out.jsonl"), *extra]
+
+    def test_matching_view_serves(self, tmp_path, model,
+                                  stamped_registry, capsys):
+        registry_dir, view = stamped_registry
+        args = self._serve_args(tmp_path, registry_dir, model[1],
+                                "--expect-view", view.fingerprint())
+        assert main(args) == 0
+        assert "served 3 requests" in capsys.readouterr().err
+
+    def test_mismatch_exits_1(self, tmp_path, model, stamped_registry,
+                              capsys):
+        registry_dir, _ = stamped_registry
+        args = self._serve_args(tmp_path, registry_dir, model[1],
+                                "--expect-view", "0" * 64)
+        assert main(args) == 1
+        err = capsys.readouterr().err
+        assert "published against" in err and "L+M" in err
+        # Nothing was served.
+        assert not (tmp_path / "out.jsonl").exists()
+
+    def test_mismatch_exits_1_under_strict(self, tmp_path, model,
+                                           stamped_registry):
+        registry_dir, _ = stamped_registry
+        args = self._serve_args(tmp_path, registry_dir, model[1],
+                                "--expect-view", "0" * 64, "--strict")
+        assert main(args) == 1
+
+    def test_model_file_mismatch_exits_1(self, tmp_path, model, capsys):
+        from repro.fstore import attach_view, combination_view
+
+        est, X = model
+        attach_view(est, combination_view("L+M", 5))
+        try:
+            path = tmp_path / "stamped.json"
+            path.write_text(model_to_json(est))
+        finally:
+            del est.feature_view_
+        requests = _write_requests(tmp_path, X[:2])
+        assert main(["serve", "--model", str(path),
+                     "--input", str(requests),
+                     "--output", str(tmp_path / "out.jsonl"),
+                     "--expect-view", "f" * 64]) == 1
+        assert "published against" in capsys.readouterr().err

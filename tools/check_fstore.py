@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Lint: the feature store stays the single source of feature truth.
+
+Two rules keep ``repro.fstore``'s contract enforceable:
+
+1. **The online path is table-free** -- the modules a serving process
+   executes per request (``fstore/ops.py``, ``fstore/views.py``,
+   ``fstore/online.py`` and everything under ``src/repro/serve/``) must
+   not import ``repro.datasets`` in any form.  A ``Table`` sneaking onto
+   the request path means allocation and batch semantics where a plain
+   dict -> vector transform belongs, and quietly breaks the
+   no-table-allocation latency guarantee.
+2. **No ``FeatureExtractor`` use outside its home** -- feature values
+   come from feature views.  The legacy extractor survives only as the
+   training facade in ``core/features.py`` (plus its re-export in
+   ``core/__init__.py``); any other reference inside ``src/repro``
+   re-introduces a second feature-computation path that the parity
+   harness does not cover.
+
+Run directly (``python tools/check_fstore.py``) or via the tier-1 suite
+(``tests/test_check_fstore.py`` wires it in).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Modules (relative to src/repro/) that execute per serving request and
+#: therefore must never import the dataset/table layer.
+ONLINE_PATH = (
+    "fstore/ops.py",
+    "fstore/views.py",
+    "fstore/online.py",
+)
+ONLINE_PATH_DIRS = ("serve",)
+
+#: Files allowed to reference FeatureExtractor: its definition and the
+#: package re-export that keeps the historical public API importable.
+EXTRACTOR_HOME = ("core/features.py", "core/__init__.py")
+
+_FORBIDDEN_PKG = "repro.datasets"
+
+
+def _imports_datasets(node: ast.AST) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == _FORBIDDEN_PKG
+            or alias.name.startswith(_FORBIDDEN_PKG + ".")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module == _FORBIDDEN_PKG or \
+                module.startswith(_FORBIDDEN_PKG + "."):
+            return True
+        if module == "repro":
+            return any(alias.name == "datasets" for alias in node.names)
+    return False
+
+
+def _references_extractor(node: ast.AST) -> bool:
+    if isinstance(node, ast.ImportFrom):
+        return any(alias.name == "FeatureExtractor"
+                   for alias in node.names)
+    if isinstance(node, ast.Name):
+        return node.id == "FeatureExtractor"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "FeatureExtractor"
+    return False
+
+
+def file_violations(
+    path: pathlib.Path,
+    online_path: bool = False,
+    extractor_home: bool = False,
+) -> list[tuple[int, str]]:
+    """(line, message) pairs for one library source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if online_path and _imports_datasets(node):
+            out.append((
+                node.lineno,
+                "repro.datasets import on the online feature path; "
+                "request serving must stay table-free (duck-typed "
+                "mappings only)",
+            ))
+        if not extractor_home and _references_extractor(node):
+            out.append((
+                node.lineno,
+                "FeatureExtractor reference outside core/features.py; "
+                "consume repro.fstore views instead so offline/online "
+                "parity covers this feature computation",
+            ))
+    return out
+
+
+def _classify(rel: str) -> tuple[bool, bool]:
+    online = rel in ONLINE_PATH or any(
+        rel.startswith(d + "/") for d in ONLINE_PATH_DIRS
+    )
+    return online, rel in EXTRACTOR_HOME
+
+
+def check(root: pathlib.Path = SRC_ROOT) -> list[str]:
+    """All violations under ``root`` as ``path:line: message`` strings."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        online, home = _classify(rel)
+        for lineno, message in file_violations(
+            path, online_path=online, extractor_home=home
+        ):
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            violations.append(f"{shown}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_fstore: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_fstore: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
