@@ -179,6 +179,8 @@ def cmd_serve(args) -> int:
             print(f"serve: cannot write {args.events_out}: {exc}",
                   file=sys.stderr)
             return 2
+    if args.gateway:
+        return _serve_gateway(args, model, events_stream)
     service = InferenceService(model, ServeConfig(
         max_batch_size=args.batch_size,
         max_wait_ms=args.max_wait_ms,
@@ -216,6 +218,65 @@ def cmd_serve(args) -> int:
           f"({stats.errors} malformed) in {stats.wall_s:.2f}s: "
           f"{stats.rows_per_s:.0f} rows/s, {stats.batches} batches, "
           f"cache hit rate {hit_rate:.2f}{failed}"
+          f"{_telemetry_summary(stats.telemetry)}", file=sys.stderr)
+    if args.strict and (stats.errors or stats.budget_burned):
+        return 1
+    return 0
+
+
+def _serve_gateway(args, model, events_stream) -> int:
+    """The ``serve --gateway`` path: shard the request stream."""
+    from repro.gateway import AsyncGateway, GatewayConfig
+    from repro.serve import ModelRegistry
+
+    version = 1
+    if args.registry:
+        version = (args.model_version
+                   or ModelRegistry(args.registry).latest_version(args.name)
+                   or 1)
+    config = GatewayConfig(
+        shards=args.shards,
+        queue_depth=args.shard_queue,
+        max_batch_size=args.batch_size,
+        max_wait_ms=args.max_wait_ms,
+        request_deadline_ms=args.deadline_ms,
+        backend=args.gateway_backend,
+        telemetry=not args.no_telemetry,
+        window_s=args.window_s,
+        slow_window_s=max(args.slow_window_s, args.window_s),
+        latency_slo_p99_ms=args.slo_p99_ms,
+        latency_slo_p999_ms=args.slo_p999_ms,
+        availability_target=args.availability_target,
+    )
+    try:
+        instream = sys.stdin if args.input == "-" else open(args.input)
+    except OSError as exc:
+        print(f"serve: cannot read {args.input}: {exc}", file=sys.stderr)
+        if events_stream is not None:
+            events_stream.close()
+        return 2
+    outstream = sys.stdout if args.output == "-" else open(args.output, "w")
+    try:
+        with AsyncGateway(model, version=version, config=config) as gateway:
+            stats = gateway.run_jsonl(instream, outstream)
+    finally:
+        if instream is not sys.stdin:
+            instream.close()
+        if outstream is not sys.stdout:
+            outstream.close()
+        if events_stream is not None:
+            events_stream.close()
+    args._serve_telemetry = stats.telemetry  # picked up by --metrics-out
+    shed = f", {stats.shed} shed" if stats.shed else ""
+    failed = f", {stats.failures} failed" if stats.failures else ""
+    expired = (f", {stats.deadline_exceeded} expired"
+               if stats.deadline_exceeded else "")
+    per_shard = "/".join(str(s["submitted"]) for s in stats.per_shard)
+    print(f"gateway served {stats.requests} requests "
+          f"({stats.errors} malformed) over {len(stats.per_shard)} shards "
+          f"[{per_shard}] in {stats.wall_s:.2f}s: "
+          f"{stats.rows_per_s:.0f} rows/s, model v{version}"
+          f"{shed}{failed}{expired}"
           f"{_telemetry_summary(stats.telemetry)}", file=sys.stderr)
     if args.strict and (stats.errors or stats.budget_burned):
         return 1
@@ -345,6 +406,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--strict", action="store_true",
                          help="exit 1 if any request line was malformed "
                               "or the availability error budget burned")
+    gw = p_serve.add_argument_group("sharded gateway (docs/serving.md)")
+    gw.add_argument("--gateway", action="store_true",
+                    help="route requests over N predictor shards "
+                         "(repro.gateway; rendezvous-hashed by the "
+                         "request's key/ue/id)")
+    gw.add_argument("--shards", type=int, default=4, metavar="N",
+                    help="predictor shard count (default 4)")
+    gw.add_argument("--shard-queue", type=int, default=64, metavar="N",
+                    help="per-shard in-flight admission window; beyond "
+                         "it requests shed with 429-style responses "
+                         "(default 64)")
+    gw.add_argument("--gateway-backend", default="thread",
+                    choices=("thread", "process"),
+                    help="run shard models in-process or one worker "
+                         "process per shard (default thread)")
     tel = p_serve.add_argument_group("telemetry (docs/observability.md)")
     tel.add_argument("--no-telemetry", action="store_true",
                      help="disable the windowed telemetry plane")

@@ -1,0 +1,59 @@
+"""``repro.gateway`` -- the sharded async inference front door.
+
+One asyncio event loop multiplexes many concurrent JSONL client
+connections; each request routes by its UE/area key (rendezvous
+hashing, :mod:`repro.gateway.routing`) to one of N predictor shards
+(:mod:`repro.gateway.shard`) -- a micro-batcher plus per-shard
+admission window, circuit breaker and hot-swappable model generations,
+backed in-process or by a dedicated worker process per shard
+(:mod:`repro.gateway.procworker`).  Open-loop load schedules for the
+bench and chaos suites live in :mod:`repro.gateway.loadgen`.
+
+Quickstart::
+
+    from repro.gateway import AsyncGateway, GatewayConfig
+
+    with AsyncGateway(model, version=1,
+                      config=GatewayConfig(shards=4)) as gw:
+        stats = gw.run_jsonl(request_lines, sys.stdout)
+
+CLI: ``repro serve --gateway --shards 4 ...`` (docs/serving.md).
+"""
+
+from repro.gateway.gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    GatewayStats,
+    run_open_loop,
+)
+from repro.gateway.loadgen import (
+    ScheduledRequests,
+    diurnal,
+    flash_crowd,
+    steady,
+)
+from repro.gateway.procworker import (
+    ProcessShardExecutor,
+    ShardCrashed,
+    ThreadShardExecutor,
+)
+from repro.gateway.routing import route, shard_scores
+from repro.gateway.shard import PredictorShard, ShedError
+
+__all__ = [
+    "AsyncGateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "PredictorShard",
+    "ProcessShardExecutor",
+    "ScheduledRequests",
+    "ShardCrashed",
+    "ShedError",
+    "ThreadShardExecutor",
+    "diurnal",
+    "flash_crowd",
+    "route",
+    "run_open_loop",
+    "shard_scores",
+    "steady",
+]

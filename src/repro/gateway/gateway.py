@@ -1,0 +1,465 @@
+"""The asyncio front door: many connections, N shards, one event loop.
+
+:class:`AsyncGateway` multiplexes concurrent JSONL client connections
+over a fleet of :class:`~repro.gateway.shard.PredictorShard`\\ s:
+
+* each request line is parsed once (the shared
+  :class:`~repro.serve.protocol.RequestCodec`), routed by its UE/area
+  key through rendezvous hashing (:func:`repro.gateway.routing.route`)
+  so a given key always lands on the same shard,
+* admission happens synchronously at submit time -- a full shard window
+  or an open shard breaker sheds the request with a 429-style response
+  *now* instead of queueing it into a latency grave,
+* responses return **per connection in request order**: a writer task
+  per connection awaits each pending future in sequence
+  (``asyncio.wrap_future`` bridges the batcher's
+  ``concurrent.futures`` world into the loop) and stamps
+  ``shard``/``model_version``/``trace`` metadata onto the wire,
+* :meth:`AsyncGateway.swap` installs a new model version on every shard
+  without dropping in-flight requests -- each response carries exactly
+  the version it was admitted under (generation swap, never torn).
+
+The event loop itself never blocks: parsing, routing and admission are
+in-memory; prediction runs on shard batcher threads (or worker
+processes); waiting is always an ``await``.  ``tools/check_gateway.py``
+lint-enforces the no-blocking-calls rule.
+
+Entry points: :meth:`handle_connection` (one async line stream in,
+ordered responses out -- the unit the tests drive),
+:meth:`serve_tcp` (a real ``asyncio.start_server`` front), and
+:meth:`run_jsonl` (sync wrapper matching
+:meth:`~repro.serve.service.InferenceService.run_jsonl` for the CLI).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.obs.telemetry import (
+    AvailabilitySLO,
+    LatencySLO,
+    TelemetryPlane,
+    baseline_of,
+)
+from repro.resil.retry import DeadlineExceeded
+from repro.gateway.routing import route
+from repro.gateway.shard import PredictorShard, ShedError
+from repro.serve.protocol import RequestCodec, routing_key
+
+__all__ = ["AsyncGateway", "GatewayConfig", "GatewayStats", "run_open_loop"]
+
+_LOG = obs.get_logger("gateway")
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs of the sharded serving path (docs/serving.md)."""
+
+    #: Shard fleet size and the per-shard in-flight admission window.
+    shards: int = 4
+    queue_depth: int = 64
+    #: Micro-batching inside each shard (the straggler window is short:
+    #: arrivals are already concurrent at the gateway).
+    max_batch_size: int = 32
+    max_wait_ms: float = 1.0
+    #: Max milliseconds a request may spend queued in a shard before it
+    #: fails with a deadline error (0 = unbounded).
+    request_deadline_ms: float = 0.0
+    predict_attempts: int = 2
+    #: Per-shard breaker: consecutive backend failures that trip it, and
+    #: how long it stays open before the half-open probe.
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 5.0
+    #: Rendezvous-hash seed (changing it reshuffles every key).
+    routing_seed: int = 0
+    #: ``"thread"`` (in-process models) or ``"process"`` (one worker
+    #: process per shard; crash-isolated).
+    backend: str = "thread"
+    mp_context: str | None = None
+    #: Windowed telemetry plane + the gateway SLOs it evaluates.
+    telemetry: bool = True
+    window_s: float = 60.0
+    slow_window_s: float = 600.0
+    latency_slo_p99_ms: float = 50.0
+    latency_slo_p999_ms: float = 250.0
+    availability_target: float = 0.999
+
+
+@dataclass
+class GatewayStats:
+    """What the gateway did over one run / collection window."""
+
+    requests: int = 0
+    #: Malformed requests (bad JSON, wrong features) -- answered with
+    #: error responses, never routed.
+    errors: int = 0
+    #: Requests refused at admission (full window or open breaker).
+    shed: int = 0
+    #: Requests that reached a shard backend and failed there.
+    failures: int = 0
+    #: Requests that expired queued inside a shard.
+    deadline_exceeded: int = 0
+    swaps: int = 0
+    connections: int = 0
+    wall_s: float = 0.0
+    #: Per-shard counter dicts (``PredictorShard.stats()``).
+    per_shard: list = field(default_factory=list)
+    #: Final telemetry-plane snapshot; None when the plane is off.
+    telemetry: dict | None = field(default=None, repr=False)
+
+    @property
+    def failed_total(self) -> int:
+        return self.failures + self.shed + self.deadline_exceeded
+
+    @property
+    def rows_per_s(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def budget_burned(self) -> bool:
+        """Whether the run's availability error budget was spent."""
+        verdict = (self.telemetry or {}).get("last_evaluation") or {}
+        return bool(verdict.get("budget_burned"))
+
+
+class AsyncGateway:
+    """Route, admit, shard, answer -- without blocking the event loop."""
+
+    def __init__(self, model, version: int = 1,
+                 config: GatewayConfig | None = None, *,
+                 telemetry: TelemetryPlane | None = None,
+                 breaker_clock=time.monotonic):
+        self.config = config or GatewayConfig()
+        if self.config.shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.version = int(version)
+        #: version -> codec; responses format through the codec of the
+        #: version they were admitted under (a swap never tears them).
+        self._codecs: dict[int, RequestCodec] = {
+            self.version: RequestCodec(model)
+        }
+        self.telemetry = telemetry
+        if self.telemetry is None and self.config.telemetry:
+            self.telemetry = TelemetryPlane(
+                window_s=self.config.window_s,
+                slow_window_s=self.config.slow_window_s,
+                slos=self.default_slos(self.config),
+                baseline=baseline_of(model),
+            )
+        self.shards = [
+            PredictorShard(
+                i, model, self.version,
+                backend=self.config.backend,
+                queue_depth=self.config.queue_depth,
+                max_batch_size=self.config.max_batch_size,
+                max_wait_s=self.config.max_wait_ms / 1000.0,
+                deadline_s=self.config.request_deadline_ms / 1000.0,
+                predict_attempts=self.config.predict_attempts,
+                breaker_threshold=self.config.breaker_threshold,
+                breaker_reset_s=self.config.breaker_reset_s,
+                breaker_clock=breaker_clock,
+                telemetry=self.telemetry,
+                mp_context=self.config.mp_context,
+            )
+            for i in range(self.config.shards)
+        ]
+        self._requests = 0
+        self._errors = 0
+        self._shed = 0
+        self._failures = 0
+        self._deadline_exceeded = 0
+        self._swaps = 0
+        self._connections = 0
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------- #
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "AsyncGateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def default_slos(config: "GatewayConfig") -> list:
+        return [
+            LatencySLO("gateway.latency_p99", "serve.request_latency_s",
+                       0.99, config.latency_slo_p99_ms / 1000.0),
+            LatencySLO("gateway.latency_p999", "serve.request_latency_s",
+                       0.999, config.latency_slo_p999_ms / 1000.0),
+            AvailabilitySLO("gateway.availability",
+                            good="gateway.ok_total",
+                            bad="gateway.failed_total",
+                            target=config.availability_target),
+        ]
+
+    # -- hot swap ------------------------------------------------------------ #
+
+    def swap(self, model, version: int) -> None:
+        """Serve ``(model, version)`` for every *new* request.
+
+        In-flight requests finish against the version they were admitted
+        under; the codec table keeps every version's formatter alive, so
+        a response is always rendered by the model that predicted it.
+        """
+        version = int(version)
+        self._codecs[version] = RequestCodec(model)
+        for shard in self.shards:
+            shard.swap(model, version)
+        old = self.version
+        self.version = version
+        self._swaps += 1
+        obs.inc("gateway.model_swaps_total")
+        if self.telemetry is not None:
+            self.telemetry.inc("gateway.model_swaps_total")
+        _LOG.info("gateway swapped model", trace_id="-", shard=-1,
+                  old_version=old, new_version=version)
+
+    def swap_latest(self, registry, name: str) -> int | None:
+        """Hot-load the registry's newest version of ``name`` if newer.
+
+        Returns the new version number, or None when already current.
+        """
+        latest = registry.latest_version(name)
+        if latest is None or int(latest) == self.version:
+            return None
+        model = registry.load_resilient(name, int(latest))
+        self.swap(model, int(latest))
+        return int(latest)
+
+    # -- admission (synchronous; called from the event loop) ------------------ #
+
+    def _admit(self, line: str):
+        """Parse, route and submit one request line.
+
+        Returns ``(req, pending, trace_id, shard_index, version)`` where
+        ``pending`` is either a pre-formed response dict (bad request /
+        shed) or the shard future the writer will await.
+        """
+        codec = self._codecs[self.version]
+        req, features = codec.parse_request(line)
+        tid = codec.trace_of(req)
+        self._requests += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("gateway.requests_total")
+        if features is None:
+            self._errors += 1
+            obs.inc("gateway.bad_requests_total")
+            response = codec.error_response(req)
+            return req, response, tid, -1, self.version
+        key = routing_key(req, tid)
+        shard_index = route(key, len(self.shards),
+                            seed=self.config.routing_seed)
+        shard = self.shards[shard_index]
+        try:
+            fut, version = shard.submit(features, trace_id=tid)
+        except ShedError as exc:
+            self._shed += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("gateway.shed_total")
+                self.telemetry.inc("gateway.failed_total")
+            _LOG.warning("request shed at admission", trace_id=tid,
+                         shard=shard_index, reason=exc.reason)
+            response = codec.attach_id(
+                {"error": f"service unavailable: {exc.reason}",
+                 "status": 429},
+                req,
+            )
+            return req, response, tid, shard_index, self.version
+        return req, fut, tid, shard_index, version
+
+    async def _settle(self, entry) -> dict:
+        """One response dict for one admitted entry (awaits the future)."""
+        req, pending, tid, shard_index, version = entry
+        if isinstance(pending, dict):
+            response = pending
+        else:
+            codec = self._codecs[version]
+            try:
+                result = await asyncio.wrap_future(pending)
+            except DeadlineExceeded as exc:
+                self._deadline_exceeded += 1
+                if self.telemetry is not None:
+                    self.telemetry.inc("gateway.deadline_exceeded_total")
+                    self.telemetry.inc("gateway.failed_total")
+                _LOG.warning("request deadline exceeded", trace_id=tid,
+                             shard=shard_index, error=str(exc))
+                response = codec.attach_id(
+                    {"error": f"deadline exceeded: {exc}"}, req)
+            except Exception as exc:
+                self._failures += 1
+                obs.inc("gateway.request_failures_total")
+                if self.telemetry is not None:
+                    self.telemetry.inc("gateway.failed_total")
+                _LOG.warning("request failed", trace_id=tid,
+                             shard=shard_index, error=str(exc))
+                response = codec.attach_id(
+                    {"error": f"prediction failed: {exc}"}, req)
+            else:
+                if self.telemetry is not None:
+                    self.telemetry.inc("gateway.ok_total")
+                    self.telemetry.observe_drift(codec.drift_value(result))
+                response = codec.format_response(req, result)
+                response["model_version"] = version
+        if shard_index >= 0:
+            response["shard"] = shard_index
+        response["trace"] = tid
+        if self.telemetry is not None:
+            self.telemetry.maybe_evaluate()
+        return response
+
+    # -- connections --------------------------------------------------------- #
+
+    async def handle_connection(self, lines, write) -> None:
+        """Serve one connection: async line stream in, ordered lines out.
+
+        ``lines`` is an async iterator of raw request lines; ``write``
+        is an async callable receiving each response line (newline
+        included).  Responses come back in request order -- a per-
+        connection writer task settles pending futures in sequence, so
+        slow rows on one connection never reorder (or block) another
+        connection's stream.
+        """
+        self._connections += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("gateway.connections_total")
+        pending: asyncio.Queue = asyncio.Queue()
+
+        async def writer():
+            while True:
+                entry = await pending.get()
+                if entry is None:
+                    return
+                response = await self._settle(entry)
+                await write(json.dumps(response) + "\n")
+
+        writer_task = asyncio.ensure_future(writer())
+        touched: set[int] = set()
+        try:
+            async for line in lines:
+                if not line.strip():
+                    continue
+                entry = self._admit(line)
+                if entry[3] >= 0 and not isinstance(entry[1], dict):
+                    touched.add(entry[3])
+                await pending.put(entry)
+        finally:
+            # End of input: wake every touched shard's collector so tail
+            # batches predict now, then let the writer drain in order.
+            for shard_index in touched:
+                self.shards[shard_index].flush()
+            await pending.put(None)
+            await writer_task
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """One TCP client (the ``serve_tcp`` connection callback)."""
+
+        async def lines():
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    return
+                yield raw.decode("utf-8", errors="replace")
+
+        async def write(text: str):
+            writer.write(text.encode())
+            await writer.drain()
+
+        try:
+            await self.handle_connection(lines(), write)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """A listening ``asyncio`` server speaking the JSONL protocol."""
+        server = await asyncio.start_server(self._handle_client, host, port)
+        addr = server.sockets[0].getsockname()
+        _LOG.info("gateway listening", trace_id="-", shard=-1,
+                  host=addr[0], port=addr[1],
+                  shards=len(self.shards))
+        return server
+
+    # -- sync entry point (CLI parity with InferenceService.run_jsonl) -------- #
+
+    def run_jsonl(self, lines, out) -> GatewayStats:
+        """Serve every line of ``lines`` as one connection; write to ``out``.
+
+        The sync wrapper the CLI uses: same signature and summary shape
+        as :meth:`InferenceService.run_jsonl`, but requests fan out over
+        the shard fleet.
+        """
+        t0 = time.perf_counter()
+
+        async def main():
+            async def line_stream():
+                for line in lines:
+                    yield line
+
+            async def write(text: str):
+                out.write(text)
+
+            await self.handle_connection(line_stream(), write)
+
+        asyncio.run(main())
+        return self.collect_stats(wall_s=time.perf_counter() - t0)
+
+    def collect_stats(self, wall_s: float = 0.0) -> GatewayStats:
+        stats = GatewayStats(
+            requests=self._requests,
+            errors=self._errors,
+            shed=self._shed,
+            failures=self._failures,
+            deadline_exceeded=self._deadline_exceeded,
+            swaps=self._swaps,
+            connections=self._connections,
+            wall_s=wall_s,
+            per_shard=[shard.stats() for shard in self.shards],
+        )
+        if self.telemetry is not None:
+            self.telemetry.evaluate()
+            stats.telemetry = self.telemetry.snapshot()
+        return stats
+
+
+async def run_open_loop(gateway: AsyncGateway, streams) -> list[list[dict]]:
+    """Drive concurrent open-loop connections; per-connection responses.
+
+    ``streams`` is a list of :class:`~repro.gateway.loadgen.
+    ScheduledRequests` (or any async iterable yielding ``(t_due,
+    line)`` pairs -- each stream owns its replay ``time_scale``), one
+    per simulated connection.  Every connection runs
+    concurrently on the loop; responses come back parsed, in request
+    order per connection.  The harness under ``tests/gateway/`` and
+    ``benchmarks/bench_gateway.py`` both drive the gateway through here.
+    """
+
+    async def one(stream) -> list[dict]:
+        responses: list[dict] = []
+
+        async def lines():
+            async for _, line in stream:
+                yield line
+
+        async def write(text: str):
+            responses.append(json.loads(text))
+
+        await gateway.handle_connection(lines(), write)
+        return responses
+
+    return list(await asyncio.gather(*(one(s) for s in streams)))

@@ -1,0 +1,147 @@
+"""Deterministic open-loop load: seeded arrival schedules for the gateway.
+
+Closed-loop load (send, wait, send) hides overload: the generator slows
+down exactly when the server does, so tail latency looks flat no matter
+how sick the backend is (the *coordinated omission* trap).  The bench
+and the chaos suite drive the gateway **open loop** instead -- request
+``i`` is due at schedule time ``t_i`` regardless of how request ``i-1``
+fared -- which is the only arrival model under which p99/p999 and shed
+rates mean anything.
+
+Three arrival processes, all pure functions of ``(seed, rate, horizon)``
+via :func:`numpy.random.default_rng`:
+
+* :func:`steady`   -- homogeneous Poisson: exponential inter-arrivals
+  at a constant ``rate_hz``.
+* :func:`diurnal`  -- inhomogeneous Poisson whose rate follows a
+  sinusoidal day curve (peak/trough around the mean), sampled by
+  *thinning* [Lewis & Shedler 1979]: draw at the peak rate, keep each
+  arrival with probability ``rate(t)/peak``.
+* :func:`flash_crowd` -- a steady base rate with a burst window at
+  ``burst_mult`` times the base (a stadium emptying onto one cell),
+  also via thinning.
+
+Schedules are plain ``float`` arrival-time arrays; they can be replayed
+wall-clock (``time_scale=1``), compressed for tests, or fed through
+:class:`ScheduledRequests` which asyncio-sleeps until each due time and
+yields ``(t_due, line)`` pairs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+__all__ = [
+    "ScheduledRequests",
+    "diurnal",
+    "flash_crowd",
+    "steady",
+]
+
+
+def steady(rate_hz: float, horizon_s: float, seed: int = 0) -> np.ndarray:
+    """Poisson arrivals at a constant rate over ``[0, horizon_s)``."""
+    if rate_hz <= 0 or horizon_s <= 0:
+        return np.empty(0)
+    rng = np.random.default_rng(seed)
+    # Draw enough exponentials to cover the horizon with slack, then cut.
+    n_guess = max(16, int(rate_hz * horizon_s * 1.5) + 64)
+    times = np.cumsum(rng.exponential(1.0 / rate_hz, size=n_guess))
+    while times.size and times[-1] < horizon_s:
+        more = np.cumsum(rng.exponential(1.0 / rate_hz, size=n_guess))
+        times = np.concatenate([times, times[-1] + more])
+    return times[times < horizon_s]
+
+
+def _thin(peak_rate_hz: float, horizon_s: float, seed: int, rate_fn
+          ) -> np.ndarray:
+    """Inhomogeneous Poisson by thinning a peak-rate homogeneous draw."""
+    candidates = steady(peak_rate_hz, horizon_s, seed)
+    if candidates.size == 0:
+        return candidates
+    rng = np.random.default_rng(seed + 1)  # independent keep/drop stream
+    keep_prob = np.asarray(rate_fn(candidates), dtype=float) / peak_rate_hz
+    return candidates[rng.random(candidates.size) < keep_prob]
+
+
+def diurnal(mean_rate_hz: float, horizon_s: float, seed: int = 0,
+            period_s: float | None = None,
+            swing: float = 0.8) -> np.ndarray:
+    """A sinusoidal day curve: rate(t) = mean * (1 + swing*sin(...)).
+
+    ``period_s`` defaults to the horizon (one full day compressed into
+    the run); ``swing`` in [0, 1) sets peak/trough amplitude.
+    """
+    if not 0.0 <= swing < 1.0:
+        raise ValueError("swing must be within [0, 1)")
+    if mean_rate_hz <= 0 or horizon_s <= 0:
+        return np.empty(0)
+    period = period_s if period_s is not None else horizon_s
+    peak = mean_rate_hz * (1.0 + swing)
+
+    def rate_fn(t):
+        return mean_rate_hz * (1.0 + swing * np.sin(2 * np.pi * t / period))
+
+    return _thin(peak, horizon_s, seed, rate_fn)
+
+
+def flash_crowd(base_rate_hz: float, horizon_s: float, seed: int = 0,
+                burst_start_frac: float = 0.4,
+                burst_len_frac: float = 0.2,
+                burst_mult: float = 8.0) -> np.ndarray:
+    """A steady base with one burst window at ``burst_mult`` x the base."""
+    if burst_mult < 1.0:
+        raise ValueError("burst_mult must be >= 1")
+    if base_rate_hz <= 0 or horizon_s <= 0:
+        return np.empty(0)
+    t0 = horizon_s * burst_start_frac
+    t1 = t0 + horizon_s * burst_len_frac
+    peak = base_rate_hz * burst_mult
+
+    def rate_fn(t):
+        t = np.asarray(t)
+        return np.where((t >= t0) & (t < t1), peak, base_rate_hz)
+
+    return _thin(peak, horizon_s, seed, rate_fn)
+
+
+class ScheduledRequests:
+    """Replay ``lines`` at ``schedule`` times (open loop) in asyncio.
+
+    An async iterator yielding ``(t_due_s, line)`` as each due time
+    arrives on the loop's clock; ``time_scale`` compresses the schedule
+    (0.1 = ten times faster than recorded).  Crucially it sleeps until
+    the *schedule*, never until the previous response -- arrival times
+    do not depend on service times.
+    """
+
+    def __init__(self, schedule, lines, time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        schedule = np.asarray(schedule, dtype=float)
+        lines = list(lines)
+        if schedule.size != len(lines):
+            raise ValueError(
+                f"schedule has {schedule.size} arrivals for "
+                f"{len(lines)} lines"
+            )
+        self.schedule = schedule
+        self.lines = lines
+        self.time_scale = time_scale
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __aiter__(self):
+        return self._gen()
+
+    async def _gen(self):
+        loop = asyncio.get_running_loop()
+        t_start = loop.time()
+        for t_due, line in zip(self.schedule, self.lines):
+            delay = t_start + t_due * self.time_scale - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            yield float(t_due), line

@@ -1,0 +1,60 @@
+"""Rendezvous (highest-random-weight) routing of UE keys to shards.
+
+Every request carries a routing key -- the UE identity, an area name,
+whatever the client wants its requests partitioned by -- and the
+gateway must map that key to one of N predictor shards such that
+
+* the mapping is **deterministic** across processes and platforms
+  (replays and chaos transcripts stay stable),
+* keys spread **evenly** (no shard melts while its neighbors idle), and
+* changing the shard count is **minimally disruptive**: growing N to
+  N+1 moves only the keys whose highest score belongs to the new shard
+  (an expected 1/(N+1) fraction), and every moved key lands *on* the
+  new shard -- the classic rendezvous-hashing guarantee, which
+  ``hash(key) % N`` (reshuffles almost everything) cannot give.
+
+Scores are blake2b hashes of ``(seed, key, shard)`` -- the same
+primitive family as :func:`repro.resil.faults.unit_hash`, stable with
+no dependence on Python's randomized ``hash()``.  ``tests/gateway/``
+pins all three properties with hypothesis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["route", "shard_scores"]
+
+
+def _score(seed: int, key: str, shard: int) -> int:
+    """Deterministic 64-bit weight of placing ``key`` on ``shard``."""
+    token = f"{int(seed)}|{key}|{int(shard)}".encode()
+    digest = hashlib.blake2b(token, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def shard_scores(key: str, n_shards: int, seed: int = 0) -> list[int]:
+    """Every shard's rendezvous score for ``key`` (index = shard)."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return [_score(seed, key, s) for s in range(n_shards)]
+
+
+def route(key: str, n_shards: int, seed: int = 0) -> int:
+    """The shard index owning ``key``: argmax of the rendezvous scores.
+
+    Ties (a ~2^-64 event) break toward the lower shard index so the
+    answer is still a pure function of ``(seed, key, n_shards)``.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_shards == 1:
+        return 0
+    best_shard = 0
+    best_score = -1
+    for shard in range(n_shards):
+        score = _score(seed, key, shard)
+        if score > best_score:
+            best_score = score
+            best_shard = shard
+    return best_shard

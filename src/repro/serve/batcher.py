@@ -30,6 +30,16 @@ batch predict is retried up to ``predict_attempts`` times (the
 ``serve.predict`` fault seam fires here) before the error is fanned out
 to the waiting futures; re-running a pure predict on the same matrix is
 side-effect free, so the retry is invisible in results.
+
+Flush wake-up: a producer that knows it has submitted its last row for
+now calls :meth:`BatchPredictor.flush` -- a marker rides the queue and
+tells the collector to predict what it holds *immediately* instead of
+waiting out the full ``max_wait_s`` straggler window on a queue that
+has already drained.  ``predict_many`` and the serve/gateway loops
+flush at the end of every submission window, so the old worst case
+(one tail batch idling ``max_wait_s`` with its submitter blocked on the
+futures) cannot happen.  The clock is injectable (``clock=``) so
+deadline math is unit-testable without sleeping.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from repro.resil.retry import DeadlineExceeded
 from repro.serve.cache import PredictionCache
 
 _STOP = object()
+_FLUSH = object()
 _LOG = obs.get_logger("serve.batcher")
 
 faults.register_point(
@@ -68,6 +79,7 @@ class BatchPredictor:
         deadline_s: float = 0.0,
         predict_attempts: int = 2,
         telemetry=None,
+        clock=time.perf_counter,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -87,6 +99,9 @@ class BatchPredictor:
         self.predict_attempts = predict_attempts
         #: Optional TelemetryPlane receiving windowed latency observations.
         self.telemetry = telemetry
+        #: Injectable time source for enqueue stamps, the straggler wait
+        #: and deadline expiry (tests pass a manual clock).
+        self.clock = clock
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._thread: threading.Thread | None = None
         self._closed = False
@@ -153,15 +168,28 @@ class BatchPredictor:
                     self.telemetry.observe("serve.request_latency_s", 0.0)
                 fut.set_result(hit)
                 return fut
-        t_enqueue = time.perf_counter()
+        t_enqueue = self.clock()
         t_deadline = t_enqueue + self.deadline_s if self.deadline_s > 0 \
             else None
         self._queue.put((row, fut, t_enqueue, key, t_deadline, trace_id))
         return fut
 
+    def flush(self) -> None:
+        """Tell the collector the producer is (for now) done submitting.
+
+        The marker overtakes nothing -- rows already queued still batch
+        in order -- but once the collector reaches it, the current batch
+        predicts immediately instead of waiting out ``max_wait_s`` for
+        stragglers that are not coming.  Safe to call any number of
+        times; a no-op on a closed predictor.
+        """
+        if not self._closed and self._thread is not None:
+            self._queue.put(_FLUSH)
+
     def predict_many(self, X) -> list:
         """Submit every row of ``X`` and wait; per-row results in order."""
         futures = [self.submit(row) for row in np.asarray(X, dtype=float)]
+        self.flush()  # last item submitted: wake the collector now
         return [f.result() for f in futures]
 
     # -- worker ------------------------------------------------------------- #
@@ -169,9 +197,9 @@ class BatchPredictor:
     def _collect(self, first) -> tuple[list, bool]:
         """One micro-batch starting from ``first``; True when stopping."""
         batch = [first]
-        deadline = time.perf_counter() + self.max_wait_s
+        deadline = self.clock() + self.max_wait_s
         while len(batch) < self.max_batch_size:
-            timeout = deadline - time.perf_counter()
+            timeout = deadline - self.clock()
             if timeout <= 0:
                 try:
                     item = self._queue.get_nowait()
@@ -184,6 +212,10 @@ class BatchPredictor:
                     break
             if item is _STOP:
                 return batch, True
+            if item is _FLUSH:
+                # The producer marked the end of its submissions: stop
+                # waiting for stragglers and predict what we hold.
+                break
             batch.append(item)
         return batch, False
 
@@ -192,6 +224,8 @@ class BatchPredictor:
             item = self._queue.get()
             if item is _STOP:
                 return
+            if item is _FLUSH:  # stale marker: nothing queued behind it
+                continue
             batch, stopping = self._collect(item)
             self._predict_batch(batch)
             if stopping:
@@ -199,7 +233,7 @@ class BatchPredictor:
 
     def _expire(self, batch: list) -> list:
         """Fail rows whose deadline already passed; returns the live rest."""
-        now = time.perf_counter()
+        now = self.clock()
         live = []
         for item in batch:
             t_deadline = item[4]
@@ -223,7 +257,7 @@ class BatchPredictor:
         rows = [item[0] for item in batch]
         seq = self._batch_seq
         self._batch_seq += 1
-        t0 = time.perf_counter()
+        t0 = self.clock()
         preds = None
         for attempt in range(self.predict_attempts):
             try:
@@ -248,7 +282,7 @@ class BatchPredictor:
                              trace_id=batch[0][5] or "-",
                              batch_seq=seq, attempt=attempt + 1,
                              error=str(exc))
-        done = time.perf_counter()
+        done = self.clock()
         preds = np.asarray(preds)
         self.requests += len(batch)
         self.batches += 1

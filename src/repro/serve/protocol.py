@@ -1,0 +1,173 @@
+"""The JSONL request/response codec shared by serve and gateway.
+
+One request per line::
+
+    {"id": 7, "features": [12.0, 3.5, null, 140.0]}
+    {"id": 8, "row": {"moving_speed": 1.2, ...}}          # stamped models
+    {"id": 9, "key": "ue-42", "features": [...]}          # gateway routing
+
+One response per line::
+
+    {"id": 7, "prediction": 612.4}                        # regressor
+    {"id": 8, "prediction": "High", "proba": [...]}       # classifier
+    {"id": 9, "error": "features must be ..."}            # bad request
+
+:class:`RequestCodec` owns everything about this wire format that
+depends only on the *model* -- parsing feature arrays and ``"row"``
+requests (through the model's stamped feature view), trace-ID
+extraction, error-message construction and response formatting -- so
+:class:`~repro.serve.service.InferenceService` (single process) and
+:class:`~repro.gateway.AsyncGateway` (sharded) speak byte-identical
+protocol without duplicating the rules.
+
+``null`` features become NaN (a missing signal reading -- the tree
+models route those through their missing-value bin).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.fstore import OnlineFeatureServer, view_from_dict, view_of
+from repro.obs.telemetry import new_trace_id
+
+__all__ = ["RequestCodec", "routing_key"]
+
+
+def routing_key(req: dict | None, trace_id: str) -> str:
+    """The request's shard-routing key (gateway; docs/serving.md).
+
+    An explicit ``"key"`` wins (the UE / area identity the client wants
+    requests partitioned by), else ``"ue"``, else the request ``"id"``,
+    else the trace ID -- so every request routes deterministically even
+    without client cooperation.
+    """
+    if isinstance(req, dict):
+        for field in ("key", "ue", "id"):
+            value = req.get(field)
+            if value is not None and not isinstance(value, (dict, list)):
+                return str(value)
+    return trace_id
+
+
+class RequestCodec:
+    """Parse requests and format responses for one model's protocol."""
+
+    def __init__(self, model):
+        self.model = model
+        self.is_classifier = hasattr(model, "predict_proba")
+        self.classes = (
+            [c for c in np.asarray(model.classes_).tolist()]
+            if self.is_classifier else None
+        )
+        self.n_features = getattr(model, "n_features_", None)
+        #: The online feature path: models published through
+        #: ``Lumos5G.publish`` carry their feature-view stamp
+        #: (``repro.fstore.attach_view``), which lets the codec accept
+        #: ``{"row": {...}}`` requests -- raw telemetry fields -- and
+        #: compute the feature vector itself, bit-identically to
+        #: training-time materialization.  Unstamped models still serve
+        #: ``"features"`` requests.
+        stamp = view_of(model)
+        self.feature_server = (
+            OnlineFeatureServer(view_from_dict(stamp["view"]))
+            if isinstance(stamp, dict) and "view" in stamp else None
+        )
+
+    # -- requests ------------------------------------------------------------ #
+
+    def parse_request(self, line: str) -> tuple[dict | None, np.ndarray | None]:
+        """(request, features) -- features is None on a bad request."""
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError:
+            return None, None
+        if not isinstance(req, dict):
+            return None, None
+        raw = req.get("features")
+        if raw is None and "row" in req:
+            return req, self._row_features(req.get("row"))
+        if not isinstance(raw, list) or not raw:
+            return req, None
+        try:
+            features = np.asarray(
+                [float("nan") if v is None else float(v) for v in raw],
+                dtype=float,
+            )
+        except (TypeError, ValueError):
+            return req, None
+        if self.n_features is not None and len(features) != self.n_features:
+            return req, None
+        return req, features
+
+    def _row_features(self, row) -> np.ndarray | None:
+        """Feature vector for a ``"row"`` request; None on a bad row."""
+        if self.feature_server is None or not isinstance(row, dict):
+            return None
+        try:
+            return self.feature_server.vector(row)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def trace_of(req: dict | None) -> str:
+        """The request's trace ID: the client's ``"trace"``, else minted."""
+        if isinstance(req, dict):
+            tid = req.get("trace")
+            if isinstance(tid, str) and tid:
+                return tid
+        return new_trace_id()
+
+    # -- responses ----------------------------------------------------------- #
+
+    def error_response(self, req: dict | None) -> dict:
+        if req is None:
+            message = "invalid JSON request line"
+        elif req.get("features") is None and "row" in req:
+            if self.feature_server is None:
+                message = ("model carries no feature-view stamp; "
+                           "'row' requests need a model published with "
+                           "repro.fstore.attach_view")
+            elif not isinstance(req.get("row"), dict):
+                message = "'row' must be an object of telemetry fields"
+            else:
+                message = ("row is missing or has malformed fields for "
+                           f"feature view "
+                           f"{self.feature_server.view.name!r}")
+        elif not isinstance(req.get("features"), list):
+            message = "request must carry a 'features' array"
+        elif self.n_features is not None and isinstance(
+            req.get("features"), list
+        ) and len(req["features"]) != self.n_features:
+            message = (f"expected {self.n_features} features, "
+                       f"got {len(req['features'])}")
+        else:
+            message = "features must be numbers or null"
+        return self.attach_id({"error": message}, req)
+
+    @staticmethod
+    def attach_id(response: dict, req: dict | None) -> dict:
+        """Copy the request ``"id"`` onto ``response`` (in place)."""
+        if isinstance(req, dict) and "id" in req:
+            response["id"] = req["id"]
+        return response
+
+    def format_response(self, req: dict, pred) -> dict:
+        out: dict = {}
+        if "id" in req:
+            out["id"] = req["id"]
+        if self.is_classifier:
+            proba = np.asarray(pred, dtype=float)
+            out["prediction"] = self.classes[int(np.argmax(proba))]
+            out["proba"] = [round(float(p), 6) for p in proba]
+        else:
+            out["prediction"] = float(pred)
+        return out
+
+    def drift_value(self, result) -> float:
+        """The scalar the drift monitor watches for one prediction."""
+        if self.is_classifier:
+            return float(np.max(np.asarray(result, dtype=float)))
+        return float(result)

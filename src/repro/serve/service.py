@@ -1,20 +1,11 @@
 """JSONL inference service: the request loop behind ``repro serve``.
 
-One request per line::
-
-    {"id": 7, "features": [12.0, 3.5, null, 140.0]}
-
-One response per line, in request order::
-
-    {"id": 7, "prediction": 612.4}                       # regressor
-    {"id": 8, "prediction": "High", "proba": [...]}      # classifier
-    {"id": 9, "error": "features must be ..."}           # bad request
-
-``null`` features become NaN (a missing signal reading -- the tree
-models route those through their missing-value bin).  Lines are read
-ahead in windows of several batches and submitted together so the
-micro-batcher actually sees concurrent work even from a serial stdin
-stream; responses are flushed strictly in input order.
+One request per line, one response per line, in request order; the wire
+format lives in :class:`~repro.serve.protocol.RequestCodec` (shared with
+the sharded gateway, ``repro.gateway``).  Lines are read ahead in
+windows of several batches and submitted together so the micro-batcher
+actually sees concurrent work even from a serial stdin stream;
+responses are flushed strictly in input order.
 
 Resilience (docs/robustness.md): a failed prediction never kills the
 loop -- the affected request gets an ``{"error": "prediction failed:
@@ -24,6 +15,13 @@ requests are short-circuited with ``service unavailable`` responses
 until the reset timeout probes the model again.
 ``ServeConfig.request_deadline_ms`` bounds how long a request may sit
 queued before failing with a deadline error instead of adding latency.
+
+:class:`ServeStats` tells the three failure modes apart: ``failures``
+counts predictions that reached the model and blew up, ``shed`` counts
+breaker short-circuits (the model was never asked), and
+``deadline_exceeded`` counts requests that expired in the queue.  Only
+genuine prediction failures feed the circuit breaker -- shedding and
+deadline expiry are load symptoms, not model faults.
 
 Telemetry (docs/observability.md): every request is minted a trace ID
 (honoring a client-supplied ``"trace"`` field) that rides through the
@@ -45,18 +43,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
-from repro.fstore import OnlineFeatureServer, view_from_dict, view_of
 from repro.obs.telemetry import (
     AvailabilitySLO,
     LatencySLO,
     TelemetryPlane,
     baseline_of,
-    new_trace_id,
     trace_scope,
 )
-from repro.resil.retry import CircuitBreaker
+from repro.resil.retry import CircuitBreaker, DeadlineExceeded
 from repro.serve.batcher import BatchPredictor
 from repro.serve.cache import PredictionCache
+from repro.serve.protocol import RequestCodec
 
 _LOG = obs.get_logger("serve.service")
 
@@ -98,16 +95,26 @@ class ServeStats:
 
     requests: int = 0
     errors: int = 0
-    #: Requests that reached the model but failed (prediction errors,
-    #: deadline expiries, breaker short-circuits) -- distinct from
-    #: ``errors``, which counts malformed requests.
+    #: Requests that reached the model and failed there (prediction
+    #: errors) -- distinct from ``errors``, which counts malformed
+    #: requests, and from the two load-failure counters below.
     failures: int = 0
+    #: Requests short-circuited by the open service breaker ("service
+    #: unavailable") without ever reaching the model.
+    shed: int = 0
+    #: Requests that expired in the queue (``request_deadline_ms``).
+    deadline_exceeded: int = 0
     batches: int = 0
     cache_hits: int = 0
     wall_s: float = 0.0
     #: Final telemetry-plane snapshot (windows, last SLO/drift verdict,
     #: run totals) -- None when the plane is disabled.
     telemetry: dict | None = field(default=None, repr=False)
+
+    @property
+    def failed_total(self) -> int:
+        """Every non-ok model-path outcome, whatever the mechanism."""
+        return self.failures + self.shed + self.deadline_exceeded
 
     @property
     def rows_per_s(self) -> float:
@@ -140,24 +147,8 @@ class InferenceService:
                 baseline=baseline_of(model),
                 event_stream=event_stream,
             )
-        self.is_classifier = hasattr(model, "predict_proba")
-        self.classes = (
-            [c for c in np.asarray(model.classes_).tolist()]
-            if self.is_classifier else None
-        )
-        self.n_features = getattr(model, "n_features_", None)
-        #: The online feature path: models published through
-        #: ``Lumos5G.publish`` carry their feature-view stamp
-        #: (``repro.fstore.attach_view``), which lets the service accept
-        #: ``{"row": {...}}`` requests -- raw telemetry fields -- and
-        #: compute the feature vector itself, bit-identically to
-        #: training-time materialization.  Unstamped models still serve
-        #: ``"features"`` requests.
-        stamp = view_of(model)
-        self.feature_server = (
-            OnlineFeatureServer(view_from_dict(stamp["view"]))
-            if isinstance(stamp, dict) and "view" in stamp else None
-        )
+        #: The JSONL wire format, shared with the gateway.
+        self.codec = RequestCodec(model)
         self.cache = (
             PredictionCache(
                 max_entries=self.config.cache_size,
@@ -165,7 +156,7 @@ class InferenceService:
             )
             if self.config.cache_size > 0 else None
         )
-        predict_fn = (model.predict_proba if self.is_classifier
+        predict_fn = (model.predict_proba if self.codec.is_classifier
                       else model.predict)
         self.batcher = BatchPredictor(
             predict_fn,
@@ -181,6 +172,27 @@ class InferenceService:
             reset_timeout_s=self.config.breaker_reset_s,
         )
 
+    # -- codec facade (kept for callers and tests of the old surface) -------- #
+
+    @property
+    def is_classifier(self) -> bool:
+        return self.codec.is_classifier
+
+    @property
+    def classes(self):
+        return self.codec.classes
+
+    @property
+    def n_features(self):
+        return self.codec.n_features
+
+    @property
+    def feature_server(self):
+        return self.codec.feature_server
+
+    def parse_request(self, line: str):
+        return self.codec.parse_request(line)
+
     @staticmethod
     def default_slos(config: ServeConfig) -> list:
         """The serve path's declarative SLOs for a given config."""
@@ -193,90 +205,6 @@ class InferenceService:
                             good="serve.ok_total", bad="serve.failed_total",
                             target=config.availability_target),
         ]
-
-    # -- request handling --------------------------------------------------- #
-
-    def parse_request(self, line: str) -> tuple[dict | None, np.ndarray | None]:
-        """(request, features) -- features is None on a bad request."""
-        try:
-            req = json.loads(line)
-        except json.JSONDecodeError:
-            return None, None
-        if not isinstance(req, dict):
-            return None, None
-        raw = req.get("features")
-        if raw is None and "row" in req:
-            return req, self._row_features(req.get("row"))
-        if not isinstance(raw, list) or not raw:
-            return req, None
-        try:
-            features = np.asarray(
-                [float("nan") if v is None else float(v) for v in raw],
-                dtype=float,
-            )
-        except (TypeError, ValueError):
-            return req, None
-        if self.n_features is not None and len(features) != self.n_features:
-            return req, None
-        return req, features
-
-    def _row_features(self, row) -> np.ndarray | None:
-        """Feature vector for a ``"row"`` request; None on a bad row."""
-        if self.feature_server is None or not isinstance(row, dict):
-            return None
-        try:
-            return self.feature_server.vector(row)
-        except (KeyError, TypeError, ValueError):
-            return None
-
-    @staticmethod
-    def _trace_of(req: dict | None) -> str:
-        """The request's trace ID: the client's ``"trace"``, else minted."""
-        if isinstance(req, dict):
-            tid = req.get("trace")
-            if isinstance(tid, str) and tid:
-                return tid
-        return new_trace_id()
-
-    def _error_response(self, req: dict | None) -> dict:
-        if req is None:
-            message = "invalid JSON request line"
-        elif req.get("features") is None and "row" in req:
-            if self.feature_server is None:
-                message = ("model carries no feature-view stamp; "
-                           "'row' requests need a model published with "
-                           "repro.fstore.attach_view")
-            elif not isinstance(req.get("row"), dict):
-                message = "'row' must be an object of telemetry fields"
-            else:
-                message = ("row is missing or has malformed fields for "
-                           f"feature view "
-                           f"{self.feature_server.view.name!r}")
-        elif not isinstance(req.get("features"), list):
-            message = "request must carry a 'features' array"
-        elif self.n_features is not None and isinstance(
-            req.get("features"), list
-        ) and len(req["features"]) != self.n_features:
-            message = (f"expected {self.n_features} features, "
-                       f"got {len(req['features'])}")
-        else:
-            message = "features must be numbers or null"
-        out = {"error": message}
-        if isinstance(req, dict) and "id" in req:
-            out["id"] = req["id"]
-        return out
-
-    def _format_response(self, req: dict, pred) -> dict:
-        out: dict = {}
-        if "id" in req:
-            out["id"] = req["id"]
-        if self.is_classifier:
-            proba = np.asarray(pred, dtype=float)
-            out["prediction"] = self.classes[int(np.argmax(proba))]
-            out["proba"] = [round(float(p), 6) for p in proba]
-        else:
-            out["prediction"] = float(pred)
-        return out
 
     # -- the loop ----------------------------------------------------------- #
 
@@ -297,22 +225,23 @@ class InferenceService:
             for line in lines:
                 if not line.strip():
                     continue
-                req, features = self.parse_request(line)
-                tid = self._trace_of(req)
+                req, features = self.codec.parse_request(line)
+                tid = self.codec.trace_of(req)
                 if features is None:
                     stats.errors += 1
                     obs.inc("serve.bad_requests_total")
                     if plane is not None:
                         plane.inc("serve.bad_requests_total")
-                    window.append((req, self._error_response(req), tid))
+                    window.append((req, self.codec.error_response(req), tid))
                 elif not self.breaker.allow():
-                    stats.failures += 1
+                    stats.shed += 1
+                    obs.inc("serve.shed_total")
                     if plane is not None:
+                        plane.inc("serve.shed_total")
                         plane.inc("serve.failed_total")
-                    response = {"error":
-                                "service unavailable: circuit breaker open"}
-                    if isinstance(req, dict) and "id" in req:
-                        response["id"] = req["id"]
+                    response = self.codec.attach_id(
+                        {"error":
+                         "service unavailable: circuit breaker open"}, req)
                     window.append((req, response, tid))
                 else:
                     with trace_scope(tid):
@@ -341,20 +270,30 @@ class InferenceService:
             stats.telemetry = plane.snapshot()
         return stats
 
-    def _drift_value(self, result) -> float:
-        """The scalar the drift monitor watches for one prediction."""
-        if self.is_classifier:
-            return float(np.max(np.asarray(result, dtype=float)))
-        return float(result)
-
     def _flush(self, window: list, out, stats: ServeStats) -> None:
         plane = self.telemetry
+        # The producer is done submitting this window: wake the batcher
+        # so the tail batch predicts now instead of waiting out
+        # max_wait_s on an already-drained queue.
+        self.batcher.flush()
         for req, pending, tid in window:
             if isinstance(pending, dict):  # pre-formed error response
                 response = pending
             else:
                 try:
                     result = pending.result()
+                except DeadlineExceeded as exc:
+                    # The request expired queued: a load symptom, not a
+                    # model fault -- counted apart and kept away from
+                    # the breaker.
+                    stats.deadline_exceeded += 1
+                    if plane is not None:
+                        plane.inc("serve.deadline_exceeded_total")
+                        plane.inc("serve.failed_total")
+                    _LOG.warning("request deadline exceeded", trace_id=tid,
+                                 error=str(exc))
+                    response = self.codec.attach_id(
+                        {"error": f"deadline exceeded: {exc}"}, req)
                 except Exception as exc:
                     # One bad batch answers its own requests with error
                     # responses; the loop itself never dies.
@@ -365,15 +304,14 @@ class InferenceService:
                     _LOG.warning("request failed", trace_id=tid,
                                  error=str(exc))
                     self.breaker.record_failure()
-                    response = {"error": f"prediction failed: {exc}"}
-                    if isinstance(req, dict) and "id" in req:
-                        response["id"] = req["id"]
+                    response = self.codec.attach_id(
+                        {"error": f"prediction failed: {exc}"}, req)
                 else:
                     self.breaker.record_success()
                     if plane is not None:
                         plane.inc("serve.ok_total")
-                        plane.observe_drift(self._drift_value(result))
-                    response = self._format_response(req, result)
+                        plane.observe_drift(self.codec.drift_value(result))
+                    response = self.codec.format_response(req, result)
             response["trace"] = tid
             out.write(json.dumps(response) + "\n")
         if plane is not None:

@@ -1,0 +1,105 @@
+"""Shared harness for the gateway suite: fake models + open-loop driver.
+
+The driver is the in-process open-loop load harness the satellite asks
+for: per-connection arrival schedules come from the seeded generators
+in :mod:`repro.gateway.loadgen` (so a failing run replays exactly), the
+request lines carry connection-scoped ids, and the returned transcript
+makes drop/duplicate/reorder checks one-line assertions.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    ScheduledRequests,
+    run_open_loop,
+    steady,
+)
+
+
+class SumModel:
+    """Verifiable fake: prediction of ``[a, b]`` is exactly ``a + b``."""
+
+    n_features_ = 2
+
+    def predict(self, X):
+        return np.asarray(X).sum(axis=1)
+
+
+class ScaledSumModel(SumModel):
+    """A distinguishable 'new version' of :class:`SumModel`."""
+
+    def __init__(self, scale: float = 10.0):
+        self.scale = scale
+
+    def predict(self, X):
+        return self.scale * super().predict(X)
+
+
+def conn_lines(conn: int, n: int, n_keys: int = 7) -> list[str]:
+    """``n`` request lines for connection ``conn``; ids encode order."""
+    return [
+        json.dumps({
+            "id": f"c{conn}-{i}",
+            "key": f"ue-{i % n_keys}",
+            "features": [1.0, float(i)],
+        })
+        for i in range(n)
+    ]
+
+
+def expected_prediction(line: str, model=None) -> float:
+    req = json.loads(line)
+    features = np.asarray(req["features"], dtype=float)
+    model = model or SumModel()
+    return float(model.predict(features[None, :])[0])
+
+
+def drive(model, *, shards: int, n_conns: int = 4, rate_hz: float = 4000.0,
+          horizon_s: float = 0.02, seed: int = 0, time_scale: float = 1.0,
+          config_kwargs: dict | None = None, side=None):
+    """Open-loop load against a fresh gateway; returns the transcript.
+
+    Each connection gets its own seeded steady arrival schedule (seed +
+    connection index) and as many request lines as arrivals.  ``side``
+    is an optional ``async callable(gateway)`` run concurrently with
+    the load (hot swaps, chaos pokes).  Returns ``(per-connection
+    response lists, per-connection request-line lists, GatewayStats)``.
+    """
+    kwargs = dict(shards=shards, telemetry=False)
+    kwargs.update(config_kwargs or {})
+    gateway = AsyncGateway(model, version=1, config=GatewayConfig(**kwargs))
+    schedules = [steady(rate_hz, horizon_s, seed=seed + c)
+                 for c in range(n_conns)]
+    lines = [conn_lines(c, len(schedules[c])) for c in range(n_conns)]
+    streams = [ScheduledRequests(schedules[c], lines[c],
+                                 time_scale=time_scale)
+               for c in range(n_conns)]
+
+    async def main():
+        tasks = [run_open_loop(gateway, streams)]
+        if side is not None:
+            tasks.append(side(gateway))
+        results = await asyncio.gather(*tasks)
+        return results[0]
+
+    try:
+        responses = asyncio.run(main())
+        stats = gateway.collect_stats()
+    finally:
+        gateway.close()
+    return responses, lines, stats
+
+
+def assert_no_drop_dup_reorder(responses, lines):
+    """Every connection saw every response, exactly once, in order."""
+    for conn, (resp, sent) in enumerate(zip(responses, lines)):
+        got_ids = [r["id"] for r in resp]
+        want_ids = [json.loads(line)["id"] for line in sent]
+        assert got_ids == want_ids, (
+            f"connection {conn}: response ids diverge from request order"
+        )

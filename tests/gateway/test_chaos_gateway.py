@@ -1,0 +1,251 @@
+"""Chaos suite: the gateway under injected shard crashes and hot swaps.
+
+``REPRO_FAULTS="gateway.shard_crash:..."`` drives the same
+deterministic schedule through both backends (keyed by ``(shard_index,
+seq)``): the thread backend raises at the seam, the process backend
+``os._exit``\\ s the worker.  The contract under test -- a crashing
+shard trips *its* breaker, shed traffic is counted (not dropped), a
+recovered shard re-admits, and a hot swap mid-crash-storm never tears
+a response.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from _gateway_helpers import ScaledSumModel, SumModel, conn_lines
+from repro.gateway import AsyncGateway, GatewayConfig
+from repro.gateway.procworker import ProcessShardExecutor
+from repro.ml.gbdt import GBDTRegressor
+from repro.resil import faults
+
+
+class _Collect:
+    def __init__(self):
+        self.rows = []
+
+    def write(self, text):
+        self.rows.append(json.loads(text))
+
+
+def _run(gateway, lines):
+    out = _Collect()
+    gateway.run_jsonl(lines, out)
+    return out.rows
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(150, 3))
+    y = 200 + 40 * X[:, 0] + rng.normal(0, 4, 150)
+    return GBDTRegressor(n_estimators=6, max_depth=3,
+                         random_state=0).fit(X, y), X
+
+
+class TestBreakerLifecycle:
+    def test_crash_opens_breaker_sheds_then_recovers(self):
+        """The full arc on a manual breaker clock: crashing shard ->
+        failures -> breaker open -> sheds counted -> faults cleared +
+        clock advanced -> half-open probe -> traffic re-admitted."""
+        now = [0.0]
+        faults.configure("gateway.shard_crash:1.0")
+        gw = AsyncGateway(SumModel(), config=GatewayConfig(
+            shards=1, max_batch_size=4, max_wait_ms=0.0,
+            breaker_threshold=2, breaker_reset_s=30.0,
+            predict_attempts=1, telemetry=False,
+        ), breaker_clock=lambda: now[0])
+        try:
+            # Phase 1: every batch crashes.  Depending on thread timing
+            # the breaker may open while late requests are still being
+            # admitted, so responses are failures or sheds -- but never
+            # silent drops, and the breaker ends open.
+            rows = _run(gw, conn_lines(0, 6))
+            assert len(rows) == 6
+            assert all("error" in r for r in rows)
+            assert gw.shards[0].breaker.state == "open"
+            stats_1 = gw.collect_stats()
+            assert stats_1.failures >= 2  # enough to trip the breaker
+            assert stats_1.failed_total == 6
+
+            # Phase 2: breaker open -> everything sheds, nothing drops.
+            rows = _run(gw, conn_lines(0, 5))
+            assert len(rows) == 5
+            assert all(r.get("status") == 429 for r in rows)
+            assert all("circuit breaker open" in r["error"] for r in rows)
+            stats_2 = gw.collect_stats()
+            assert stats_2.shed == stats_1.shed + 5
+            assert stats_2.per_shard[0]["shed_breaker"] \
+                == stats_1.per_shard[0]["shed_breaker"] + 5
+            assert stats_2.failures == stats_1.failures  # model not asked
+
+            # Phase 3: faults gone, reset timeout elapsed.  Half-open
+            # admits exactly one probe; its success closes the breaker
+            # and full traffic re-admits.
+            faults.reset()
+            now[0] = 31.0
+            rows = _run(gw, conn_lines(0, 1))
+            assert "prediction" in rows[0]
+            assert gw.shards[0].breaker.state == "closed"
+            rows = _run(gw, conn_lines(0, 6))
+            assert all("prediction" in r for r in rows)
+            assert gw.collect_stats().shed == stats_2.shed  # no new sheds
+        finally:
+            gw.close()
+
+    def test_only_the_crashing_shard_trips(self):
+        """A crash storm scoped to one shard's traffic leaves the other
+        shard's breaker closed and its requests served."""
+        gw = AsyncGateway(SumModel(), config=GatewayConfig(
+            shards=2, max_batch_size=2, max_wait_ms=0.0,
+            breaker_threshold=2, predict_attempts=1, telemetry=False,
+        ))
+        try:
+            lines = [json.dumps({"id": i, "key": f"ue-{i % 7}",
+                                 "features": [1.0, float(i)]})
+                     for i in range(24)]
+            # warm run: learn which shard each request routes to
+            rows = _run(gw, lines)
+            by_shard = {r["id"]: r["shard"] for r in rows}
+            sick = 0
+            sick_ids = [i for i, s in by_shard.items() if s == sick]
+            well_ids = [i for i, s in by_shard.items() if s != sick]
+            assert len(sick_ids) >= 2 and well_ids
+
+            # storm: only the sick shard's requests run under faults
+            faults.configure("gateway.shard_crash:1.0")
+            _run(gw, [lines[i] for i in sick_ids])
+            assert gw.shards[sick].breaker.state == "open"
+            assert gw.shards[1 - sick].breaker.state == "closed"
+            faults.reset()
+
+            # healthy shard still serves while the sick one sheds
+            rows = _run(gw, lines)
+            ok = [r for r in rows if "prediction" in r]
+            shed = [r for r in rows if r.get("status") == 429]
+            assert len(ok) == len(well_ids)
+            assert len(shed) == len(sick_ids)
+            assert {by_shard[r["id"]] for r in ok} == {1 - sick}
+            assert {r["shard"] for r in shed} == {sick}
+        finally:
+            gw.close()
+
+
+class TestProcessBackendCrash:
+    def test_worker_death_is_contained_and_respawned(self, fitted,
+                                                     monkeypatch):
+        """Process backend: the injected crash ``os._exit``\\ s the
+        worker; the parent fails that batch (ShardCrashed), and the next
+        run respawns the worker and serves correct predictions again.
+
+        The fault spec rides the environment (not a pinned injector) so
+        worker processes inherit it under any start method.
+        """
+        model, X = fitted
+        lines = [json.dumps({"id": i, "key": "ue-0",
+                             "features": list(map(float, X[i]))})
+                 for i in range(6)]
+        monkeypatch.setenv(faults.FAULTS_ENV, "gateway.shard_crash:1.0")
+        gw = AsyncGateway(model, config=GatewayConfig(
+            shards=1, backend="process", max_batch_size=8,
+            max_wait_ms=0.0, breaker_threshold=100, predict_attempts=1,
+            telemetry=False,
+        ))
+        try:
+            rows = _run(gw, lines)
+            assert len(rows) == 6
+            assert all("prediction failed" in r["error"] for r in rows)
+            assert any("worker died" in r["error"] for r in rows)
+            monkeypatch.delenv(faults.FAULTS_ENV)
+            faults.reset()
+            rows = _run(gw, lines)
+            assert all("prediction" in r for r in rows)
+            expected = model.predict(X[:6])
+            got = np.array([r["prediction"] for r in rows])
+            np.testing.assert_array_equal(got, expected)
+            assert gw.shards[0].executor.restarts >= 1
+        finally:
+            gw.close()
+
+    def test_executor_respawn_recovers_known_versions(self, fitted):
+        """Kill the worker out-of-band: the next predict respawns it and
+        re-ships whichever registered version it needs."""
+        model, X = fitted
+        executor = ProcessShardExecutor(0)
+        try:
+            executor.load(1, model)
+            executor.load(2, model)
+            p1 = executor.predict(1, X[:4], seq=0)
+            executor._proc.terminate()
+            executor._proc.join(timeout=5)
+            p2 = executor.predict(2, X[:4], seq=1)
+            np.testing.assert_array_equal(p1, model.predict(X[:4]))
+            np.testing.assert_array_equal(p2, model.predict(X[:4]))
+            assert executor.restarts == 1
+        finally:
+            executor.close()
+
+
+class TestSwapUnderChaos:
+    def test_swap_mid_storm_never_tears(self):
+        """Hot swap while a partial crash schedule is live: every
+        successful response still matches its stamped version exactly.
+
+        ``max_batch_size=1`` pins the fault-seam key to the submission
+        order, so the mixture of failures and successes is the same on
+        every run."""
+        old, new = SumModel(), ScaledSumModel(10.0)
+        faults.configure("gateway.shard_crash:0.3", seed=4)
+        gw = AsyncGateway(old, config=GatewayConfig(
+            shards=2, max_batch_size=1, max_wait_ms=0.0,
+            breaker_threshold=1000, predict_attempts=1, telemetry=False,
+        ))
+        try:
+            rows_a = _run(gw, conn_lines(0, 30))
+            gw.swap(new, 2)
+            rows_b = _run(gw, conn_lines(1, 30))
+        finally:
+            faults.reset()
+            gw.close()
+        ok = [r for r in rows_a + rows_b if "prediction" in r]
+        failed = [r for r in rows_a + rows_b if "error" in r]
+        assert ok and failed  # the schedule actually mixed outcomes
+        for r in ok:
+            i = int(r["id"].split("-")[-1])
+            base = 1.0 + float(i)
+            want = base if r["model_version"] == 1 else 10.0 * base
+            assert r["prediction"] == want
+        assert {r["model_version"] for r in ok} == {1, 2}
+
+    def test_deterministic_schedule_replays_identically(self):
+        """Same seed + spec -> the same per-request outcome map.
+
+        ``faults.configure`` pins a fresh injector (fresh occurrence
+        counters) per storm, and single-row batches make the seam key a
+        pure function of submission order."""
+
+        def storm():
+            faults.configure("gateway.shard_crash:0.4", seed=9)
+            gw = AsyncGateway(SumModel(), config=GatewayConfig(
+                shards=2, max_batch_size=1, max_wait_ms=0.0,
+                breaker_threshold=1000, predict_attempts=1,
+                telemetry=False,
+            ))
+            try:
+                rows = _run(gw, conn_lines(0, 40))
+            finally:
+                faults.reset()
+                gw.close()
+            return [(r["id"], "prediction" in r, r.get("shard"))
+                    for r in rows]
+
+        first = storm()
+        assert first == storm()
+        outcomes = {ok for _, ok, _ in first}
+        assert outcomes == {True, False}  # the storm did both
+
+
+class TestShardCrashSeamRegistered:
+    def test_catalog_entry_present(self):
+        assert "gateway.shard_crash" in faults.registered_points()

@@ -1,0 +1,101 @@
+"""Gateway == single-process serve, bit for bit.
+
+The same request stream through :class:`InferenceService` (one process,
+one batcher, cache off) and through :class:`AsyncGateway` (N shards,
+rendezvous routing, independent micro-batchers) must produce exactly
+equal response payloads -- same predictions, same probabilities, same
+error messages -- differing only in the transport metadata the gateway
+adds (``shard``, ``model_version``) and per-run ``trace`` ids.
+
+This is not approximate: the vectorized tree traversal is
+batch-composition invariant, so how rows happen to batch (and on which
+shard) cannot change a single bit of the output.  The gateway carries
+no prediction cache precisely to keep this property.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.gateway import AsyncGateway, GatewayConfig
+from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
+from repro.serve import InferenceService, ServeConfig
+
+
+def _strip(response: dict) -> dict:
+    """Drop transport metadata; keep the payload under comparison."""
+    return {k: v for k, v in response.items()
+            if k not in ("trace", "shard", "model_version")}
+
+
+def _serve_single(model, lines) -> list[dict]:
+    service = InferenceService(model, ServeConfig(
+        cache_size=0, telemetry=False,
+    ))
+    out = io.StringIO()
+    service.run_jsonl(lines, out)
+    return [json.loads(l) for l in out.getvalue().splitlines()]
+
+
+def _serve_gateway(model, lines, shards: int, backend: str = "thread"
+                   ) -> list[dict]:
+    out = io.StringIO()
+    with AsyncGateway(model, config=GatewayConfig(
+            shards=shards, backend=backend, queue_depth=4096,
+            telemetry=False)) as gw:
+        gw.run_jsonl(lines, out)
+    return [json.loads(l) for l in out.getvalue().splitlines()]
+
+
+@pytest.fixture(scope="module")
+def regression_stream():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(300, 4))
+    y = 300 + 60 * X[:, 0] - 15 * X[:, 2] + rng.normal(0, 5, 300)
+    model = GBDTRegressor(n_estimators=10, max_depth=3,
+                          random_state=0).fit(X, y)
+    lines = [json.dumps({"id": i, "key": f"ue-{i % 11}",
+                         "features": list(map(float, X[i % 300]))})
+             for i in range(120)]
+    # sprinkle malformed lines: error payloads must match too
+    lines[17] = "{bad json"
+    lines[53] = json.dumps({"id": 53, "features": [1.0]})
+    return model, lines
+
+
+class TestRegressorEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_bit_identical_to_single_process(self, regression_stream,
+                                             shards):
+        model, lines = regression_stream
+        single = [_strip(r) for r in _serve_single(model, lines)]
+        sharded = [_strip(r) for r in _serve_gateway(model, lines, shards)]
+        assert sharded == single  # exact dict equality, floats included
+
+    @pytest.mark.slow
+    def test_process_backend_matches_too(self, regression_stream):
+        """Worker processes deserialize the model from its JSON payload;
+        the round-trip must not perturb one bit of the predictions."""
+        model, lines = regression_stream
+        single = [_strip(r) for r in _serve_single(model, lines)]
+        sharded = [_strip(r) for r in _serve_gateway(model, lines, 2,
+                                                     backend="process")]
+        assert sharded == single
+
+
+class TestClassifierEquivalence:
+    def test_probabilities_bit_identical(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(240, 3))
+        y = np.where(X[:, 0] + 0.5 * X[:, 1] > 0, "High", "Low")
+        model = GBDTClassifier(n_estimators=8, max_depth=2,
+                               random_state=1).fit(X, y)
+        lines = [json.dumps({"id": i, "key": f"ue-{i % 5}",
+                             "features": list(map(float, X[i % 240]))})
+                 for i in range(80)]
+        single = [_strip(r) for r in _serve_single(model, lines)]
+        sharded = [_strip(r) for r in _serve_gateway(model, lines, 4)]
+        assert sharded == single
+        assert all("proba" in r for r in sharded)

@@ -1,0 +1,108 @@
+"""Rendezvous routing: deterministic, balanced, minimally disruptive.
+
+The three properties the gateway's shard map depends on, pinned with
+hypothesis over generated key populations plus hard goldens (the
+mapping is part of the wire contract -- replays and chaos transcripts
+break if it ever shifts).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway.routing import route, shard_scores
+
+KEYS = st.text(min_size=0, max_size=40)
+
+
+def _population(prefix: str, n: int) -> list[str]:
+    return [f"{prefix}{i}" for i in range(n)]
+
+
+class TestDeterminism:
+    @given(key=KEYS, n_shards=st.integers(1, 32), seed=st.integers(0, 99))
+    @settings(max_examples=200)
+    def test_pure_function_of_inputs(self, key, n_shards, seed):
+        first = route(key, n_shards, seed=seed)
+        assert first == route(key, n_shards, seed=seed)
+        assert 0 <= first < n_shards
+
+    @given(key=KEYS, n_shards=st.integers(1, 16))
+    @settings(max_examples=100)
+    def test_route_is_argmax_of_scores(self, key, n_shards):
+        scores = shard_scores(key, n_shards)
+        assert route(key, n_shards) == scores.index(max(scores))
+
+    def test_golden_mapping_pinned(self):
+        """The exact shard map for the doc examples; a change here is a
+        wire-protocol break (sticky keys move shards on deploy)."""
+        assert [route(f"ue-{i}", 4) for i in range(10)] \
+            == [2, 3, 3, 1, 0, 2, 2, 1, 3, 1]
+        assert route("ue-0", 1) == 0
+        assert route("", 4) == 1
+        assert route("ue-0", 4, seed=7) == 0
+        assert shard_scores("ue-0", 2) \
+            == [9924726917181721280, 16163693446872979682]
+
+    def test_seed_reshuffles(self):
+        keys = _population("ue-", 64)
+        base = [route(k, 8, seed=0) for k in keys]
+        assert base != [route(k, 8, seed=1) for k in keys]
+
+    @given(n_shards=st.integers(-3, 0))
+    def test_bad_shard_count_rejected(self, n_shards):
+        with pytest.raises(ValueError):
+            route("ue-1", n_shards)
+        with pytest.raises(ValueError):
+            shard_scores("ue-1", n_shards)
+
+
+class TestBalance:
+    @given(prefix=st.text(max_size=8), n_shards=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=25, deadline=None)
+    def test_load_ratio_bounded(self, prefix, n_shards):
+        """Across 1200 distinct keys no shard holds more than 3x the
+        least-loaded shard -- the bounded max/min ratio the admission
+        sizing assumes."""
+        keys = _population(prefix, 1200)
+        counts = [0] * n_shards
+        for key in keys:
+            counts[route(key, n_shards)] += 1
+        assert min(counts) > 0
+        assert max(counts) / min(counts) <= 3.0
+
+    def test_every_shard_reachable(self):
+        hit = {route(k, 16) for k in _population("ue-", 2000)}
+        assert hit == set(range(16))
+
+
+class TestMinimalDisruption:
+    @given(prefix=st.text(max_size=8), n_shards=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=25, deadline=None)
+    def test_growing_the_fleet_moves_only_onto_the_new_shard(
+        self, prefix, n_shards
+    ):
+        """N -> N+1: every key that moves lands on the new shard N, and
+        only about 1/(N+1) of keys move -- the rendezvous guarantee
+        ``hash % N`` cannot give."""
+        keys = _population(prefix, 1200)
+        moved = 0
+        for key in keys:
+            before = route(key, n_shards)
+            after = route(key, n_shards + 1)
+            if after != before:
+                moved += 1
+                assert after == n_shards, (
+                    f"{key!r} moved {before}->{after}, not onto the "
+                    f"new shard {n_shards}"
+                )
+        expected = len(keys) / (n_shards + 1)
+        assert moved <= 2.0 * expected  # ~1/(N+1), generous slack
+
+    def test_shrinking_only_scatters_the_lost_shards_keys(self):
+        """N+1 -> N: keys not on the removed shard stay put."""
+        keys = _population("ue-", 800)
+        for key in keys:
+            before = route(key, 5)
+            if before != 4:
+                assert route(key, 4) == before

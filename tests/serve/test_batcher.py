@@ -1,6 +1,7 @@
 """BatchPredictor: batching, futures, caching, error propagation."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -90,6 +91,90 @@ class TestPredictions:
                 with pytest.raises(ValueError, match="model exploded"):
                     fut.result(timeout=5)
             assert batcher.errors == 3
+
+
+class TestFlushWakeup:
+    def test_flush_skips_the_straggler_wait(self):
+        """Regression: with the queue drained, the collector used to idle
+        the full ``max_wait_s`` before predicting a partial tail batch.
+        ``flush()`` must wake it immediately -- were the fix absent, this
+        test would block ~30 s and trip the future timeout."""
+        with BatchPredictor(_sum_rows, max_batch_size=64,
+                            max_wait_s=30.0) as batcher:
+            t0 = time.perf_counter()
+            futures = [batcher.submit([float(i), 1.0]) for i in range(3)]
+            batcher.flush()
+            got = [f.result(timeout=5) for f in futures]
+            waited = time.perf_counter() - t0
+        assert got == [1.0, 2.0, 3.0]
+        assert waited < 5.0  # nowhere near the 30 s straggler window
+        assert batcher.batches == 1  # one coalesced batch, not three
+
+    def test_predict_many_flushes_its_tail_batch(self):
+        """predict_many submits then waits -- its own flush must free the
+        tail batch without the straggler timeout."""
+        with BatchPredictor(_sum_rows, max_batch_size=64,
+                            max_wait_s=30.0) as batcher:
+            t0 = time.perf_counter()
+            got = batcher.predict_many(np.ones((5, 2)))
+            waited = time.perf_counter() - t0
+        assert got == [2.0] * 5
+        assert waited < 5.0
+
+    def test_flush_on_idle_predictor_is_harmless(self):
+        with BatchPredictor(_sum_rows) as batcher:
+            batcher.flush()  # stale marker with nothing queued behind it
+            batcher.flush()
+            assert batcher.predict_many(np.ones((2, 2))) == [2.0, 2.0]
+        batcher.flush()  # no-op after close
+        assert batcher.batches >= 1
+
+    def test_rows_queued_before_flush_all_batch_in_order(self):
+        sizes = []
+
+        def spy(X):
+            sizes.append(len(X))
+            return _sum_rows(X)
+
+        with BatchPredictor(spy, max_batch_size=8, max_wait_s=30.0) as b:
+            futures = [b.submit([float(i)]) for i in range(6)]
+            b.flush()
+            got = [float(f.result(timeout=5)) for f in futures]
+        assert got == [float(i) for i in range(6)]
+        assert sum(sizes) == 6
+
+    def test_injectable_clock_drives_deadline_expiry(self):
+        """The deadline math runs on the injected clock, not wall time:
+        jumping a manual clock expires a queued row deterministically
+        (no sleeps, no timing assumptions)."""
+        from repro.resil.retry import DeadlineExceeded
+
+        now = [0.0]
+        entered = threading.Event()
+        release = threading.Event()
+        predicted = []
+
+        def gated(X):
+            # The first batch parks here, pinning later rows in the queue
+            # until the test has advanced the manual clock.
+            entered.set()
+            release.wait(timeout=5)
+            predicted.append(len(X))
+            return _sum_rows(X)
+
+        with BatchPredictor(gated, max_batch_size=1, max_wait_s=0.0,
+                            deadline_s=10.0,
+                            clock=lambda: now[0]) as batcher:
+            first = batcher.submit([1.0, 2.0])   # enters predict, blocks
+            assert entered.wait(timeout=5)       # ... confirmed in predict
+            second = batcher.submit([3.0, 4.0])  # queued behind it
+            now[0] = 11.0  # jump past the 10 s deadline
+            release.set()
+            assert first.result(timeout=5) == 3.0
+            with pytest.raises(DeadlineExceeded):
+                second.result(timeout=5)
+        assert batcher.expired == 1
+        assert predicted == [1]  # the expired row never reached the model
 
 
 class TestCacheIntegration:

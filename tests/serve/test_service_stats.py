@@ -1,0 +1,166 @@
+"""ServeStats keeps its three failure modes apart (ISSUE 8 satellite).
+
+``failures`` = the model was asked and blew up; ``shed`` = the open
+service breaker short-circuited the request; ``deadline_exceeded`` =
+the request expired queued.  Each is covered on its own, and
+``failed_total`` sums them for strict-mode / availability judgments.
+"""
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceService, ServeConfig, ServeStats
+
+
+class _Boom:
+    n_features_ = 2
+
+    def predict(self, X):
+        raise RuntimeError("boom")
+
+
+class _Sum:
+    n_features_ = 2
+
+    def predict(self, X):
+        return np.asarray(X).sum(axis=1)
+
+
+class _GatedSum(_Sum):
+    """Blocks the first batch until released -- queues later requests."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+
+    def predict(self, X):
+        self.calls += 1
+        if self.calls == 1:
+            self.entered.set()
+            self.release.wait(timeout=5)
+        return super().predict(X)
+
+
+def _lines(n):
+    return [json.dumps({"id": i, "features": [1.0, float(i)]})
+            for i in range(n)]
+
+
+def _run(service, lines):
+    out = io.StringIO()
+    stats = service.run_jsonl(lines, out)
+    return stats, [json.loads(l) for l in out.getvalue().splitlines()]
+
+
+class TestFailures:
+    def test_prediction_errors_count_as_failures_only(self):
+        service = InferenceService(_Boom(), ServeConfig(
+            cache_size=0, breaker_threshold=100, telemetry=False,
+        ))
+        stats, responses = _run(service, _lines(4))
+        assert stats.failures == 4
+        assert stats.shed == 0 and stats.deadline_exceeded == 0
+        assert stats.failed_total == 4
+        assert all("prediction failed" in r["error"] for r in responses)
+
+
+class TestShed:
+    def test_breaker_short_circuits_count_as_shed(self):
+        # Threshold 1 + read_ahead 1: the first request fails and trips
+        # the breaker, every later request is shed without a model call.
+        service = InferenceService(_Boom(), ServeConfig(
+            cache_size=0, breaker_threshold=1, read_ahead=1,
+            telemetry=False,
+        ))
+        stats, responses = _run(service, _lines(5))
+        assert stats.failures == 1
+        assert stats.shed == 4
+        assert stats.deadline_exceeded == 0
+        assert stats.failed_total == 5
+        assert sum("circuit breaker open" in r["error"]
+                   for r in responses) == 4
+
+    def test_shed_requests_never_reach_the_model(self):
+        model = _Boom()
+        calls = []
+        real = model.predict
+        model.predict = lambda X: (calls.append(len(X)), real(X))[1]
+        service = InferenceService(model, ServeConfig(
+            cache_size=0, breaker_threshold=1, read_ahead=1,
+            telemetry=False,
+        ))
+        stats, _ = _run(service, _lines(5))
+        # batcher retries the failing batch once -> 2 calls for request 0
+        assert sum(calls) == 2
+        assert stats.shed == 4
+
+
+class TestDeadlineExceeded:
+    def test_expired_requests_counted_apart(self):
+        model = _GatedSum()
+        config = ServeConfig(
+            cache_size=0, max_batch_size=1, max_wait_ms=0.0,
+            request_deadline_ms=20.0, read_ahead=16, telemetry=False,
+        )
+        service = InferenceService(model, config)
+        out = io.StringIO()
+
+        def release_when_entered():
+            model.entered.wait(timeout=5)
+            # Request 0 is inside predict; the rest are queued.  Let the
+            # 20 ms deadline lapse before releasing them.
+            import time
+            time.sleep(0.1)
+            model.release.set()
+
+        helper = threading.Thread(target=release_when_entered)
+        helper.start()
+        stats = service.run_jsonl(_lines(4), out)
+        helper.join()
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert stats.deadline_exceeded >= 1
+        assert stats.failures == 0 and stats.shed == 0
+        assert stats.failed_total == stats.deadline_exceeded
+        assert any("deadline exceeded" in r.get("error", "")
+                   for r in responses)
+
+    def test_deadline_does_not_trip_the_breaker(self):
+        model = _GatedSum()
+        service = InferenceService(model, ServeConfig(
+            cache_size=0, max_batch_size=1, max_wait_ms=0.0,
+            request_deadline_ms=20.0, breaker_threshold=2, read_ahead=16,
+            telemetry=False,
+        ))
+        out = io.StringIO()
+
+        def release_when_entered():
+            model.entered.wait(timeout=5)
+            import time
+            time.sleep(0.1)
+            model.release.set()
+
+        helper = threading.Thread(target=release_when_entered)
+        helper.start()
+        stats = service.run_jsonl(_lines(6), out)
+        helper.join()
+        assert stats.deadline_exceeded >= 2  # would have tripped it
+        assert service.breaker.state == "closed"
+        assert stats.shed == 0  # nothing was short-circuited
+
+
+class TestStatsShape:
+    def test_defaults_and_failed_total(self):
+        stats = ServeStats()
+        assert (stats.failures, stats.shed, stats.deadline_exceeded) \
+            == (0, 0, 0)
+        stats.failures, stats.shed, stats.deadline_exceeded = 2, 3, 4
+        assert stats.failed_total == 9
+
+    @pytest.mark.parametrize("field", ["shed", "deadline_exceeded"])
+    def test_split_fields_exist_independently(self, field):
+        assert getattr(ServeStats(), field) == 0

@@ -1,0 +1,152 @@
+"""Wire tools/check_gateway.py into the tier-1 suite.
+
+The lint pins the gateway's operational invariants: no model fitting
+inside src/repro/gateway/, no blocking calls (time.sleep, open(),
+Future.result(), Thread.join()) inside async defs, request-path log
+lines carrying both trace_id= and shard=, and repro.obs instrumentation
+present in every request-path module (gateway, shard, procworker).
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECK = REPO_ROOT / "tools" / "check_gateway.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_gateway  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_gateway_tree_passes_lint(self):
+        assert check_gateway.check() == []
+
+    def test_script_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECK)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "check_gateway: OK" in proc.stdout
+
+    def test_request_path_modules_all_exist(self):
+        """The request-path list must track real files, or the log/obs
+        rules silently check nothing."""
+        for name in check_gateway.OBS_REQUIRED:
+            assert (check_gateway.GATEWAY_ROOT / name).is_file(), name
+
+
+class TestDetection:
+    def _violations(self, tmp_path, source, request_path=False):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return check_gateway.file_violations(path,
+                                             request_path=request_path)
+
+    def test_flags_fit_call(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def handler(model, X, y):
+                model.fit(X, y)
+        """)
+        assert len(found) == 1
+        assert "must not train" in found[0][1]
+
+    def test_flags_time_sleep_in_coroutine(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import time
+
+            async def handle(req):
+                time.sleep(0.1)
+        """)
+        assert len(found) == 1
+        assert "time.sleep" in found[0][1]
+
+    def test_flags_future_result_in_coroutine(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            async def settle(fut):
+                return fut.result()
+        """)
+        assert len(found) == 1
+        assert "wrap_future" in found[0][1]
+
+    def test_flags_join_in_coroutine(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            async def stop(worker):
+                worker.join()
+        """)
+        assert len(found) == 1
+
+    def test_flags_open_in_coroutine(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            async def dump(path):
+                with open(path) as f:
+                    return f.read()
+        """)
+        assert len(found) == 1
+        assert "blocking I/O" in found[0][1]
+
+    def test_blocking_calls_fine_outside_coroutines(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import time
+
+            def sync_helper(fut, path):
+                time.sleep(0.0)
+                with open(path) as f:
+                    f.read()
+                return fut.result()
+        """)
+        assert found == []
+
+    def test_await_wrap_future_is_clean(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import asyncio
+
+            async def settle(fut):
+                return await asyncio.wrap_future(fut)
+        """)
+        assert found == []
+
+    def test_flags_log_line_missing_trace_or_shard(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro import obs
+
+            _LOG = obs.get_logger("gateway.x")
+
+            def shed(n):
+                obs.inc("gateway.shed_total")
+                _LOG.warning("request shed", trace_id="t-1")
+        """, request_path=True)
+        assert len(found) == 1
+        assert "shard=" in found[0][1]
+
+    def test_complete_log_line_is_clean(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro import obs
+
+            _LOG = obs.get_logger("gateway.x")
+
+            def shed(n):
+                obs.inc("gateway.shed_total")
+                _LOG.warning("request shed", trace_id="t-1", shard=2)
+        """, request_path=True)
+        assert found == []
+
+    def test_flags_missing_obs_on_request_path(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def handle(batch):
+                return [1.0 for _ in batch]
+        """, request_path=True)
+        assert len(found) == 1
+        assert "instrumentation" in found[0][1]
+
+    def test_check_walks_a_tree(self, tmp_path):
+        (tmp_path / "gateway.py").write_text(
+            "async def f():\n    import time\n    time.sleep(1)\n"
+        )
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        violations = check_gateway.check(root=tmp_path)
+        # sleep-in-coroutine + gateway.py missing obs instrumentation
+        assert len(violations) == 2
+        assert all("gateway.py" in v for v in violations)

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Lint: the gateway's event loop stays non-blocking and traceable.
+
+Four rules keep ``repro.gateway``'s contract enforceable:
+
+1. **No model fitting anywhere in ``src/repro/gateway/``** -- the
+   gateway serves already-trained, versioned models; a ``.fit(...)``
+   call means training snuck onto the request path.
+2. **No blocking calls inside ``async def``** -- the event loop is the
+   whole gateway; one ``time.sleep``, ``open(...)``, ``Future.result()``
+   or ``Thread.join()`` inside a coroutine stalls *every* connection.
+   Blocking work belongs on shard batcher threads / worker processes;
+   coroutines bridge to it with ``await asyncio.wrap_future(...)``.
+3. **Request-path log lines carry ``trace_id=`` and ``shard=``** --
+   every ``_LOG.<level>(...)`` call in the gateway modules must pass
+   both keywords, so any logged event can be joined back to its request
+   trace and its shard (the two coordinates of a sharded post-mortem).
+4. **Obs instrumentation present** in the modules that touch live
+   requests (``gateway.py``, ``shard.py``, ``procworker.py``).
+
+Run directly (``python tools/check_gateway.py``) or via the tier-1
+suite (``tests/test_check_gateway.py`` wires it in).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+GATEWAY_ROOT = REPO_ROOT / "src" / "repro" / "gateway"
+
+#: Method names that mean "a model is being trained".
+_FIT_NAMES = frozenset({"fit", "fit_transform", "partial_fit"})
+
+#: Method calls that block the calling thread -- fatal inside a coroutine.
+_BLOCKING_METHODS = frozenset({"result", "join"})
+
+#: Files (relative to gateway/) on the live request path: must carry
+#: obs instrumentation and disciplined log lines.
+OBS_REQUIRED = ("gateway.py", "shard.py", "procworker.py")
+
+#: Keywords every gateway log call must carry.
+_LOG_REQUIRED_KWARGS = frozenset({"trace_id", "shard"})
+
+
+def _is_fit_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _FIT_NAMES
+    )
+
+
+def _is_obs_call(node: ast.AST) -> bool:
+    """``obs.<anything>(...)`` -- how repro code talks to telemetry."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "obs"
+    )
+
+
+def _is_log_call(node: ast.AST) -> bool:
+    """``_LOG.<level>(...)`` -- a structured gateway log line."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "_LOG"
+    )
+
+
+def _blocking_violation(node: ast.AST) -> str | None:
+    """Why ``node`` would block the event loop, or None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if (func.attr == "sleep" and isinstance(func.value, ast.Name)
+                and func.value.id == "time"):
+            return ("time.sleep() stalls the event loop; "
+                    "use `await asyncio.sleep(...)`")
+        if func.attr in _BLOCKING_METHODS:
+            return (f".{func.attr}() blocks the event loop; bridge with "
+                    "`await asyncio.wrap_future(...)` instead")
+    elif isinstance(func, ast.Name) and func.id == "open":
+        return ("open() is blocking I/O on the event loop; do file work "
+                "off-loop")
+    return None
+
+
+def file_violations(
+    path: pathlib.Path, request_path: bool = False
+) -> list[tuple[int, str]]:
+    """(line, message) pairs for one gateway source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+    saw_obs = False
+    for node in ast.walk(tree):
+        if _is_fit_call(node):
+            out.append((
+                node.lineno,
+                f".{node.func.attr}() call: repro/gateway must not train "
+                "models; it serves registry versions",
+            ))
+        if _is_obs_call(node):
+            saw_obs = True
+        if request_path and _is_log_call(node):
+            kwargs = {kw.arg for kw in node.keywords if kw.arg}
+            missing = _LOG_REQUIRED_KWARGS - kwargs
+            if missing:
+                out.append((
+                    node.lineno,
+                    "gateway log line missing "
+                    f"{'/'.join(sorted(missing))}= keyword(s); every "
+                    "request-path event must be joinable to its trace "
+                    "and shard",
+                ))
+        if isinstance(node, ast.AsyncFunctionDef):
+            for inner in ast.walk(node):
+                why = _blocking_violation(inner)
+                if why is not None:
+                    out.append((
+                        inner.lineno,
+                        f"blocking call inside `async def {node.name}`: "
+                        f"{why}",
+                    ))
+    if request_path and not saw_obs:
+        out.append((
+            1,
+            "request-path module without any repro.obs instrumentation "
+            "(shed/crash/latency metrics are part of the gateway "
+            "contract)",
+        ))
+    return out
+
+
+def check(root: pathlib.Path = GATEWAY_ROOT) -> list[str]:
+    """All violations under ``root`` as ``path:line: message`` strings."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        for lineno, message in file_violations(
+            path, request_path=rel in OBS_REQUIRED
+        ):
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            violations.append(f"{shown}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_gateway: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_gateway: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
