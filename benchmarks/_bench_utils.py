@@ -7,7 +7,23 @@ import pathlib
 
 import numpy as np
 
+from repro import obs
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_obs_record(elapsed_s: float) -> dict:
+    """One bench's ``obs_metrics.json`` record.
+
+    Wall clock, the process's peak RSS (``obs.peak_rss_mb``) and the
+    metrics-registry snapshot -- so memory regressions surface in
+    ``benchmarks/results/`` diffs right alongside latency ones.
+    """
+    return {
+        "wall_clock_s": round(elapsed_s, 3),
+        "peak_rss_mb": round(obs.peak_rss_mb(), 1),
+        "registry": obs.get_registry().snapshot(),
+    }
 
 
 def emit(name: str, text: str, capsys=None) -> None:

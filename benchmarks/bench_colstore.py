@@ -1,0 +1,214 @@
+"""Out-of-core colstore engine: throughput and the bounded-memory proof.
+
+The tentpole claim behind ``docs/colstore.md`` is that a campaign
+streams through generation -> cleaning -> feature materialization ->
+GBDT fit at memory proportional to the *chunk working set*, never the
+campaign.  ``ru_maxrss`` is a process-lifetime high-water mark, so each
+measurement runs in a fresh subprocess:
+
+* a no-op child (imports only) establishes the interpreter floor;
+* the store-path child runs the full pipeline at the 1M-row tier via
+  ``run_area_campaign(store_dir=...)`` + ``train_from_store`` and
+  reports its peak RSS and its working set (the largest on-disk chunk
+  of each store it touched: raw, cleaned, features);
+* an in-memory child runs the classic gather-everything path at the
+  same scale, as the contrast gauge.
+
+The assertion: store-path peak RSS above the floor stays under
+``RSS_BUDGET_FACTOR`` x the summed per-store chunk working set, plus
+``DRIVER_BYTES_PER_ROW`` per row for the single documented O(n) term
+-- the GBDT driver's float64 prediction vector (8 bytes/row, with
+allocator slack).  Everything else is chunk-shaped, so the budget is a
+function of chunk geometry, not campaign length.  A 10M-row tier of
+the same assertion runs under ``-m slow``.
+
+Gauges recorded to ``benchmarks/results/obs_metrics.json``:
+
+* ``colstore.bench.rows`` / ``generate_rows_per_s`` / ``train_rows_per_s``
+* ``colstore.bench.peak_rss_mb`` / ``working_set_mb`` / ``floor_rss_mb``
+* ``colstore.bench.in_memory_peak_rss_mb`` -- the contrast baseline.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+
+from _bench_utils import emit, format_table
+
+SRC = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+
+#: Default tier; the ISSUE's 10M-row campaign runs under ``-m slow``.
+ROWS_TIER = 1_000_000
+ROWS_TIER_SLOW = 10_000_000
+CHUNK_ROWS = 65_536
+#: Airport campaign yields ~496 rows per pass (measured, linear).
+ROWS_PER_PASS = 496
+#: Peak RSS above the interpreter floor must stay under this multiple
+#: of the summed chunk working set.  The pipeline holds at most one
+#: chunk per store stage at a time; the factor absorbs numpy temporaries
+#: and allocator retention across stages, not campaign-sized state.
+RSS_BUDGET_FACTOR = 4.0
+#: The one O(n) allowance: the GBDT driver keeps a float64 prediction
+#: per training row (8 bytes); doubled for allocator slack on it.
+DRIVER_BYTES_PER_ROW = 16
+
+_FLOOR_SCRIPT = """
+import json
+import numpy, repro.colstore.pipeline
+from repro import obs
+print(json.dumps({"peak_rss_mb": obs.peak_rss_mb()}))
+"""
+
+_STORE_SCRIPT = """
+import json, pathlib, sys, time
+from repro import obs
+from repro.colstore.pipeline import train_from_store
+from repro.core.pipeline import ModelConfig
+from repro.env.areas import build_airport
+from repro.sim.collection import CampaignConfig, run_area_campaign
+
+rows_target, chunk_rows, work = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+passes = max(1, round(rows_target / %d))
+cfg = CampaignConfig(passes_per_trajectory=passes, driving_passes=passes,
+                     stationary_runs=1, stationary_duration_s=20, seed=2020)
+t0 = time.perf_counter()
+reader = run_area_campaign(build_airport(), cfg, store_dir=work + "/raw",
+                           chunk_rows=chunk_rows)
+gen_s = time.perf_counter() - t0
+config = ModelConfig(gdbt_estimators=8, gdbt_depth=5,
+                     gdbt_learning_rate=0.2, gdbt_min_samples_leaf=20)
+t0 = time.perf_counter()
+est, info = train_from_store(work + "/raw", work + "/w", model="gdbt",
+                             task="regression", config=config, seed=2020)
+train_s = time.perf_counter() - t0
+# Working set: the largest on-disk chunk of every store the pipeline
+# touched (raw, cleaned, features), summed -- the bytes that may be
+# resident simultaneously while a chunk flows through the stages.
+largest = {}
+for d in pathlib.Path(work).rglob("chunk-*"):
+    size = sum(f.stat().st_size for f in d.iterdir())
+    largest[str(d.parent)] = max(largest.get(str(d.parent), 0), size)
+print(json.dumps({
+    "rows": len(reader), "train_rows": info["train_rows"],
+    "n_chunks": info["n_chunks"], "gen_s": gen_s, "train_s": train_s,
+    "working_set_mb": sum(largest.values()) / 2**20,
+    "peak_rss_mb": obs.peak_rss_mb()}))
+""" % ROWS_PER_PASS
+
+_MEMORY_SCRIPT = """
+import json, sys, time
+import numpy as np
+from repro import obs
+from repro.datasets.cleaning import clean
+from repro.env.areas import build_airport
+from repro.fstore.views import combination_view
+from repro.ml.gbdt import GBDTRegressor
+from repro.sim.collection import CampaignConfig, run_area_campaign
+
+rows_target = int(sys.argv[1])
+passes = max(1, round(rows_target / %d))
+cfg = CampaignConfig(passes_per_trajectory=passes, driving_passes=passes,
+                     stationary_runs=1, stationary_duration_s=20, seed=2020)
+t0 = time.perf_counter()
+table = run_area_campaign(build_airport(), cfg)
+gen_s = time.perf_counter() - t0
+t0 = time.perf_counter()  # clean -> features -> fit, like train_from_store
+table, _ = clean(table)
+view = combination_view("L+M+T+C", past_throughput_lags=5)
+X = view.transform_table(table).X
+y = np.asarray(table["throughput_mbps"], dtype=float)
+GBDTRegressor(n_estimators=8, max_depth=5, learning_rate=0.2,
+              min_samples_leaf=20, random_state=2020).fit(X, y)
+train_s = time.perf_counter() - t0
+print(json.dumps({"rows": int(len(table)), "gen_s": gen_s,
+                  "train_s": train_s, "peak_rss_mb": obs.peak_rss_mb()}))
+""" % ROWS_PER_PASS
+
+
+def _child(code, *argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code, *[str(a) for a in argv]],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _run_tier(rows, tmp_path, capsys, with_baseline):
+    floor = _child(_FLOOR_SCRIPT)["peak_rss_mb"]
+    store = _child(_STORE_SCRIPT, rows, CHUNK_ROWS, tmp_path / "store")
+    overhead = store["peak_rss_mb"] - floor
+    driver_mb = DRIVER_BYTES_PER_ROW * store["train_rows"] / 2**20
+    budget = RSS_BUDGET_FACTOR * store["working_set_mb"] + driver_mb
+
+    rows_fmt = f"{rows // 1_000_000}M"
+    table_rows = [
+        ["store path", store["rows"],
+         store["rows"] / store["gen_s"],
+         store["train_rows"] / store["train_s"],
+         store["peak_rss_mb"]],
+    ]
+    if with_baseline:
+        mem = _child(_MEMORY_SCRIPT, rows)
+        table_rows.append(
+            ["in-memory", mem["rows"], mem["rows"] / mem["gen_s"],
+             mem["rows"] / mem["train_s"], mem["peak_rss_mb"]])
+        obs.set_gauge("colstore.bench.in_memory_peak_rss_mb",
+                      round(mem["peak_rss_mb"], 1))
+
+    obs.set_gauge("colstore.bench.rows", float(store["rows"]))
+    obs.set_gauge("colstore.bench.generate_rows_per_s",
+                  round(store["rows"] / store["gen_s"], 1))
+    obs.set_gauge("colstore.bench.train_rows_per_s",
+                  round(store["train_rows"] / store["train_s"], 1))
+    obs.set_gauge("colstore.bench.peak_rss_mb",
+                  round(store["peak_rss_mb"], 1))
+    obs.set_gauge("colstore.bench.working_set_mb",
+                  round(store["working_set_mb"], 1))
+    obs.set_gauge("colstore.bench.floor_rss_mb", round(floor, 1))
+
+    text = format_table(
+        ["path", "rows", "gen rows/s", "train rows/s", "peak MB"],
+        table_rows,
+    )
+    text += (
+        f"\nbudget: {RSS_BUDGET_FACTOR:.0f} x "
+        f"{store['working_set_mb']:.1f} MB chunk working set "
+        f"+ {driver_mb:.1f} MB driver state = {budget:.1f} MB; "
+        f"store-path overhead {overhead:.1f} MB over the "
+        f"{floor:.1f} MB floor ({store['n_chunks']} chunks)"
+    )
+    emit(f"bench_colstore_{rows_fmt}", text, capsys)
+
+    assert store["rows"] >= 0.9 * rows
+    assert store["n_chunks"] > 1
+    assert overhead < budget, (
+        f"store path used {overhead:.1f} MB over the interpreter floor; "
+        f"budget is {budget:.1f} MB ({RSS_BUDGET_FACTOR}x the "
+        f"{store['working_set_mb']:.1f} MB chunk working set "
+        f"+ {driver_mb:.1f} MB driver state)"
+    )
+    return store, overhead
+
+
+def test_colstore_bounded_memory_1m(tmp_path, capsys):
+    _run_tier(ROWS_TIER, tmp_path, capsys, with_baseline=True)
+
+
+@pytest.mark.slow
+def test_colstore_bounded_memory_10m(tmp_path, capsys):
+    """The ISSUE's full 10M-row campaign; ~45 min on one core."""
+    store, overhead = _run_tier(ROWS_TIER_SLOW, tmp_path, capsys,
+                                with_baseline=False)
+    # Ten times the data, the same chunk budget: only the documented
+    # 16 bytes/row driver term grows, so passing here is the
+    # scale-independence proof for everything else.
+    assert store["rows"] >= 9_000_000

@@ -23,7 +23,7 @@ from repro.core.pipeline import Lumos5G, ModelConfig
 from repro.datasets.generate import generate_datasets
 from repro.sim.collection import CampaignConfig
 
-from _bench_utils import RESULTS_DIR
+from _bench_utils import RESULTS_DIR, bench_obs_record
 
 BENCH_SEED = 2020
 BENCH_CAMPAIGN = CampaignConfig(
@@ -112,10 +112,8 @@ def _obs_bench_record(request):
     obs.set_enabled(True)
     t0 = time.perf_counter()
     yield
-    _OBS_RECORDS[request.node.name] = {
-        "wall_clock_s": round(time.perf_counter() - t0, 3),
-        "registry": obs.get_registry().snapshot(),
-    }
+    _OBS_RECORDS[request.node.name] = bench_obs_record(
+        time.perf_counter() - t0)
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -64,6 +65,25 @@ def cmd_areas(_args) -> int:
 
 
 def cmd_generate(args) -> int:
+    if (args.out is None) == (args.store_dir is None):
+        print("generate: give exactly one of --out or --store-dir",
+              file=sys.stderr)
+        return 2
+    if args.store_dir:
+        # Out-of-core path: raw telemetry straight to a chunked columnar
+        # store (docs/colstore.md); cleaning happens at training time.
+        from repro.sim.collection import CampaignConfig, run_area_campaign
+
+        cfg = CampaignConfig(passes_per_trajectory=args.passes,
+                             driving_passes=args.passes, seed=args.seed)
+        reader = run_area_campaign(
+            build_area(args.area), cfg, workers=args.workers,
+            store_dir=args.store_dir, chunk_rows=args.chunk_rows,
+        )
+        print(f"wrote {len(reader)} rows to {args.store_dir} "
+              f"({reader.n_chunks} chunks, area={args.area} "
+              f"seed={args.seed} passes={args.passes})")
+        return 0
     data = _dataset(args)
     table = data[args.area]
     if args.public_schema:
@@ -72,6 +92,57 @@ def cmd_generate(args) -> int:
     print(f"wrote {len(table)} rows to {args.out} "
           f"(area={args.area} seed={args.seed} passes={args.passes})")
     return 0
+
+
+def cmd_fit(args) -> int:
+    from repro.colstore.pipeline import STREAM_MODELS, train_from_store
+    from repro.core.pipeline import ModelConfig
+    from repro.ml.serialize import model_to_json
+
+    if args.model not in STREAM_MODELS:
+        print(f"fit: model must be one of {STREAM_MODELS} "
+              "(the families with a streaming fit)", file=sys.stderr)
+        return 2
+    work_dir = args.work_dir or os.path.join(args.from_store, "_work")
+    config = ModelConfig.fast() if args.fast else ModelConfig()
+    try:
+        estimator, info = train_from_store(
+            args.from_store, work_dir,
+            spec=args.features, model=args.model, task=args.task,
+            config=config, seed=args.seed, max_bins=args.max_bins,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"fit: {exc}", file=sys.stderr)
+        return 2
+    report = info["cleaning_report"]
+    print(f"trained {args.model} ({args.task}) on {info['train_rows']} "
+          f"rows / {info['n_chunks']} chunks from {args.from_store}")
+    print(f"  cleaning: kept {report.output_rows}/{report.input_rows} rows "
+          f"({report.retention:.1%}), dropped {report.runs_dropped_gps} "
+          "runs for GPS error")
+    print(f"  features: {info['view']} "
+          f"(fingerprint {info['view_fingerprint'][:12]}...)")
+    print(f"  {_telemetry_fit_summary(info['fit_telemetry'])}")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(model_to_json(estimator))
+        print(f"  model written to {args.out}")
+    return 0
+
+
+def _telemetry_fit_summary(tel: dict | None) -> str:
+    if not tel:
+        return "fit telemetry unavailable"
+    parts = [f"fit: {tel.get('fit_wall_s', 0.0):.1f}s"]
+    if "rounds_completed" in tel:
+        parts.append(f"{tel['rounds_completed']} rounds")
+    if "n_trees" in tel:
+        parts.append(f"{tel['n_trees']} trees")
+    if "final_train_loss" in tel:
+        parts.append(f"train loss {tel['final_train_loss']:.2f}")
+    if tel.get("out_of_core"):
+        parts.append("out-of-core")
+    return ", ".join(parts)
 
 
 def cmd_evaluate(args) -> int:
@@ -347,12 +418,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_areas = sub.add_parser("areas", help="list the measurement areas")
     p_areas.set_defaults(func=cmd_areas)
 
-    p_gen = sub.add_parser("generate", help="simulate a campaign to CSV")
+    p_gen = sub.add_parser(
+        "generate",
+        help="simulate a campaign to CSV or to a columnar store",
+    )
     _add_common_dataset_args(p_gen)
-    p_gen.add_argument("--out", required=True, help="output CSV path")
+    p_gen.add_argument("--out", help="output CSV path (cleaned dataset)")
+    p_gen.add_argument("--store-dir", metavar="DIR",
+                       help="write raw telemetry to a chunked columnar "
+                            "store instead of CSV (docs/colstore.md); "
+                            "train from it with 'fit --from-store'")
+    p_gen.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                       help="rows per store chunk (default 262144); "
+                            "results are identical at any value")
     p_gen.add_argument("--public-schema", action="store_true",
                        help="use the public Lumos5G dataset column names")
     p_gen.set_defaults(func=cmd_generate)
+
+    p_fit = sub.add_parser(
+        "fit",
+        help="train a model out-of-core from a columnar store",
+        description="Stream a raw campaign store through cleaning, "
+                    "feature materialization and a bounded-memory model "
+                    "fit (docs/colstore.md).  Intermediates land in "
+                    "--work-dir and are reused across runs.",
+    )
+    p_fit.add_argument("--from-store", required=True, metavar="DIR",
+                       help="raw campaign store ('generate --store-dir')")
+    p_fit.add_argument("--work-dir", metavar="DIR",
+                       help="where cleaned/feature stores go "
+                            "(default: <store>/_work)")
+    p_fit.add_argument("--features", default="L+M+T+C",
+                       help="feature groups, e.g. L, L+M, T+M+C")
+    p_fit.add_argument("--model", default="gdbt", choices=("gdbt", "rf"))
+    p_fit.add_argument("--task", default="regression",
+                       choices=("regression", "classification"))
+    p_fit.add_argument("--seed", type=int, default=2020)
+    p_fit.add_argument("--max-bins", type=int, default=256, metavar="N",
+                       help="histogram bins per feature")
+    p_fit.add_argument("--fast", action="store_true",
+                       help="laptop-scale hyperparameters "
+                            "(ModelConfig.fast())")
+    p_fit.add_argument("--out", metavar="FILE",
+                       help="write the fitted model as JSON")
+    p_fit.add_argument("--verbose", "-v", action="store_true",
+                       help="enable telemetry; print span tree + metrics")
+    p_fit.add_argument("--metrics-out", metavar="FILE",
+                       help="write a JSON metrics/trace snapshot to FILE")
+    p_fit.set_defaults(func=cmd_fit)
 
     p_eval = sub.add_parser("evaluate", help="train + evaluate one model")
     _add_common_dataset_args(p_eval)

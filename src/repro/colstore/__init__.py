@@ -1,0 +1,36 @@
+"""``repro.colstore`` -- chunked, memory-mapped columnar storage.
+
+The out-of-core backbone of the training pipeline (docs/colstore.md):
+
+* :class:`ShardWriter` -- append column batches, get atomically
+  committed ``.npy`` shards with deterministic chunk boundaries and a
+  JSON manifest (schema, dtypes, per-shard SHA-256, writer version);
+* :class:`ChunkReader` -- stream the store back as per-chunk
+  memory-mapped ``Table`` views, so a 10M-row campaign never has to fit
+  in RAM;
+* :class:`Manifest` -- the commit record; its :meth:`Manifest.digest`
+  content-addresses the whole dataset for downstream caches;
+* :class:`QuantileSketch` -- deterministic streaming quantiles with an
+  exact small-data fast path (what ``FeatureBinner.fit_stream`` builds
+  its bin edges from).
+
+End-to-end streaming glue (campaign -> clean -> features -> binned ->
+GBDT, all at bounded memory) lives in :mod:`repro.colstore.pipeline`,
+imported explicitly so this package root stays dependency-light.
+"""
+
+from repro.colstore.manifest import COLSTORE_VERSION, ChunkMeta, Manifest
+from repro.colstore.reader import ChunkReader
+from repro.colstore.sketch import DEFAULT_CAPACITY, QuantileSketch
+from repro.colstore.writer import DEFAULT_CHUNK_ROWS, ShardWriter
+
+__all__ = [
+    "COLSTORE_VERSION",
+    "ChunkMeta",
+    "ChunkReader",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_CHUNK_ROWS",
+    "Manifest",
+    "QuantileSketch",
+    "ShardWriter",
+]

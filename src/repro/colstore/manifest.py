@@ -1,0 +1,190 @@
+"""The colstore manifest: one JSON file naming every committed shard.
+
+A store directory looks like::
+
+    store/
+      manifest.json           <- the commit record (written last, atomically)
+      chunk-000000/
+        run_id.npy            <- one plain .npy per column per chunk
+        throughput_mbps.npy
+        ...
+      chunk-000001/
+        ...
+
+The manifest is the *only* source of truth about what the store
+contains: shard files not listed in it do not exist as far as readers
+are concerned (a crashed writer leaves at most orphan chunk files, never
+a torn dataset).  Every shard carries a SHA-256 content fingerprint so
+``ChunkReader.validate()`` can prove integrity, and the manifest digest
+(:meth:`Manifest.digest`) gives downstream caches -- e.g. the feature
+store's shard-by-shard materializer -- a content address for the whole
+dataset without re-hashing the data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.par.cache import fingerprint
+
+__all__ = ["COLSTORE_VERSION", "MANIFEST_NAME", "ChunkMeta", "Manifest"]
+
+#: Bumped on any change to the on-disk layout or manifest schema; a
+#: reader refuses manifests written by a different major version.
+COLSTORE_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def chunk_dirname(index: int) -> str:
+    """Directory name of chunk ``index`` (fixed width keeps sorts sane)."""
+    return f"chunk-{index:06d}"
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """One committed chunk: row count plus per-column shard records."""
+
+    index: int
+    rows: int
+    #: column -> path of its shard, relative to the store root.
+    files: dict[str, str]
+    #: column -> exact dtype of this chunk's shard (string widths may
+    #: vary chunk to chunk; the schema pins only the dtype kind).
+    dtypes: dict[str, str]
+    #: column -> SHA-256 of the shard's array buffer.
+    sha256: dict[str, str]
+    #: column -> logical array bytes (``arr.nbytes``).
+    nbytes: dict[str, int]
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "rows": self.rows,
+            "files": dict(self.files),
+            "dtypes": dict(self.dtypes),
+            "sha256": dict(self.sha256),
+            "nbytes": dict(self.nbytes),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChunkMeta":
+        return cls(
+            index=int(data["index"]),
+            rows=int(data["rows"]),
+            files=dict(data["files"]),
+            dtypes=dict(data["dtypes"]),
+            sha256=dict(data["sha256"]),
+            nbytes={k: int(v) for k, v in data["nbytes"].items()},
+        )
+
+
+@dataclass
+class Manifest:
+    """Schema + committed chunk list of one store."""
+
+    #: Column order and dtype *kind* ("i", "f", "U", "b") per column --
+    #: the invariant part of the schema across chunks.
+    schema: list[tuple[str, str]]
+    chunks: list[ChunkMeta] = field(default_factory=list)
+    #: Rows per full chunk the writer was configured with (the last
+    #: chunk may be shorter).  Recorded so readers/benchmarks can reason
+    #: about the working-set a single chunk implies.
+    chunk_rows: int = 0
+    writer_version: int = COLSTORE_VERSION
+    #: Free-form user metadata (campaign fingerprint, view fingerprint,
+    #: cache keys ...); round-tripped verbatim.
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(c.rows for c in self.chunks)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.schema]
+
+    def to_json(self) -> dict:
+        return {
+            "colstore_version": self.writer_version,
+            "schema": [[n, k] for n, k in self.schema],
+            "chunk_rows": self.chunk_rows,
+            "total_rows": self.total_rows,
+            "meta": self.meta,
+            "chunks": [c.to_json() for c in self.chunks],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Manifest":
+        version = int(data.get("colstore_version", -1))
+        if version != COLSTORE_VERSION:
+            raise ValueError(
+                f"unsupported colstore manifest version {version} "
+                f"(this build speaks {COLSTORE_VERSION})"
+            )
+        m = cls(
+            schema=[(str(n), str(k)) for n, k in data["schema"]],
+            chunks=[ChunkMeta.from_json(c) for c in data["chunks"]],
+            chunk_rows=int(data.get("chunk_rows", 0)),
+            writer_version=version,
+            meta=dict(data.get("meta", {})),
+        )
+        declared = int(data.get("total_rows", m.total_rows))
+        if declared != m.total_rows:
+            raise ValueError(
+                f"manifest total_rows {declared} != sum of chunk rows "
+                f"{m.total_rows}; refusing a torn manifest"
+            )
+        return m
+
+    def digest(self) -> str:
+        """Content address of the whole dataset.
+
+        Hashes the canonical manifest JSON -- which embeds every shard's
+        SHA-256 -- so two stores share a digest iff they hold the same
+        bytes in the same layout.  Downstream caches key on this instead
+        of re-reading gigabytes of shards.
+        """
+        return fingerprint({"colstore_manifest": 1, "body": self.to_json()})
+
+    # -- persistence -------------------------------------------------------- #
+
+    def save(self, root: str | os.PathLike) -> pathlib.Path:
+        """Atomically write ``manifest.json`` under ``root``.
+
+        Same temp + flush + fsync + ``os.replace`` discipline as
+        :meth:`repro.par.NpzCache.save`: a reader either sees the
+        previous manifest or this one, never a torn file.
+        """
+        root = pathlib.Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        target = root / MANIFEST_NAME
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            with open(tmp, "w") as f:
+                json.dump(self.to_json(), f, indent=1, sort_keys=True)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return target
+
+    @classmethod
+    def load(cls, root: str | os.PathLike) -> "Manifest":
+        """Read and validate the manifest of a store directory."""
+        path = pathlib.Path(root) / MANIFEST_NAME
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"no colstore manifest at {path}; the store was never "
+                "finalized (or the path is wrong)"
+            )
+        with open(path) as f:
+            return cls.from_json(json.load(f))
+
+    @classmethod
+    def exists(cls, root: str | os.PathLike) -> bool:
+        return (pathlib.Path(root) / MANIFEST_NAME).is_file()

@@ -1,0 +1,188 @@
+"""End-to-end out-of-core training: store -> clean -> features -> model.
+
+This module is the glue that strings the streaming pieces into one
+bounded-memory pipeline (docs/colstore.md):
+
+1. a raw campaign store (``run_campaign(store_dir=...)``),
+2. :func:`repro.datasets.cleaning.clean_stream` -- run-at-a-time GPS
+   filter / buffer trim / pixelization into a cleaned store,
+3. :meth:`repro.fstore.offline.OfflineMaterializer.materialize_store`
+   -- shard-by-shard feature-view execution into a feature store whose
+   chunk boundaries mirror the cleaned store,
+4. :meth:`repro.ml.tree.FeatureBinner.fit_stream` -- quantile-sketch
+   bin edges from one pass over the feature chunks,
+5. ``fit_binned_stream`` on the GBDT / random-forest families, which
+   consume re-iterable ``(binned, y)`` chunk pairs and keep only O(rows)
+   driver state.
+
+Every intermediate store is content-addressed, so re-running
+:func:`train_from_store` over the same inputs reuses the cleaned and
+materialized stores instead of recomputing them.  Peak memory is a few
+chunk working sets plus the per-row driver state -- never the campaign
+-- and on paper-scale (single-chunk) data the result is bit-identical
+to the in-memory path (``tests/colstore/test_colstore_pipeline.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import obs
+from repro.colstore.reader import ChunkReader
+
+__all__ = [
+    "STREAM_MODELS",
+    "bin_store",
+    "binned_label_chunks",
+    "feature_matrix_chunks",
+    "train_from_store",
+]
+
+#: Model families with an out-of-core ``fit_binned_stream``.
+STREAM_MODELS = ("gdbt", "rf")
+
+#: Label column every training task reads from the cleaned store.
+LABEL_COLUMN = "throughput_mbps"
+
+
+def feature_matrix_chunks(feat_reader: ChunkReader, names=None):
+    """Yield one float64 design-matrix chunk per feature-store chunk."""
+    cols = list(names) if names is not None else feat_reader.column_names
+    for tbl in feat_reader.iter_chunks(cols):
+        yield np.column_stack([np.asarray(tbl[n], dtype=float)
+                               for n in cols])
+
+
+def bin_store(feat_reader: ChunkReader, max_bins: int = 256,
+              sketch_capacity: int | None = None):
+    """Fit a :class:`FeatureBinner` from one pass over a feature store."""
+    from repro.ml.tree import FeatureBinner
+
+    binner = FeatureBinner(max_bins, sketch_capacity=sketch_capacity)
+    return binner.fit_stream(feature_matrix_chunks(feat_reader))
+
+
+def binned_label_chunks(feat_reader: ChunkReader, label_reader: ChunkReader,
+                        binner, label_of=None):
+    """A re-iterable ``(binned, y)`` stream for ``fit_binned_stream``.
+
+    ``feat_reader`` and ``label_reader`` must be chunk-aligned --
+    :meth:`materialize_store` guarantees that by mirroring its input's
+    boundaries, and the manifests are checked here.  ``label_of`` maps
+    the raw label column to training targets (identity by default; the
+    classification path turns throughput into class names).
+    """
+    f_rows = [c.rows for c in feat_reader.manifest.chunks]
+    l_rows = [c.rows for c in label_reader.manifest.chunks]
+    if f_rows != l_rows:
+        raise ValueError(
+            f"feature/label stores are not chunk-aligned: {f_rows} vs "
+            f"{l_rows}"
+        )
+
+    def chunks():
+        labels = label_reader.iter_chunks([LABEL_COLUMN])
+        for X in feature_matrix_chunks(feat_reader):
+            y = np.asarray(next(labels)[LABEL_COLUMN], dtype=float)
+            yield binner.transform(X), (label_of(y) if label_of else y)
+
+    return chunks
+
+
+def _make_stream_model(model: str, task: str, config, seed: int):
+    from repro.ml.forest import (
+        RandomForestClassifier,
+        RandomForestRegressor,
+    )
+    from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
+
+    if model == "gdbt":
+        cls = GBDTRegressor if task == "regression" else GBDTClassifier
+        return cls(
+            n_estimators=config.gdbt_estimators,
+            max_depth=config.gdbt_depth,
+            learning_rate=config.gdbt_learning_rate,
+            min_samples_leaf=config.gdbt_min_samples_leaf,
+            random_state=seed,
+        )
+    if model == "rf":
+        cls = (RandomForestRegressor if task == "regression"
+               else RandomForestClassifier)
+        return cls(
+            n_estimators=config.rf_estimators,
+            max_depth=config.rf_depth,
+            random_state=seed,
+        )
+    raise ValueError(
+        f"model {model!r} has no streaming fit; choose from {STREAM_MODELS}"
+    )
+
+
+def train_from_store(
+    store_dir,
+    work_dir,
+    *,
+    spec: str = "L+M+T+C",
+    model: str = "gdbt",
+    task: str = "regression",
+    config=None,
+    seed: int = 2020,
+    cleaning=None,
+    max_bins: int = 256,
+):
+    """Train a model from a raw campaign store at bounded memory.
+
+    ``store_dir`` holds the raw telemetry store; intermediates (cleaned
+    store, feature store) land under ``work_dir`` and are reused across
+    calls via their content-addressed cache keys.  Returns
+    ``(fitted_model, info)`` where ``info`` records the cleaning
+    report, the view fingerprint, store digests and row counts --
+    enough provenance to tie the model back to its exact inputs.
+    """
+    from repro.core.pipeline import ModelConfig
+    from repro.datasets.cleaning import clean_stream
+    from repro.fstore.offline import OfflineMaterializer
+    from repro.fstore.views import combination_view
+
+    if task not in ("regression", "classification"):
+        raise ValueError(f"unknown task {task!r}")
+    config = config or ModelConfig()
+    raw = ChunkReader(store_dir)
+    with obs.span("colstore.train_from_store", rows=len(raw),
+                  model=model, task=task, spec=spec):
+        cleaned, report = clean_stream(
+            raw, os.path.join(str(work_dir), "clean"), cleaning
+        )
+        if len(cleaned) == 0:
+            raise ValueError("cleaning dropped every row; nothing to train")
+        view = combination_view(
+            spec, past_throughput_lags=config.past_throughput_lags
+        )
+        feats = OfflineMaterializer(view).materialize_store(
+            cleaned, os.path.join(str(work_dir), "features")
+        )
+        binner = bin_store(feats, max_bins=max_bins)
+        label_of = None
+        if task == "classification":
+            from repro.core.labels import DEFAULT_CLASSES
+
+            label_of = DEFAULT_CLASSES.classify
+        chunks = binned_label_chunks(feats, cleaned, binner,
+                                     label_of=label_of)
+        estimator = _make_stream_model(model, task, config, seed)
+        estimator.fit_binned_stream(chunks, binner)
+    info = {
+        "raw_rows": len(raw),
+        "train_rows": len(cleaned),
+        "n_chunks": cleaned.n_chunks,
+        "cleaning_report": report,
+        "view": view.name,
+        "view_fingerprint": view.fingerprint(),
+        "raw_digest": raw.manifest.digest(),
+        "features_digest": feats.manifest.digest(),
+        "fit_telemetry": estimator.fit_telemetry_,
+    }
+    obs.inc("colstore.models_trained_total")
+    return estimator, info

@@ -1,0 +1,182 @@
+"""A deterministic streaming quantile sketch (KLL-style compactors).
+
+``QuantileSketch`` ingests values chunk by chunk, merges across chunks
+(or ``pmap`` workers), and answers quantile queries two ways:
+
+* **Exact fast path** -- until the first compaction, every value is
+  retained verbatim and :meth:`quantiles` is ``np.quantile`` over the
+  buffered values in insertion order.  ``np.quantile`` depends only on
+  the value multiset, so for any dataset with at most ``capacity``
+  values per column the streamed answer is **bit-identical** to the
+  in-memory one.  This is what keeps the existing FeatureBinner goldens
+  unchanged on paper-scale data.
+* **Sketched path** -- beyond ``capacity`` values, leveled compactors
+  keep a weighted sample: a full level is sorted and every other value
+  (alternating offset per compaction, so the choice is deterministic
+  and unbiased over pairs) is promoted with doubled weight.  Queries
+  interpolate on the weighted multiset with ``np.quantile``'s
+  "linear" rule.
+
+**Error bound.** One compaction at level ``l`` (weight ``2**l``)
+perturbs the rank of any query point by at most ``2**l``.  The sketch
+tracks the sum of those perturbations exactly in
+:attr:`rank_error_bound`: a returned quantile ``q`` over ``n`` values is
+guaranteed to be some element whose true rank lies within
+``q*n +- rank_error_bound`` (property-tested in
+``tests/colstore/test_sketch.py``).  With the default capacity of
+65536, a 10M-value stream compacts ~150 times at low levels, for a
+relative rank error of well under 1%% -- far finer than the 256-bin
+grid the FeatureBinner quantizes into anyway.
+
+Everything is deterministic: no randomness, so a given insertion order
+always produces the same sketch, and merges in a fixed order (chunk
+order) are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DEFAULT_CAPACITY", "QuantileSketch"]
+
+#: Per-level retained values before a compaction triggers.  65536
+#: float64 values are 512 KiB per level per column -- small enough to
+#: sketch dozens of feature columns at once, large enough that every
+#: paper-scale campaign (<= 65536 rows per column) stays on the exact
+#: path.
+DEFAULT_CAPACITY = 65_536
+
+
+class QuantileSketch:
+    """Mergeable streaming quantiles with an exact small-data fast path."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 8:
+            raise ValueError("capacity must be >= 8")
+        self.capacity = int(capacity)
+        #: Level ``l`` holds values of weight ``2**l`` as a list of
+        #: arrays (concatenated lazily on compaction/query).
+        self._levels: list[list[np.ndarray]] = [[]]
+        self._level_counts: list[int] = [0]
+        #: Alternating compaction offset per level (deterministic coin).
+        self._offsets: list[int] = [0]
+        self.n = 0
+        self.min_ = np.inf
+        self.max_ = -np.inf
+        #: Exact upper bound on rank perturbation accumulated so far.
+        self.rank_error_bound = 0
+
+    # -- ingestion ----------------------------------------------------------- #
+
+    @property
+    def exact(self) -> bool:
+        """True while every ingested value is still retained verbatim."""
+        return self.rank_error_bound == 0
+
+    def add(self, values: np.ndarray) -> "QuantileSketch":
+        """Ingest a batch of finite float64 values (non-finite rejected)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return self
+        if not np.isfinite(values).all():
+            raise ValueError("sketch values must be finite; filter first")
+        self._levels[0].append(values)
+        self._level_counts[0] += values.size
+        self.n += values.size
+        self.min_ = min(self.min_, float(values.min()))
+        self.max_ = max(self.max_, float(values.max()))
+        self._compress()
+        return self
+
+    def _ensure_level(self, level: int) -> None:
+        while len(self._levels) <= level:
+            self._levels.append([])
+            self._level_counts.append(0)
+            self._offsets.append(0)
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            if self._level_counts[level] > self.capacity:
+                self._compact(level)
+            level += 1
+
+    def _compact(self, level: int) -> None:
+        buf = np.sort(np.concatenate(self._levels[level]))
+        offset = self._offsets[level]
+        self._offsets[level] ^= 1
+        promoted = buf[offset::2]
+        self._levels[level] = []
+        self._level_counts[level] = 0
+        self._ensure_level(level + 1)
+        self._levels[level + 1].append(promoted)
+        self._level_counts[level + 1] += promoted.size
+        # Dropping every other weight-2**level value shifts any rank by
+        # at most 2**level.
+        self.rank_error_bound += 1 << level
+
+    # -- merging ------------------------------------------------------------- #
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold another sketch in (deterministic given merge order)."""
+        if other.n == 0:
+            return self
+        self._ensure_level(len(other._levels) - 1)
+        for level, parts in enumerate(other._levels):
+            if parts:
+                self._levels[level].extend(parts)
+                self._level_counts[level] += other._level_counts[level]
+        self.n += other.n
+        self.min_ = min(self.min_, other.min_)
+        self.max_ = max(self.max_, other.max_)
+        self.rank_error_bound += other.rank_error_bound
+        self._compress()
+        return self
+
+    # -- queries ------------------------------------------------------------- #
+
+    def values(self) -> np.ndarray:
+        """Retained level-0 values in insertion order (exact path only)."""
+        if not self.exact:
+            raise RuntimeError("sketch has compacted; raw values are gone")
+        if not self._levels[0]:
+            return np.empty(0)
+        if len(self._levels[0]) == 1:
+            return self._levels[0][0]
+        return np.concatenate(self._levels[0])
+
+    def quantiles(self, qs) -> np.ndarray:
+        """Quantile estimates (exact until the first compaction)."""
+        qs = np.atleast_1d(np.asarray(qs, dtype=np.float64))
+        if self.n == 0:
+            raise RuntimeError("sketch is empty")
+        if self.exact:
+            # Bit-identical to np.quantile over the original data: the
+            # answer depends only on the value multiset, not the order.
+            return np.quantile(self.values(), qs)
+        vals_parts: list[np.ndarray] = []
+        wts_parts: list[np.ndarray] = []
+        for level, parts in enumerate(self._levels):
+            for part in parts:
+                vals_parts.append(part)
+                wts_parts.append(np.full(part.size, 1 << level,
+                                         dtype=np.int64))
+        vals = np.concatenate(vals_parts)
+        wts = np.concatenate(wts_parts)
+        order = np.argsort(vals, kind="stable")
+        vals = vals[order]
+        wts = wts[order]
+        cum = np.cumsum(wts)
+        total = int(cum[-1])
+
+        def value_at(rank: np.ndarray) -> np.ndarray:
+            idx = np.searchsorted(cum, rank, side="right")
+            return vals[np.minimum(idx, len(vals) - 1)]
+
+        # np.quantile's "linear" rule on the weighted multiset.
+        h = qs * (total - 1)
+        lo = np.floor(h).astype(np.int64)
+        frac = h - lo
+        v_lo = value_at(lo)
+        v_hi = value_at(np.minimum(lo + 1, total - 1))
+        return v_lo + frac * (v_hi - v_lo)

@@ -4,6 +4,7 @@ from repro.datasets.cleaning import (
     CleaningConfig,
     CleaningReport,
     clean,
+    clean_stream,
     filter_gps_error,
     pixelize,
     trim_buffer_period,
@@ -29,6 +30,7 @@ __all__ = [
     "PUBLIC_COLUMN_MAP",
     "Table",
     "clean",
+    "clean_stream",
     "clear_cache",
     "dataset_statistics",
     "filter_gps_error",

@@ -15,12 +15,14 @@ is the campaign design itself):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.datasets.frame import Table
 from repro.geo.mercator import DEFAULT_ZOOM, latlon_to_pixel
+from repro.par import fingerprint
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,112 @@ def pixelize(table: Table, zoom: int = DEFAULT_ZOOM) -> Table:
     for i in range(len(lats)):
         px[i], py[i] = latlon_to_pixel(lats[i], lons[i], zoom)
     return table.with_column("pixel_x", px).with_column("pixel_y", py)
+
+
+def clean_stream(reader, out_dir, config: CleaningConfig | None = None,
+                 chunk_rows: int | None = None):
+    """Out-of-core :func:`clean`: raw campaign store -> cleaned store.
+
+    ``reader`` is a :class:`repro.colstore.ChunkReader` over raw
+    telemetry whose runs are contiguous in row order (true of every
+    campaign store).  The GPS-error filter needs a whole run's mean
+    accuracy before it can keep or drop a single row, so the stream
+    buffers exactly one run at a time -- rows of the open run carry
+    across chunk seams, and a closed run is decided, trimmed and
+    pixelized through *the same batch functions* :func:`clean` uses,
+    making the cleaned store bit-identical to cleaning the gathered
+    table (``tests/datasets/test_clean_stream.py``).  Peak memory is
+    one run plus one chunk, never the campaign.
+
+    The output store is content-addressed (cleaning config x input
+    manifest digest); a finalized store at ``out_dir`` with a matching
+    ``cache_key`` is reused, its :class:`CleaningReport` rebuilt from
+    the manifest meta.  Returns ``(ChunkReader, CleaningReport)``.
+    """
+    from repro.colstore import ChunkReader, Manifest, ShardWriter
+
+    config = config or CleaningConfig()
+    key = fingerprint({
+        "datasets_clean_stream": 1,
+        "config": asdict(config),
+        "manifest": reader.manifest.digest(),
+    })
+    if Manifest.exists(out_dir):
+        try:
+            existing = ChunkReader(out_dir)
+        except ValueError:
+            existing = None
+        if (existing is not None
+                and existing.manifest.meta.get("cache_key") == key):
+            obs.inc("datasets.clean_cache_hits_total")
+            return existing, CleaningReport(
+                **existing.manifest.meta["report"])
+    obs.inc("datasets.clean_cache_misses_total")
+    writer = ShardWriter(
+        out_dir,
+        chunk_rows=chunk_rows or reader.manifest.chunk_rows,
+        meta={"kind": "campaign_clean", "cache_key": key,
+              "config": asdict(config)},
+    )
+    input_rows = 0
+    runs_dropped = 0
+    rows_buffered = 0
+    output_rows = 0
+    open_run = None
+    parts: list[dict[str, np.ndarray]] = []
+    closed: set = set()
+
+    def close_run() -> None:
+        nonlocal runs_dropped, rows_buffered, output_rows
+        names = list(parts[0])
+        run_table = Table({
+            n: np.concatenate([p[n] for p in parts]) for n in names
+        })
+        acc = np.asarray(run_table["gps_accuracy_m"], dtype=float)
+        if acc.mean() > config.max_mean_gps_error_m:
+            runs_dropped += 1
+            return
+        kept, dropped = trim_buffer_period(run_table, config.buffer_period_s)
+        rows_buffered += dropped
+        kept = pixelize(kept, config.zoom)
+        output_rows += len(kept)
+        writer.append(kept)
+
+    with obs.span("datasets.clean_stream", rows=len(reader)), writer:
+        for tbl in reader.iter_chunks():
+            run_ids = np.asarray(tbl["run_id"])
+            input_rows += len(run_ids)
+            change = np.flatnonzero(run_ids[1:] != run_ids[:-1]) + 1
+            starts = np.concatenate([[0], change, [len(run_ids)]])
+            for s, e in zip(starts[:-1], starts[1:]):
+                run = run_ids[s]
+                if run != open_run:
+                    if parts:
+                        close_run()
+                        closed.add(open_run)
+                        parts = []
+                    if run in closed:
+                        raise ValueError(
+                            f"run {run!r} reappeared after closing; "
+                            "clean_stream needs run-contiguous chunks"
+                        )
+                    open_run = run
+                # Copy out of the mmap view so the chunk's pages can be
+                # released while the run stays buffered.
+                parts.append({n: np.array(tbl[n][s:e])
+                              for n in tbl.column_names})
+        if parts:
+            close_run()
+        report = CleaningReport(
+            input_rows=input_rows,
+            output_rows=output_rows,
+            runs_dropped_gps=runs_dropped,
+            rows_dropped_buffer=rows_buffered,
+        )
+        writer.meta["report"] = asdict(report)
+    obs.inc("datasets.clean_stream_rows_total", input_rows)
+    obs.inc("datasets.clean_runs_dropped_total", runs_dropped)
+    return ChunkReader(out_dir), report
 
 
 def clean(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import csv
 import io
+import operator
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -63,15 +64,35 @@ class Table:
 
     @classmethod
     def from_records(cls, records: Iterable, fields: Sequence[str]) -> "Table":
-        """Build from an iterable of objects with the named attributes."""
+        """Build from an iterable of objects with the named attributes.
+
+        Columnar build: one C-level ``attrgetter`` pass over the records
+        transposes them into per-field value tuples, instead of a Python
+        ``getattr`` loop per field x row.  Values and dtypes are
+        identical to the per-row construction.
+        """
+        fields = list(fields)
         rows = list(records)
+        if not rows or not fields:
+            return cls({f: np.asarray([]) for f in fields})
+        getter = operator.attrgetter(*fields)
+        if len(fields) == 1:
+            columns = ([getter(r) for r in rows],)
+        else:
+            columns = zip(*map(getter, rows))
         return cls({
-            f: np.asarray([getattr(r, f) for r in rows]) for f in fields
+            f: np.asarray(col) for f, col in zip(fields, columns)
         })
 
     @classmethod
     def concat(cls, tables: Sequence["Table"]) -> "Table":
-        """Stack tables with identical column sets."""
+        """Stack tables with identical column sets.
+
+        Each output column is preallocated once at its promoted dtype
+        (``np.result_type`` over the inputs -- the same promotion
+        ``np.concatenate`` applies) and filled slice by slice, so no
+        intermediate per-part list of casted copies is built.
+        """
         tables = [t for t in tables if len(t)]
         if not tables:
             return cls({})
@@ -79,9 +100,18 @@ class Table:
         for t in tables[1:]:
             if t.column_names != names:
                 raise ValueError("cannot concat tables with different columns")
-        return cls({
-            n: np.concatenate([t[n] for t in tables]) for n in names
-        })
+        total = sum(len(t) for t in tables)
+        columns: dict[str, np.ndarray] = {}
+        for n in names:
+            dtype = np.result_type(*(t[n].dtype for t in tables))
+            out = np.empty(total, dtype=dtype)
+            pos = 0
+            for t in tables:
+                part = t[n]
+                out[pos:pos + len(part)] = part
+                pos += len(part)
+            columns[n] = out
+        return cls(columns)
 
     # -- transformation ---------------------------------------------------- #
 
@@ -137,16 +167,23 @@ class Table:
     # -- CSV I/O ------------------------------------------------------------ #
 
     def to_csv(self, path_or_buf) -> None:
-        """Write as CSV (header + rows)."""
+        """Write as CSV (header + rows).
+
+        Batched formatting: columns are converted to native Python
+        scalars once (``tolist``) and streamed through ``writerows``'s C
+        loop.  ``str()`` of a native scalar matches ``str()`` of the
+        numpy scalar it came from (shortest-repr floats), so the bytes
+        are identical to the old per-row loop.
+        """
         own = isinstance(path_or_buf, (str, bytes))
         f = open(path_or_buf, "w", newline="") if own else path_or_buf
         try:
             writer = csv.writer(f)
             names = self.column_names
             writer.writerow(names)
-            cols = [self._columns[n] for n in names]
-            for i in range(len(self)):
-                writer.writerow([cols[j][i] for j in range(len(names))])
+            writer.writerows(
+                zip(*(self._columns[n].tolist() for n in names))
+            )
         finally:
             if own:
                 f.close()

@@ -40,6 +40,7 @@ from repro.ml.preprocessing import cyclic_encode
 from repro.radio.signal import UNAVAILABLE
 
 __all__ = [
+    "LagStream",
     "OPS",
     "Op",
     "PAST_THROUGHPUT_FIELD",
@@ -115,6 +116,74 @@ def lag_within_runs(
     return out
 
 
+class LagStream:
+    """Chunked :func:`lag_within_runs` with bit-exact carry across seams.
+
+    Feed chunks in row order via :meth:`apply`; rows of one run must be
+    contiguous in the stream (true of every campaign log -- runs never
+    interleave), which means only the *last* run of each chunk can spill
+    into the next, so the carry is one small tuple: the open run's id,
+    its first value, how many of its rows have been seen, and its last
+    ``lag`` values.  Every output is a copy of an input value (or the
+    run's first value), so the concatenated chunk outputs are
+    bit-identical to the one-shot batch op -- the streaming
+    materializer's parity tests assert exactly that.  A run id that
+    reappears after its run closed raises ``ValueError``.
+    """
+
+    def __init__(self, *, lag: int):
+        if lag < 1:
+            raise ValueError("lag must be >= 1")
+        self.lag = lag
+        self._run = None  # open run's id
+        self._first = 0.0  # its first value
+        self._count = 0  # rows of it seen so far
+        self._tail = np.empty(0)  # its last min(lag, count) values
+        self._closed: set = set()
+
+    def _segment(self, v: np.ndarray) -> np.ndarray:
+        """Lag values for the open run's next ``len(v)`` rows."""
+        m = len(v)
+        if self._count == 0:
+            self._first = v[0]
+        ext = np.concatenate([self._tail, v])
+        # Global (within-run) index of ext[0]:
+        base = self._count - len(self._tail)
+        q = self._count + np.arange(m)
+        # Lagged rows (q >= lag) always land inside ext; the clip only
+        # keeps the discarded head-branch lookups in bounds.
+        idx = np.clip(q - self.lag - base, 0, len(ext) - 1)
+        out = np.where(q < self.lag, self._first, ext[idx])
+        self._count += m
+        self._tail = ext[-min(self.lag, self._count):]
+        return out
+
+    def apply(self, values: np.ndarray, run_ids: np.ndarray) -> np.ndarray:
+        values = _as_float(values)
+        run_ids = np.asarray(run_ids)
+        if len(values) == 0:
+            return values
+        out = np.empty_like(values)
+        # Run-boundary positions inside this chunk, in row order.
+        change = np.flatnonzero(run_ids[1:] != run_ids[:-1]) + 1
+        starts = np.concatenate([[0], change, [len(values)]])
+        for s, e in zip(starts[:-1], starts[1:]):
+            run = run_ids[s]
+            if run != self._run:
+                if self._run is not None:
+                    self._closed.add(self._run)
+                if run in self._closed:
+                    raise ValueError(
+                        f"run {run!r} reappeared after closing; LagStream "
+                        "needs run-contiguous chunks in row order"
+                    )
+                self._run = run
+                self._count = 0
+                self._tail = np.empty(0)
+            out[s:e] = self._segment(values[s:e])
+        return out
+
+
 def _lag_online(row: Mapping, source: str, *, lag: int) -> float:
     """Online equivalent of :func:`lag_within_runs` for one row.
 
@@ -158,6 +227,10 @@ class Op:
     batch: callable
     windowed: bool = False
     online: callable | None = None
+    #: Factory (``stream(**params)``) for a stateful chunked executor
+    #: with ``apply(values, run_ids)``; only windowed ops need one --
+    #: rowwise ops are chunk-safe and stream through ``apply_batch``.
+    stream: callable | None = None
 
     def apply_batch(self, columns: Sequence[np.ndarray],
                     params: Mapping) -> np.ndarray:
@@ -166,6 +239,12 @@ class Op:
             return self.batch(values, run_ids, **params)
         (values,) = columns
         return self.batch(values, **params)
+
+    def make_stream(self, params: Mapping):
+        """A fresh chunked executor for this op (windowed ops only)."""
+        if self.stream is None:
+            raise ValueError(f"op {self.name!r} has no streaming form")
+        return self.stream(**params)
 
     def apply_row(self, row: Mapping, source: Sequence[str],
                   params: Mapping) -> float:
@@ -192,6 +271,7 @@ OPS: dict[str, Op] = {
         Op("cyclic_cos", _cyclic_cos),
         Op("sentinel_nan", _sentinel_nan),
         Op("flag_equals", _flag_equals),
-        Op("lag", lag_within_runs, windowed=True, online=_lag_online),
+        Op("lag", lag_within_runs, windowed=True, online=_lag_online,
+           stream=LagStream),
     )
 }

@@ -97,6 +97,85 @@ class _ForestBase:
             "n_train": len(X),
         }
 
+    def _fit_trees_stream(self, chunks, binner: FeatureBinner,
+                          targets_of) -> None:
+        """Out-of-core tree fitting from a re-iterable ``(binned, y)`` stream.
+
+        Bootstrap resampling becomes *row weighting*: tree ``i`` draws
+        its multinomial bootstrap counts from the same index-keyed seed
+        the in-memory path uses, then grows with ``grad = w * target``
+        and ``hess = w`` -- the weighted leaf mean equals the
+        duplicated-row mean, but ``min_samples_leaf`` counts distinct
+        rows (not draw multiplicity) and trees grow serially (``workers``
+        is unused out of core), so a multi-chunk streamed forest is
+        deterministic for a seed yet not identical to the in-memory
+        forest.  A single-chunk stream gathers and reproduces the
+        in-memory per-tree fit exactly.
+
+        ``targets_of(y_chunk)`` maps a raw target chunk to the (m, k)
+        regression target (identity column for regression, one-hot for
+        classification).
+        """
+        if binner.edges_ is None:
+            raise RuntimeError("binner is not fitted")
+        t_start = time.perf_counter()
+        lens, d = [], None
+        for binned, _ in chunks():
+            lens.append(len(binned))
+            d = np.asarray(binned).shape[1]
+        n = int(np.sum(lens))
+        if n == 0:
+            raise ValueError("empty chunk stream")
+        self.n_features_ = d
+        self._binner = binner
+        seeds = spawn_seeds(self.random_state, self.n_estimators)
+        params = self._params()
+        offsets = np.concatenate([[0], np.cumsum(lens)])
+        if len(lens) == 1:
+            (binned0, y0), = chunks()
+            targets = targets_of(y0)
+            hess = np.ones_like(targets)
+            self._trees = [
+                _fit_one_tree(np.asarray(binned0), targets, hess, params,
+                              self.bootstrap, binner.n_bins_, seed)
+                for seed in seeds
+            ]
+        else:
+            self._trees = []
+            for seed in seeds:
+                rng = np.random.default_rng(seed)
+                if self.bootstrap:
+                    counts = np.bincount(rng.integers(0, n, size=n),
+                                         minlength=n).astype(float)
+                else:
+                    counts = None
+
+                def tree_chunks():
+                    for i, (binned, y) in enumerate(chunks()):
+                        targets = targets_of(y)
+                        if counts is None:
+                            yield binned, targets, None
+                        else:
+                            # Rows never drawn by this tree's bootstrap
+                            # drop out, as they do in-memory; drawn rows
+                            # carry their draw count as the weight.
+                            w = counts[offsets[i]:offsets[i + 1]]
+                            keep = w > 0.0
+                            wk = w[keep][:, None]
+                            yield (np.asarray(binned)[keep],
+                                   targets[keep] * wk,
+                                   wk * np.ones((1, targets.shape[1])))
+
+                self._trees.append(HistogramTree(params).fit_binned_chunks(
+                    tree_chunks, rng=rng, n_bins=binner.n_bins_))
+        self.fit_telemetry_ = {
+            "model": self._MODEL_TAG,
+            "fit_wall_s": time.perf_counter() - t_start,
+            "n_trees": len(self._trees),
+            "n_train": n,
+            "out_of_core": True,
+        }
+
     def _mean_prediction(self, X) -> np.ndarray:
         if self._binner is None:
             raise RuntimeError("model is not fitted")
@@ -130,6 +209,16 @@ class RandomForestRegressor(_ForestBase):
         self._fit_trees(X, y)
         return self
 
+    def fit_binned_stream(self, chunks, binner: FeatureBinner
+                          ) -> "RandomForestRegressor":
+        """Out-of-core fit from a re-iterable ``(binned, y)`` chunk stream
+        (see :meth:`_ForestBase._fit_trees_stream` for the contract)."""
+        self._fit_trees_stream(
+            chunks, binner,
+            lambda y: np.asarray(y, dtype=float).reshape(-1, 1),
+        )
+        return self
+
     def predict(self, X) -> np.ndarray:
         return self._mean_prediction(X)[:, 0]
 
@@ -145,6 +234,26 @@ class RandomForestClassifier(_ForestBase):
         codes = self.encoder_.fit_transform(y)
         Y = one_hot(codes, len(self.encoder_.classes_))
         self._fit_trees(X, Y)
+        return self
+
+    def fit_binned_stream(self, chunks, binner: FeatureBinner
+                          ) -> "RandomForestClassifier":
+        """Out-of-core fit from a re-iterable ``(binned, y)`` chunk stream
+        (see :meth:`_ForestBase._fit_trees_stream` for the contract).
+        Classes are the sorted union of labels across the stream."""
+        classes = None
+        for _, y in chunks():
+            u = np.unique(np.asarray(y))
+            classes = u if classes is None else np.union1d(classes, u)
+        if classes is None:
+            raise ValueError("empty chunk stream")
+        self.encoder_ = LabelEncoder()
+        self.encoder_.classes_ = classes
+        k = len(classes)
+        self._fit_trees_stream(
+            chunks, binner,
+            lambda y: one_hot(self.encoder_.transform(np.asarray(y)), k),
+        )
         return self
 
     def predict_proba(self, X) -> np.ndarray:

@@ -142,6 +142,76 @@ class GBDTRegressor(_GBDTBase):
         }
         return self
 
+    def fit_binned_stream(self, chunks, binner: FeatureBinner
+                          ) -> "GBDTRegressor":
+        """Out-of-core fit from a re-iterable ``(binned, y)`` chunk stream.
+
+        ``chunks`` is a zero-arg callable returning a fresh iterator
+        over identical (uint8-binned X, y) chunk pairs each call (the
+        colstore pipeline's ``bin_store`` produces one); ``binner`` is
+        the fitted :class:`FeatureBinner` behind the codes.  Driver
+        state is one float64 prediction per row (~8 bytes); gradients
+        are recomputed per chunk as ``y_chunk - pred_chunk``, so no
+        gathered matrix ever exists.  A single-chunk stream reproduces
+        :meth:`fit` bit for bit; multi-chunk matches it to summation
+        order (docs/colstore.md).  ``subsample < 1`` needs row gathers
+        and is not supported out of core.
+        """
+        if self.subsample < 1.0:
+            raise NotImplementedError(
+                "subsample < 1.0 requires the in-memory fit")
+        if binner.edges_ is None:
+            raise RuntimeError("binner is not fitted")
+        rng = np.random.default_rng(self.random_state)
+        lens, sums, d = [], [], None
+        for binned, y in chunks():
+            y = np.asarray(y, dtype=float).ravel()
+            lens.append(len(y))
+            sums.append(y.sum())
+            d = np.asarray(binned).shape[1]
+        n = int(np.sum(lens))
+        if n == 0:
+            raise ValueError("empty chunk stream")
+        self.n_features_ = d
+        self._binner = binner
+        self.base_score_ = float(np.sum(sums) / n)
+        current = [np.full(m, self.base_score_) for m in lens]
+        self._trees = []
+        params = self._tree_params()
+        obs_on = obs.enabled()
+        t_start = time.perf_counter()
+
+        def grad_chunks():
+            for i, (binned, y) in enumerate(chunks()):
+                y = np.asarray(y, dtype=float).ravel()
+                yield binned, (y - current[i])[:, None], None
+
+        sq_err = 0.0
+        for _ in range(self.n_estimators):
+            round_t0 = time.perf_counter() if obs_on else 0.0
+            tree = HistogramTree(params).fit_binned_chunks(
+                grad_chunks, rng=rng, n_bins=binner.n_bins_)
+            self._trees.append(tree)
+            sq_err = 0.0
+            for i, (binned, y) in enumerate(chunks()):
+                y = np.asarray(y, dtype=float).ravel()
+                current[i] += (self.learning_rate
+                               * tree.predict_binned(binned)[:, 0])
+                sq_err += float(np.sum((y - current[i]) ** 2))
+            if obs_on:
+                obs.inc("gbdt.rounds_total")
+                obs.observe("gbdt.round_s", time.perf_counter() - round_t0)
+                obs.set_gauge("gbdt.train_loss", sq_err / n)
+        self.fit_telemetry_ = {
+            "model": "gbdt_regressor",
+            "fit_wall_s": time.perf_counter() - t_start,
+            "rounds_completed": len(self._trees),
+            "final_train_loss": sq_err / n,
+            "out_of_core": True,
+            "n_train": n,
+        }
+        return self
+
     def predict(self, X) -> np.ndarray:
         self._check_fitted()
         binned = self._binner.transform(np.asarray(X, dtype=float))
@@ -311,6 +381,90 @@ class GBDTClassifier(_GBDTBase):
             "fit_wall_s": time.perf_counter() - t_start,
             "rounds_completed": len(self._trees),
             "final_train_loss": _logloss(),
+        }
+        return self
+
+    def fit_binned_stream(self, chunks, binner: FeatureBinner
+                          ) -> "GBDTClassifier":
+        """Out-of-core fit from a re-iterable ``(binned, y)`` chunk stream.
+
+        Same contract as :meth:`GBDTRegressor.fit_binned_stream`; the
+        per-row driver state is the k-class logit matrix (8k bytes per
+        row), from which per-chunk softmax gradients and hessians are
+        recomputed every round.  Classes are the sorted union of labels
+        seen across the stream -- identical to the in-memory encoder.
+        """
+        if self.subsample < 1.0:
+            raise NotImplementedError(
+                "subsample < 1.0 requires the in-memory fit")
+        if binner.edges_ is None:
+            raise RuntimeError("binner is not fitted")
+        rng = np.random.default_rng(self.random_state)
+        lens, d = [], None
+        classes = None
+        for binned, y in chunks():
+            y = np.asarray(y)
+            lens.append(len(y))
+            d = np.asarray(binned).shape[1]
+            u = np.unique(y)
+            classes = u if classes is None else np.union1d(classes, u)
+        n = int(np.sum(lens))
+        if n == 0:
+            raise ValueError("empty chunk stream")
+        self.encoder_ = LabelEncoder()
+        self.encoder_.classes_ = classes
+        k = len(classes)
+        if k < 2:
+            raise ValueError("need at least two classes")
+        self.n_features_ = d
+        self._binner = binner
+        counts = np.zeros(k)
+        for _, y in chunks():
+            codes = self.encoder_.transform(np.asarray(y))
+            counts += np.bincount(codes, minlength=k)
+        priors = np.clip(counts / n, 1e-9, 1.0)
+        self.base_logits_ = np.log(priors)
+        logits = [np.tile(self.base_logits_, (m, 1)) for m in lens]
+        self._trees = []
+        params = self._tree_params()
+        obs_on = obs.enabled()
+        t_start = time.perf_counter()
+
+        def grad_chunks():
+            for i, (binned, y) in enumerate(chunks()):
+                codes = self.encoder_.transform(np.asarray(y))
+                Y = one_hot(codes, k)
+                p = softmax(logits[i])
+                yield binned, Y - p, np.clip(p * (1.0 - p), 1e-6, None)
+
+        def _logloss() -> float:
+            acc = 0.0
+            for i, (_, y) in enumerate(chunks()):
+                codes = self.encoder_.transform(np.asarray(y))
+                p_now = softmax(logits[i])
+                picked = np.clip(p_now[np.arange(len(codes)), codes],
+                                 1e-12, 1.0)
+                acc += float(np.sum(-np.log(picked)))
+            return acc / n
+
+        for _ in range(self.n_estimators):
+            round_t0 = time.perf_counter() if obs_on else 0.0
+            tree = HistogramTree(params).fit_binned_chunks(
+                grad_chunks, rng=rng, n_bins=binner.n_bins_)
+            self._trees.append(tree)
+            for i, (binned, _) in enumerate(chunks()):
+                logits[i] += self.learning_rate * tree.predict_binned(binned)
+            if obs_on:
+                obs.inc("gbdt.rounds_total")
+                obs.observe("gbdt.round_s", time.perf_counter() - round_t0)
+                obs.set_gauge("gbdt.train_loss", _logloss())
+        self.fit_telemetry_ = {
+            "model": "gbdt_classifier",
+            "fit_wall_s": time.perf_counter() - t_start,
+            "rounds_completed": len(self._trees),
+            "final_train_loss": _logloss(),
+            "out_of_core": True,
+            "n_train": n,
         }
         return self
 

@@ -36,13 +36,27 @@ MAX_BINS = 256
 
 
 class FeatureBinner:
-    """Quantile binning of a float feature matrix into uint8 codes."""
+    """Quantile binning of a float feature matrix into uint8 codes.
 
-    def __init__(self, max_bins: int = MAX_BINS):
+    Fits either in one shot (:meth:`fit`) or out of core
+    (:meth:`partial_fit` per chunk + :meth:`finalize`, or
+    :meth:`fit_stream` over a chunk iterable).  The streaming fit grows
+    one :class:`repro.colstore.QuantileSketch` per feature and merges
+    chunks into it; as long as a feature's finite values fit the sketch
+    capacity (the default holds every paper-scale campaign) the sketch
+    is *exact* and the finalized edges are bit-identical to
+    :meth:`fit` on the gathered matrix.  Past capacity the edges are
+    rank-approximate with a known bound (``docs/colstore.md``).
+    """
+
+    def __init__(self, max_bins: int = MAX_BINS, *,
+                 sketch_capacity: int | None = None):
         if not 2 <= max_bins <= MAX_BINS:
             raise ValueError(f"max_bins must be in [2, {MAX_BINS}]")
         self.max_bins = max_bins
+        self.sketch_capacity = sketch_capacity
         self.edges_: list[np.ndarray] | None = None
+        self._sketches: list | None = None
 
     def fit(self, X: np.ndarray) -> "FeatureBinner":
         X = np.asarray(X, dtype=float)
@@ -60,6 +74,50 @@ class FeatureBinner:
             edges = np.unique(np.quantile(col, qs))
             self.edges_.append(edges)
         return self
+
+    def partial_fit(self, X: np.ndarray) -> "FeatureBinner":
+        """Absorb one chunk into the per-feature quantile sketches."""
+        from repro.colstore import DEFAULT_CAPACITY, QuantileSketch
+
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if self._sketches is None:
+            cap = self.sketch_capacity or DEFAULT_CAPACITY
+            self._sketches = [QuantileSketch(cap) for _ in range(X.shape[1])]
+        if len(self._sketches) != X.shape[1]:
+            raise ValueError("chunk feature count changed between calls")
+        for j, sketch in enumerate(self._sketches):
+            col = X[:, j]
+            sketch.add(col[np.isfinite(col)])
+        return self
+
+    def finalize(self) -> "FeatureBinner":
+        """Turn the accumulated sketches into bin edges.
+
+        A sketch that never compacted replays :meth:`fit`'s exact
+        arithmetic (``np.quantile`` over the very values it absorbed, in
+        insertion order -- the quantile is order-insensitive, so the
+        edges are bit-identical to the one-shot fit); a compacted sketch
+        answers from its weighted summary.
+        """
+        if self._sketches is None:
+            raise RuntimeError("partial_fit was never called")
+        qs = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+        self.edges_ = []
+        for sketch in self._sketches:
+            if sketch.n == 0 or sketch.min_ == sketch.max_:
+                self.edges_.append(np.empty(0))
+                continue
+            self.edges_.append(np.unique(sketch.quantiles(qs)))
+        self._sketches = None
+        return self
+
+    def fit_stream(self, chunks) -> "FeatureBinner":
+        """Fit from an iterable of 2-D chunks (one pass, bounded memory)."""
+        for X in chunks:
+            self.partial_fit(X)
+        return self.finalize()
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         if self.edges_ is None:
@@ -450,6 +508,251 @@ class _TreeGrower:
                 obs.observe("tree.node_grow_s", time.perf_counter() - t0)
 
 
+def _preorder_renumber(nodes: list[_Node]) -> list[_Node]:
+    """Reorder a level-order node list into the engine's pre-order.
+
+    The streaming grower creates nodes breadth-first; renumbering to
+    pre-order (parent, full left subtree, right subtree) keeps
+    serialized trees, node-id goldens and ``apply`` leaf ids on the same
+    layout the in-memory engine produces.
+    """
+    if not nodes:
+        return nodes
+    order: list[int] = []
+    stack = [0]
+    while stack:
+        i = stack.pop()
+        order.append(i)
+        node = nodes[i]
+        if not node.is_leaf:
+            stack.append(node.right)
+            stack.append(node.left)
+    remap = np.full(len(nodes), -1, dtype=np.int64)
+    for new, old in enumerate(order):
+        remap[old] = new
+    out = []
+    for old in order:
+        node = nodes[old]
+        if not node.is_leaf:
+            node.left = int(remap[node.left])
+            node.right = int(remap[node.right])
+        out.append(node)
+    return out
+
+
+class _StreamingTreeGrower:
+    """Level-order growth engine reading ``(binned, grad, hess)`` chunks.
+
+    The out-of-core counterpart of :class:`_TreeGrower`: instead of
+    owning row-major arrays it re-reads a chunk stream once per tree
+    level.  Each pass advances every row's *slot* (the node it currently
+    sits in, an int32 per row -- the only per-row state kept across
+    passes) by applying the splits chosen at the previous level, then
+    accumulates one combined histogram for the whole frontier with a
+    single bincount per output plane over the key
+    ``slot * (d * B) + feature * B + code``.  Frontiers wider than
+    ``CELL_BUDGET`` histogram cells are swept in batches (extra passes,
+    same bounded memory).
+
+    Split search per node reuses the engine's direct-histogram math
+    (cumsum scores, min_samples_leaf validity, per-feature argmax, gain
+    compared in gain space with first-wins ties).  Differences from the
+    in-memory engine, by design:
+
+    * node G/H/count come from the histogram planes (feature 0's bins)
+      and histograms accumulate chunk-partially, so values match the
+      engine to summation-order (ulp-level) noise -- the seeded
+      equivalence tests bound it.  Single-chunk streams never reach this
+      class: :meth:`HistogramTree.fit_binned_chunks` routes them to the
+      exact engine.
+    * with ``max_features`` set, feature subsets draw per node in level
+      order (root, then children left to right), not the engine's
+      pre-order -- deterministic for a seed, but a different tree.
+
+    After growth, nodes are renumbered to pre-order and
+    ``feature_gain_`` is re-accumulated in that order, so downstream
+    consumers see the engine's layout.
+    """
+
+    #: Max histogram cells (nodes x features x bins x planes) per sweep.
+    CELL_BUDGET = 1 << 24
+
+    def __init__(self, tree: "HistogramTree", chunks, d: int, rng,
+                 n_bins=None):
+        self.tree = tree
+        self.chunks = chunks  # zero-arg callable -> fresh chunk iterator
+        self.d = d
+        self.rng = rng
+        self.k = tree.n_outputs
+        p = tree.params
+        if n_bins is not None and len(np.asarray(n_bins)):
+            self.B = max(int(np.max(n_bins)), 2)
+        else:
+            self.B = MAX_BINS  # codes are uint8; extra bins never win
+        self.lam = max(p.reg_lambda, 1e-12)
+        self.msl = p.min_samples_leaf
+        self.k_feat = tree._n_split_features(d)
+        self.full = self.k_feat == self.d
+        self._offsets = np.arange(d, dtype=np.intp) * self.B
+        #: Per-chunk int32 node-id per row (~4 bytes/row of driver state).
+        self.slots: list[np.ndarray] = []
+
+    # -- one stream pass ----------------------------------------------------- #
+
+    def _sweep(self, batch: list[int], advance: bool) -> np.ndarray:
+        """Histogram rows [all chunks] sitting in ``batch`` nodes.
+
+        ``advance`` applies the previous level's splits to every row's
+        slot first (done exactly once per level, on its first batch).
+        Returns shape ``(len(batch), d, B, 2k+1)``; planes as in
+        :meth:`_TreeGrower._build_hist`, accumulated in chunk order.
+        """
+        k, B, d = self.k, self.B, self.d
+        nodes = self.tree.nodes
+        feat = np.asarray([n.feature for n in nodes], dtype=np.int64)
+        thr = np.asarray([n.threshold_bin for n in nodes], dtype=np.int64)
+        left = np.asarray([n.left for n in nodes], dtype=np.int64)
+        right = np.asarray([n.right for n in nodes], dtype=np.int64)
+        slot_of = np.full(len(nodes), -1, dtype=np.int64)
+        for i, nid in enumerate(batch):
+            slot_of[nid] = i
+        S = len(batch)
+        total = S * d * B
+        hist = np.zeros((S, d, B, 2 * k + 1))
+        first_pass = not self.slots
+        for ci, (binned, grad, hess) in enumerate(self.chunks()):
+            binned = np.asarray(binned)
+            grad = np.atleast_2d(np.asarray(grad, dtype=float).T).T
+            m = len(binned)
+            if first_pass:
+                self.slots.append(np.zeros(m, dtype=np.int32))
+            elif ci >= len(self.slots) or len(self.slots[ci]) != m:
+                raise ValueError(
+                    "chunk stream changed shape between passes; "
+                    "fit_binned_chunks needs a stable re-iterable stream"
+                )
+            ids = self.slots[ci]
+            if advance and not first_pass:
+                act = np.flatnonzero(np.take(feat, ids) >= 0)
+                if act.size:
+                    nid = ids[act]
+                    f = np.take(feat, nid)
+                    goes = binned[act, f] <= np.take(thr, nid)
+                    ids[act] = np.where(
+                        goes, np.take(left, nid), np.take(right, nid)
+                    ).astype(np.int32)
+            rows = np.flatnonzero(np.take(slot_of, ids) >= 0)
+            if rows.size == 0:
+                continue
+            slot_r = slot_of[ids[rows]]
+            keys = binned[rows].astype(np.intp)
+            keys += self._offsets
+            keys += (slot_r * (d * B))[:, None]
+            fr = keys.ravel()
+            cnt = np.bincount(fr, minlength=total).reshape(S, d, B)
+            hist[:, :, :, 2 * k] += cnt
+            wbuf = np.empty((rows.size, d))
+            for j in range(k):
+                wbuf[:] = grad[rows, j, None]
+                hist[:, :, :, j] += np.bincount(
+                    fr, weights=wbuf.ravel(), minlength=total
+                ).reshape(S, d, B)
+            if hess is None:
+                for j in range(k):
+                    hist[:, :, :, k + j] += cnt
+            else:
+                hess = np.atleast_2d(np.asarray(hess, dtype=float).T).T
+                for j in range(k):
+                    wbuf[:] = hess[rows, j, None]
+                    hist[:, :, :, k + j] += np.bincount(
+                        fr, weights=wbuf.ravel(), minlength=total
+                    ).reshape(S, d, B)
+        obs.inc("tree.stream_sweeps_total")
+        return hist
+
+    # -- per-node split search (direct-histogram math) ----------------------- #
+
+    def _node_split(self, h: np.ndarray, G: np.ndarray, H: np.ndarray,
+                    m: int, features):
+        """Winning (feature, bin, gain) for one node, or None."""
+        k, B = self.k, self.B
+        hf = h if features is None else h[features]
+        GL = np.cumsum(hf[:, :, :k], axis=1)[:, : B - 1, :]
+        HL = np.cumsum(hf[:, :, k:2 * k], axis=1)[:, : B - 1, :]
+        NL = np.cumsum(hf[:, :, 2 * k], axis=1)[:, : B - 1]
+        GR = G[None, None, :] - GL
+        HR = H[None, None, :] - HL
+        NR = m - NL
+        valid = (NL >= self.msl) & (NR >= self.msl)
+        score = ((GL * GL / (HL + self.lam)).sum(axis=2)
+                 + (GR * GR / (HR + self.lam)).sum(axis=2))
+        score[~valid] = -np.inf
+        if score.size == 0:
+            return None
+        base = float(np.sum(G * G / (H + self.lam)))
+        b_f = np.argmax(score, axis=1)
+        sc_f = score[np.arange(score.shape[0]), b_f]
+        gain_f = sc_f - base
+        f_pos = int(np.argmax(gain_f))
+        gain = float(gain_f[f_pos])
+        if not np.isfinite(gain):
+            return None
+        f = f_pos if features is None else int(features[f_pos])
+        return f, int(b_f[f_pos]), gain
+
+    # -- main loop ----------------------------------------------------------- #
+
+    def run(self) -> None:
+        tree, p = self.tree, self.tree.params
+        nodes = tree.nodes
+        k = self.k
+        nodes.append(_Node())
+        frontier: list[int] = [0]
+        depths = {0: 0}
+        cells_per_node = self.d * self.B * (2 * k + 1)
+        per_batch = max(1, self.CELL_BUDGET // cells_per_node)
+        while frontier:
+            new_frontier: list[int] = []
+            for start in range(0, len(frontier), per_batch):
+                batch = frontier[start:start + per_batch]
+                hist = self._sweep(batch, advance=start == 0)
+                for s_idx, nid in enumerate(batch):
+                    h = hist[s_idx]
+                    G = h[0, :, :k].sum(axis=0)
+                    H = h[0, :, k:2 * k].sum(axis=0)
+                    m = int(round(float(h[0, :, 2 * k].sum())))
+                    node = nodes[nid]
+                    node.value = tree._leaf_value(G, H)
+                    node.n_samples = m
+                    depth = depths.pop(nid)
+                    if depth >= p.max_depth or m < 2 * p.min_samples_leaf:
+                        continue
+                    features = (None if self.full
+                                else self.rng.choice(self.d, size=self.k_feat,
+                                                     replace=False))
+                    sel = self._node_split(h, G, H, m, features)
+                    if sel is None:
+                        continue
+                    f, b, gain = sel
+                    if gain <= 0.0 or gain <= p.min_gain:
+                        continue
+                    node.feature = f
+                    node.threshold_bin = int(b)
+                    node.gain = gain
+                    node.left = len(nodes)
+                    nodes.append(_Node())
+                    node.right = len(nodes)
+                    nodes.append(_Node())
+                    depths[node.left] = depths[node.right] = depth + 1
+                    new_frontier.extend((node.left, node.right))
+            frontier = new_frontier
+        tree.nodes = _preorder_renumber(nodes)
+        tree.feature_gain_ = np.zeros(self.d)
+        for node in tree.nodes:
+            if not node.is_leaf:
+                tree.feature_gain_[node.feature] += node.gain
+
+
 class HistogramTree:
     """One grown tree over pre-binned features.
 
@@ -532,6 +835,51 @@ class HistogramTree:
         rng = rng or np.random.default_rng()
         idx_all = np.arange(len(binned))
         self._grow_reference(binned, grad, hess, idx_all, depth=0, rng=rng)
+        return self
+
+    def fit_binned_chunks(
+        self,
+        chunks,
+        rng: np.random.Generator | None = None,
+        n_bins: np.ndarray | None = None,
+    ) -> "HistogramTree":
+        """Grow out of core from a re-iterable ``(binned, grad, hess)`` stream.
+
+        ``chunks`` is a zero-arg callable returning a fresh iterator
+        over the *same* chunk sequence on every call (a colstore-backed
+        generator function, typically); ``hess=None`` in a triple means
+        unit hessians.  The stream is re-read once per tree level, so
+        peak memory is one chunk plus the frontier histogram plus ~4
+        bytes of slot state per row -- never the gathered matrix.
+
+        A stream holding a single chunk is routed straight through
+        :meth:`fit` and is bit-identical to the in-memory engine;
+        multi-chunk growth matches it to chunk-partial summation (ulp
+        level; see :class:`_StreamingTreeGrower` for the exact
+        contract).
+        """
+        rng = rng or np.random.default_rng()
+        it = chunks()
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("empty chunk stream") from None
+        single = next(it, None) is None
+        del it
+        binned0, grad0, hess0 = first
+        if single:
+            if hess0 is None:
+                hess0 = np.ones_like(np.atleast_2d(
+                    np.asarray(grad0, dtype=float).T).T)
+            return self.fit(binned0, grad0, hess0, rng=rng, n_bins=n_bins)
+        grad0 = np.atleast_2d(np.asarray(grad0, dtype=float).T).T
+        d = np.asarray(binned0).shape[1]
+        del first, binned0, hess0
+        self.n_outputs = grad0.shape[1]
+        self.feature_gain_ = np.zeros(d)
+        self.nodes = []
+        self._flat = None
+        _StreamingTreeGrower(self, chunks, d, rng, n_bins=n_bins).run()
         return self
 
     def _n_split_features(self, n_features: int) -> int:

@@ -91,8 +91,10 @@ __all__ = [
     "new_trace_id",
     "observe",
     "observe_many",
+    "peak_rss_mb",
     "set_enabled",
     "set_gauge",
+    "set_peak_rss_reader",
     "snapshot",
     "span",
     "telemetry",
@@ -133,3 +135,35 @@ def observe_many(name: str, values) -> None:
 def snapshot() -> dict:
     """Shorthand for ``get_registry().snapshot()``."""
     return get_registry().snapshot()
+
+
+#: Test seam: when set, :func:`peak_rss_mb` reads this instead of the
+#: OS so memory-gauge plumbing is assertable without real allocations.
+_peak_rss_reader = None
+
+
+def set_peak_rss_reader(reader) -> None:
+    """Install (or with ``None`` remove) a fake peak-RSS source."""
+    global _peak_rss_reader
+    _peak_rss_reader = reader
+
+
+def peak_rss_mb() -> float:
+    """This process's peak resident set size in MiB.
+
+    Reads ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` -- kilobytes on
+    Linux, bytes on macOS -- so memory regressions can be recorded as a
+    gauge next to latency numbers (every benchmark does, via
+    ``benchmarks/_bench_utils.py``).  Note this is a *high-water mark*:
+    it only ever grows within a process, so bounded-memory assertions
+    must measure in a fresh subprocess.
+    """
+    if _peak_rss_reader is not None:
+        return float(_peak_rss_reader())
+    import resource
+    import sys
+
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return raw / (1024.0 * 1024.0)
+    return raw / 1024.0

@@ -25,6 +25,7 @@ from repro.par.executor import (
     default_context,
     in_worker,
     pmap,
+    pmap_stream,
     resolve_workers,
 )
 from repro.par.seeding import rng_from, root_sequence, spawn_seeds
@@ -37,6 +38,7 @@ __all__ = [
     "fingerprint",
     "in_worker",
     "pmap",
+    "pmap_stream",
     "resolve_workers",
     "rng_from",
     "root_sequence",

@@ -55,6 +55,7 @@ __all__ = [
     "default_context",
     "in_worker",
     "pmap",
+    "pmap_stream",
     "resolve_workers",
 ]
 
@@ -296,3 +297,104 @@ def pmap(
     obs.inc("par.parallel_runs_total")
     obs.set_gauge("par.last_workers", w)
     return results
+
+
+#: Chunks kept in flight per worker by :func:`pmap_stream`.  Two keeps
+#: every worker busy while the consumer drains the head of the line
+#: without letting completed-but-unconsumed results pile up unbounded.
+_STREAM_INFLIGHT_PER_WORKER = 2
+
+
+def _stream_serial(fn: Callable, items: list):
+    obs.inc("par.serial_fallback_total")
+    for i, item in enumerate(items):
+        obs.inc("par.tasks_total")
+        yield _run_task_with_retry(fn, item, i)
+
+
+def pmap_stream(
+    fn: Callable,
+    items: Iterable,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    context: str | None = None,
+    label: str | None = None,
+):
+    """Like :func:`pmap`, but a *generator* with bounded in-flight work.
+
+    Results arrive in input order, yet at most
+    ``workers * _STREAM_INFLIGHT_PER_WORKER`` chunks exist at once --
+    submitted, running, or finished-but-unconsumed.  That is the
+    property out-of-core consumers (``run_campaign(store_dir=...)``)
+    need: the producer fans simulation out over the pool while the
+    consumer appends each result to disk and drops it, so peak memory
+    is set by the window, not the campaign.
+
+    Semantics otherwise match :func:`pmap` exactly -- per-task seeding
+    keeps results bit-identical at any worker count, worker obs deltas
+    merge back in chunk order (as each chunk is consumed), and a chunk
+    that keeps failing on the pool is retried ``_MAX_CHUNK_ATTEMPTS``
+    times then rescued serially in the parent.  The pool lives until the
+    generator is exhausted or closed.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        return
+    w = min(resolve_workers(workers), n)
+    if w <= 1 or not _picklable(fn):
+        if w > 1:
+            obs.inc("par.pickle_fallback_total")
+        yield from _stream_serial(fn, items)
+        return
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(n / (w * _CHUNKS_PER_WORKER)))
+    chunks = _chunked(items, chunk_size)
+    starts = [i * chunk_size for i in range(len(chunks))]
+    runner = _ChunkRunner(fn)
+    window = w * _STREAM_INFLIGHT_PER_WORKER
+    registry = obs.get_registry()
+    merge = obs.enabled()
+    name = label or getattr(fn, "__name__", type(fn).__name__)
+    ctx = multiprocessing.get_context(context or default_context())
+    with obs.span("par.pmap_stream", label=name, workers=w, tasks=n,
+                  chunks=len(chunks)):
+        with ctx.Pool(
+            processes=w,
+            initializer=_worker_init,
+            initargs=(obs.enabled(),),
+        ) as pool:
+            pending: dict[int, object] = {}
+            next_submit = 0
+            for ci in range(len(chunks)):
+                while next_submit < len(chunks) and \
+                        next_submit < ci + window:
+                    pending[next_submit] = pool.apply_async(
+                        runner, ((starts[next_submit], 0,
+                                  chunks[next_submit]),)
+                    )
+                    next_submit += 1
+                result = None
+                for attempt in range(1, _MAX_CHUNK_ATTEMPTS + 1):
+                    try:
+                        result = pending.pop(ci).get()
+                        break
+                    except Exception:
+                        obs.inc("resil.par.chunk_failures_total")
+                        if attempt == _MAX_CHUNK_ATTEMPTS:
+                            break
+                        obs.inc("resil.par.chunk_retries_total")
+                        pending[ci] = pool.apply_async(
+                            runner, ((starts[ci], attempt, chunks[ci]),)
+                        )
+                if result is None:
+                    result = _rescue_chunk(fn, chunks[ci], starts[ci])
+                chunk_results, delta = result
+                if merge:
+                    registry.merge(delta)
+                obs.inc("par.tasks_total", len(chunk_results))
+                yield from chunk_results
+    obs.inc("par.parallel_runs_total")
+    obs.set_gauge("par.last_workers", w)

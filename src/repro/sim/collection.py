@@ -29,7 +29,7 @@ from functools import partial
 import numpy as np
 
 from repro import obs
-from repro.par import fingerprint, pmap, root_sequence, spawn_seeds
+from repro.par import fingerprint, pmap, pmap_stream, root_sequence, spawn_seeds
 from repro.resil import faults
 from repro.resil.checkpoint import CheckpointStore, resolve_dir
 from repro.env.areas import build_area
@@ -100,7 +100,9 @@ def run_area_campaign(
     config: CampaignConfig | None = None,
     workers: int | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
-) -> Table:
+    store_dir: str | os.PathLike | None = None,
+    chunk_rows: int | None = None,
+):
     """Collect the full campaign for one area and return the raw log.
 
     ``workers`` fans the per-pass simulations out over a process pool
@@ -113,17 +115,34 @@ def run_area_campaign(
     interrupted campaign resumes from where it died -- bit-identical,
     since resumed passes are the very arrays the original run produced
     and fresh passes re-derive the same per-index seeds.
+
+    ``store_dir`` switches to the out-of-core path: instead of building
+    one in-memory Table, each pass's columns are appended to a
+    :class:`repro.colstore.ShardWriter` as they complete (a bounded
+    ``pmap_stream`` window keeps only in-flight passes in RAM) and a
+    :class:`repro.colstore.ChunkReader` over the finished store is
+    returned.  Column values are identical to the in-memory path
+    (``docs/colstore.md``); ``chunk_rows`` sets the shard size.
+    Checkpoint resume composes with the store path: resumed passes are
+    appended straight from their checkpoint arrays.
     """
     config = config or CampaignConfig()
     with obs.span("sim.campaign", area=env.name,
                   passes=config.passes_per_trajectory):
-        table = _run_area_campaign(env, config, workers=workers,
-                                   checkpoint_dir=checkpoint_dir)
+        if store_dir is not None:
+            result = _store_area_campaign(
+                env, config, workers=workers,
+                checkpoint_dir=checkpoint_dir,
+                store_dir=store_dir, chunk_rows=chunk_rows,
+            )
+        else:
+            result = _run_area_campaign(env, config, workers=workers,
+                                        checkpoint_dir=checkpoint_dir)
     obs.get_logger("sim").info(
-        "campaign", area=env.name, rows=len(table),
+        "campaign", area=env.name, rows=len(result),
         passes=config.passes_per_trajectory,
     )
-    return table
+    return result
 
 
 @dataclass(frozen=True)
@@ -215,6 +234,32 @@ def _records_from_columns(columns: dict[str, np.ndarray]
     return [TelemetryRecord(*vals) for vals in zip(*cols)]
 
 
+def _canonical_columns(columns: dict[str, np.ndarray]
+                       ) -> dict[str, np.ndarray]:
+    """Pass columns cast to the store's canonical schema.
+
+    Per-pass dtypes are data-dependent (an all-LTE pass yields integer
+    ``nr_ss_*`` sentinels where a mixed campaign promotes to float64),
+    so the out-of-core path pins every column to its
+    :class:`TelemetryRecord` annotation: int -> int64, float -> float64,
+    str -> unicode.  Values are unchanged -- telemetry ints are exactly
+    representable in float64 -- so the store read back equals the
+    in-memory Table column for column.
+    """
+    from dataclasses import fields as _dc_fields
+
+    out = dict(columns)
+    for f in _dc_fields(TelemetryRecord):
+        arr = out[f.name]
+        if f.type == "int":
+            out[f.name] = arr.astype(np.int64)
+        elif f.type == "float":
+            out[f.name] = arr.astype(np.float64)
+        else:
+            out[f.name] = arr.astype(str)
+    return out
+
+
 def _campaign_fingerprint(env: Environment, config: CampaignConfig) -> str:
     """Content address of one area campaign's checkpoint bucket.
 
@@ -294,25 +339,119 @@ def _run_area_campaign(
     return _records_to_table(records)
 
 
+def _store_area_campaign(
+    env: Environment,
+    config: CampaignConfig,
+    workers: int | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    store_dir: str | os.PathLike | None = None,
+    chunk_rows: int | None = None,
+):
+    """Out-of-core campaign: stream passes into a columnar store.
+
+    Identical plan, seeds and per-pass values as
+    :func:`_run_area_campaign`; the difference is purely where rows go.
+    Passes are consumed *in run order* from a bounded
+    :func:`repro.par.pmap_stream` window and appended to a
+    :class:`repro.colstore.ShardWriter`, so peak memory is the in-flight
+    window plus one open chunk -- never the whole campaign.
+
+    With checkpointing on, already-completed passes are loaded lazily at
+    their consume point (one at a time) and pending ones streamed from
+    the pool; an entry that turns out corrupt at consume time is
+    re-simulated serially from its index-keyed seed.  The store is
+    always rewritten from scratch -- resume applies to the *pass*
+    checkpoints, which remain the unit of crash safety.
+    """
+    from repro.colstore import ChunkReader, DEFAULT_CHUNK_ROWS, ShardWriter
+
+    tasks = _campaign_plan(env, config)
+    seeds = spawn_seeds(root_sequence(config.seed, env.name), len(tasks))
+    fp = _campaign_fingerprint(env, config)
+    writer = ShardWriter(
+        store_dir,
+        chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+        meta={
+            "kind": "campaign_raw",
+            "area": env.name,
+            "campaign_fingerprint": fp,
+        },
+    )
+    root = resolve_dir(checkpoint_dir)
+    with writer:
+        if root is None:
+            stream = pmap_stream(
+                partial(_simulate_pass_task, env, config.simulation),
+                list(zip(tasks, seeds)),
+                workers=workers,
+                label="sim.campaign",
+            )
+            for records in stream:
+                writer.append(_canonical_columns(_pass_columns(records)))
+        else:
+            store = CheckpointStore(root, fp)
+            resumed = set(store.completed(len(tasks)))
+            pending = [
+                (i, task, seed)
+                for i, (task, seed) in enumerate(zip(tasks, seeds))
+                if i not in resumed
+            ]
+            stream = iter(pmap_stream(
+                partial(_simulate_checkpointed_pass_task, env,
+                        config.simulation, str(root), fp),
+                pending,
+                workers=workers,
+                label="sim.campaign",
+            ))
+            for i, (task, seed) in enumerate(zip(tasks, seeds)):
+                if i in resumed:
+                    columns = store.load(i)
+                    if columns is None:
+                        # Entry vanished/corrupted between the scan and
+                        # now: recompute from the same index-keyed seed.
+                        columns = _pass_columns(_simulate_checkpointed_pass_task(
+                            env, config.simulation, str(root), fp,
+                            (i, task, seed),
+                        ))
+                    else:
+                        obs.inc("resil.checkpoint.passes_resumed_total")
+                else:
+                    columns = _pass_columns(next(stream))
+                writer.append(_canonical_columns(columns))
+    return ChunkReader(store_dir)
+
+
 def run_campaign(
     areas: list[str] | None = None,
     config: CampaignConfig | None = None,
     workers: int | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
-) -> dict[str, Table]:
+    store_dir: str | os.PathLike | None = None,
+    chunk_rows: int | None = None,
+) -> dict:
     """Run campaigns for several areas; returns ``{area_name: raw_table}``.
 
     ``workers`` and ``checkpoint_dir`` are forwarded to
     :func:`run_area_campaign` (per-pass fan-out / crash-safe resume
     within each area); per-area seeding keeps the result independent of
     how the passes were executed.
+
+    ``store_dir`` switches every area to the out-of-core path: area
+    ``name`` lands in ``<store_dir>/<name>/`` and the dict values are
+    :class:`repro.colstore.ChunkReader` handles instead of Tables.
     """
     areas = areas or ["Airport", "Intersection", "Loop"]
-    return {
-        name: run_area_campaign(build_area(name), config, workers=workers,
-                                checkpoint_dir=checkpoint_dir)
-        for name in areas
-    }
+    out = {}
+    for name in areas:
+        area_store = (
+            None if store_dir is None else os.path.join(str(store_dir), name)
+        )
+        out[name] = run_area_campaign(
+            build_area(name), config, workers=workers,
+            checkpoint_dir=checkpoint_dir,
+            store_dir=area_store, chunk_rows=chunk_rows,
+        )
+    return out
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,82 @@
+"""Manifest: the store's atomic commit record and content address."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.colstore import ChunkReader, Manifest, ShardWriter
+from repro.colstore.manifest import MANIFEST_NAME
+
+
+def _write_store(root, rows=10, chunk_rows=4, seed=0):
+    rng = np.random.default_rng(seed)
+    with ShardWriter(root, chunk_rows=chunk_rows,
+                     meta={"kind": "test"}) as w:
+        w.append({"a": rng.normal(size=rows),
+                  "b": np.arange(rows, dtype=np.int64)})
+    return Manifest.load(root)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        m = _write_store(tmp_path / "s")
+        again = Manifest.load(tmp_path / "s")
+        assert again.to_json() == m.to_json()
+        assert again.digest() == m.digest()
+
+    def test_exists(self, tmp_path):
+        assert not Manifest.exists(tmp_path / "s")
+        _write_store(tmp_path / "s")
+        assert Manifest.exists(tmp_path / "s")
+
+    def test_counts_and_schema(self, tmp_path):
+        m = _write_store(tmp_path / "s", rows=10, chunk_rows=4)
+        assert m.total_rows == 10
+        assert [c.rows for c in m.chunks] == [4, 4, 2]
+        assert [n for n, _ in m.schema] == ["a", "b"]
+
+
+class TestDigest:
+    def test_digest_is_content_address(self, tmp_path):
+        m1 = _write_store(tmp_path / "s1", seed=0)
+        m2 = _write_store(tmp_path / "s2", seed=0)
+        m3 = _write_store(tmp_path / "s3", seed=1)
+        assert m1.digest() == m2.digest()
+        assert m1.digest() != m3.digest()
+
+    def test_digest_sees_chunking(self, tmp_path):
+        """Different chunk_rows = different physical layout = new key."""
+        m1 = _write_store(tmp_path / "s1", chunk_rows=4)
+        m2 = _write_store(tmp_path / "s2", chunk_rows=5)
+        assert m1.digest() != m2.digest()
+
+
+class TestCorruption:
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Manifest.load(tmp_path / "nope")
+
+    def test_torn_manifest_raises(self, tmp_path):
+        _write_store(tmp_path / "s")
+        path = tmp_path / "s" / MANIFEST_NAME
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises((ValueError, json.JSONDecodeError, KeyError)):
+            Manifest.load(tmp_path / "s")
+
+    def test_validate_catches_flipped_bytes(self, tmp_path):
+        _write_store(tmp_path / "s")
+        reader = ChunkReader(tmp_path / "s")
+        reader.validate()  # clean store passes
+        shard = next((tmp_path / "s").glob("chunk-*/a.npy"))
+        raw = bytearray(shard.read_bytes())
+        raw[-1] ^= 0xFF
+        shard.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="hash mismatch"):
+            reader.validate()
+
+    def test_validate_catches_missing_shard(self, tmp_path):
+        _write_store(tmp_path / "s")
+        next((tmp_path / "s").glob("chunk-*/b.npy")).unlink()
+        with pytest.raises(FileNotFoundError):
+            ChunkReader(tmp_path / "s").validate()

@@ -1,0 +1,116 @@
+"""QuantileSketch: exact fast path, bounded-error sketched path."""
+
+import numpy as np
+import pytest
+
+from repro.colstore import DEFAULT_CAPACITY, QuantileSketch
+
+QS = np.linspace(0.0, 1.0, 257)[1:-1]
+
+
+class TestExactPath:
+    def test_bit_identical_to_np_quantile(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=5000)
+        sk = QuantileSketch()
+        for chunk in np.array_split(data, 7):
+            sk.add(chunk)
+        assert sk.exact
+        assert np.array_equal(sk.quantiles(QS), np.quantile(data, QS))
+
+    def test_order_insensitive(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=3000)
+        a = QuantileSketch().add(data)
+        b = QuantileSketch()
+        for chunk in np.array_split(data[::-1].copy(), 5):
+            b.add(chunk)
+        assert np.array_equal(a.quantiles(QS), b.quantiles(QS))
+
+    def test_merge_on_exact_path(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=4000)
+        parts = np.array_split(data, 4)
+        merged = QuantileSketch()
+        for p in parts:
+            merged.merge(QuantileSketch().add(p))
+        assert merged.exact
+        assert np.array_equal(merged.quantiles(QS), np.quantile(data, QS))
+
+    def test_exact_until_capacity(self):
+        sk = QuantileSketch(capacity=64)
+        sk.add(np.arange(64.0))
+        assert sk.exact
+        sk.add(np.arange(1.0))
+        assert not sk.exact
+
+
+class TestSketchedPath:
+    def test_rank_error_within_tracked_bound(self):
+        """Property: every sketched quantile's true rank error is within
+        rank_error_bound (the documented tolerance)."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=40_000)
+        sk = QuantileSketch(capacity=512)
+        for chunk in np.array_split(data, 100):
+            sk.add(chunk)
+        assert not sk.exact
+        est = sk.quantiles(QS)
+        data_sorted = np.sort(data)
+        for q, v in zip(QS, est):
+            true_rank = q * (len(data) - 1)
+            got_rank = np.searchsorted(data_sorted, v)
+            assert abs(got_rank - true_rank) <= sk.rank_error_bound + 1, (
+                f"q={q}: rank off by {abs(got_rank - true_rank)}, "
+                f"bound {sk.rank_error_bound}"
+            )
+
+    def test_relative_error_small_at_default_capacity_ratio(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=100_000)
+        sk = QuantileSketch(capacity=4096)
+        for chunk in np.array_split(data, 50):
+            sk.add(chunk)
+        # Rank error stays well under 1% of n at this capacity ratio.
+        assert sk.rank_error_bound / sk.n < 0.01
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=10_000)
+
+        def build():
+            sk = QuantileSketch(capacity=256)
+            for chunk in np.array_split(data, 20):
+                sk.add(chunk)
+            return sk.quantiles(QS)
+
+        assert np.array_equal(build(), build())
+
+    def test_min_max_survive_compaction(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=10_000)
+        sk = QuantileSketch(capacity=128).add(data)
+        assert sk.min_ == data.min()
+        assert sk.max_ == data.max()
+
+
+class TestGuards:
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            QuantileSketch().add(np.asarray([1.0, np.nan]))
+
+    def test_empty_query_raises(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            QuantileSketch().quantiles([0.5])
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            QuantileSketch(capacity=4)
+
+    def test_values_unavailable_after_compaction(self):
+        sk = QuantileSketch(capacity=8).add(np.arange(100.0))
+        with pytest.raises(RuntimeError, match="compacted"):
+            sk.values()
+
+    def test_default_capacity_holds_paper_scale(self):
+        assert DEFAULT_CAPACITY >= 65_536

@@ -1,0 +1,113 @@
+"""clean_stream: out-of-core cleaning, bit-identical to batch clean."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.colstore import ChunkReader, ShardWriter
+from repro.datasets.cleaning import CleaningConfig, clean, clean_stream
+
+
+def _raw_store(root, chunk_rows=32, seed=0, run_lens=(40, 25, 55, 30, 18)):
+    """Run-contiguous raw telemetry; run 1 exceeds the GPS-error gate."""
+    rng = np.random.default_rng(seed)
+    rows = sum(run_lens)
+    run_id = np.concatenate(
+        [np.full(n, i, dtype=np.int64) for i, n in enumerate(run_lens)])
+    # Per-run timestamps restart at zero so the buffer trim bites.
+    timestamp = np.concatenate(
+        [np.arange(n, dtype=float) for n in run_lens])
+    acc = np.abs(rng.normal(2.0, 0.5, rows))
+    acc[run_id == 1] += 10.0  # mean accuracy way past the 5 m gate
+    cols = {
+        "run_id": run_id,
+        "timestamp_s": timestamp,
+        "gps_accuracy_m": acc,
+        "latitude": 44.97 + rng.normal(size=rows) * 1e-4,
+        "longitude": -93.26 + rng.normal(size=rows) * 1e-4,
+        "throughput_mbps": np.abs(rng.normal(800, 300, rows)),
+        "radio_type": np.asarray(rng.choice(["5G", "LTE"], rows)),
+    }
+    with ShardWriter(root, chunk_rows=chunk_rows) as w:
+        w.append(cols)
+    return ChunkReader(root)
+
+
+@pytest.mark.parametrize("chunk_rows", [7, 32, 1000])
+def test_bitwise_parity_with_batch_clean(tmp_path, chunk_rows):
+    reader = _raw_store(tmp_path / "raw", chunk_rows=chunk_rows)
+    ref_table, ref_report = clean(reader.read_table())
+    out, report = clean_stream(reader, tmp_path / "clean")
+    assert report == ref_report
+    got = out.read_table()
+    assert got.column_names == ref_table.column_names
+    for name in got.column_names:
+        a, b = np.asarray(got[name]), np.asarray(ref_table[name])
+        if a.dtype.kind == "f":
+            assert np.array_equal(a, b, equal_nan=True), name
+        else:
+            assert np.array_equal(a.astype(str), b.astype(str)), name
+
+
+def test_report_counts_drops(tmp_path):
+    reader = _raw_store(tmp_path / "raw")
+    _, report = clean_stream(reader, tmp_path / "clean")
+    assert report.runs_dropped_gps == 1
+    assert report.rows_dropped_buffer > 0
+    assert report.input_rows == len(reader)
+    assert 0 < report.retention < 1
+
+
+def test_output_chunking_defaults_to_input(tmp_path):
+    reader = _raw_store(tmp_path / "raw", chunk_rows=32)
+    out, _ = clean_stream(reader, tmp_path / "c1")
+    assert out.manifest.chunk_rows == 32
+    out2, _ = clean_stream(reader, tmp_path / "c2", chunk_rows=11)
+    assert out2.manifest.chunk_rows == 11
+    assert out2.read_table().column_names == out.read_table().column_names
+
+
+class TestCaching:
+    def test_second_call_reuses_store_and_report(self, tmp_path):
+        reader = _raw_store(tmp_path / "raw")
+        first, report1 = clean_stream(reader, tmp_path / "clean")
+        stamp = (tmp_path / "clean" / "manifest.json").stat().st_mtime_ns
+        second, report2 = clean_stream(reader, tmp_path / "clean")
+        assert report2 == report1
+        assert second.manifest.digest() == first.manifest.digest()
+        assert (tmp_path / "clean" / "manifest.json"
+                ).stat().st_mtime_ns == stamp
+
+    def test_config_change_regenerates(self, tmp_path):
+        reader = _raw_store(tmp_path / "raw")
+        _, report1 = clean_stream(reader, tmp_path / "clean")
+        loose = CleaningConfig(max_mean_gps_error_m=100.0)
+        _, report2 = clean_stream(reader, tmp_path / "clean", config=loose)
+        assert report2.runs_dropped_gps == 0
+        assert report2.output_rows > report1.output_rows
+
+    def test_report_roundtrips_through_manifest(self, tmp_path):
+        reader = _raw_store(tmp_path / "raw")
+        _, report = clean_stream(reader, tmp_path / "clean")
+        out = ChunkReader(tmp_path / "clean")
+        assert out.manifest.meta["report"] == dataclasses.asdict(report)
+
+
+class TestGuards:
+    def test_reappearing_run_rejected(self, tmp_path):
+        rows = 30
+        run_id = np.concatenate([
+            np.full(10, 0), np.full(10, 1), np.full(10, 0)
+        ]).astype(np.int64)
+        cols = {
+            "run_id": run_id,
+            "timestamp_s": np.tile(np.arange(10, dtype=float), 3),
+            "gps_accuracy_m": np.full(rows, 2.0),
+            "latitude": np.full(rows, 44.97),
+            "longitude": np.full(rows, -93.26),
+        }
+        with ShardWriter(tmp_path / "raw", chunk_rows=8) as w:
+            w.append(cols)
+        with pytest.raises(ValueError, match="reappeared"):
+            clean_stream(ChunkReader(tmp_path / "raw"), tmp_path / "c")

@@ -1,0 +1,112 @@
+"""materialize_store: shard-by-shard views, bitwise equal to batch."""
+
+import numpy as np
+import pytest
+
+from repro.colstore import ChunkReader, ShardWriter
+from repro.fstore.offline import OfflineMaterializer
+from repro.fstore.views import combination_view, group_view
+
+
+def _telemetry_store(root, rows=300, chunk_rows=64, seed=0):
+    """A minimal run-contiguous store with every view source column."""
+    rng = np.random.default_rng(seed)
+    run_len = 25
+    run_id = np.repeat(np.arange(rows // run_len), run_len)
+    cols = {
+        "run_id": run_id.astype(np.int64),
+        "latitude": 44.97 + rng.normal(size=rows) * 1e-4,
+        "longitude": -93.26 + rng.normal(size=rows) * 1e-4,
+        "pixel_x": rng.integers(0, 500, rows).astype(np.int64),
+        "pixel_y": rng.integers(0, 500, rows).astype(np.int64),
+        "moving_speed_mps": np.abs(rng.normal(1.4, 0.3, rows)),
+        "compass_direction_deg": rng.uniform(0, 360, rows),
+        "mobility_mode": np.asarray(["walking"] * rows),
+        "detected_activity": np.asarray(["walking"] * rows),
+        "throughput_mbps": np.abs(rng.normal(800, 300, rows)),
+        "radio_type": np.asarray(
+            rng.choice(["5G", "LTE"], rows)),
+        "nr_ss_rsrp": rng.normal(-85, 8, rows),
+        "nr_ss_rsrq": rng.normal(-11, 2, rows),
+        "nr_ss_rssi": rng.normal(-80, 8, rows),
+        "lte_rsrp": rng.normal(-95, 8, rows),
+        "lte_rsrq": rng.normal(-12, 2, rows),
+        "lte_rssi": rng.normal(-88, 8, rows),
+        "horizontal_handoff": rng.integers(0, 2, rows).astype(np.int64),
+        "vertical_handoff": rng.integers(0, 2, rows).astype(np.int64),
+        "ue_panel_distance_m": np.abs(rng.normal(40, 10, rows)),
+        "positional_angle_deg": rng.uniform(0, 360, rows),
+        "mobility_angle_deg": rng.uniform(0, 360, rows),
+    }
+    with ShardWriter(root, chunk_rows=chunk_rows) as w:
+        w.append(cols)
+    return ChunkReader(root)
+
+
+@pytest.mark.parametrize("spec", ["L", "L+M", "T+M", "L+M+T+C"])
+def test_bitwise_parity_with_batch(tmp_path, spec):
+    reader = _telemetry_store(tmp_path / "raw")
+    view = combination_view(spec)
+    out = OfflineMaterializer(view).materialize_store(
+        reader, tmp_path / f"f_{spec.replace('+', '')}")
+    assert out.n_chunks == reader.n_chunks
+    fm = view.transform_table(reader.read_table())
+    got = out.read_table()
+    assert got.column_names == list(view.names)
+    for i, name in enumerate(view.names):
+        assert np.array_equal(np.asarray(got[name]), fm.X[:, i],
+                              equal_nan=True), name
+
+
+def test_lag_features_cross_chunk_seams(tmp_path):
+    """The T group's past-throughput lags straddle chunk boundaries
+    (runs of 25 rows vs 64-row chunks) and must still be exact."""
+    reader = _telemetry_store(tmp_path / "raw", rows=300, chunk_rows=64)
+    view = group_view("T")
+    out = OfflineMaterializer(view).materialize_store(reader,
+                                                      tmp_path / "f")
+    fm = view.transform_table(reader.read_table())
+    got = out.read_table()
+    for i, name in enumerate(view.names):
+        assert np.array_equal(np.asarray(got[name]), fm.X[:, i]), name
+
+
+class TestCaching:
+    def test_same_inputs_reuse_finalized_store(self, tmp_path):
+        reader = _telemetry_store(tmp_path / "raw")
+        mat = OfflineMaterializer(combination_view("L+M"))
+        first = mat.materialize_store(reader, tmp_path / "f")
+        stamp = (tmp_path / "f" / "manifest.json").stat().st_mtime_ns
+        second = mat.materialize_store(reader, tmp_path / "f")
+        assert second.manifest.digest() == first.manifest.digest()
+        assert (tmp_path / "f" / "manifest.json"
+                ).stat().st_mtime_ns == stamp  # untouched, not rebuilt
+
+    def test_different_view_regenerates(self, tmp_path):
+        reader = _telemetry_store(tmp_path / "raw")
+        OfflineMaterializer(combination_view("L+M")).materialize_store(
+            reader, tmp_path / "f")
+        out = OfflineMaterializer(combination_view("L")
+                                  ).materialize_store(reader,
+                                                      tmp_path / "f")
+        assert out.column_names == list(combination_view("L").names)
+
+    def test_different_data_regenerates(self, tmp_path):
+        mat = OfflineMaterializer(combination_view("L"))
+        r1 = _telemetry_store(tmp_path / "raw1", seed=0)
+        r2 = _telemetry_store(tmp_path / "raw2", seed=9)
+        a = mat.materialize_store(r1, tmp_path / "f")
+        digest_a = a.manifest.digest()
+        b = mat.materialize_store(r2, tmp_path / "f")
+        assert b.manifest.digest() != digest_a
+
+    def test_meta_records_provenance(self, tmp_path):
+        reader = _telemetry_store(tmp_path / "raw")
+        view = combination_view("L+M")
+        out = OfflineMaterializer(view).materialize_store(reader,
+                                                          tmp_path / "f")
+        meta = out.manifest.meta
+        assert meta["kind"] == "fstore_features"
+        assert meta["view"] == view.name
+        assert meta["view_fingerprint"] == view.fingerprint()
+        assert "cache_key" in meta

@@ -1,0 +1,89 @@
+"""LagStream: chunked windowed ops, bit-exact across chunk seams."""
+
+import numpy as np
+import pytest
+
+from repro.fstore.ops import OPS, LagStream, lag_within_runs
+
+
+def _run_data(lengths, seed=0):
+    rng = np.random.default_rng(seed)
+    run_ids = np.concatenate(
+        [np.full(n, i) for i, n in enumerate(lengths)])
+    values = rng.normal(size=len(run_ids)) * 100
+    return values, run_ids
+
+
+class TestParity:
+    @pytest.mark.parametrize("lag", [1, 2, 5, 10])
+    @pytest.mark.parametrize("chunk", [1, 3, 7, 16, 1000])
+    def test_chunked_equals_batch(self, lag, chunk):
+        values, run_ids = _run_data([1, 2, 7, 3, 25, 1, 4, 60, 2])
+        ref = lag_within_runs(values, run_ids, lag=lag)
+        ls = LagStream(lag=lag)
+        got = np.concatenate([
+            ls.apply(values[s:s + chunk], run_ids[s:s + chunk])
+            for s in range(0, len(values), chunk)
+        ])
+        assert np.array_equal(got, ref)
+
+    def test_run_straddling_many_seams(self):
+        """One run spread across every chunk boundary."""
+        values, run_ids = _run_data([50])
+        ref = lag_within_runs(values, run_ids, lag=5)
+        ls = LagStream(lag=5)
+        got = np.concatenate([
+            ls.apply(values[s:s + 2], run_ids[s:s + 2])
+            for s in range(0, 50, 2)
+        ])
+        assert np.array_equal(got, ref)
+
+    def test_runs_shorter_than_lag(self):
+        values, run_ids = _run_data([1, 2, 3, 1, 2])
+        ref = lag_within_runs(values, run_ids, lag=5)
+        ls = LagStream(lag=5)
+        got = np.concatenate([
+            ls.apply(values[s:s + 3], run_ids[s:s + 3])
+            for s in range(0, len(values), 3)
+        ])
+        assert np.array_equal(got, ref)
+
+    def test_outputs_are_copies(self):
+        values, run_ids = _run_data([10])
+        ls = LagStream(lag=2)
+        out = ls.apply(values, run_ids)
+        out[0] = 1e9
+        assert values[0] != 1e9
+
+
+class TestGuards:
+    def test_reappearing_run_raises(self):
+        ls = LagStream(lag=2)
+        ls.apply(np.arange(3.0), np.asarray([0, 0, 1]))
+        with pytest.raises(ValueError, match="reappeared"):
+            ls.apply(np.arange(2.0), np.asarray([0, 0]))
+
+    def test_lag_below_one_rejected(self):
+        with pytest.raises(ValueError, match="lag"):
+            LagStream(lag=0)
+
+    def test_empty_chunk_is_noop(self):
+        ls = LagStream(lag=2)
+        out = ls.apply(np.empty(0), np.empty(0, dtype=int))
+        assert len(out) == 0
+        # State untouched: a following chunk still works.
+        values, run_ids = _run_data([5])
+        assert np.array_equal(ls.apply(values, run_ids),
+                              lag_within_runs(values, run_ids, lag=2))
+
+
+class TestRegistry:
+    def test_lag_op_has_stream_factory(self):
+        op = OPS["lag"]
+        stream = op.make_stream({"lag": 3})
+        assert isinstance(stream, LagStream)
+        assert stream.lag == 3
+
+    def test_rowwise_ops_have_no_stream(self):
+        with pytest.raises(ValueError, match="no streaming form"):
+            OPS["cast"].make_stream({})

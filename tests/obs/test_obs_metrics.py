@@ -186,3 +186,31 @@ class TestRegistry:
             list(pool.map(hammer, range(workers)))
         assert reg.counter("hammer_total").value == workers * per_worker
         assert reg.histogram("hammer_s").count == workers * per_worker
+
+
+class TestPeakRss:
+    def test_real_reading_is_positive(self):
+        from repro import obs
+
+        assert obs.peak_rss_mb() > 1.0
+
+    def test_high_water_mark_is_monotone(self):
+        from repro import obs
+
+        first = obs.peak_rss_mb()
+        ballast = np.ones(2_000_000)  # ~15 MiB touched
+        second = obs.peak_rss_mb()
+        del ballast
+        third = obs.peak_rss_mb()
+        assert second >= first
+        assert third >= second  # never shrinks: it's a high-water mark
+
+    def test_injectable_reader(self):
+        from repro import obs
+
+        obs.set_peak_rss_reader(lambda: 123.5)
+        try:
+            assert obs.peak_rss_mb() == 123.5
+        finally:
+            obs.set_peak_rss_reader(None)
+        assert obs.peak_rss_mb() != 123.5

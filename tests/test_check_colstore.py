@@ -1,0 +1,133 @@
+"""Wire tools/check_colstore.py into the tier-1 suite.
+
+The lint pins the columnar store's bounded-memory contract: shard reads
+inside src/repro/colstore/ are memory-mapped (np.load always passes
+mmap_mode), full-store gathers stay confined to the documented
+ChunkReader.read_table escape hatch, and the chunk read/write hot paths
+keep emitting colstore.* obs metrics.
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECK = REPO_ROOT / "tools" / "check_colstore.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_colstore  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_library_tree_passes_lint(self):
+        assert check_colstore.check() == []
+
+    def test_script_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECK)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "check_colstore: OK" in proc.stdout
+
+    def test_guarded_paths_all_exist(self):
+        """The observed-file list must track real files, or the obs rule
+        silently checks nothing."""
+        for rel in check_colstore.OBSERVED_FILES:
+            assert (check_colstore.SRC_ROOT / rel).is_file(), rel
+        assert (check_colstore.SRC_ROOT / check_colstore.COLSTORE).is_dir()
+
+
+def _violations(tmp_path, name: str, source: str, observed=None):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return check_colstore.file_violations(path, observed=observed)
+
+
+class TestDetection:
+    def test_eager_np_load_flagged(self, tmp_path):
+        out = _violations(tmp_path, "anything.py", """
+            import numpy as np
+
+            def load_shard(path):
+                return np.load(path)
+        """, observed=False)
+        assert len(out) == 1
+        assert "mmap_mode" in out[0][1]
+
+    def test_mmapped_np_load_clean(self, tmp_path):
+        out = _violations(tmp_path, "anything.py", """
+            import numpy as np
+
+            def load_shard(path):
+                return np.load(path, mmap_mode="r")
+        """, observed=False)
+        assert out == []
+
+    def test_concat_outside_read_table_flagged(self, tmp_path):
+        out = _violations(tmp_path, "reader.py", """
+            import numpy as np
+
+            def iter_chunks(chunks):
+                return np.concatenate([c for c in chunks])
+        """, observed=False)
+        assert len(out) == 1
+        assert "read_table" in out[0][1]
+
+    def test_concat_inside_read_table_allowed(self, tmp_path):
+        out = _violations(tmp_path, "reader.py", """
+            import numpy as np
+
+            def read_table(chunks):
+                return np.concatenate([c for c in chunks])
+        """, observed=False)
+        assert out == []
+
+    def test_concat_outside_reader_module_ignored(self, tmp_path):
+        """The gather rule targets reader.py; the writer's bounded
+        per-chunk concat is legitimate."""
+        out = _violations(tmp_path, "writer.py", """
+            import numpy as np
+
+            def flush(parts):
+                return np.concatenate(parts)
+        """, observed=False)
+        assert out == []
+
+    def test_missing_obs_metric_flagged(self, tmp_path):
+        out = _violations(tmp_path, "reader.py", """
+            def read_chunk(i):
+                return i
+        """, observed=True)
+        assert len(out) == 1
+        assert "colstore.*" in out[0][1] or "colstore." in out[0][1]
+
+    def test_colstore_obs_metric_satisfies_rule(self, tmp_path):
+        out = _violations(tmp_path, "reader.py", """
+            from repro import obs
+
+            def read_chunk(i):
+                obs.inc("colstore.chunks_read_total")
+                return i
+        """, observed=True)
+        assert out == []
+
+    def test_wrong_prefix_obs_metric_still_flagged(self, tmp_path):
+        out = _violations(tmp_path, "writer.py", """
+            from repro import obs
+
+            def flush():
+                obs.inc("other.counter")
+        """, observed=True)
+        assert len(out) == 1
+
+    def test_check_reports_relative_paths(self, tmp_path):
+        root = tmp_path / "repro"
+        (root / "colstore").mkdir(parents=True)
+        (root / "colstore" / "bad.py").write_text(
+            "import numpy as np\nx = np.load('f')\n"
+        )
+        out = check_colstore.check(root)
+        assert len(out) == 1
+        assert "bad.py:2:" in out[0]

@@ -1,0 +1,79 @@
+"""CLI out-of-core path: ``generate --store-dir`` and ``fit --from-store``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.colstore import ChunkReader, Manifest
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli_store") / "campaign"
+    code = main(["generate", "--area", "Airport", "--passes", "1",
+                 "--store-dir", str(root), "--chunk-rows", "256"])
+    assert code == 0
+    return root
+
+
+class TestGenerateStore:
+    def test_writes_finalized_store(self, store, capsys):
+        assert Manifest.exists(store)
+        reader = ChunkReader(store)
+        assert len(reader) > 100
+        assert reader.manifest.chunk_rows == 256
+
+    def test_out_and_store_dir_are_exclusive(self, tmp_path, capsys):
+        code = main(["generate", "--area", "Airport", "--passes", "1",
+                     "--out", str(tmp_path / "x.csv"),
+                     "--store-dir", str(tmp_path / "s")])
+        assert code == 2
+        assert "store-dir" in capsys.readouterr().err
+
+    def test_neither_out_nor_store_dir_rejected(self, capsys):
+        code = main(["generate", "--area", "Airport", "--passes", "1"])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+
+class TestFit:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fit", "--from-store", "s"])
+        assert args.func.__name__ == "cmd_fit"
+        assert args.model == "gdbt"
+        assert args.task == "regression"
+        assert args.features == "L+M+T+C"
+
+    def test_fit_from_store_trains_and_saves(self, store, tmp_path,
+                                             capsys):
+        model_path = tmp_path / "model.json"
+        code = main(["fit", "--from-store", str(store),
+                     "--work-dir", str(tmp_path / "work"), "--fast",
+                     "--out", str(model_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trained" in out
+        assert "chunks" in out
+        payload = json.loads(model_path.read_text())
+        from repro.ml.serialize import model_from_json
+
+        est = model_from_json(json.dumps(payload))
+        assert hasattr(est, "predict")
+
+    def test_fit_classification(self, store, tmp_path, capsys):
+        code = main(["fit", "--from-store", str(store),
+                     "--work-dir", str(tmp_path / "work"),
+                     "--task", "classification", "--fast"])
+        assert code == 0
+        assert "trained" in capsys.readouterr().out
+
+    def test_missing_store_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["fit", "--from-store", str(tmp_path / "nope")])
+        assert code == 2
+        assert capsys.readouterr().err  # message, not a traceback
+
+    def test_unknown_model_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fit", "--from-store", "s", "--model", "knn"])

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Lint: the columnar store keeps its bounded-memory contract.
+
+Three rules make ``repro.colstore``'s streaming guarantees checkable
+instead of aspirational:
+
+1. **Shard reads are memory-mapped** -- every ``np.load`` inside
+   ``src/repro/colstore/`` must pass ``mmap_mode``.  An eager load of a
+   10M-row shard is exactly the allocation the store exists to avoid,
+   and it hides: the code still works, it just stops being out-of-core.
+2. **No full-manifest gathers on streaming paths** -- inside
+   ``colstore/``, ``Table.concat`` / ``np.concatenate`` over *all*
+   chunks is only allowed in ``ChunkReader.read_table`` (the explicit,
+   documented escape hatch).  Everywhere else a concat over the chunk
+   list means some "streaming" path quietly materializes the dataset.
+   Heuristic: any ``concat``/``concatenate`` call in ``reader.py``
+   outside ``read_table`` is flagged.
+3. **Read/write paths stay observable** -- ``reader.py`` and
+   ``writer.py`` must each call ``obs.inc``/``obs.observe``/
+   ``obs.set_gauge`` with a ``colstore.``-prefixed metric name at least
+   once, so chunk/row/byte counters cannot silently disappear from the
+   hot paths the benchmarks watch.
+
+Run directly (``python tools/check_colstore.py``) or via the tier-1
+suite (``tests/test_check_colstore.py`` wires it in).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+COLSTORE = "colstore"
+
+#: Files that must emit colstore.* metrics on their hot paths.
+OBSERVED_FILES = ("colstore/reader.py", "colstore/writer.py")
+
+#: The one function allowed to gather every chunk into RAM.
+GATHER_ESCAPE_HATCH = ("reader.py", "read_table")
+
+
+def _is_np_load(node: ast.Call) -> bool:
+    f = node.func
+    return (isinstance(f, ast.Attribute) and f.attr == "load"
+            and isinstance(f.value, ast.Name) and f.value.id == "np")
+
+
+def _lacks_mmap_mode(node: ast.Call) -> bool:
+    return not any(kw.arg == "mmap_mode" for kw in node.keywords)
+
+
+def _is_concat(node: ast.Call) -> bool:
+    f = node.func
+    return isinstance(f, ast.Attribute) and f.attr in (
+        "concat", "concatenate"
+    )
+
+
+def _is_colstore_obs_call(node: ast.Call) -> bool:
+    f = node.func
+    if not (isinstance(f, ast.Attribute)
+            and f.attr in ("inc", "observe", "set_gauge")
+            and isinstance(f.value, ast.Name) and f.value.id == "obs"):
+        return False
+    return bool(
+        node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        and node.args[0].value.startswith("colstore.")
+    )
+
+
+def _enclosing_functions(tree: ast.Module) -> dict[ast.AST, str]:
+    """Map every node to the name of its innermost enclosing function."""
+    owner: dict[ast.AST, str] = {}
+
+    def walk(node: ast.AST, current: str) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node.name
+        for child in ast.iter_child_nodes(node):
+            owner[child] = current
+            walk(child, current)
+
+    walk(tree, "")
+    return owner
+
+
+def file_violations(path: pathlib.Path,
+                    observed: bool | None = None) -> list[tuple[int, str]]:
+    """(line, message) pairs for one ``colstore/`` source file.
+
+    ``observed`` marks files that must emit ``colstore.*`` metrics
+    (default: judged by :data:`OBSERVED_FILES` basenames).
+    """
+    if observed is None:
+        observed = any(path.name == pathlib.PurePosixPath(f).name
+                       for f in OBSERVED_FILES)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    owner = _enclosing_functions(tree)
+    out: list[tuple[int, str]] = []
+    is_reader = path.name == GATHER_ESCAPE_HATCH[0]
+    has_obs = False
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_np_load(node) and _lacks_mmap_mode(node):
+            out.append((
+                node.lineno,
+                "np.load without mmap_mode in colstore/; shard reads "
+                "must be memory-mapped to stay out-of-core",
+            ))
+        if (is_reader and _is_concat(node)
+                and owner.get(node, "") != GATHER_ESCAPE_HATCH[1]):
+            out.append((
+                node.lineno,
+                "full-store concat on a streaming path; gathering every "
+                "chunk belongs only in ChunkReader.read_table",
+            ))
+        if _is_colstore_obs_call(node):
+            has_obs = True
+    if observed and not has_obs:
+        out.append((
+            1,
+            "no colstore.* obs metric emitted; the chunk read/write hot "
+            "paths must stay observable (obs.inc/observe/set_gauge)",
+        ))
+    return out
+
+
+def check(root: pathlib.Path = SRC_ROOT) -> list[str]:
+    """All violations under ``root`` as ``path:line: message`` strings."""
+    violations: list[str] = []
+    for path in sorted((root / COLSTORE).rglob("*.py")):
+        for lineno, message in file_violations(path):
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            violations.append(f"{shown}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_colstore: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_colstore: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,10 @@ Two rules keep the histogram-tree performance contract enforceable:
    ``binned[idx]`` / ``grad[idx]`` are what the iterative engine's
    in-place partition was built to remove; they are only allowed in the
    functions that are *defined* to be slow (the reference grower and
-   reference traversals).
+   reference traversals) and in the out-of-core level sweep
+   (``_sweep``), whose single per-chunk gather of active rows is the
+   streaming design -- bounded by ``chunk_rows``, once per chunk per
+   level, never per node.
 
 Run directly (``python tools/check_tree.py``) or via the tier-1 suite
 (``tests/test_check_tree.py`` wires it in).
@@ -35,10 +38,15 @@ _REFERENCE_NAMES = frozenset({
     "fit_reference", "_grow_reference", "predict_binned_slow", "apply_slow",
 })
 
-#: Functions in tree.py that are the reference implementations (or feed
-#: them) and therefore may keep ``array[rows]`` gather indexing.
+#: Functions in tree.py that may keep ``array[rows]`` gather indexing:
+#: the reference implementations (defined to be slow), plus the
+#: out-of-core level sweep ``_sweep``, whose one gather per chunk of the
+#: active rows is the streaming design itself -- bounded by
+#: ``chunk_rows`` and amortised over every node of the level, unlike
+#: the per-node copies this lint exists to catch.
 _GATHER_ALLOWED_FUNCS = frozenset({
     "fit_reference", "_grow_reference", "predict_binned_slow", "apply_slow",
+    "_sweep",
 })
 
 #: Names whose subscripting with a bare-name index marks a per-node row
