@@ -21,6 +21,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 
 import numpy as np
 
@@ -122,6 +123,11 @@ def cmd_fit(args) -> int:
           "runs for GPS error")
     print(f"  features: {info['view']} "
           f"(fingerprint {info['view_fingerprint'][:12]}...)")
+    baseline = info.get("drift_baseline")
+    if baseline:
+        print(f"  drift baseline: {baseline['stat']} "
+              f"mean {baseline['mean']:.1f} p50 {baseline['p50']:.1f} "
+              f"(n={baseline['count']})")
     print(f"  {_telemetry_fit_summary(info['fit_telemetry'])}")
     if args.out:
         with open(args.out, "w") as f:
@@ -382,6 +388,64 @@ def _telemetry_summary(telemetry: dict | None) -> str:
     return f", {', '.join(parts)}" if parts else ""
 
 
+def cmd_rollout(args) -> int:
+    from repro.core.pipeline import ModelConfig
+    from repro.rollout import (
+        DriftCampaignConfig,
+        GuardConfig,
+        RefitConfig,
+        run_drifting_campaign,
+    )
+
+    work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-rollout-")
+    config = DriftCampaignConfig(
+        area=args.area,
+        phases=args.phases,
+        foliage_step_db=args.foliage_step_db,
+        passes_per_trajectory=args.passes,
+        seed=args.seed,
+        workers=args.workers,
+        shards=args.shards,
+        canary_fraction=args.canary_fraction,
+        name=args.name,
+        model=ModelConfig.fast() if args.fast else ModelConfig(),
+        refit=RefitConfig(n_rounds=args.refit_rounds),
+        guard=GuardConfig(),
+    )
+    try:
+        summary = run_drifting_campaign(
+            work_dir, config=config, registry_dir=args.registry,
+            events_out=args.events_out,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"rollout: {exc}", file=sys.stderr)
+        return 2
+    print(f"rollout: {config.phases} drift phase(s) over {args.area} "
+          f"({summary['requests']} requests served)")
+    for phase in summary["phases"]:
+        drift = phase["drift"] or {}
+        line = (f"  phase {phase['phase']}: "
+                f"+{phase['foliage_db']:.0f} dB foliage, "
+                f"drift {'DETECTED' if drift.get('drifted') else 'ok'}")
+        rollout = phase["rollout"]
+        if rollout is not None:
+            line += (f" -> candidate v{rollout['candidate']} "
+                     f"{rollout['outcome']}")
+            if rollout.get("escalated"):
+                line += " (cold retrain)"
+        print(line)
+    print(f"  serving: v{summary['serving']} of versions "
+          f"{summary['versions']} (registry pin)")
+    print(f"  digest: {summary['digest'][:16]}...")
+    if args.summary_out:
+        with open(args.summary_out, "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True, default=str)
+        print(f"  summary written to {args.summary_out}")
+    if args.events_out:
+        print(f"  events written to {args.events_out}")
+    return 0
+
+
 def cmd_obs_report(args) -> int:
     from repro.obs.telemetry import render_report
 
@@ -557,6 +621,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-out", metavar="FILE",
                          help="write a JSON metrics/trace snapshot to FILE")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_rollout = sub.add_parser(
+        "rollout",
+        help="drive the continuous-learning loop over seeded drift",
+        description="Simulate a drifting measurement campaign (seasonal "
+                    "foliage loss stepped per phase), detect drift "
+                    "against the serving model's baseline, warm-start "
+                    "refit a candidate and roll it out through shadow "
+                    "and canary stages (docs/continuous_learning.md).",
+    )
+    p_rollout.add_argument("--area", default="Airport",
+                           help="measurement area (default Airport)")
+    p_rollout.add_argument("--phases", type=int, default=1,
+                           help="drift phases after the baseline campaign")
+    p_rollout.add_argument("--foliage-step-db", type=float, default=10.0,
+                           help="extra foliage loss per phase, dB")
+    p_rollout.add_argument("--passes", type=int, default=2,
+                           help="campaign passes per trajectory")
+    p_rollout.add_argument("--seed", type=int, default=2020)
+    p_rollout.add_argument("--workers", type=int, default=None,
+                           help="campaign simulation workers")
+    p_rollout.add_argument("--shards", type=int, default=2,
+                           help="gateway predictor shards")
+    p_rollout.add_argument("--canary-fraction", type=float, default=0.5,
+                           help="UE-key slice served by the canary")
+    p_rollout.add_argument("--refit-rounds", type=int, default=20,
+                           help="boosting rounds appended per refit")
+    p_rollout.add_argument("--name", default="lumos5g",
+                           help="registry model name")
+    p_rollout.add_argument("--registry", metavar="DIR", default=None,
+                           help="model registry directory "
+                                "(default: under --work-dir)")
+    p_rollout.add_argument("--work-dir", metavar="DIR", default=None,
+                           help="campaign stores + refit scratch "
+                                "(default: a fresh temp dir)")
+    p_rollout.add_argument("--fast", action="store_true",
+                           help="smaller model config for quick runs")
+    p_rollout.add_argument("--events-out", metavar="FILE", default=None,
+                           help="write the rollout/drift event log as JSONL")
+    p_rollout.add_argument("--summary-out", metavar="FILE", default=None,
+                           help="write the JSON campaign summary")
+    p_rollout.set_defaults(func=cmd_rollout)
 
     p_obs = sub.add_parser(
         "obs",

@@ -37,6 +37,9 @@ __all__ = [
     "bin_store",
     "binned_label_chunks",
     "feature_matrix_chunks",
+    "refit_from_store",
+    "streamed_error",
+    "streamed_prediction_baseline",
     "train_from_store",
 ]
 
@@ -89,6 +92,75 @@ def binned_label_chunks(feat_reader: ChunkReader, label_reader: ChunkReader,
             yield binner.transform(X), (label_of(y) if label_of else y)
 
     return chunks
+
+
+def streamed_prediction_baseline(estimator, feat_reader: ChunkReader,
+                                 stat: str = "prediction"):
+    """A :class:`DriftBaseline` over streamed predictions, bounded memory.
+
+    The in-memory path (``Lumos5G.publish``) gathers every training-time
+    prediction and calls ``DriftBaseline.from_values``; here predictions
+    stream chunk by chunk through a :class:`QuantileSketch` plus moment
+    accumulators.  While the sketch has not compacted (its exact
+    small-data fast path) the result is bit-identical to the gathered
+    computation; past capacity the quantiles are sketch approximations
+    and the moments stay exact.  Classifiers summarize their max
+    class probability, matching the in-memory publish path.
+    """
+    import math
+
+    from repro.colstore.sketch import QuantileSketch
+    from repro.obs.telemetry import DriftBaseline
+
+    sketch = QuantileSketch()
+    total, acc, acc2 = 0, 0.0, 0.0
+    is_classifier = hasattr(estimator, "predict_proba")
+    for X in feature_matrix_chunks(feat_reader):
+        if is_classifier:
+            values = np.max(estimator.predict_proba(X), axis=1)
+        else:
+            values = np.asarray(estimator.predict(X), dtype=float).ravel()
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            continue
+        sketch.add(values)
+        total += int(values.size)
+        acc += float(values.sum())
+        acc2 += float(np.dot(values, values))
+    if total == 0:
+        raise ValueError("no finite predictions to build a baseline from")
+    if sketch.exact:
+        return DriftBaseline.from_values(stat, sketch.values())
+    mean = acc / total
+    var = max(acc2 / total - mean * mean, 0.0)
+    q10, q50, q90 = (float(q) for q in sketch.quantiles([0.1, 0.5, 0.9]))
+    return DriftBaseline(stat=stat, count=total, mean=mean,
+                         std=math.sqrt(var), p10=q10, p50=q50, p90=q90)
+
+
+def streamed_error(estimator, feat_reader: ChunkReader,
+                   label_reader: ChunkReader, task: str = "regression",
+                   label_of=None) -> dict:
+    """Streamed training-set error: MAE/RMSE or error rate, one pass."""
+    abs_acc, sq_acc, wrong, n = 0.0, 0.0, 0, 0
+    labels = label_reader.iter_chunks([LABEL_COLUMN])
+    for X in feature_matrix_chunks(feat_reader):
+        raw = np.asarray(next(labels)[LABEL_COLUMN], dtype=float)
+        y = label_of(raw) if label_of else raw
+        pred = estimator.predict(X)
+        n += len(X)
+        if task == "classification":
+            wrong += int(np.sum(np.asarray(pred) != np.asarray(y)))
+        else:
+            err = np.asarray(pred, dtype=float) - np.asarray(y, dtype=float)
+            abs_acc += float(np.abs(err).sum())
+            sq_acc += float(np.dot(err, err))
+    if n == 0:
+        raise ValueError("empty store; nothing to evaluate")
+    if task == "classification":
+        return {"n": n, "error_rate": wrong / n}
+    return {"n": n, "mae": abs_acc / n,
+            "rmse": float(np.sqrt(sq_acc / n))}
 
 
 def _make_stream_model(model: str, task: str, config, seed: int):
@@ -173,6 +245,12 @@ def train_from_store(
                                      label_of=label_of)
         estimator = _make_stream_model(model, task, config, seed)
         estimator.fit_binned_stream(chunks, binner)
+        # Store-trained models are drift-monitorable exactly like
+        # Lumos5G.publish() output: the training-time prediction
+        # baseline rides along (streamed -- the predictions are never
+        # gathered) and round-trips through ml.serialize.
+        baseline = streamed_prediction_baseline(estimator, feats)
+        estimator.drift_baseline_ = baseline.to_dict()
     info = {
         "raw_rows": len(raw),
         "train_rows": len(cleaned),
@@ -183,6 +261,84 @@ def train_from_store(
         "raw_digest": raw.manifest.digest(),
         "features_digest": feats.manifest.digest(),
         "fit_telemetry": estimator.fit_telemetry_,
+        "drift_baseline": estimator.drift_baseline_,
     }
     obs.inc("colstore.models_trained_total")
+    return estimator, info
+
+
+def refit_from_store(
+    estimator,
+    store_dir,
+    work_dir,
+    *,
+    n_rounds: int,
+    spec: str = "L+M+T+C",
+    task: str = "regression",
+    config=None,
+    cleaning=None,
+):
+    """Warm-start an already-fitted stream model on a fresh campaign store.
+
+    The continuous-learning refit path (docs/continuous_learning.md):
+    same clean -> materialize plumbing as :func:`train_from_store`, but
+    the feature chunks are binned with the estimator's *own frozen
+    binner* and appended via ``fit_more_binned_stream``, so the refit
+    consumes the drifted store one chunk at a time -- the fresh data
+    never fully materializes.  Attaches a fresh streamed drift baseline
+    (the candidate must be monitored against its own training-time
+    statistics, not its ancestor's) and returns ``(estimator, info)``
+    where ``info["train_error"]`` carries the streamed post-refit error
+    the rollout controller's escalation decision reads.
+    """
+    from repro.core.pipeline import ModelConfig
+    from repro.datasets.cleaning import clean_stream
+    from repro.fstore.offline import OfflineMaterializer
+    from repro.fstore.views import combination_view
+
+    if task not in ("regression", "classification"):
+        raise ValueError(f"unknown task {task!r}")
+    if getattr(estimator, "_binner", None) is None:
+        raise ValueError("estimator must be fitted before refit_from_store")
+    config = config or ModelConfig()
+    raw = ChunkReader(store_dir)
+    with obs.span("colstore.refit_from_store", rows=len(raw),
+                  task=task, spec=spec, n_rounds=int(n_rounds)):
+        cleaned, report = clean_stream(
+            raw, os.path.join(str(work_dir), "clean"), cleaning
+        )
+        if len(cleaned) == 0:
+            raise ValueError("cleaning dropped every row; nothing to refit")
+        view = combination_view(
+            spec, past_throughput_lags=config.past_throughput_lags
+        )
+        feats = OfflineMaterializer(view).materialize_store(
+            cleaned, os.path.join(str(work_dir), "features")
+        )
+        label_of = None
+        if task == "classification":
+            from repro.core.labels import DEFAULT_CLASSES
+
+            label_of = DEFAULT_CLASSES.classify
+        chunks = binned_label_chunks(feats, cleaned, estimator._binner,
+                                     label_of=label_of)
+        estimator.fit_more_binned_stream(n_rounds, chunks)
+        baseline = streamed_prediction_baseline(estimator, feats)
+        estimator.drift_baseline_ = baseline.to_dict()
+        train_error = streamed_error(estimator, feats, cleaned, task,
+                                     label_of=label_of)
+    info = {
+        "refit_rows": len(cleaned),
+        "n_chunks": cleaned.n_chunks,
+        "cleaning_report": report,
+        "view": view.name,
+        "view_fingerprint": view.fingerprint(),
+        "raw_digest": raw.manifest.digest(),
+        "features_digest": feats.manifest.digest(),
+        "fit_telemetry": estimator.fit_telemetry_,
+        "drift_baseline": estimator.drift_baseline_,
+        "train_error": train_error,
+        "n_rounds": int(n_rounds),
+    }
+    obs.inc("colstore.models_refitted_total")
     return estimator, info

@@ -46,7 +46,7 @@ from repro.obs.telemetry import (
     baseline_of,
 )
 from repro.resil.retry import DeadlineExceeded
-from repro.gateway.routing import route
+from repro.gateway.routing import in_canary, route
 from repro.gateway.shard import PredictorShard, ShedError
 from repro.serve.protocol import RequestCodec, routing_key
 
@@ -80,6 +80,17 @@ class GatewayConfig:
     #: process per shard; crash-isolated).
     backend: str = "thread"
     mp_context: str | None = None
+    #: Backend for the shadow mirror shard; None follows ``backend``.
+    #: ``"process"`` keeps an untrusted candidate's predictions out of
+    #: the serving process entirely.
+    shadow_backend: str | None = None
+    #: Straggler window for the shadow shard's micro-batcher.  Mirror
+    #: traffic has no latency SLO (comparisons settle at connection
+    #: drain), so a long window turns the mirror into large, infrequent
+    #: batches -- the candidate steals far fewer scheduler slices from
+    #: the serving path, which is what holds mirroring's p99 overhead
+    #: under 10% in benchmarks/bench_rollout.py.
+    shadow_max_wait_ms: float = 25.0
     #: Windowed telemetry plane + the gateway SLOs it evaluates.
     telemetry: bool = True
     window_s: float = 60.0
@@ -124,6 +135,41 @@ class GatewayStats:
         """Whether the run's availability error budget was spent."""
         verdict = (self.telemetry or {}).get("last_evaluation") or {}
         return bool(verdict.get("budget_burned"))
+
+
+class _ShadowState:
+    """A shadow candidate: its shard, codec, and mirrored comparisons."""
+
+    __slots__ = ("codec", "shard", "version", "seq", "records", "pending",
+                 "failures", "shed")
+
+    def __init__(self, codec: RequestCodec, shard: PredictorShard,
+                 version: int):
+        self.codec = codec
+        self.shard = shard
+        self.version = version
+        #: Monotonic admit index; assigned on the event loop, so records
+        #: keyed by it replay in one deterministic order.
+        self.seq = 0
+        self.records: dict[int, dict] = {}
+        #: Mirrored (seq, req, ..., futures) awaiting settlement -- the
+        #: admit path only appends here; comparisons run at drain time.
+        self.pending: list = []
+        self.failures = 0
+        self.shed = 0
+
+
+class _CanaryState:
+    """A canary candidate serving a deterministic slice of keys."""
+
+    __slots__ = ("codec", "shard", "version", "fraction")
+
+    def __init__(self, codec: RequestCodec, shard: PredictorShard,
+                 version: int, fraction: float):
+        self.codec = codec
+        self.shard = shard
+        self.version = version
+        self.fraction = fraction
 
 
 class AsyncGateway:
@@ -175,6 +221,8 @@ class AsyncGateway:
         self._swaps = 0
         self._connections = 0
         self._closed = False
+        self._shadow: _ShadowState | None = None
+        self._canary: _CanaryState | None = None
 
     # -- lifecycle ----------------------------------------------------------- #
 
@@ -184,6 +232,12 @@ class AsyncGateway:
         self._closed = True
         for shard in self.shards:
             shard.close()
+        if self._shadow is not None:
+            self._shadow.shard.close()
+            self._shadow = None
+        if self._canary is not None:
+            self._canary.shard.close()
+            self._canary = None
 
     def __enter__(self) -> "AsyncGateway":
         return self
@@ -227,16 +281,138 @@ class AsyncGateway:
                   old_version=old, new_version=version)
 
     def swap_latest(self, registry, name: str) -> int | None:
-        """Hot-load the registry's newest version of ``name`` if newer.
+        """Hot-load the registry's serving version of ``name`` if changed.
 
-        Returns the new version number, or None when already current.
+        Honors the registry's serving pin when one is set (a rollback
+        that re-pins an older version swaps the gateway *back*); without
+        a pin the latest version wins as before.  Returns the new
+        version number, or None when already current.
         """
-        latest = registry.latest_version(name)
-        if latest is None or int(latest) == self.version:
+        target = registry.resolve_serving(name)
+        if target is None or int(target) == self.version:
             return None
-        model = registry.load_resilient(name, int(latest))
-        self.swap(model, int(latest))
-        return int(latest)
+        model = registry.load_resilient(name, int(target))
+        self.swap(model, int(target))
+        return int(target)
+
+    # -- shadow / canary (the rollout controller drives these) ---------------- #
+
+    def set_shadow(self, model, version: int) -> None:
+        """Mirror admitted traffic to a candidate; never answer with it.
+
+        The candidate gets its own single shard (thread backend, its
+        queue sized for the whole fleet's traffic) and every valid
+        request is submitted there *in addition to* its primary shard.
+        The admit path only enqueues the mirror and parks the future
+        pair; comparisons settle in one batch at connection drain,
+        keyed by a monotonic admit index -- so mirroring adds no
+        client-visible await, no per-request task churn on the event
+        loop, and the comparison set is deterministic
+        (benchmarks/bench_rollout.py holds the p99 overhead under 10%).
+        """
+        if self._shadow is not None:
+            self.clear_shadow()
+        version = int(version)
+        shard = PredictorShard(
+            len(self.shards) + 1, model, version,
+            backend=self.config.shadow_backend or self.config.backend,
+            mp_context=self.config.mp_context,
+            queue_depth=self.config.queue_depth * len(self.shards),
+            # The mirror batches big and slow: nobody waits on it.
+            max_batch_size=self.config.max_batch_size * len(self.shards),
+            max_wait_s=self.config.shadow_max_wait_ms / 1000.0,
+            predict_attempts=self.config.predict_attempts,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_reset_s=self.config.breaker_reset_s,
+        )
+        self._shadow = _ShadowState(RequestCodec(model), shard, version)
+        obs.inc("rollout.shadow_installs_total")
+        if self.telemetry is not None:
+            self.telemetry.inc("rollout.shadow_installs_total")
+        _LOG.info("shadow candidate installed", trace_id="-",
+                  shard=shard.index, version=version)
+
+    def clear_shadow(self) -> dict | None:
+        """Tear down the shadow shard; returns the final report."""
+        state = self._shadow
+        if state is None:
+            return None
+        report = self.shadow_report()
+        self._shadow = None
+        state.shard.close()
+        _LOG.info("shadow candidate cleared", trace_id="-",
+                  shard=state.shard.index, version=state.version)
+        return report
+
+    def shadow_report(self) -> dict:
+        """Deterministic aggregate of the mirrored prediction pairs.
+
+        Records iterate in admit order regardless of completion order,
+        so reruns with the same request stream produce byte-identical
+        reports (modulo none -- no wall-clock fields here).
+        """
+        state = self._shadow
+        if state is None:
+            raise RuntimeError("no shadow candidate installed")
+        records = [state.records[k] for k in sorted(state.records)]
+        pairs = [(r["primary"], r["shadow"]) for r in records
+                 if r["primary"] is not None and r["shadow"] is not None]
+        diffs = [abs(s - p) for p, s in pairs]
+        return {
+            "version": state.version,
+            "mirrored": len(records),
+            "compared": len(pairs),
+            "failures": state.failures,
+            "shed": state.shed,
+            "mean_abs_diff": (sum(diffs) / len(diffs)) if diffs else None,
+            "max_abs_diff": max(diffs) if diffs else None,
+            "records": records,
+        }
+
+    def set_canary(self, model, version: int, fraction: float) -> None:
+        """Serve a deterministic ``fraction`` of keys from the candidate.
+
+        Membership is :func:`repro.gateway.routing.in_canary` on the
+        request's routing key -- the same UEs are canaried on every
+        replay.  Canary responses carry the candidate's
+        ``model_version``, so clients (and the rollout guard) can tell
+        which arm answered.
+        """
+        if self._canary is not None:
+            self.clear_canary()
+        version = int(version)
+        fraction = float(fraction)
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("canary fraction must be in (0, 1]")
+        codec = RequestCodec(model)
+        shard = PredictorShard(
+            len(self.shards), model, version,
+            backend="thread",
+            queue_depth=self.config.queue_depth * len(self.shards),
+            max_batch_size=self.config.max_batch_size,
+            max_wait_s=self.config.max_wait_ms / 1000.0,
+            deadline_s=self.config.request_deadline_ms / 1000.0,
+            predict_attempts=self.config.predict_attempts,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_reset_s=self.config.breaker_reset_s,
+            telemetry=self.telemetry,
+        )
+        self._codecs[version] = codec
+        self._canary = _CanaryState(codec, shard, version, fraction)
+        obs.inc("rollout.canary_installs_total")
+        if self.telemetry is not None:
+            self.telemetry.inc("rollout.canary_installs_total")
+        _LOG.info("canary candidate installed", trace_id="-",
+                  shard=shard.index, version=version, fraction=fraction)
+
+    def clear_canary(self) -> None:
+        state = self._canary
+        if state is None:
+            return
+        self._canary = None
+        state.shard.close()
+        _LOG.info("canary candidate cleared", trace_id="-",
+                  shard=state.shard.index, version=state.version)
 
     # -- admission (synchronous; called from the event loop) ------------------ #
 
@@ -259,9 +435,16 @@ class AsyncGateway:
             response = codec.error_response(req)
             return req, response, tid, -1, self.version
         key = routing_key(req, tid)
-        shard_index = route(key, len(self.shards),
-                            seed=self.config.routing_seed)
-        shard = self.shards[shard_index]
+        canary = self._canary
+        if canary is not None and in_canary(key, canary.fraction,
+                                            seed=self.config.routing_seed):
+            shard, shard_index = canary.shard, canary.shard.index
+            if self.telemetry is not None:
+                self.telemetry.inc("rollout.canary_requests_total")
+        else:
+            shard_index = route(key, len(self.shards),
+                                seed=self.config.routing_seed)
+            shard = self.shards[shard_index]
         try:
             fut, version = shard.submit(features, trace_id=tid)
         except ShedError as exc:
@@ -277,7 +460,73 @@ class AsyncGateway:
                 req,
             )
             return req, response, tid, shard_index, self.version
+        self._mirror_shadow(req, key, tid, features, fut, version)
         return req, fut, tid, shard_index, version
+
+    def _mirror_shadow(self, req, key, tid, features, primary_fut,
+                       version) -> None:
+        """Submit one admitted request to the shadow shard (if any).
+
+        Called on the event loop; the hot path does nothing but enqueue
+        the mirror and park the future pair -- no task creation, no
+        await.  :meth:`_settle_shadow` folds the parked pairs into
+        records once the connection drains.
+        """
+        shadow = self._shadow
+        if shadow is None:
+            return
+        seq = shadow.seq
+        shadow.seq += 1
+        try:
+            shadow_fut, _ = shadow.shard.submit(features, trace_id=tid)
+        except ShedError:
+            shadow.shed += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("rollout.shadow_shed_total")
+            return
+        shadow.pending.append(
+            (seq, req, key, tid, primary_fut, version, shadow_fut))
+
+    async def _settle_shadow(self, shadow) -> None:
+        """Record every parked (primary, shadow) pair, off the hot path."""
+        pending, shadow.pending = shadow.pending, []
+        for seq, req, key, tid, primary_fut, version, shadow_fut in pending:
+            shadow_val = None
+            failed = False
+            try:
+                result = await asyncio.wrap_future(shadow_fut)
+            except Exception as exc:
+                failed = True
+                shadow.failures += 1
+                obs.inc("rollout.shadow_failures_total")
+                if self.telemetry is not None:
+                    self.telemetry.inc("rollout.shadow_failures_total")
+                _LOG.warning("shadow prediction failed", trace_id=tid,
+                             shard=shadow.shard.index, error=str(exc))
+            else:
+                shadow_val = float(shadow.codec.drift_value(result))
+            primary_val = None
+            try:
+                p_result = await asyncio.wrap_future(primary_fut)
+            except Exception:
+                # The serving-path settlement already failed this
+                # request for the client; here it only means no pair.
+                obs.inc("rollout.shadow_uncompared_total")
+            else:
+                primary_val = float(
+                    self._codecs[version].drift_value(p_result))
+            if primary_val is not None and shadow_val is not None:
+                if self.telemetry is not None:
+                    self.telemetry.inc("rollout.shadow_compared_total")
+                    self.telemetry.observe("rollout.shadow_diff",
+                                           abs(shadow_val - primary_val))
+            shadow.records[seq] = {
+                "id": req.get("id") if isinstance(req, dict) else None,
+                "key": key,
+                "primary": primary_val,
+                "shadow": shadow_val,
+                "failed": failed,
+            }
 
     async def _settle(self, entry) -> dict:
         """One response dict for one admitted entry (awaits the future)."""
@@ -346,21 +595,36 @@ class AsyncGateway:
 
         writer_task = asyncio.ensure_future(writer())
         touched: set[int] = set()
+        canary_touched = False
         try:
             async for line in lines:
                 if not line.strip():
                     continue
                 entry = self._admit(line)
                 if entry[3] >= 0 and not isinstance(entry[1], dict):
-                    touched.add(entry[3])
+                    if entry[3] < len(self.shards):
+                        touched.add(entry[3])
+                    else:
+                        canary_touched = True
                 await pending.put(entry)
         finally:
             # End of input: wake every touched shard's collector so tail
             # batches predict now, then let the writer drain in order.
             for shard_index in touched:
                 self.shards[shard_index].flush()
+            canary = self._canary
+            if canary_touched and canary is not None:
+                canary.shard.flush()
+            shadow = self._shadow
+            if shadow is not None:
+                shadow.shard.flush()
             await pending.put(None)
             await writer_task
+            # Shadow comparisons are off the response path; settle them
+            # before the connection reports done so shadow_report() is
+            # complete and deterministic.
+            if shadow is not None and shadow.pending:
+                await self._settle_shadow(shadow)
 
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 
-__all__ = ["route", "shard_scores"]
+__all__ = ["in_canary", "route", "shard_scores"]
 
 
 def _score(seed: int, key: str, shard: int) -> int:
@@ -38,6 +38,25 @@ def shard_scores(key: str, n_shards: int, seed: int = 0) -> list[int]:
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
     return [_score(seed, key, s) for s in range(n_shards)]
+
+
+def in_canary(key: str, fraction: float, seed: int = 0) -> bool:
+    """Whether ``key`` falls in the deterministic canary slice.
+
+    The key's rendezvous score against a reserved virtual "canary"
+    member is normalized to [0, 1) and compared to ``fraction`` -- a
+    pure function of ``(seed, key)``, so the same UEs are canaried on
+    every gateway and every replay, and growing ``fraction`` only ever
+    *adds* keys to the slice (the rollout controller widens the canary
+    without churning it).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if fraction == 0.0:
+        return False
+    if fraction == 1.0:
+        return True
+    return _score(seed, key, -1) / 2.0 ** 64 < fraction
 
 
 def route(key: str, n_shards: int, seed: int = 0) -> int:

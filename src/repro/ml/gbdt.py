@@ -14,6 +14,16 @@ provides all four properties from scratch on the histogram-tree core:
 
 Defaults are scaled to laptop-size data (hundreds of trees rather than
 8000); DESIGN.md documents this substitution.
+
+Warm starts (docs/continuous_learning.md): every family supports
+``fit_more(n_rounds, X, y)`` -- append boosting rounds on fresh data while
+reusing the existing trees, binner, and base score.  The per-round loop is
+shared between ``fit`` and ``fit_more`` and the boosting generator is kept
+on the model, so ``fit(k)`` followed by ``fit_more(n - k)`` on identical
+data is bit-identical to a single ``fit(n)``
+(tests/ml/test_warm_start.py).  Constructing with ``warm_start=True``
+makes repeated ``fit`` calls append rounds instead of refitting from
+scratch.
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ class _GBDTBase:
         reg_lambda: float = 1.0,
         max_bins: int = 256,
         random_state: int | None = 0,
+        warm_start: bool = False,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -63,9 +74,14 @@ class _GBDTBase:
         self.reg_lambda = reg_lambda
         self.max_bins = max_bins
         self.random_state = random_state
+        self.warm_start = warm_start
         self._binner: FeatureBinner | None = None
         self._trees: list[HistogramTree] = []
         self.n_features_: int | None = None
+        #: Boosting generator; survives across ``fit_more`` calls so a
+        #: warm continuation draws the same subsample/feature streams a
+        #: single longer fit would have.
+        self._rng: np.random.Generator | None = None
         #: Filled by ``fit``: wall clock, rounds completed, final train
         #: loss.  Serialized with the model (see repro.ml.serialize).
         self.fit_telemetry_: dict | None = None
@@ -80,6 +96,26 @@ class _GBDTBase:
     def _check_fitted(self) -> None:
         if self._binner is None:
             raise RuntimeError("model is not fitted")
+
+    def _warm_rng(self) -> np.random.Generator:
+        """Deterministic generator for warm-starting a deserialized model.
+
+        An in-process ``fit_more`` continues the generator ``fit`` left
+        behind (bit-identical to one long fit); a serialize round trip
+        drops that stream, so reseed deterministically from the model's
+        ``random_state`` and the number of trees already grown.
+        """
+        seed = 0 if self.random_state is None else int(self.random_state)
+        return np.random.default_rng((seed, len(self._trees)))
+
+    def _check_fit_more(self, n_rounds: int, n_features: int) -> None:
+        self._check_fitted()
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if n_features != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {n_features}"
+            )
 
     @property
     def feature_importances_(self) -> np.ndarray:
@@ -104,18 +140,49 @@ class GBDTRegressor(_GBDTBase):
         y = np.asarray(y, dtype=float).ravel()
         if len(X) != len(y):
             raise ValueError("X/y length mismatch")
-        rng = np.random.default_rng(self.random_state)
+        if self.warm_start and self._binner is not None:
+            return self.fit_more(self.n_estimators, X, y)
+        self._rng = np.random.default_rng(self.random_state)
         self.n_features_ = X.shape[1]
         self._binner = FeatureBinner(self.max_bins)
         binned = self._binner.fit_transform(X)
         self.base_score_ = float(y.mean())
         self._trees = []
         current = np.full(len(y), self.base_score_)
+        self._boost(self.n_estimators, binned, y, current)
+        return self
+
+    def fit_more(self, n_rounds: int, X, y) -> "GBDTRegressor":
+        """Warm start: append ``n_rounds`` trees fitted on fresh data.
+
+        The binner and base score stay frozen from the original fit;
+        per-row boosting state is rebuilt by replaying the existing
+        trees in the exact float-op order ``fit`` used, so
+        ``fit(k); fit_more(n - k)`` on identical data reproduces a
+        single ``fit(n)`` bit for bit.
+        """
+        n_rounds = int(n_rounds)
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise ValueError("X/y length mismatch")
+        self._check_fit_more(n_rounds, X.shape[1])
+        if self._rng is None:
+            self._rng = self._warm_rng()
+        binned = self._binner.transform(X)
+        current = np.full(len(y), self.base_score_)
+        for tree in self._trees:
+            current += self.learning_rate * tree.predict_binned(binned)[:, 0]
+        self._boost(n_rounds, binned, y, current)
+        return self
+
+    def _boost(self, n_rounds: int, binned, y, current) -> None:
+        rng = self._rng
         ones = np.ones((len(y), 1))
         params = self._tree_params()
         obs_on = obs.enabled()
         t_start = time.perf_counter()
-        for _ in range(self.n_estimators):
+        for _ in range(n_rounds):
             round_t0 = time.perf_counter() if obs_on else 0.0
             residual = (y - current)[:, None]
             if self.subsample < 1.0:
@@ -140,7 +207,6 @@ class GBDTRegressor(_GBDTBase):
             "rounds_completed": len(self._trees),
             "final_train_loss": float(np.mean((y - current) ** 2)),
         }
-        return self
 
     def fit_binned_stream(self, chunks, binner: FeatureBinner
                           ) -> "GBDTRegressor":
@@ -162,7 +228,7 @@ class GBDTRegressor(_GBDTBase):
                 "subsample < 1.0 requires the in-memory fit")
         if binner.edges_ is None:
             raise RuntimeError("binner is not fitted")
-        rng = np.random.default_rng(self.random_state)
+        self._rng = np.random.default_rng(self.random_state)
         lens, sums, d = [], [], None
         for binned, y in chunks():
             y = np.asarray(y, dtype=float).ravel()
@@ -177,6 +243,44 @@ class GBDTRegressor(_GBDTBase):
         self.base_score_ = float(np.sum(sums) / n)
         current = [np.full(m, self.base_score_) for m in lens]
         self._trees = []
+        self._boost_stream(self.n_estimators, chunks, current, n)
+        return self
+
+    def fit_more_binned_stream(self, n_rounds: int, chunks
+                               ) -> "GBDTRegressor":
+        """Warm-start the out-of-core path: append rounds from a stream.
+
+        ``chunks`` must be binned with the model's own (frozen) binner.
+        Per-row state is rebuilt by replaying the existing trees, so a
+        cold ``fit_binned_stream(n)`` equals ``fit_binned_stream(k)``
+        plus ``fit_more_binned_stream(n - k)`` over the same stream bit
+        for bit.  The refit data is only ever seen one chunk at a time.
+        """
+        n_rounds = int(n_rounds)
+        if self.subsample < 1.0:
+            raise NotImplementedError(
+                "subsample < 1.0 requires the in-memory fit")
+        lens, d = [], None
+        for binned, y in chunks():
+            y = np.asarray(y, dtype=float).ravel()
+            lens.append(len(y))
+            d = np.asarray(binned).shape[1]
+        self._check_fit_more(n_rounds, d)
+        n = int(np.sum(lens))
+        if n == 0:
+            raise ValueError("empty chunk stream")
+        current = [np.full(m, self.base_score_) for m in lens]
+        for tree in self._trees:
+            for i, (binned, _) in enumerate(chunks()):
+                current[i] += (self.learning_rate
+                               * tree.predict_binned(binned)[:, 0])
+        if self._rng is None:
+            self._rng = self._warm_rng()
+        self._boost_stream(n_rounds, chunks, current, n)
+        return self
+
+    def _boost_stream(self, n_rounds: int, chunks, current, n: int) -> None:
+        rng = self._rng
         params = self._tree_params()
         obs_on = obs.enabled()
         t_start = time.perf_counter()
@@ -187,10 +291,10 @@ class GBDTRegressor(_GBDTBase):
                 yield binned, (y - current[i])[:, None], None
 
         sq_err = 0.0
-        for _ in range(self.n_estimators):
+        for _ in range(n_rounds):
             round_t0 = time.perf_counter() if obs_on else 0.0
             tree = HistogramTree(params).fit_binned_chunks(
-                grad_chunks, rng=rng, n_bins=binner.n_bins_)
+                grad_chunks, rng=rng, n_bins=self._binner.n_bins_)
             self._trees.append(tree)
             sq_err = 0.0
             for i, (binned, y) in enumerate(chunks()):
@@ -210,7 +314,6 @@ class GBDTRegressor(_GBDTBase):
             "out_of_core": True,
             "n_train": n,
         }
-        return self
 
     def predict(self, X) -> np.ndarray:
         self._check_fitted()
@@ -254,22 +357,51 @@ class GBDTQuantileRegressor(_GBDTBase):
         y = np.asarray(y, dtype=float).ravel()
         if len(X) != len(y):
             raise ValueError("X/y length mismatch")
-        rng = np.random.default_rng(self.random_state)
+        if self.warm_start and self._binner is not None:
+            return self.fit_more(self.n_estimators, X, y)
+        self._rng = np.random.default_rng(self.random_state)
         self.n_features_ = X.shape[1]
         self._binner = FeatureBinner(self.max_bins)
         binned = self._binner.fit_transform(X)
         self.base_score_ = float(np.quantile(y, self.quantile))
         current = np.full(len(y), self.base_score_)
-        ones = np.ones((len(y), 1))
-        params = self._tree_params()
         self._trees = []
         #: Per tree: refit alpha-quantile leaf values indexed by node id
         #: (zero at internal nodes), so prediction is one array gather.
         self._leaf_values: list[np.ndarray] = []
+        self._boost(self.n_estimators, binned, y, current)
+        return self
+
+    def fit_more(self, n_rounds: int, X, y) -> "GBDTQuantileRegressor":
+        """Warm start: append ``n_rounds`` quantile trees on fresh data.
+
+        Same contract as :meth:`GBDTRegressor.fit_more` -- frozen binner
+        and base quantile, state replayed tree by tree, bit-identical to
+        one longer ``fit`` on identical data.
+        """
+        n_rounds = int(n_rounds)
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if len(X) != len(y):
+            raise ValueError("X/y length mismatch")
+        self._check_fit_more(n_rounds, X.shape[1])
+        if self._rng is None:
+            self._rng = self._warm_rng()
+        binned = self._binner.transform(X)
+        current = np.full(len(y), self.base_score_)
+        for tree, leaf_vals in zip(self._trees, self._leaf_values):
+            current += self.learning_rate * leaf_vals[tree.apply(binned)]
+        self._boost(n_rounds, binned, y, current)
+        return self
+
+    def _boost(self, n_rounds: int, binned, y, current) -> None:
+        rng = self._rng
+        ones = np.ones((len(y), 1))
+        params = self._tree_params()
         alpha = self.quantile
         obs_on = obs.enabled()
         t_start = time.perf_counter()
-        for _ in range(self.n_estimators):
+        for _ in range(n_rounds):
             round_t0 = time.perf_counter() if obs_on else 0.0
             residual = y - current
             pseudo = np.where(residual >= 0.0, alpha, alpha - 1.0)[:, None]
@@ -311,7 +443,6 @@ class GBDTQuantileRegressor(_GBDTBase):
             "rounds_completed": len(self._trees),
             "final_train_loss": _pinball_loss(y - current, alpha),
         }
-        return self
 
     def predict(self, X) -> np.ndarray:
         self._check_fitted()
@@ -332,7 +463,9 @@ class GBDTClassifier(_GBDTBase):
 
     def fit(self, X, y) -> "GBDTClassifier":
         X = np.asarray(X, dtype=float)
-        rng = np.random.default_rng(self.random_state)
+        if self.warm_start and self._binner is not None:
+            return self.fit_more(self.n_estimators, X, y)
+        self._rng = np.random.default_rng(self.random_state)
         self.encoder_ = LabelEncoder()
         codes = self.encoder_.fit_transform(y)
         k = len(self.encoder_.classes_)
@@ -347,6 +480,36 @@ class GBDTClassifier(_GBDTBase):
         self.base_logits_ = np.log(priors)
         logits = np.tile(self.base_logits_, (len(X), 1))
         self._trees = []
+        self._boost(self.n_estimators, binned, codes, logits)
+        return self
+
+    def fit_more(self, n_rounds: int, X, y) -> "GBDTClassifier":
+        """Warm start: append ``n_rounds`` trees on fresh labeled data.
+
+        The class set is frozen at the original fit; labels outside it
+        raise ``ValueError``.  Logits are replayed tree by tree so the
+        continuation is bit-identical to one longer ``fit`` on
+        identical data.
+        """
+        n_rounds = int(n_rounds)
+        X = np.asarray(X, dtype=float)
+        self._check_fit_more(n_rounds, X.shape[1])
+        codes = self.encoder_.transform(np.asarray(y))
+        if len(X) != len(codes):
+            raise ValueError("X/y length mismatch")
+        if self._rng is None:
+            self._rng = self._warm_rng()
+        binned = self._binner.transform(X)
+        logits = np.tile(self.base_logits_, (len(binned), 1))
+        for tree in self._trees:
+            logits += self.learning_rate * tree.predict_binned(binned)
+        self._boost(n_rounds, binned, codes, logits)
+        return self
+
+    def _boost(self, n_rounds: int, binned, codes, logits) -> None:
+        rng = self._rng
+        k = len(self.encoder_.classes_)
+        Y = one_hot(codes, k)
         params = self._tree_params()
         obs_on = obs.enabled()
         t_start = time.perf_counter()
@@ -356,13 +519,13 @@ class GBDTClassifier(_GBDTBase):
             picked = np.clip(p_now[np.arange(len(codes)), codes], 1e-12, 1.0)
             return float(-np.mean(np.log(picked)))
 
-        for _ in range(self.n_estimators):
+        for _ in range(n_rounds):
             round_t0 = time.perf_counter() if obs_on else 0.0
             p = softmax(logits)
             grad = Y - p
             hess = np.clip(p * (1.0 - p), 1e-6, None)
             if self.subsample < 1.0:
-                rows = rng.random(len(X)) < self.subsample
+                rows = rng.random(len(binned)) < self.subsample
                 tree = HistogramTree(params).fit(
                     binned[rows], grad[rows], hess[rows], rng=rng,
                     n_bins=self._binner.n_bins_,
@@ -382,7 +545,6 @@ class GBDTClassifier(_GBDTBase):
             "rounds_completed": len(self._trees),
             "final_train_loss": _logloss(),
         }
-        return self
 
     def fit_binned_stream(self, chunks, binner: FeatureBinner
                           ) -> "GBDTClassifier":
@@ -399,7 +561,7 @@ class GBDTClassifier(_GBDTBase):
                 "subsample < 1.0 requires the in-memory fit")
         if binner.edges_ is None:
             raise RuntimeError("binner is not fitted")
-        rng = np.random.default_rng(self.random_state)
+        self._rng = np.random.default_rng(self.random_state)
         lens, d = [], None
         classes = None
         for binned, y in chunks():
@@ -426,6 +588,44 @@ class GBDTClassifier(_GBDTBase):
         self.base_logits_ = np.log(priors)
         logits = [np.tile(self.base_logits_, (m, 1)) for m in lens]
         self._trees = []
+        self._boost_stream(self.n_estimators, chunks, logits, n)
+        return self
+
+    def fit_more_binned_stream(self, n_rounds: int, chunks
+                               ) -> "GBDTClassifier":
+        """Warm-start the out-of-core path: append rounds from a stream.
+
+        Frozen class set and binner; labels outside the known classes
+        raise ``ValueError``.  Same bit-identity contract as
+        :meth:`GBDTRegressor.fit_more_binned_stream`.
+        """
+        n_rounds = int(n_rounds)
+        if self.subsample < 1.0:
+            raise NotImplementedError(
+                "subsample < 1.0 requires the in-memory fit")
+        lens, d = [], None
+        for binned, y in chunks():
+            # Transform eagerly so unseen labels fail before any tree
+            # is grown.
+            self.encoder_.transform(np.asarray(y))
+            lens.append(len(np.asarray(y)))
+            d = np.asarray(binned).shape[1]
+        self._check_fit_more(n_rounds, d)
+        n = int(np.sum(lens))
+        if n == 0:
+            raise ValueError("empty chunk stream")
+        logits = [np.tile(self.base_logits_, (m, 1)) for m in lens]
+        for tree in self._trees:
+            for i, (binned, _) in enumerate(chunks()):
+                logits[i] += self.learning_rate * tree.predict_binned(binned)
+        if self._rng is None:
+            self._rng = self._warm_rng()
+        self._boost_stream(n_rounds, chunks, logits, n)
+        return self
+
+    def _boost_stream(self, n_rounds: int, chunks, logits, n: int) -> None:
+        rng = self._rng
+        k = len(self.encoder_.classes_)
         params = self._tree_params()
         obs_on = obs.enabled()
         t_start = time.perf_counter()
@@ -447,10 +647,10 @@ class GBDTClassifier(_GBDTBase):
                 acc += float(np.sum(-np.log(picked)))
             return acc / n
 
-        for _ in range(self.n_estimators):
+        for _ in range(n_rounds):
             round_t0 = time.perf_counter() if obs_on else 0.0
             tree = HistogramTree(params).fit_binned_chunks(
-                grad_chunks, rng=rng, n_bins=binner.n_bins_)
+                grad_chunks, rng=rng, n_bins=self._binner.n_bins_)
             self._trees.append(tree)
             for i, (binned, _) in enumerate(chunks()):
                 logits[i] += self.learning_rate * tree.predict_binned(binned)
@@ -466,7 +666,6 @@ class GBDTClassifier(_GBDTBase):
             "out_of_core": True,
             "n_train": n,
         }
-        return self
 
     def _logits(self, X) -> np.ndarray:
         self._check_fitted()

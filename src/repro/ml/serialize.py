@@ -22,7 +22,11 @@ import json
 import numpy as np
 
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
-from repro.ml.gbdt import GBDTClassifier, GBDTRegressor
+from repro.ml.gbdt import (
+    GBDTClassifier,
+    GBDTQuantileRegressor,
+    GBDTRegressor,
+)
 from repro.ml.preprocessing import (
     LabelEncoder,
     PredictionPipeline,
@@ -88,14 +92,19 @@ _COMMON_HYPERPARAMS = (
 )
 
 
-def gbdt_to_dict(model: GBDTRegressor | GBDTClassifier) -> dict:
+def gbdt_to_dict(model) -> dict:
     """Serialize a fitted GBDT model to a JSON-safe dict."""
     if model._binner is None:
         raise ValueError("model must be fitted before serialization")
+    if isinstance(model, GBDTClassifier):
+        kind = "classifier"
+    elif isinstance(model, GBDTQuantileRegressor):
+        kind = "quantile_regressor"
+    else:
+        kind = "regressor"
     out = {
         "format_version": FORMAT_VERSION,
-        "kind": ("classifier" if isinstance(model, GBDTClassifier)
-                 else "regressor"),
+        "kind": kind,
         "hyperparams": {k: getattr(model, k) for k in _COMMON_HYPERPARAMS},
         "n_features": model.n_features_,
         "binner": _binner_to_dict(model._binner),
@@ -106,6 +115,11 @@ def gbdt_to_dict(model: GBDTRegressor | GBDTClassifier) -> dict:
         out["base_logits"] = model.base_logits_.tolist()
     else:
         out["base_score"] = model.base_score_
+    if isinstance(model, GBDTQuantileRegressor):
+        out["hyperparams"]["quantile"] = model.quantile
+        # Per-tree refit leaf values (indexed by node id); the trees'
+        # own leaf values only carry the split structure.
+        out["leaf_values"] = [lv.tolist() for lv in model._leaf_values]
     telemetry = getattr(model, "fit_telemetry_", None)
     if telemetry is not None:
         # Training telemetry (fit wall clock, rounds completed, final
@@ -132,7 +146,9 @@ def gbdt_from_dict(data: dict) -> GBDTRegressor | GBDTClassifier:
         raise ValueError(
             f"unsupported model format {data.get('format_version')!r}"
         )
-    cls = GBDTClassifier if data["kind"] == "classifier" else GBDTRegressor
+    cls = {"classifier": GBDTClassifier,
+           "quantile_regressor": GBDTQuantileRegressor}.get(
+        data["kind"], GBDTRegressor)
     model = cls(**data["hyperparams"])
     model.n_features_ = int(data["n_features"])
     model._binner = _binner_from_dict(data["binner"])
@@ -144,6 +160,9 @@ def gbdt_from_dict(data: dict) -> GBDTRegressor | GBDTClassifier:
         model.base_logits_ = np.asarray(data["base_logits"], dtype=float)
     else:
         model.base_score_ = float(data["base_score"])
+    if data["kind"] == "quantile_regressor":
+        model._leaf_values = [np.asarray(lv, dtype=float)
+                              for lv in data["leaf_values"]]
     if "telemetry" in data:
         model.fit_telemetry_ = dict(data["telemetry"])
     if "drift_baseline" in data:
@@ -292,6 +311,7 @@ def pipeline_from_dict(data: dict) -> PredictionPipeline:
 _LOADERS = {
     "regressor": gbdt_from_dict,
     "classifier": gbdt_from_dict,
+    "quantile_regressor": gbdt_from_dict,
     "rf_regressor": forest_from_dict,
     "rf_classifier": forest_from_dict,
     "standard_scaler": scaler_from_dict,
@@ -301,7 +321,8 @@ _LOADERS = {
 
 def model_to_dict(model) -> dict:
     """Serialize any supported model/preprocessor to a tagged dict."""
-    if isinstance(model, (GBDTRegressor, GBDTClassifier)):
+    if isinstance(model, (GBDTRegressor, GBDTClassifier,
+                          GBDTQuantileRegressor)):
         return gbdt_to_dict(model)
     if isinstance(model, (RandomForestRegressor, RandomForestClassifier)):
         return forest_to_dict(model)

@@ -42,6 +42,7 @@ from repro.obs.telemetry.drift import (
     baseline_of,
 )
 from repro.obs.telemetry.export import (
+    ROLLOUT_EVENTS,
     EventLog,
     parse_prometheus,
     sanitize_metric_name,
@@ -70,6 +71,7 @@ __all__ = [
     "EventLog",
     "LatencySLO",
     "ManualClock",
+    "ROLLOUT_EVENTS",
     "SLOMonitor",
     "SLOStatus",
     "TelemetryPlane",

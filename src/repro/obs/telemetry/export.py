@@ -23,10 +23,23 @@ from repro.obs.telemetry.clock import Clock, system_clock
 
 __all__ = [
     "EventLog",
+    "ROLLOUT_EVENTS",
     "parse_prometheus",
     "sanitize_metric_name",
     "to_prometheus",
 ]
+
+#: Edge-triggered rollout lifecycle events (repro.rollout emits these;
+#: docs/continuous_learning.md).  ``rollout_promoted`` and
+#: ``rollout_rolled_back`` are terminal -- each appears at most once
+#: per rollout attempt.
+ROLLOUT_EVENTS = (
+    "rollout_started",
+    "rollout_shadow",
+    "rollout_canary",
+    "rollout_promoted",
+    "rollout_rolled_back",
+)
 
 _NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 

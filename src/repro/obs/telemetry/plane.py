@@ -53,16 +53,11 @@ class TelemetryPlane:
         self.slos = list(slos)
         self.monitor = SLOMonitor(self.slos, self.fast, self.slow,
                                   event_log=self.events)
+        self._drift_thresholds = (drift_z_threshold, drift_shift_threshold,
+                                  drift_min_count)
         self.drift: DriftMonitor | None = None
         if baseline is not None:
-            self.drift = DriftMonitor(
-                baseline,
-                self.fast.histogram(f"drift.{baseline.stat}"),
-                z_threshold=drift_z_threshold,
-                shift_threshold=drift_shift_threshold,
-                min_count=drift_min_count,
-                event_log=self.events,
-            )
+            self.rebind_baseline(baseline)
         #: Cumulative per-counter totals since construction -- the whole
         #: run's error budget is judged on these, not on a window.
         self.totals: dict[str, float] = {}
@@ -90,6 +85,28 @@ class TelemetryPlane:
         """Feed the drift monitor (no-op without a baseline)."""
         if self.drift is not None:
             self.drift.observe(value)
+
+    def rebind_baseline(self, baseline: DriftBaseline | None) -> None:
+        """Swap the drift monitor's frozen baseline (model rollout).
+
+        A promoted candidate carries its *own* training-time baseline;
+        monitoring the new model against the old model's statistics
+        would re-detect the drift the refit just absorbed.  The live
+        window keeps its recent observations -- they age out on the
+        window horizon.  ``None`` disables drift monitoring.
+        """
+        if baseline is None:
+            self.drift = None
+            return
+        z, shift, min_count = self._drift_thresholds
+        self.drift = DriftMonitor(
+            baseline,
+            self.fast.histogram(f"drift.{baseline.stat}"),
+            z_threshold=z,
+            shift_threshold=shift,
+            min_count=min_count,
+            event_log=self.events,
+        )
 
     # -- evaluation ---------------------------------------------------------- #
 

@@ -24,6 +24,7 @@ pre-existing in-memory path.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from collections.abc import Mapping
@@ -78,6 +79,29 @@ class CheckpointStore:
             return None
         obs.inc("resil.checkpoint.hits_total")
         return entry[_TABLE]
+
+    def save_json(self, index: int, state: dict) -> None:
+        """Atomically persist one JSON-serializable state blob.
+
+        The rollout controller checkpoints its stage machine through
+        here: the state dict rides as a uint8 byte column, so it gets
+        the same atomic-write / corrupt-entry-is-a-miss guarantees as
+        array checkpoints.
+        """
+        raw = np.frombuffer(
+            json.dumps(state, sort_keys=True).encode(), dtype=np.uint8
+        )
+        self.save(index, {"json": raw.copy()})
+
+    def load_json(self, index: int) -> dict | None:
+        """The stored state dict, or None on miss/corruption."""
+        columns = self.load(index)
+        if columns is None or "json" not in columns:
+            return None
+        try:
+            return json.loads(bytes(columns["json"]).decode())
+        except (ValueError, UnicodeDecodeError):
+            return None
 
     def completed(self, n: int) -> list[int]:
         """Indices in ``range(n)`` with an entry on disk (unvalidated)."""

@@ -1,0 +1,39 @@
+"""``repro.rollout`` -- the continuous-learning control loop.
+
+The paper's models are trained on a measurement campaign frozen in
+time; a deployed predictor watches seasons change.  This package closes
+the loop (docs/continuous_learning.md): drift detection
+(``repro.obs.telemetry``) triggers a warm-start refit streamed through
+the column store (:mod:`.refit`), the candidate earns traffic in
+stages -- shadow mirroring, then a deterministic canary slice -- under
+a :class:`RolloutGuard` (:mod:`.guard`), and a
+:class:`RolloutController` (:mod:`.controller`) promotes it to the
+registry's pinned serving version or quarantines it, with every
+transition crash-recoverable.  :mod:`.campaign` drives the whole loop
+over seeded seasonal drift; CLI: ``repro rollout``.
+"""
+
+from repro.rollout.campaign import DriftCampaignConfig, run_drifting_campaign
+from repro.rollout.controller import (
+    CRASH_POINT,
+    RolloutController,
+    RolloutError,
+    resume,
+)
+from repro.rollout.guard import GuardConfig, GuardVerdict, RolloutGuard
+from repro.rollout.refit import POISON_POINT, RefitConfig, build_candidate
+
+__all__ = [
+    "CRASH_POINT",
+    "DriftCampaignConfig",
+    "GuardConfig",
+    "GuardVerdict",
+    "POISON_POINT",
+    "RefitConfig",
+    "RolloutController",
+    "RolloutError",
+    "RolloutGuard",
+    "build_candidate",
+    "resume",
+    "run_drifting_campaign",
+]

@@ -1,0 +1,301 @@
+"""The rollout state machine: shadow -> canary -> promote | rollback.
+
+:class:`RolloutController` owns a candidate's journey from "just refit"
+to "serving traffic" (docs/continuous_learning.md).  Every stage
+transition:
+
+* mutates the **registry first** -- the registry's rollout state file
+  is the durable source of truth, and each transition is one atomic
+  write (:meth:`ModelRegistry._write_rollout_state`), so a crash
+  between any two steps leaves a state :func:`resume` can reconcile;
+* then the **gateway** -- shadow/canary shards installed or torn down;
+* then emits the edge-triggered lifecycle event
+  (:data:`repro.obs.telemetry.ROLLOUT_EVENTS`) and checkpoints the
+  stage through :class:`repro.resil.CheckpointStore`.
+
+The ``rollout.stage_crash`` fault seam sits at the head of every
+transition, so the chaos suite can kill the controller at each boundary
+and assert :func:`resume` restores a consistent registry: an in-flight
+candidate is quarantined, the serving pin never moves, and the terminal
+event fires at most once per rollout attempt.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.telemetry import EventLog, baseline_of, current_trace_id
+from repro.resil import faults
+from repro.rollout.guard import GuardConfig, GuardVerdict, RolloutGuard
+
+__all__ = ["CRASH_POINT", "RolloutController", "RolloutError", "resume"]
+
+_LOG = obs.get_logger("rollout")
+
+CRASH_POINT = faults.register_point(
+    "rollout.stage_crash",
+    "raise at a rollout stage boundary before the transition runs "
+    "(repro.rollout.controller)",
+)
+
+#: The one checkpoint slot a controller uses for its stage record.
+_STATE_INDEX = 0
+
+#: Stages after which the state machine accepts no further transitions.
+_TERMINAL = ("promoted", "rolled_back")
+
+
+class RolloutError(RuntimeError):
+    """An illegal stage transition was requested."""
+
+
+class RolloutController:
+    """Drive one candidate through shadow and canary to a verdict."""
+
+    def __init__(self, registry, gateway, name: str, *,
+                 guard_config: GuardConfig | None = None,
+                 canary_fraction: float = 0.25,
+                 events: EventLog | None = None,
+                 checkpoints=None):
+        self.registry = registry
+        self.gateway = gateway
+        self.name = name
+        self.guard_config = guard_config or GuardConfig()
+        self.canary_fraction = float(canary_fraction)
+        if events is None:
+            telemetry = getattr(gateway, "telemetry", None)
+            events = telemetry.events if telemetry is not None else EventLog()
+        self.events = events
+        self.checkpoints = checkpoints
+        self.stage = "idle"
+        self.candidate_version: int | None = None
+        self.serving_version: int | None = None
+        self.guard: RolloutGuard | None = None
+        self._candidate_model = None
+        self.verdicts: list[GuardVerdict] = []
+
+    # -- bookkeeping --------------------------------------------------------- #
+
+    def _require(self, *stages: str) -> None:
+        if self.stage not in stages:
+            raise RolloutError(
+                f"cannot transition from {self.stage!r} "
+                f"(expected one of {stages})"
+            )
+
+    def _checkpoint(self) -> None:
+        if self.checkpoints is None:
+            return
+        self.checkpoints.save_json(_STATE_INDEX, {
+            "name": self.name,
+            "stage": self.stage,
+            "candidate_version": self.candidate_version,
+            "serving_version": self.serving_version,
+        })
+
+    def _enter(self, stage: str) -> None:
+        """Crash seam -> stage flip -> durable checkpoint."""
+        faults.inject(CRASH_POINT, key=f"{self.name}:{stage}")
+        self.stage = stage
+        self._checkpoint()
+        _LOG.info("rollout stage entered",
+                  trace_id=current_trace_id() or "-",
+                  candidate=str(self.candidate_version), stage=stage)
+
+    # -- stages -------------------------------------------------------------- #
+
+    def begin(self, candidate_model, info: dict | None = None) -> int:
+        """Register the candidate (new version; serving pin untouched)."""
+        self._require("idle")
+        self.serving_version = self.registry.resolve_serving(self.name)
+        version = self.registry.save(self.name, candidate_model)
+        self.candidate_version = version
+        self._candidate_model = candidate_model
+        self.guard = RolloutGuard(self.guard_config, candidate=str(version))
+        obs.inc("rollout.started_total")
+        self.events.emit("rollout_started", name=self.name,
+                         candidate=version, serving=self.serving_version,
+                         escalated=bool((info or {}).get("escalated")))
+        self._enter("started")
+        return version
+
+    def enter_shadow(self) -> None:
+        """Mirror traffic to the candidate; clients never see its output."""
+        self._require("started")
+        self.registry.set_shadow(self.name, self.candidate_version)
+        self.gateway.set_shadow(self._candidate_model,
+                                self.candidate_version)
+        self.events.emit("rollout_shadow", name=self.name,
+                         candidate=self.candidate_version)
+        self._enter("shadow")
+
+    def evaluate_shadow(self) -> GuardVerdict:
+        """Fold the gateway's mirror comparisons into a stage verdict."""
+        self._require("shadow")
+        self.guard.record_shadow_report(self.gateway.shadow_report())
+        verdict = self.guard.evaluate("shadow")
+        self.verdicts.append(verdict)
+        return verdict
+
+    def enter_canary(self) -> None:
+        """Serve the candidate to a deterministic slice of UE keys."""
+        self._require("shadow")
+        self.registry.set_canary(self.name, self.candidate_version,
+                                 self.canary_fraction)
+        self.gateway.set_canary(self._candidate_model,
+                                self.candidate_version,
+                                self.canary_fraction)
+        self.events.emit("rollout_canary", name=self.name,
+                         candidate=self.candidate_version,
+                         fraction=self.canary_fraction)
+        self._enter("canary")
+
+    def record_canary(self, *, prediction: float, label: float,
+                      is_canary: bool, failed: bool = False) -> None:
+        """One labeled response: canary slice vs serving control."""
+        if is_canary:
+            self.guard.record(candidate=prediction, label=label,
+                              failed=failed)
+        else:
+            self.guard.record(serving=prediction, label=label)
+
+    def evaluate_canary(self) -> GuardVerdict:
+        self._require("canary")
+        verdict = self.guard.evaluate("canary")
+        self.verdicts.append(verdict)
+        return verdict
+
+    def promote(self) -> None:
+        """Candidate becomes the pinned serving version, atomically."""
+        self._require("canary")
+        faults.inject(CRASH_POINT, key=f"{self.name}:promote")
+        # One atomic state write: serving=candidate, shadow and canary
+        # markers cleared.  Everything after is reconstructible.
+        self.registry.promote_serving(self.name, self.candidate_version)
+        self.gateway.clear_canary()
+        self.gateway.clear_shadow()
+        self.gateway.swap_latest(self.registry, self.name)
+        telemetry = getattr(self.gateway, "telemetry", None)
+        if telemetry is not None:
+            telemetry.rebind_baseline(baseline_of(self._candidate_model))
+        obs.inc("rollout.promotions_total")
+        self.events.emit("rollout_promoted", name=self.name,
+                         candidate=self.candidate_version,
+                         previous=self.serving_version)
+        self._enter("promoted")
+
+    def rollback(self, reason: str) -> None:
+        """Re-pin the incumbent, quarantine the candidate, exactly once."""
+        self._require("started", "shadow", "canary")
+        faults.inject(CRASH_POINT, key=f"{self.name}:rollback")
+        # Teardown order mirrors promote: registry first (atomic marker
+        # clear + quarantine rename), then the gateway shards.  The
+        # serving pin is never touched -- rollback means the pin stays
+        # where it was.
+        self.registry.reject_candidate(self.name, self.candidate_version)
+        self.gateway.clear_canary()
+        self.gateway.clear_shadow()
+        obs.inc("rollout.rollbacks_total")
+        self.events.emit("rollout_rolled_back", name=self.name,
+                         candidate=self.candidate_version,
+                         serving=self.serving_version, reason=reason)
+        self._enter("rolled_back")
+
+    # -- orchestration ------------------------------------------------------- #
+
+    def run(self, candidate_model, info: dict | None = None, *,
+            shadow_traffic, canary_traffic=None) -> dict:
+        """The whole machine: begin -> shadow -> canary -> verdict.
+
+        ``shadow_traffic(controller)`` and ``canary_traffic(controller)``
+        replay load through the gateway while the respective stage is
+        live; the canary callback feeds :meth:`record_canary` with
+        labeled responses.  Returns a JSON-safe summary.
+        """
+        version = self.begin(candidate_model, info)
+        self.enter_shadow()
+        shadow_traffic(self)
+        verdict = self.evaluate_shadow()
+        if not verdict.passed:
+            self.rollback("shadow:" + ";".join(verdict.reasons))
+        else:
+            self.enter_canary()
+            if canary_traffic is not None:
+                canary_traffic(self)
+            verdict = self.evaluate_canary()
+            if not verdict.passed:
+                self.rollback("canary:" + ";".join(verdict.reasons))
+            else:
+                self.promote()
+        return self.summary(candidate=version)
+
+    def summary(self, candidate: int | None = None) -> dict:
+        return {
+            "name": self.name,
+            "candidate": (self.candidate_version
+                          if candidate is None else candidate),
+            "outcome": self.stage,
+            "serving": self.registry.resolve_serving(self.name),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+def resume(registry, name: str, checkpoints, *,
+           gateway=None, events: EventLog | None = None) -> dict | None:
+    """Reconcile registry state after a crash mid-rollout.
+
+    Reads the controller's staged checkpoint and drives the registry to
+    the nearest consistent state:
+
+    * no checkpoint -> nothing to do (returns None);
+    * terminal stage -> verify the registry already reflects it (a
+      promote/rollback is one atomic registry write, so it either fully
+      happened or never did) and clear any stale markers;
+    * in-flight stage -> abort the attempt: quarantine the candidate,
+      clear shadow/canary markers, leave the serving pin untouched, and
+      emit ``rollout_rolled_back`` (reason ``crash_resume``) -- the
+      terminal event the crashed attempt never got to fire.
+
+    Returns the reconciled state dict.
+    """
+    state = checkpoints.load_json(_STATE_INDEX)
+    if state is None or state.get("name") != name:
+        return None
+    stage = state.get("stage")
+    candidate = state.get("candidate_version")
+    # Not `events or EventLog()`: an empty EventLog is falsy (len 0)
+    # and the caller's log must still receive the terminal event.
+    if events is None:
+        events = EventLog()
+    if stage == "promoted":
+        # The atomic promote write already cleared the markers; just
+        # refresh any gateway still holding rollout shards.
+        if gateway is not None:
+            gateway.clear_canary()
+            gateway.clear_shadow()
+            gateway.swap_latest(registry, name)
+        obs.inc("rollout.resumes_total")
+        return {**state, "action": "none"}
+    action = "none"
+    if stage != "rolled_back":
+        # In-flight: the candidate never earned full traffic.  Abort.
+        if candidate is not None and candidate in registry.versions(name):
+            registry.reject_candidate(name, candidate)
+        else:
+            # The crash may have hit before the candidate was saved;
+            # still clear any markers pointing at it.
+            registry.clear_shadow(name)
+            registry.clear_canary(name)
+        events.emit("rollout_rolled_back", name=name, candidate=candidate,
+                    serving=registry.resolve_serving(name),
+                    reason="crash_resume")
+        obs.inc("rollout.rollbacks_total")
+        action = "aborted"
+        checkpoints.save_json(_STATE_INDEX, {**state, "stage": "rolled_back"})
+    if gateway is not None:
+        gateway.clear_canary()
+        gateway.clear_shadow()
+        gateway.swap_latest(registry, name)
+    obs.inc("rollout.resumes_total")
+    _LOG.info("rollout resumed", trace_id=current_trace_id() or "-",
+              candidate=str(candidate), stage=str(stage), action=action)
+    return {**state, "action": action}

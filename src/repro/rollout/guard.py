@@ -1,0 +1,206 @@
+"""The rollout guard: shadow/canary health verdicts for a candidate.
+
+A :class:`RolloutGuard` accumulates per-request evidence about a
+candidate model -- its prediction next to the serving model's, the
+realized label when the harness knows it, and whether the candidate's
+backend call failed -- and renders a stage verdict on demand.  The
+verdict is what gates every promotion step in
+:class:`repro.rollout.controller.RolloutController`
+(docs/continuous_learning.md):
+
+* **divergence** -- mean |candidate - serving| over mirrored pairs.
+  The cheap poison catcher: a corrupted refit shifts every prediction
+  by a huge constant, which shadow mirroring exposes before a single
+  client sees it.
+* **error ratio** -- candidate MAE vs serving MAE on labeled samples,
+  bounded by a ratio *and* an absolute margin (so a near-zero serving
+  MAE cannot make the ratio test impossible to pass).
+* **failure ratio** -- candidate backend failures over total records,
+  plus a :class:`repro.resil.CircuitBreaker` on *consecutive*
+  failures: a crashing candidate trips the guard even before the
+  ratio accumulates.
+
+Evaluations are pure functions of the recorded evidence (no clock
+reads), so a replayed campaign renders bit-identical verdicts at any
+worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.obs.telemetry import current_trace_id
+from repro.resil import CircuitBreaker
+
+__all__ = ["GuardConfig", "GuardVerdict", "RolloutGuard"]
+
+_LOG = obs.get_logger("rollout")
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Thresholds a candidate must clear at each stage."""
+
+    #: Below this many records the verdict is an automatic fail --
+    #: "no evidence" must never read as "healthy".
+    min_samples: int = 20
+    #: Candidate MAE may exceed serving MAE by this factor...
+    max_mae_ratio: float = 1.25
+    #: ...or by this absolute margin, whichever is larger.
+    max_mae_margin_mbps: float = 25.0
+    #: Mean |candidate - serving| over mirrored pairs (the poison
+    #: catcher; mmWave throughput lives in the low hundreds of Mbps).
+    max_mean_divergence_mbps: float = 150.0
+    #: Candidate backend failures over total records.
+    max_failure_ratio: float = 0.05
+    #: Consecutive candidate failures that trip the breaker outright.
+    breaker_threshold: int = 5
+
+
+@dataclass
+class GuardVerdict:
+    """One stage's pass/fail plus the evidence behind it."""
+
+    stage: str
+    passed: bool
+    reasons: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "passed": self.passed,
+            "reasons": list(self.reasons),
+            "metrics": dict(self.metrics),
+        }
+
+
+class RolloutGuard:
+    """Accumulate candidate evidence; render per-stage verdicts."""
+
+    def __init__(self, config: GuardConfig | None = None,
+                 candidate: str = "-"):
+        self.config = config or GuardConfig()
+        self.candidate = str(candidate)
+        self.breaker = CircuitBreaker(
+            name=f"rollout:{self.candidate}",
+            failure_threshold=self.config.breaker_threshold,
+            # The guard never waits out a half-open probe: an open
+            # breaker at evaluation time is a trip, full stop.
+            reset_timeout_s=math.inf,
+        )
+        self._pairs: list[tuple[float, float]] = []  # (serving, candidate)
+        self._serving_err: list[float] = []
+        self._candidate_err: list[float] = []
+        self._records = 0
+        self._failures = 0
+
+    # -- evidence ------------------------------------------------------------ #
+
+    def record(self, *, serving: float | None = None,
+               candidate: float | None = None,
+               label: float | None = None,
+               failed: bool = False) -> None:
+        """One request's worth of evidence.
+
+        Shadow stage records carry ``serving`` and ``candidate`` (the
+        mirrored pair); canary stage records carry ``candidate`` and
+        ``label`` for canary-slice requests and ``serving`` and
+        ``label`` for the rest.  ``failed`` marks a candidate backend
+        failure (no prediction).
+        """
+        self._records += 1
+        if failed:
+            self._failures += 1
+            self.breaker.record_failure()
+            return
+        self.breaker.record_success()
+        if serving is not None and candidate is not None:
+            self._pairs.append((float(serving), float(candidate)))
+        if label is not None:
+            if candidate is not None:
+                self._candidate_err.append(abs(float(candidate) - float(label)))
+            if serving is not None:
+                self._serving_err.append(abs(float(serving) - float(label)))
+
+    def record_shadow_report(self, report: dict) -> None:
+        """Ingest an :meth:`AsyncGateway.shadow_report` wholesale."""
+        for rec in report.get("records", []):
+            if rec.get("failed"):
+                self.record(failed=True)
+            else:
+                self.record(serving=rec.get("primary"),
+                            candidate=rec.get("shadow"))
+        for _ in range(int(report.get("shed", 0))):
+            self.record(failed=True)
+
+    # -- verdicts ------------------------------------------------------------ #
+
+    @property
+    def n_records(self) -> int:
+        return self._records
+
+    def evaluate(self, stage: str) -> GuardVerdict:
+        """The stage verdict; emits ``rollout.*`` counters and a log line."""
+        cfg = self.config
+        reasons: list[str] = []
+        metrics: dict = {"n": self._records, "failures": self._failures}
+
+        if self._records < cfg.min_samples:
+            reasons.append(
+                f"insufficient_samples:{self._records}<{cfg.min_samples}"
+            )
+
+        if self.breaker.state != "closed":
+            reasons.append("breaker_open")
+
+        if self._records > 0:
+            failure_ratio = self._failures / self._records
+            metrics["failure_ratio"] = failure_ratio
+            if failure_ratio > cfg.max_failure_ratio:
+                reasons.append(
+                    f"failure_ratio:{failure_ratio:.4f}"
+                    f">{cfg.max_failure_ratio}"
+                )
+
+        if self._pairs:
+            divergence = sum(
+                abs(c - s) for s, c in self._pairs
+            ) / len(self._pairs)
+            metrics["mean_divergence_mbps"] = divergence
+            if divergence > cfg.max_mean_divergence_mbps:
+                reasons.append(
+                    f"divergence:{divergence:.2f}"
+                    f">{cfg.max_mean_divergence_mbps}"
+                )
+
+        if self._candidate_err:
+            cand_mae = sum(self._candidate_err) / len(self._candidate_err)
+            metrics["candidate_mae_mbps"] = cand_mae
+            if self._serving_err:
+                serv_mae = sum(self._serving_err) / len(self._serving_err)
+                metrics["serving_mae_mbps"] = serv_mae
+                allowed = max(serv_mae * cfg.max_mae_ratio,
+                              serv_mae + cfg.max_mae_margin_mbps)
+                if cand_mae > allowed:
+                    reasons.append(
+                        f"mae:{cand_mae:.2f}>allowed:{allowed:.2f}"
+                    )
+
+        verdict = GuardVerdict(stage=stage, passed=not reasons,
+                               reasons=reasons, metrics=metrics)
+        obs.inc("rollout.guard_evaluations_total")
+        if not verdict.passed:
+            obs.inc("rollout.guard_trips_total")
+            _LOG.warning("rollout guard tripped",
+                         trace_id=current_trace_id() or "-",
+                         candidate=self.candidate, stage=stage,
+                         reasons=";".join(reasons))
+        else:
+            _LOG.info("rollout guard passed",
+                      trace_id=current_trace_id() or "-",
+                      candidate=self.candidate, stage=stage,
+                      n=self._records)
+        return verdict

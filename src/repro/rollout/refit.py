@@ -1,0 +1,132 @@
+"""Candidate construction: warm-start refit with cold-retrain escalation.
+
+:func:`build_candidate` is the model-production half of the
+continuous-learning loop (docs/continuous_learning.md).  Given the
+*serving* model and a fresh drifted campaign store, it:
+
+1. deep-copies the serving model through the ``ml.serialize`` dict
+   round trip -- the gateway is concurrently predicting with the
+   original object, so the refit must never touch it;
+2. warm-starts the copy on the new store via
+   :func:`repro.colstore.pipeline.refit_from_store` --
+   ``fit_more_binned_stream`` appends boosting rounds chunk by chunk,
+   so the refit data never materializes in memory;
+3. **escalates to a full cold retrain** (``train_from_store`` from
+   round zero) when the warm-started model's streamed training error
+   stays above ``RefitConfig.escalate_mae_mbps`` -- warm start reuses
+   the old trees' structure, and a drift severe enough to invalidate
+   that structure needs fresh trees, not more of them;
+4. passes the finished candidate through the ``rollout.refit_poison``
+   fault seam: under ``REPRO_FAULTS`` the candidate's base score is
+   corrupted by a huge offset, modelling a refit gone wrong (bad
+   labels, truncated store).  The seam sits *after* training so the
+   poison is exactly the class of failure the shadow/canary guard
+   exists to catch -- the chaos suite asserts a poisoned candidate
+   never reaches full traffic.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.colstore.pipeline import refit_from_store, train_from_store
+from repro.ml.serialize import model_from_dict, model_to_dict
+from repro.obs.telemetry import current_trace_id
+from repro.resil import faults
+
+__all__ = ["POISON_POINT", "RefitConfig", "build_candidate"]
+
+_LOG = obs.get_logger("rollout")
+
+POISON_POINT = faults.register_point(
+    "rollout.refit_poison",
+    "corrupt a just-refit rollout candidate's base prediction "
+    "(repro.rollout.refit.build_candidate)",
+)
+
+#: The poison offset: far outside any plausible throughput, so a
+#: poisoned candidate diverges from serving on *every* prediction and
+#: the shadow guard's divergence test cannot miss it.
+_POISON_OFFSET = 1e4
+
+
+@dataclass(frozen=True)
+class RefitConfig:
+    """Knobs of the candidate-production path."""
+
+    #: Boosting rounds appended by the warm-start refit.
+    n_rounds: int = 20
+    #: Streamed post-refit MAE above which the warm start is judged to
+    #: have failed and a cold retrain is run instead (regression; for
+    #: classification the analogous ``escalate_error_rate`` applies).
+    escalate_mae_mbps: float = 120.0
+    escalate_error_rate: float = 0.35
+    spec: str = "L+M+T+C"
+    task: str = "regression"
+
+
+def _poison(model) -> None:
+    """Damage the candidate the way a corrupt refit would."""
+    if hasattr(model, "base_logits_"):
+        model.base_logits_ = np.asarray(model.base_logits_) + _POISON_OFFSET
+    else:
+        model.base_score_ = float(model.base_score_) + _POISON_OFFSET
+
+
+def build_candidate(serving_model, store_dir, work_dir, *,
+                    refit: RefitConfig | None = None,
+                    model_config=None, cleaning=None, seed: int = 2020,
+                    candidate: str = "-"):
+    """(candidate_model, info) for a fresh drifted store.
+
+    ``info["escalated"]`` records whether the warm start was abandoned
+    for a cold retrain; ``info["poisoned"]`` whether the chaos seam
+    fired (test-only; never True without ``REPRO_FAULTS``).
+    """
+    cfg = refit or RefitConfig()
+    with obs.span("rollout.build_candidate", task=cfg.task,
+                  n_rounds=cfg.n_rounds):
+        # The serialize round trip is the sanctioned deep copy: the
+        # serving object keeps answering traffic untouched, and the
+        # copy is exactly what a registry reload would produce.
+        model = model_from_dict(model_to_dict(serving_model))
+        model, info = refit_from_store(
+            model, store_dir, work_dir, n_rounds=cfg.n_rounds,
+            spec=cfg.spec, task=cfg.task, config=model_config,
+            cleaning=cleaning,
+        )
+        info["escalated"] = False
+        err = info["train_error"]
+        above = (
+            err.get("error_rate", 0.0) > cfg.escalate_error_rate
+            if cfg.task == "classification"
+            else err.get("mae", 0.0) > cfg.escalate_mae_mbps
+        )
+        if above:
+            obs.inc("rollout.refit_escalations_total")
+            _LOG.warning("warm-start error above threshold; cold retrain",
+                         trace_id=current_trace_id() or "-",
+                         candidate=candidate,
+                         mae=err.get("mae", err.get("error_rate")))
+            model, cold_info = train_from_store(
+                store_dir, os.path.join(str(work_dir), "cold"),
+                spec=cfg.spec, task=cfg.task, config=model_config,
+                seed=seed, cleaning=cleaning,
+            )
+            cold_info["escalated"] = True
+            cold_info["train_error"] = err
+            info = cold_info
+        obs.inc("rollout.candidates_built_total")
+        info["poisoned"] = False
+        if faults.corrupt(POISON_POINT, key=candidate):
+            _LOG.warning("refit poison fault fired",
+                         trace_id=current_trace_id() or "-",
+                         candidate=candidate)
+            obs.inc("rollout.poisoned_candidates_total")
+            _poison(model)
+            info["poisoned"] = True
+    return model, info

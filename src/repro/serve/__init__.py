@@ -25,16 +25,21 @@ from repro.serve.batcher import BatchPredictor
 from repro.serve.cache import PredictionCache
 from repro.serve.registry import (
     CORRUPT_SUFFIX,
+    REJECTED_SUFFIX,
+    ROLLOUT_STATE_FILE,
     FeatureViewMismatch,
     ModelNotFound,
     ModelRegistry,
     RegistryError,
+    ServingPinError,
 )
 from repro.serve.service import InferenceService, ServeConfig, ServeStats
 
 __all__ = [
     "BatchPredictor",
     "CORRUPT_SUFFIX",
+    "REJECTED_SUFFIX",
+    "ROLLOUT_STATE_FILE",
     "FeatureViewMismatch",
     "InferenceService",
     "ModelNotFound",
@@ -43,4 +48,5 @@ __all__ = [
     "RegistryError",
     "ServeConfig",
     "ServeStats",
+    "ServingPinError",
 ]

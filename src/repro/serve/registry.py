@@ -57,6 +57,17 @@ _VERSION_RE = re.compile(r"^v(\d{5})\.json$")
 #: Suffix a quarantined (corrupt) version file is renamed with.
 CORRUPT_SUFFIX = ".corrupt"
 
+#: Suffix a rejected rollout candidate is renamed with.  Like
+#: ``*.corrupt`` it drops out of the version catalog immediately but
+#: stays on disk for a post-mortem.
+REJECTED_SUFFIX = ".rejected"
+
+#: Per-name rollout state file: the serving pin plus shadow/canary
+#: markers.  Written only via ``ModelRegistry._write_rollout_state``
+#: (temp file + ``os.replace``; tools/check_rollout.py enforces the
+#: single-writer rule), so every registry transition is atomic.
+ROLLOUT_STATE_FILE = "serving.json"
+
 #: Default backoff for load_resilient: fast, bounded, deterministic.
 DEFAULT_LOAD_POLICY = RetryPolicy(max_attempts=3, base_delay_s=0.02,
                                   max_delay_s=0.25, seed=0)
@@ -77,6 +88,15 @@ class RegistryError(RuntimeError):
     def __init__(self, message: str, path: str | os.PathLike | None = None):
         super().__init__(message)
         self.path = pathlib.Path(path) if path is not None else None
+
+
+class ServingPinError(RegistryError):
+    """The pinned serving version is missing from the catalog.
+
+    Raised when a ``serving`` pointer names a version that has been
+    deleted, quarantined, or rejected: serving "whatever is newest"
+    instead would silently undo a rollback, so resolution fails loudly.
+    """
 
 
 class FeatureViewMismatch(RegistryError):
@@ -180,6 +200,179 @@ class ModelRegistry:
         """Alias of :meth:`latest_version` (same skip-junk guarantees)."""
         return self.latest_version(name)
 
+    # -- rollout state: serving pin, shadow, canary -------------------------- #
+
+    def _write_rollout_state(self, name: str, state: dict) -> None:
+        """The single (atomic) writer of the serving-pointer file."""
+        d = self._model_dir(name)
+        d.mkdir(parents=True, exist_ok=True)
+        target = d / ROLLOUT_STATE_FILE
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(state, sort_keys=True) + "\n")
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+        obs.inc("serve.registry.rollout_state_writes_total")
+
+    def rollout_state(self, name: str) -> dict:
+        """The name's rollout state dict (``{}`` when never written)."""
+        target = self._model_dir(name) / ROLLOUT_STATE_FILE
+        try:
+            return json.loads(target.read_text())
+        except FileNotFoundError:
+            return {}
+        except json.JSONDecodeError as exc:
+            raise RegistryError(
+                f"corrupt rollout state at {target}: {exc}", path=target
+            ) from exc
+
+    def _update_rollout_state(self, name: str, **changes) -> dict:
+        """Read-modify-write one atomic state transition (None deletes)."""
+        with self._lock:
+            state = self.rollout_state(name)
+            for key, value in changes.items():
+                if value is None:
+                    state.pop(key, None)
+                else:
+                    state[key] = value
+            self._write_rollout_state(name, state)
+        return state
+
+    def pin_serving(self, name: str, version: int) -> None:
+        """Pin the version :meth:`load` / ``load_resilient`` default to."""
+        version = int(version)
+        if version not in self.versions(name):
+            raise ModelNotFound(
+                f"cannot pin model {name!r} to missing version {version}"
+            )
+        self._update_rollout_state(name, serving=version)
+        obs.inc("serve.registry.pins_total")
+        _LOG.info("serving version pinned",
+                  trace_id=current_trace_id() or "-",
+                  model=name, version=version)
+
+    def unpin_serving(self, name: str) -> None:
+        """Drop the pin; the latest version wins again."""
+        self._update_rollout_state(name, serving=None)
+
+    def serving_version(self, name: str) -> int | None:
+        """The pinned serving version, validated against the catalog.
+
+        Returns None when nothing is pinned; raises
+        :class:`ServingPinError` when the pin names a missing version.
+        """
+        pinned = self.rollout_state(name).get("serving")
+        if pinned is None:
+            return None
+        pinned = int(pinned)
+        if pinned not in self.versions(name):
+            raise ServingPinError(
+                f"model {name!r} is pinned to version {pinned}, which is "
+                f"missing from {self._model_dir(name)}",
+                path=self._model_dir(name) / ROLLOUT_STATE_FILE,
+            )
+        return pinned
+
+    def resolve_serving(self, name: str) -> int | None:
+        """Version to serve by default: the pin when set, else latest."""
+        pinned = self.serving_version(name)
+        return pinned if pinned is not None else self.latest_version(name)
+
+    def set_shadow(self, name: str, version: int) -> None:
+        """Mark a version as the shadow candidate (mirrored, not served)."""
+        version = int(version)
+        if version not in self.versions(name):
+            raise ModelNotFound(
+                f"cannot shadow model {name!r} missing version {version}"
+            )
+        self._update_rollout_state(name, shadow=version)
+
+    def clear_shadow(self, name: str) -> None:
+        self._update_rollout_state(name, shadow=None)
+
+    def shadow_version(self, name: str) -> int | None:
+        shadow = self.rollout_state(name).get("shadow")
+        return None if shadow is None else int(shadow)
+
+    def set_canary(self, name: str, version: int, fraction: float) -> None:
+        """Mark a version as canary for a deterministic key slice."""
+        version = int(version)
+        fraction = float(fraction)
+        if version not in self.versions(name):
+            raise ModelNotFound(
+                f"cannot canary model {name!r} missing version {version}"
+            )
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("canary fraction must be in (0, 1]")
+        self._update_rollout_state(
+            name, canary={"version": version, "fraction": fraction}
+        )
+
+    def clear_canary(self, name: str) -> None:
+        self._update_rollout_state(name, canary=None)
+
+    def canary_stage(self, name: str) -> dict | None:
+        """``{"version": int, "fraction": float}`` or None."""
+        canary = self.rollout_state(name).get("canary")
+        if canary is None:
+            return None
+        return {"version": int(canary["version"]),
+                "fraction": float(canary["fraction"])}
+
+    def promote_serving(self, name: str, version: int) -> None:
+        """Pin ``version`` and clear shadow/canary in one atomic write."""
+        version = int(version)
+        if version not in self.versions(name):
+            raise ModelNotFound(
+                f"cannot promote model {name!r} to missing version {version}"
+            )
+        self._update_rollout_state(name, serving=version, shadow=None,
+                                   canary=None)
+        obs.inc("serve.registry.promotions_total")
+        _LOG.info("serving version promoted",
+                  trace_id=current_trace_id() or "-",
+                  model=name, version=version)
+
+    def reject_candidate(self, name: str, version: int
+                         ) -> pathlib.Path | None:
+        """Quarantine a rollout candidate: rename to ``*.rejected``.
+
+        Clears the candidate's shadow/canary markers (one atomic state
+        write), evicts any cached deserialization, and drops it from the
+        last-good fallback so a tripped breaker can never resurrect it.
+        The serving pin is untouched -- rollback is "the pin stays where
+        it was".
+        """
+        version = int(version)
+        state = self.rollout_state(name)
+        changes = {}
+        if state.get("shadow") == version:
+            changes["shadow"] = None
+        canary = state.get("canary")
+        if isinstance(canary, dict) and int(canary.get("version", -1)
+                                            ) == version:
+            changes["canary"] = None
+        if changes:
+            self._update_rollout_state(name, **changes)
+        with self._lock:
+            self._loaded.pop((name, version), None)
+            good = self._last_good.get(name)
+            if good is not None and good[0] == version:
+                self._last_good.pop(name)
+        target = self.path(name, version)
+        dest = target.with_name(target.name + REJECTED_SUFFIX)
+        try:
+            os.replace(target, dest)
+        except FileNotFoundError:
+            dest = None
+        obs.inc("serve.registry.rejected_total")
+        _LOG.warning("rollout candidate rejected",
+                     trace_id=current_trace_id() or "-",
+                     model=name, version=version,
+                     path=str(dest) if dest else "-")
+        return dest
+
     # -- save / load -------------------------------------------------------- #
 
     def save(self, name: str, model, version: int | None = None) -> int:
@@ -237,9 +430,13 @@ class ModelRegistry:
         model -- memoized or fresh from disk -- must carry a matching
         ``feature_view_`` stamp or :class:`FeatureViewMismatch` is
         raised.
+
+        With no explicit ``version`` the serving pin wins when set
+        (:meth:`pin_serving`; :class:`ServingPinError` if it dangles),
+        else the latest version.
         """
         if version is None:
-            version = self.latest_version(name)
+            version = self.resolve_serving(name)
             if version is None:
                 raise ModelNotFound(
                     f"no versions of model {name!r} in {self.root}"
@@ -362,6 +559,11 @@ class ModelRegistry:
                 "in memory"
             )
         known = self.versions(name)
+        if version is None:
+            # The serving pin (when set) caps the candidate list exactly
+            # like an explicit version would; a dangling pin raises
+            # ServingPinError rather than silently serving the latest.
+            version = self.serving_version(name)
         if version is None:
             candidates = list(reversed(known))
         else:

@@ -93,6 +93,12 @@ class SimulationConfig:
     #: the mechanistic version of the abstract tracking loss.
     beams: BeamCodebook | None = None
     beam_sweep_period_s: float = 1.28
+    #: Seasonal LoS/foliage degradation applied to every panel link
+    #: (leaves on trees, deployment aging).  The drifting-campaign
+    #: harness (repro.rollout) ramps this between phases to shift the
+    #: throughput distribution under a serving model; 0.0 is the exact
+    #: pre-existing channel.
+    seasonal_foliage_db: float = 0.0
 
 
 @dataclass
@@ -208,6 +214,7 @@ class LinkSimulator:
             )
         loss = (
             pl + min(pen_db, 60.0) + shadow + body_db + vehicle_db
+            + cfg.seasonal_foliage_db
             - panel.gain_toward_db(ue_xy) - beam_db - self.run_offset_db
         )
         return loss, los

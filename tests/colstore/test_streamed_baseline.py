@@ -1,0 +1,118 @@
+"""Streamed drift baselines: bounded memory, bit-identical at scale.
+
+``train_from_store``/``refit_from_store`` attach a ``drift_baseline_``
+computed from predictions streamed chunk by chunk through a
+QuantileSketch plus exact moment accumulators.  On paper-scale data the
+sketch never compacts, so the streamed baseline must equal the gathered
+in-memory computation (``DriftBaseline.from_values``) *bit for bit* --
+that is what makes the out-of-core fit path interchangeable with the
+in-memory publish path for drift monitoring (satellite of
+docs/continuous_learning.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.colstore import ChunkReader
+from repro.colstore.pipeline import refit_from_store, train_from_store
+from repro.core.pipeline import ModelConfig
+from repro.datasets.cleaning import clean
+from repro.env.areas import build_airport
+from repro.fstore.views import combination_view
+from repro.ml.serialize import model_from_dict, model_to_dict
+from repro.obs.telemetry import DriftBaseline
+from repro.sim.collection import CampaignConfig, run_area_campaign
+
+CFG = CampaignConfig(passes_per_trajectory=2, driving_passes=1,
+                     stationary_runs=1, stationary_duration_s=20, seed=11)
+MODEL_CFG = ModelConfig(
+    gdbt_estimators=10, gdbt_depth=4, gdbt_learning_rate=0.2,
+    gdbt_min_samples_leaf=5,
+)
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    root = tmp_path_factory.mktemp("baseline_stores")
+    run_area_campaign(build_airport(), CFG, store_dir=root / "single",
+                      chunk_rows=1_000_000)
+    run_area_campaign(build_airport(), CFG, store_dir=root / "multi",
+                      chunk_rows=200)
+    return root
+
+
+@pytest.fixture(scope="module")
+def trained(stores, tmp_path_factory):
+    work = tmp_path_factory.mktemp("baseline_work")
+    model, info = train_from_store(stores / "single", work / "single",
+                                   config=MODEL_CFG, seed=SEED)
+    return model, info
+
+
+@pytest.fixture(scope="module")
+def reference_X(stores):
+    """The cleaned + viewed feature matrix the store path trained on."""
+    table, _ = clean(ChunkReader(stores / "single").read_table())
+    view = combination_view(
+        "L+M+T+C", past_throughput_lags=MODEL_CFG.past_throughput_lags
+    )
+    return view.transform_table(table).X
+
+
+class TestTrainAttachesBaseline:
+    def test_streamed_equals_gathered_bit_for_bit(self, trained,
+                                                  reference_X):
+        model, info = trained
+        gathered = DriftBaseline.from_values(
+            "prediction", np.asarray(model.predict(reference_X))
+        ).to_dict()
+        assert model.drift_baseline_ == gathered
+        assert info["drift_baseline"] == gathered
+        assert model.drift_baseline_["count"] == len(reference_X)
+
+    def test_multi_chunk_moments_stay_exact(self, stores,
+                                            tmp_path_factory):
+        work = tmp_path_factory.mktemp("baseline_multi")
+        model, _ = train_from_store(stores / "multi", work,
+                                    config=MODEL_CFG, seed=SEED)
+        table, _ = clean(ChunkReader(stores / "multi").read_table())
+        view = combination_view(
+            "L+M+T+C",
+            past_throughput_lags=MODEL_CFG.past_throughput_lags,
+        )
+        preds = np.asarray(model.predict(view.transform_table(table).X))
+        baseline = model.drift_baseline_
+        assert baseline["count"] == len(preds)
+        assert baseline["mean"] == pytest.approx(preds.mean(), rel=1e-12)
+        assert baseline["std"] == pytest.approx(preds.std(), rel=1e-9)
+
+    def test_baseline_round_trips_through_serialize(self, trained):
+        model, _ = trained
+        clone = model_from_dict(model_to_dict(model))
+        assert clone.drift_baseline_ == model.drift_baseline_
+
+
+class TestRefitRefreshesBaseline:
+    def test_refit_reattaches_fresh_streamed_baseline(self, stores,
+                                                      trained,
+                                                      tmp_path_factory):
+        model, _ = trained
+        work = tmp_path_factory.mktemp("baseline_refit")
+        warm = model_from_dict(model_to_dict(model))
+        refit, info = refit_from_store(warm, stores / "single", work,
+                                       n_rounds=5)
+        # More trees, and the pinned baseline reflects the *new* model's
+        # predictions over the refit stream -- bit for bit again.
+        table, _ = clean(ChunkReader(stores / "single").read_table())
+        view = combination_view(
+            "L+M+T+C",
+            past_throughput_lags=MODEL_CFG.past_throughput_lags,
+        )
+        gathered = DriftBaseline.from_values(
+            "prediction",
+            np.asarray(refit.predict(view.transform_table(table).X)),
+        ).to_dict()
+        assert refit.drift_baseline_ == gathered
+        assert info["drift_baseline"] == gathered
+        assert refit.drift_baseline_ != model.drift_baseline_

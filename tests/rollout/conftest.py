@@ -1,0 +1,15 @@
+"""Shared guards for the rollout suite: clean fault state per test."""
+
+import pytest
+
+from repro.resil import faults
+
+
+@pytest.fixture(autouse=True)
+def _faults_guard(monkeypatch):
+    """Every test starts and ends with no fault schedule in effect."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    monkeypatch.delenv(faults.FAULTS_SEED_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()

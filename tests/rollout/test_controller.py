@@ -1,0 +1,275 @@
+"""RolloutController stage machine, rollback semantics, crash resume.
+
+The controller's contract (docs/continuous_learning.md): registry
+mutations come first and are each one atomic state write, the serving
+pin only ever moves inside ``promote``, terminal lifecycle events fire
+exactly once, and ``resume`` drives a crashed rollout's registry to the
+nearest consistent state (in-flight candidates are quarantined, the
+pin never moves).
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.gateway import AsyncGateway, GatewayConfig
+from repro.ml.gbdt import GBDTRegressor
+from repro.obs.telemetry import EventLog
+from repro.resil import CheckpointStore, faults
+from repro.rollout import (
+    GuardConfig,
+    RolloutController,
+    RolloutError,
+    resume,
+)
+from repro.serve import ModelRegistry
+
+GC = GuardConfig(min_samples=5, max_mean_divergence_mbps=150.0)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(120, 3))
+    y = 100.0 + 40.0 * X[:, 0] + rng.normal(0, 5.0, 120)
+    model = GBDTRegressor(n_estimators=4, max_depth=3,
+                          random_state=0).fit(X, y)
+    return model, X
+
+
+@pytest.fixture(scope="module")
+def lines(fitted):
+    _, X = fitted
+    return [json.dumps({"id": f"r-{n}", "key": f"ue-{n % 7}",
+                        "features": X[n].tolist()})
+            for n in range(40)]
+
+
+@pytest.fixture()
+def world(tmp_path, fitted):
+    """registry (v1 pinned) + live gateway + event log + checkpoints."""
+    model, _ = fitted
+    registry = ModelRegistry(tmp_path / "registry")
+    version = registry.save("m", model)
+    registry.pin_serving("m", version)
+    gateway = AsyncGateway(model, version=version,
+                           config=GatewayConfig(shards=2, telemetry=False))
+    log = EventLog()
+    ckpt = CheckpointStore(tmp_path / "ckpt", "rollout-m")
+    yield registry, gateway, log, ckpt
+    gateway.close()
+
+
+def _controller(world) -> RolloutController:
+    registry, gateway, log, ckpt = world
+    return RolloutController(registry, gateway, "m", guard_config=GC,
+                             canary_fraction=0.5, events=log,
+                             checkpoints=ckpt)
+
+
+def _serve(gateway, lines):
+    out = io.StringIO()
+    gateway.run_jsonl(iter(lines), out)
+    return [json.loads(t) for t in out.getvalue().splitlines()]
+
+
+def _to_canary(ctl, fitted, lines):
+    model, _ = fitted
+    ctl.begin(model, {})
+    ctl.enter_shadow()
+    _serve(ctl.gateway, lines)
+    assert ctl.evaluate_shadow().passed
+    ctl.enter_canary()
+    for n in range(10):
+        ctl.record_canary(prediction=100.0, label=101.0,
+                          is_canary=n % 2 == 0)
+
+
+class TestHappyPath:
+    def test_full_promotion(self, world, fitted, lines):
+        registry, gateway, log, _ = world
+        ctl = _controller(world)
+        _to_canary(ctl, fitted, lines)
+        assert ctl.evaluate_canary().passed
+        ctl.promote()
+
+        assert ctl.stage == "promoted"
+        assert registry.serving_version("m") == 2
+        assert registry.shadow_version("m") is None
+        assert registry.canary_stage("m") is None
+        assert gateway.version == 2
+        kinds = [e["event"] for e in log]
+        assert kinds == ["rollout_started", "rollout_shadow",
+                         "rollout_canary", "rollout_promoted"]
+
+    def test_run_orchestrates_to_promote(self, world, fitted, lines):
+        registry, gateway, log, _ = world
+        model, _ = fitted
+        ctl = _controller(world)
+
+        def canary_traffic(c):
+            for n in range(10):
+                c.record_canary(prediction=100.0, label=100.0,
+                                is_canary=n % 2 == 0)
+
+        summary = ctl.run(model, {},
+                          shadow_traffic=lambda c: _serve(gateway, lines),
+                          canary_traffic=canary_traffic)
+        assert summary["outcome"] == "promoted"
+        assert summary["serving"] == summary["candidate"] == 2
+        assert [v["stage"] for v in summary["verdicts"]] == \
+            ["shadow", "canary"]
+
+    def test_run_rolls_back_on_shadow_trip(self, world, fitted):
+        registry, _, log, _ = world
+        model, _ = fitted
+        ctl = _controller(world)
+        # No traffic ever flows: the sample floor trips the shadow gate.
+        summary = ctl.run(model, {}, shadow_traffic=lambda c: None)
+        assert summary["outcome"] == "rolled_back"
+        assert summary["serving"] == 1
+        assert registry.versions("m") == [1]
+        rolled = log.of_kind("rollout_rolled_back")
+        assert len(rolled) == 1
+        assert rolled[0]["reason"].startswith("shadow:insufficient")
+
+
+class TestStageEnforcement:
+    def test_shadow_requires_begin(self, world):
+        with pytest.raises(RolloutError, match="idle"):
+            _controller(world).enter_shadow()
+
+    def test_canary_requires_shadow(self, world, fitted):
+        model, _ = fitted
+        ctl = _controller(world)
+        ctl.begin(model, {})
+        with pytest.raises(RolloutError, match="started"):
+            ctl.enter_canary()
+
+    def test_promote_requires_canary(self, world, fitted, lines):
+        model, _ = fitted
+        ctl = _controller(world)
+        ctl.begin(model, {})
+        ctl.enter_shadow()
+        with pytest.raises(RolloutError, match="shadow"):
+            ctl.promote()
+
+    def test_begin_twice_rejected(self, world, fitted):
+        model, _ = fitted
+        ctl = _controller(world)
+        ctl.begin(model, {})
+        with pytest.raises(RolloutError):
+            ctl.begin(model, {})
+
+    def test_terminal_states_accept_nothing(self, world, fitted, lines):
+        registry, _, log, _ = world
+        ctl = _controller(world)
+        _to_canary(ctl, fitted, lines)
+        ctl.rollback("manual")
+        for illegal in (ctl.enter_shadow, ctl.enter_canary, ctl.promote,
+                        lambda: ctl.rollback("again")):
+            with pytest.raises(RolloutError):
+                illegal()
+        # Exactly-once: the terminal event never fired twice.
+        assert len(log.of_kind("rollout_rolled_back")) == 1
+
+
+class TestRollback:
+    def test_quarantines_candidate_and_keeps_pin(self, world, fitted,
+                                                 lines):
+        registry, gateway, log, _ = world
+        ctl = _controller(world)
+        _to_canary(ctl, fitted, lines)
+        ctl.rollback("canary:manual")
+
+        assert registry.serving_version("m") == 1
+        assert registry.versions("m") == [1]
+        assert registry.shadow_version("m") is None
+        assert registry.canary_stage("m") is None
+        with pytest.raises(RuntimeError, match="no shadow"):
+            gateway.shadow_report()
+        responses = _serve(gateway, lines)
+        assert all(r["model_version"] == 1 for r in responses)
+
+
+class TestResume:
+    def test_no_checkpoint_is_a_noop(self, world):
+        registry, _, log, ckpt = world
+        assert resume(registry, "m", ckpt, events=log) is None
+        assert len(log) == 0
+
+    def test_checkpoint_for_other_rollout_ignored(self, world, fitted,
+                                                  lines):
+        registry, _, log, ckpt = world
+        ctl = _controller(world)
+        _to_canary(ctl, fitted, lines)
+        assert resume(registry, "other", ckpt, events=log) is None
+        # Nothing was reconciled: the in-flight markers are untouched.
+        assert registry.canary_stage("m") is not None
+
+    def test_inflight_crash_aborts_candidate(self, world, fitted, lines):
+        registry, gateway, log, ckpt = world
+        ctl = _controller(world)
+        _to_canary(ctl, fitted, lines)
+        del ctl  # the controller "crashes" here; checkpoint says canary
+
+        fresh = EventLog()
+        state = resume(registry, "m", ckpt, gateway=gateway, events=fresh)
+        assert state["action"] == "aborted"
+        assert registry.serving_version("m") == 1
+        assert registry.versions("m") == [1]
+        assert registry.shadow_version("m") is None
+        assert registry.canary_stage("m") is None
+        rolled = fresh.of_kind("rollout_rolled_back")
+        assert len(rolled) == 1
+        assert rolled[0]["reason"] == "crash_resume"
+        # Idempotent: a second resume finds the terminal checkpoint and
+        # emits nothing more.
+        again = resume(registry, "m", ckpt, events=fresh)
+        assert again["action"] == "none"
+        assert len(fresh.of_kind("rollout_rolled_back")) == 1
+
+    def test_resume_after_promote_changes_nothing(self, world, fitted,
+                                                  lines):
+        registry, gateway, log, ckpt = world
+        ctl = _controller(world)
+        _to_canary(ctl, fitted, lines)
+        assert ctl.evaluate_canary().passed
+        ctl.promote()
+
+        fresh = EventLog()
+        state = resume(registry, "m", ckpt, gateway=gateway, events=fresh)
+        assert state["action"] == "none"
+        assert registry.serving_version("m") == 2
+        assert fresh.of_kind("rollout_rolled_back") == []
+
+    def test_crash_seam_at_promote_then_resume(self, world, fitted,
+                                               lines, monkeypatch):
+        """The chaos path: the fault seam kills promote before the
+        atomic registry write, so the pin never moved; resume aborts
+        the attempt and the registry ends exactly where it started."""
+        registry, gateway, log, ckpt = world
+        ctl = _controller(world)
+        _to_canary(ctl, fitted, lines)
+
+        monkeypatch.setenv(faults.FAULTS_ENV, "rollout.stage_crash:1.0")
+        faults.reset()
+        with pytest.raises(faults.FaultError):
+            ctl.promote()
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        faults.reset()
+
+        # The crash hit before the promote write: pin intact, markers
+        # still pointing at the in-flight candidate.
+        assert registry.serving_version("m") == 1
+        assert registry.canary_stage("m")["version"] == 2
+
+        state = resume(registry, "m", ckpt, gateway=gateway, events=log)
+        assert state["action"] == "aborted"
+        assert registry.serving_version("m") == 1
+        assert registry.versions("m") == [1]
+        assert registry.canary_stage("m") is None
+        responses = _serve(gateway, lines)
+        assert all(r["model_version"] == 1 for r in responses)

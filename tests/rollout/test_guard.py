@@ -1,0 +1,152 @@
+"""RolloutGuard verdicts: pure functions of the recorded evidence.
+
+Each check has a trip test and a pass test around its threshold, plus
+the interplay rules (docs/continuous_learning.md): the absolute MAE
+margin rescues a near-zero serving MAE, the breaker catches consecutive
+failures before the ratio accumulates, and "no evidence" always fails.
+"""
+
+import pytest
+
+from repro.rollout import GuardConfig, RolloutGuard
+
+
+def _guard(**overrides) -> RolloutGuard:
+    base = dict(min_samples=5, max_mae_ratio=1.25,
+                max_mae_margin_mbps=25.0, max_mean_divergence_mbps=150.0,
+                max_failure_ratio=0.10, breaker_threshold=3)
+    base.update(overrides)
+    return RolloutGuard(GuardConfig(**base), candidate="2")
+
+
+def _fill_pairs(guard, n=10, serving=500.0, candidate=None):
+    for _ in range(n):
+        guard.record(serving=serving,
+                     candidate=serving if candidate is None else candidate)
+
+
+class TestSampleFloor:
+    def test_no_evidence_never_reads_as_healthy(self):
+        verdict = _guard().evaluate("shadow")
+        assert not verdict.passed
+        assert any(r.startswith("insufficient_samples")
+                   for r in verdict.reasons)
+
+    def test_enough_identical_pairs_pass(self):
+        guard = _guard()
+        _fill_pairs(guard)
+        verdict = guard.evaluate("shadow")
+        assert verdict.passed
+        assert verdict.reasons == []
+        assert verdict.metrics["n"] == 10
+        assert verdict.metrics["mean_divergence_mbps"] == 0.0
+
+
+class TestDivergence:
+    def test_poison_scale_divergence_trips(self):
+        guard = _guard()
+        _fill_pairs(guard, serving=500.0, candidate=10_500.0)
+        verdict = guard.evaluate("shadow")
+        assert not verdict.passed
+        assert any(r.startswith("divergence") for r in verdict.reasons)
+        assert verdict.metrics["mean_divergence_mbps"] == \
+            pytest.approx(10_000.0)
+
+    def test_sub_threshold_divergence_passes(self):
+        guard = _guard()
+        _fill_pairs(guard, serving=500.0, candidate=620.0)
+        assert guard.evaluate("shadow").passed
+
+
+class TestFailures:
+    def test_failure_ratio_trips_without_consecutive_run(self):
+        guard = _guard()
+        # Interleaved failures: breaker never sees 3 in a row, but the
+        # ratio (3/12 = 0.25) blows the budget.
+        for n in range(12):
+            if n % 4 == 0:
+                guard.record(failed=True)
+            else:
+                guard.record(serving=1.0, candidate=1.0)
+        verdict = guard.evaluate("shadow")
+        assert not verdict.passed
+        assert any(r.startswith("failure_ratio") for r in verdict.reasons)
+        assert "breaker_open" not in verdict.reasons
+
+    def test_consecutive_failures_trip_breaker_below_ratio(self):
+        guard = _guard(max_failure_ratio=0.5)
+        _fill_pairs(guard, n=20)
+        for _ in range(3):
+            guard.record(failed=True)
+        verdict = guard.evaluate("shadow")
+        assert not verdict.passed
+        assert "breaker_open" in verdict.reasons
+
+    def test_shadow_report_ingests_records_and_sheds(self):
+        guard = _guard()
+        guard.record_shadow_report({
+            "records": [
+                {"primary": 100.0, "shadow": 110.0},
+                {"primary": 100.0, "shadow": 90.0},
+                {"failed": True},
+            ],
+            "shed": 2,
+        })
+        assert guard.n_records == 5
+        verdict = guard.evaluate("shadow")
+        assert verdict.metrics["failures"] == 3
+        assert verdict.metrics["mean_divergence_mbps"] == pytest.approx(10.0)
+
+
+class TestErrorRatio:
+    def _labeled(self, guard, serving_err, candidate_err, n=10):
+        for _ in range(n):
+            guard.record(serving=100.0 + serving_err, label=100.0)
+            guard.record(candidate=100.0 + candidate_err, label=100.0)
+
+    def test_worse_candidate_mae_trips(self):
+        guard = _guard()
+        self._labeled(guard, serving_err=40.0, candidate_err=90.0)
+        verdict = guard.evaluate("canary")
+        assert not verdict.passed
+        assert any(r.startswith("mae") for r in verdict.reasons)
+        assert verdict.metrics["candidate_mae_mbps"] == pytest.approx(90.0)
+        assert verdict.metrics["serving_mae_mbps"] == pytest.approx(40.0)
+
+    def test_ratio_allows_modest_regression(self):
+        guard = _guard()
+        self._labeled(guard, serving_err=40.0, candidate_err=48.0)
+        assert guard.evaluate("canary").passed
+
+    def test_margin_rescues_near_zero_serving_mae(self):
+        """serving MAE ~0 must not make the ratio test unpassable."""
+        guard = _guard()
+        self._labeled(guard, serving_err=0.0, candidate_err=10.0)
+        assert guard.evaluate("canary").passed
+
+    def test_unlabeled_shadow_stage_skips_mae(self):
+        guard = _guard()
+        _fill_pairs(guard)
+        verdict = guard.evaluate("shadow")
+        assert "candidate_mae_mbps" not in verdict.metrics
+
+
+class TestDeterminism:
+    def test_identical_evidence_identical_verdict(self):
+        def build():
+            guard = _guard()
+            _fill_pairs(guard, serving=430.0, candidate=445.0)
+            guard.record(candidate=400.0, label=410.0)
+            guard.record(serving=420.0, label=410.0)
+            return guard.evaluate("canary").to_dict()
+
+        assert build() == build()
+
+    def test_verdict_to_dict_is_json_shape(self):
+        guard = _guard()
+        verdict = guard.evaluate("shadow")
+        payload = verdict.to_dict()
+        assert payload["stage"] == "shadow"
+        assert payload["passed"] is False
+        assert isinstance(payload["reasons"], list)
+        assert isinstance(payload["metrics"], dict)

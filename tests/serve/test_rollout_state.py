@@ -1,0 +1,168 @@
+"""Registry rollout state: serving pin, shadow/canary markers, reject.
+
+The serving pointer contract (docs/continuous_learning.md): one
+atomically-written ``serving.json`` per model holds the pin plus the
+shadow/canary markers; ``load``/``load_resilient`` honor the pin; a
+dangling pin is a typed error, never a silent fallback to latest (that
+would un-do a rollback); rejection quarantines a version without ever
+moving the pin.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import GBDTRegressor
+from repro.serve import (
+    REJECTED_SUFFIX,
+    ROLLOUT_STATE_FILE,
+    ModelNotFound,
+    ModelRegistry,
+    ServingPinError,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    y = X[:, 0] + rng.normal(0, 0.1, 200)
+    return GBDTRegressor(n_estimators=5, max_depth=3,
+                         random_state=0).fit(X, y), X
+
+
+@pytest.fixture()
+def registry3(tmp_path, fitted):
+    """A registry with three versions of one model."""
+    model, _ = fitted
+    registry = ModelRegistry(tmp_path)
+    for _ in range(3):
+        registry.save("m", model)
+    return registry
+
+
+class TestServingPin:
+    def test_unpinned_resolves_latest(self, registry3):
+        assert registry3.serving_version("m") is None
+        assert registry3.resolve_serving("m") == 3
+
+    def test_pin_wins_over_latest(self, registry3):
+        registry3.pin_serving("m", 2)
+        assert registry3.serving_version("m") == 2
+        assert registry3.resolve_serving("m") == 2
+
+    def test_pin_missing_version_rejected(self, registry3):
+        with pytest.raises(ModelNotFound):
+            registry3.pin_serving("m", 9)
+
+    def test_unpin_restores_latest(self, registry3):
+        registry3.pin_serving("m", 1)
+        registry3.unpin_serving("m")
+        assert registry3.resolve_serving("m") == 3
+
+    def test_load_honors_pin(self, registry3, fitted):
+        model, X = fitted
+        registry3.pin_serving("m", 2)
+        clone = registry3.load("m")  # no explicit version
+        np.testing.assert_array_equal(clone.predict(X), model.predict(X))
+
+    def test_load_resilient_honors_pin(self, registry3):
+        registry3.pin_serving("m", 2)
+        registry3._loaded.clear()  # force a disk load, not the memo
+        registry3.load_resilient("m")
+        version, _ = registry3._last_good["m"]
+        assert version == 2
+
+    def test_dangling_pin_is_typed_error(self, registry3, tmp_path):
+        registry3.pin_serving("m", 2)
+        path = registry3.path("m", 2)
+        path.unlink()
+        registry3._loaded.clear()
+        with pytest.raises(ServingPinError):
+            registry3.serving_version("m")
+        with pytest.raises(ServingPinError):
+            registry3.load("m")
+
+    def test_state_survives_fresh_registry(self, registry3, tmp_path):
+        registry3.pin_serving("m", 2)
+        fresh = ModelRegistry(tmp_path)
+        assert fresh.serving_version("m") == 2
+
+    def test_state_file_is_json_with_sorted_keys(self, registry3,
+                                                 tmp_path):
+        registry3.pin_serving("m", 2)
+        registry3.set_shadow("m", 3)
+        raw = (tmp_path / "m" / ROLLOUT_STATE_FILE).read_text()
+        state = json.loads(raw)
+        assert state == {"serving": 2, "shadow": 3}
+        assert raw == json.dumps(state, sort_keys=True) + "\n"
+
+
+class TestShadowCanaryMarkers:
+    def test_shadow_marker_round_trip(self, registry3):
+        assert registry3.shadow_version("m") is None
+        registry3.set_shadow("m", 3)
+        assert registry3.shadow_version("m") == 3
+        registry3.clear_shadow("m")
+        assert registry3.shadow_version("m") is None
+
+    def test_canary_marker_round_trip(self, registry3):
+        registry3.set_canary("m", 3, 0.25)
+        assert registry3.canary_stage("m") == {"version": 3,
+                                               "fraction": 0.25}
+        registry3.clear_canary("m")
+        assert registry3.canary_stage("m") is None
+
+    def test_canary_fraction_validated(self, registry3):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                registry3.set_canary("m", 3, bad)
+
+    def test_markers_for_missing_versions_rejected(self, registry3):
+        with pytest.raises(ModelNotFound):
+            registry3.set_shadow("m", 9)
+        with pytest.raises(ModelNotFound):
+            registry3.set_canary("m", 9, 0.5)
+
+
+class TestPromoteReject:
+    def test_promote_pins_and_clears_markers(self, registry3):
+        registry3.pin_serving("m", 1)
+        registry3.set_shadow("m", 3)
+        registry3.set_canary("m", 3, 0.5)
+        registry3.promote_serving("m", 3)
+        assert registry3.serving_version("m") == 3
+        assert registry3.shadow_version("m") is None
+        assert registry3.canary_stage("m") is None
+
+    def test_reject_quarantines_and_keeps_pin(self, registry3, tmp_path):
+        registry3.pin_serving("m", 1)
+        registry3.set_shadow("m", 3)
+        dest = registry3.reject_candidate("m", 3)
+        assert dest is not None and dest.name.endswith(REJECTED_SUFFIX)
+        # Quarantined: out of the catalog, markers cleared, pin intact.
+        assert registry3.versions("m") == [1, 2]
+        assert registry3.shadow_version("m") is None
+        assert registry3.serving_version("m") == 1
+        with pytest.raises(ModelNotFound):
+            registry3.load("m", 3)
+
+    def test_reject_clears_matching_canary_only(self, registry3):
+        registry3.set_canary("m", 2, 0.5)
+        registry3.reject_candidate("m", 3)
+        assert registry3.canary_stage("m") == {"version": 2,
+                                               "fraction": 0.5}
+
+    def test_rejected_version_never_resurrected_by_fallback(
+            self, registry3):
+        """load_resilient must not fall back onto a quarantined file."""
+        registry3.pin_serving("m", 2)
+        registry3.reject_candidate("m", 3)
+        registry3._loaded.clear()  # force a disk load, not the memo
+        registry3.load_resilient("m")
+        version, _ = registry3._last_good["m"]
+        assert version == 2
+
+    def test_reject_missing_version_returns_none(self, registry3):
+        assert registry3.reject_candidate("m", 9) is None

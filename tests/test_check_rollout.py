@@ -1,0 +1,195 @@
+"""Wire tools/check_rollout.py into the tier-1 suite.
+
+The lint pins the rollout safety contract: the serving-pointer state
+file (serving.json) is written only by the registry's one atomic
+helper, registry promotion methods are called only from the rollout
+machinery, guard evaluations emit rollout.* obs counters, and every
+rollout log line carries trace_id= and candidate=.
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECK = REPO_ROOT / "tools" / "check_rollout.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_rollout  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes_lint(self):
+        assert check_rollout.check() == []
+
+    def test_script_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECK)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "check_rollout: OK" in proc.stdout
+
+    def test_guarded_paths_all_exist(self):
+        """The special-cased files must track real paths, or the
+        single-writer and guard rules silently check nothing."""
+        assert check_rollout.REGISTRY_FILE.is_file()
+        assert check_rollout.ROLLOUT_ROOT.is_dir()
+        assert (check_rollout.ROLLOUT_ROOT / "guard.py").is_file()
+
+    def test_promotion_methods_track_registry(self):
+        """Every name the lint restricts must exist on ModelRegistry --
+        a renamed method would silently escape the rule."""
+        from repro.serve import ModelRegistry
+
+        for name in check_rollout.PROMOTION_METHODS:
+            assert hasattr(ModelRegistry, name), name
+
+
+class TestDetection:
+    def _violations(self, tmp_path, source, **kwargs):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return check_rollout.file_violations(path, **kwargs)
+
+    def test_flags_state_file_literal_outside_registry(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import json
+
+            def sneak(path, version):
+                (path / "serving.json").write_text(
+                    json.dumps({"serving": version}))
+        """)
+        assert any("one owner" in msg for _, msg in found)
+
+    def test_flags_state_name_outside_registry(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro.serve.registry import ROLLOUT_STATE_FILE
+
+            def peek(root):
+                return (root / ROLLOUT_STATE_FILE).read_text()
+        """)
+        assert any("one owner" in msg for _, msg in found)
+
+    def test_all_reexport_string_is_clean(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            __all__ = ["ROLLOUT_STATE_FILE", "ModelRegistry"]
+        """)
+        assert found == []
+
+    def test_flags_second_writer_inside_registry(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import json
+            import os
+
+            ROLLOUT_STATE_FILE = "serving.json"
+
+            def _write_rollout_state(path, state):
+                tmp = path / (ROLLOUT_STATE_FILE + ".tmp")
+                tmp.write_text(json.dumps(state))
+                os.replace(tmp, path / ROLLOUT_STATE_FILE)
+
+            def hotfix_pin(path, version):
+                (path / ROLLOUT_STATE_FILE).write_text(
+                    json.dumps({"serving": version}))
+        """, is_registry=True)
+        assert len(found) == 1
+        assert "hotfix_pin" in found[0][1]
+        assert "_write_rollout_state" in found[0][1]
+
+    def test_registry_reader_is_clean(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            import json
+
+            ROLLOUT_STATE_FILE = "serving.json"
+
+            def rollout_state(path):
+                target = path / ROLLOUT_STATE_FILE
+                if not target.exists():
+                    return {}
+                return json.loads(target.read_text())
+        """, is_registry=True)
+        assert found == []
+
+    def test_flags_promotion_call_outside_rollout(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def hotswap(registry, name, version):
+                registry.promote_serving(name, version)
+        """)
+        assert len(found) == 1
+        assert "RolloutController" in found[0][1]
+
+    def test_promotion_call_inside_rollout_is_clean(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def promote(registry, name, version):
+                registry.promote_serving(name, version)
+        """, in_rollout=True)
+        assert found == []
+
+    def test_promotion_call_in_gateway_is_clean(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def set_shadow(self, model, version):
+                self.clear_shadow()
+        """, is_gateway=True)
+        assert found == []
+
+    def test_flags_unobserved_guard_evaluation(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro import obs
+
+            def evaluate(self, stage):
+                return all(self._checks)
+        """, in_rollout=True, guard_module=True)
+        assert len(found) == 1
+        assert "rollout.*" in found[0][1] or "counter" in found[0][1]
+
+    def test_observed_guard_evaluation_is_clean(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro import obs
+
+            def evaluate(self, stage):
+                obs.inc("rollout.guard_evaluations_total")
+                return all(self._checks)
+        """, in_rollout=True, guard_module=True)
+        assert found == []
+
+    def test_flags_rollout_log_missing_candidate(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro import obs
+
+            _LOG = obs.get_logger("rollout")
+
+            def trip(reason):
+                _LOG.warning("guard tripped", trace_id="t-1")
+        """, in_rollout=True)
+        assert len(found) == 1
+        assert "candidate=" in found[0][1]
+
+    def test_complete_rollout_log_is_clean(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            from repro import obs
+
+            _LOG = obs.get_logger("rollout")
+
+            def trip(reason):
+                _LOG.warning("guard tripped", trace_id="t-1",
+                             candidate="v2")
+        """, in_rollout=True)
+        assert found == []
+
+    def test_check_walks_a_tree(self, tmp_path):
+        rollout = tmp_path / "rollout"
+        rollout.mkdir()
+        (rollout / "guard.py").write_text(textwrap.dedent("""\
+            def evaluate(self):
+                return True
+        """))
+        (tmp_path / "elsewhere.py").write_text(textwrap.dedent("""\
+            def sneak(registry):
+                registry.pin_serving("m", 3)
+        """))
+        violations = check_rollout.check(root=tmp_path)
+        assert len(violations) == 2
+        assert any("guard.py" in v for v in violations)
+        assert any("elsewhere.py" in v for v in violations)

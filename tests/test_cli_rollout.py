@@ -1,0 +1,57 @@
+"""CLI continuous-learning loop: ``repro rollout``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["rollout"])
+        assert args.func.__name__ == "cmd_rollout"
+        assert args.area == "Airport"
+        assert args.phases == 1
+        assert args.foliage_step_db == 10.0
+        assert args.canary_fraction == 0.5
+        assert args.name == "lumos5g"
+
+    def test_unknown_area_is_exit_code_2(self, tmp_path, capsys):
+        code = main(["rollout", "--area", "nowhere", "--fast",
+                     "--work-dir", str(tmp_path)])
+        assert code == 2
+        assert "rollout:" in capsys.readouterr().err
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli_rollout")
+        summary_path = root / "summary.json"
+        events_path = root / "events.jsonl"
+        argv = ["rollout", "--fast", "--phases", "1",
+                "--foliage-step-db", "12", "--passes", "1",
+                "--shards", "2", "--workers", "1",
+                "--work-dir", str(root / "work"),
+                "--registry", str(root / "registry"),
+                "--summary-out", str(summary_path),
+                "--events-out", str(events_path)]
+        return main(argv), summary_path, events_path
+
+    def test_exit_code_and_summary(self, run):
+        code, summary_path, _ = run
+        assert code == 0
+        summary = json.loads(summary_path.read_text())
+        phase = summary["phases"][0]
+        assert phase["drift"]["drifted"] is True
+        assert phase["rollout"]["outcome"] == "promoted"
+        assert summary["serving"] == 2
+
+    def test_events_jsonl_written(self, run):
+        _, _, events_path = run
+        kinds = [json.loads(line)["event"]
+                 for line in events_path.read_text().splitlines()]
+        assert "rollout_promoted" in kinds
+        assert all("t_s" not in json.loads(line)
+                   for line in events_path.read_text().splitlines())

@@ -55,11 +55,15 @@ class TestFit:
         out = capsys.readouterr().out
         assert "trained" in out
         assert "chunks" in out
+        assert "drift baseline:" in out
         payload = json.loads(model_path.read_text())
         from repro.ml.serialize import model_from_json
 
         est = model_from_json(json.dumps(payload))
         assert hasattr(est, "predict")
+        # The streamed drift baseline rode through --out serialization.
+        assert est.drift_baseline_["stat"] == "prediction"
+        assert est.drift_baseline_["count"] > 100
 
     def test_fit_classification(self, store, tmp_path, capsys):
         code = main(["fit", "--from-store", str(store),

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Lint: rollout state stays single-writer, guarded, and traceable.
+
+Four rules keep ``repro.rollout``'s safety contract enforceable
+(docs/continuous_learning.md):
+
+1. **One writer for the serving pointer** -- the rollout state file
+   (``serving.json``) is referenced only inside
+   ``src/repro/serve/registry.py``, and within that module only
+   ``_write_rollout_state`` may both name the state file and perform a
+   write call.  Every promotion/rollback goes through the one atomic
+   tmp-then-``os.replace`` helper; a second writer is a torn-state bug
+   waiting to happen.
+2. **Promotion calls stay inside the rollout machinery** -- registry
+   promotion methods (``pin_serving``, ``promote_serving``,
+   ``reject_candidate``, shadow/canary markers...) may be *called* only
+   under ``src/repro/rollout/`` and ``src/repro/serve/registry.py``
+   itself.  A promotion call site anywhere else in ``src/`` bypasses
+   the guard + event + checkpoint discipline.  (Tests and the CLI
+   harness drive rollouts through the controller.)
+3. **Guard evaluations are observable** -- every ``evaluate*`` function
+   in ``rollout/guard.py`` must emit at least one
+   ``obs.inc("rollout.<...>")`` counter, so a fleet's promotion/trip
+   rates are monitorable without log scraping.
+4. **Rollout log lines carry ``trace_id=`` and ``candidate=`` ** --
+   every ``_LOG.<level>(...)`` call under ``src/repro/rollout/`` must
+   pass both keywords: any logged rollout event must be joinable to its
+   request trace and to the candidate version it concerns.
+
+Run directly (``python tools/check_rollout.py``) or via the tier-1
+suite (``tests/test_check_rollout.py`` wires it in).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+ROLLOUT_ROOT = SRC_ROOT / "rollout"
+REGISTRY_FILE = SRC_ROOT / "serve" / "registry.py"
+
+#: The serving-pointer state file literal and its module constant.
+#: (Only the *name* is matched for the constant -- re-exporting the
+#: string ``"ROLLOUT_STATE_FILE"`` in an ``__all__`` list is fine.)
+_STATE_LITERAL = "serving.json"
+_STATE_NAME = "ROLLOUT_STATE_FILE"
+
+#: The one function in registry.py allowed to combine a state-file
+#: reference with a write call.
+_STATE_WRITER = "_write_rollout_state"
+
+#: Call names that perform a filesystem write.
+_WRITE_CALLS = frozenset({"write_text", "replace", "rename", "open",
+                          "dump", "write"})
+
+#: Registry methods that move a rollout forward or back.  Call sites
+#: under src/ are restricted to rollout/, registry.py itself, and the
+#: gateway (whose *own* set/clear shadow+canary methods share these
+#: names -- the shard-install half the controller drives).
+PROMOTION_METHODS = frozenset({
+    "pin_serving", "unpin_serving", "promote_serving", "reject_candidate",
+    "set_shadow", "clear_shadow", "set_canary", "clear_canary",
+})
+
+#: Keywords every rollout log call must carry.
+_LOG_REQUIRED_KWARGS = frozenset({"trace_id", "candidate"})
+
+
+def _state_refs(node: ast.AST):
+    """State-file references inside ``node``: the literal or the name."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Constant) and inner.value == _STATE_LITERAL:
+            yield inner
+        elif isinstance(inner, ast.Name) and inner.id == _STATE_NAME:
+            yield inner
+
+
+def _has_write_call(node: ast.AST) -> bool:
+    for inner in ast.walk(node):
+        if not isinstance(inner, ast.Call):
+            continue
+        func = inner.func
+        name = (func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None)
+        if name in _WRITE_CALLS:
+            return True
+    return False
+
+
+def _is_log_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "_LOG"
+    )
+
+
+def _rollout_counter_calls(node: ast.AST) -> bool:
+    """Whether ``node`` contains ``obs.inc("rollout.<...>", ...)``."""
+    for inner in ast.walk(node):
+        if not (isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "inc"
+                and isinstance(inner.func.value, ast.Name)
+                and inner.func.value.id == "obs"):
+            continue
+        if (inner.args and isinstance(inner.args[0], ast.Constant)
+                and isinstance(inner.args[0].value, str)
+                and inner.args[0].value.startswith("rollout.")):
+            return True
+    return False
+
+
+def registry_violations(path: pathlib.Path) -> list[tuple[int, str]]:
+    """Rule 1 inside registry.py: one function writes the state file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name == _STATE_WRITER:
+            continue
+        refs = list(_state_refs(node))
+        if refs and _has_write_call(node):
+            out.append((
+                node.lineno,
+                f"`{node.name}` references the rollout state file and "
+                f"performs a write; only `{_STATE_WRITER}` may write "
+                "the serving pointer (atomic tmp + os.replace)",
+            ))
+    return out
+
+
+def file_violations(path: pathlib.Path, *, in_rollout: bool = False,
+                    is_registry: bool = False, is_gateway: bool = False,
+                    guard_module: bool = False) -> list[tuple[int, str]]:
+    """(line, message) pairs for one source file under src/."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[tuple[int, str]] = []
+
+    if not is_registry:
+        for ref in _state_refs(tree):
+            out.append((
+                ref.lineno,
+                "rollout state file referenced outside serve/registry.py; "
+                "the serving pointer has exactly one owner",
+            ))
+
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in PROMOTION_METHODS
+                and not (in_rollout or is_registry or is_gateway)):
+            out.append((
+                node.lineno,
+                f".{node.func.attr}() promotion call outside "
+                "repro.rollout; stage transitions must go through "
+                "RolloutController",
+            ))
+        if in_rollout and _is_log_call(node):
+            kwargs = {kw.arg for kw in node.keywords if kw.arg}
+            missing = _LOG_REQUIRED_KWARGS - kwargs
+            if missing:
+                out.append((
+                    node.lineno,
+                    "rollout log line missing "
+                    f"{'/'.join(sorted(missing))}= keyword(s); every "
+                    "rollout event must be joinable to its trace and "
+                    "candidate",
+                ))
+        if (guard_module
+                and isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                and node.name.startswith("evaluate")
+                and not _rollout_counter_calls(node)):
+            out.append((
+                node.lineno,
+                f"`{node.name}` renders a guard verdict without emitting "
+                "a rollout.* obs counter; trip rates must be monitorable",
+            ))
+
+    if is_registry:
+        out.extend(registry_violations(path))
+    return sorted(out)
+
+
+def check(root: pathlib.Path = SRC_ROOT) -> list[str]:
+    """All violations under ``root`` as ``path:line: message`` strings."""
+    violations: list[str] = []
+    rollout_root = root / "rollout"
+    registry_file = root / "serve" / "registry.py"
+    gateway_file = root / "gateway" / "gateway.py"
+    for path in sorted(root.rglob("*.py")):
+        in_rollout = rollout_root in path.parents
+        for lineno, message in file_violations(
+            path,
+            in_rollout=in_rollout,
+            is_registry=path == registry_file,
+            is_gateway=path == gateway_file,
+            guard_module=in_rollout and path.name == "guard.py",
+        ):
+            try:
+                shown = path.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = path
+            violations.append(f"{shown}:{lineno}: {message}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_rollout: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_rollout: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
